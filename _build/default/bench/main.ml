@@ -1,0 +1,455 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (Section VI-B) on the simulated platform.
+
+     dune exec bench/main.exe                 -- all experiments
+     dune exec bench/main.exe -- table2 fig7  -- a subset
+     dune exec bench/main.exe -- --quick      -- reduced sweeps
+     dune exec bench/main.exe -- micro        -- Bechamel wall-clock micro
+                                                 benches of the consumer
+
+   Overheads are deterministic virtual-cycle ratios (see DESIGN.md);
+   absolute magnitudes need not match the paper's SGX testbed, the shapes
+   must. Paper reference values are printed side by side. *)
+
+module W = Deflection_workloads
+module Policy = Deflection_policy.Policy
+module Tcb = Deflection_runtimes.Tcb
+module Shield = Deflection_runtimes.Shield
+
+let quick = ref false
+let printf = Printf.printf
+
+let hr title = printf "\n%s\n%s\n" title (String.make (min 78 (String.length title)) '=')
+
+let run_workload ~policies ?(inputs = []) src =
+  match W.Runner.run ~policies ~inputs src with
+  | Ok m -> m
+  | Error e -> failwith ("bench workload failed: " ^ e)
+
+let overhead_pct ~base m =
+  100.0
+  *. (float_of_int m.W.Runner.cycles -. float_of_int base.W.Runner.cycles)
+  /. float_of_int base.W.Runner.cycles
+
+(* ------------------------------------------------------------------ *)
+(* Table I: TCB comparison *)
+
+let table1 () =
+  hr "Table I: TCB comparison with other shielding runtimes (paper data)";
+  printf "%-14s %-28s %10s %10s\n" "Runtime" "Component" "kLoC" "Size(MB)";
+  List.iter
+    (fun (r : Tcb.runtime) ->
+      List.iteri
+        (fun i (c : Tcb.component) ->
+          printf "%-14s %-28s %10s %10s\n"
+            (if i = 0 then r.Tcb.rname else "")
+            c.Tcb.cname
+            (if Float.is_nan c.Tcb.kloc then "N/A" else Printf.sprintf "%.1f" c.Tcb.kloc)
+            (if i = 0 then
+               match r.Tcb.binary_mb with Some m -> Printf.sprintf "> %.1f" m | None -> ""
+             else ""))
+        r.Tcb.components;
+      printf "%-14s %-28s %10.1f\n" "" "(total)" (Tcb.total_kloc r))
+    Tcb.paper_table;
+  printf "\nThis reproduction's trusted consumer (measured from the OCaml sources):\n";
+  let repro = Tcb.reproduction_components () in
+  List.iter (fun (c : Tcb.component) -> printf "  %-58s %6.2f kLoC\n" c.Tcb.cname c.Tcb.kloc) repro;
+  printf "  %-58s %6.2f kLoC\n" "(total; paper's loader/verifier/RA is 1.5 kLoC)"
+    (List.fold_left (fun a (c : Tcb.component) -> a +. c.Tcb.kloc) 0.0 repro)
+
+(* ------------------------------------------------------------------ *)
+(* Table II: nBench under P1 / P1+P2 / P1-P5 / P1-P6 *)
+
+let geo_mean xs =
+  let n = List.length xs in
+  if n = 0 then 0.0
+  else begin
+    let g = exp (List.fold_left (fun a x -> a +. log (1.0 +. (x /. 100.0))) 0.0 xs /. float_of_int n) in
+    (g -. 1.0) *. 100.0
+  end
+
+let table2 () =
+  hr "Table II: performance overhead on nBench (ours / paper, %)";
+  printf "%-16s | %17s | %17s | %17s | %17s\n" "Program" "P1" "P1+P2" "P1-P5" "P1-P6";
+  printf "%s\n" (String.make 95 '-');
+  let benches =
+    if !quick then [ List.nth W.Nbench.all 0; List.nth W.Nbench.all 5 ] else W.Nbench.all
+  in
+  let acc = ref [] in
+  List.iter
+    (fun (b : W.Nbench.benchmark) ->
+      let base = run_workload ~policies:Policy.Set.none b.W.Nbench.source in
+      let m1 = run_workload ~policies:Policy.Set.p1 b.W.Nbench.source in
+      let m2 = run_workload ~policies:Policy.Set.p1_p2 b.W.Nbench.source in
+      let m5 = run_workload ~policies:Policy.Set.p1_p5 b.W.Nbench.source in
+      let m6 = run_workload ~policies:Policy.Set.p1_p6 b.W.Nbench.source in
+      List.iter
+        (fun (m : W.Runner.measurement) ->
+          if m.W.Runner.outputs <> base.W.Runner.outputs then
+            failwith (b.W.Nbench.name ^ ": output diverged under instrumentation"))
+        [ m1; m2; m5; m6 ];
+      let o1 = overhead_pct ~base m1
+      and o2 = overhead_pct ~base m2
+      and o5 = overhead_pct ~base m5
+      and o6 = overhead_pct ~base m6 in
+      let p1, p2, p5, p6 = b.W.Nbench.paper_overheads in
+      acc := (o1, o2, o5, o6) :: !acc;
+      printf
+        "%-16s | %+7.2f%%/%+6.2f%% | %+7.2f%%/%+6.2f%% | %+7.2f%%/%+6.2f%% | %+7.2f%%/%+6.2f%%\n"
+        b.W.Nbench.name o1 p1 o2 p2 o5 p5 o6 p6)
+    benches;
+  let col f = List.map f !acc in
+  printf "%s\n" (String.make 95 '-');
+  printf "%-16s | %9.2f%%        | %9.2f%%        | %9.2f%%        | %9.2f%%\n" "geo-mean (ours)"
+    (geo_mean (col (fun (a, _, _, _) -> a)))
+    (geo_mean (col (fun (_, a, _, _) -> a)))
+    (geo_mean (col (fun (_, _, a, _) -> a)))
+    (geo_mean (col (fun (_, _, _, a) -> a)));
+  printf "(paper: ~10%% geo-mean without side-channel mitigation, ~20%% with P1-P6)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figures 7/8/9: overhead sweeps *)
+
+let sweep_figure ~title ~xlabel ~xs ~make =
+  hr title;
+  printf "%-10s | %12s | %9s %9s %9s %9s\n" xlabel "base cycles" "P1" "P1+P2" "P1-P5" "P1-P6";
+  printf "%s\n" (String.make 70 '-');
+  List.iter
+    (fun x ->
+      let src, inputs = make x in
+      let base = run_workload ~policies:Policy.Set.none ~inputs src in
+      let one pset =
+        let m = run_workload ~policies:pset ~inputs src in
+        if m.W.Runner.outputs <> base.W.Runner.outputs then failwith (title ^ ": output diverged");
+        overhead_pct ~base m
+      in
+      let a = one Policy.Set.p1 in
+      let b = one Policy.Set.p1_p2 in
+      let c = one Policy.Set.p1_p5 in
+      let d = one Policy.Set.p1_p6 in
+      printf "%-10d | %12d | %+8.1f%% %+8.1f%% %+8.1f%% %+8.1f%%\n" x base.W.Runner.cycles a b c d)
+    xs
+
+let fig7 () =
+  let xs = if !quick then [ 50; 200 ] else [ 50; 100; 200; 400; 700 ] in
+  sweep_figure
+    ~title:
+      "Figure 7: sequence alignment (Needleman-Wunsch), overhead vs input length\n\
+       (paper: <= ~20% at small inputs; ~19.7% P1+P2 / ~22.2% P1-P5 at >= 500B)"
+    ~xlabel:"length" ~xs
+    ~make:(fun n ->
+      let payload = W.Genome.fasta_input ~seed:42L ~n in
+      let s1 = Bytes.sub payload 0 n and s2 = Bytes.sub payload n n in
+      (W.Genome.alignment_source ~n, [ s1; s2 ]))
+
+let fig8 () =
+  let xs = if !quick then [ 1000; 20000 ] else [ 1000; 10000; 50000; 200000 ] in
+  sweep_figure
+    ~title:
+      "Figure 8: sequence generation, overhead vs output size (nucleotides)\n\
+       (paper: P1 ~5-7%; <=20% at 200K; ~25% with side-channel mitigation)"
+    ~xlabel:"length" ~xs
+    ~make:(fun n -> (W.Genome.generation_source ~n, []))
+
+let fig9 () =
+  let xs = if !quick then [ 500; 5000 ] else [ 500; 2000; 10000; 40000 ] in
+  sweep_figure
+    ~title:
+      "Figure 9: credit scoring (BP network), overhead vs scored records\n\
+       (paper: ~15% at 1K-10K records under P1-P5; <20% beyond 50K)"
+    ~xlabel:"records" ~xs
+    ~make:(fun n -> (W.Credit.source ~n, []))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: HTTPS server response time / throughput vs concurrency *)
+
+let https_service_cycles ~policies ~size =
+  let requests = if !quick then 6 else 12 in
+  let inputs = List.init requests (fun _ -> W.Https.request_payload ~size) in
+  let m = run_workload ~policies ~inputs (W.Https.handler_source ~requests) in
+  float_of_int m.W.Runner.cycles /. float_of_int requests
+
+let fig10 () =
+  hr
+    "Figure 10: HTTPS server, response time and throughput vs concurrency\n\
+     (paper: flat until ~100 connections, knee beyond; 14.1% mean response\n\
+     overhead; <10% throughput overhead between 75 and 200 connections)";
+  let size = 8192 in
+  let s_base = https_service_cycles ~policies:Policy.Set.none ~size in
+  let s_full = https_service_cycles ~policies:Policy.Set.p1_p6 ~size in
+  printf "per-request service cycles (8 KiB file): baseline %.0f, P1-P6 %.0f (+%.1f%%)\n\n" s_base
+    s_full
+    (100.0 *. (s_full -. s_base) /. s_base);
+  printf "%-6s | %14s %14s %8s | %14s %14s %8s\n" "conn" "resp base(ms)" "resp P1-P6(ms)" "ovh"
+    "thru base(rps)" "thru P1-P6" "ovh";
+  printf "%s\n" (String.make 95 '-');
+  let concurrencies = [ 25; 50; 75; 100; 150; 200; 250 ] in
+  let resp_ovhs = ref [] in
+  List.iter
+    (fun c ->
+      let b = W.Https.closed_loop ~service_cycles:s_base ~concurrency:c () in
+      let f = W.Https.closed_loop ~service_cycles:s_full ~concurrency:c () in
+      let ro =
+        100.0 *. (f.W.Https.response_ms -. b.W.Https.response_ms) /. b.W.Https.response_ms
+      in
+      let to_ =
+        100.0 *. (b.W.Https.throughput_rps -. f.W.Https.throughput_rps)
+        /. b.W.Https.throughput_rps
+      in
+      resp_ovhs := ro :: !resp_ovhs;
+      printf "%-6d | %14.3f %14.3f %+7.1f%% | %14.0f %14.0f %+7.1f%%\n" c b.W.Https.response_ms
+        f.W.Https.response_ms ro b.W.Https.throughput_rps f.W.Https.throughput_rps to_)
+    concurrencies;
+  let mean = List.fold_left ( +. ) 0.0 !resp_ovhs /. float_of_int (List.length !resp_ovhs) in
+  printf "mean response-time overhead: %.1f%% (paper: 14.1%%)\n" mean
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11: HTTPS transfer rate vs file size across runtimes *)
+
+let fig11 () =
+  hr
+    "Figure 11: HTTPS transfer rate vs file size across shielding runtimes\n\
+     (paper: Graphene-SGX best at small files; DEFLECTION overtakes as size\n\
+     grows, reaching ~77% of native)";
+  (* The four runtime models encode each system's documented cost structure
+     (lib/runtimes/shield.ml). We validate the DEFLECTION row against the
+     simulated enclave: the model's per-byte ratio vs native (1.30) must be
+     consistent with the measured instrumented/baseline handler ratio. *)
+  let calibrate ~policies =
+    let s1 = 2048 and s2 = 16384 in
+    let c1 = https_service_cycles ~policies ~size:s1 in
+    let c2 = https_service_cycles ~policies ~size:s2 in
+    (c2 -. c1) /. float_of_int (s2 - s1)
+  in
+  let nb = calibrate ~policies:Policy.Set.none in
+  let db = calibrate ~policies:Policy.Set.p1_p6 in
+  printf
+    "measured per-byte handler cycles: baseline %.1f, P1-P6 %.1f (ratio %.2f; the\n\
+     Figure-11 model uses %.2f for DEFLECTION vs native, the difference being the\n\
+     record-sealing work outside the handler)\n\n"
+    nb db (db /. nb)
+    (Shield.deflection.Shield.cycles_per_byte /. Shield.native.Shield.cycles_per_byte);
+  let models = Shield.all in
+  printf "%-10s |" "size";
+  List.iter (fun (m : Shield.model) -> printf " %14s" m.Shield.sname) models;
+  printf "   (MB/s)\n%s\n" (String.make 75 '-');
+  List.iter
+    (fun size ->
+      printf "%-10s |"
+        (if size >= 1 lsl 20 then Printf.sprintf "%dM" (size lsr 20)
+         else Printf.sprintf "%dK" (size lsr 10));
+      List.iter (fun m -> printf " %14.1f" (Shield.transfer_rate_mbps m ~file_bytes:size)) models;
+      printf "\n")
+    [ 1024; 10240; 102400; 512000; 1 lsl 20 ];
+  let r m s = Shield.transfer_rate_mbps m ~file_bytes:s in
+  printf "\nDEFLECTION/native at 1 MiB: %.0f%% (paper: ~77%%)\n"
+    (100.0 *. r Shield.deflection (1 lsl 20) /. r Shield.native (1 lsl 20));
+  printf "crossover DEFLECTION vs Graphene-SGX: %s\n"
+    (let rec find s =
+       if s > 1 lsl 22 then "none below 4 MiB"
+       else if r Shield.deflection s > r Shield.graphene s then Printf.sprintf "~%d KiB" (s / 1024)
+       else find (s * 2)
+     in
+     find 1024)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: the design choices DESIGN.md calls out *)
+
+let ablation () =
+  hr "Ablation A: P6 marker-inspection period q (NUMERIC SORT, P1-P6 vs baseline)";
+  let src = (List.nth W.Nbench.all 0).W.Nbench.source in
+  let base = run_workload ~policies:Policy.Set.none src in
+  printf "%-6s | %10s | %s\n" "q" "overhead" "(denser inspection = tighter AEX detection, more cycles)";
+  List.iter
+    (fun q ->
+      match
+        W.Runner.run ~policies:Policy.Set.p1_p6 src |> fun _ ->
+        (* re-run with explicit q through the full session *)
+        Deflection.Session.run ~policies:Policy.Set.p1_p6 ~ssa_q:q ~source:src ~inputs:[] ()
+      with
+      | Error e -> failwith e
+      | Ok o ->
+        printf "%-6d | %+9.1f%% |\n" q
+          (100.0
+          *. (float_of_int o.Deflection.Session.cycles -. float_of_int base.W.Runner.cycles)
+          /. float_of_int base.W.Runner.cycles))
+    [ 10; 20; 40; 80 ];
+
+  hr "Ablation B: CFI branch-table size (ASSIGNMENT, P1-P5)";
+  printf "the linear-scan check costs O(table size) per indirect branch\n";
+  let asrc extra =
+    (* pad the branch table by taking the address of extra no-op functions *)
+    let fns =
+      String.concat "\n"
+        (List.init extra (fun i -> Printf.sprintf "int pad%d(int x) { return x; }" i))
+    in
+    let takes =
+      String.concat " "
+        (List.init extra (fun i -> Printf.sprintf "sink[%d] = &pad%d;" (i mod 32) i))
+    in
+    let body = (List.nth W.Nbench.all 5).W.Nbench.source in
+    let marker = "comparators[0] = &cmp_lt;" in
+    let body =
+      match String.index_opt body 'c' with
+      | _ ->
+        (* replace the first occurrence of [marker] *)
+        let rec find i =
+          if i + String.length marker > String.length body then None
+          else if String.sub body i (String.length marker) = marker then Some i
+          else find (i + 1)
+        in
+        (match find 0 with
+        | Some i ->
+          String.sub body 0 i ^ takes ^ " " ^ marker
+          ^ String.sub body (i + String.length marker)
+              (String.length body - i - String.length marker)
+        | None -> failwith "ASSIGNMENT source changed")
+    in
+    Printf.sprintf "fnptr sink[32];\n%s\n%s" fns body
+  in
+  let base_a = run_workload ~policies:Policy.Set.none (List.nth W.Nbench.all 5).W.Nbench.source in
+  List.iter
+    (fun extra ->
+      let src = asrc extra in
+      let m = run_workload ~policies:Policy.Set.p1_p5 src in
+      printf "table size %-3d | P1-P5 overhead %+7.1f%%\n" (4 + extra)
+        (overhead_pct ~base:base_a m))
+    [ 0; 8; 24 ];
+
+  hr "Ablation C: code-generator optimization (NUMERIC SORT, text bytes + cycles)";
+  List.iter
+    (fun optimize ->
+      let obj =
+        Deflection_compiler.Frontend.compile_exn ~policies:Policy.Set.p1_p6 ~optimize src
+      in
+      match
+        Deflection.Session.run ~policies:Policy.Set.p1_p6 ~optimize ~source:src ~inputs:[] ()
+      with
+      | Error e -> failwith e
+      | Ok o ->
+        printf "optimize=%-5b | text %6d bytes | %9d cycles\n" optimize
+          (Bytes.length obj.Deflection_compiler.Frontend.Objfile.text)
+          o.Deflection.Session.cycles)
+    [ false; true ]
+
+(* ------------------------------------------------------------------ *)
+(* Architectural comparison (paper Section VIII): verified native
+   execution vs an interpreter inside the enclave (the Ryoan / in-enclave
+   script-engine approach) *)
+
+let related () =
+  hr
+    "Architectural comparison: DEFLECTION (verified native) vs in-enclave interpreter\n\
+     (paper Section VIII: interpreter runtimes trade a large TCB and big slowdowns\n\
+     for the same confinement)";
+  printf "%-16s | %14s | %16s | %9s\n" "Program" "DEFLECTION cyc" "interpreter cyc" "slowdown";
+  printf "%s\n" (String.make 66 '-');
+  List.iter
+    (fun name ->
+      let b = Option.get (W.Nbench.find name) in
+      let native = run_workload ~policies:Policy.Set.p1_p6 b.W.Nbench.source in
+      match Deflection_runtimes.Interp_baseline.run b.W.Nbench.source with
+      | Error e -> failwith e
+      | Ok (icycles, outputs) ->
+        if outputs <> native.W.Runner.outputs then failwith (name ^ ": interpreter diverged");
+        printf "%-16s | %14d | %16d | %8.1fx\n" name native.W.Runner.cycles icycles
+          (float_of_int icycles /. float_of_int native.W.Runner.cycles))
+    [ "NUMERIC SORT"; "ASSIGNMENT"; "FOURIER" ];
+  printf
+    "\nTCB delta: the interpreter architecture moves the whole frontend (%.1f kLoC)\n\
+     inside the enclave; DEFLECTION's verifier is ~0.8 kLoC and the compiler stays\n\
+     untrusted.\n"
+    Deflection_runtimes.Interp_baseline.tcb_kloc
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock micro-benchmarks: one per table/figure pipeline *)
+
+let micro () =
+  hr "Bechamel micro-benchmarks (wall clock; one per experiment pipeline)";
+  let open Bechamel in
+  let sample_src = (List.nth W.Nbench.all 0).W.Nbench.source in
+  let obj = Deflection_compiler.Frontend.compile_exn ~policies:Policy.Set.p1_p6 sample_src in
+  let serialized = Deflection_isa.Objfile.serialize obj in
+  let layout = Deflection_enclave.Layout.make Deflection_enclave.Layout.small_config in
+  let tests =
+    [
+      Test.make ~name:"table1.measurement"
+        (Staged.stage (fun () ->
+             ignore
+               (Deflection_enclave.Measurement.measure layout
+                  ~consumer_code:(Bytes.make 4096 'c'))));
+      Test.make ~name:"table2.compile+instrument"
+        (Staged.stage (fun () ->
+             ignore
+               (Deflection_compiler.Frontend.compile_exn ~policies:Policy.Set.p1_p6 sample_src)));
+      Test.make ~name:"fig7.verify"
+        (Staged.stage (fun () ->
+             ignore
+               (Deflection_verifier.Verifier.verify ~policies:Policy.Set.p1_p6
+                  ~ssa_q:obj.Deflection_isa.Objfile.ssa_q obj)));
+      Test.make ~name:"fig8.load+rewrite"
+        (Staged.stage (fun () ->
+             let mem = Deflection_enclave.Memory.create layout in
+             let loaded =
+               Result.get_ok (Deflection_loader.Loader.load mem ~aex_threshold:1000 obj)
+             in
+             ignore
+               (Result.get_ok
+                  (Deflection_loader.Loader.rewrite_imms mem loaded ~policies:Policy.Set.p1_p6))));
+      Test.make ~name:"fig9.objfile-parse"
+        (Staged.stage (fun () -> ignore (Deflection_isa.Objfile.deserialize serialized)));
+      Test.make
+        ~name:"fig10.record-seal-1KiB"
+        (let key = Bytes.make 32 'k' in
+         let ch = Deflection_crypto.Channel.create ~key in
+         Staged.stage (fun () ->
+             ignore (Deflection_crypto.Channel.seal_padded ch ~pad_to:1024 (Bytes.make 100 'x'))));
+      Test.make ~name:"fig11.sha256-4KiB"
+        (let data = Bytes.make 4096 'd' in
+         Staged.stage (fun () -> ignore (Deflection_crypto.Sha256.digest data)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun t ->
+      let results = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] t in
+      let analyzed =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          (Toolkit.Instance.monotonic_clock) results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> printf "  %-30s %12.0f ns/run\n" name est
+          | Some _ | None -> printf "  %-30s (no estimate)\n" name)
+        analyzed)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = List.filter (fun a -> a <> "--") args in
+  quick := List.mem "--quick" args;
+  let args = List.filter (fun a -> a <> "--quick") args in
+  let all =
+    [
+      ("table1", table1); ("table2", table2); ("fig7", fig7); ("fig8", fig8); ("fig9", fig9);
+      ("fig10", fig10); ("fig11", fig11); ("ablation", ablation); ("related", related);
+      ("micro", micro);
+    ]
+  in
+  let selected =
+    if args = [] then all
+    else
+      List.map
+        (fun a ->
+          match List.assoc_opt a all with
+          | Some f -> (a, f)
+          | None -> failwith ("unknown section " ^ a))
+        args
+  in
+  printf "DEFLECTION evaluation reproduction (deterministic virtual cycles)\n";
+  List.iter (fun (_, f) -> f ()) selected;
+  printf "\nDone.\n"

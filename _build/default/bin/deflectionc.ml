@@ -1,0 +1,146 @@
+(* deflectionc: command-line driver for the DEFLECTION pipeline.
+
+     deflectionc compile service.mc -o service.dfl [--policies P1-P6]
+     deflectionc verify service.dfl [--policies P1-P6]
+     deflectionc disasm service.mc
+     deflectionc run service.mc [--input FILE]... [--policies P1-P6]
+
+   `run` executes the complete protocol: attestation, sealed delivery,
+   in-enclave load/verify/rewrite, execution, and decryption of the
+   sealed outputs as the data owner. *)
+
+open Cmdliner
+module Policy = Deflection_policy.Policy
+module Frontend = Deflection_compiler.Frontend
+module Objfile = Deflection_isa.Objfile
+module Verifier = Deflection_verifier.Verifier
+module Interp = Deflection_runtime.Interp
+
+let policy_set_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "none" -> Ok Policy.Set.none
+    | "p1" -> Ok Policy.Set.p1
+    | "p1-p2" | "p1+p2" -> Ok Policy.Set.p1_p2
+    | "p1-p5" -> Ok Policy.Set.p1_p5
+    | "p1-p6" -> Ok Policy.Set.p1_p6
+    | other ->
+      (* comma-separated policy names *)
+      let parts = String.split_on_char ',' other in
+      let rec build acc = function
+        | [] -> Ok acc
+        | p :: rest ->
+          (match Policy.of_name (String.uppercase_ascii p) with
+          | Some pol -> build (Policy.Set.add pol acc) rest
+          | None -> Error (`Msg (Printf.sprintf "unknown policy %S" p)))
+      in
+      build Policy.Set.none parts
+  in
+  let print fmt s = Format.pp_print_string fmt (Policy.Set.label s) in
+  Arg.conv (parse, print)
+
+let policies_arg =
+  Arg.(
+    value
+    & opt policy_set_conv Policy.Set.p1_p6
+    & info [ "p"; "policies" ] ~docv:"POLICIES"
+        ~doc:"Policy set: none, P1, P1-P2, P1-P5, P1-P6, or a comma list (e.g. p1,p2,p5).")
+
+let ssa_q_arg =
+  Arg.(value & opt int 20 & info [ "ssa-q" ] ~docv:"Q" ~doc:"P6 marker inspection period.")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_bytes oc data;
+  close_out oc
+
+let compile_cmd =
+  let src = Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE") in
+  let out =
+    Arg.(value & opt string "a.dfl" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output binary.")
+  in
+  let action source out policies ssa_q =
+    match Frontend.compile ~policies ~ssa_q (read_file source) with
+    | Error e ->
+      Format.eprintf "%s: %a@." source Frontend.pp_error e;
+      exit 1
+    | Ok obj ->
+      write_file out (Objfile.serialize obj);
+      Format.printf "wrote %s (%d bytes text, %d bytes data, %d symbols, policies %s)@." out
+        (Bytes.length obj.Objfile.text) (Bytes.length obj.Objfile.data)
+        (List.length obj.Objfile.symbols) (Policy.Set.label policies)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile and instrument a MiniC service.")
+    Term.(const action $ src $ out $ policies_arg $ ssa_q_arg)
+
+let verify_cmd =
+  let obj_file = Arg.(required & pos 0 (some file) None & info [] ~docv:"BINARY") in
+  let action path policies =
+    match Objfile.deserialize (Bytes.of_string (read_file path)) with
+    | Error e ->
+      Format.eprintf "%s: %s@." path e;
+      exit 1
+    | Ok obj ->
+      (match Verifier.verify ~policies ~ssa_q:obj.Objfile.ssa_q obj with
+      | Ok report ->
+        Format.printf "ACCEPTED: %a@." Verifier.pp_report report
+      | Error rej ->
+        Format.printf "REJECTED: %a@." Verifier.pp_rejection rej;
+        exit 2)
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Run the in-enclave policy verifier on a target binary.")
+    Term.(const action $ obj_file $ policies_arg)
+
+let disasm_cmd =
+  let src = Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE") in
+  let action source policies ssa_q =
+    print_string (Frontend.listing ~policies ~ssa_q (read_file source))
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Compile a MiniC service and print the instrumented listing.")
+    Term.(const action $ src $ policies_arg $ ssa_q_arg)
+
+let run_cmd =
+  let src = Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE") in
+  let inputs =
+    Arg.(
+      value & opt_all file []
+      & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Data-owner input chunk (one per recv).")
+  in
+  let action source input_files policies ssa_q =
+    let inputs = List.map (fun f -> Bytes.of_string (read_file f)) input_files in
+    match
+      Deflection.Session.run ~policies ~ssa_q ~source:(read_file source) ~inputs ()
+    with
+    | Error e ->
+      Format.eprintf "session failed: %s@." e;
+      exit 1
+    | Ok o ->
+      Format.printf "verifier: %a@." Verifier.pp_report o.Deflection.Session.verifier_report;
+      Format.printf "exit: %a | cycles=%d instructions=%d ocalls=%d aexes=%d leaked=%d@."
+        Interp.pp_exit_reason o.Deflection.Session.exit o.Deflection.Session.cycles
+        o.Deflection.Session.instructions o.Deflection.Session.ocalls
+        o.Deflection.Session.aexes o.Deflection.Session.leaked_bytes;
+      List.iteri
+        (fun i out -> Format.printf "output[%d] = %S@." i (Bytes.to_string out))
+        o.Deflection.Session.outputs
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run the full attested session on a MiniC service.")
+    Term.(const action $ src $ inputs $ policies_arg $ ssa_q_arg)
+
+let () =
+  let info =
+    Cmd.info "deflectionc" ~version:"1.0"
+      ~doc:"DEFLECTION: delegated in-enclave verification of privacy compliance."
+  in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; verify_cmd; disasm_cmd; run_cmd ]))

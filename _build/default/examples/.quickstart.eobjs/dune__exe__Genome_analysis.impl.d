@@ -1,0 +1,1 @@
+examples/genome_analysis.ml: Bytes Deflection Deflection_workloads Format Printf

@@ -1,0 +1,1 @@
+examples/health_analysis.ml: Bytes Char Deflection List Printf

@@ -1,0 +1,1 @@
+examples/https_service.ml: Deflection_policy Deflection_workloads List Printf

@@ -1,0 +1,1 @@
+examples/https_service.mli:

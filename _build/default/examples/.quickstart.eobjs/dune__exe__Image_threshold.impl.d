@@ -1,0 +1,1 @@
+examples/image_threshold.ml: Bytes Char Deflection Deflection_util List Printf

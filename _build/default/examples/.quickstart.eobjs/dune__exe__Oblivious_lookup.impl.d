@@ -1,0 +1,1 @@
+examples/oblivious_lookup.ml: Bytes Deflection Deflection_policy Deflection_runtime List Printf String

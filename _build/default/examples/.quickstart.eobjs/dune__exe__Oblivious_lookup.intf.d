@@ -1,0 +1,1 @@
+examples/oblivious_lookup.mli:

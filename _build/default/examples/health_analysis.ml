@@ -1,0 +1,56 @@
+(* Personal health analysis (one of the paper's motivating CCaaS services,
+   Section III): a clinic uploads a patient's blood-pressure series; the
+   provider's proprietary scoring logic classifies it without either side
+   seeing the other's asset. The P0 wrapper pads the diagnosis record, so
+   even its length reveals nothing. *)
+
+let service =
+  {|
+int readings[64];
+
+int classify(int* xs, int n) {
+  /* proprietary risk model: weighted trend + variability */
+  int sum = 0;
+  for (int i = 0; i < n; i = i + 1) { sum = sum + xs[i]; }
+  int mean = sum / n;
+  int var = 0;
+  for (int j = 0; j < n; j = j + 1) {
+    int d = xs[j] - mean;
+    var = var + d * d;
+  }
+  var = var / n;
+  int trend = xs[n - 1] - xs[0];
+  int risk = 0;
+  if (mean > 140) { risk = risk + 2; }
+  if (mean > 120) { risk = risk + 1; }
+  if (var > 150) { risk = risk + 1; }
+  if (trend > 15) { risk = risk + 1; }
+  return risk;
+}
+
+int main() {
+  int n = recv(readings, 64);
+  if (n < 4) { exit(0 - 1); }
+  int risk = classify(readings, n);
+  print_int(risk);
+  return 0;
+}
+|}
+
+let series label values =
+  let payload = Bytes.create (List.length values) in
+  List.iteri (fun i v -> Bytes.set payload i (Char.chr v)) values;
+  match Deflection.Session.run ~source:service ~inputs:[ payload ] () with
+  | Error e ->
+    prerr_endline e;
+    exit 1
+  | Ok o ->
+    let risk = Bytes.to_string (List.hd o.Deflection.Session.outputs) in
+    Printf.printf "%-22s -> risk score %s (leaked bytes: %d)\n" label risk
+      o.Deflection.Session.leaked_bytes
+
+let () =
+  print_endline "In-enclave blood-pressure risk scoring (systolic, mmHg):";
+  series "stable normotensive" [ 118; 121; 119; 122; 120; 118; 121; 119 ];
+  series "hypertensive" [ 148; 151; 149; 153; 150; 149; 152; 154 ];
+  series "rising trend" [ 119; 124; 128; 131; 135; 138; 141; 144 ]

@@ -1,0 +1,34 @@
+(* Quickstart: the full DEFLECTION protocol on a tiny private service. *)
+
+let source = {|
+int acc;
+
+int square(int x) { return x * x; }
+
+int main() {
+  int buf[16];
+  int n = recv(buf, 16);
+  acc = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    acc = acc + square(buf[i]);
+  }
+  print_int(acc);
+  send(buf, n);
+  return 0;
+}
+|}
+
+let () =
+  let input = Bytes.of_string "\001\002\003\004" in
+  match Deflection.Session.run ~source ~inputs:[ input ] () with
+  | Error e ->
+    prerr_endline ("session failed: " ^ e);
+    exit 1
+  | Ok o ->
+    Format.printf "verifier: %a@." Deflection.Session.Verifier.pp_report o.verifier_report;
+    Format.printf "exit: %a; cycles=%d instrs=%d ocalls=%d leaked=%d@."
+      Deflection.Session.Interp.pp_exit_reason o.exit o.cycles o.instructions o.ocalls
+      o.leaked_bytes;
+    List.iteri
+      (fun i out -> Format.printf "output[%d] = %S@." i (Bytes.to_string out))
+      o.outputs

@@ -1,0 +1,1 @@
+lib/annot/annot.ml: Deflection_isa Format Hashtbl Int64 List

@@ -1,0 +1,236 @@
+module Isa = Deflection_isa.Isa
+module Asm = Deflection_isa.Asm
+module Codec = Deflection_isa.Codec
+open Isa
+
+(* Magic placeholders, following the paper's Figure 5 style. All of them
+   exceed 32 bits so the encoder is forced to use a fixed 8-byte immediate
+   field, which the imm rewriter can patch in place. *)
+let store_lower_magic = 0x3FFFFFFFFFFFFFFFL
+let store_upper_magic = 0x4FFFFFFFFFFFFFFFL
+let stack_lower_magic = 0x5FFFFFFFFFFFFFFFL
+let stack_upper_magic = 0x6FFFFFFFFFFFFFFFL
+let ss_cells_magic = 0x7FFFFFFFFFFFFF01L
+let branch_table_magic = 0x7FFFFFFFFFFFFF02L
+let branch_len_magic = 0x7FFFFFFFFFFFFF03L
+let ssa_marker_magic = 0x7FFFFFFFFFFFFF04L
+let marker_value = 0x5A5AC3C3DEADBEEFL
+
+let all_magics =
+  [
+    store_lower_magic; store_upper_magic; stack_lower_magic; stack_upper_magic;
+    ss_cells_magic; branch_table_magic; branch_len_magic; ssa_marker_magic;
+  ]
+
+let is_magic v = List.exists (Int64.equal v) all_magics
+
+type abort_reason = Store | Rsp | Cfi | Shadow_stack | Aex_budget | Colocation
+
+let all_abort_reasons = [ Store; Rsp; Cfi; Shadow_stack; Aex_budget; Colocation ]
+
+let abort_symbol = function
+  | Store -> "__abort_store"
+  | Rsp -> "__abort_rsp"
+  | Cfi -> "__abort_cfi"
+  | Shadow_stack -> "__abort_shadow_stack"
+  | Aex_budget -> "__abort_aex_budget"
+  | Colocation -> "__abort_colocation"
+
+let abort_exit_code = function
+  | Store -> -225L
+  | Rsp -> -226L
+  | Cfi -> -227L
+  | Shadow_stack -> -228L
+  | Aex_budget -> -229L
+  | Colocation -> -230L
+
+let abort_reason_of_exit_code code =
+  List.find_opt (fun r -> Int64.equal (abort_exit_code r) code) all_abort_reasons
+
+let pp_abort_reason fmt r = Format.pp_print_string fmt (abort_symbol r)
+let aex_handler_symbol = "__aex_handler"
+let start_symbol = "__start"
+
+type jump_dest = To_abort of abort_reason | Internal of int | To_aex_handler
+
+type slot =
+  | Exact of Isa.instr
+  | Jcc_to of Isa.cond * jump_dest
+  | Jmp_to of jump_dest
+  | Call_to of jump_dest
+
+let adjust_mem_for_pushes (m : mem) n =
+  match m.base with
+  | Some RSP -> { m with disp = Int64.add m.disp (Int64.of_int (8 * n)) }
+  | Some _ | None ->
+    (match m.index with
+    | Some RSP -> invalid_arg "Annot: RSP as index register is not supported"
+    | Some _ | None -> m)
+
+(* Figure 5: save scratch, compute effective address, compare against both
+   placeholder bounds, restore, then perform the store. *)
+let store_template m =
+  [
+    Exact (Push (Reg RBX));
+    Exact (Push (Reg RAX));
+    Exact (Lea (RAX, m));
+    Exact (Mov (Reg RBX, Imm store_lower_magic));
+    Exact (Cmp (Reg RAX, Reg RBX));
+    Jcc_to (B, To_abort Store);
+    Exact (Mov (Reg RBX, Imm store_upper_magic));
+    Exact (Cmp (Reg RAX, Reg RBX));
+    Jcc_to (AE, To_abort Store);
+    Exact (Pop RAX);
+    Exact (Pop RBX);
+  ]
+
+(* P2: register-free so the check itself cannot spill through a bad RSP. *)
+let rsp_template =
+  [
+    Exact (Cmp (Reg RSP, Imm stack_lower_magic));
+    Jcc_to (B, To_abort Rsp);
+    Exact (Cmp (Reg RSP, Imm stack_upper_magic));
+    Jcc_to (AE, To_abort Rsp);
+  ]
+
+let cfi_target_reg = R10
+
+(* Linear scan of the branch-target table for R10. Slots:
+     0 push rbx, 1 push rcx, 2 mov rbx,TABLE, 3 mov rcx,LEN, 4 test (loop
+     head), 5 je->abort, 6 cmp r10,[rbx], 7 je->11 (found), 8 add rbx,8,
+     9 sub rcx,1, 10 jmp->4, 11 pop rcx, 12 pop rbx. *)
+let cfi_template =
+  [
+    Exact (Push (Reg RBX));
+    Exact (Push (Reg RCX));
+    Exact (Mov (Reg RBX, Imm branch_table_magic));
+    Exact (Mov (Reg RCX, Imm branch_len_magic));
+    Exact (Test (Reg RCX, Reg RCX));
+    Jcc_to (E, To_abort Cfi);
+    Exact (Cmp (Reg cfi_target_reg, Mem (mem_of_reg RBX)));
+    Jcc_to (E, Internal 11);
+    Exact (Binop (Add, Reg RBX, Imm 8L));
+    Exact (Binop (Sub, Reg RCX, Imm 1L));
+    Jmp_to (Internal 4);
+    Exact (Pop RCX);
+    Exact (Pop RBX);
+  ]
+
+let shadow_stack_reg = R15
+
+(* Shadow-stack push at function entry. R15 is the reserved shadow-stack
+   top pointer (the verifier rejects any target-code write to it); after
+   the save of RAX the return address sits at [rsp+8]. *)
+let prologue_template =
+  [
+    Exact (Push (Reg RAX));
+    Exact (Mov (Reg RAX, Mem { base = Some RSP; index = None; scale = 1; disp = 8L }));
+    Exact (Mov (Mem (mem_of_reg shadow_stack_reg), Reg RAX));
+    Exact (Binop (Add, Reg shadow_stack_reg, Imm 8L));
+    Exact (Pop RAX);
+  ]
+
+let epilogue_template =
+  [
+    Exact (Push (Reg RAX));
+    Exact (Binop (Sub, Reg shadow_stack_reg, Imm 8L));
+    Exact (Mov (Reg RAX, Mem (mem_of_reg shadow_stack_reg)));
+    Exact (Cmp (Reg RAX, Mem { base = Some RSP; index = None; scale = 1; disp = 8L }));
+    Jcc_to (NE, To_abort Shadow_stack);
+    Exact (Pop RAX);
+    Exact Ret;
+  ]
+
+(* P6 marker inspection. Slots:
+   0 push rax, 1 mov rax,MARKER_ADDR, 2 mov rax,[rax],
+   3 cmp rax,MARKER, 4 je ->6, 5 call handler, 6 pop rax *)
+let ssa_template =
+  [
+    Exact (Push (Reg RAX));
+    Exact (Mov (Reg RAX, Imm ssa_marker_magic));
+    Exact (Mov (Reg RAX, Mem (mem_of_reg RAX)));
+    Exact (Cmp (Reg RAX, Imm marker_value));
+    Jcc_to (E, Internal 6);
+    Call_to To_aex_handler;
+    Exact (Pop RAX);
+  ]
+
+let abort_stub_items reason : Asm.item list =
+  [
+    Asm.Label (abort_symbol reason);
+    Asm.Ins (Mov (Reg RAX, Imm (abort_exit_code reason)));
+    Asm.Ins Hlt;
+  ]
+
+(* Cells at the rewritten ss_cells address: +0 shadow-stack top, +8 AEX
+   counter, +16 AEX threshold, +24 last co-location observation. *)
+let aex_handler_template =
+  [
+    Exact (Push (Reg RAX));
+    Exact (Push (Reg RBX));
+    Exact (Mov (Reg RAX, Imm ss_cells_magic));
+    Exact (Mov (Reg RBX, Mem { base = Some RAX; index = None; scale = 1; disp = 8L }));
+    Exact (Binop (Add, Reg RBX, Imm 1L));
+    Exact (Mov (Mem { base = Some RAX; index = None; scale = 1; disp = 8L }, Reg RBX));
+    Exact (Cmp (Reg RBX, Mem { base = Some RAX; index = None; scale = 1; disp = 16L }));
+    Jcc_to (A, To_abort Aex_budget);
+    Exact (Mov (Reg RBX, Imm ssa_marker_magic));
+    Exact (Mov (Mem (mem_of_reg RBX), Imm marker_value));
+    Exact (Mov (Reg RBX, Mem { base = Some RAX; index = None; scale = 1; disp = 24L }));
+    Exact (Test (Reg RBX, Reg RBX));
+    Jcc_to (E, To_abort Colocation);
+    Exact (Pop RBX);
+    Exact (Pop RAX);
+    Exact Ret;
+  ]
+
+let start_items ~entry : Asm.item list =
+  [ Asm.Label start_symbol; Asm.Ins (Call (Lab entry)); Asm.Ins Hlt ]
+
+let emit ~fresh_label slots : Asm.item list =
+  (* Assign a label to every Internal destination index. *)
+  let labels = Hashtbl.create 4 in
+  List.iter
+    (fun slot ->
+      let dest =
+        match slot with
+        | Jcc_to (_, d) | Jmp_to d | Call_to d -> Some d
+        | Exact _ -> None
+      in
+      match dest with
+      | Some (Internal i) when not (Hashtbl.mem labels i) -> Hashtbl.add labels i (fresh_label ())
+      | Some (Internal _) | Some (To_abort _) | Some To_aex_handler | None -> ())
+    slots;
+  let target_of = function
+    | To_abort r -> Lab (abort_symbol r)
+    | To_aex_handler -> Lab aex_handler_symbol
+    | Internal i -> Lab (Hashtbl.find labels i)
+  in
+  List.concat
+    (List.mapi
+       (fun i slot ->
+         let label_here =
+           match Hashtbl.find_opt labels i with Some l -> [ Asm.Label l ] | None -> []
+         in
+         let ins =
+           match slot with
+           | Exact instr -> Asm.Ins instr
+           | Jcc_to (c, d) -> Asm.Ins (Jcc (c, target_of d))
+           | Jmp_to d -> Asm.Ins (Jmp (target_of d))
+           | Call_to d -> Asm.Ins (Call (target_of d))
+         in
+         label_here @ [ ins ])
+       slots)
+
+let aex_handler_items : Asm.item list =
+  Asm.Label aex_handler_symbol
+  :: emit ~fresh_label:(fun () -> invalid_arg "aex handler has no internal labels")
+       aex_handler_template
+
+let slot_length = function
+  | Exact i -> Codec.encoded_length i
+  | Jcc_to (c, _) -> Codec.encoded_length (Jcc (c, Rel 0))
+  | Jmp_to _ -> Codec.encoded_length (Jmp (Rel 0))
+  | Call_to _ -> Codec.encoded_length (Call (Rel 0))
+
+let template_length slots = List.fold_left (fun acc s -> acc + slot_length s) 0 slots

@@ -1,0 +1,122 @@
+(** The security-annotation ABI.
+
+    This module is the single source of truth shared by the untrusted code
+    generator (which {e emits} annotations, paper Section IV-C) and the
+    trusted in-enclave verifier (which {e matches} them, Section IV-D).
+    Templates are expressed as slot lists; the emitter materializes slots
+    into instructions, the matcher checks a decoded window against them.
+
+    Annotation bounds are encoded as magic 64-bit immediates (the
+    0x3FFF…/0x4FFF… of the paper's Figure 5); the in-enclave imm rewriter
+    replaces them with real addresses after verification. *)
+
+(** {2 Magic placeholder immediates} *)
+
+module Isa = Deflection_isa.Isa
+module Asm = Deflection_isa.Asm
+
+val store_lower_magic : int64
+val store_upper_magic : int64
+val stack_lower_magic : int64
+val stack_upper_magic : int64
+val ss_cells_magic : int64  (** address of the shadow-stack runtime cells *)
+
+val branch_table_magic : int64  (** address of the indirect-branch table *)
+
+val branch_len_magic : int64  (** number of entries in that table *)
+
+val ssa_marker_magic : int64  (** address of the P6 SSA marker word *)
+
+val marker_value : int64
+(** The armed-marker constant (not a placeholder; never rewritten). *)
+
+val all_magics : int64 list
+val is_magic : int64 -> bool
+
+(** {2 Abort stubs and exit codes} *)
+
+type abort_reason = Store | Rsp | Cfi | Shadow_stack | Aex_budget | Colocation
+
+val all_abort_reasons : abort_reason list
+val abort_symbol : abort_reason -> string
+val abort_exit_code : abort_reason -> int64
+(** Negative and distinctive, so they cannot be confused with ordinary
+    program exit statuses. *)
+
+val abort_reason_of_exit_code : int64 -> abort_reason option
+val pp_abort_reason : Format.formatter -> abort_reason -> unit
+val aex_handler_symbol : string
+val start_symbol : string
+(** ["__start"]: the loader jumps here; it calls the program entry and
+    halts with its return value. *)
+
+(** {2 Templates} *)
+
+type jump_dest = To_abort of abort_reason | Internal of int | To_aex_handler
+
+(** One slot of a template: either an exact instruction or a direct branch
+    whose destination the matcher must resolve and check. *)
+type slot =
+  | Exact of Isa.instr
+  | Jcc_to of Isa.cond * jump_dest
+  | Jmp_to of jump_dest
+  | Call_to of jump_dest
+
+val store_template : Isa.mem -> slot list
+(** Bounds check on the effective address of a store destination (Fig. 5).
+    [mem] is the {e lea-adjusted} destination: if the original store is
+    RSP-based its displacement must already account for the two pushes
+    (see {!adjust_mem_for_pushes}). The guarded store itself is not part
+    of the template. *)
+
+val adjust_mem_for_pushes : Isa.mem -> int -> Isa.mem
+(** [adjust_mem_for_pushes m n] fixes up an RSP-relative operand for being
+    evaluated after [n] additional pushes. *)
+
+val rsp_template : slot list
+(** P2: placed after any instruction that explicitly writes RSP. *)
+
+val cfi_template : slot list
+(** P5 forward edge: linear scan of the branch table for the target held
+    in R10; falls through when found, aborts when exhausted. The indirect
+    branch itself follows the template. *)
+
+val cfi_target_reg : Isa.reg  (** R10 *)
+
+val shadow_stack_reg : Isa.reg
+(** R15: reserved as the shadow-stack top pointer. The loader initializes
+    it; the verifier rejects any target-code instruction that writes it
+    (P5). *)
+
+val prologue_template : slot list
+(** P5 backward edge, function entry: push the return address on the
+    shadow stack. *)
+
+val epilogue_template : slot list
+(** P5 backward edge, function exit: pop the shadow stack, compare with
+    the actual return address, abort on mismatch; ends with [Ret]. *)
+
+val ssa_template : slot list
+(** P6: inspect the SSA marker; call the AEX handler when clobbered. *)
+
+val aex_handler_template : slot list
+(** Body of the [__aex_handler] runtime stub, as slots so the verifier can
+    match it with the same machinery. *)
+
+val aex_handler_items : Asm.item list
+(** The [__aex_handler] runtime stub: counts the AEX, aborts over
+    threshold or on a failed co-location observation, re-arms the
+    marker. *)
+
+val abort_stub_items : abort_reason -> Asm.item list
+val start_items : entry:string -> Asm.item list
+
+val emit : fresh_label:(unit -> string) -> slot list -> Asm.item list
+(** Materialize a template into assembler items, generating fresh internal
+    labels for [Internal] destinations. *)
+
+val slot_length : slot -> int
+(** Encoded byte length of a slot (branch slots have fixed-size rel32
+    encodings, so this is well-defined before label resolution). *)
+
+val template_length : slot list -> int

@@ -1,0 +1,1 @@
+lib/attestation/attestation.ml: Bytes Deflection_crypto Deflection_util

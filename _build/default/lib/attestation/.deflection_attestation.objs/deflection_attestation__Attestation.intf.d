@@ -1,0 +1,1 @@
+lib/attestation/attestation.mli: Deflection_crypto Deflection_util

@@ -1,0 +1,1 @@
+lib/compiler/ast_printer.ml: Ast Float Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Ast Buffer Char Deflection_isa Format Hashtbl Int64 List Option Printf String

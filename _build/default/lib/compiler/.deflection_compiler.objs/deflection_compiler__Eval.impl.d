@@ -1,0 +1,1 @@
+lib/compiler/eval.ml: Array Ast Bytes Char Format Hashtbl Int64 List Option Stdlib

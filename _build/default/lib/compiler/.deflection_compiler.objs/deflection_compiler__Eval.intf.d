@@ -1,0 +1,1 @@
+lib/compiler/eval.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/compiler/frontend.ml: Ast Buffer Codegen Deflection_isa Deflection_policy Format Instrument Link List Opt Parser Printf

@@ -1,0 +1,1 @@
+lib/compiler/frontend.mli: Deflection_isa Deflection_policy Format

@@ -1,0 +1,1 @@
+lib/compiler/instrument.ml: Deflection_annot Deflection_isa Deflection_policy Hashtbl List Printf

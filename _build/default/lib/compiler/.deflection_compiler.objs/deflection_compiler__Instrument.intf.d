@@ -1,0 +1,1 @@
+lib/compiler/instrument.mli: Deflection_isa Deflection_policy

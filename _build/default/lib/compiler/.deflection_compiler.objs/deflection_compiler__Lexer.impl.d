@@ -1,0 +1,1 @@
+lib/compiler/lexer.ml: Ast Format Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/compiler/link.ml: Codegen Deflection_annot Deflection_isa Deflection_policy Instrument List

@@ -1,0 +1,1 @@
+lib/compiler/link.mli: Codegen Deflection_isa Deflection_policy

@@ -1,0 +1,1 @@
+lib/compiler/opt.ml: Ast Deflection_isa Int64 List Option

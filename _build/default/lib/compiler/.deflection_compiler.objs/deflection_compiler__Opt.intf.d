@@ -1,0 +1,1 @@
+lib/compiler/opt.mli: Ast Deflection_isa

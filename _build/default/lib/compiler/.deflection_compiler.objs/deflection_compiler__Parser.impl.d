@@ -1,0 +1,1 @@
+lib/compiler/parser.ml: Ast Int64 Lexer List Printf

@@ -1,0 +1,75 @@
+type pos = { line : int; col : int }
+
+let pp_pos fmt p = Format.fprintf fmt "%d:%d" p.line p.col
+
+type ty = Tint | Tfloat | Tfnptr | Tptr of ty
+
+let rec pp_ty fmt = function
+  | Tint -> Format.pp_print_string fmt "int"
+  | Tfloat -> Format.pp_print_string fmt "float"
+  | Tfnptr -> Format.pp_print_string fmt "fnptr"
+  | Tptr t -> Format.fprintf fmt "%a*" pp_ty t
+
+let rec ty_equal a b =
+  match (a, b) with
+  | Tint, Tint | Tfloat, Tfloat | Tfnptr, Tfnptr -> true
+  | Tptr x, Tptr y -> ty_equal x y
+  | (Tint | Tfloat | Tfnptr | Tptr _), _ -> false
+
+type unop = Neg | LogNot | BitNot
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | BitAnd | BitOr | BitXor | Shl | Shr
+  | LogAnd | LogOr
+
+type expr = { e : expr_node; pos : pos }
+
+and expr_node =
+  | IntLit of int64
+  | FloatLit of float
+  | Var of string
+  | Index of string * expr
+  | Call of string * expr list
+  | AddrOfFun of string
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Assign of lvalue * expr
+  | Cond of expr * expr * expr
+
+and lvalue = Lvar of string | Lindex of string * expr
+
+type stmt = { s : stmt_node; spos : pos }
+
+and stmt_node =
+  | Decl of ty * string * int option * expr option
+  | Expr of expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+
+type func = {
+  fname : string;
+  ret : ty;
+  params : (ty * string) list;
+  body : stmt list;
+  fpos : pos;
+}
+
+type global = {
+  gname : string;
+  gty : ty;
+  garray : int option;
+  ginit : int64 option;
+  gpos : pos;
+}
+
+type program = { globals : global list; funcs : func list }
+
+exception Error of pos * string
+
+let error pos msg = raise (Error (pos, msg))

@@ -1,0 +1,81 @@
+(** Abstract syntax of MiniC, the source language of the code generator.
+
+    MiniC is a small C subset rich enough to express the paper's workloads:
+    64-bit integers, IEEE floats, global/local arrays, pointers as function
+    parameters, function pointers ([fnptr], the feature that makes the
+    ASSIGNMENT benchmark exercise P5), and the OCall builtins
+    ([send]/[recv]/[print_int]). *)
+
+type pos = { line : int; col : int }
+
+val pp_pos : Format.formatter -> pos -> unit
+
+type ty =
+  | Tint
+  | Tfloat
+  | Tfnptr  (** pointer to function; called indirectly *)
+  | Tptr of ty  (** parameter pointing at an int/float array *)
+
+val pp_ty : Format.formatter -> ty -> unit
+val ty_equal : ty -> ty -> bool
+
+type unop = Neg | LogNot | BitNot
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | BitAnd | BitOr | BitXor | Shl | Shr
+  | LogAnd | LogOr
+
+type expr = { e : expr_node; pos : pos }
+
+and expr_node =
+  | IntLit of int64
+  | FloatLit of float
+  | Var of string
+  | Index of string * expr  (** [a\[i\]] *)
+  | Call of string * expr list
+      (** direct call to a function or builtin; if the callee names a
+          [fnptr] variable the call is indirect *)
+  | AddrOfFun of string  (** [&f] — makes [f] a legitimate indirect target *)
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Assign of lvalue * expr
+  | Cond of expr * expr * expr  (** [c ? a : b] *)
+
+and lvalue = Lvar of string | Lindex of string * expr
+
+type stmt = { s : stmt_node; spos : pos }
+
+and stmt_node =
+  | Decl of ty * string * int option * expr option
+      (** [ty x;] / [ty a\[n\];] / [ty x = e;] *)
+  | Expr of expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+
+type func = {
+  fname : string;
+  ret : ty;
+  params : (ty * string) list;
+  body : stmt list;
+  fpos : pos;
+}
+
+type global = {
+  gname : string;
+  gty : ty;
+  garray : int option;  (** [Some n] for [ty g\[n\];] *)
+  ginit : int64 option;  (** raw initial bits for scalars *)
+  gpos : pos;
+}
+
+type program = { globals : global list; funcs : func list }
+
+exception Error of pos * string
+
+val error : pos -> string -> 'a

@@ -1,0 +1,110 @@
+open Ast
+
+let rec ty_str = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tfnptr -> "fnptr"
+  | Tptr t -> ty_str t ^ "*"
+
+let unop_str = function Neg -> "-" | LogNot -> "!" | BitNot -> "~"
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Neq -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | BitAnd -> "&" | BitOr -> "|" | BitXor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | LogAnd -> "&&" | LogOr -> "||"
+
+(* The lexer requires float literals of the form digits '.' digits
+   [exponent], so normalize %.17g output accordingly. *)
+let float_literal f =
+  let s = Printf.sprintf "%.17g" f in
+  if String.contains s '.' then s
+  else
+    match String.index_opt s 'e' with
+    | Some i -> String.sub s 0 i ^ ".0" ^ String.sub s i (String.length s - i)
+    | None -> s ^ ".0"
+
+(* Fully parenthesized: correctness over prettiness. *)
+let rec expr_to_string (e : expr) =
+  match e.e with
+  | IntLit v -> if Int64.compare v 0L < 0 then Printf.sprintf "(0 - %Ld)" (Int64.neg v) else Int64.to_string v
+  | FloatLit f ->
+    if f < 0.0 then Printf.sprintf "(0.0 - %s)" (float_literal (Float.abs f))
+    else float_literal f
+  | Var v -> v
+  | Index (a, i) -> Printf.sprintf "%s[%s]" a (expr_to_string i)
+  | Call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_to_string args))
+  | AddrOfFun f -> "&" ^ f
+  | Unary (op, a) -> Printf.sprintf "(%s%s)" (unop_str op) (expr_to_string a)
+  | Binary (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_str op) (expr_to_string b)
+  | Assign (Lvar v, rhs) -> Printf.sprintf "%s = %s" v (expr_to_string rhs)
+  | Assign (Lindex (a, i), rhs) ->
+    Printf.sprintf "%s[%s] = %s" a (expr_to_string i) (expr_to_string rhs)
+  | Cond (c, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)" (expr_to_string c) (expr_to_string a) (expr_to_string b)
+
+let rec stmt_to_lines indent (s : stmt) : string list =
+  let pad = String.make indent ' ' in
+  match s.s with
+  | Decl (ty, name, arr, init) ->
+    let arr_str = match arr with Some n -> Printf.sprintf "[%d]" n | None -> "" in
+    let init_str = match init with Some e -> " = " ^ expr_to_string e | None -> "" in
+    [ Printf.sprintf "%s%s %s%s%s;" pad (ty_str ty) name arr_str init_str ]
+  | Expr e -> [ Printf.sprintf "%s%s;" pad (expr_to_string e) ]
+  | If (c, a, b) ->
+    let head = Printf.sprintf "%sif (%s) {" pad (expr_to_string c) in
+    let mid = List.concat_map (stmt_to_lines (indent + 2)) a in
+    if b = [] then (head :: mid) @ [ pad ^ "}" ]
+    else
+      (head :: mid)
+      @ [ pad ^ "} else {" ]
+      @ List.concat_map (stmt_to_lines (indent + 2)) b
+      @ [ pad ^ "}" ]
+  | While (c, body) ->
+    (Printf.sprintf "%swhile (%s) {" pad (expr_to_string c)
+    :: List.concat_map (stmt_to_lines (indent + 2)) body)
+    @ [ pad ^ "}" ]
+  | For (init, cond, step, body) ->
+    let clause = function
+      | None -> ""
+      | Some ({ s = Decl _; _ } as st') -> (
+        match stmt_to_lines 0 st' with
+        | [ line ] -> String.sub line 0 (String.length line - 1) (* drop ';' *)
+        | _ -> assert false)
+      | Some { s = Expr e; _ } -> expr_to_string e
+      | Some _ -> assert false
+    in
+    (Printf.sprintf "%sfor (%s; %s; %s) {" pad (clause init)
+       (match cond with Some c -> expr_to_string c | None -> "")
+       (clause step)
+    :: List.concat_map (stmt_to_lines (indent + 2)) body)
+    @ [ pad ^ "}" ]
+  | Return (Some e) -> [ Printf.sprintf "%sreturn %s;" pad (expr_to_string e) ]
+  | Return None -> [ pad ^ "return;" ]
+  | Break -> [ pad ^ "break;" ]
+  | Continue -> [ pad ^ "continue;" ]
+
+let func_to_lines (f : func) =
+  let params =
+    String.concat ", " (List.map (fun (ty, n) -> ty_str ty ^ " " ^ n) f.params)
+  in
+  (Printf.sprintf "%s %s(%s) {" (ty_str f.ret) f.fname params
+  :: List.concat_map (stmt_to_lines 2) f.body)
+  @ [ "}" ]
+
+let global_to_line (g : global) =
+  let arr = match g.garray with Some n -> Printf.sprintf "[%d]" n | None -> "" in
+  let init =
+    match (g.ginit, g.gty) with
+    | None, _ -> ""
+    | Some bits, Tfloat -> " = " ^ float_literal (Int64.float_of_bits bits)
+    | Some v, _ -> Printf.sprintf " = %Ld" v
+  in
+  Printf.sprintf "%s %s%s%s;" (ty_str g.gty) g.gname arr init
+
+let program_to_string (p : program) =
+  String.concat "\n"
+    (List.map global_to_line p.globals @ List.concat_map func_to_lines p.funcs)
+  ^ "\n"

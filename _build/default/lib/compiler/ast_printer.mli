@@ -1,0 +1,7 @@
+(** Pretty-printer from the AST back to MiniC source. [Parser.parse] of the
+    output reproduces the AST (modulo positions), which the property tests
+    exercise; the differential tests use it to feed generated ASTs through
+    the full source-level pipeline. *)
+
+val expr_to_string : Ast.expr -> string
+val program_to_string : Ast.program -> string

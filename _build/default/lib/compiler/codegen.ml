@@ -1,0 +1,778 @@
+module Isa = Deflection_isa.Isa
+module Asm = Deflection_isa.Asm
+open Ast
+open Isa
+
+type output = {
+  items : Asm.item list;
+  data : bytes;
+  data_symbols : (string * int) list;
+  fun_symbols : string list;
+  branch_targets : string list;
+  entry : string;
+}
+
+let builtin_names =
+  [ "print_int"; "send"; "recv"; "sqrtf"; "itof"; "ftoi"; "exit"; "oram_read"; "oram_write" ]
+
+let ocall_send = 0
+let ocall_recv = 1
+let ocall_print = 2
+let ocall_oram_read = 3
+let ocall_oram_write = 4
+
+let pool = [ RAX; RDX; RSI; RDI; R8; R9 ]
+
+(* Registers that home scalar locals (callee-saved by our convention; RBX
+   is safe because every annotation template saves and restores it). *)
+let local_regs = [ R12; R13; R14; RBX ]
+let arg_regs = [ RDI; RSI; RDX; RCX; R8; R9 ]
+
+type var_info =
+  | Local of { off : int; ty : ty }  (** scalar or pointer value at [rbp-off] *)
+  | Local_reg of { reg : reg; ty : ty }  (** register-homed scalar local *)
+  | Local_array of { off : int; elem : ty; size : int }
+  | Global of { ty : ty }
+  | Global_array of { elem : ty; size : int }
+
+type fun_info = { ret : ty; param_tys : ty list }
+
+type env = {
+  globals : (string, var_info) Hashtbl.t;
+  funs : (string, fun_info) Hashtbl.t;
+  mutable locals : (string, var_info) Hashtbl.t;
+  mutable items : Asm.item list;  (** reversed *)
+  mutable avail : reg list;
+  mutable vstack : reg list;  (** registers in use, most recent first *)
+  mutable label_counter : int;
+  mutable break_labels : string list;
+  mutable continue_labels : string list;
+  mutable exit_label : string;
+  mutable taken : string list;  (** address-taken functions *)
+}
+
+let emit env i = env.items <- Asm.Ins i :: env.items
+let place_label env l = env.items <- Asm.Label l :: env.items
+
+let fresh env prefix =
+  env.label_counter <- env.label_counter + 1;
+  Printf.sprintf ".L%s%d" prefix env.label_counter
+
+let alloc env pos =
+  match env.avail with
+  | [] -> error pos "expression too deep (register pool exhausted); simplify the expression"
+  | r :: rest ->
+    env.avail <- rest;
+    env.vstack <- r :: env.vstack;
+    r
+
+let release env r =
+  env.vstack <- List.filter (fun x -> x <> r) env.vstack;
+  if not (List.mem r env.avail) then env.avail <- r :: env.avail
+
+let is_intlike = function Tint | Tfnptr | Tptr _ -> true | Tfloat -> false
+
+let lookup_var env pos name =
+  match Hashtbl.find_opt env.locals name with
+  | Some v -> v
+  | None ->
+    (match Hashtbl.find_opt env.globals name with
+    | Some v -> v
+    | None -> error pos ("unknown variable " ^ name))
+
+let rbp_slot off = Mem { base = Some RBP; index = None; scale = 1; disp = Int64.of_int (-off) }
+
+(* Load the base address of an indexable variable into a fresh register. *)
+let load_base env pos name =
+  match lookup_var env pos name with
+  | Local_array { off; elem; _ } ->
+    let r = alloc env pos in
+    emit env (Lea (r, { base = Some RBP; index = None; scale = 1; disp = Int64.of_int (-off) }));
+    (r, elem)
+  | Global_array { elem; _ } ->
+    let r = alloc env pos in
+    emit env (Mov (Reg r, Sym name));
+    (r, elem)
+  | Local { off; ty = Tptr elem } ->
+    let r = alloc env pos in
+    emit env (Mov (Reg r, rbp_slot off));
+    (r, elem)
+  | Local_reg { reg; ty = Tptr elem } ->
+    let r = alloc env pos in
+    emit env (Mov (Reg r, Reg reg));
+    (r, elem)
+  | Local { ty; _ } | Local_reg { ty; _ } | Global { ty } ->
+    error pos (Format.asprintf "%s has type %a and cannot be indexed" name pp_ty ty)
+
+(* Materialize the current flags condition as 0/1 in register [r]. *)
+let materialize_cond env r cond =
+  let l = fresh env "cc" in
+  emit env (Mov (Reg r, Imm 1L));
+  emit env (Jcc (cond, Lab l));
+  emit env (Mov (Reg r, Imm 0L));
+  place_label env l
+
+let int_cond = function
+  | Eq -> E | Neq -> NE | Lt -> L | Le -> LE | Gt -> G | Ge -> GE
+  | Add | Sub | Mul | Div | Mod | BitAnd | BitOr | BitXor | Shl | Shr | LogAnd | LogOr ->
+    invalid_arg "int_cond"
+
+let float_cond = function
+  | Eq -> E | Neq -> NE | Lt -> B | Le -> BE | Gt -> A | Ge -> AE
+  | Add | Sub | Mul | Div | Mod | BitAnd | BitOr | BitXor | Shl | Shr | LogAnd | LogOr ->
+    invalid_arg "float_cond"
+
+let is_cmp = function
+  | Eq | Neq | Lt | Le | Gt | Ge -> true
+  | Add | Sub | Mul | Div | Mod | BitAnd | BitOr | BitXor | Shl | Shr | LogAnd | LogOr -> false
+
+(* ------------------------------------------------------------------ *)
+(* Expressions. [eval] returns the result register and its type. *)
+
+let rec eval env (ex : expr) : reg * ty =
+  let pos = ex.pos in
+  match ex.e with
+  | IntLit v ->
+    let r = alloc env pos in
+    emit env (Mov (Reg r, Imm v));
+    (r, Tint)
+  | FloatLit f ->
+    let r = alloc env pos in
+    emit env (Mov (Reg r, Imm (Int64.bits_of_float f)));
+    (r, Tfloat)
+  | Var name ->
+    (match lookup_var env pos name with
+    | Local { off; ty } ->
+      let r = alloc env pos in
+      emit env (Mov (Reg r, rbp_slot off));
+      (r, ty)
+    | Local_reg { reg; ty } ->
+      let r = alloc env pos in
+      emit env (Mov (Reg r, Reg reg));
+      (r, ty)
+    | Local_array { off; elem; _ } ->
+      let r = alloc env pos in
+      emit env (Lea (r, { base = Some RBP; index = None; scale = 1; disp = Int64.of_int (-off) }));
+      (r, Tptr elem)
+    | Global { ty } ->
+      let r = alloc env pos in
+      emit env (Mov (Reg r, Sym name));
+      emit env (Mov (Reg r, Mem (mem_of_reg r)));
+      (r, ty)
+    | Global_array { elem; _ } ->
+      let r = alloc env pos in
+      emit env (Mov (Reg r, Sym name));
+      (r, Tptr elem))
+  | Index (name, idx) ->
+    let ri, ity = eval env idx in
+    if not (is_intlike ity) then error idx.pos "array index must be an integer";
+    let rb, elem = load_base env pos name in
+    emit env (Mov (Reg rb, Mem { base = Some rb; index = Some ri; scale = 8; disp = 0L }));
+    release env ri;
+    (rb, elem)
+  | AddrOfFun f ->
+    if not (Hashtbl.mem env.funs f) then error pos ("&" ^ f ^ ": unknown function");
+    if not (List.mem f env.taken) then env.taken <- f :: env.taken;
+    let r = alloc env pos in
+    emit env (Mov (Reg r, Sym f));
+    (r, Tfnptr)
+  | Unary (op, sub) ->
+    let r, ty = eval env sub in
+    (match (op, ty) with
+    | Neg, Tint ->
+      emit env (Unop (Neg, Reg r));
+      (r, Tint)
+    | Neg, Tfloat ->
+      let rz = alloc env pos in
+      emit env (Mov (Reg rz, Imm (Int64.bits_of_float 0.0)));
+      emit env (Fbin (FSub, rz, Reg r));
+      release env r;
+      (rz, Tfloat)
+    | LogNot, t when is_intlike t ->
+      emit env (Cmp (Reg r, Imm 0L));
+      materialize_cond env r E;
+      (r, Tint)
+    | BitNot, Tint ->
+      emit env (Unop (Not, Reg r));
+      (r, Tint)
+    | (Neg | LogNot | BitNot), _ ->
+      error pos (Format.asprintf "invalid operand type %a for unary operator" pp_ty ty))
+  | Binary (LogAnd, a, b) ->
+    let ra, ta = eval env a in
+    if not (is_intlike ta) then error a.pos "&& requires integer operands";
+    let lfalse = fresh env "andf" and lend = fresh env "ande" in
+    emit env (Cmp (Reg ra, Imm 0L));
+    emit env (Jcc (E, Lab lfalse));
+    let rb, tb = eval env b in
+    if not (is_intlike tb) then error b.pos "&& requires integer operands";
+    emit env (Cmp (Reg rb, Imm 0L));
+    release env rb;
+    emit env (Jcc (E, Lab lfalse));
+    emit env (Mov (Reg ra, Imm 1L));
+    emit env (Jmp (Lab lend));
+    place_label env lfalse;
+    emit env (Mov (Reg ra, Imm 0L));
+    place_label env lend;
+    (ra, Tint)
+  | Binary (LogOr, a, b) ->
+    let ra, ta = eval env a in
+    if not (is_intlike ta) then error a.pos "|| requires integer operands";
+    let ltrue = fresh env "ort" and lend = fresh env "ore" in
+    emit env (Cmp (Reg ra, Imm 0L));
+    emit env (Jcc (NE, Lab ltrue));
+    let rb, tb = eval env b in
+    if not (is_intlike tb) then error b.pos "|| requires integer operands";
+    emit env (Cmp (Reg rb, Imm 0L));
+    release env rb;
+    emit env (Jcc (NE, Lab ltrue));
+    emit env (Mov (Reg ra, Imm 0L));
+    emit env (Jmp (Lab lend));
+    place_label env ltrue;
+    emit env (Mov (Reg ra, Imm 1L));
+    place_label env lend;
+    (ra, Tint)
+  | Binary (op, a, b) ->
+    let ra, ta = eval env a in
+    let rb, tb = eval env b in
+    let float_op = ty_equal ta Tfloat || ty_equal tb Tfloat in
+    if float_op && not (ty_equal ta Tfloat && ty_equal tb Tfloat) then
+      error pos "cannot mix int and float operands (use itof/ftoi)";
+    if is_cmp op then begin
+      if float_op then begin
+        emit env (Fcmp (ra, Reg rb));
+        release env rb;
+        materialize_cond env ra (float_cond op);
+        (ra, Tint)
+      end
+      else begin
+        emit env (Cmp (Reg ra, Reg rb));
+        release env rb;
+        materialize_cond env ra (int_cond op);
+        (ra, Tint)
+      end
+    end
+    else if float_op then begin
+      let f =
+        match op with
+        | Add -> FAdd
+        | Sub -> FSub
+        | Mul -> FMul
+        | Div -> FDiv
+        | Mod | Eq | Neq | Lt | Le | Gt | Ge | BitAnd | BitOr | BitXor | Shl | Shr
+        | LogAnd | LogOr ->
+          error pos "operator not defined on floats"
+      in
+      emit env (Fbin (f, ra, Reg rb));
+      release env rb;
+      (ra, Tfloat)
+    end
+    else begin
+      (match op with
+      | Add -> emit env (Binop (Add, Reg ra, Reg rb))
+      | Sub -> emit env (Binop (Sub, Reg ra, Reg rb))
+      | Mul -> emit env (Binop (Imul, Reg ra, Reg rb))
+      | BitAnd -> emit env (Binop (And, Reg ra, Reg rb))
+      | BitOr -> emit env (Binop (Or, Reg ra, Reg rb))
+      | BitXor -> emit env (Binop (Xor, Reg ra, Reg rb))
+      | Div | Mod ->
+        (* RAX/RDX convention, routed through R11 so any pool register works *)
+        emit env (Mov (Reg R11, Reg rb));
+        emit env (Push (Reg RAX));
+        emit env (Push (Reg RDX));
+        emit env (Mov (Reg RAX, Reg ra));
+        emit env (Idiv (Reg R11));
+        emit env (Mov (Reg R11, Reg (if op = Div then RAX else RDX)));
+        emit env (Pop RDX);
+        emit env (Pop RAX);
+        emit env (Mov (Reg ra, Reg R11))
+      | Shl | Shr ->
+        emit env (Mov (Reg R11, Reg rb));
+        emit env (Push (Reg RCX));
+        emit env (Mov (Reg RCX, Reg R11));
+        (* >> is arithmetic, matching C on signed integers *)
+        emit env (Shift ((if op = Shl then Shl else Sar), Reg ra, Reg RCX));
+        emit env (Pop RCX)
+      | Eq | Neq | Lt | Le | Gt | Ge | LogAnd | LogOr -> assert false);
+      release env rb;
+      (ra, Tint)
+    end
+  | Assign (lv, rhs) ->
+    let rv, vty = eval env rhs in
+    store_lvalue env pos lv rv vty;
+    (rv, vty)
+  | Cond (c, a, b) ->
+    let rc, tc = eval env c in
+    if not (is_intlike tc) then error c.pos "condition must be an integer";
+    let lelse = fresh env "celse" and lend = fresh env "cend" in
+    emit env (Cmp (Reg rc, Imm 0L));
+    emit env (Jcc (E, Lab lelse));
+    let ra, ta = eval env a in
+    emit env (Mov (Reg rc, Reg ra));
+    release env ra;
+    emit env (Jmp (Lab lend));
+    place_label env lelse;
+    let rb, tb = eval env b in
+    if not (ty_equal ta tb) then error pos "branches of ?: must have the same type";
+    emit env (Mov (Reg rc, Reg rb));
+    release env rb;
+    place_label env lend;
+    (rc, ta)
+  | Call (name, args) -> eval_call env pos name args
+
+and store_lvalue env pos lv rv vty =
+  match lv with
+  | Lvar name ->
+    (match lookup_var env pos name with
+    | Local { off; ty } ->
+      if not (ty_equal ty vty) then
+        error pos (Format.asprintf "cannot assign %a to %s: %a" pp_ty vty name pp_ty ty);
+      emit env (Mov (rbp_slot off, Reg rv))
+    | Local_reg { reg; ty } ->
+      if not (ty_equal ty vty) then
+        error pos (Format.asprintf "cannot assign %a to %s: %a" pp_ty vty name pp_ty ty);
+      emit env (Mov (Reg reg, Reg rv))
+    | Global { ty } ->
+      if not (ty_equal ty vty) then
+        error pos (Format.asprintf "cannot assign %a to %s: %a" pp_ty vty name pp_ty ty);
+      let rb = alloc env pos in
+      emit env (Mov (Reg rb, Sym name));
+      emit env (Mov (Mem (mem_of_reg rb), Reg rv));
+      release env rb
+    | Local_array _ | Global_array _ -> error pos ("cannot assign to array " ^ name))
+  | Lindex (name, idx) ->
+    let ri, ity = eval env idx in
+    if not (is_intlike ity) then error idx.pos "array index must be an integer";
+    let rb, elem = load_base env pos name in
+    if not (ty_equal elem vty) then
+      error pos (Format.asprintf "cannot store %a into %s[] of %a" pp_ty vty name pp_ty elem);
+    emit env (Mov (Mem { base = Some rb; index = Some ri; scale = 8; disp = 0L }, Reg rv));
+    release env rb;
+    release env ri
+
+(* Calls: save the live part of the register pool, evaluate arguments onto
+   the machine stack, pop them into the argument registers, perform the
+   transfer, shuttle the result through R11, restore. *)
+and eval_call env pos name args : reg * ty =
+  let builtin_inline =
+    match (name, args) with
+    | "sqrtf", [ a ] ->
+      let r, t = eval env a in
+      if not (ty_equal t Tfloat) then error pos "sqrtf expects a float";
+      emit env (Fsqrt (r, Reg r));
+      Some (r, Tfloat)
+    | "itof", [ a ] ->
+      let r, t = eval env a in
+      if not (is_intlike t) then error pos "itof expects an int";
+      emit env (Cvtsi2sd (r, Reg r));
+      Some (r, Tfloat)
+    | "ftoi", [ a ] ->
+      let r, t = eval env a in
+      if not (ty_equal t Tfloat) then error pos "ftoi expects a float";
+      emit env (Cvttsd2si (r, Reg r));
+      Some (r, Tint)
+    | "exit", [ a ] ->
+      let r, t = eval env a in
+      if not (is_intlike t) then error pos "exit expects an int";
+      emit env (Mov (Reg RAX, Reg r));
+      emit env Hlt;
+      Some (r, Tint)
+    | ("sqrtf" | "itof" | "ftoi" | "exit"), _ ->
+      error pos (name ^ ": wrong number of arguments")
+    | _ -> None
+  in
+  match builtin_inline with
+  | Some result -> result
+  | None ->
+    let kind =
+      if name = "print_int" then `Ocall (ocall_print, 1, Tint)
+      else if name = "send" then `Ocall (ocall_send, 2, Tint)
+      else if name = "recv" then `Ocall (ocall_recv, 2, Tint)
+      else if name = "oram_read" then `Ocall (ocall_oram_read, 1, Tint)
+      else if name = "oram_write" then `Ocall (ocall_oram_write, 2, Tint)
+      else begin
+        match Hashtbl.find_opt env.funs name with
+        | Some fi -> `Direct fi
+        | None ->
+          let as_var =
+            match Hashtbl.find_opt env.locals name with
+            | Some v -> Some v
+            | None -> Hashtbl.find_opt env.globals name
+          in
+          (match as_var with
+          | Some (Local { ty = Tfnptr; off }) -> `Indirect (rbp_slot off)
+          | Some (Local_reg { ty = Tfnptr; reg }) -> `Indirect (Reg reg)
+          | Some (Local _ | Local_reg _ | Local_array _ | Global _ | Global_array _) | None ->
+            error pos (name ^ " is neither a function nor a fnptr variable"))
+      end
+    in
+    let nargs = List.length args in
+    if nargs > List.length arg_regs then error pos "too many arguments (max 6)";
+    (match kind with
+    | `Ocall (_, expected, _) ->
+      if nargs <> expected then error pos (name ^ ": wrong number of arguments")
+    | `Direct fi ->
+      if nargs <> List.length fi.param_tys then error pos (name ^ ": wrong number of arguments")
+    | `Indirect _ -> ());
+    (* save live registers *)
+    let busy = env.vstack in
+    List.iter (fun r -> emit env (Push (Reg r))) busy;
+    let saved_avail = env.avail and saved_vstack = env.vstack in
+    env.avail <- pool;
+    env.vstack <- [];
+    (* evaluate arguments, leaving each on the machine stack *)
+    let arg_tys =
+      List.map
+        (fun a ->
+          let r, t = eval env a in
+          emit env (Push (Reg r));
+          release env r;
+          t)
+        args
+    in
+    (match kind with
+    | `Direct fi ->
+      List.iteri
+        (fun i (expect, got) ->
+          if not (ty_equal expect got) then
+            error pos
+              (Format.asprintf "%s: argument %d has type %a, expected %a" name (i + 1) pp_ty got
+                 pp_ty expect))
+        (List.combine fi.param_tys arg_tys)
+    | `Ocall _ | `Indirect _ -> ());
+    (* pop arguments into the argument registers, last argument first *)
+    let used_arg_regs = List.filteri (fun i _ -> i < nargs) arg_regs in
+    List.iter (fun r -> emit env (Pop r)) (List.rev used_arg_regs);
+    let ret_ty =
+      match kind with
+      | `Direct fi ->
+        emit env (Call (Lab name));
+        fi.ret
+      | `Indirect src ->
+        emit env (Mov (Reg R10, src));
+        emit env (CallInd (Reg R10));
+        Tint
+      | `Ocall (n, _, rt) ->
+        emit env (Ocall n);
+        rt
+    in
+    emit env (Mov (Reg R11, Reg RAX));
+    env.avail <- saved_avail;
+    env.vstack <- saved_vstack;
+    List.iter (fun r -> emit env (Pop r)) (List.rev busy);
+    let rd = alloc env pos in
+    emit env (Mov (Reg rd, Reg R11));
+    (rd, ret_ty)
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let rec gen_stmt env (st : stmt) =
+  match st.s with
+  | Decl (_, name, _, init) ->
+    (match init with
+    | None -> ()
+    | Some e ->
+      (match Hashtbl.find_opt env.locals name with
+      | Some (Local { off; ty }) ->
+        let rv, vty = eval env e in
+        if not (ty_equal ty vty) then
+          error st.spos (Format.asprintf "initializer of %s has type %a, expected %a" name pp_ty vty pp_ty ty);
+        emit env (Mov (rbp_slot off, Reg rv));
+        release env rv
+      | Some (Local_reg { reg; ty }) ->
+        let rv, vty = eval env e in
+        if not (ty_equal ty vty) then
+          error st.spos (Format.asprintf "initializer of %s has type %a, expected %a" name pp_ty vty pp_ty ty);
+        emit env (Mov (Reg reg, Reg rv));
+        release env rv
+      | Some (Local_array _) -> error st.spos "array declarations cannot have initializers"
+      | Some (Global _ | Global_array _) | None -> assert false))
+  | Expr e ->
+    let r, _ = eval env e in
+    release env r
+  | If (c, then_, else_) ->
+    let rc, tc = eval env c in
+    if not (is_intlike tc) then error c.pos "condition must be an integer";
+    emit env (Cmp (Reg rc, Imm 0L));
+    release env rc;
+    let lelse = fresh env "ifelse" and lend = fresh env "ifend" in
+    emit env (Jcc (E, Lab lelse));
+    List.iter (gen_stmt env) then_;
+    emit env (Jmp (Lab lend));
+    place_label env lelse;
+    List.iter (gen_stmt env) else_;
+    place_label env lend
+  | While (c, body) ->
+    let lcond = fresh env "wcond" and lend = fresh env "wend" in
+    place_label env lcond;
+    let rc, tc = eval env c in
+    if not (is_intlike tc) then error c.pos "condition must be an integer";
+    emit env (Cmp (Reg rc, Imm 0L));
+    release env rc;
+    emit env (Jcc (E, Lab lend));
+    env.break_labels <- lend :: env.break_labels;
+    env.continue_labels <- lcond :: env.continue_labels;
+    List.iter (gen_stmt env) body;
+    env.break_labels <- List.tl env.break_labels;
+    env.continue_labels <- List.tl env.continue_labels;
+    emit env (Jmp (Lab lcond));
+    place_label env lend
+  | For (init, cond, step, body) ->
+    (match init with Some s -> gen_stmt env s | None -> ());
+    let lcond = fresh env "fcond" and lstep = fresh env "fstep" and lend = fresh env "fend" in
+    place_label env lcond;
+    (match cond with
+    | Some c ->
+      let rc, tc = eval env c in
+      if not (is_intlike tc) then error c.pos "condition must be an integer";
+      emit env (Cmp (Reg rc, Imm 0L));
+      release env rc;
+      emit env (Jcc (E, Lab lend))
+    | None -> ());
+    env.break_labels <- lend :: env.break_labels;
+    env.continue_labels <- lstep :: env.continue_labels;
+    List.iter (gen_stmt env) body;
+    env.break_labels <- List.tl env.break_labels;
+    env.continue_labels <- List.tl env.continue_labels;
+    place_label env lstep;
+    (match step with Some s -> gen_stmt env s | None -> ());
+    emit env (Jmp (Lab lcond));
+    place_label env lend
+  | Return e ->
+    (match e with
+    | Some e ->
+      let r, _ = eval env e in
+      emit env (Mov (Reg RAX, Reg r));
+      release env r
+    | None -> emit env (Mov (Reg RAX, Imm 0L)));
+    emit env (Jmp (Lab env.exit_label))
+  | Break ->
+    (match env.break_labels with
+    | l :: _ -> emit env (Jmp (Lab l))
+    | [] -> error st.spos "break outside of a loop")
+  | Continue ->
+    (match env.continue_labels with
+    | l :: _ -> emit env (Jmp (Lab l))
+    | [] -> error st.spos "continue outside of a loop")
+
+(* ------------------------------------------------------------------ *)
+(* Frame layout. MiniC locals are function-scoped. The most frequently
+   referenced scalar locals are homed in callee-saved registers (the
+   equivalent of what -O2 register allocation gives the paper's LLVM
+   pipeline); arrays and the remaining scalars live at [rbp-off]. Returns
+   the frame size and the local-homing registers the function must save. *)
+
+let count_refs (f : func) =
+  let counts = Hashtbl.create 16 in
+  let bump name = Hashtbl.replace counts name (1 + Option.value ~default:0 (Hashtbl.find_opt counts name)) in
+  let rec walk_expr (e : expr) =
+    match e.e with
+    | IntLit _ | FloatLit _ | AddrOfFun _ -> ()
+    | Var n -> bump n
+    | Index (n, i) ->
+      bump n;
+      walk_expr i
+    | Call (n, args) ->
+      bump n;
+      List.iter walk_expr args
+    | Unary (_, a) -> walk_expr a
+    | Binary (_, a, b) ->
+      walk_expr a;
+      walk_expr b
+    | Assign (lv, a) ->
+      (match lv with
+      | Lvar n -> bump n
+      | Lindex (n, i) ->
+        bump n;
+        walk_expr i);
+      walk_expr a
+    | Cond (c, a, b) ->
+      walk_expr c;
+      walk_expr a;
+      walk_expr b
+  in
+  let rec walk_stmt (st : stmt) =
+    match st.s with
+    | Decl (_, n, _, init) ->
+      bump n;
+      (match init with Some e -> walk_expr e | None -> ())
+    | Expr e -> walk_expr e
+    | If (c, a, b) ->
+      walk_expr c;
+      List.iter walk_stmt a;
+      List.iter walk_stmt b
+    | While (c, b) ->
+      walk_expr c;
+      List.iter walk_stmt b
+    | For (i, c, stp, b) ->
+      (match i with Some st' -> walk_stmt st' | None -> ());
+      (match c with Some e -> walk_expr e | None -> ());
+      (match stp with Some st' -> walk_stmt st' | None -> ());
+      List.iter walk_stmt b
+    | Return (Some e) -> walk_expr e
+    | Return None | Break | Continue -> ()
+  in
+  List.iter walk_stmt f.body;
+  counts
+
+let collect_locals env (f : func) =
+  env.locals <- Hashtbl.create 16;
+  (* pass 1: gather declarations *)
+  let decls = ref [] in
+  let add pos name ty arr = decls := (pos, name, ty, arr) :: !decls in
+  List.iter (fun (ty, name) -> add f.fpos name ty None) f.params;
+  let rec scan_stmt (st : stmt) =
+    match st.s with
+    | Decl (ty, name, arr, _) ->
+      (match arr with
+      | Some n ->
+        if n <= 0 then error st.spos "array size must be positive";
+        (match ty with
+        | Tint | Tfloat | Tfnptr -> add st.spos name ty (Some n)
+        | Tptr _ -> error st.spos "arrays of pointers are not supported")
+      | None -> add st.spos name ty None)
+    | If (_, a, b) ->
+      List.iter scan_stmt a;
+      List.iter scan_stmt b
+    | While (_, b) -> List.iter scan_stmt b
+    | For (i, _, s, b) ->
+      (match i with Some st' -> scan_stmt st' | None -> ());
+      (match s with Some st' -> scan_stmt st' | None -> ());
+      List.iter scan_stmt b
+    | Expr _ | Return _ | Break | Continue -> ()
+  in
+  List.iter scan_stmt f.body;
+  let decls = List.rev !decls in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (pos, name, _, _) ->
+      if Hashtbl.mem seen name then error pos ("duplicate local " ^ name);
+      Hashtbl.add seen name ())
+    decls;
+  (* pass 2: registers to the hottest scalars, stack slots to the rest *)
+  let refs = count_refs f in
+  let hotness name = Option.value ~default:0 (Hashtbl.find_opt refs name) in
+  let scalars = List.filter (fun (_, _, _, arr) -> arr = None) decls in
+  let ranked =
+    List.stable_sort (fun (_, a, _, _) (_, b, _, _) -> compare (hotness b) (hotness a)) scalars
+  in
+  let reg_homed =
+    List.filteri (fun i _ -> i < List.length local_regs) ranked
+    |> List.map (fun (_, name, _, _) -> name)
+  in
+  let regs = ref local_regs in
+  let used = ref [] in
+  let offset = ref 0 in
+  let slot size =
+    offset := !offset + size;
+    !offset
+  in
+  List.iter
+    (fun (_, name, ty, arr) ->
+      match arr with
+      | Some n ->
+        Hashtbl.add env.locals name (Local_array { off = slot (8 * n); elem = ty; size = n })
+      | None ->
+        if List.mem name reg_homed then begin
+          match !regs with
+          | reg :: rest ->
+            regs := rest;
+            used := reg :: !used;
+            Hashtbl.add env.locals name (Local_reg { reg; ty })
+          | [] -> Hashtbl.add env.locals name (Local { off = slot 8; ty })
+        end
+        else Hashtbl.add env.locals name (Local { off = slot 8; ty }))
+    decls;
+  ((!offset + 15) / 16 * 16, List.rev !used)
+
+let gen_function env (f : func) =
+  let frame, saved_regs = collect_locals env f in
+  env.exit_label <- fresh env (f.fname ^ "_exit");
+  place_label env f.fname;
+  emit env (Push (Reg RBP));
+  emit env (Mov (Reg RBP, Reg RSP));
+  if frame > 0 then emit env (Binop (Sub, Reg RSP, Imm (Int64.of_int frame)));
+  (* save the local-homing registers (our callee-saved set) *)
+  List.iter (fun r -> emit env (Push (Reg r))) saved_regs;
+  (* move parameters into their homes *)
+  List.iteri
+    (fun i (_, name) ->
+      match Hashtbl.find env.locals name with
+      | Local { off; _ } -> emit env (Mov (rbp_slot off, Reg (List.nth arg_regs i)))
+      | Local_reg { reg; _ } -> emit env (Mov (Reg reg, Reg (List.nth arg_regs i)))
+      | Local_array _ | Global _ | Global_array _ -> assert false)
+    f.params;
+  env.avail <- pool;
+  env.vstack <- [];
+  List.iter (gen_stmt env) f.body;
+  (* fallthrough: return 0 *)
+  emit env (Mov (Reg RAX, Imm 0L));
+  place_label env env.exit_label;
+  List.iter (fun r -> emit env (Pop r)) (List.rev saved_regs);
+  emit env (Mov (Reg RSP, Reg RBP));
+  emit env (Pop RBP);
+  emit env Ret
+
+(* ------------------------------------------------------------------ *)
+
+let generate (prog : program) : output =
+  let env =
+    {
+      globals = Hashtbl.create 16;
+      funs = Hashtbl.create 16;
+      locals = Hashtbl.create 16;
+      items = [];
+      avail = pool;
+      vstack = [];
+      label_counter = 0;
+      break_labels = [];
+      continue_labels = [];
+      exit_label = "";
+      taken = [];
+    }
+  in
+  (* global + function tables *)
+  let data_buf = Buffer.create 256 in
+  let data_symbols = ref [] in
+  List.iter
+    (fun (g : global) ->
+      if Hashtbl.mem env.globals g.gname then error g.gpos ("duplicate global " ^ g.gname);
+      let off = Buffer.length data_buf in
+      (match (g.garray, g.gty) with
+      | Some n, (Tint | Tfloat | Tfnptr) ->
+        if n <= 0 then error g.gpos "array size must be positive";
+        Hashtbl.add env.globals g.gname (Global_array { elem = g.gty; size = n });
+        Buffer.add_string data_buf (String.make (8 * n) '\x00')
+      | Some _, Tptr _ -> error g.gpos "arrays of pointers are not supported"
+      | None, _ ->
+        Hashtbl.add env.globals g.gname (Global { ty = g.gty });
+        let v = match g.ginit with Some v -> v | None -> 0L in
+        for i = 0 to 7 do
+          Buffer.add_char data_buf
+            (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+        done);
+      data_symbols := (g.gname, off) :: !data_symbols)
+    prog.globals;
+  List.iter
+    (fun (f : func) ->
+      if Hashtbl.mem env.funs f.fname then error f.fpos ("duplicate function " ^ f.fname);
+      if List.mem f.fname builtin_names then
+        error f.fpos (f.fname ^ " is a builtin and cannot be redefined");
+      Hashtbl.add env.funs f.fname { ret = f.ret; param_tys = List.map fst f.params })
+    prog.funcs;
+  if not (Hashtbl.mem env.funs "main") then
+    error { line = 0; col = 0 } "program must define main";
+  (* main first so the entry sits at a stable place *)
+  let funcs =
+    let mains, rest = List.partition (fun f -> f.fname = "main") prog.funcs in
+    mains @ rest
+  in
+  List.iter (gen_function env) funcs;
+  {
+    items = List.rev env.items;
+    data = Buffer.to_bytes data_buf;
+    data_symbols = List.rev !data_symbols;
+    fun_symbols = List.map (fun f -> f.fname) funcs;
+    branch_targets = List.rev env.taken;
+    entry = "main";
+  }

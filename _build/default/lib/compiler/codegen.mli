@@ -1,0 +1,39 @@
+(** Code generation: typed tree-walk from the MiniC AST to assembler items.
+
+    Typechecking happens during the walk (int/float arithmetic must not
+    mix; casts are the [itof]/[ftoi] builtins). Values are 64-bit; floats
+    travel as IEEE-754 bit patterns in general-purpose registers.
+
+    Register conventions (shared with {!Deflection_annot.Annot} and the
+    instrumentation pass):
+    - expression pool: RAX RDX RSI RDI R8 R9 R12 R13 R14 R15;
+    - R11: call-result shuttle; R10: indirect-branch target (P5);
+    - RCX: shift counts (and annotation scratch); RBX: annotation scratch;
+    - RBP frame pointer, RSP stack pointer;
+    - arguments in RDI RSI RDX RCX R8 R9 (max 6), result in RAX. *)
+
+module Asm = Deflection_isa.Asm
+
+type output = {
+  items : Asm.item list;  (** all function bodies, entry function first *)
+  data : bytes;  (** initialized global section *)
+  data_symbols : (string * int) list;  (** global name -> data offset *)
+  fun_symbols : string list;  (** every function label *)
+  branch_targets : string list;
+      (** address-taken functions: the legitimate indirect-branch list *)
+  entry : string;
+}
+
+val builtin_names : string list
+(** [print_int], [send], [recv], [sqrtf], [itof], [ftoi], [exit],
+    [oram_read], [oram_write]. *)
+
+val ocall_print : int
+val ocall_send : int
+val ocall_recv : int
+val ocall_oram_read : int
+val ocall_oram_write : int
+
+val generate : Ast.program -> output
+(** Raises [Ast.Error] on any type or shape error. The program must define
+    [main]. *)

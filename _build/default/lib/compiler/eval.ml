@@ -1,0 +1,333 @@
+open Ast
+
+type value = VInt of int64 | VFloat of float | VFnptr of string | VArr of value array
+
+type outcome = { exit_code : int64; outputs : string list; steps : int }
+
+type error =
+  | Division_by_zero
+  | Out_of_bounds of string
+  | Unbound of string
+  | Unsupported of string
+  | Step_limit
+
+let pp_error fmt = function
+  | Division_by_zero -> Format.pp_print_string fmt "division by zero"
+  | Out_of_bounds s -> Format.fprintf fmt "array index out of bounds (%s)" s
+  | Unbound s -> Format.fprintf fmt "unbound name %s" s
+  | Unsupported s -> Format.fprintf fmt "unsupported: %s" s
+  | Step_limit -> Format.pp_print_string fmt "step limit exceeded"
+
+exception Err of error
+exception Exit_program of int64
+exception Return_value of value
+exception Break_loop
+exception Continue_loop
+
+type state = {
+  globals : (string, value ref) Hashtbl.t;
+  funcs : (string, func) Hashtbl.t;
+  mutable inputs : bytes list;
+  mutable outputs : string list; (* reversed *)
+  mutable steps : int;
+  step_limit : int;
+  oram : (int, int64) Hashtbl.t; (* reference model: a plain table *)
+}
+
+let as_int = function
+  | VInt v -> v
+  | VFloat _ -> raise (Err (Unsupported "float used as int"))
+  | VFnptr _ -> raise (Err (Unsupported "fnptr used as int"))
+  | VArr _ -> raise (Err (Unsupported "array used as int"))
+
+let as_float = function
+  | VFloat v -> v
+  | VInt _ | VFnptr _ | VArr _ -> raise (Err (Unsupported "non-float used as float"))
+
+let truthy v = not (Int64.equal (as_int v) 0L)
+
+let default_value = function
+  | Tint | Tfnptr | Tptr _ -> VInt 0L
+  | Tfloat -> VFloat 0.0
+
+let tick st =
+  st.steps <- st.steps + 1;
+  if st.steps > st.step_limit then raise (Err Step_limit)
+
+let int_arith op a b =
+  match op with
+  | Add -> VInt (Int64.add a b)
+  | Sub -> VInt (Int64.sub a b)
+  | Mul -> VInt (Int64.mul a b)
+  | Div -> if Int64.equal b 0L then raise (Err Division_by_zero) else VInt (Int64.div a b)
+  | Mod -> if Int64.equal b 0L then raise (Err Division_by_zero) else VInt (Int64.rem a b)
+  | Eq -> VInt (if Int64.equal a b then 1L else 0L)
+  | Neq -> VInt (if Int64.equal a b then 0L else 1L)
+  | Lt -> VInt (if Int64.compare a b < 0 then 1L else 0L)
+  | Le -> VInt (if Int64.compare a b <= 0 then 1L else 0L)
+  | Gt -> VInt (if Int64.compare a b > 0 then 1L else 0L)
+  | Ge -> VInt (if Int64.compare a b >= 0 then 1L else 0L)
+  | BitAnd -> VInt (Int64.logand a b)
+  | BitOr -> VInt (Int64.logor a b)
+  | BitXor -> VInt (Int64.logxor a b)
+  | Shl -> VInt (Int64.shift_left a (Int64.to_int (Int64.logand b 63L)))
+  | Shr -> VInt (Int64.shift_right a (Int64.to_int (Int64.logand b 63L)))
+  | LogAnd | LogOr -> assert false
+
+let float_arith op a b =
+  match op with
+  | Add -> VFloat (a +. b)
+  | Sub -> VFloat (a -. b)
+  | Mul -> VFloat (a *. b)
+  | Div -> VFloat (a /. b)
+  | Eq -> VInt (if a = b then 1L else 0L)
+  | Neq -> VInt (if a <> b then 1L else 0L)
+  | Lt -> VInt (if a < b then 1L else 0L)
+  | Le -> VInt (if a <= b then 1L else 0L)
+  | Gt -> VInt (if a > b then 1L else 0L)
+  | Ge -> VInt (if a >= b then 1L else 0L)
+  | Mod | BitAnd | BitOr | BitXor | Shl | Shr | LogAnd | LogOr ->
+    raise (Err (Unsupported "operator on floats"))
+
+(* locals: one table per activation, preallocated with zeros (the code
+   generator also reserves every slot at function entry) *)
+let collect_local_decls (f : func) =
+  let out = ref [] in
+  let add name ty arr = out := (name, ty, arr) :: !out in
+  List.iter (fun (ty, name) -> add name ty None) f.params;
+  let rec scan (st : stmt) =
+    match st.s with
+    | Decl (ty, name, arr, _) -> add name ty arr
+    | If (_, a, b) ->
+      List.iter scan a;
+      List.iter scan b
+    | While (_, b) -> List.iter scan b
+    | For (i, _, s, b) ->
+      Option.iter scan i;
+      Option.iter scan s;
+      List.iter scan b
+    | Expr _ | Return _ | Break | Continue -> ()
+  in
+  List.iter scan f.body;
+  List.rev !out
+
+let rec eval_expr st locals (e : expr) : value =
+  tick st;
+  match e.e with
+  | IntLit v -> VInt v
+  | FloatLit f -> VFloat f
+  | Var name -> !(lookup st locals name)
+  | Index (name, idx) ->
+    let i = Int64.to_int (as_int (eval_expr st locals idx)) in
+    let arr = lookup_array st locals name in
+    if i < 0 || i >= Array.length arr then raise (Err (Out_of_bounds name));
+    arr.(i)
+  | AddrOfFun f -> VFnptr f
+  | Unary (op, a) ->
+    let v = eval_expr st locals a in
+    (match (op, v) with
+    | Neg, VInt x -> VInt (Int64.neg x)
+    | Neg, VFloat x -> VFloat (-.x)
+    | LogNot, v -> VInt (if truthy v then 0L else 1L)
+    | BitNot, VInt x -> VInt (Int64.lognot x)
+    | _ -> raise (Err (Unsupported "unary operand")))
+  | Binary (LogAnd, a, b) ->
+    if truthy (eval_expr st locals a) then VInt (if truthy (eval_expr st locals b) then 1L else 0L)
+    else VInt 0L
+  | Binary (LogOr, a, b) ->
+    if truthy (eval_expr st locals a) then VInt 1L
+    else VInt (if truthy (eval_expr st locals b) then 1L else 0L)
+  | Binary (op, a, b) ->
+    let va = eval_expr st locals a in
+    let vb = eval_expr st locals b in
+    (match (va, vb) with
+    | VFloat x, VFloat y -> float_arith op x y
+    | _ -> int_arith op (as_int va) (as_int vb))
+  | Assign (lv, rhs) ->
+    let v = eval_expr st locals rhs in
+    (match lv with
+    | Lvar name -> lookup st locals name := v
+    | Lindex (name, idx) ->
+      let i = Int64.to_int (as_int (eval_expr st locals idx)) in
+      let arr = lookup_array st locals name in
+      if i < 0 || i >= Array.length arr then raise (Err (Out_of_bounds name));
+      arr.(i) <- v);
+    v
+  | Cond (c, a, b) ->
+    if truthy (eval_expr st locals c) then eval_expr st locals a else eval_expr st locals b
+  | Call (name, args) -> eval_call st locals name args
+
+and lookup st locals name : value ref =
+  match Hashtbl.find_opt locals name with
+  | Some r -> r
+  | None ->
+    (match Hashtbl.find_opt st.globals name with
+    | Some r -> r
+    | None -> raise (Err (Unbound name)))
+
+and lookup_array st locals name =
+  match !(lookup st locals name) with
+  | VArr a -> a
+  | VInt _ | VFloat _ | VFnptr _ -> raise (Err (Unsupported (name ^ " is not indexable")))
+
+and eval_call st locals name args : value =
+  let vargs () = List.map (eval_expr st locals) args in
+  match name with
+  | "print_int" ->
+    (match vargs () with
+    | [ v ] ->
+      st.outputs <- Int64.to_string (as_int v) :: st.outputs;
+      VInt 0L
+    | _ -> raise (Err (Unsupported "print_int arity")))
+  | "send" ->
+    (match vargs () with
+    | [ VArr arr; n ] ->
+      let n = Int64.to_int (as_int n) in
+      if n < 0 || n > Array.length arr then raise (Err (Out_of_bounds "send"));
+      let b = Bytes.create n in
+      for i = 0 to n - 1 do
+        Bytes.set b i (Char.chr (Int64.to_int (Int64.logand (as_int arr.(i)) 0xFFL)))
+      done;
+      st.outputs <- Bytes.to_string b :: st.outputs;
+      VInt (Int64.of_int n)
+    | _ -> raise (Err (Unsupported "send expects (array, int)")))
+  | "recv" ->
+    (match vargs () with
+    | [ VArr arr; n ] ->
+      let n = Int64.to_int (as_int n) in
+      (match st.inputs with
+      | [] -> VInt 0L
+      | chunk :: rest ->
+        st.inputs <- rest;
+        let k = min n (Bytes.length chunk) in
+        if k > Array.length arr then raise (Err (Out_of_bounds "recv"));
+        for i = 0 to k - 1 do
+          arr.(i) <- VInt (Int64.of_int (Char.code (Bytes.get chunk i)))
+        done;
+        VInt (Int64.of_int k))
+    | _ -> raise (Err (Unsupported "recv expects (array, int)")))
+  | "sqrtf" ->
+    (match vargs () with
+    | [ v ] -> VFloat (sqrt (as_float v))
+    | _ -> raise (Err (Unsupported "sqrtf arity")))
+  | "itof" ->
+    (match vargs () with
+    | [ v ] -> VFloat (Int64.to_float (as_int v))
+    | _ -> raise (Err (Unsupported "itof arity")))
+  | "ftoi" ->
+    (match vargs () with
+    | [ v ] -> VInt (Int64.of_float (as_float v))
+    | _ -> raise (Err (Unsupported "ftoi arity")))
+  | "oram_read" ->
+    (match vargs () with
+    | [ v ] ->
+      let id = Int64.to_int (as_int v) in
+      VInt (Option.value ~default:0L (Hashtbl.find_opt st.oram id))
+    | _ -> raise (Err (Unsupported "oram_read arity")))
+  | "oram_write" ->
+    (match vargs () with
+    | [ id; v ] ->
+      Hashtbl.replace st.oram (Int64.to_int (as_int id)) (as_int v);
+      VInt 0L
+    | _ -> raise (Err (Unsupported "oram_write arity")))
+  | "exit" ->
+    (match vargs () with
+    | [ v ] -> raise (Exit_program (as_int v))
+    | _ -> raise (Err (Unsupported "exit arity")))
+  | _ ->
+    let callee_name =
+      match Hashtbl.find_opt st.funcs name with
+      | Some _ -> name
+      | None ->
+        (* indirect call through a fnptr variable *)
+        (match !(lookup st locals name) with
+        | VFnptr f -> f
+        | _ -> raise (Err (Unbound name)))
+    in
+    let f =
+      match Hashtbl.find_opt st.funcs callee_name with
+      | Some f -> f
+      | None -> raise (Err (Unbound callee_name))
+    in
+    apply st f (vargs ())
+
+and apply st (f : func) args : value =
+  let locals = Hashtbl.create 16 in
+  List.iter
+    (fun (name, ty, arr) ->
+      match arr with
+      | Some n -> Hashtbl.replace locals name (ref (VArr (Array.make n (default_value ty))))
+      | None -> Hashtbl.replace locals name (ref (default_value ty)))
+    (collect_local_decls f);
+  List.iter2 (fun (_, pname) v -> lookup st locals pname := v) f.params args;
+  try
+    List.iter (eval_stmt st locals) f.body;
+    VInt 0L
+  with Return_value v -> v
+
+and eval_stmt st locals (s : stmt) : unit =
+  tick st;
+  match s.s with
+  | Decl (_, name, None, Some init) -> lookup st locals name := eval_expr st locals init
+  | Decl (_, _, _, _) -> ()
+  | Expr e -> ignore (eval_expr st locals e)
+  | If (c, a, b) ->
+    if truthy (eval_expr st locals c) then List.iter (eval_stmt st locals) a
+    else List.iter (eval_stmt st locals) b
+  | While (c, body) ->
+    (try
+       while truthy (eval_expr st locals c) do
+         try List.iter (eval_stmt st locals) body with Continue_loop -> ()
+       done
+     with Break_loop -> ())
+  | For (init, cond, step, body) ->
+    Option.iter (eval_stmt st locals) init;
+    let check () = match cond with None -> true | Some c -> truthy (eval_expr st locals c) in
+    (try
+       while check () do
+         (try List.iter (eval_stmt st locals) body with Continue_loop -> ());
+         Option.iter (eval_stmt st locals) step
+       done
+     with Break_loop -> ())
+  | Return (Some e) -> raise (Return_value (eval_expr st locals e))
+  | Return None -> raise (Return_value (VInt 0L))
+  | Break -> raise Break_loop
+  | Continue -> raise Continue_loop
+
+let run ?(inputs = []) ?(step_limit = 50_000_000) (p : program) =
+  let st =
+    {
+      globals = Hashtbl.create 16;
+      funcs = Hashtbl.create 16;
+      inputs;
+      outputs = [];
+      steps = 0;
+      step_limit;
+      oram = Hashtbl.create 16;
+    }
+  in
+  List.iter
+    (fun (g : global) ->
+      let v =
+        match g.garray with
+        | Some n -> VArr (Array.make n (default_value g.gty))
+        | None ->
+          (match (g.gty, g.ginit) with
+          | Tfloat, Some bits -> VFloat (Int64.float_of_bits bits)
+          | Tfloat, None -> VFloat 0.0
+          | _, Some v -> VInt v
+          | _, None -> VInt 0L)
+      in
+      Hashtbl.replace st.globals g.gname (ref v))
+    p.globals;
+  List.iter (fun (f : func) -> Hashtbl.replace st.funcs f.fname f) p.funcs;
+  match Hashtbl.find_opt st.funcs "main" with
+  | None -> Stdlib.Error (Unbound "main")
+  | Some main -> (
+    try
+      let v = apply st main [] in
+      Stdlib.Ok { exit_code = as_int v; outputs = List.rev st.outputs; steps = st.steps }
+    with
+    | Exit_program code ->
+      Stdlib.Ok { exit_code = code; outputs = List.rev st.outputs; steps = st.steps }
+    | Err e -> Stdlib.Error e)

@@ -1,0 +1,26 @@
+(** Reference interpreter for MiniC, used as a differential-testing oracle:
+    the outputs of [Eval.run] on an AST must match the outputs of the full
+    compile→load→verify→execute pipeline for the same program.
+
+    Semantics mirror the code generator exactly: 64-bit wrapping integers,
+    truncating division, shift counts masked to 6 bits, IEEE doubles,
+    short-circuit logic. *)
+
+type outcome = {
+  exit_code : int64;
+  outputs : string list;
+      (** [print_int] renders decimal; [send buf n] renders the low byte of
+          each of the first [n] elements, as the OCall wrapper does *)
+  steps : int;  (** evaluation steps taken (one per node visited) *)
+}
+
+type error =
+  | Division_by_zero
+  | Out_of_bounds of string
+  | Unbound of string
+  | Unsupported of string
+  | Step_limit
+
+val pp_error : Format.formatter -> error -> unit
+
+val run : ?inputs:bytes list -> ?step_limit:int -> Ast.program -> (outcome, error) result

@@ -1,0 +1,37 @@
+module Objfile = Deflection_isa.Objfile
+module Policy = Deflection_policy.Policy
+
+type error = { line : int; col : int; message : string }
+
+let pp_error fmt e = Format.fprintf fmt "%d:%d: %s" e.line e.col e.message
+
+let compile ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?(optimize = true) src =
+  try
+    let ast = Parser.parse src in
+    let ast = if optimize then Opt.fold_program ast else ast in
+    let gen = Codegen.generate ast in
+    let items = if optimize then Opt.peephole gen.Codegen.items else gen.Codegen.items in
+    let opts = { Instrument.policies; ssa_q } in
+    let instrumented =
+      Instrument.run opts ~fun_symbols:gen.Codegen.fun_symbols ~entry:gen.Codegen.entry items
+    in
+    Ok (Link.link gen ~instrumented ~policies ~ssa_q)
+  with Ast.Error (pos, message) -> Error { line = pos.Ast.line; col = pos.Ast.col; message }
+
+let compile_exn ?policies ?ssa_q ?optimize src =
+  match compile ?policies ?ssa_q ?optimize src with
+  | Ok obj -> obj
+  | Error e -> failwith (Format.asprintf "compile error: %a" pp_error e)
+
+let listing ?policies ?ssa_q src =
+  let obj = compile_exn ?policies ?ssa_q src in
+  let decoded = Deflection_isa.Asm.disassemble_all obj.Objfile.text in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (off, i) ->
+      (match List.find_opt (fun s -> s.Objfile.offset = off && s.Objfile.section = Objfile.Text) obj.Objfile.symbols with
+      | Some s -> Buffer.add_string buf (s.Objfile.name ^ ":\n")
+      | None -> ());
+      Buffer.add_string buf (Printf.sprintf "  %04x: %s\n" off (Deflection_isa.Isa.instr_to_string i)))
+    decoded;
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** The complete untrusted code-generator pipeline (paper Figure 4):
+    MiniC source -> AST -> assembly -> instrumentation passes (selected by
+    policy switches) -> static link -> relocatable target binary. *)
+
+module Objfile = Deflection_isa.Objfile
+
+type error = { line : int; col : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val compile :
+  ?policies:Deflection_policy.Policy.Set.t ->
+  ?ssa_q:int ->
+  ?optimize:bool ->
+  string ->
+  (Objfile.t, error) result
+(** [compile src] builds the instrumented relocatable binary. Defaults:
+    all instrumentation policies enabled ([P1-P6]), [ssa_q = 20],
+    optimization (constant folding + peephole) on. *)
+
+val compile_exn :
+  ?policies:Deflection_policy.Policy.Set.t ->
+  ?ssa_q:int ->
+  ?optimize:bool ->
+  string ->
+  Objfile.t
+
+val listing :
+  ?policies:Deflection_policy.Policy.Set.t -> ?ssa_q:int -> string -> string
+(** Human-readable disassembly of the instrumented binary (debugging aid). *)

@@ -1,0 +1,142 @@
+type token =
+  | INT of int64
+  | FLOAT of float
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+let pp_token fmt = function
+  | INT v -> Format.fprintf fmt "%Ld" v
+  | FLOAT f -> Format.fprintf fmt "%g" f
+  | IDENT s -> Format.fprintf fmt "%s" s
+  | KW s -> Format.fprintf fmt "%s" s
+  | PUNCT s -> Format.fprintf fmt "'%s'" s
+  | EOF -> Format.pp_print_string fmt "<eof>"
+
+let token_to_string t = Format.asprintf "%a" pp_token t
+
+let keywords =
+  [ "int"; "float"; "fnptr"; "if"; "else"; "while"; "for"; "return"; "break"; "continue" ]
+
+(* Longest-match first. *)
+let puncts =
+  [
+    "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||";
+    "+"; "-"; "*"; "/"; "%"; "="; "<"; ">"; "!"; "~"; "&"; "|"; "^";
+    "("; ")"; "{"; "}"; "["; "]"; ";"; ","; "?"; ":";
+  ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let pos () : Ast.pos = { line = !line; col = !col } in
+  let advance k =
+    for j = !i to min (n - 1) (!i + k - 1) do
+      if src.[j] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col
+    done;
+    i := !i + k
+  in
+  let emit tok p = out := (tok, p) :: !out in
+  while !i < n do
+    let c = src.[!i] in
+    let p = pos () in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance 1
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        advance 1
+      done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      advance 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '*' && !i + 1 < n && src.[!i + 1] = '/' then begin
+          advance 2;
+          closed := true
+        end
+        else advance 1
+      done;
+      if not !closed then Ast.error p "unterminated comment"
+    end
+    else if is_digit c then begin
+      let start = !i in
+      if c = '0' && !i + 1 < n && (src.[!i + 1] = 'x' || src.[!i + 1] = 'X') then begin
+        advance 2;
+        while !i < n && is_hex src.[!i] do
+          advance 1
+        done;
+        let s = String.sub src start (!i - start) in
+        match Int64.of_string_opt s with
+        | Some v -> emit (INT v) p
+        | None -> Ast.error p ("malformed hex literal " ^ s)
+      end
+      else begin
+        while !i < n && is_digit src.[!i] do
+          advance 1
+        done;
+        let is_float =
+          !i < n && src.[!i] = '.' && !i + 1 < n && is_digit src.[!i + 1]
+        in
+        if is_float then begin
+          advance 1;
+          while !i < n && is_digit src.[!i] do
+            advance 1
+          done;
+          (* optional exponent *)
+          if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+            advance 1;
+            if !i < n && (src.[!i] = '+' || src.[!i] = '-') then advance 1;
+            while !i < n && is_digit src.[!i] do
+              advance 1
+            done
+          end;
+          let s = String.sub src start (!i - start) in
+          match float_of_string_opt s with
+          | Some f -> emit (FLOAT f) p
+          | None -> Ast.error p ("malformed float literal " ^ s)
+        end
+        else begin
+          let s = String.sub src start (!i - start) in
+          match Int64.of_string_opt s with
+          | Some v -> emit (INT v) p
+          | None -> Ast.error p ("malformed integer literal " ^ s)
+        end
+      end
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do
+        advance 1
+      done;
+      let s = String.sub src start (!i - start) in
+      if List.mem s keywords then emit (KW s) p else emit (IDENT s) p
+    end
+    else begin
+      let matched =
+        List.find_opt
+          (fun punct ->
+            let l = String.length punct in
+            !i + l <= n && String.sub src !i l = punct)
+          puncts
+      in
+      match matched with
+      | Some punct ->
+        advance (String.length punct);
+        emit (PUNCT punct) p
+      | None -> Ast.error p (Printf.sprintf "unexpected character %C" c)
+    end
+  done;
+  emit EOF (pos ());
+  List.rev !out

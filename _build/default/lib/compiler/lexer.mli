@@ -1,0 +1,16 @@
+(** Hand-rolled lexer for MiniC. *)
+
+type token =
+  | INT of int64
+  | FLOAT of float
+  | IDENT of string
+  | KW of string  (** int, float, fnptr, if, else, while, for, return, break, continue *)
+  | PUNCT of string  (** operators and delimiters, longest-match *)
+  | EOF
+
+val pp_token : Format.formatter -> token -> unit
+val token_to_string : token -> string
+
+val tokenize : string -> (token * Ast.pos) list
+(** Raises [Ast.Error] on malformed input (bad character, unterminated
+    comment, malformed number). Comments: [// ...] and [/* ... */]. *)

@@ -1,0 +1,33 @@
+module Asm = Deflection_isa.Asm
+module Objfile = Deflection_isa.Objfile
+module Policy = Deflection_policy.Policy
+
+let link (gen : Codegen.output) ~instrumented ~policies ~ssa_q =
+  let assembled = Asm.assemble instrumented in
+  let text_symbol_names = Instrument.stub_symbols @ gen.Codegen.fun_symbols in
+  let text_symbols =
+    List.filter_map
+      (fun name ->
+        match List.assoc_opt name assembled.Asm.label_offsets with
+        | Some off ->
+          Some { Objfile.name; section = Objfile.Text; offset = off; is_function = true }
+        | None -> None)
+      text_symbol_names
+  in
+  let data_symbols =
+    List.map
+      (fun (name, off) ->
+        { Objfile.name; section = Objfile.Data; offset = off; is_function = false })
+      gen.Codegen.data_symbols
+  in
+  {
+    Objfile.text = assembled.Asm.code;
+    data = gen.Codegen.data;
+    bss_size = 0;
+    symbols = text_symbols @ data_symbols;
+    relocs = assembled.Asm.relocs;
+    branch_targets = gen.Codegen.branch_targets;
+    entry = Deflection_annot.Annot.start_symbol;
+    claimed_policies = List.map Policy.name (Policy.Set.to_list policies);
+    ssa_q;
+  }

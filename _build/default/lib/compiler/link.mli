@@ -1,0 +1,13 @@
+(** Static linking: assemble the instrumented item stream and package it
+    with the data section, symbols, relocations and the indirect-branch
+    list into the relocatable target binary (paper Section IV-C, "code
+    loading support"). *)
+
+module Objfile = Deflection_isa.Objfile
+
+val link :
+  Codegen.output ->
+  instrumented:Deflection_isa.Asm.item list ->
+  policies:Deflection_policy.Policy.Set.t ->
+  ssa_q:int ->
+  Objfile.t

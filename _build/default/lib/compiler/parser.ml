@@ -1,0 +1,347 @@
+open Ast
+
+type state = { mutable toks : (Lexer.token * pos) list }
+
+let peek st = match st.toks with [] -> (Lexer.EOF, { line = 0; col = 0 }) | t :: _ -> t
+
+let next st =
+  let t = peek st in
+  (match st.toks with [] -> () | _ :: rest -> st.toks <- rest);
+  t
+
+let pos_of st = snd (peek st)
+
+let expect_punct st p =
+  match next st with
+  | Lexer.PUNCT q, _ when q = p -> ()
+  | tok, pos -> error pos (Printf.sprintf "expected '%s', found %s" p (Lexer.token_to_string tok))
+
+let accept_punct st p =
+  match peek st with
+  | Lexer.PUNCT q, _ when q = p ->
+    ignore (next st);
+    true
+  | _ -> false
+
+let expect_ident st =
+  match next st with
+  | Lexer.IDENT s, _ -> s
+  | tok, pos -> error pos ("expected identifier, found " ^ Lexer.token_to_string tok)
+
+let base_type st =
+  match next st with
+  | Lexer.KW "int", _ -> Tint
+  | Lexer.KW "float", _ -> Tfloat
+  | Lexer.KW "fnptr", _ -> Tfnptr
+  | tok, pos -> error pos ("expected type, found " ^ Lexer.token_to_string tok)
+
+let is_type_kw = function Lexer.KW ("int" | "float" | "fnptr") -> true | _ -> false
+
+(* Pointer suffix: 'int* p'. *)
+let full_type st =
+  let t = base_type st in
+  if accept_punct st "*" then Tptr t else t
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: precedence climbing *)
+
+let binop_of_punct = function
+  | "*" -> Some (Mul, 10)
+  | "/" -> Some (Div, 10)
+  | "%" -> Some (Mod, 10)
+  | "+" -> Some (Add, 9)
+  | "-" -> Some (Sub, 9)
+  | "<<" -> Some (Shl, 8)
+  | ">>" -> Some (Shr, 8)
+  | "<" -> Some (Lt, 7)
+  | "<=" -> Some (Le, 7)
+  | ">" -> Some (Gt, 7)
+  | ">=" -> Some (Ge, 7)
+  | "==" -> Some (Eq, 6)
+  | "!=" -> Some (Neq, 6)
+  | "&" -> Some (BitAnd, 5)
+  | "^" -> Some (BitXor, 4)
+  | "|" -> Some (BitOr, 3)
+  | "&&" -> Some (LogAnd, 2)
+  | "||" -> Some (LogOr, 1)
+  | _ -> None
+
+let rec parse_expr st = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_ternary st in
+  if accept_punct st "=" then begin
+    let rhs = parse_assign st in
+    let lv =
+      match lhs.e with
+      | Var v -> Lvar v
+      | Index (v, i) -> Lindex (v, i)
+      | IntLit _ | FloatLit _ | Call _ | AddrOfFun _ | Unary _ | Binary _ | Assign _ | Cond _
+        ->
+        error lhs.pos "left-hand side of assignment must be a variable or array element"
+    in
+    { e = Assign (lv, rhs); pos = lhs.pos }
+  end
+  else lhs
+
+and parse_ternary st =
+  let c = parse_binary st 0 in
+  if accept_punct st "?" then begin
+    let a = parse_assign st in
+    expect_punct st ":";
+    let b = parse_assign st in
+    { e = Cond (c, a, b); pos = c.pos }
+  end
+  else c
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Lexer.PUNCT p, _ ->
+      (match binop_of_punct p with
+      | Some (op, prec) when prec >= min_prec ->
+        ignore (next st);
+        let rhs = parse_binary st (prec + 1) in
+        lhs := { e = Binary (op, !lhs, rhs); pos = !lhs.pos }
+      | Some _ | None -> continue_ := false)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  let tok, pos = peek st in
+  match tok with
+  | Lexer.PUNCT "-" ->
+    ignore (next st);
+    { e = Unary (Neg, parse_unary st); pos }
+  | Lexer.PUNCT "!" ->
+    ignore (next st);
+    { e = Unary (LogNot, parse_unary st); pos }
+  | Lexer.PUNCT "~" ->
+    ignore (next st);
+    { e = Unary (BitNot, parse_unary st); pos }
+  | Lexer.PUNCT "&" ->
+    ignore (next st);
+    let name = expect_ident st in
+    { e = AddrOfFun name; pos }
+  | Lexer.INT _ | Lexer.FLOAT _ | Lexer.IDENT _ | Lexer.PUNCT "(" -> parse_postfix st
+  | _ -> error pos ("unexpected token " ^ Lexer.token_to_string tok)
+
+and parse_postfix st =
+  let tok, pos = next st in
+  match tok with
+  | Lexer.INT v -> { e = IntLit v; pos }
+  | Lexer.FLOAT f -> { e = FloatLit f; pos }
+  | Lexer.PUNCT "(" ->
+    let e = parse_expr st in
+    expect_punct st ")";
+    e
+  | Lexer.IDENT name ->
+    if accept_punct st "(" then begin
+      let args = ref [] in
+      if not (accept_punct st ")") then begin
+        args := [ parse_expr st ];
+        while accept_punct st "," do
+          args := parse_expr st :: !args
+        done;
+        expect_punct st ")"
+      end;
+      { e = Call (name, List.rev !args); pos }
+    end
+    else if accept_punct st "[" then begin
+      let idx = parse_expr st in
+      expect_punct st "]";
+      { e = Index (name, idx); pos }
+    end
+    else { e = Var name; pos }
+  | _ -> error pos ("unexpected token " ^ Lexer.token_to_string tok)
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let rec parse_stmt st : stmt =
+  let tok, pos = peek st in
+  match tok with
+  | Lexer.KW ("int" | "float" | "fnptr") ->
+    let ty = full_type st in
+    let name = expect_ident st in
+    let arr =
+      if accept_punct st "[" then begin
+        let size =
+          match next st with
+          | Lexer.INT v, _ -> Int64.to_int v
+          | t, p -> error p ("array size must be an integer literal, found " ^ Lexer.token_to_string t)
+        in
+        expect_punct st "]";
+        Some size
+      end
+      else None
+    in
+    let init = if accept_punct st "=" then Some (parse_expr st) else None in
+    expect_punct st ";";
+    { s = Decl (ty, name, arr, init); spos = pos }
+  | Lexer.KW "if" ->
+    ignore (next st);
+    expect_punct st "(";
+    let c = parse_expr st in
+    expect_punct st ")";
+    let then_ = parse_block_or_stmt st in
+    let else_ =
+      match peek st with
+      | Lexer.KW "else", _ ->
+        ignore (next st);
+        parse_block_or_stmt st
+      | _ -> []
+    in
+    { s = If (c, then_, else_); spos = pos }
+  | Lexer.KW "while" ->
+    ignore (next st);
+    expect_punct st "(";
+    let c = parse_expr st in
+    expect_punct st ")";
+    let body = parse_block_or_stmt st in
+    { s = While (c, body); spos = pos }
+  | Lexer.KW "for" ->
+    ignore (next st);
+    expect_punct st "(";
+    let init =
+      if accept_punct st ";" then None
+      else begin
+        let s = parse_simple_for_clause st in
+        expect_punct st ";";
+        Some s
+      end
+    in
+    let cond = if accept_punct st ";" then None else begin
+      let e = parse_expr st in
+      expect_punct st ";";
+      Some e
+    end
+    in
+    let step =
+      if accept_punct st ")" then None
+      else begin
+        let s = parse_simple_for_clause st in
+        expect_punct st ")";
+        Some s
+      end
+    in
+    let body = parse_block_or_stmt st in
+    { s = For (init, cond, step, body); spos = pos }
+  | Lexer.KW "return" ->
+    ignore (next st);
+    let e = if accept_punct st ";" then None else begin
+      let e = parse_expr st in
+      expect_punct st ";";
+      Some e
+    end
+    in
+    { s = Return e; spos = pos }
+  | Lexer.KW "break" ->
+    ignore (next st);
+    expect_punct st ";";
+    { s = Break; spos = pos }
+  | Lexer.KW "continue" ->
+    ignore (next st);
+    expect_punct st ";";
+    { s = Continue; spos = pos }
+  | _ ->
+    let e = parse_expr st in
+    expect_punct st ";";
+    { s = Expr e; spos = pos }
+
+and parse_simple_for_clause st : stmt =
+  let tok, pos = peek st in
+  if is_type_kw tok then begin
+    let ty = full_type st in
+    let name = expect_ident st in
+    let init = if accept_punct st "=" then Some (parse_expr st) else None in
+    { s = Decl (ty, name, None, init); spos = pos }
+  end
+  else { s = Expr (parse_expr st); spos = pos }
+
+and parse_block_or_stmt st : stmt list =
+  if accept_punct st "{" then begin
+    let stmts = ref [] in
+    while not (accept_punct st "}") do
+      stmts := parse_stmt st :: !stmts
+    done;
+    List.rev !stmts
+  end
+  else [ parse_stmt st ]
+
+(* ------------------------------------------------------------------ *)
+(* Top level *)
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let globals = ref [] and funcs = ref [] in
+  let rec loop () =
+    match peek st with
+    | Lexer.EOF, _ -> ()
+    | _ ->
+      let gpos = pos_of st in
+      let ty = full_type st in
+      let name = expect_ident st in
+      if accept_punct st "(" then begin
+        (* function *)
+        let params = ref [] in
+        if not (accept_punct st ")") then begin
+          let param () =
+            let pty = full_type st in
+            let pname = expect_ident st in
+            (pty, pname)
+          in
+          params := [ param () ];
+          while accept_punct st "," do
+            params := param () :: !params
+          done;
+          expect_punct st ")"
+        end;
+        expect_punct st "{";
+        let body = ref [] in
+        while not (accept_punct st "}") do
+          body := parse_stmt st :: !body
+        done;
+        funcs :=
+          { fname = name; ret = ty; params = List.rev !params; body = List.rev !body; fpos = gpos }
+          :: !funcs
+      end
+      else begin
+        (* global *)
+        let arr =
+          if accept_punct st "[" then begin
+            let size =
+              match next st with
+              | Lexer.INT v, _ -> Int64.to_int v
+              | t, p ->
+                error p ("array size must be an integer literal, found " ^ Lexer.token_to_string t)
+            in
+            expect_punct st "]";
+            Some size
+          end
+          else None
+        in
+        let ginit =
+          if accept_punct st "=" then begin
+            match next st with
+            | Lexer.INT v, _ -> Some v
+            | Lexer.FLOAT f, _ -> Some (Int64.bits_of_float f)
+            | Lexer.PUNCT "-", _ ->
+              (match next st with
+              | Lexer.INT v, _ -> Some (Int64.neg v)
+              | Lexer.FLOAT f, _ -> Some (Int64.bits_of_float (-.f))
+              | t, p -> error p ("global initializer must be a literal, found " ^ Lexer.token_to_string t))
+            | t, p -> error p ("global initializer must be a literal, found " ^ Lexer.token_to_string t)
+          end
+          else None
+        in
+        expect_punct st ";";
+        globals := { gname = name; gty = ty; garray = arr; ginit; gpos } :: !globals
+      end;
+      loop ()
+  in
+  loop ();
+  { globals = List.rev !globals; funcs = List.rev !funcs }

@@ -1,0 +1,4 @@
+(** Recursive-descent parser for MiniC. Raises [Ast.Error] with a source
+    position on any syntax error. *)
+
+val parse : string -> Ast.program

@@ -1,0 +1,1 @@
+lib/core/client.ml: Deflection_attestation Deflection_crypto List

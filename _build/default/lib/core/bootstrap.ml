@@ -1,0 +1,294 @@
+module Layout = Deflection_enclave.Layout
+module Memory = Deflection_enclave.Memory
+module Measurement = Deflection_enclave.Measurement
+module Manifest = Deflection_policy.Manifest
+module Policy = Deflection_policy.Policy
+module Interp = Deflection_runtime.Interp
+module Loader = Deflection_loader.Loader
+module Verifier = Deflection_verifier.Verifier
+module Objfile = Deflection_isa.Objfile
+module Isa = Deflection_isa.Isa
+module Attestation = Deflection_attestation.Attestation
+module Channel = Deflection_crypto.Channel
+module Ratls = Attestation.Ratls
+
+type config = {
+  layout : Layout.config;
+  manifest : Manifest.t;
+  interp : Interp.config;
+  policies : Policy.Set.t;
+  seed : int64;
+  oram_capacity : int option;
+      (* when set, the manifest's oram_read/oram_write OCalls are backed
+         by a Path ORAM over untrusted host memory (paper Section VII) *)
+}
+
+let default_config =
+  {
+    layout = Layout.small_config;
+    manifest = Manifest.default;
+    interp = Interp.default_config;
+    policies = Policy.Set.p1_p6;
+    seed = 1L;
+    oram_capacity = None;
+  }
+
+let consumer_code (config : config) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "DEFLECTION consumer v1 (loader+verifier+imm-rewriter+ocall-wrappers);";
+  Buffer.add_string b (Printf.sprintf "policies=%s;" (Policy.Set.label config.policies));
+  Buffer.add_string b (Printf.sprintf "ssa_q=%d;aex_threshold=%d;" config.manifest.Manifest.ssa_q
+       config.manifest.Manifest.aex_threshold);
+  List.iter
+    (fun (o : Manifest.ocall_spec) ->
+      Buffer.add_string b
+        (Printf.sprintf "ocall%d=%s,enc=%b,pad=%s;" o.Manifest.index o.Manifest.name
+           o.Manifest.encrypt_output
+           (match o.Manifest.pad_output_to with Some n -> string_of_int n | None -> "none")))
+    config.manifest.Manifest.allowed_ocalls;
+  Buffer.to_bytes b
+
+type t = {
+  config : config;
+  layout : Layout.t;
+  mem : Memory.t;
+  platform : Attestation.Platform.t;
+  prng : Deflection_util.Prng.t;
+  measurement : bytes;
+  mutable provider_session : Ratls.session option;
+  mutable owner_session : Ratls.session option;
+  mutable loaded : Loader.loaded option;
+  mutable verified : bool;
+  mutable input_queue : bytes list;  (** plaintext chunks, FIFO *)
+  mutable bits_sent : int;
+  oram : Deflection_oram.Path_oram.t option;
+}
+
+let create ?(config = default_config) ~platform () =
+  let layout = Layout.make config.layout in
+  let mem = Memory.create layout in
+  let consumer = consumer_code config in
+  (* place the consumer code in its region: part of the initial, measured
+     enclave state *)
+  let consumer_cap = layout.Layout.consumer_hi - layout.Layout.consumer_lo in
+  let consumer_placed =
+    if Bytes.length consumer > consumer_cap then Bytes.sub consumer 0 consumer_cap else consumer
+  in
+  (* the consumer pages are RX; write through the privileged interface *)
+  Memory.priv_write_bytes mem layout.Layout.consumer_lo consumer_placed;
+  {
+    config;
+    layout;
+    mem;
+    platform;
+    prng = Deflection_util.Prng.create config.seed;
+    measurement = Measurement.measure layout ~consumer_code:consumer;
+    provider_session = None;
+    owner_session = None;
+    loaded = None;
+    verified = false;
+    input_queue = [];
+    bits_sent = 0;
+    oram =
+      Option.map
+        (fun capacity ->
+          Deflection_oram.Path_oram.create ~seed:(Int64.add config.seed 4242L) ~capacity ())
+        config.oram_capacity;
+  }
+
+let config t = t.config
+let measurement t = t.measurement
+let memory t = t.mem
+let oram_trace t = Option.map Deflection_oram.Path_oram.trace t.oram
+
+let accept_party t ~role hello =
+  let reply, session =
+    Ratls.enclave_accept t.prng ~platform:t.platform ~measurement:t.measurement ~role hello
+  in
+  (match role with
+  | Ratls.Code_provider -> t.provider_session <- Some session
+  | Ratls.Data_owner -> t.owner_session <- Some session);
+  reply
+
+let ecall_receive_binary t sealed =
+  match t.provider_session with
+  | None -> Error "no code-provider session established"
+  | Some session ->
+    (match Channel.open_ session.Ratls.rx sealed with
+    | exception Channel.Auth_failure -> Error "binary record failed authentication"
+    | plaintext ->
+      (match Objfile.deserialize plaintext with
+      | Error e -> Error ("malformed target binary: " ^ e)
+      | Ok obj ->
+        (match Loader.load t.mem ~aex_threshold:t.config.manifest.Manifest.aex_threshold obj with
+        | Error e -> Error ("loader: " ^ Loader.error_to_string e)
+        | Ok loaded ->
+          (match
+             Verifier.verify ~policies:t.config.policies ~ssa_q:obj.Objfile.ssa_q obj
+           with
+          | Error r ->
+            Error (Format.asprintf "verifier: %a" Verifier.pp_rejection r)
+          | Ok report ->
+            (match Loader.rewrite_imms t.mem loaded ~policies:t.config.policies with
+            | Error e -> Error ("imm rewriter: " ^ Loader.error_to_string e)
+            | Ok rewritten ->
+              t.loaded <- Some loaded;
+              t.verified <- true;
+              Ok (report, rewritten))))))
+
+let ecall_receive_userdata t sealed =
+  match t.owner_session with
+  | None -> Error "no data-owner session established"
+  | Some session ->
+    (match Channel.open_ session.Ratls.rx sealed with
+    | exception Channel.Auth_failure -> Error "data record failed authentication"
+    | plaintext ->
+      t.input_queue <- t.input_queue @ [ plaintext ];
+      Ok ())
+
+type run_stats = {
+  exit : Interp.exit_reason;
+  cycles : int;
+  instructions : int;
+  aexes : int;
+  ocalls : int;
+  leaked_bytes : int;
+  sealed_outputs : bytes list;
+}
+
+(* OCall wrappers: P0. Buffers handed out by the target are validated to
+   lie inside the data/stack regions before the wrapper touches them. *)
+let buffer_ok t addr nelems =
+  let lo = t.layout.Layout.data_lo and hi = t.layout.Layout.stack_hi in
+  nelems >= 0 && nelems <= 1 lsl 20 && addr >= lo && addr + (8 * nelems) <= hi
+
+(* per-byte cycle surcharge for record encryption done by the wrapper *)
+let crypto_cycles_per_byte = 4
+
+let run t =
+  if not t.verified then Error "no verified target binary loaded"
+  else begin
+    match (t.loaded, t.owner_session) with
+    | None, _ -> Error "no verified target binary loaded"
+    | _, None -> Error "no data-owner session established (output cannot be protected)"
+    | Some loaded, Some owner ->
+      let outputs = ref [] in
+      let seal_record plaintext pad_to itp =
+        Interp.add_cycles itp (crypto_cycles_per_byte * (Bytes.length plaintext + pad_to));
+        Channel.seal_padded owner.Ratls.tx ~pad_to plaintext
+      in
+      let entropy_exceeded spec bits =
+        match spec.Manifest.max_output_bits with
+        | Some budget -> t.bits_sent + bits > budget
+        | None -> false
+      in
+      let ocall index itp =
+        match Manifest.find_ocall t.config.manifest index with
+        | None -> Interp.Halt (Interp.Ocall_denied index)
+        | Some spec ->
+          let rdi = Int64.to_int (Interp.read_reg itp Isa.RDI) in
+          let rsi = Int64.to_int (Interp.read_reg itp Isa.RSI) in
+          (match spec.Manifest.name with
+          | "send" ->
+            if not (buffer_ok t rdi rsi) then Interp.Halt (Interp.Ocall_denied index)
+            else if entropy_exceeded spec (8 * rsi) then Interp.Halt (Interp.Ocall_denied index)
+            else begin
+              let plain = Bytes.create rsi in
+              for i = 0 to rsi - 1 do
+                let v = Memory.priv_read_u64 t.mem (rdi + (8 * i)) in
+                Bytes.set plain i (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
+              done;
+              t.bits_sent <- t.bits_sent + (8 * rsi);
+              let pad = match spec.Manifest.pad_output_to with Some p -> p | None -> rsi in
+              outputs := seal_record plain (max pad rsi) itp :: !outputs;
+              Interp.write_reg itp Isa.RAX (Int64.of_int rsi);
+              Interp.Continue
+            end
+          | "recv" ->
+            if not (buffer_ok t rdi rsi) then Interp.Halt (Interp.Ocall_denied index)
+            else begin
+              match t.input_queue with
+              | [] ->
+                Interp.write_reg itp Isa.RAX 0L;
+                Interp.Continue
+              | chunk :: rest ->
+                t.input_queue <- rest;
+                let k = min rsi (Bytes.length chunk) in
+                for i = 0 to k - 1 do
+                  Memory.priv_write_u64 t.mem (rdi + (8 * i))
+                    (Int64.of_int (Char.code (Bytes.get chunk i)))
+                done;
+                Interp.write_reg itp Isa.RAX (Int64.of_int k);
+                Interp.Continue
+            end
+          | "oram_read" -> (
+            match t.oram with
+            | None -> Interp.Halt (Interp.Ocall_denied index)
+            | Some oram ->
+              if rdi < 0 || rdi >= Deflection_oram.Path_oram.capacity oram then
+                Interp.Halt (Interp.Ocall_denied index)
+              else begin
+                let v = Deflection_oram.Path_oram.read oram rdi in
+                (* one path read + one write-back, a few cycles per bucket *)
+                Interp.add_cycles itp
+                  (64 * 2 * (Deflection_oram.Path_oram.height oram + 1));
+                Interp.write_reg itp Isa.RAX v;
+                Interp.Continue
+              end)
+          | "oram_write" -> (
+            match t.oram with
+            | None -> Interp.Halt (Interp.Ocall_denied index)
+            | Some oram ->
+              if rdi < 0 || rdi >= Deflection_oram.Path_oram.capacity oram then
+                Interp.Halt (Interp.Ocall_denied index)
+              else begin
+                Deflection_oram.Path_oram.write oram rdi (Interp.read_reg itp Isa.RSI);
+                Interp.add_cycles itp
+                  (64 * 2 * (Deflection_oram.Path_oram.height oram + 1));
+                Interp.write_reg itp Isa.RAX 0L;
+                Interp.Continue
+              end)
+          | "print" ->
+            let plain = Bytes.of_string (Int64.to_string (Interp.read_reg itp Isa.RDI)) in
+            if entropy_exceeded spec (8 * Bytes.length plain) then
+              Interp.Halt (Interp.Ocall_denied index)
+            else begin
+              t.bits_sent <- t.bits_sent + (8 * Bytes.length plain);
+              let pad =
+                match spec.Manifest.pad_output_to with
+                | Some p -> p
+                | None -> Bytes.length plain
+              in
+              outputs := seal_record plain (max pad (Bytes.length plain)) itp :: !outputs;
+              Interp.write_reg itp Isa.RAX 0L;
+              Interp.Continue
+            end
+          | _ -> Interp.Halt (Interp.Ocall_denied index))
+      in
+      let itp = Interp.create ~config:t.config.interp ~ocall t.mem in
+      Interp.init_stack itp;
+      (* R15 is the reserved shadow-stack pointer; target code cannot
+         write it (the verifier rejects such instructions under P5) *)
+      Interp.write_reg itp Deflection_annot.Annot.shadow_stack_reg
+        (Int64.of_int (Deflection_enclave.Layout.ss_stack_base t.layout));
+      let exit = Interp.run itp ~entry:loaded.Loader.entry_addr in
+      (* on-demand time blurring (paper Section VII): the reply is held
+         until the next quantum boundary, so completion time reveals only
+         a coarse bucket *)
+      (match t.config.manifest.Manifest.time_quantum with
+      | Some q when q > 0 ->
+        let c = Interp.cycles itp in
+        let padded = (c + q - 1) / q * q in
+        Interp.add_cycles itp (padded - c)
+      | Some _ | None -> ());
+      Ok
+        {
+          exit;
+          cycles = Interp.cycles itp;
+          instructions = Interp.instructions itp;
+          aexes = Interp.aex_count itp;
+          ocalls = Interp.ocall_count itp;
+          leaked_bytes = Memory.leaked_bytes t.mem;
+          sealed_outputs = List.rev !outputs;
+        }
+  end

@@ -1,0 +1,81 @@
+(** The bootstrap enclave — the paper's trusted code consumer.
+
+    Its public, attestable code consists of the loader, the verifier, the
+    imm rewriter and the OCall wrappers; its measurement covers that code
+    and the enclave geometry, but deliberately {e not} the target binary,
+    which arrives later through an ECall ([ecall_receive_binary]) over the
+    code provider's secure channel.
+
+    P0 enforcement lives here: only the manifest's OCalls are reachable;
+    [send]/[print] output is encrypted to the data owner's session key and
+    padded to a fixed record size; an optional entropy budget caps the
+    total plaintext bits the service may emit. *)
+
+module Layout = Deflection_enclave.Layout
+module Memory = Deflection_enclave.Memory
+module Manifest = Deflection_policy.Manifest
+module Policy = Deflection_policy.Policy
+module Interp = Deflection_runtime.Interp
+module Verifier = Deflection_verifier.Verifier
+module Attestation = Deflection_attestation.Attestation
+
+type config = {
+  layout : Layout.config;
+  manifest : Manifest.t;
+  interp : Interp.config;
+  policies : Policy.Set.t;  (** the policy set this enclave enforces *)
+  seed : int64;
+  oram_capacity : int option;
+      (** when set (and the manifest includes the [oram_*] OCalls, see
+          {!Manifest.with_oram}), the enclave offers oblivious storage in
+          untrusted host memory through a Path ORAM (paper Section VII) *)
+}
+
+val default_config : config
+(** Small layout, P1-P6, calm platform (no AEX injection). *)
+
+type t
+
+val create : ?config:config -> platform:Attestation.Platform.t -> unit -> t
+val config : t -> config
+val measurement : t -> bytes
+(** The MRENCLAVE a remote party must expect. *)
+
+val consumer_code : config -> bytes
+(** The canonical bytes of the public consumer build measured into the
+    enclave (a stand-in for the real loader/verifier binary; it commits to
+    the consumer version, the manifest and the enforced policy set). *)
+
+val accept_party :
+  t -> role:Attestation.Ratls.role -> Attestation.Ratls.hello -> Attestation.Ratls.reply
+(** RA-TLS handshake with the code provider or the data owner; the
+    resulting session is retained inside the enclave. *)
+
+val ecall_receive_binary : t -> bytes -> (Verifier.report * int, string) result
+(** Decrypt the sealed target binary with the provider session, parse it,
+    dynamically load and relocate it, run the verifier, and (only on
+    acceptance) rewrite the annotation immediates. Returns the verifier
+    report and the number of rewritten immediates. *)
+
+val ecall_receive_userdata : t -> bytes -> (unit, string) result
+(** Decrypt a sealed data record with the owner session and queue it for
+    the service's [recv] OCall. *)
+
+type run_stats = {
+  exit : Interp.exit_reason;
+  cycles : int;
+  instructions : int;
+  aexes : int;
+  ocalls : int;
+  leaked_bytes : int;
+  sealed_outputs : bytes list;  (** records encrypted to the data owner *)
+}
+
+val run : t -> (run_stats, string) result
+(** Transfer execution to the verified target program. *)
+
+val memory : t -> Memory.t
+
+val oram_trace : t -> int list option
+(** The bucket-access trace the untrusted host observed from the ORAM, if
+    one is configured — the obliviousness tests inspect it. *)

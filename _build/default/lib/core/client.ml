@@ -1,0 +1,9 @@
+module Ratls = Deflection_attestation.Attestation.Ratls
+module Channel = Deflection_crypto.Channel
+
+let seal_data (session : Ratls.session) data = Channel.seal session.Ratls.tx data
+
+let open_outputs (session : Ratls.session) records =
+  try
+    Ok (List.map (fun r -> Channel.open_padded session.Ratls.rx r) records)
+  with Channel.Auth_failure -> Error "output record failed authentication"

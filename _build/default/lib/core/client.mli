@@ -1,0 +1,9 @@
+(** The data owner: attests the bootstrap enclave, uploads sensitive data
+    over its session, and decrypts the service's sealed outputs. *)
+
+module Ratls = Deflection_attestation.Attestation.Ratls
+
+val seal_data : Ratls.session -> bytes -> bytes
+
+val open_outputs : Ratls.session -> bytes list -> (bytes list, string) result
+(** Decrypt (and unpad) the enclave's output records, in order. *)

@@ -1,0 +1,10 @@
+module Frontend = Deflection_compiler.Frontend
+module Objfile = Deflection_isa.Objfile
+module Policy = Deflection_policy.Policy
+module Ratls = Deflection_attestation.Attestation.Ratls
+module Channel = Deflection_crypto.Channel
+
+let build ?policies ?ssa_q ?optimize src = Frontend.compile ?policies ?ssa_q ?optimize src
+
+let deliver (session : Ratls.session) obj =
+  Channel.seal session.Ratls.tx (Objfile.serialize obj)

@@ -1,0 +1,20 @@
+(** The code provider: builds the policy-compliant target binary with the
+    untrusted code generator and delivers it, sealed, over its RA-TLS
+    session. The provider's source never leaves its side in the clear. *)
+
+module Frontend = Deflection_compiler.Frontend
+module Objfile = Deflection_isa.Objfile
+module Policy = Deflection_policy.Policy
+module Ratls = Deflection_attestation.Attestation.Ratls
+
+val build :
+  ?policies:Policy.Set.t ->
+  ?ssa_q:int ->
+  ?optimize:bool ->
+  string ->
+  (Objfile.t, Frontend.error) result
+(** Compile and instrument MiniC source (defaults: P1-P6, q=20,
+    optimization on). *)
+
+val deliver : Ratls.session -> Objfile.t -> bytes
+(** Seal the serialized binary for the bootstrap enclave. *)

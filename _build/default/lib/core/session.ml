@@ -1,0 +1,87 @@
+module Policy = Deflection_policy.Policy
+module Interp = Deflection_runtime.Interp
+module Verifier = Deflection_verifier.Verifier
+module Layout = Deflection_enclave.Layout
+module Manifest = Deflection_policy.Manifest
+module Attestation = Deflection_attestation.Attestation
+module Ratls = Attestation.Ratls
+module Frontend = Deflection_compiler.Frontend
+
+type outcome = {
+  verifier_report : Verifier.report;
+  rewritten_imms : int;
+  exit : Interp.exit_reason;
+  cycles : int;
+  instructions : int;
+  aexes : int;
+  ocalls : int;
+  leaked_bytes : int;
+  outputs : bytes list;
+}
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let run ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?optimize ?layout ?manifest ?interp
+    ?(seed = 1L) ?oram_capacity ~source ~inputs () =
+  let config =
+    {
+      Bootstrap.layout = (match layout with Some l -> l | None -> Bootstrap.default_config.Bootstrap.layout);
+      manifest = (match manifest with Some m -> m | None -> Manifest.default);
+      interp = (match interp with Some i -> i | None -> Interp.default_config);
+      policies;
+      seed;
+      oram_capacity;
+    }
+  in
+  let platform = Attestation.Platform.create ~seed:(Int64.add seed 1000L) in
+  let ias = Attestation.Ias.for_platform platform in
+  let enclave = Bootstrap.create ~config ~platform () in
+  let expected_measurement = Bootstrap.measurement enclave in
+  (* --- code provider: attest, compile, deliver --- *)
+  let provider_prng = Deflection_util.Prng.create (Int64.add seed 2000L) in
+  let hello_p, kp_p = Ratls.party_begin provider_prng in
+  let reply_p = Bootstrap.accept_party enclave ~role:Ratls.Code_provider hello_p in
+  let* provider_session =
+    Ratls.party_complete kp_p ~role:Ratls.Code_provider ~ias ~expected_measurement reply_p
+  in
+  let* obj =
+    match Service.build ~policies ~ssa_q ?optimize source with
+    | Ok obj -> Ok obj
+    | Error e -> Error (Format.asprintf "compile error: %a" Frontend.pp_error e)
+  in
+  let sealed_binary = Service.deliver provider_session obj in
+  let* report, rewritten_imms = Bootstrap.ecall_receive_binary enclave sealed_binary in
+  (* --- data owner: attest, upload --- *)
+  let owner_prng = Deflection_util.Prng.create (Int64.add seed 3000L) in
+  let hello_o, kp_o = Ratls.party_begin owner_prng in
+  let reply_o = Bootstrap.accept_party enclave ~role:Ratls.Data_owner hello_o in
+  let* owner_session =
+    Ratls.party_complete kp_o ~role:Ratls.Data_owner ~ias ~expected_measurement reply_o
+  in
+  let* () =
+    List.fold_left
+      (fun acc chunk ->
+        let* () = acc in
+        Bootstrap.ecall_receive_userdata enclave (Client.seal_data owner_session chunk))
+      (Ok ()) inputs
+  in
+  (* --- execute and decrypt the results --- *)
+  let* stats = Bootstrap.run enclave in
+  let* outputs = Client.open_outputs owner_session stats.Bootstrap.sealed_outputs in
+  Ok
+    {
+      verifier_report = report;
+      rewritten_imms;
+      exit = stats.Bootstrap.exit;
+      cycles = stats.Bootstrap.cycles;
+      instructions = stats.Bootstrap.instructions;
+      aexes = stats.Bootstrap.aexes;
+      ocalls = stats.Bootstrap.ocalls;
+      leaked_bytes = stats.Bootstrap.leaked_bytes;
+      outputs;
+    }
+
+let compile_only ?policies ?ssa_q src =
+  match Frontend.compile ?policies ?ssa_q src with
+  | Ok obj -> Ok obj
+  | Error e -> Error (Format.asprintf "compile error: %a" Frontend.pp_error e)

@@ -1,0 +1,50 @@
+(** End-to-end CCaaS session orchestration (the full Figure-3 workflow):
+
+    platform setup -> bootstrap enclave -> code-provider attestation +
+    sealed binary delivery -> load/verify/rewrite -> data-owner attestation
+    + sealed data upload -> execution -> sealed outputs decrypted by the
+    owner.
+
+    This is the one-call API used by the examples and the benchmark
+    harness. *)
+
+module Policy = Deflection_policy.Policy
+module Interp = Deflection_runtime.Interp
+module Verifier = Deflection_verifier.Verifier
+module Layout = Deflection_enclave.Layout
+module Manifest = Deflection_policy.Manifest
+
+type outcome = {
+  verifier_report : Verifier.report;
+  rewritten_imms : int;
+  exit : Interp.exit_reason;
+  cycles : int;
+  instructions : int;
+  aexes : int;
+  ocalls : int;
+  leaked_bytes : int;
+  outputs : bytes list;  (** plaintext records, decrypted by the owner *)
+}
+
+val run :
+  ?policies:Policy.Set.t ->
+  ?ssa_q:int ->
+  ?optimize:bool ->
+  ?layout:Layout.config ->
+  ?manifest:Manifest.t ->
+  ?interp:Interp.config ->
+  ?seed:int64 ->
+  ?oram_capacity:int ->
+  source:string ->
+  inputs:bytes list ->
+  unit ->
+  (outcome, string) result
+(** Run the whole protocol. [inputs] are the data owner's chunks, consumed
+    one per [recv] OCall. Defaults: P1-P6, q=20, small layout, default
+    manifest, calm platform. *)
+
+val compile_only :
+  ?policies:Policy.Set.t ->
+  ?ssa_q:int ->
+  string ->
+  (Deflection_isa.Objfile.t, string) result

@@ -1,0 +1,1 @@
+lib/crypto/channel.ml: Bytes Chacha20 Char Deflection_util Hmac Int64

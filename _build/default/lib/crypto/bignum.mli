@@ -1,0 +1,44 @@
+(** Arbitrary-precision natural numbers, just large enough to run the
+    Diffie–Hellman key agreement of the RA-TLS channel (the paper's key
+    agreement procedure, Section III-A). Little-endian limbs in base 2^26.
+
+    Only the operations the protocol needs are exposed; all values are
+    non-negative and [sub] requires its first argument to dominate. *)
+
+type t
+
+val zero : t
+val one : t
+val of_int : int -> t
+(** Requires a non-negative argument. *)
+
+val to_int_opt : t -> int option
+(** [Some n] when the value fits in a native int. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** [sub a b] requires [a >= b]; raises [Invalid_argument] otherwise. *)
+
+val mul : t -> t -> t
+val divmod : t -> t -> t * t
+(** [divmod a b = (q, r)] with [a = q*b + r], [r < b]. Raises
+    [Division_by_zero] when [b] is zero. *)
+
+val rem : t -> t -> t
+val mod_pow : t -> t -> t -> t
+(** [mod_pow base exp m] is [base^exp mod m]. *)
+
+val bit_length : t -> int
+val shift_left : t -> int -> t
+val of_bytes_be : bytes -> t
+val to_bytes_be : ?pad_to:int -> t -> bytes
+val of_hex : string -> t
+val to_hex : t -> string
+val random_below : Deflection_util.Prng.t -> t -> t
+(** Uniform-ish value in [\[1, n)]; requires [n > 1]. *)
+
+val pp : Format.formatter -> t -> unit

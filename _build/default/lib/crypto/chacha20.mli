@@ -1,0 +1,9 @@
+(** ChaCha20 stream cipher (RFC 8439 quarter-round/block function). Used by
+    the RA-TLS-style secure channel for record encryption. Encryption and
+    decryption are the same XOR operation. *)
+
+val block : key:bytes -> nonce:bytes -> counter:int -> bytes
+(** The raw 64-byte keystream block. [key] is 32 bytes, [nonce] 12 bytes. *)
+
+val xor : key:bytes -> nonce:bytes -> ?counter:int -> bytes -> bytes
+(** [xor ~key ~nonce data] encrypts (or decrypts) [data]. *)

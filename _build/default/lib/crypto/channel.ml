@@ -1,0 +1,80 @@
+type t = {
+  enc_key : bytes;
+  mac_key : bytes;
+  mutable seal_seq : int;
+  mutable open_seq : int;
+}
+
+exception Auth_failure
+
+let create ~key =
+  if Bytes.length key <> 32 then invalid_arg "Channel.create: key must be 32 bytes";
+  {
+    enc_key = Hmac.hkdf ~key ~info:"record-encryption" 32;
+    mac_key = Hmac.hkdf ~key ~info:"record-mac" 32;
+    seal_seq = 0;
+    open_seq = 0;
+  }
+
+let derive_directional ~key ~label = Hmac.hkdf ~key ~info:("direction:" ^ label) 32
+
+let nonce_of_seq seq =
+  let n = Bytes.make 12 '\x00' in
+  for i = 0 to 7 do
+    Bytes.set n i (Char.chr ((seq lsr (8 * i)) land 0xff))
+  done;
+  n
+
+(* Record: u64 seq || u32 len || ciphertext || 32-byte tag over everything
+   before the tag. *)
+let seal t plaintext =
+  let seq = t.seal_seq in
+  t.seal_seq <- seq + 1;
+  let cipher = Chacha20.xor ~key:t.enc_key ~nonce:(nonce_of_seq seq) plaintext in
+  let buf = Deflection_util.Bytebuf.create () in
+  Deflection_util.Bytebuf.u64 buf (Int64.of_int seq);
+  Deflection_util.Bytebuf.u32 buf (Bytes.length cipher);
+  Deflection_util.Bytebuf.raw buf cipher;
+  let body = Deflection_util.Bytebuf.contents buf in
+  let tag = Hmac.sha256 ~key:t.mac_key body in
+  Bytes.cat body tag
+
+let open_ t record =
+  if Bytes.length record < 8 + 4 + 32 then raise Auth_failure;
+  let body_len = Bytes.length record - 32 in
+  let body = Bytes.sub record 0 body_len in
+  let tag = Bytes.sub record body_len 32 in
+  if not (Hmac.verify ~key:t.mac_key body ~tag) then raise Auth_failure;
+  let r = Deflection_util.Bytebuf.Reader.of_bytes body in
+  let seq = Int64.to_int (Deflection_util.Bytebuf.Reader.u64 r) in
+  if seq <> t.open_seq then raise Auth_failure;
+  t.open_seq <- seq + 1;
+  let len = Deflection_util.Bytebuf.Reader.u32 r in
+  let cipher =
+    try Deflection_util.Bytebuf.Reader.raw r len
+    with Deflection_util.Bytebuf.Reader.Truncated -> raise Auth_failure
+  in
+  Chacha20.xor ~key:t.enc_key ~nonce:(nonce_of_seq seq) cipher
+
+let seal_padded t ~pad_to plaintext =
+  let n = Bytes.length plaintext in
+  if n > pad_to then invalid_arg "Channel.seal_padded: plaintext exceeds pad size";
+  let padded = Bytes.make (4 + pad_to) '\x00' in
+  Bytes.set padded 0 (Char.chr (n land 0xff));
+  Bytes.set padded 1 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set padded 2 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set padded 3 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.blit plaintext 0 padded 4 n;
+  seal t padded
+
+let open_padded t record =
+  let padded = open_ t record in
+  if Bytes.length padded < 4 then raise Auth_failure;
+  let n =
+    Char.code (Bytes.get padded 0)
+    lor (Char.code (Bytes.get padded 1) lsl 8)
+    lor (Char.code (Bytes.get padded 2) lsl 16)
+    lor (Char.code (Bytes.get padded 3) lsl 24)
+  in
+  if n > Bytes.length padded - 4 then raise Auth_failure;
+  Bytes.sub padded 4 n

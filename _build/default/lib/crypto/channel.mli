@@ -1,0 +1,36 @@
+(** Authenticated-encryption record layer for the RA-TLS-style channels.
+
+    Records are encrypted with ChaCha20 and authenticated with HMAC-SHA256
+    (encrypt-then-MAC); a per-direction nonce counter provides replay
+    protection. [seal_padded] implements the paper's P0 entropy control:
+    every outgoing record is padded to a fixed size so that record lengths
+    carry no information. *)
+
+type t
+
+exception Auth_failure
+(** Raised by [open_] when a record fails authentication, is replayed, or
+    is malformed. *)
+
+val create : key:bytes -> t
+(** [key] is 32 bytes of agreed key material; encryption and MAC keys are
+    derived from it. Each endpoint creates two channels (send/recv) from
+    direction-labelled keys — see {!derive_directional}. *)
+
+val derive_directional : key:bytes -> label:string -> bytes
+(** Derive a direction-specific 32-byte key (e.g. labels
+    ["owner->enclave"], ["enclave->owner"]). *)
+
+val seal : t -> bytes -> bytes
+(** Encrypt and authenticate one record. *)
+
+val seal_padded : t -> pad_to:int -> bytes -> bytes
+(** Like {!seal} but first pads the plaintext to exactly [pad_to] bytes
+    (with an embedded true-length header). Raises [Invalid_argument] if the
+    plaintext exceeds [pad_to]. *)
+
+val open_ : t -> bytes -> bytes
+(** Authenticate and decrypt one record (inverse of [seal]). *)
+
+val open_padded : t -> bytes -> bytes
+(** Inverse of [seal_padded]: strips the padding. *)

@@ -1,0 +1,15 @@
+type group = { p : Bignum.t; g : Bignum.t }
+
+let mersenne k = Bignum.sub (Bignum.shift_left Bignum.one k) Bignum.one
+let default_group = { p = mersenne 521; g = Bignum.of_int 3 }
+let test_group = { p = mersenne 127; g = Bignum.of_int 3 }
+
+type keypair = { secret : Bignum.t; public : Bignum.t }
+
+let generate ?(group = default_group) prng =
+  let secret = Bignum.random_below prng group.p in
+  { secret; public = Bignum.mod_pow group.g secret group.p }
+
+let shared_secret ?(group = default_group) kp their_public =
+  let shared = Bignum.mod_pow their_public kp.secret group.p in
+  Sha256.digest (Bignum.to_bytes_be shared)

@@ -1,0 +1,136 @@
+(* SHA-256 over native ints masked to 32 bits (OCaml ints are 63-bit, so a
+   32-bit word always fits; [mask] truncates after additions). *)
+
+let mask = 0xFFFFFFFF
+let ( &: ) a b = a land b
+let ( |: ) a b = a lor b
+let ( ^: ) a b = a lxor b
+let ( +: ) a b = (a + b) land mask
+let rotr x n = ((x lsr n) |: (x lsl (32 - n))) land mask
+let shr x n = x lsr n
+
+let k =
+  [| 0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
+     0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
+     0x72be5d74; 0x80deb1fe; 0x9bdc06a7; 0xc19bf174; 0xe49b69c1; 0xefbe4786;
+     0x0fc19dc6; 0x240ca1cc; 0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da;
+     0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+     0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc; 0x53380d13;
+     0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85; 0xa2bfe8a1; 0xa81a664b;
+     0xc24b8b70; 0xc76c51a3; 0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070;
+     0x19a4c116; 0x1e376c08; 0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a;
+     0x5b9cca4f; 0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+     0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2 |]
+
+type ctx = {
+  h : int array; (* 8 state words *)
+  block : bytes; (* 64-byte working block *)
+  mutable fill : int; (* bytes pending in [block] *)
+  mutable total : int64; (* total message bytes *)
+}
+
+let init () =
+  {
+    h =
+      [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
+         0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |];
+    block = Bytes.create 64;
+    fill = 0;
+    total = 0L;
+  }
+
+let w = Array.make 64 0
+
+let compress ctx =
+  let b = ctx.block in
+  for i = 0 to 15 do
+    w.(i) <-
+      (Char.code (Bytes.get b (4 * i)) lsl 24)
+      |: (Char.code (Bytes.get b ((4 * i) + 1)) lsl 16)
+      |: (Char.code (Bytes.get b ((4 * i) + 2)) lsl 8)
+      |: Char.code (Bytes.get b ((4 * i) + 3))
+  done;
+  for i = 16 to 63 do
+    let s0 = rotr w.(i - 15) 7 ^: rotr w.(i - 15) 18 ^: shr w.(i - 15) 3 in
+    let s1 = rotr w.(i - 2) 17 ^: rotr w.(i - 2) 19 ^: shr w.(i - 2) 10 in
+    w.(i) <- w.(i - 16) +: s0 +: w.(i - 7) +: s1
+  done;
+  let a = ref ctx.h.(0)
+  and b' = ref ctx.h.(1)
+  and c = ref ctx.h.(2)
+  and d = ref ctx.h.(3)
+  and e = ref ctx.h.(4)
+  and f = ref ctx.h.(5)
+  and g = ref ctx.h.(6)
+  and h' = ref ctx.h.(7) in
+  for i = 0 to 63 do
+    let s1 = rotr !e 6 ^: rotr !e 11 ^: rotr !e 25 in
+    let ch = (!e &: !f) ^: (lnot !e &: !g &: mask) in
+    let temp1 = !h' +: s1 +: ch +: k.(i) +: w.(i) in
+    let s0 = rotr !a 2 ^: rotr !a 13 ^: rotr !a 22 in
+    let maj = (!a &: !b') ^: (!a &: !c) ^: (!b' &: !c) in
+    let temp2 = s0 +: maj in
+    h' := !g;
+    g := !f;
+    f := !e;
+    e := !d +: temp1;
+    d := !c;
+    c := !b';
+    b' := !a;
+    a := temp1 +: temp2
+  done;
+  ctx.h.(0) <- ctx.h.(0) +: !a;
+  ctx.h.(1) <- ctx.h.(1) +: !b';
+  ctx.h.(2) <- ctx.h.(2) +: !c;
+  ctx.h.(3) <- ctx.h.(3) +: !d;
+  ctx.h.(4) <- ctx.h.(4) +: !e;
+  ctx.h.(5) <- ctx.h.(5) +: !f;
+  ctx.h.(6) <- ctx.h.(6) +: !g;
+  ctx.h.(7) <- ctx.h.(7) +: !h'
+
+let update ctx data =
+  let n = Bytes.length data in
+  ctx.total <- Int64.add ctx.total (Int64.of_int n);
+  let pos = ref 0 in
+  while !pos < n do
+    let take = min (64 - ctx.fill) (n - !pos) in
+    Bytes.blit data !pos ctx.block ctx.fill take;
+    ctx.fill <- ctx.fill + take;
+    pos := !pos + take;
+    if ctx.fill = 64 then begin
+      compress ctx;
+      ctx.fill <- 0
+    end
+  done
+
+let update_string ctx s = update ctx (Bytes.of_string s)
+
+let finalize ctx =
+  let bitlen = Int64.mul ctx.total 8L in
+  update ctx (Bytes.make 1 '\x80');
+  while ctx.fill <> 56 do
+    update ctx (Bytes.make 1 '\x00')
+  done;
+  let len = Bytes.create 8 in
+  for i = 0 to 7 do
+    Bytes.set len i
+      (Char.chr
+         (Int64.to_int (Int64.shift_right_logical bitlen (8 * (7 - i))) land 0xff))
+  done;
+  update ctx len;
+  let out = Bytes.create 32 in
+  for i = 0 to 7 do
+    Bytes.set out (4 * i) (Char.chr ((ctx.h.(i) lsr 24) land 0xff));
+    Bytes.set out ((4 * i) + 1) (Char.chr ((ctx.h.(i) lsr 16) land 0xff));
+    Bytes.set out ((4 * i) + 2) (Char.chr ((ctx.h.(i) lsr 8) land 0xff));
+    Bytes.set out ((4 * i) + 3) (Char.chr (ctx.h.(i) land 0xff))
+  done;
+  out
+
+let digest data =
+  let ctx = init () in
+  update ctx data;
+  finalize ctx
+
+let digest_string s = digest (Bytes.of_string s)
+let hex_digest_string s = Deflection_util.Hex.encode (digest_string s)

@@ -1,0 +1,17 @@
+(** SHA-256 (FIPS 180-4). Pure OCaml; used for enclave measurements,
+    quote report data and as the compression function behind {!Hmac}. *)
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> bytes -> unit
+val update_string : ctx -> string -> unit
+
+val finalize : ctx -> bytes
+(** 32-byte digest. The context must not be reused afterwards. *)
+
+val digest : bytes -> bytes
+val digest_string : string -> bytes
+
+val hex_digest_string : string -> string
+(** Convenience: lowercase hex of [digest_string]. *)

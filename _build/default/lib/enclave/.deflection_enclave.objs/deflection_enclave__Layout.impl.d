@@ -1,0 +1,1 @@
+lib/enclave/layout.ml: Format

@@ -1,0 +1,1 @@
+lib/enclave/measurement.ml: Deflection_crypto Deflection_util Layout Printf

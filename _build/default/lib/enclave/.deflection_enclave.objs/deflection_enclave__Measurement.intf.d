@@ -1,0 +1,1 @@
+lib/enclave/measurement.mli: Layout

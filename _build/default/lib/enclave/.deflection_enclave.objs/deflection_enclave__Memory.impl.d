@@ -1,0 +1,1 @@
+lib/enclave/memory.ml: Array Bytes Char Format Hashtbl Int64 Layout List

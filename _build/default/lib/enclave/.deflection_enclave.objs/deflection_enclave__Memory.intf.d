@@ -1,0 +1,1 @@
+lib/enclave/memory.mli: Format Layout

@@ -1,0 +1,136 @@
+let page_size = 4096
+
+type config = {
+  base : int;
+  branch_table_size : int;
+  shadow_stack_size : int;
+  consumer_size : int;
+  code_size : int;
+  data_size : int;
+  stack_size : int;
+}
+
+let default_config =
+  {
+    base = 0x100000;
+    branch_table_size = 16 * 1024;
+    shadow_stack_size = 64 * 1024;
+    consumer_size = 64 * 1024;
+    code_size = 512 * 1024;
+    data_size = 4 * 1024 * 1024;
+    stack_size = 256 * 1024;
+  }
+
+let small_config =
+  {
+    base = 0x10000;
+    branch_table_size = 4096;
+    shadow_stack_size = 8192;
+    consumer_size = 4096;
+    code_size = 64 * 1024;
+    data_size = 128 * 1024;
+    stack_size = 32 * 1024;
+  }
+
+type t = {
+  config : config;
+  base : int;
+  ssa_lo : int;
+  ssa_hi : int;
+  tcs_lo : int;
+  tcs_hi : int;
+  branch_lo : int;
+  branch_hi : int;
+  ss_guard_lo : int;
+  ss_lo : int;
+  ss_hi : int;
+  ss_guard_hi : int;
+  consumer_lo : int;
+  consumer_hi : int;
+  code_lo : int;
+  code_hi : int;
+  data_lo : int;
+  data_hi : int;
+  stack_guard_lo : int;
+  stack_lo : int;
+  stack_hi : int;
+  stack_guard_hi : int;
+  limit : int;
+}
+
+let round_up n = (n + page_size - 1) / page_size * page_size
+
+let make (config : config) =
+  if config.base mod page_size <> 0 then invalid_arg "Layout.make: base not page-aligned";
+  let cursor = ref config.base in
+  let region size =
+    let lo = !cursor in
+    cursor := lo + round_up size;
+    (lo, !cursor)
+  in
+  let ssa_lo, ssa_hi = region page_size in
+  let tcs_lo, tcs_hi = region page_size in
+  let branch_lo, branch_hi = region config.branch_table_size in
+  let ss_guard_lo, ss_lo = region page_size in
+  let _, ss_hi = region config.shadow_stack_size in
+  let _, ss_guard_hi = region page_size in
+  let consumer_lo, consumer_hi = region config.consumer_size in
+  let code_lo, code_hi = region config.code_size in
+  let data_lo, data_hi = region config.data_size in
+  let stack_guard_lo, stack_lo = region page_size in
+  let _, stack_hi = region config.stack_size in
+  let _, stack_guard_hi = region page_size in
+  {
+    config;
+    base = config.base;
+    ssa_lo;
+    ssa_hi;
+    tcs_lo;
+    tcs_hi;
+    branch_lo;
+    branch_hi;
+    ss_guard_lo;
+    ss_lo;
+    ss_hi;
+    ss_guard_hi;
+    consumer_lo;
+    consumer_hi;
+    code_lo;
+    code_hi;
+    data_lo;
+    data_hi;
+    stack_guard_lo;
+    stack_lo;
+    stack_hi;
+    stack_guard_hi;
+    limit = stack_guard_hi;
+  }
+
+let total_size t = t.limit - t.base
+let ss_ptr_cell t = t.ss_lo
+let aex_counter_cell t = t.ss_lo + 8
+let aex_threshold_cell t = t.ss_lo + 16
+let colocation_cell t = t.ss_lo + 24
+let ss_stack_base t = t.ss_lo + 64
+let ssa_marker_addr t = t.ssa_lo
+
+let store_bounds t ~p3 ~p4 =
+  if p4 then (t.data_lo, t.limit)
+  else if p3 then (t.code_lo, t.limit)
+  else (t.base, t.limit)
+
+let pp fmt t =
+  let r name lo hi = Format.fprintf fmt "  %-14s %#x .. %#x (%d KiB)@." name lo hi ((hi - lo) / 1024) in
+  Format.fprintf fmt "enclave ELRANGE %#x .. %#x@." t.base t.limit;
+  r "ssa" t.ssa_lo t.ssa_hi;
+  r "tcs" t.tcs_lo t.tcs_hi;
+  r "branch-table" t.branch_lo t.branch_hi;
+  r "ss-guard" t.ss_guard_lo t.ss_lo;
+  r "shadow-stack" t.ss_lo t.ss_hi;
+  r "ss-guard" t.ss_hi t.ss_guard_hi;
+  r "consumer" t.consumer_lo t.consumer_hi;
+  r "code" t.code_lo t.code_hi;
+  r "data" t.data_lo t.data_hi;
+  r "stack-guard" t.stack_guard_lo t.stack_lo;
+  r "stack" t.stack_lo t.stack_hi;
+  r "stack-guard" t.stack_hi t.stack_guard_hi

@@ -1,0 +1,84 @@
+(** The bootstrap enclave's memory map (paper Section V-B).
+
+    Regions are ordered so that each successively stronger store policy is
+    expressible as a raised lower bound for legal store destinations:
+
+    {v
+    base ->  SSA        (security-critical: AEX context dumps, P6 marker)
+             TCS        (security-critical thread control)
+             branch table     (legitimate indirect-branch targets, P5)
+             [guard] shadow stack + runtime cells [guard]   (P5/P6 state)
+             consumer   (loader/verifier code, RX, measured)
+             code       (RWX under SGXv1 - target binary, P4 protects it)
+             data       (RW: globals, bss, heap)
+             [guard] stack [guard]
+    limit -> v}
+
+    - P1 alone admits stores anywhere in \[base, limit);
+    - P3 additionally forbids the metadata below [code_lo];
+    - P4 additionally forbids the code region, leaving \[data_lo, limit). *)
+
+type config = {
+  base : int;
+  branch_table_size : int;
+  shadow_stack_size : int;
+  consumer_size : int;
+  code_size : int;
+  data_size : int;
+  stack_size : int;
+}
+
+val default_config : config
+val small_config : config
+(** A compact map for unit tests. *)
+
+type t = {
+  config : config;
+  base : int;
+  ssa_lo : int;
+  ssa_hi : int;
+  tcs_lo : int;
+  tcs_hi : int;
+  branch_lo : int;
+  branch_hi : int;
+  ss_guard_lo : int;  (** guard page below the shadow stack *)
+  ss_lo : int;
+  ss_hi : int;
+  ss_guard_hi : int;  (** one past the guard page above the shadow stack *)
+  consumer_lo : int;
+  consumer_hi : int;
+  code_lo : int;
+  code_hi : int;
+  data_lo : int;
+  data_hi : int;
+  stack_guard_lo : int;
+  stack_lo : int;
+  stack_hi : int;
+  stack_guard_hi : int;
+  limit : int;  (** one past the last enclave byte (ELRANGE end) *)
+}
+
+val page_size : int
+val make : config -> t
+val total_size : t -> int
+
+(** Well-known cells in the shadow-stack region (the runtime cells used by
+    the security annotations; they live below [code_lo], so no
+    policy-compliant store can reach them). *)
+
+val ss_ptr_cell : t -> int  (** holds the current shadow-stack top pointer *)
+
+val aex_counter_cell : t -> int
+val aex_threshold_cell : t -> int
+val colocation_cell : t -> int  (** last co-location observation (1 = same core) *)
+
+val ss_stack_base : t -> int  (** first usable shadow-stack slot *)
+
+val ssa_marker_addr : t -> int
+(** The SSA word the P6 annotations arm and inspect; an AEX context dump
+    overwrites it. *)
+
+val store_bounds : t -> p3:bool -> p4:bool -> int * int
+(** Legal [lo, hi) for annotated stores under the given policy mix. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Bytes Codec Deflection_util Format Hashtbl Isa List

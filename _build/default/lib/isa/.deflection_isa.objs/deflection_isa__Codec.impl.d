@@ -1,0 +1,1 @@
+lib/isa/codec.ml: Bytes Char Deflection_util Int64 Isa List Printf

@@ -1,0 +1,1 @@
+lib/isa/codec.mli: Deflection_util Isa

@@ -1,0 +1,1 @@
+lib/isa/isa.ml: Array Format Int64 Printf String

@@ -1,0 +1,1 @@
+lib/isa/objfile.ml: Asm Bytes Deflection_util List Printf

@@ -1,0 +1,345 @@
+open Isa
+module B = Deflection_util.Bytebuf
+
+exception Decode_error of int
+
+(* Operand modes *)
+let mode_reg = 0
+let mode_imm32 = 1
+let mode_imm64 = 2
+let mode_mem = 3
+
+let fits_i32 v = Int64.compare v 0x7FFFFFFFL <= 0 && Int64.compare v (-0x80000000L) >= 0
+
+let scale_log2 = function
+  | 1 -> 0 | 2 -> 1 | 4 -> 2 | 8 -> 3
+  | s -> invalid_arg (Printf.sprintf "Codec: invalid scale %d" s)
+
+let i32_bytes buf v =
+  (* signed 32-bit little-endian *)
+  let v = Int64.to_int (Int64.logand v 0xFFFFFFFFL) in
+  B.u32 buf v
+
+(* Encode one operand at the current buffer position. [base] is the offset of
+   the instruction start within [buf]; used to report reloc field offsets. *)
+let encode_operand buf base relocs op =
+  match op with
+  | Reg r ->
+    B.u8 buf mode_reg;
+    B.u8 buf (reg_index r)
+  | Imm v when fits_i32 v ->
+    B.u8 buf mode_imm32;
+    i32_bytes buf v
+  | Imm v ->
+    B.u8 buf mode_imm64;
+    B.u64 buf v
+  | Sym s ->
+    B.u8 buf mode_imm64;
+    relocs := (B.length buf - base, s) :: !relocs;
+    B.u64 buf 0L
+  | Mem m ->
+    if not (fits_i32 m.disp) then invalid_arg "Codec: mem displacement exceeds 32 bits";
+    B.u8 buf mode_mem;
+    let flags =
+      (match m.base with Some _ -> 1 | None -> 0)
+      lor match m.index with Some _ -> 2 | None -> 0
+    in
+    B.u8 buf flags;
+    (match m.base with Some r -> B.u8 buf (reg_index r) | None -> ());
+    (match m.index with
+    | Some r ->
+      B.u8 buf (reg_index r);
+      B.u8 buf (scale_log2 m.scale)
+    | None -> ());
+    i32_bytes buf m.disp
+
+let rel32 buf = function
+  | Rel d -> i32_bytes buf (Int64.of_int d)
+  | Lab l -> invalid_arg ("Codec: unresolved label " ^ l)
+
+let binop_code = function Add -> 0x10 | Sub -> 0x11 | And -> 0x12 | Or -> 0x13 | Xor -> 0x14 | Imul -> 0x15
+let unop_code = function Neg -> 0x16 | Not -> 0x17 | Inc -> 0x18 | Dec -> 0x19
+let shift_code = function Shl -> 0x1A | Shr -> 0x1B | Sar -> 0x1C
+let fbinop_code = function FAdd -> 0x50 | FSub -> 0x51 | FMul -> 0x52 | FDiv -> 0x53
+
+let encode buf instr =
+  let base = B.length buf in
+  let relocs = ref [] in
+  let op = encode_operand buf base relocs in
+  (match instr with
+  | Nop -> B.u8 buf 0x00
+  | Hlt -> B.u8 buf 0x01
+  | Mov (d, s) ->
+    B.u8 buf 0x02;
+    op d;
+    op s
+  | Lea (r, m) ->
+    B.u8 buf 0x03;
+    B.u8 buf (reg_index r);
+    op (Mem m)
+  | Push o ->
+    B.u8 buf 0x04;
+    op o
+  | Pop r ->
+    B.u8 buf 0x05;
+    B.u8 buf (reg_index r)
+  | Binop (b, d, s) ->
+    B.u8 buf (binop_code b);
+    op d;
+    op s
+  | Unop (u, o) ->
+    B.u8 buf (unop_code u);
+    op o
+  | Shift (s, d, c) ->
+    B.u8 buf (shift_code s);
+    op d;
+    op c
+  | Idiv o ->
+    B.u8 buf 0x1D;
+    op o
+  | Cmp (a, b) ->
+    B.u8 buf 0x20;
+    op a;
+    op b
+  | Test (a, b) ->
+    B.u8 buf 0x21;
+    op a;
+    op b
+  | Jmp t ->
+    B.u8 buf 0x30;
+    rel32 buf t
+  | Jcc (c, t) ->
+    B.u8 buf 0x31;
+    B.u8 buf (cond_index c);
+    rel32 buf t
+  | Call t ->
+    B.u8 buf 0x32;
+    rel32 buf t
+  | JmpInd o ->
+    B.u8 buf 0x33;
+    op o
+  | CallInd o ->
+    B.u8 buf 0x34;
+    op o
+  | Ret -> B.u8 buf 0x35
+  | Ocall n ->
+    B.u8 buf 0x40;
+    B.u8 buf n
+  | Fbin (f, r, o) ->
+    B.u8 buf (fbinop_code f);
+    B.u8 buf (reg_index r);
+    op o
+  | Fcmp (r, o) ->
+    B.u8 buf 0x54;
+    B.u8 buf (reg_index r);
+    op o
+  | Cvtsi2sd (r, o) ->
+    B.u8 buf 0x55;
+    B.u8 buf (reg_index r);
+    op o
+  | Cvttsd2si (r, o) ->
+    B.u8 buf 0x56;
+    B.u8 buf (reg_index r);
+    op o
+  | Fsqrt (r, o) ->
+    B.u8 buf 0x57;
+    B.u8 buf (reg_index r);
+    op o);
+  List.rev !relocs
+
+let encoded_length instr =
+  let buf = B.create () in
+  let _ = encode buf instr in
+  B.length buf
+
+(* Fixed layout description: bytes of header after the opcode, then the
+   ordered operand list. Direct-branch rel32 fields are not operands. *)
+let layout = function
+  | Nop | Hlt | Ret -> (0, [])
+  | Mov (d, s) -> (0, [ d; s ])
+  | Lea (_, m) -> (1, [ Mem m ])
+  | Push o -> (0, [ o ])
+  | Pop _ -> (1, [])
+  | Binop (_, d, s) -> (0, [ d; s ])
+  | Unop (_, o) -> (0, [ o ])
+  | Shift (_, d, c) -> (0, [ d; c ])
+  | Idiv o -> (0, [ o ])
+  | Cmp (a, b) | Test (a, b) -> (0, [ a; b ])
+  | Jmp _ | Call _ -> (0, [])
+  | Jcc _ -> (1, [])
+  | JmpInd o | CallInd o -> (0, [ o ])
+  | Ocall _ -> (1, [])
+  | Fbin (_, _, o) | Fcmp (_, o) | Cvtsi2sd (_, o) | Cvttsd2si (_, o) | Fsqrt (_, o) ->
+    (1, [ o ])
+
+let operand_encoded_length = function
+  | Reg _ -> 2
+  | Imm v when fits_i32 v -> 5
+  | Imm _ | Sym _ -> 9
+  | Mem m ->
+    2
+    + (match m.base with Some _ -> 1 | None -> 0)
+    + (match m.index with Some _ -> 2 | None -> 0)
+    + 4
+
+let imm64_field_offset instr =
+  let header, operands = layout instr in
+  let rec walk off = function
+    | [] -> None
+    | (Imm v) :: _ when not (fits_i32 v) -> Some (off + 1)
+    | (Sym _) :: _ -> Some (off + 1)
+    | o :: rest -> walk (off + operand_encoded_length o) rest
+  in
+  walk (1 + header) operands
+
+(* ------------------------------------------------------------------ *)
+(* Decoding *)
+
+let decode_reg code pos =
+  if pos >= Bytes.length code then raise (Decode_error pos);
+  match reg_of_index (Char.code (Bytes.get code pos)) with
+  | Some r -> r
+  | None -> raise (Decode_error pos)
+
+let read_u8 code pos =
+  if pos >= Bytes.length code then raise (Decode_error pos);
+  Char.code (Bytes.get code pos)
+
+let read_i32 code pos =
+  if pos + 4 > Bytes.length code then raise (Decode_error pos);
+  let v = ref 0 in
+  for i = 3 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get code (pos + i))
+  done;
+  (* sign-extend 32 -> 63 *)
+  if !v land 0x80000000 <> 0 then !v - (1 lsl 32) else !v
+
+let read_u64 code pos =
+  if pos + 8 > Bytes.length code then raise (Decode_error pos);
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get code (pos + i))))
+  done;
+  !v
+
+let decode_operand code pos =
+  let mode = read_u8 code pos in
+  if mode = mode_reg then (Reg (decode_reg code (pos + 1)), pos + 2)
+  else if mode = mode_imm32 then (Imm (Int64.of_int (read_i32 code (pos + 1))), pos + 5)
+  else if mode = mode_imm64 then (Imm (read_u64 code (pos + 1)), pos + 9)
+  else if mode = mode_mem then begin
+    let flags = read_u8 code (pos + 1) in
+    if flags land (lnot 3) <> 0 then raise (Decode_error (pos + 1));
+    let p = ref (pos + 2) in
+    let base = if flags land 1 <> 0 then begin let r = decode_reg code !p in incr p; Some r end else None in
+    let index, scale =
+      if flags land 2 <> 0 then begin
+        let r = decode_reg code !p in
+        let s = read_u8 code (!p + 1) in
+        if s > 3 then raise (Decode_error (!p + 1));
+        p := !p + 2;
+        (Some r, 1 lsl s)
+      end
+      else (None, 1)
+    in
+    let disp = Int64.of_int (read_i32 code !p) in
+    (Mem { base; index; scale; disp }, !p + 4)
+  end
+  else raise (Decode_error pos)
+
+let decode_mem code pos =
+  match decode_operand code pos with
+  | Mem m, p -> (m, p)
+  | _ -> raise (Decode_error pos)
+
+let decode code off =
+  let opc = read_u8 code off in
+  let p1 = off + 1 in
+  let fin instr p = (instr, p - off) in
+  match opc with
+  | 0x00 -> fin Nop p1
+  | 0x01 -> fin Hlt p1
+  | 0x02 ->
+    let d, p = decode_operand code p1 in
+    let s, p = decode_operand code p in
+    (match (d, s) with
+    | Mem _, Mem _ -> raise (Decode_error off)
+    | (Imm _, _) -> raise (Decode_error off)
+    | _ -> fin (Mov (d, s)) p)
+  | 0x03 ->
+    let r = decode_reg code p1 in
+    let m, p = decode_mem code (p1 + 1) in
+    fin (Lea (r, m)) p
+  | 0x04 ->
+    let o, p = decode_operand code p1 in
+    fin (Push o) p
+  | 0x05 -> fin (Pop (decode_reg code p1)) (p1 + 1)
+  | 0x10 | 0x11 | 0x12 | 0x13 | 0x14 | 0x15 ->
+    let b =
+      match opc with
+      | 0x10 -> Add | 0x11 -> Sub | 0x12 -> And | 0x13 -> Or | 0x14 -> Xor | _ -> Imul
+    in
+    let d, p = decode_operand code p1 in
+    let s, p = decode_operand code p in
+    (match (d, s) with
+    | Mem _, Mem _ | Imm _, _ -> raise (Decode_error off)
+    | _ -> fin (Binop (b, d, s)) p)
+  | 0x16 | 0x17 | 0x18 | 0x19 ->
+    let u = match opc with 0x16 -> Neg | 0x17 -> Not | 0x18 -> Inc | _ -> Dec in
+    let o, p = decode_operand code p1 in
+    (match o with Imm _ -> raise (Decode_error off) | _ -> fin (Unop (u, o)) p)
+  | 0x1A | 0x1B | 0x1C ->
+    let s = match opc with 0x1A -> Shl | 0x1B -> Shr | _ -> Sar in
+    let d, p = decode_operand code p1 in
+    let c, p = decode_operand code p in
+    (match d with Imm _ -> raise (Decode_error off) | _ -> fin (Shift (s, d, c)) p)
+  | 0x1D ->
+    let o, p = decode_operand code p1 in
+    fin (Idiv o) p
+  | 0x20 ->
+    let a, p = decode_operand code p1 in
+    let b, p = decode_operand code p in
+    fin (Cmp (a, b)) p
+  | 0x21 ->
+    let a, p = decode_operand code p1 in
+    let b, p = decode_operand code p in
+    fin (Test (a, b)) p
+  | 0x30 -> fin (Jmp (Rel (read_i32 code p1))) (p1 + 4)
+  | 0x31 ->
+    let c =
+      match cond_of_index (read_u8 code p1) with
+      | Some c -> c
+      | None -> raise (Decode_error p1)
+    in
+    fin (Jcc (c, Rel (read_i32 code (p1 + 1)))) (p1 + 5)
+  | 0x32 -> fin (Call (Rel (read_i32 code p1))) (p1 + 4)
+  | 0x33 ->
+    let o, p = decode_operand code p1 in
+    (match o with Imm _ -> raise (Decode_error off) | _ -> fin (JmpInd o) p)
+  | 0x34 ->
+    let o, p = decode_operand code p1 in
+    (match o with Imm _ -> raise (Decode_error off) | _ -> fin (CallInd o) p)
+  | 0x35 -> fin Ret p1
+  | 0x40 -> fin (Ocall (read_u8 code p1)) (p1 + 1)
+  | 0x50 | 0x51 | 0x52 | 0x53 ->
+    let f = match opc with 0x50 -> FAdd | 0x51 -> FSub | 0x52 -> FMul | _ -> FDiv in
+    let r = decode_reg code p1 in
+    let o, p = decode_operand code (p1 + 1) in
+    fin (Fbin (f, r, o)) p
+  | 0x54 ->
+    let r = decode_reg code p1 in
+    let o, p = decode_operand code (p1 + 1) in
+    fin (Fcmp (r, o)) p
+  | 0x55 ->
+    let r = decode_reg code p1 in
+    let o, p = decode_operand code (p1 + 1) in
+    fin (Cvtsi2sd (r, o)) p
+  | 0x56 ->
+    let r = decode_reg code p1 in
+    let o, p = decode_operand code (p1 + 1) in
+    fin (Cvttsd2si (r, o)) p
+  | 0x57 ->
+    let r = decode_reg code p1 in
+    let o, p = decode_operand code (p1 + 1) in
+    fin (Fsqrt (r, o)) p
+  | _ -> raise (Decode_error off)

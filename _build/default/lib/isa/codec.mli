@@ -1,0 +1,28 @@
+(** Binary encoding and decoding of instructions.
+
+    The encoding is variable-length (1–21 bytes): an opcode byte followed by
+    mode-tagged operands. 64-bit immediates occupy a fixed 8-byte field,
+    which is what lets the in-enclave imm rewriter patch annotation bounds
+    in place without changing instruction lengths (paper Section V-B). *)
+
+exception Decode_error of int
+(** Raised with the faulting offset on an invalid opcode or operand. *)
+
+val encode : Deflection_util.Bytebuf.t -> Isa.instr -> (int * string) list
+(** Append the encoding of one instruction. Direct branch targets must
+    already be resolved to [Rel]; encoding a [Lab] raises
+    [Invalid_argument]. Returns the relocation requests of the instruction:
+    [(field_offset_from_instr_start, symbol)] pairs for every [Sym]
+    operand, whose 8-byte absolute-address fields the loader must fill. *)
+
+val encoded_length : Isa.instr -> int
+
+val decode : bytes -> int -> Isa.instr * int
+(** [decode code off] decodes the instruction at [off], returning it with
+    its encoded length. [Sym] never appears in decoder output (relocations
+    are applied to the immediate field before execution). *)
+
+val imm64_field_offset : Isa.instr -> int option
+(** Offset (from instruction start) of the 8-byte immediate field of the
+    instruction's source/first 64-bit immediate operand, when present.
+    Used by the imm rewriter and by tests. *)

@@ -1,0 +1,55 @@
+open Isa
+
+let mem_cost op = match op with Mem _ -> 3 | Reg _ | Imm _ | Sym _ -> 0
+
+let of_instr = function
+  | Nop -> 1
+  | Hlt -> 1
+  | Mov (d, s) -> 1 + mem_cost d + mem_cost s
+  | Lea _ -> 1
+  | Push _ -> 2
+  | Pop _ -> 2
+  | Binop (Imul, d, s) -> 3 + mem_cost d + mem_cost s
+  | Binop (_, d, s) -> 1 + mem_cost d + mem_cost s
+  | Unop (_, o) -> 1 + (2 * mem_cost o)
+  | Shift (_, d, _) -> 1 + (2 * mem_cost d)
+  | Idiv o -> 20 + mem_cost o
+  | Cmp (a, b) | Test (a, b) -> 1 + mem_cost a + mem_cost b
+  | Jmp _ -> 2
+  | Jcc _ -> 2
+  | Call _ -> 3
+  | JmpInd o -> 3 + mem_cost o
+  | CallInd o -> 4 + mem_cost o
+  | Ret -> 3
+  | Ocall _ -> 2 (* the transition surcharge is added by the runtime *)
+  | Fbin (FDiv, _, o) -> 14 + mem_cost o
+  | Fbin (_, _, o) -> 4 + mem_cost o
+  | Fcmp (_, o) -> 3 + mem_cost o
+  | Cvtsi2sd (_, o) | Cvttsd2si (_, o) -> 4 + mem_cost o
+  | Fsqrt (_, o) -> 18 + mem_cost o
+
+let no_mem op = match op with Mem _ -> false | Reg _ | Imm _ | Sym _ -> true
+
+let is_simple = function
+  | Nop -> true
+  | Mov (Reg a, Mem { base = Some b; index = None; scale = 1; disp = 0L }) when a = b ->
+    (* self-load through a just-loaded address: the P6 marker inspection's
+       load, which always hits the same (pinned) cache line; charged as a
+       simple op, as an out-of-order core hides it completely *)
+    true
+  | Mov (d, s) -> no_mem d && no_mem s
+  | Lea _ -> true
+  | Push o -> no_mem o
+  | Pop _ -> true
+  | Binop (Imul, _, _) -> false
+  | Binop (_, d, s) -> no_mem d && no_mem s
+  | Unop (_, o) -> no_mem o
+  | Shift (_, d, _) -> no_mem d
+  | Cmp (a, b) | Test (a, b) -> no_mem a && no_mem b
+  | Jmp _ | Jcc _ -> true
+  | Hlt | Idiv _ | Call _ | JmpInd _ | CallInd _ | Ret | Ocall _ | Fbin _ | Fcmp _
+  | Cvtsi2sd _ | Cvttsd2si _ | Fsqrt _ ->
+    false
+
+let ocall_transition = 8000
+let aex_cost = 7000

@@ -1,0 +1,22 @@
+(** Deterministic virtual-cycle cost model.
+
+    The paper reports relative overheads measured in wall-clock time on SGX
+    hardware; our interpreter instead charges each instruction a fixed
+    cycle cost so overhead ratios are exactly reproducible. Costs follow
+    rough x86 latencies, with enclave transitions (OCall/AEX) charged the
+    heavy cost that dominates real SGX workloads. *)
+
+val of_instr : Isa.instr -> int
+
+val is_simple : Isa.instr -> bool
+(** Register-only moves, leas, pushes/pops, compares, predicted branches
+    and one-cycle ALU ops: on the modelled 3-wide out-of-order core, three
+    consecutive such instructions retire per cycle. This is what makes the
+    Figure-5 annotation sequences cheap on real hardware, and the
+    interpreter models it the same way (see DESIGN.md). *)
+
+val ocall_transition : int
+(** Extra cycles for a full enclave exit+re-entry (~8k on real SGX). *)
+
+val aex_cost : int
+(** Cycles lost to one asynchronous enclave exit (context save + resume). *)

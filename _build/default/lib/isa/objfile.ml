@@ -1,0 +1,92 @@
+type section = Text | Data
+
+type symbol = { name : string; section : section; offset : int; is_function : bool }
+
+type t = {
+  text : bytes;
+  data : bytes;
+  bss_size : int;
+  symbols : symbol list;
+  relocs : Asm.reloc list;
+  branch_targets : string list;
+  entry : string;
+  claimed_policies : string list;
+  ssa_q : int;
+}
+
+let find_symbol t name = List.find_opt (fun s -> s.name = name) t.symbols
+
+let magic = "DFLOBJ01"
+
+module B = Deflection_util.Bytebuf
+
+let serialize t =
+  let buf = B.create ~capacity:4096 () in
+  B.string buf magic;
+  B.u32 buf (Bytes.length t.text);
+  B.raw buf t.text;
+  B.u32 buf (Bytes.length t.data);
+  B.raw buf t.data;
+  B.u32 buf t.bss_size;
+  B.u32 buf (List.length t.symbols);
+  List.iter
+    (fun s ->
+      B.string buf s.name;
+      B.u8 buf (match s.section with Text -> 0 | Data -> 1);
+      B.u32 buf s.offset;
+      B.u8 buf (if s.is_function then 1 else 0))
+    t.symbols;
+  B.u32 buf (List.length t.relocs);
+  List.iter
+    (fun (r : Asm.reloc) ->
+      B.u32 buf r.at;
+      B.string buf r.symbol)
+    t.relocs;
+  B.u32 buf (List.length t.branch_targets);
+  List.iter (fun s -> B.string buf s) t.branch_targets;
+  B.string buf t.entry;
+  B.u32 buf (List.length t.claimed_policies);
+  List.iter (fun s -> B.string buf s) t.claimed_policies;
+  B.u32 buf t.ssa_q;
+  B.contents buf
+
+let deserialize bytes =
+  try
+    let r = B.Reader.of_bytes bytes in
+    let m = B.Reader.string r in
+    if m <> magic then Error (Printf.sprintf "bad magic %S" m)
+    else begin
+      let text = B.Reader.raw r (B.Reader.u32 r) in
+      let data = B.Reader.raw r (B.Reader.u32 r) in
+      let bss_size = B.Reader.u32 r in
+      let nsyms = B.Reader.u32 r in
+      if nsyms > 1_000_000 then Error "symbol table too large"
+      else begin
+        let symbols =
+          List.init nsyms (fun _ ->
+              let name = B.Reader.string r in
+              let section = if B.Reader.u8 r = 0 then Text else Data in
+              let offset = B.Reader.u32 r in
+              let is_function = B.Reader.u8 r = 1 in
+              { name; section; offset; is_function })
+        in
+        let nrelocs = B.Reader.u32 r in
+        if nrelocs > 10_000_000 then Error "relocation table too large"
+        else begin
+          let relocs =
+            List.init nrelocs (fun _ : Asm.reloc ->
+                let at = B.Reader.u32 r in
+                let symbol = B.Reader.string r in
+                { at; symbol })
+          in
+          let branch_targets = List.init (B.Reader.u32 r) (fun _ -> B.Reader.string r) in
+          let entry = B.Reader.string r in
+          let claimed_policies = List.init (B.Reader.u32 r) (fun _ -> B.Reader.string r) in
+          let ssa_q = B.Reader.u32 r in
+          Ok { text; data; bss_size; symbols; relocs; branch_targets; entry; claimed_policies; ssa_q }
+        end
+      end
+    end
+  with
+  | B.Reader.Truncated -> Error "truncated object file"
+  | Invalid_argument m -> Error ("malformed object file: " ^ m)

@@ -1,0 +1,39 @@
+(** The relocatable target-binary format.
+
+    The code generator links everything (program + needed library routines)
+    into one relocatable file "keeping all symbols and relocation
+    information held in relocatable entries" (paper Section IV-C); the file
+    is delivered into the enclave as data through an ECall and rebased by
+    the in-enclave dynamic loader. *)
+
+type section = Text | Data
+
+type symbol = {
+  name : string;
+  section : section;
+  offset : int;
+  is_function : bool;
+}
+
+type t = {
+  text : bytes;  (** instrumented machine code *)
+  data : bytes;  (** initialized globals *)
+  bss_size : int;  (** zero-initialized space appended after [data] *)
+  symbols : symbol list;
+  relocs : Asm.reloc list;  (** absolute-address fields in [text] *)
+  branch_targets : string list;
+      (** the indirect branch list: symbol names that are legitimate
+          indirect call/jump targets (paper Section IV-C) *)
+  entry : string;  (** entry symbol, conventionally ["main"] *)
+  claimed_policies : string list;
+      (** policies the producer claims to have instrumented — informational
+          only; the verifier re-establishes them from the code itself *)
+  ssa_q : int;  (** P6 marker-inspection period (instructions per check) *)
+}
+
+val find_symbol : t -> string -> symbol option
+
+val serialize : t -> bytes
+val deserialize : bytes -> (t, string) result
+(** Total parser over untrusted input: any truncation or corruption yields
+    [Error], never an exception. *)

@@ -1,0 +1,1 @@
+lib/loader/loader.ml: Bytes Deflection_annot Deflection_enclave Deflection_isa Deflection_policy Deflection_util Format Int64 List

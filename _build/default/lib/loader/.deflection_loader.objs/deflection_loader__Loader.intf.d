@@ -1,0 +1,1 @@
+lib/loader/loader.mli: Deflection_enclave Deflection_isa Deflection_policy Format

@@ -1,0 +1,170 @@
+module Isa = Deflection_isa.Isa
+module Codec = Deflection_isa.Codec
+module Objfile = Deflection_isa.Objfile
+module Memory = Deflection_enclave.Memory
+module Layout = Deflection_enclave.Layout
+module Annot = Deflection_annot.Annot
+module Policy = Deflection_policy.Policy
+
+type error =
+  | Text_too_large of { size : int; capacity : int }
+  | Data_too_large of { size : int; capacity : int }
+  | Unknown_symbol of string
+  | Branch_target_not_function of string
+  | Branch_table_overflow of int
+  | Undecodable of int
+  | No_entry of string
+
+let pp_error fmt = function
+  | Text_too_large { size; capacity } ->
+    Format.fprintf fmt "text section (%d bytes) exceeds the code region (%d bytes)" size capacity
+  | Data_too_large { size; capacity } ->
+    Format.fprintf fmt "data section (%d bytes) exceeds the data region (%d bytes)" size capacity
+  | Unknown_symbol s -> Format.fprintf fmt "relocation against unknown symbol %s" s
+  | Branch_target_not_function s ->
+    Format.fprintf fmt "indirect-branch list entry %s is not a function symbol" s
+  | Branch_table_overflow n ->
+    Format.fprintf fmt "indirect-branch list (%d entries) exceeds the branch-table region" n
+  | Undecodable off -> Format.fprintf fmt "text is not decodable at offset %#x" off
+  | No_entry s -> Format.fprintf fmt "entry symbol %s not found" s
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+type loaded = {
+  entry_addr : int;
+  symbol_addrs : (string * int) list;
+  branch_table_addr : int;
+  branch_table_len : int;
+  text_base : int;
+  text_len : int;
+  data_base : int;
+}
+
+let symbol_addr loaded name = List.assoc_opt name loaded.symbol_addrs
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let load mem ~aex_threshold (obj : Objfile.t) =
+  let l = Memory.layout mem in
+  let code_cap = l.Layout.code_hi - l.Layout.code_lo in
+  let data_cap = l.Layout.data_hi - l.Layout.data_lo in
+  let text_len = Bytes.length obj.Objfile.text in
+  let data_len = Bytes.length obj.Objfile.data + obj.Objfile.bss_size in
+  let* () =
+    if text_len > code_cap then Error (Text_too_large { size = text_len; capacity = code_cap })
+    else Ok ()
+  in
+  let* () =
+    if data_len > data_cap then Error (Data_too_large { size = data_len; capacity = data_cap })
+    else Ok ()
+  in
+  (* 1. copy sections *)
+  if text_len > 0 then Memory.priv_write_bytes mem l.Layout.code_lo obj.Objfile.text;
+  if Bytes.length obj.Objfile.data > 0 then
+    Memory.priv_write_bytes mem l.Layout.data_lo obj.Objfile.data;
+  (* 2. rebase symbols *)
+  let symbol_addrs =
+    List.map
+      (fun (s : Objfile.symbol) ->
+        let base =
+          match s.Objfile.section with
+          | Objfile.Text -> l.Layout.code_lo
+          | Objfile.Data -> l.Layout.data_lo
+        in
+        (s.Objfile.name, base + s.Objfile.offset))
+      obj.Objfile.symbols
+  in
+  let find name = List.assoc_opt name symbol_addrs in
+  (* 3. apply relocations *)
+  let rec apply_relocs = function
+    | [] -> Ok ()
+    | (r : Deflection_isa.Asm.reloc) :: rest ->
+      (match find r.Deflection_isa.Asm.symbol with
+      | None -> Error (Unknown_symbol r.Deflection_isa.Asm.symbol)
+      | Some addr ->
+        Memory.priv_write_u64 mem (l.Layout.code_lo + r.Deflection_isa.Asm.at)
+          (Int64.of_int addr);
+        apply_relocs rest)
+  in
+  let* () = apply_relocs obj.Objfile.relocs in
+  (* 4. translate the indirect-branch list into the branch-table pages *)
+  let capacity = (l.Layout.branch_hi - l.Layout.branch_lo) / 8 in
+  let n = List.length obj.Objfile.branch_targets in
+  let* () = if n > capacity then Error (Branch_table_overflow n) else Ok () in
+  let rec fill i = function
+    | [] -> Ok ()
+    | name :: rest ->
+      (match
+         List.find_opt (fun (s : Objfile.symbol) -> s.Objfile.name = name) obj.Objfile.symbols
+       with
+      | Some s when s.Objfile.section = Objfile.Text && s.Objfile.is_function ->
+        Memory.priv_write_u64 mem
+          (l.Layout.branch_lo + (8 * i))
+          (Int64.of_int (l.Layout.code_lo + s.Objfile.offset));
+        fill (i + 1) rest
+      | Some _ | None -> Error (Branch_target_not_function name))
+  in
+  let* () = fill 0 obj.Objfile.branch_targets in
+  (* 5. shadow stack, AEX cells, SSA marker *)
+  Memory.priv_write_u64 mem (Layout.ss_ptr_cell l) (Int64.of_int (Layout.ss_stack_base l));
+  Memory.priv_write_u64 mem (Layout.aex_counter_cell l) 0L;
+  Memory.priv_write_u64 mem (Layout.aex_threshold_cell l) (Int64.of_int aex_threshold);
+  Memory.priv_write_u64 mem (Layout.colocation_cell l) 1L;
+  Memory.priv_write_u64 mem (Layout.ssa_marker_addr l) Annot.marker_value;
+  match find obj.Objfile.entry with
+  | None -> Error (No_entry obj.Objfile.entry)
+  | Some entry_addr ->
+    Ok
+      {
+        entry_addr;
+        symbol_addrs;
+        branch_table_addr = l.Layout.branch_lo;
+        branch_table_len = n;
+        text_base = l.Layout.code_lo;
+        text_len;
+        data_base = l.Layout.data_lo;
+      }
+
+(* The imm rewriter (paper Section V-B): linear sweep over the loaded text;
+   every decoded instruction whose 64-bit immediate field holds a magic
+   placeholder gets the real value for this layout and policy set. *)
+let rewrite_imms mem loaded ~policies =
+  let l = Memory.layout mem in
+  let p3 = Policy.Set.mem Policy.P3 policies and p4 = Policy.Set.mem Policy.P4 policies in
+  let store_lo, store_hi = Layout.store_bounds l ~p3 ~p4 in
+  let value_for magic =
+    if Int64.equal magic Annot.store_lower_magic then Some (Int64.of_int store_lo)
+    else if Int64.equal magic Annot.store_upper_magic then Some (Int64.of_int store_hi)
+    else if Int64.equal magic Annot.stack_lower_magic then Some (Int64.of_int l.Layout.stack_lo)
+    else if Int64.equal magic Annot.stack_upper_magic then Some (Int64.of_int l.Layout.stack_hi)
+    else if Int64.equal magic Annot.ss_cells_magic then Some (Int64.of_int (Layout.ss_ptr_cell l))
+    else if Int64.equal magic Annot.branch_table_magic then
+      Some (Int64.of_int loaded.branch_table_addr)
+    else if Int64.equal magic Annot.branch_len_magic then
+      Some (Int64.of_int loaded.branch_table_len)
+    else if Int64.equal magic Annot.ssa_marker_magic then
+      Some (Int64.of_int (Layout.ssa_marker_addr l))
+    else None
+  in
+  let text = Memory.priv_read_bytes mem loaded.text_base loaded.text_len in
+  let rewritten = ref 0 in
+  let rec sweep off =
+    if off >= loaded.text_len then Ok !rewritten
+    else begin
+      match Codec.decode text off with
+      | exception Codec.Decode_error _ -> Error (Undecodable off)
+      | instr, len ->
+        (match Codec.imm64_field_offset instr with
+        | Some field ->
+          let r = Deflection_util.Bytebuf.Reader.of_bytes_at text (off + field) in
+          let v = Deflection_util.Bytebuf.Reader.u64 r in
+          (match value_for v with
+          | Some actual ->
+            Memory.priv_write_u64 mem (loaded.text_base + off + field) actual;
+            incr rewritten
+          | None -> ())
+        | None -> ());
+        sweep (off + len)
+    end
+  in
+  sweep 0

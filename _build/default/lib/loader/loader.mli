@@ -1,0 +1,53 @@
+(** The in-enclave dynamic loader (paper Sections IV-D, V-B, Figure 6).
+
+    Loads the relocatable target binary into the code region, rebases all
+    symbols, translates the indirect-branch list into in-enclave addresses
+    (written to the reserved branch-table pages), sets up the shadow stack,
+    the runtime cells and the SSA marker, and — after verification — runs
+    the imm rewriter that replaces the annotation placeholders with the
+    actual bounds for the policy set in force. *)
+
+module Objfile = Deflection_isa.Objfile
+module Memory = Deflection_enclave.Memory
+
+type error =
+  | Text_too_large of { size : int; capacity : int }
+  | Data_too_large of { size : int; capacity : int }
+  | Unknown_symbol of string
+  | Branch_target_not_function of string
+  | Branch_table_overflow of int
+  | Undecodable of int  (** linear sweep failed at text offset *)
+  | No_entry of string
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+type loaded = {
+  entry_addr : int;  (** absolute address of the entry symbol *)
+  symbol_addrs : (string * int) list;  (** every symbol, rebased *)
+  branch_table_addr : int;
+  branch_table_len : int;
+  text_base : int;
+  text_len : int;
+  data_base : int;
+}
+
+val load :
+  Memory.t ->
+  aex_threshold:int ->
+  Objfile.t ->
+  (loaded, error) result
+(** Steps 1-3 of the consumer: copy sections, relocate, translate the
+    branch list, initialize shadow stack / AEX cells / SSA marker. Does
+    NOT rewrite immediates — call {!rewrite_imms} after verification. *)
+
+val rewrite_imms :
+  Memory.t ->
+  loaded ->
+  policies:Deflection_policy.Policy.Set.t ->
+  (int, error) result
+(** Replace every magic placeholder immediate in the loaded text with the
+    real value for this enclave and policy set. Returns the number of
+    rewritten fields. *)
+
+val symbol_addr : loaded -> string -> int option

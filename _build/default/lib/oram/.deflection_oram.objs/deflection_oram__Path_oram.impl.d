@@ -1,0 +1,1 @@
+lib/oram/path_oram.ml: Array Deflection_util Hashtbl List

@@ -1,0 +1,136 @@
+(* Classic recursive-free Path ORAM with an in-enclave position map.
+
+   Tree layout: complete binary tree with 2^(h+1) - 1 buckets, indexed
+   heap-style (root = 0). Leaves are bucket indices [2^h - 1, 2^(h+1) - 2];
+   a "position" is a leaf number in [0, 2^h). Each bucket holds up to
+   [bucket_size] (block_id, value) slots; empty slots hold block_id = -1.
+
+   The bucket array models encrypted host memory: in a real deployment
+   every slot would be AES-sealed and re-encrypted on write-back, so the
+   host learns only WHICH buckets are touched - the [trace]. *)
+
+let bucket_size = 4
+
+type slot = { mutable id : int; mutable value : int64 }
+
+type t = {
+  cap : int;
+  h : int; (* tree height: leaves at depth h *)
+  buckets : slot array array; (* server memory *)
+  position : int array; (* block id -> leaf (enclave-private) *)
+  stash : (int, int64) Hashtbl.t; (* enclave-private *)
+  prng : Deflection_util.Prng.t;
+  mutable trace_rev : int list;
+  mutable trace_len : int;
+  mutable ops : int;
+}
+
+let n_leaves t = 1 lsl t.h
+let leaf_bucket t leaf = (1 lsl t.h) - 1 + leaf
+let height t = t.h
+
+let create ?(seed = 1337L) ~capacity () =
+  if capacity <= 0 then invalid_arg "Path_oram.create: capacity must be positive";
+  (* smallest tree whose leaf count is >= capacity / bucket_size, with a
+     minimum height of 2; standard sizing keeps the stash small *)
+  let rec pick h = if (1 lsl h) * bucket_size >= capacity then h else pick (h + 1) in
+  let h = max 2 (pick 2) in
+  let n_buckets = (1 lsl (h + 1)) - 1 in
+  let prng = Deflection_util.Prng.create seed in
+  let t =
+    {
+      cap = capacity;
+      h;
+      buckets =
+        Array.init n_buckets (fun _ ->
+            Array.init bucket_size (fun _ -> { id = -1; value = 0L }));
+      position = Array.init capacity (fun _ -> 0);
+      stash = Hashtbl.create 64;
+      prng;
+      trace_rev = [];
+      trace_len = 0;
+      ops = 0;
+    }
+  in
+  for i = 0 to capacity - 1 do
+    t.position.(i) <- Deflection_util.Prng.int t.prng (n_leaves t)
+  done;
+  t
+
+let capacity t = t.cap
+
+(* bucket indices from root to the given leaf *)
+let path_to t leaf =
+  let rec up acc b = if b = 0 then 0 :: acc else up (b :: acc) ((b - 1) / 2) in
+  up [] (leaf_bucket t leaf)
+
+let touch t bucket =
+  t.trace_rev <- bucket :: t.trace_rev;
+  t.trace_len <- t.trace_len + 1
+
+(* can a block mapped to [leaf] live in [bucket]? yes iff bucket is on the
+   root->leaf path, i.e. bucket is an ancestor of the leaf bucket *)
+let on_path t bucket leaf =
+  let rec ancestor b = b = bucket || (b > 0 && ancestor ((b - 1) / 2)) in
+  ancestor (leaf_bucket t leaf)
+
+let access t id ~write_value =
+  if id < 0 || id >= t.cap then invalid_arg "Path_oram: block id out of range";
+  t.ops <- t.ops + 1;
+  let leaf = t.position.(id) in
+  (* remap immediately: the next access to this block takes a fresh path *)
+  t.position.(id) <- Deflection_util.Prng.int t.prng (n_leaves t);
+  let path = path_to t leaf in
+  (* read the whole path into the stash *)
+  List.iter
+    (fun b ->
+      touch t b;
+      Array.iter
+        (fun s ->
+          if s.id >= 0 then begin
+            Hashtbl.replace t.stash s.id s.value;
+            s.id <- -1
+          end)
+        t.buckets.(b))
+    path;
+  (* serve the request from the stash *)
+  let current = match Hashtbl.find_opt t.stash id with Some v -> v | None -> 0L in
+  let result =
+    match write_value with
+    | Some v ->
+      Hashtbl.replace t.stash id v;
+      v
+    | None ->
+      Hashtbl.replace t.stash id current;
+      current
+  in
+  (* write the path back, greedily evicting stash blocks as deep as they
+     can go (classic Path ORAM eviction, leaf-to-root) *)
+  List.iter
+    (fun b ->
+      touch t b;
+      let bucket = t.buckets.(b) in
+      let free = ref 0 in
+      (* collect eligible stash entries for this bucket *)
+      let eligible = ref [] in
+      Hashtbl.iter
+        (fun bid v -> if on_path t b t.position.(bid) then eligible := (bid, v) :: !eligible)
+        t.stash;
+      List.iter
+        (fun (bid, v) ->
+          if !free < bucket_size then begin
+            bucket.(!free).id <- bid;
+            bucket.(!free).value <- v;
+            Hashtbl.remove t.stash bid;
+            incr free
+          end)
+        !eligible)
+    (List.rev path);
+  result
+
+let read t id = access t id ~write_value:None
+let write t id v = ignore (access t id ~write_value:(Some v))
+let trace t = List.rev t.trace_rev
+let trace_length t = t.trace_len
+let accesses t = t.ops
+let stash_size t = Hashtbl.length t.stash

@@ -1,0 +1,41 @@
+(** Path ORAM (Stefanov et al., CCS'13), the oblivious-memory substrate the
+    paper proposes integrating as a DEFLECTION policy (Section VII): it
+    lets the enclave keep a large working set in {e untrusted host memory}
+    while the host observes only uniformly random tree paths, independent
+    of the program's logical access pattern.
+
+    The server-side bucket tree stands for (encrypted) host memory: every
+    bucket access is recorded in an access trace, which is exactly what the
+    adversarial host sees. The position map and stash live inside the
+    enclave. Blocks are 64-bit values; bucket capacity is the classic
+    Z = 4. *)
+
+type t
+
+val create : ?seed:int64 -> capacity:int -> unit -> t
+(** An ORAM holding block ids [0, capacity). All blocks start at 0. *)
+
+val capacity : t -> int
+
+val read : t -> int -> int64
+(** [read t id] returns the block's value, touching exactly one tree path
+    of server memory. Raises [Invalid_argument] for out-of-range ids. *)
+
+val write : t -> int -> int64 -> unit
+(** Same access pattern as {!read}. *)
+
+(** {2 What the untrusted host observes} *)
+
+val trace : t -> int list
+(** Bucket indices of every server-memory access so far, oldest first.
+    Each logical access appends exactly [2 * (height + 1)] entries (one
+    path read + one path write-back). *)
+
+val trace_length : t -> int
+val accesses : t -> int  (** logical read/write operations so far *)
+
+val height : t -> int  (** tree height; a path has [height + 1] buckets *)
+
+val stash_size : t -> int
+(** Current stash occupancy (bounded with overwhelming probability; the
+    tests watch it). *)

@@ -1,0 +1,1 @@
+lib/policy/policy.ml: Format Int List String

@@ -1,0 +1,42 @@
+type ocall_spec = {
+  index : int;
+  name : string;
+  encrypt_output : bool;
+  pad_output_to : int option;
+  max_output_bits : int option;
+}
+
+type t = {
+  allowed_ocalls : ocall_spec list;
+  aex_threshold : int;
+  ssa_q : int;
+  colocation_alpha : float;
+  time_quantum : int option;
+}
+
+let default =
+  {
+    allowed_ocalls =
+      [
+        { index = 0; name = "send"; encrypt_output = true; pad_output_to = Some 1024; max_output_bits = None };
+        { index = 1; name = "recv"; encrypt_output = false; pad_output_to = None; max_output_bits = None };
+        { index = 2; name = "print"; encrypt_output = true; pad_output_to = Some 1024; max_output_bits = None };
+      ];
+    aex_threshold = 64;
+    ssa_q = 20;
+    colocation_alpha = 0.0001;
+    time_quantum = None;
+  }
+
+let find_ocall t index = List.find_opt (fun o -> o.index = index) t.allowed_ocalls
+
+let with_oram t =
+  {
+    t with
+    allowed_ocalls =
+      t.allowed_ocalls
+      @ [
+          { index = 3; name = "oram_read"; encrypt_output = false; pad_output_to = None; max_output_bits = None };
+          { index = 4; name = "oram_write"; encrypt_output = false; pad_output_to = None; max_output_bits = None };
+        ];
+  }

@@ -1,0 +1,37 @@
+(** The bootstrap enclave's configuration (the paper's EDL/manifest file,
+    Sections IV-D and V-B): which OCalls (system calls) the loaded binary is
+    allowed to make, how their outputs are protected (P0), and the P6
+    parameters. *)
+
+type ocall_spec = {
+  index : int;  (** the OCall number used by the [Ocall] instruction *)
+  name : string;  (** e.g. ["send"], ["recv"], ["print"] *)
+  encrypt_output : bool;  (** wrapper encrypts with the owner session key *)
+  pad_output_to : int option;  (** P0: pad every record to a fixed length *)
+  max_output_bits : int option;
+      (** P0 entropy control: total plaintext bits the service may emit *)
+}
+
+type t = {
+  allowed_ocalls : ocall_spec list;
+  aex_threshold : int;  (** P6: abort after this many detected AEXes *)
+  ssa_q : int;  (** P6: instructions between SSA marker inspections *)
+  colocation_alpha : float;
+      (** P6: false-positive rate of the HyperRace-style co-location test *)
+  time_quantum : int option;
+      (** on-demand time blurring (paper Section VII): when set, the
+          enclave's observable completion time is rounded up to the next
+          multiple of this many cycles, closing the processing-time covert
+          channel *)
+}
+
+val default : t
+(** send/recv/print allowed; send encrypted and padded to 1 KiB; AEX
+    threshold 64; q = 20; alpha 0.0001. *)
+
+val find_ocall : t -> int -> ocall_spec option
+
+val with_oram : t -> t
+(** Add the oblivious-storage OCalls ([oram_read] = 3, [oram_write] = 4);
+    the bootstrap enclave routes them through a Path ORAM over untrusted
+    host memory (paper Section VII). *)

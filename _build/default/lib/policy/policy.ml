@@ -1,0 +1,57 @@
+type t = P0 | P1 | P2 | P3 | P4 | P5 | P6
+
+let name = function
+  | P0 -> "P0" | P1 -> "P1" | P2 -> "P2" | P3 -> "P3"
+  | P4 -> "P4" | P5 -> "P5" | P6 -> "P6"
+
+let describe = function
+  | P0 -> "input constraint, output encryption and entropy control"
+  | P1 -> "preventing explicit out-of-enclave memory stores"
+  | P2 -> "preventing implicit out-of-enclave memory stores (RSP)"
+  | P3 -> "preventing unauthorized change to security-critical data"
+  | P4 -> "preventing runtime code modification (software DEP)"
+  | P5 -> "preventing manipulation of indirect branches (CFI + shadow stack)"
+  | P6 -> "controlling the AEX frequency (side/covert channel mitigation)"
+
+let of_name = function
+  | "P0" | "p0" -> Some P0
+  | "P1" | "p1" -> Some P1
+  | "P2" | "p2" -> Some P2
+  | "P3" | "p3" -> Some P3
+  | "P4" | "p4" -> Some P4
+  | "P5" | "p5" -> Some P5
+  | "P6" | "p6" -> Some P6
+  | _ -> None
+
+let all = [ P0; P1; P2; P3; P4; P5; P6 ]
+let pp fmt p = Format.pp_print_string fmt (name p)
+
+let index = function P0 -> 0 | P1 -> 1 | P2 -> 2 | P3 -> 3 | P4 -> 4 | P5 -> 5 | P6 -> 6
+
+module Set = struct
+  type policy = t
+  type nonrec t = int (* bitmask *)
+
+  let empty = 0
+  let mem p s = s land (1 lsl index p) <> 0
+  let add p s = s lor (1 lsl index p)
+  let of_list = List.fold_left (fun s p -> add p s) empty
+  let to_list s = List.filter (fun p -> mem p s) all
+  let union = ( lor )
+  let equal = Int.equal
+  let none = empty
+  let p1 = of_list [ P1 ]
+  let p1_p2 = of_list [ P1; P2 ]
+  let p1_p5 = of_list [ P1; P2; P3; P4; P5 ]
+  let p1_p6 = of_list [ P1; P2; P3; P4; P5; P6 ]
+
+  let label s =
+    if equal s none then "none"
+    else if equal s p1 then "P1"
+    else if equal s p1_p2 then "P1+P2"
+    else if equal s p1_p5 then "P1-P5"
+    else if equal s p1_p6 then "P1-P6"
+    else String.concat "+" (List.map name (to_list s))
+
+  let pp fmt s = Format.pp_print_string fmt (label s)
+end

@@ -1,0 +1,48 @@
+(** The security policies of the paper (Section IV-B).
+
+    - P0: input constraint, output encryption and entropy control (enforced
+      by enclave configuration + OCall wrappers, not instrumentation);
+    - P1: no explicit out-of-enclave memory stores;
+    - P2: no implicit out-of-enclave stores through a corrupted RSP;
+    - P3: no writes to security-critical in-enclave data (SSA/TCS);
+    - P4: no runtime code modification (software DEP on the RWX pages);
+    - P5: control-flow integrity for indirect branches and returns
+      (indirect-branch list + shadow stack);
+    - P6: AEX-frequency side/covert channel mitigation (SSA markers). *)
+
+type t = P0 | P1 | P2 | P3 | P4 | P5 | P6
+
+val name : t -> string
+val describe : t -> string
+val of_name : string -> t option
+val all : t list
+val pp : Format.formatter -> t -> unit
+
+(** A set of policies to enforce. *)
+module Set : sig
+  type policy = t
+  type t
+
+  val empty : t
+  val of_list : policy list -> t
+  val to_list : t -> policy list
+  val mem : policy -> t -> bool
+  val add : policy -> t -> t
+  val union : t -> t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+
+  (** The four evaluation settings of the paper's Section VI-B. *)
+
+  val none : t
+  val p1 : t  (** just explicit memory write checks *)
+
+  val p1_p2 : t  (** + implicit stack write checks *)
+
+  val p1_p5 : t  (** all memory write and indirect branch checks *)
+
+  val p1_p6 : t  (** + side/covert channel mitigation *)
+
+  val label : t -> string
+  (** Short label matching the paper's table headings (e.g. ["P1-P5"]). *)
+end

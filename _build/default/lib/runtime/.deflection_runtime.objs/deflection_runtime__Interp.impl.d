@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Array Deflection_annot Deflection_enclave Deflection_isa Deflection_util Format Hashtbl Int64

@@ -1,0 +1,1 @@
+lib/runtime/interp.mli: Deflection_annot Deflection_enclave Deflection_isa Format

@@ -1,0 +1,372 @@
+module Isa = Deflection_isa.Isa
+module Codec = Deflection_isa.Codec
+module Cost = Deflection_isa.Cost
+module Memory = Deflection_enclave.Memory
+module Layout = Deflection_enclave.Layout
+module Annot = Deflection_annot.Annot
+open Isa
+
+type exit_reason =
+  | Exited of int64
+  | Policy_abort of Annot.abort_reason
+  | Mem_fault of Memory.fault
+  | Invalid_instruction of int
+  | Div_by_zero of int
+  | Ocall_denied of int
+  | Limit_exceeded
+
+let pp_exit_reason fmt = function
+  | Exited v -> Format.fprintf fmt "exited(%Ld)" v
+  | Policy_abort r -> Format.fprintf fmt "policy-abort(%a)" Annot.pp_abort_reason r
+  | Mem_fault f -> Format.fprintf fmt "fault(%a)" Memory.pp_fault f
+  | Invalid_instruction a -> Format.fprintf fmt "invalid-instruction(%#x)" a
+  | Div_by_zero a -> Format.fprintf fmt "div-by-zero(%#x)" a
+  | Ocall_denied n -> Format.fprintf fmt "ocall-denied(%d)" n
+  | Limit_exceeded -> Format.fprintf fmt "instruction-limit-exceeded"
+
+let exit_reason_to_string r = Format.asprintf "%a" pp_exit_reason r
+
+type flags = { mutable zf : bool; mutable sf : bool; mutable cf : bool; mutable ovf : bool }
+
+type t = {
+  mem : Memory.t;
+  regs : int64 array;
+  flags : flags;
+  mutable rip : int;
+  mutable cycles : int;
+  mutable instrs : int;
+  mutable aexes : int;
+  mutable ocalls : int;
+  mutable next_aex : int;
+  mutable issue_residue : int;  (* simple ops awaiting a shared issue cycle *)
+  config : config;
+  prng : Deflection_util.Prng.t;
+  ocall : int -> t -> ocall_outcome;
+  (* decode cache: address -> (instr, length, generation) *)
+  cache : (int, Isa.instr * int * int) Hashtbl.t;
+}
+
+and ocall_outcome = Continue | Halt of exit_reason
+
+and config = {
+  instr_limit : int;
+  aex_interval : int option;
+  aex_seed : int64;
+  colocated_prob : float;
+}
+
+let default_config =
+  { instr_limit = 2_000_000_000; aex_interval = None; aex_seed = 7L; colocated_prob = 0.9999 }
+
+let schedule_next_aex t =
+  match t.config.aex_interval with
+  | None -> t.next_aex <- max_int
+  | Some mean ->
+    (* uniform jitter in [mean/2, 3*mean/2) keeps the schedule aperiodic *)
+    let jitter = Deflection_util.Prng.int t.prng (max 1 mean) in
+    t.next_aex <- t.cycles + (mean / 2) + jitter
+
+let create ?(config = default_config) ~ocall mem =
+  let t =
+    {
+      mem;
+      regs = Array.make 16 0L;
+      flags = { zf = false; sf = false; cf = false; ovf = false };
+      rip = 0;
+      cycles = 0;
+      instrs = 0;
+      aexes = 0;
+      ocalls = 0;
+      next_aex = max_int;
+      issue_residue = 0;
+      config;
+      prng = Deflection_util.Prng.create config.aex_seed;
+      ocall;
+      cache = Hashtbl.create 4096;
+    }
+  in
+  schedule_next_aex t;
+  t
+
+let read_reg t r = t.regs.(reg_index r)
+let write_reg t r v = t.regs.(reg_index r) <- v
+let memory t = t.mem
+let rip t = t.rip
+
+let init_stack t =
+  let l = Memory.layout t.mem in
+  write_reg t RSP (Int64.of_int (l.Layout.stack_hi - 64))
+
+(* ------------------------------------------------------------------ *)
+(* Operand evaluation *)
+
+let effective_address t (m : mem) =
+  let base = match m.base with Some r -> t.regs.(reg_index r) | None -> 0L in
+  let index =
+    match m.index with
+    | Some r -> Int64.mul t.regs.(reg_index r) (Int64.of_int m.scale)
+    | None -> 0L
+  in
+  Int64.to_int (Int64.add (Int64.add base index) m.disp)
+
+let read_operand t = function
+  | Reg r -> t.regs.(reg_index r)
+  | Imm v -> v
+  | Mem m -> Memory.read_u64 t.mem (effective_address t m)
+  | Sym s -> invalid_arg ("Interp: unresolved symbol operand " ^ s)
+
+let write_operand t op v =
+  match op with
+  | Reg r -> t.regs.(reg_index r) <- v
+  | Mem m -> Memory.write_u64 t.mem (effective_address t m) v
+  | Imm _ | Sym _ -> invalid_arg "Interp: write to immediate operand"
+
+(* ------------------------------------------------------------------ *)
+(* Flags *)
+
+let set_zs t r =
+  t.flags.zf <- Int64.equal r 0L;
+  t.flags.sf <- Int64.compare r 0L < 0
+
+let set_flags_sub t a b =
+  let r = Int64.sub a b in
+  set_zs t r;
+  t.flags.cf <- Int64.unsigned_compare a b < 0;
+  t.flags.ovf <- Int64.compare (Int64.logand (Int64.logxor a b) (Int64.logxor a r)) 0L < 0;
+  r
+
+let set_flags_add t a b =
+  let r = Int64.add a b in
+  set_zs t r;
+  t.flags.cf <- Int64.unsigned_compare r a < 0;
+  t.flags.ovf <-
+    Int64.compare (Int64.logand (Int64.logxor a r) (Int64.logxor b r)) 0L < 0;
+  r
+
+let set_flags_logic t r =
+  set_zs t r;
+  t.flags.cf <- false;
+  t.flags.ovf <- false;
+  r
+
+let cond_holds t = function
+  | E -> t.flags.zf
+  | NE -> not t.flags.zf
+  | L -> t.flags.sf <> t.flags.ovf
+  | LE -> t.flags.zf || t.flags.sf <> t.flags.ovf
+  | G -> (not t.flags.zf) && t.flags.sf = t.flags.ovf
+  | GE -> t.flags.sf = t.flags.ovf
+  | B -> t.flags.cf
+  | BE -> t.flags.cf || t.flags.zf
+  | A -> (not t.flags.cf) && not t.flags.zf
+  | AE -> not t.flags.cf
+  | S -> t.flags.sf
+  | NS -> not t.flags.sf
+
+(* ------------------------------------------------------------------ *)
+(* Stack and AEX *)
+
+let push t v =
+  let rsp = Int64.sub t.regs.(reg_index RSP) 8L in
+  t.regs.(reg_index RSP) <- rsp;
+  Memory.write_u64 t.mem (Int64.to_int rsp) v
+
+let pop t =
+  let rsp = t.regs.(reg_index RSP) in
+  let v = Memory.read_u64 t.mem (Int64.to_int rsp) in
+  t.regs.(reg_index RSP) <- Int64.add rsp 8L;
+  v
+
+(* An AEX dumps the register context into the SSA, clobbering the P6
+   marker word (which shares the SSA's first slot), and deposits the
+   co-location observation the HyperRace-style probe would make. *)
+let inject_aex t =
+  t.aexes <- t.aexes + 1;
+  t.cycles <- t.cycles + Cost.aex_cost;
+  let l = Memory.layout t.mem in
+  let ssa = l.Layout.ssa_lo in
+  for i = 0 to 15 do
+    Memory.priv_write_u64 t.mem (ssa + (8 * i)) t.regs.(i)
+  done;
+  Memory.priv_write_u64 t.mem (ssa + 128) (Int64.of_int t.rip);
+  let colocated =
+    if Deflection_util.Prng.float t.prng 1.0 < t.config.colocated_prob then 1L else 0L
+  in
+  Memory.priv_write_u64 t.mem (Layout.colocation_cell l) colocated;
+  schedule_next_aex t
+
+(* ------------------------------------------------------------------ *)
+(* Fetch/decode with a generation-stamped cache *)
+
+let fetch t =
+  Memory.check_exec t.mem t.rip;
+  let gen = Memory.code_generation t.mem in
+  match Hashtbl.find_opt t.cache t.rip with
+  | Some (i, len, g) when g = gen -> (i, len)
+  | Some _ | None ->
+    let off = Memory.to_offset t.mem t.rip in
+    let i, len = Codec.decode (Memory.code_bytes t.mem) off in
+    (* ensure the whole instruction lies in executable memory *)
+    Memory.check_exec t.mem (t.rip + len - 1);
+    Hashtbl.replace t.cache t.rip (i, len, gen);
+    (i, len)
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+exception Halted of exit_reason
+
+let f64 v = Int64.float_of_bits v
+let b64 v = Int64.bits_of_float v
+
+let exec t instr len =
+  let next = t.rip + len in
+  let goto a = t.rip <- a in
+  let fall () = goto next in
+  match instr with
+  | Nop -> fall ()
+  | Hlt ->
+    let code = t.regs.(reg_index RAX) in
+    (match Annot.abort_reason_of_exit_code code with
+    | Some r -> raise (Halted (Policy_abort r))
+    | None -> raise (Halted (Exited code)))
+  | Mov (d, s) ->
+    write_operand t d (read_operand t s);
+    fall ()
+  | Lea (r, m) ->
+    t.regs.(reg_index r) <- Int64.of_int (effective_address t m);
+    fall ()
+  | Push o ->
+    push t (read_operand t o);
+    fall ()
+  | Pop r ->
+    t.regs.(reg_index r) <- pop t;
+    fall ()
+  | Binop (op, d, s) ->
+    let a = read_operand t d and b = read_operand t s in
+    let r =
+      match op with
+      | Add -> set_flags_add t a b
+      | Sub -> set_flags_sub t a b
+      | And -> set_flags_logic t (Int64.logand a b)
+      | Or -> set_flags_logic t (Int64.logor a b)
+      | Xor -> set_flags_logic t (Int64.logxor a b)
+      | Imul ->
+        let r = Int64.mul a b in
+        set_zs t r;
+        t.flags.cf <- false;
+        t.flags.ovf <- false;
+        r
+    in
+    write_operand t d r;
+    fall ()
+  | Unop (op, o) ->
+    let a = read_operand t o in
+    let r =
+      match op with
+      | Neg -> set_flags_sub t 0L a
+      | Not -> Int64.lognot a
+      | Inc -> set_flags_add t a 1L
+      | Dec -> set_flags_sub t a 1L
+    in
+    write_operand t o r;
+    fall ()
+  | Shift (op, d, c) ->
+    let a = read_operand t d in
+    let count = Int64.to_int (Int64.logand (read_operand t c) 63L) in
+    let r =
+      match op with
+      | Shl -> Int64.shift_left a count
+      | Shr -> Int64.shift_right_logical a count
+      | Sar -> Int64.shift_right a count
+    in
+    set_zs t r;
+    write_operand t d r;
+    fall ()
+  | Idiv o ->
+    let b = read_operand t o in
+    if Int64.equal b 0L then raise (Halted (Div_by_zero t.rip));
+    let a = t.regs.(reg_index RAX) in
+    t.regs.(reg_index RAX) <- Int64.div a b;
+    t.regs.(reg_index RDX) <- Int64.rem a b;
+    fall ()
+  | Cmp (a, b) ->
+    ignore (set_flags_sub t (read_operand t a) (read_operand t b));
+    fall ()
+  | Test (a, b) ->
+    ignore (set_flags_logic t (Int64.logand (read_operand t a) (read_operand t b)));
+    fall ()
+  | Jmp (Rel d) -> goto (next + d)
+  | Jmp (Lab l) -> invalid_arg ("Interp: unresolved label " ^ l)
+  | Jcc (c, Rel d) -> if cond_holds t c then goto (next + d) else fall ()
+  | Jcc (_, Lab l) -> invalid_arg ("Interp: unresolved label " ^ l)
+  | Call (Rel d) ->
+    push t (Int64.of_int next);
+    goto (next + d)
+  | Call (Lab l) -> invalid_arg ("Interp: unresolved label " ^ l)
+  | JmpInd o -> goto (Int64.to_int (read_operand t o))
+  | CallInd o ->
+    let target = Int64.to_int (read_operand t o) in
+    push t (Int64.of_int next);
+    goto target
+  | Ret -> goto (Int64.to_int (pop t))
+  | Ocall n ->
+    t.ocalls <- t.ocalls + 1;
+    t.cycles <- t.cycles + Cost.ocall_transition;
+    (match t.ocall n t with Continue -> fall () | Halt r -> raise (Halted r))
+  | Fbin (op, r, o) ->
+    let a = f64 t.regs.(reg_index r) and b = f64 (read_operand t o) in
+    let v = match op with FAdd -> a +. b | FSub -> a -. b | FMul -> a *. b | FDiv -> a /. b in
+    t.regs.(reg_index r) <- b64 v;
+    fall ()
+  | Fcmp (r, o) ->
+    let a = f64 t.regs.(reg_index r) and b = f64 (read_operand t o) in
+    t.flags.zf <- a = b;
+    t.flags.cf <- a < b;
+    t.flags.sf <- false;
+    t.flags.ovf <- false;
+    fall ()
+  | Cvtsi2sd (r, o) ->
+    t.regs.(reg_index r) <- b64 (Int64.to_float (read_operand t o));
+    fall ()
+  | Cvttsd2si (r, o) ->
+    t.regs.(reg_index r) <- Int64.of_float (f64 (read_operand t o));
+    fall ()
+  | Fsqrt (r, o) ->
+    t.regs.(reg_index r) <- b64 (sqrt (f64 (read_operand t o)));
+    fall ()
+
+let step t =
+  try
+    if t.instrs >= t.config.instr_limit then Some Limit_exceeded
+    else begin
+      if t.cycles >= t.next_aex then inject_aex t;
+      let i, len = fetch t in
+      t.instrs <- t.instrs + 1;
+      (* 3-wide issue for simple register ops; full latency otherwise *)
+      if Cost.is_simple i then begin
+        t.issue_residue <- t.issue_residue + 1;
+        if t.issue_residue >= 3 then begin
+          t.issue_residue <- 0;
+          t.cycles <- t.cycles + 1
+        end
+      end
+      else t.cycles <- t.cycles + Cost.of_instr i;
+      exec t i len;
+      None
+    end
+  with
+  | Halted r -> Some r
+  | Memory.Fault f -> Some (Mem_fault f)
+  | Codec.Decode_error _ -> Some (Invalid_instruction t.rip)
+
+let run t ~entry =
+  t.rip <- entry;
+  let rec loop () = match step t with None -> loop () | Some r -> r in
+  loop ()
+
+let add_cycles t n = t.cycles <- t.cycles + n
+let cycles t = t.cycles
+let instructions t = t.instrs
+let aex_count t = t.aexes
+let ocall_count t = t.ocalls

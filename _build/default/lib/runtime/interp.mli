@@ -1,0 +1,82 @@
+(** The enclave execution engine.
+
+    Interprets target code placed in enclave memory, charging each
+    instruction its virtual-cycle cost ({!Deflection_isa.Cost}), enforcing
+    page permissions, and injecting asynchronous enclave exits (AEXes) on a
+    deterministic pseudo-random schedule — the simulated equivalent of the
+    interrupts/page faults an adversarial OS can trigger (paper Section
+    IV-B, P6).
+
+    The interpreter is the {e hardware} of the simulation: it does not know
+    about policies. Policy enforcement is done by the verified annotation
+    code it executes and by the OCall wrappers the bootstrap registers. *)
+
+module Isa = Deflection_isa.Isa
+module Memory = Deflection_enclave.Memory
+
+type t
+
+type exit_reason =
+  | Exited of int64  (** [Hlt] with RAX >= 0: normal termination *)
+  | Policy_abort of Deflection_annot.Annot.abort_reason
+      (** [Hlt] with one of the annotation abort codes *)
+  | Mem_fault of Memory.fault
+  | Invalid_instruction of int  (** undecodable bytes at address *)
+  | Div_by_zero of int
+  | Ocall_denied of int  (** OCall index not allowed by the manifest *)
+  | Limit_exceeded  (** safety instruction budget exhausted *)
+
+val pp_exit_reason : Format.formatter -> exit_reason -> unit
+val exit_reason_to_string : exit_reason -> string
+
+(** What an OCall handler tells the engine to do next. *)
+type ocall_outcome = Continue | Halt of exit_reason
+
+type config = {
+  instr_limit : int;  (** hard safety budget (default 2_000_000_000) *)
+  aex_interval : int option;
+      (** mean cycles between injected AEXes; [None] = calm platform *)
+  aex_seed : int64;
+  colocated_prob : float;
+      (** probability that an injected AEX's co-location observation reads
+          "same physical core" (benign scheduler ≈ 1 - alpha) *)
+}
+
+val default_config : config
+
+val create :
+  ?config:config ->
+  ocall:(int -> t -> ocall_outcome) ->
+  Memory.t ->
+  t
+
+(** {2 Register and memory access (for OCall handlers and tests)} *)
+
+val read_reg : t -> Isa.reg -> int64
+val write_reg : t -> Isa.reg -> int64 -> unit
+val memory : t -> Memory.t
+val rip : t -> int
+
+(** {2 Execution} *)
+
+val run : t -> entry:int -> exit_reason
+(** Set RIP to [entry] and interpret until halt/fault/limit. RSP must have
+    been initialized via {!write_reg} or {!init_stack}. *)
+
+val init_stack : t -> unit
+(** Point RSP at the top of the stack region (16-byte aligned, one slack
+    slot). *)
+
+val step : t -> exit_reason option
+(** Single-step; [None] while running. *)
+
+val add_cycles : t -> int -> unit
+(** Charge extra virtual cycles (used by OCall wrappers to account for
+    work — e.g. record encryption — done on the enclave's behalf). *)
+
+(** {2 Statistics} *)
+
+val cycles : t -> int
+val instructions : t -> int
+val aex_count : t -> int
+val ocall_count : t -> int

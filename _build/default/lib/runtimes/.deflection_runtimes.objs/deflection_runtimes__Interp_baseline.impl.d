@@ -1,0 +1,1 @@
+lib/runtimes/interp_baseline.ml: Deflection_compiler Format

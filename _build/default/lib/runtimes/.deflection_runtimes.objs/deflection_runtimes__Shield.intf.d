@@ -1,0 +1,1 @@
+lib/runtimes/shield.mli:

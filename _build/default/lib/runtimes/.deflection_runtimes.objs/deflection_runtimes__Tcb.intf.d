@@ -1,0 +1,1 @@
+lib/runtimes/tcb.mli:

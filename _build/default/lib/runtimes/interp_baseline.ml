@@ -1,0 +1,15 @@
+let cycles_per_step = 14
+
+let run ?(inputs = []) src =
+  match Deflection_compiler.Parser.parse src with
+  | exception Deflection_compiler.Ast.Error (pos, msg) ->
+    Error (Format.asprintf "%a: %s" Deflection_compiler.Ast.pp_pos pos msg)
+  | prog -> (
+    match Deflection_compiler.Eval.run ~inputs prog with
+    | Error e -> Error (Format.asprintf "%a" Deflection_compiler.Eval.pp_error e)
+    | Ok o ->
+      Ok
+        ( o.Deflection_compiler.Eval.steps * cycles_per_step,
+          o.Deflection_compiler.Eval.outputs ))
+
+let tcb_kloc = 2.1 (* lexer+parser+ast+evaluator, measured from lib/compiler *)

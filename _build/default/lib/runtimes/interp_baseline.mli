@@ -1,0 +1,23 @@
+(** The "interpreter inside the enclave" alternative (paper Section VIII:
+    Ryoan's sandbox, in-enclave JVM/script interpreters). Instead of
+    verifying native code, the bootstrap could interpret the service's
+    source — a far larger TCB and a large slowdown.
+
+    We model it by running the MiniC program on the reference evaluator
+    with a per-step cycle price calibrated to typical in-enclave
+    interpreter overheads, and compare against DEFLECTION's verified
+    native execution in the bench harness. *)
+
+val cycles_per_step : int
+(** Virtual cycles one interpreted MiniC evaluation step costs (an
+    interpreter dispatch + operand handling; ~12 native instructions). *)
+
+val run :
+  ?inputs:bytes list ->
+  string ->
+  (int * string list, string) result
+(** [run src] interprets the program; returns (virtual cycles, outputs). *)
+
+val tcb_kloc : float
+(** The interpreter TCB this architecture adds inside the enclave (the
+    whole compiler frontend + evaluator must be trusted). *)

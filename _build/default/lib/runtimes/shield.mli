@@ -1,0 +1,29 @@
+(** Analytic cost models of the competing shielding runtimes, for the
+    Figure-11 HTTPS transfer-rate comparison.
+
+    Each runtime's per-request time is [fixed + per_byte * size] (seconds,
+    virtual 1 GHz clock). The structure encodes each system's documented
+    architecture: Graphene-SGX has moderate per-request cost but pays a
+    large per-byte tax (two copies through the LibOS plus glibc inside the
+    enclave); Occlum sits between; DEFLECTION pays an instrumented-handler
+    per-byte cost of roughly 1.3x native. The [deflection] row can be (and
+    in the bench harness is) calibrated from cycles measured on the real
+    simulated enclave instead of the default constants. *)
+
+type model = {
+  sname : string;
+  fixed_cycles : float;  (** per-request: syscall transitions, TLS record setup *)
+  cycles_per_byte : float;
+}
+
+val native : model
+val graphene : model
+val occlum : model
+val deflection : model
+
+val all : model list
+
+val transfer_rate_mbps : model -> file_bytes:int -> float
+(** Steady-state single-stream transfer rate in MB/s. *)
+
+val with_measured : model -> fixed_cycles:float -> cycles_per_byte:float -> model

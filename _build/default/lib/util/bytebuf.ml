@@ -1,0 +1,69 @@
+type t = Buffer.t
+
+let create ?(capacity = 64) () = Buffer.create capacity
+let length = Buffer.length
+let contents t = Buffer.to_bytes t
+let u8 t v = Buffer.add_char t (Char.chr (v land 0xff))
+
+let u16 t v =
+  u8 t v;
+  u8 t (v lsr 8)
+
+let u32 t v =
+  u16 t v;
+  u16 t (v lsr 16)
+
+let u64 t v =
+  for i = 0 to 7 do
+    u8 t (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+  done
+
+let raw t b = Buffer.add_bytes t b
+
+let string t s =
+  u32 t (String.length s);
+  Buffer.add_string t s
+
+module Reader = struct
+  type r = { data : bytes; mutable pos : int }
+
+  exception Truncated
+
+  let of_bytes data = { data; pos = 0 }
+  let of_bytes_at data pos = { data; pos }
+  let pos r = r.pos
+  let remaining r = Bytes.length r.data - r.pos
+
+  let u8 r =
+    if r.pos >= Bytes.length r.data then raise Truncated;
+    let v = Char.code (Bytes.get r.data r.pos) in
+    r.pos <- r.pos + 1;
+    v
+
+  let u16 r =
+    let lo = u8 r in
+    let hi = u8 r in
+    lo lor (hi lsl 8)
+
+  let u32 r =
+    let lo = u16 r in
+    let hi = u16 r in
+    lo lor (hi lsl 16)
+
+  let u64 r =
+    let v = ref 0L in
+    for i = 0 to 7 do
+      v := Int64.logor !v (Int64.shift_left (Int64.of_int (u8 r)) (8 * i))
+    done;
+    !v
+
+  let raw r n =
+    if n < 0 || remaining r < n then raise Truncated;
+    let b = Bytes.sub r.data r.pos n in
+    r.pos <- r.pos + n;
+    b
+
+  let string r =
+    let n = u32 r in
+    Bytes.to_string (raw r n)
+end

@@ -1,0 +1,39 @@
+(** Growable byte buffer with little-endian primitive writes, plus a
+    bounds-checked reader cursor. Used by the instruction encoder, the
+    relocatable-object serializer and the attestation wire formats. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val contents : t -> bytes
+(** Copy of the bytes written so far. *)
+
+val u8 : t -> int -> unit
+val u16 : t -> int -> unit
+val u32 : t -> int -> unit
+(** Writes the low 32 bits (values are treated modulo 2^32). *)
+
+val u64 : t -> int64 -> unit
+val raw : t -> bytes -> unit
+val string : t -> string -> unit
+(** Length-prefixed (u32) string. *)
+
+(** Bounds-checked sequential reader over immutable bytes. All reads raise
+    [Truncated] past the end instead of returning garbage. *)
+module Reader : sig
+  type r
+
+  exception Truncated
+
+  val of_bytes : bytes -> r
+  val of_bytes_at : bytes -> int -> r
+  val pos : r -> int
+  val remaining : r -> int
+  val u8 : r -> int
+  val u16 : r -> int
+  val u32 : r -> int
+  val u64 : r -> int64
+  val raw : r -> int -> bytes
+  val string : r -> string
+end

@@ -1,0 +1,29 @@
+let hexdigit = "0123456789abcdef"
+
+let encode b =
+  let n = Bytes.length b in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let v = Char.code (Bytes.get b i) in
+    Bytes.set out (2 * i) hexdigit.[v lsr 4];
+    Bytes.set out ((2 * i) + 1) hexdigit.[v land 0xf]
+  done;
+  Bytes.to_string out
+
+let encode_string s = encode (Bytes.of_string s)
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Hex.decode: non-hex character"
+
+let decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Hex.decode: odd length";
+  let out = Bytes.create (n / 2) in
+  for i = 0 to (n / 2) - 1 do
+    Bytes.set out i (Char.chr ((nibble s.[2 * i] lsl 4) lor nibble s.[(2 * i) + 1]))
+  done;
+  out

@@ -1,0 +1,10 @@
+(** Hexadecimal encoding helpers for digests and wire dumps. *)
+
+val encode : bytes -> string
+(** Lowercase hex, two chars per byte. *)
+
+val encode_string : string -> string
+
+val decode : string -> bytes
+(** Inverse of {!encode}. Raises [Invalid_argument] on odd length or
+    non-hex characters. *)

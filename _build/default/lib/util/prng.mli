@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every stochastic element of the simulation (AEX injection schedules,
+    workload data, key generation) draws from an explicitly seeded [Prng.t]
+    so that experiments are exactly reproducible. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy continuing from the same state. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val int64_range : t -> int64 -> int64 -> int64
+(** [int64_range t lo hi] is uniform in [\[lo, hi)]. Requires [lo < hi]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+
+val bytes : t -> int -> bytes
+(** [bytes t n] is [n] uniform bytes. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

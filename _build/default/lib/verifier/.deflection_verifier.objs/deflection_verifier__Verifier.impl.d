@@ -1,0 +1,1 @@
+lib/verifier/verifier.ml: Array Bytes Deflection_annot Deflection_isa Deflection_policy Format Fun Hashtbl List

@@ -1,0 +1,1 @@
+lib/verifier/verifier.mli: Deflection_isa Deflection_policy Format

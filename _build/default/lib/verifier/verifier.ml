@@ -1,0 +1,475 @@
+module Isa = Deflection_isa.Isa
+module Codec = Deflection_isa.Codec
+module Objfile = Deflection_isa.Objfile
+module Annot = Deflection_annot.Annot
+module Policy = Deflection_policy.Policy
+open Isa
+
+type rejection = { offset : int; reason : string }
+
+let pp_rejection fmt r = Format.fprintf fmt "rejected at %#x: %s" r.offset r.reason
+
+type report = {
+  instructions_checked : int;
+  store_annotations : int;
+  rsp_annotations : int;
+  cfi_annotations : int;
+  prologues : int;
+  epilogues : int;
+  ssa_checks : int;
+}
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "verified: %d instructions, %d store / %d rsp / %d cfi annotations, %d prologues, %d \
+     epilogues, %d ssa checks"
+    r.instructions_checked r.store_annotations r.rsp_annotations r.cfi_annotations r.prologues
+    r.epilogues r.ssa_checks
+
+exception Reject of rejection
+
+let reject offset reason = raise (Reject { offset; reason })
+
+(* P6 slack: the instrumentation pass may delay a marker inspection past
+   the nominal period while flags are live; see Instrument.maybe_ssa_check. *)
+let ssa_slack = 8
+
+type st = {
+  text : bytes;
+  tlen : int;
+  policies : Policy.Set.t;
+  ssa_q : int;
+  stub_addr : Annot.abort_reason -> int;
+  aex_handler_off : int;
+  start_off : int;
+  user_funs : (int, string) Hashtbl.t;  (** offset -> name *)
+  (* classification *)
+  visited : (int, unit) Hashtbl.t;  (** unit start offsets already scanned *)
+  starts : (int, unit) Hashtbl.t;  (** legitimate branch-target offsets *)
+  interior : (int, unit) Hashtbl.t;  (** instruction starts inside groups *)
+  ssa_starts : (int, unit) Hashtbl.t;
+  mutable jump_targets : (int * int) list;  (** (site, target) of jmp/jcc *)
+  mutable call_targets : (int * int) list;
+  mutable worklist : int list;
+  (* stats *)
+  mutable n_instr : int;
+  mutable n_store : int;
+  mutable n_rsp : int;
+  mutable n_cfi : int;
+  mutable n_prologue : int;
+  mutable n_epilogue : int;
+  mutable n_ssa : int;
+}
+
+let has p st = Policy.Set.mem p st.policies
+
+let decode_at st off =
+  if off < 0 || off >= st.tlen then reject off "control flow leaves the text section";
+  match Codec.decode st.text off with
+  | exception Codec.Decode_error _ -> reject off "undecodable instruction"
+  | instr, len ->
+    if off + len > st.tlen then reject off "instruction extends past the text section";
+    (instr, len)
+
+(* Try to match a template starting at [off]. Returns the unit offsets and
+   the end offset, or None (without raising) on mismatch. *)
+let match_template st off (slots : Annot.slot list) : (int array * int) option =
+  let n = List.length slots in
+  let offsets = Array.make (n + 1) 0 in
+  let decoded = Array.make n Nop in
+  (* decode pass: any decode failure is a mismatch, not a rejection *)
+  let ok =
+    try
+      let cur = ref off in
+      List.iteri
+        (fun i _ ->
+          offsets.(i) <- !cur;
+          if !cur >= st.tlen then raise Exit;
+          match Codec.decode st.text !cur with
+          | exception Codec.Decode_error _ -> raise Exit
+          | instr, len ->
+            if !cur + len > st.tlen then raise Exit;
+            decoded.(i) <- instr;
+            cur := !cur + len)
+        slots;
+      offsets.(n) <- !cur;
+      true
+    with Exit -> false
+  in
+  if not ok then None
+  else begin
+    let resolve = function
+      | Annot.To_abort r -> st.stub_addr r
+      | Annot.To_aex_handler -> st.aex_handler_off
+      | Annot.Internal i -> offsets.(i)
+    in
+    let check i slot =
+      match (slot, decoded.(i)) with
+      | Annot.Exact e, d -> e = d
+      | Annot.Jcc_to (c, dst), Jcc (c', Rel r) ->
+        c = c' && offsets.(i + 1) + r = resolve dst
+      | Annot.Jmp_to dst, Jmp (Rel r) -> offsets.(i + 1) + r = resolve dst
+      | Annot.Call_to dst, Call (Rel r) -> offsets.(i + 1) + r = resolve dst
+      | (Annot.Jcc_to _ | Annot.Jmp_to _ | Annot.Call_to _), _ -> false
+    in
+    let all_ok = List.for_all2 (fun i s -> check i s) (List.init n Fun.id) slots in
+    if all_ok then Some (Array.sub offsets 0 n, offsets.(n)) else None
+  end
+
+let mark_group st unit_offsets end_off =
+  Hashtbl.replace st.starts unit_offsets.(0) ();
+  Array.iteri
+    (fun i o ->
+      Hashtbl.replace st.visited o ();
+      if i > 0 then Hashtbl.replace st.interior o ())
+    unit_offsets;
+  st.n_instr <- st.n_instr + Array.length unit_offsets;
+  end_off
+
+(* The store group is the Figure-5 template followed by the guarded store;
+   the template's lea operand must equal the push-adjusted destination. *)
+let match_store_group st off : int option =
+  (* peek at unit 2 to learn the lea operand *)
+  let peek_lea () =
+    try
+      let cur = ref off in
+      let skip () =
+        match Codec.decode st.text !cur with
+        | exception Codec.Decode_error _ -> raise Exit
+        | i, len ->
+          cur := !cur + len;
+          i
+      in
+      let i1 = skip () in
+      let i2 = skip () in
+      let i3 = skip () in
+      match (i1, i2, i3) with
+      | Push (Reg RBX), Push (Reg RAX), Lea (RAX, m) -> Some m
+      | _ -> None
+    with Exit -> None
+  in
+  match peek_lea () with
+  | None -> None
+  | Some m ->
+    (match match_template st off (Annot.store_template m) with
+    | None -> None
+    | Some (units, tmpl_end) ->
+      (* the guarded store itself *)
+      (match
+         (try Some (Codec.decode st.text tmpl_end) with Codec.Decode_error _ -> None)
+       with
+      | Some (store_instr, slen) when tmpl_end + slen <= st.tlen ->
+        (match maystore store_instr with
+        | Some m' when Annot.adjust_mem_for_pushes m' 2 = m ->
+          let all_units = Array.append units [| tmpl_end |] in
+          Some (mark_group st all_units (tmpl_end + slen))
+        | Some _ | None -> None)
+      | Some _ | None -> None))
+
+let match_simple_group st off template : int option =
+  match match_template st off template with
+  | None -> None
+  | Some (units, end_off) -> Some (mark_group st units end_off)
+
+(* CFI group: the table-scan template followed by the indirect branch via
+   R10. Returns (end offset, branch kind). *)
+let match_cfi_group st off : (int * [ `Jmp | `Call ]) option =
+  match match_template st off Annot.cfi_template with
+  | None -> None
+  | Some (units, tmpl_end) ->
+    (match (try Some (Codec.decode st.text tmpl_end) with Codec.Decode_error _ -> None) with
+    | Some (JmpInd (Reg r), len) when r = Annot.cfi_target_reg ->
+      let all = Array.append units [| tmpl_end |] in
+      Some (mark_group st all (tmpl_end + len), `Jmp)
+    | Some (CallInd (Reg r), len) when r = Annot.cfi_target_reg ->
+      let all = Array.append units [| tmpl_end |] in
+      Some (mark_group st all (tmpl_end + len), `Call)
+    | Some _ | None -> None)
+
+(* A plain instruction that writes RSP must drag the P2 suffix with it. *)
+let match_rsp_unit st off instr len : int =
+  match match_template st (off + len) Annot.rsp_template with
+  | None -> reject off (Format.asprintf "RSP write without P2 annotation: %a" pp_instr instr)
+  | Some (units, end_off) ->
+    let all = Array.append [| off |] units in
+    st.n_rsp <- st.n_rsp + 1;
+    mark_group st all end_off
+
+(* ------------------------------------------------------------------ *)
+(* Run scanning *)
+
+type unit_result = Fallthrough of int | End_of_run | Branch_and_fall of int
+
+let scan_plain st off =
+  let instr, len = decode_at st off in
+  let end_off = off + len in
+  (* policy gates on bare instructions *)
+  (match maystore instr with
+  | Some _ when has Policy.P1 st ->
+    reject off (Format.asprintf "memory store without annotation: %a" pp_instr instr)
+  | Some _ | None -> ());
+  (match instr with
+  | Ret when has Policy.P5 st -> reject off "RET outside a shadow-stack epilogue"
+  | (JmpInd _ | CallInd _) when has Policy.P5 st ->
+    reject off "indirect branch without CFI annotation"
+  | _ -> ());
+  if has Policy.P5 st && writes_reg Annot.shadow_stack_reg instr then
+    reject off "write to the reserved shadow-stack register";
+  if writes_rsp instr && has Policy.P2 st then begin
+    let e = match_rsp_unit st off instr len in
+    Fallthrough e
+  end
+  else begin
+    Hashtbl.replace st.visited off ();
+    Hashtbl.replace st.starts off ();
+    st.n_instr <- st.n_instr + 1;
+    match instr with
+    | Jmp (Rel d) ->
+      st.jump_targets <- (off, end_off + d) :: st.jump_targets;
+      st.worklist <- (end_off + d) :: st.worklist;
+      End_of_run
+    | Jcc (_, Rel d) ->
+      st.jump_targets <- (off, end_off + d) :: st.jump_targets;
+      st.worklist <- (end_off + d) :: st.worklist;
+      Branch_and_fall end_off
+    | Call (Rel d) ->
+      st.call_targets <- (off, end_off + d) :: st.call_targets;
+      st.worklist <- (end_off + d) :: st.worklist;
+      Fallthrough end_off
+    | Jmp (Lab _) | Jcc (_, Lab _) | Call (Lab _) -> reject off "unresolved label in binary"
+    | Ret -> End_of_run
+    | Hlt -> End_of_run
+    | JmpInd _ -> End_of_run (* only reachable when P5 is off *)
+    | Nop | Mov _ | Lea _ | Push _ | Pop _ | Binop _ | Unop _ | Shift _ | Idiv _ | Cmp _
+    | Test _ | CallInd _ | Ocall _ | Fbin _ | Fcmp _ | Cvtsi2sd _ | Cvttsd2si _ | Fsqrt _ ->
+      Fallthrough end_off
+  end
+
+let scan_run st start =
+  let ssa_counter = ref 0 in
+  let bump_ssa off =
+    if has Policy.P6 st then begin
+      incr ssa_counter;
+      if !ssa_counter > st.ssa_q + ssa_slack then
+        reject off "straight-line run exceeds the SSA inspection period"
+    end
+  in
+  let rec step off =
+    if off = st.tlen then reject off "control flow falls off the end of the text"
+    else if Hashtbl.mem st.visited off then () (* merged with an already-scanned run *)
+    else begin
+      (* stubs *)
+      let stub_reason =
+        List.find_opt (fun r -> st.stub_addr r = off) Annot.all_abort_reasons
+      in
+      match stub_reason with
+      | Some r ->
+        let template =
+          [ Annot.Exact (Mov (Reg RAX, Imm (Annot.abort_exit_code r))); Annot.Exact Hlt ]
+        in
+        (match match_simple_group st off template with
+        | Some _ -> () (* stub ends the run *)
+        | None -> reject off "malformed abort stub")
+      | None ->
+        if off = st.aex_handler_off then begin
+          match match_simple_group st off Annot.aex_handler_template with
+          | Some _ -> ()
+          | None -> reject off "malformed AEX handler"
+        end
+        else if off = st.start_off then begin
+          (* __start: call entry; hlt *)
+          let instr, len = decode_at st off in
+          match instr with
+          | Call (Rel d) ->
+            let target = off + len + d in
+            st.call_targets <- (off, target) :: st.call_targets;
+            st.worklist <- target :: st.worklist;
+            Hashtbl.replace st.visited off ();
+            Hashtbl.replace st.starts off ();
+            let i2, _ = decode_at st (off + len) in
+            if i2 <> Hlt then reject (off + len) "__start must halt after calling the entry";
+            Hashtbl.replace st.visited (off + len) ();
+            Hashtbl.replace st.starts (off + len) ();
+            st.n_instr <- st.n_instr + 2
+          | _ -> reject off "__start must begin with a direct call"
+        end
+        else begin
+          (* function entry? *)
+          let is_fun = Hashtbl.mem st.user_funs off in
+          if is_fun && has Policy.P5 st then begin
+            match match_simple_group st off Annot.prologue_template with
+            | Some e ->
+              st.n_prologue <- st.n_prologue + 1;
+              bump_ssa off;
+              step e
+            | None -> reject off "function entry without shadow-stack prologue"
+          end
+          else begin
+            (* annotation groups *)
+            let try_ssa () =
+              if has Policy.P6 st then
+                match match_simple_group st off Annot.ssa_template with
+                | Some e ->
+                  st.n_ssa <- st.n_ssa + 1;
+                  Hashtbl.replace st.ssa_starts off ();
+                  ssa_counter := 0;
+                  Some e
+                | None -> None
+              else None
+            in
+            let try_store () =
+              if has Policy.P1 st then
+                match match_store_group st off with
+                | Some e ->
+                  st.n_store <- st.n_store + 1;
+                  Some e
+                | None -> None
+              else None
+            in
+            match try_ssa () with
+            | Some e -> step e
+            | None ->
+              (match try_store () with
+              | Some e ->
+                bump_ssa off;
+                step e
+              | None ->
+                if has Policy.P5 st then begin
+                  match match_cfi_group st off with
+                  | Some (e, kind) ->
+                    st.n_cfi <- st.n_cfi + 1;
+                    bump_ssa off;
+                    (match kind with `Jmp -> () | `Call -> step e)
+                  | None ->
+                    (match match_simple_group st off Annot.epilogue_template with
+                    | Some _ ->
+                      st.n_epilogue <- st.n_epilogue + 1
+                      (* epilogue ends with ret: end of run *)
+                    | None -> plain off)
+                end
+                else plain off)
+          end
+        end
+    end
+  and plain off =
+    match scan_plain st off with
+    | End_of_run -> ()
+    | Fallthrough e ->
+      bump_ssa off;
+      step e
+    | Branch_and_fall e ->
+      bump_ssa off;
+      step e
+  in
+  step start
+
+(* ------------------------------------------------------------------ *)
+
+let verify ~policies ~ssa_q (obj : Objfile.t) =
+  try
+    let text = obj.Objfile.text in
+    let sym name =
+      match Objfile.find_symbol obj name with
+      | Some s when s.Objfile.section = Objfile.Text -> Some s.Objfile.offset
+      | Some _ | None -> None
+    in
+    let require name =
+      match sym name with
+      | Some off -> off
+      | None -> reject 0 ("missing required symbol " ^ name)
+    in
+    let stub_tbl =
+      List.map (fun r -> (r, require (Annot.abort_symbol r))) Annot.all_abort_reasons
+    in
+    let stub_addr r = List.assoc r stub_tbl in
+    let aex_handler_off = require Annot.aex_handler_symbol in
+    let start_off = require Annot.start_symbol in
+    let stub_offsets =
+      (start_off :: aex_handler_off :: List.map snd stub_tbl)
+    in
+    let user_funs = Hashtbl.create 16 in
+    List.iter
+      (fun (s : Objfile.symbol) ->
+        if
+          s.Objfile.section = Objfile.Text && s.Objfile.is_function
+          && not (List.mem s.Objfile.offset stub_offsets)
+        then Hashtbl.replace user_funs s.Objfile.offset s.Objfile.name)
+      obj.Objfile.symbols;
+    (* the indirect-branch list must point at user functions *)
+    List.iter
+      (fun name ->
+        match Objfile.find_symbol obj name with
+        | Some s when s.Objfile.section = Objfile.Text && s.Objfile.is_function -> ()
+        | Some _ | None -> reject 0 ("branch-list entry is not a function: " ^ name))
+      obj.Objfile.branch_targets;
+    let st =
+      {
+        text;
+        tlen = Bytes.length text;
+        policies;
+        ssa_q;
+        stub_addr;
+        aex_handler_off;
+        start_off;
+        user_funs;
+        visited = Hashtbl.create 4096;
+        starts = Hashtbl.create 4096;
+        interior = Hashtbl.create 4096;
+        ssa_starts = Hashtbl.create 1024;
+        jump_targets = [];
+        call_targets = [];
+        worklist = [];
+        n_instr = 0;
+        n_store = 0;
+        n_rsp = 0;
+        n_cfi = 0;
+        n_prologue = 0;
+        n_epilogue = 0;
+        n_ssa = 0;
+      }
+    in
+    (* seed: entry, stubs, every function, every indirect target *)
+    st.worklist <- start_off :: stub_offsets;
+    Hashtbl.iter (fun off _ -> st.worklist <- off :: st.worklist) user_funs;
+    let rec drain () =
+      match st.worklist with
+      | [] -> ()
+      | off :: rest ->
+        st.worklist <- rest;
+        if not (Hashtbl.mem st.visited off) then scan_run st off;
+        drain ()
+    in
+    drain ();
+    (* a-posteriori control-flow target validation *)
+    List.iter
+      (fun (site, target) ->
+        if Hashtbl.mem st.interior target then
+          reject site "branch target inside an annotation group";
+        if not (Hashtbl.mem st.starts target) then
+          reject site "branch target is not an instruction boundary";
+        (* every CFG cycle goes through a backward branch: its target must
+           carry an SSA inspection (function entries carry their own) *)
+        if
+          Policy.Set.mem Policy.P6 policies && target <= site
+          && not
+               (Hashtbl.mem st.ssa_starts target
+               || Hashtbl.mem st.user_funs target
+               || List.mem target stub_offsets)
+        then reject site "backward branch target without SSA inspection")
+      st.jump_targets;
+    List.iter
+      (fun (site, target) ->
+        if not (Hashtbl.mem st.user_funs target || target = st.aex_handler_off) then
+          reject site "direct call target is not a function entry")
+      st.call_targets;
+    Ok
+      {
+        instructions_checked = st.n_instr;
+        store_annotations = st.n_store;
+        rsp_annotations = st.n_rsp;
+        cfi_annotations = st.n_cfi;
+        prologues = st.n_prologue;
+        epilogues = st.n_epilogue;
+        ssa_checks = st.n_ssa;
+      }
+  with Reject r -> Error r

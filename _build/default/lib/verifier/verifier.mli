@@ -1,0 +1,48 @@
+(** The in-enclave proof verifier (paper Sections IV-D and V-B).
+
+    A clipped recursive-descent disassembler walks the relocated target
+    binary from its entry, following direct control flow and using the
+    indirect-branch list to continue at indirect targets, and checks that:
+
+    - every explicit memory store is immediately preceded by a correctly
+      constructed Figure-5 bounds annotation (P1/P3/P4);
+    - every instruction that writes RSP is immediately followed by the
+      stack-range annotation (P2);
+    - every indirect call/jump is reached only through the branch-table
+      scan with the target in R10, every RET only through the verified
+      shadow-stack epilogue, every function entry carries the shadow-stack
+      prologue, and no branch target lands {e inside} an annotation or
+      between instructions (P5);
+    - every basic-block entry begins with an SSA-marker inspection and
+      straight-line runs are inspected at least every [q] instructions
+      (P6);
+    - annotation immediates still hold the expected magic placeholders
+      (the imm rewriter runs only after acceptance).
+
+    Any failure rejects the binary. The verifier never modifies the code. *)
+
+module Objfile = Deflection_isa.Objfile
+
+type rejection = { offset : int; reason : string }
+
+val pp_rejection : Format.formatter -> rejection -> unit
+
+type report = {
+  instructions_checked : int;  (** decoded instructions, annotations included *)
+  store_annotations : int;
+  rsp_annotations : int;
+  cfi_annotations : int;
+  prologues : int;
+  epilogues : int;
+  ssa_checks : int;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val verify :
+  policies:Deflection_policy.Policy.Set.t ->
+  ssa_q:int ->
+  Objfile.t ->
+  (report, rejection) result
+(** Verify the (unrelocated or relocated — annotations are unaffected by
+    relocation) target binary against the policy set. *)

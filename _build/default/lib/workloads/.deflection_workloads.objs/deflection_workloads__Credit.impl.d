@@ -1,0 +1,1 @@
+lib/workloads/credit.ml: Printf

@@ -1,0 +1,1 @@
+lib/workloads/genome.ml: Array Bytes Deflection_util Printf String

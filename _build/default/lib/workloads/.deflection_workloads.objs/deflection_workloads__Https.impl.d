@@ -1,0 +1,1 @@
+lib/workloads/https.ml: Bytes Printf

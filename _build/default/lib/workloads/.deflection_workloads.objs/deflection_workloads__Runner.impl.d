@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Bytes Deflection Deflection_policy Deflection_runtime List

@@ -1,0 +1,88 @@
+let source ~n =
+  Printf.sprintf
+    {|
+float w1[64];
+float w2[8];
+float hid[8];
+float feat[8];
+float trainset[512];
+float labels[64];
+
+float sigmoid(float x) {
+  if (x > 20.0) { return 1.0; }
+  if (x < -20.0) { return 0.0; }
+  float b = 1.0 - x / 64.0;
+  float p = b * b;
+  p = p * p;
+  p = p * p;
+  p = p * p;
+  p = p * p;
+  p = p * p;
+  return 1.0 / (1.0 + p);
+}
+
+float forward() {
+  for (int h = 0; h < 8; h = h + 1) {
+    float s = 0.0;
+    for (int k = 0; k < 8; k = k + 1) { s = s + w1[h * 8 + k] * feat[k]; }
+    hid[h] = sigmoid(s);
+  }
+  float o = 0.0;
+  for (int h2 = 0; h2 < 8; h2 = h2 + 1) { o = o + w2[h2] * hid[h2]; }
+  return sigmoid(o);
+}
+
+int main() {
+  int ntrain = 64;
+  int seed = 36963;
+  /* synthetic transaction records: 8 features per applicant */
+  for (int i = 0; i < ntrain * 8; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    trainset[i] = itof(seed %% 1000) / 1000.0;
+  }
+  for (int i2 = 0; i2 < ntrain; i2 = i2 + 1) {
+    /* creditworthy iff balance-ish features dominate */
+    float t = trainset[i2 * 8] + trainset[i2 * 8 + 1] - trainset[i2 * 8 + 2];
+    if (t > 0.5) { labels[i2] = 1.0; } else { labels[i2] = 0.0; }
+  }
+  for (int j = 0; j < 64; j = j + 1) {
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    w1[j] = itof(seed %% 2000 - 1000) / 2000.0;
+  }
+  for (int j2 = 0; j2 < 8; j2 = j2 + 1) {
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    w2[j2] = itof(seed %% 2000 - 1000) / 2000.0;
+  }
+  /* train */
+  float rate = 0.3;
+  for (int epoch = 0; epoch < 10; epoch = epoch + 1) {
+    for (int r = 0; r < ntrain; r = r + 1) {
+      for (int f = 0; f < 8; f = f + 1) { feat[f] = trainset[r * 8 + f]; }
+      float out = forward();
+      float dout = (labels[r] - out) * out * (1.0 - out);
+      for (int h3 = 0; h3 < 8; h3 = h3 + 1) {
+        float dh = dout * w2[h3] * hid[h3] * (1.0 - hid[h3]);
+        w2[h3] = w2[h3] + rate * dout * hid[h3];
+        for (int k2 = 0; k2 < 8; k2 = k2 + 1) {
+          w1[h3 * 8 + k2] = w1[h3 * 8 + k2] + rate * dh * feat[k2];
+        }
+      }
+    }
+  }
+  /* score n fresh records */
+  int n = %d;
+  int check = 0;
+  int seed2 = 1299709;
+  for (int q = 0; q < n; q = q + 1) {
+    for (int f2 = 0; f2 < 8; f2 = f2 + 1) {
+      seed2 = (seed2 * 1103515245 + 12345) & 2147483647;
+      feat[f2] = itof(seed2 %% 1000) / 1000.0;
+    }
+    float conf = forward();
+    check = (check + ftoi(conf * 1000.0)) %% 1000000007;
+  }
+  print_int(check);
+  return 0;
+}
+|}
+    n

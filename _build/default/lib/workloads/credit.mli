@@ -1,0 +1,9 @@
+(** The personal-credit-score analysis of Section VI-B (Figure 9): a
+    back-propagation network trained in-enclave on synthetic transaction
+    records, then used to score [n] test records; the service outputs an
+    aggregate confidence value. The paper trains on 10000 records and
+    sweeps the number of scored records — [n] is that sweep variable. *)
+
+val source : n:int -> string
+(** MiniC program: train (fixed small set, fixed epochs), score [n]
+    records, [print_int] a checksum of the scores. *)

@@ -1,0 +1,93 @@
+let alignment_source ~n =
+  if n > 1000 then invalid_arg "Genome.alignment_source: n must be <= 1000";
+  Printf.sprintf
+    {|
+int seq1[1024];
+int seq2[1024];
+int prev[1032];
+int curr[1032];
+
+int main() {
+  int n = %d;
+  int got1 = recv(seq1, n);
+  int got2 = recv(seq2, n);
+  if (got1 != n || got2 != n) { exit(0 - 97); }
+  for (int j = 0; j <= n; j = j + 1) { prev[j] = 0 - 2 * j; }
+  for (int i = 1; i <= n; i = i + 1) {
+    curr[0] = 0 - 2 * i;
+    for (int j2 = 1; j2 <= n; j2 = j2 + 1) {
+      int sc = 0 - 1;
+      if (seq1[i - 1] == seq2[j2 - 1]) { sc = 1; }
+      int best = prev[j2 - 1] + sc;
+      int up = prev[j2] - 2;
+      if (up > best) { best = up; }
+      int lf = curr[j2 - 1] - 2;
+      if (lf > best) { best = lf; }
+      curr[j2] = best;
+    }
+    for (int j3 = 0; j3 <= n; j3 = j3 + 1) { prev[j3] = curr[j3]; }
+  }
+  print_int(prev[n]);
+  return 0;
+}
+|}
+    n
+
+let generation_source ~n =
+  Printf.sprintf
+    {|
+int buf[256];
+
+int main() {
+  int n = %d;
+  int seed = 97531;
+  int emitted = 0;
+  while (emitted < n) {
+    int k = n - emitted;
+    if (k > 192) { k = 192; }
+    for (int i = 0; i < k; i = i + 1) {
+      seed = (seed * 1103515245 + 12345) & 2147483647;
+      int r = seed %% 4;
+      int c = 65;
+      if (r == 1) { c = 67; }
+      if (r == 2) { c = 71; }
+      if (r == 3) { c = 84; }
+      buf[i] = c;
+    }
+    send(buf, k);
+    emitted = emitted + k;
+  }
+  print_int(emitted);
+  return 0;
+}
+|}
+    n
+
+let nucleotides = "ACGT"
+
+let fasta_input ~seed ~n =
+  let prng = Deflection_util.Prng.create seed in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to (2 * n) - 1 do
+    Bytes.set out i nucleotides.[Deflection_util.Prng.int prng 4]
+  done;
+  out
+
+let expected_alignment_score payload ~n =
+  if Bytes.length payload < 2 * n then invalid_arg "expected_alignment_score: payload too short";
+  let s1 i = Bytes.get payload i in
+  let s2 j = Bytes.get payload (n + j) in
+  let prev = Array.init (n + 1) (fun j -> -2 * j) in
+  let curr = Array.make (n + 1) 0 in
+  for i = 1 to n do
+    curr.(0) <- -2 * i;
+    for j = 1 to n do
+      let sc = if s1 (i - 1) = s2 (j - 1) then 1 else -1 in
+      let best = prev.(j - 1) + sc in
+      let best = max best (prev.(j) - 2) in
+      let best = max best (curr.(j - 1) - 2) in
+      curr.(j) <- best
+    done;
+    Array.blit curr 0 prev 0 (n + 1)
+  done;
+  prev.(n)

@@ -1,0 +1,23 @@
+(** The sensitive genome-analysis workloads of Section VI-B:
+
+    - {!alignment_source}: Needleman–Wunsch global alignment of two
+      DNA sequences of length [n] (the Figure 7 experiment). The
+      sequences arrive as the data owner's FASTA payload through [recv];
+      the program prints the alignment score.
+    - {!generation_source}: synthesize [n] nucleotides and [send] them
+      out in FASTA-sized records (the Figure 8 experiment) — OCall- and
+      encryption-heavy.
+    - {!fasta_input}: deterministic synthetic FASTA payload standing in
+      for the 1000 Genomes data (see DESIGN.md substitutions). *)
+
+val alignment_source : n:int -> string
+val generation_source : n:int -> string
+
+val fasta_input : seed:int64 -> n:int -> bytes
+(** Two [n]-nucleotide sequences, FASTA-style: each byte one of ACGT. The
+    payload is [2n] bytes: the two sequences concatenated. *)
+
+val expected_alignment_score : bytes -> n:int -> int
+(** Reference Needleman–Wunsch implementation in OCaml, used by the tests
+    to validate the in-enclave result (match = +1, mismatch = -1,
+    gap = -2). *)

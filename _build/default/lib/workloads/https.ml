@@ -1,0 +1,65 @@
+let handler_source ~requests =
+  Printf.sprintf
+    {|
+int req[64];
+int resp[512];
+
+int main() {
+  int todo = %d;
+  int served = 0;
+  for (int r = 0; r < todo; r = r + 1) {
+    int k = recv(req, 64);
+    if (k <= 0) { exit(0 - 96); }
+    /* "GET /<digits>" */
+    if (k < 5 || req[0] != 71 || req[1] != 69 || req[2] != 84) { exit(0 - 95); }
+    int size = 0;
+    int p = 5;
+    while (p < k && req[p] >= 48 && req[p] <= 57) {
+      size = size * 10 + (req[p] - 48);
+      p = p + 1;
+    }
+    /* status line + headers, fixed 32 bytes */
+    for (int h = 0; h < 32; h = h + 1) { resp[h] = 72; }
+    send(resp, 32);
+    /* body, streamed in chunks */
+    int seed = 1664525 + r;
+    int remaining = size;
+    while (remaining > 0) {
+      int c = remaining;
+      if (c > 448) { c = 448; }
+      for (int j = 0; j < c; j = j + 1) {
+        seed = (seed * 1103515245 + 12345) & 2147483647;
+        resp[j] = 32 + seed %% 95;
+      }
+      send(resp, c);
+      remaining = remaining - c;
+    }
+    served = served + 1;
+  }
+  print_int(served);
+  return 0;
+}
+|}
+    requests
+
+let request_payload ~size = Bytes.of_string (Printf.sprintf "GET /%d" size)
+
+type point = { concurrency : int; response_ms : float; throughput_rps : float }
+
+let ghz = 1.0e9
+
+let closed_loop ~service_cycles ?(workers = 100) ?(epc_threshold = 100) ?(epc_penalty = 0.006)
+    ~concurrency () =
+  let c = float_of_int concurrency in
+  (* EPC pressure: connection state beyond the threshold causes paging *)
+  let pressure =
+    if concurrency > epc_threshold then
+      1.0 +. (epc_penalty *. float_of_int (concurrency - epc_threshold))
+    else 1.0
+  in
+  let s = service_cycles *. pressure /. ghz (* seconds per request *) in
+  let in_service = float_of_int (min concurrency workers) in
+  (* closed loop, zero think time: X = min(C, W)/s ; R = C/X *)
+  let throughput = in_service /. s in
+  let response = c /. throughput in
+  { concurrency; response_ms = response *. 1000.0; throughput_rps = throughput }

@@ -1,0 +1,36 @@
+(** The in-enclave HTTPS server experiment (Figures 10 and 11).
+
+    The MiniC handler serves GET requests: it parses the requested file
+    size, then streams a pseudo-random body through the [send] OCall —
+    every record is sealed (encrypted + padded) by the P0 wrapper, which
+    is exactly where an in-enclave TLS server spends its per-byte cost.
+
+    Per-request service cycles are measured on the real simulated enclave;
+    {!closed_loop} then evaluates the Siege-style closed-loop workload
+    (paper: "continuous HTTPS requests with no delay") at each concurrency
+    level, with a worker pool and an EPC-pressure penalty producing the
+    paper's knee past ~100 concurrent connections. *)
+
+val handler_source : requests:int -> string
+(** Handler that serves exactly [requests] requests read via [recv]. *)
+
+val request_payload : size:int -> bytes
+(** ["GET /<size>"] request record. *)
+
+type point = {
+  concurrency : int;
+  response_ms : float;
+  throughput_rps : float;
+}
+
+val closed_loop :
+  service_cycles:float ->
+  ?workers:int ->
+  ?epc_threshold:int ->
+  ?epc_penalty:float ->
+  concurrency:int ->
+  unit ->
+  point
+(** Closed queueing model at virtual 1 GHz: [workers] requests proceed in
+    parallel; past [epc_threshold] concurrent connections each request
+    slows by [epc_penalty] per extra connection (EPC paging pressure). *)

@@ -1,0 +1,20 @@
+(** The ten nBench workloads (SGX-nBench in the paper), rewritten in MiniC
+    so the code generator can instrument them. Each kernel prints a
+    checksum so correctness under every policy mix can be asserted, and
+    each preserves the workload character that drives its row of Table II
+    (e.g. ASSIGNMENT dispatches through function pointers, FP EMULATION is
+    register-arithmetic-heavy with few stores). *)
+
+type benchmark = {
+  name : string;  (** Table II row label *)
+  paper_overheads : float * float * float * float;
+      (** the paper's reported overheads (%) under P1, P1+P2, P1-P5, P1-P6 *)
+  source : string;  (** MiniC program *)
+}
+
+val all : benchmark list
+(** In the paper's row order: NUMERIC SORT, STRING SORT, BITFIELD,
+    FP EMULATION, FOURIER, ASSIGNMENT, IDEA, HUFFMAN, NEURAL NET,
+    LU DECOMPOSITION. *)
+
+val find : string -> benchmark option

@@ -1,0 +1,1 @@
+test/suite_annot.ml: Alcotest Deflection_annot Deflection_isa Int64 List Printf

@@ -1,0 +1,1 @@
+test/suite_crypto.ml: Alcotest Bytes Char Deflection_crypto Deflection_util List QCheck QCheck_alcotest String

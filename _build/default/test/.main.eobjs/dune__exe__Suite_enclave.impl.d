@@ -1,0 +1,1 @@
+test/suite_enclave.ml: Alcotest Bytes Deflection_enclave List

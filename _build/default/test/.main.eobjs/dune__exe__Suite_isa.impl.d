@@ -1,0 +1,1 @@
+test/suite_isa.ml: Alcotest Array Bytes Char Deflection_isa Deflection_util Int64 List Option Printf QCheck QCheck_alcotest

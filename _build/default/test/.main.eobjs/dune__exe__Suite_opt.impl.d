@@ -1,0 +1,1 @@
+test/suite_opt.ml: Alcotest Bytes Deflection Deflection_compiler Deflection_policy Deflection_workloads Int64 List Option Printf QCheck QCheck_alcotest String

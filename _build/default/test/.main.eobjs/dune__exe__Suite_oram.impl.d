@@ -1,0 +1,1 @@
+test/suite_oram.ml: Alcotest Array Bytes Deflection Deflection_oram Deflection_policy Deflection_runtime Deflection_util Hashtbl Int64 List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_runtime.ml: Alcotest Deflection_annot Deflection_enclave Deflection_isa Deflection_runtime Format Int64 List Printf

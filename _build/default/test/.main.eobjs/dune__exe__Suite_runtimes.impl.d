@@ -1,0 +1,1 @@
+test/suite_runtimes.ml: Alcotest Deflection_runtimes List

@@ -1,0 +1,1 @@
+test/suite_util.ml: Alcotest Array Bytes Deflection_util Fun QCheck QCheck_alcotest

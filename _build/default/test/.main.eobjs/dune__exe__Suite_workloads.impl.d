@@ -1,0 +1,1 @@
+test/suite_workloads.ml: Alcotest Bytes Deflection_compiler Deflection_policy Deflection_workloads List Option String

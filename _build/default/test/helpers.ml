@@ -1,0 +1,88 @@
+(* Shared plumbing for tests that need to push hand-crafted binaries
+   through the real bootstrap-enclave pipeline. *)
+
+module Bootstrap = Deflection.Bootstrap
+module Service = Deflection.Service
+module Client = Deflection.Client
+module Attestation = Deflection_attestation.Attestation
+module Objfile = Deflection_isa.Objfile
+module Asm = Deflection_isa.Asm
+module Annot = Deflection_annot.Annot
+module Instrument = Deflection_compiler.Instrument
+module Policy = Deflection_policy.Policy
+module Interp = Deflection_runtime.Interp
+module Channel = Deflection_crypto.Channel
+
+(* Assemble hand-written items into a target binary. With [instrument] the
+   real instrumentation pass runs (producing a policy-compliant binary out
+   of possibly-malicious logic); without it, the caller supplies raw items
+   and only the mandatory stubs are appended. *)
+let handmade_obj ?(policies = Policy.Set.p1_p6) ?(instrument = true) ?(branch_targets = [])
+    ?(ssa_q = 20) ?(extra_symbols = []) ~funs items =
+  let items' =
+    if instrument then
+      Instrument.run { Instrument.policies; ssa_q } ~fun_symbols:funs ~entry:"main" items
+    else
+      Annot.start_items ~entry:"main" @ items
+      @ List.concat_map Annot.abort_stub_items Annot.all_abort_reasons
+      @ Annot.aex_handler_items
+  in
+  let assembled = Asm.assemble items' in
+  let public = funs @ Instrument.stub_symbols in
+  let symbols =
+    List.filter_map
+      (fun (name, off) ->
+        if List.mem name public then
+          Some { Objfile.name; section = Objfile.Text; offset = off; is_function = true }
+        else if List.mem name extra_symbols then
+          Some { Objfile.name; section = Objfile.Text; offset = off; is_function = false }
+        else None)
+      assembled.Asm.label_offsets
+  in
+  {
+    Objfile.text = assembled.Asm.code;
+    data = Bytes.create 64;
+    bss_size = 0;
+    symbols;
+    relocs = assembled.Asm.relocs;
+    branch_targets;
+    entry = Annot.start_symbol;
+    claimed_policies = [];
+    ssa_q;
+  }
+
+type delivered = {
+  enclave : Bootstrap.t;
+  verify_result : (Deflection_verifier.Verifier.report * int, string) result;
+}
+
+(* Run the full protocol up to (and including) binary delivery. *)
+let deliver_obj ?(config = Bootstrap.default_config) obj =
+  let platform = Attestation.Platform.create ~seed:31L in
+  let ias = Attestation.Ias.for_platform platform in
+  let enclave = Bootstrap.create ~config ~platform () in
+  let m = Bootstrap.measurement enclave in
+  let prng = Deflection_util.Prng.create 17L in
+  let hello, kp = Attestation.Ratls.party_begin prng in
+  let reply = Bootstrap.accept_party enclave ~role:Attestation.Ratls.Code_provider hello in
+  let provider =
+    Result.get_ok
+      (Attestation.Ratls.party_complete kp ~role:Attestation.Ratls.Code_provider ~ias
+         ~expected_measurement:m reply)
+  in
+  let sealed = Channel.seal provider.Attestation.Ratls.tx (Objfile.serialize obj) in
+  let verify_result = Bootstrap.ecall_receive_binary enclave sealed in
+  (* data-owner session so outputs can be protected *)
+  let hello_o, kp_o = Attestation.Ratls.party_begin prng in
+  let reply_o = Bootstrap.accept_party enclave ~role:Attestation.Ratls.Data_owner hello_o in
+  let _ =
+    Result.get_ok
+      (Attestation.Ratls.party_complete kp_o ~role:Attestation.Ratls.Data_owner ~ias
+         ~expected_measurement:m reply_o)
+  in
+  { enclave; verify_result }
+
+let run_delivered d =
+  match d.verify_result with
+  | Error e -> Error ("verification failed: " ^ e)
+  | Ok _ -> Bootstrap.run d.enclave

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "deflection"
+    [
+      ("util", Suite_util.suite);
+      ("crypto", Suite_crypto.suite);
+      ("isa", Suite_isa.suite);
+      ("enclave", Suite_enclave.suite);
+      ("annot", Suite_annot.suite);
+      ("policy", Suite_policy.suite);
+      ("runtime", Suite_runtime.suite);
+      ("compiler", Suite_compiler.suite);
+      ("loader", Suite_loader.suite);
+      ("opt", Suite_opt.suite);
+      ("verifier", Suite_verifier.suite);
+      ("attestation", Suite_attestation.suite);
+      ("core", Suite_core.suite);
+      ("protocol", Suite_protocol.suite);
+      ("attacks", Suite_attacks.suite);
+      ("oram", Suite_oram.suite);
+      ("workloads", Suite_workloads.suite);
+      ("runtimes", Suite_runtimes.suite);
+    ]

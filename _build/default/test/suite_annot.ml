@@ -1,0 +1,156 @@
+module Annot = Deflection_annot.Annot
+module Asm = Deflection_isa.Asm
+module Isa = Deflection_isa.Isa
+module Codec = Deflection_isa.Codec
+
+let fresh prefix =
+  let c = ref 0 in
+  fun () ->
+    incr c;
+    Printf.sprintf ".L%s%d" prefix !c
+
+let test_magics_distinct_and_wide () =
+  let ms = Annot.all_magics in
+  Alcotest.(check int) "eight placeholders" 8 (List.length ms);
+  (* pairwise distinct *)
+  let rec distinct = function
+    | [] -> true
+    | x :: rest -> (not (List.exists (Int64.equal x) rest)) && distinct rest
+  in
+  Alcotest.(check bool) "distinct" true (distinct ms);
+  (* each must not fit in 32 bits, so the encoder reserves an 8-byte field
+     the imm rewriter can patch in place *)
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%Lx needs imm64" m)
+        true
+        (Int64.compare m 0x7FFFFFFFL > 0))
+    ms;
+  Alcotest.(check bool) "marker value is not a placeholder" false
+    (Annot.is_magic Annot.marker_value)
+
+let test_abort_codes_unique_and_negative () =
+  let codes = List.map Annot.abort_exit_code Annot.all_abort_reasons in
+  List.iter
+    (fun c -> Alcotest.(check bool) "negative" true (Int64.compare c 0L < 0))
+    codes;
+  let rec distinct = function
+    | [] -> true
+    | x :: rest -> (not (List.exists (Int64.equal x) rest)) && distinct rest
+  in
+  Alcotest.(check bool) "distinct" true (distinct codes);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "roundtrip" true
+        (Annot.abort_reason_of_exit_code (Annot.abort_exit_code r) = Some r))
+    Annot.all_abort_reasons
+
+let test_template_lengths () =
+  (* slot_length must agree with the encoded length of the emitted items *)
+  let check_template name slots =
+    let items = Annot.emit ~fresh_label:(fresh name) slots in
+    (* append stub labels so assembly resolves *)
+    let stubs =
+      List.concat_map Annot.abort_stub_items Annot.all_abort_reasons @ Annot.aex_handler_items
+    in
+    let a = Asm.assemble (items @ stubs) in
+    (* the template's own bytes end where the first stub label begins *)
+    let stub_off =
+      List.fold_left min max_int
+        (List.filter_map
+           (fun (l, off) ->
+             if List.mem l (List.map Annot.abort_symbol Annot.all_abort_reasons) then Some off
+             else None)
+           a.Asm.label_offsets)
+    in
+    Alcotest.(check int) (name ^ " template length") (Annot.template_length slots) stub_off
+  in
+  check_template "rsp" Annot.rsp_template;
+  check_template "cfi" Annot.cfi_template;
+  check_template "prologue" Annot.prologue_template;
+  check_template "epilogue" Annot.epilogue_template;
+  check_template "ssa" Annot.ssa_template;
+  check_template "store"
+    (Annot.store_template (Isa.mem_of_reg Isa.RBX))
+
+let test_adjust_mem_for_pushes () =
+  let open Isa in
+  let rsp_based = { base = Some RSP; index = None; scale = 1; disp = 8L } in
+  let adj = Annot.adjust_mem_for_pushes rsp_based 2 in
+  Alcotest.(check int64) "rsp disp shifted" 24L adj.disp;
+  let other = { base = Some RBP; index = Some RCX; scale = 8; disp = -16L } in
+  Alcotest.(check bool) "non-rsp untouched" true (Annot.adjust_mem_for_pushes other 2 = other);
+  Alcotest.(check bool) "rsp index rejected" true
+    (try
+       ignore (Annot.adjust_mem_for_pushes { base = None; index = Some RSP; scale = 1; disp = 0L } 2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_emitted_templates_decode () =
+  (* every emitted template assembles into decodable instructions whose
+     count equals the slot count *)
+  List.iter
+    (fun (name, slots) ->
+      let items = Annot.emit ~fresh_label:(fresh name) slots in
+      let stubs =
+        List.concat_map Annot.abort_stub_items Annot.all_abort_reasons @ Annot.aex_handler_items
+      in
+      let a = Asm.assemble (items @ stubs) in
+      let decoded = Asm.disassemble_all a.Asm.code in
+      Alcotest.(check bool)
+        (name ^ " decodes fully")
+        true
+        (List.length decoded >= List.length slots))
+    [
+      ("rsp", Annot.rsp_template);
+      ("cfi", Annot.cfi_template);
+      ("prologue", Annot.prologue_template);
+      ("epilogue", Annot.epilogue_template);
+      ("ssa", Annot.ssa_template);
+      ("handler", Annot.aex_handler_template);
+    ]
+
+let test_cfi_internal_targets () =
+  (* the CFI template's internal branches resolve inside the template *)
+  let items = Annot.emit ~fresh_label:(fresh "c") Annot.cfi_template in
+  let stubs = List.concat_map Annot.abort_stub_items Annot.all_abort_reasons @ Annot.aex_handler_items in
+  let a = Asm.assemble (items @ stubs) in
+  let len = Annot.template_length Annot.cfi_template in
+  List.iter
+    (fun (off, i) ->
+      if off < len then
+        match i with
+        | Isa.Jmp (Isa.Rel d) ->
+          let _, ilen = Codec.decode a.Asm.code off in
+          let target = off + ilen + d in
+          Alcotest.(check bool) "jmp stays inside" true (target >= 0 && target < len)
+        | _ -> ())
+    (Asm.disassemble_all a.Asm.code)
+
+let test_shadow_stack_reg_reserved () =
+  Alcotest.(check bool) "R15" true (Annot.shadow_stack_reg = Isa.R15);
+  (* no template clobbers R15 except through its own shadow-stack ops *)
+  List.iter
+    (fun slot ->
+      match slot with
+      | Annot.Exact i ->
+        if Isa.writes_reg Isa.R15 i then
+          (match i with
+          | Isa.Binop ((Isa.Add | Isa.Sub), Isa.Reg Isa.R15, Isa.Imm 8L) -> ()
+          | _ -> Alcotest.failf "unexpected R15 write: %s" (Isa.instr_to_string i))
+      | _ -> ())
+    (Annot.prologue_template @ Annot.epilogue_template @ Annot.ssa_template
+   @ Annot.cfi_template @ Annot.rsp_template)
+
+let suite =
+  [
+    Alcotest.test_case "magics distinct and wide" `Quick test_magics_distinct_and_wide;
+    Alcotest.test_case "abort codes unique and negative" `Quick
+      test_abort_codes_unique_and_negative;
+    Alcotest.test_case "template lengths" `Quick test_template_lengths;
+    Alcotest.test_case "adjust_mem_for_pushes" `Quick test_adjust_mem_for_pushes;
+    Alcotest.test_case "emitted templates decode" `Quick test_emitted_templates_decode;
+    Alcotest.test_case "cfi internal targets" `Quick test_cfi_internal_targets;
+    Alcotest.test_case "shadow-stack register reserved" `Quick test_shadow_stack_reg_reserved;
+  ]

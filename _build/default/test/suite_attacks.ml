@@ -1,0 +1,307 @@
+(* The security analysis of paper Section VI-A, reproduced as executable
+   attacks. Each scenario shows (a) the ground-truth damage an
+   uninstrumented/unverified binary does, and (b) the corresponding
+   DEFLECTION policy stopping it — statically in the verifier or at
+   runtime through the annotations. *)
+
+module H = Helpers
+module Bootstrap = Deflection.Bootstrap
+module Layout = Deflection_enclave.Layout
+module Memory = Deflection_enclave.Memory
+module Annot = Deflection_annot.Annot
+module Policy = Deflection_policy.Policy
+module Interp = Deflection_runtime.Interp
+module Asm = Deflection_isa.Asm
+module Isa = Deflection_isa.Isa
+open Isa
+
+let small_layout = Layout.make Layout.small_config
+let host_addr = small_layout.Layout.limit + 8192
+
+let config_with policies =
+  { Bootstrap.default_config with Bootstrap.policies }
+
+let expect_abort reason = function
+  | Ok stats ->
+    (match stats.Bootstrap.exit with
+    | Interp.Policy_abort r when r = reason -> stats
+    | other ->
+      Alcotest.failf "expected %s abort, got %s" (Annot.abort_symbol reason)
+        (Interp.exit_reason_to_string other))
+  | Error e -> Alcotest.failf "run failed: %s" e
+
+let expect_exit = function
+  | Ok stats ->
+    (match stats.Bootstrap.exit with
+    | Interp.Exited _ -> stats
+    | other -> Alcotest.failf "expected clean exit, got %s" (Interp.exit_reason_to_string other))
+  | Error e -> Alcotest.failf "run failed: %s" e
+
+(* -------------------------------------------------------------- *)
+(* Attack 1: explicit out-of-enclave store. *)
+
+let leaky_items =
+  [
+    Asm.Label "main";
+    Asm.Ins (Mov (Reg RBX, Imm (Int64.of_int host_addr)));
+    Asm.Ins (Mov (Mem (mem_of_reg RBX), Imm 0x41414141L)); (* exfiltrate *)
+    Asm.Ins (Mov (Reg RAX, Imm 0L));
+    Asm.Ins Hlt;
+  ]
+
+let test_unprotected_binary_actually_leaks () =
+  (* no policies: the bootstrap loads it blindly; the secret lands in
+     host memory - the threat is real *)
+  let obj = H.handmade_obj ~instrument:false ~funs:[ "main" ] leaky_items in
+  let d = H.deliver_obj ~config:(config_with Policy.Set.none) obj in
+  let stats = expect_exit (H.run_delivered d) in
+  Alcotest.(check bool) "bytes escaped to the host" true (stats.Bootstrap.leaked_bytes > 0)
+
+let test_p1_verifier_rejects_naked_leak () =
+  let obj = H.handmade_obj ~instrument:false ~funs:[ "main" ] leaky_items in
+  let d = H.deliver_obj ~config:(config_with Policy.Set.p1) obj in
+  match d.H.verify_result with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "verifier accepted an unannotated store"
+
+let test_p1_annotation_aborts_leak_at_runtime () =
+  (* the producer instruments the malicious logic faithfully; the bounds
+     check fires at runtime, before the store executes *)
+  let obj = H.handmade_obj ~instrument:true ~policies:Policy.Set.p1 ~funs:[ "main" ] leaky_items in
+  let d = H.deliver_obj ~config:(config_with Policy.Set.p1) obj in
+  let stats = expect_abort Annot.Store (H.run_delivered d) in
+  Alcotest.(check int) "nothing leaked" 0 stats.Bootstrap.leaked_bytes
+
+(* -------------------------------------------------------------- *)
+(* Attack 2: implicit leak through a pivoted stack pointer (P2). *)
+
+let rsp_pivot_items =
+  [
+    Asm.Label "main";
+    Asm.Ins (Mov (Reg RSP, Imm (Int64.of_int host_addr)));
+    Asm.Ins (Push (Imm 0x5ec2e7L)); (* register spill onto host memory *)
+    Asm.Ins (Mov (Reg RAX, Imm 0L));
+    Asm.Ins Hlt;
+  ]
+
+let test_rsp_pivot_leaks_without_p2 () =
+  let obj =
+    H.handmade_obj ~instrument:true ~policies:Policy.Set.p1 ~funs:[ "main" ] rsp_pivot_items
+  in
+  let d = H.deliver_obj ~config:(config_with Policy.Set.p1) obj in
+  let stats = expect_exit (H.run_delivered d) in
+  Alcotest.(check bool) "pivot leaked through push" true (stats.Bootstrap.leaked_bytes > 0)
+
+let test_p2_aborts_rsp_pivot () =
+  let obj =
+    H.handmade_obj ~instrument:true ~policies:Policy.Set.p1_p2 ~funs:[ "main" ] rsp_pivot_items
+  in
+  let d = H.deliver_obj ~config:(config_with Policy.Set.p1_p2) obj in
+  let stats = expect_abort Annot.Rsp (H.run_delivered d) in
+  Alcotest.(check int) "nothing leaked" 0 stats.Bootstrap.leaked_bytes
+
+(* -------------------------------------------------------------- *)
+(* Attack 3: self-modifying code (P4 software DEP). *)
+
+(* overwrite the first byte of "main" itself through a register-addressed
+   store; under P1 alone the bounds admit the whole ELRANGE (code pages
+   are RWX under SGXv1!), under P3/P4 the rewritten bounds exclude them. *)
+let selfmod_items =
+  [
+    Asm.Label "main";
+    Asm.Ins (Mov (Reg RBX, Sym "patchsite"));
+    Asm.Ins (Mov (Mem (mem_of_reg RBX), Imm 0x01L)); (* 0x01 = HLT opcode *)
+    Asm.Label "patchsite";
+    Asm.Ins (Mov (Reg RAX, Imm 7L)); (* becomes HLT if the store lands *)
+    Asm.Ins (Mov (Reg RAX, Imm 0L));
+    Asm.Ins Hlt;
+  ]
+
+let test_p1_alone_permits_code_patching () =
+  let obj =
+    H.handmade_obj ~instrument:true ~policies:Policy.Set.p1 ~funs:[ "main" ]
+      ~extra_symbols:[ "patchsite" ] selfmod_items
+  in
+  let d = H.deliver_obj ~config:(config_with Policy.Set.p1) obj in
+  let stats = expect_exit (H.run_delivered d) in
+  (* the patched instruction executed: RAX kept whatever it had (0 from
+     registers' initial state), never reaching "mov rax, 0"'s predecessor *)
+  match stats.Bootstrap.exit with
+  | Interp.Exited v -> Alcotest.(check bool) "patch took effect" true (Int64.compare v 7L <> 0)
+  | _ -> assert false
+
+let test_p4_blocks_code_patching () =
+  let obj =
+    H.handmade_obj ~instrument:true ~policies:Policy.Set.p1_p5 ~funs:[ "main" ]
+      ~extra_symbols:[ "patchsite" ] selfmod_items
+  in
+  let d = H.deliver_obj ~config:(config_with Policy.Set.p1_p5) obj in
+  ignore (expect_abort Annot.Store (H.run_delivered d))
+
+(* -------------------------------------------------------------- *)
+(* Attack 4: return-address overwrite (P5 shadow stack). *)
+
+let retsmash_items =
+  [
+    Asm.Label "main";
+    Asm.Ins (Call (Lab "victim"));
+    Asm.Ins (Mov (Reg RAX, Imm 0L));
+    Asm.Ins Hlt;
+    Asm.Label "victim";
+    (* overwrite the return address on the stack: [rsp] holds it *)
+    Asm.Ins (Mov (Reg RBX, Sym "gadget"));
+    Asm.Ins (Mov (Mem (mem_of_reg RSP), Reg RBX));
+    Asm.Ins Ret;
+    Asm.Label "gadget";
+    Asm.Ins (Mov (Reg RAX, Imm 0x666L));
+    Asm.Ins Hlt;
+  ]
+
+let test_ret_smash_hijacks_without_p5 () =
+  let obj =
+    H.handmade_obj ~instrument:true ~policies:Policy.Set.p1_p2 ~funs:[ "main"; "victim"; "gadget" ]
+      retsmash_items
+  in
+  let d = H.deliver_obj ~config:(config_with Policy.Set.p1_p2) obj in
+  let stats = expect_exit (H.run_delivered d) in
+  (match stats.Bootstrap.exit with
+  | Interp.Exited 0x666L -> ()
+  | r -> Alcotest.failf "expected hijack to gadget, got %s" (Interp.exit_reason_to_string r))
+
+let test_p5_shadow_stack_catches_ret_smash () =
+  let obj =
+    H.handmade_obj ~instrument:true ~policies:Policy.Set.p1_p5 ~funs:[ "main"; "victim"; "gadget" ]
+      retsmash_items
+  in
+  let d = H.deliver_obj ~config:(config_with Policy.Set.p1_p5) obj in
+  ignore (expect_abort Annot.Shadow_stack (H.run_delivered d))
+
+(* -------------------------------------------------------------- *)
+(* Attack 5: indirect branch to a non-whitelisted target (P5 CFI). *)
+
+let cfi_items =
+  [
+    Asm.Label "main";
+    Asm.Ins (Mov (Reg R10, Sym "gadget2")); (* not on the branch list *)
+    Asm.Ins (CallInd (Reg R10));
+    Asm.Ins (Mov (Reg RAX, Imm 0L));
+    Asm.Ins Hlt;
+    Asm.Label "gadget2";
+    Asm.Ins (Mov (Reg RAX, Imm 0x777L));
+    Asm.Ins Ret;
+  ]
+
+let test_cfi_aborts_unlisted_target () =
+  let obj =
+    H.handmade_obj ~instrument:true ~policies:Policy.Set.p1_p5 ~funs:[ "main"; "gadget2" ]
+      ~branch_targets:[] cfi_items
+  in
+  let d = H.deliver_obj ~config:(config_with Policy.Set.p1_p5) obj in
+  ignore (expect_abort Annot.Cfi (H.run_delivered d))
+
+let test_cfi_allows_listed_target () =
+  let obj =
+    H.handmade_obj ~instrument:true ~policies:Policy.Set.p1_p5 ~funs:[ "main"; "gadget2" ]
+      ~branch_targets:[ "gadget2" ] cfi_items
+  in
+  let d = H.deliver_obj ~config:(config_with Policy.Set.p1_p5) obj in
+  let stats = expect_exit (H.run_delivered d) in
+  match stats.Bootstrap.exit with
+  | Interp.Exited 0L -> ()
+  | r -> Alcotest.failf "expected clean return, got %s" (Interp.exit_reason_to_string r)
+
+(* -------------------------------------------------------------- *)
+(* Attack 6: AEX-frequency covert channel (P6). *)
+
+let busy_loop_src = {|
+int main() {
+  int s = 0;
+  for (int i = 0; i < 200000; i = i + 1) { s = s + i; }
+  print_int(s & 1023);
+  return 0;
+}
+|}
+
+let run_minic ~policies ~manifest ~interp src =
+  Deflection.Session.run ~policies ~manifest ~interp ~source:src ~inputs:[] ()
+
+let test_aex_burst_aborts_under_p6 () =
+  let manifest = { Deflection_policy.Manifest.default with Deflection_policy.Manifest.aex_threshold = 4 } in
+  let interp =
+    { Interp.default_config with Interp.aex_interval = Some 3000; colocated_prob = 1.0 }
+  in
+  match run_minic ~policies:Policy.Set.p1_p6 ~manifest ~interp busy_loop_src with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    (match o.Deflection.Session.exit with
+    | Interp.Policy_abort Annot.Aex_budget -> ()
+    | r -> Alcotest.failf "expected AEX-budget abort, got %s" (Interp.exit_reason_to_string r))
+
+let test_aex_burst_unnoticed_without_p6 () =
+  let manifest = { Deflection_policy.Manifest.default with Deflection_policy.Manifest.aex_threshold = 4 } in
+  let interp =
+    { Interp.default_config with Interp.aex_interval = Some 3000; colocated_prob = 1.0 }
+  in
+  match run_minic ~policies:Policy.Set.p1_p5 ~manifest ~interp busy_loop_src with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    (match o.Deflection.Session.exit with
+    | Interp.Exited 0L ->
+      Alcotest.(check bool) "many AEXes happened, none detected" true
+        (o.Deflection.Session.aexes > 4)
+    | r -> Alcotest.failf "expected silent completion, got %s" (Interp.exit_reason_to_string r))
+
+let test_colocation_failure_aborts () =
+  let manifest =
+    { Deflection_policy.Manifest.default with Deflection_policy.Manifest.aex_threshold = 1000 }
+  in
+  let interp =
+    { Interp.default_config with Interp.aex_interval = Some 3000; colocated_prob = 0.0 }
+  in
+  match run_minic ~policies:Policy.Set.p1_p6 ~manifest ~interp busy_loop_src with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    (match o.Deflection.Session.exit with
+    | Interp.Policy_abort Annot.Colocation -> ()
+    | r -> Alcotest.failf "expected co-location abort, got %s" (Interp.exit_reason_to_string r))
+
+let test_benign_platform_no_false_abort () =
+  let interp =
+    { Interp.default_config with Interp.aex_interval = Some 100000; colocated_prob = 1.0 }
+  in
+  match
+    run_minic ~policies:Policy.Set.p1_p6 ~manifest:Deflection_policy.Manifest.default ~interp
+      busy_loop_src
+  with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    (match o.Deflection.Session.exit with
+    | Interp.Exited 0L -> ()
+    | r -> Alcotest.failf "benign run aborted: %s" (Interp.exit_reason_to_string r))
+
+let suite =
+  [
+    Alcotest.test_case "A1: unprotected binary leaks (ground truth)" `Quick
+      test_unprotected_binary_actually_leaks;
+    Alcotest.test_case "A1: P1 verifier rejects naked leak" `Quick
+      test_p1_verifier_rejects_naked_leak;
+    Alcotest.test_case "A1: P1 annotation aborts leak at runtime" `Quick
+      test_p1_annotation_aborts_leak_at_runtime;
+    Alcotest.test_case "A2: RSP pivot leaks without P2" `Quick test_rsp_pivot_leaks_without_p2;
+    Alcotest.test_case "A2: P2 aborts RSP pivot" `Quick test_p2_aborts_rsp_pivot;
+    Alcotest.test_case "A3: P1 alone permits code patching" `Quick
+      test_p1_alone_permits_code_patching;
+    Alcotest.test_case "A3: P4 blocks code patching" `Quick test_p4_blocks_code_patching;
+    Alcotest.test_case "A4: ret smash hijacks without P5" `Quick
+      test_ret_smash_hijacks_without_p5;
+    Alcotest.test_case "A4: P5 shadow stack catches ret smash" `Quick
+      test_p5_shadow_stack_catches_ret_smash;
+    Alcotest.test_case "A5: CFI aborts unlisted target" `Quick test_cfi_aborts_unlisted_target;
+    Alcotest.test_case "A5: CFI allows listed target" `Quick test_cfi_allows_listed_target;
+    Alcotest.test_case "A6: AEX burst aborts under P6" `Quick test_aex_burst_aborts_under_p6;
+    Alcotest.test_case "A6: AEX burst unnoticed without P6" `Quick
+      test_aex_burst_unnoticed_without_p6;
+    Alcotest.test_case "A6: co-location failure aborts" `Quick test_colocation_failure_aborts;
+    Alcotest.test_case "A6: benign platform, no false abort" `Quick
+      test_benign_platform_no_false_abort;
+  ]

@@ -1,0 +1,124 @@
+module A = Deflection_attestation.Attestation
+module Prng = Deflection_util.Prng
+
+let platform () = A.Platform.create ~seed:99L
+let measurement = Bytes.make 32 'M'
+
+let test_quote_verifies () =
+  let p = platform () in
+  let ias = A.Ias.for_platform p in
+  let q = A.Platform.quote p ~measurement ~report_data:(Bytes.make 32 'R') in
+  let report = A.Ias.verify ias q in
+  Alcotest.(check bool) "valid" true report.A.Ias.ok;
+  Alcotest.(check bytes) "measurement carried" measurement report.A.Ias.measurement
+
+let test_quote_tamper_detected () =
+  let p = platform () in
+  let ias = A.Ias.for_platform p in
+  let q = A.Platform.quote p ~measurement ~report_data:(Bytes.make 32 'R') in
+  let forged = { q with A.Quote.measurement = Bytes.make 32 'X' } in
+  Alcotest.(check bool) "forged measurement rejected" false (A.Ias.verify ias forged).A.Ias.ok;
+  let sig' = Bytes.copy q.A.Quote.signature in
+  Bytes.set sig' 3 '\x00';
+  let forged2 = { q with A.Quote.signature = sig' } in
+  Alcotest.(check bool) "forged signature rejected" false (A.Ias.verify ias forged2).A.Ias.ok
+
+let test_quote_wrong_platform () =
+  let p1 = platform () in
+  let p2 = A.Platform.create ~seed:100L in
+  let ias1 = A.Ias.for_platform p1 in
+  let q = A.Platform.quote p2 ~measurement ~report_data:(Bytes.make 32 'R') in
+  Alcotest.(check bool) "other platform's quote rejected" false (A.Ias.verify ias1 q).A.Ias.ok
+
+let test_quote_serialization () =
+  let p = platform () in
+  let q = A.Platform.quote p ~measurement ~report_data:(Bytes.make 32 'R') in
+  match A.Quote.deserialize (A.Quote.serialize q) with
+  | Error e -> Alcotest.fail e
+  | Ok q' ->
+    Alcotest.(check bytes) "measurement" q.A.Quote.measurement q'.A.Quote.measurement;
+    Alcotest.(check bytes) "signature" q.A.Quote.signature q'.A.Quote.signature
+
+let handshake role =
+  let p = platform () in
+  let ias = A.Ias.for_platform p in
+  let party_prng = Prng.create 1L and enclave_prng = Prng.create 2L in
+  let hello, kp = A.Ratls.party_begin party_prng in
+  let reply, enclave_session =
+    A.Ratls.enclave_accept enclave_prng ~platform:p ~measurement ~role hello
+  in
+  let party_session =
+    A.Ratls.party_complete kp ~role ~ias ~expected_measurement:measurement reply
+  in
+  (enclave_session, party_session)
+
+let test_ratls_handshake () =
+  match handshake A.Ratls.Data_owner with
+  | _, Error e -> Alcotest.fail e
+  | enclave, Ok party ->
+    (* both directions work *)
+    let open Deflection_crypto.Channel in
+    let msg = Bytes.of_string "sensitive data" in
+    Alcotest.(check bytes) "party->enclave" msg
+      (open_ enclave.A.Ratls.rx (seal party.A.Ratls.tx msg));
+    let out = Bytes.of_string "sealed result" in
+    Alcotest.(check bytes) "enclave->party" out
+      (open_ party.A.Ratls.rx (seal enclave.A.Ratls.tx out))
+
+let test_ratls_wrong_measurement () =
+  let p = platform () in
+  let ias = A.Ias.for_platform p in
+  let hello, kp = A.Ratls.party_begin (Prng.create 1L) in
+  let reply, _ =
+    A.Ratls.enclave_accept (Prng.create 2L) ~platform:p ~measurement ~role:A.Ratls.Data_owner
+      hello
+  in
+  match
+    A.Ratls.party_complete kp ~role:A.Ratls.Data_owner ~ias
+      ~expected_measurement:(Bytes.make 32 'Z') reply
+  with
+  | Ok _ -> Alcotest.fail "wrong measurement accepted"
+  | Error e -> Alcotest.(check bool) "mentions measurement" true (String.length e > 0)
+
+let test_ratls_key_binding () =
+  (* a quote bound to a different DH key must be rejected: MITM defense *)
+  let p = platform () in
+  let ias = A.Ias.for_platform p in
+  let hello, kp = A.Ratls.party_begin (Prng.create 1L) in
+  let reply, _ =
+    A.Ratls.enclave_accept (Prng.create 2L) ~platform:p ~measurement ~role:A.Ratls.Data_owner
+      hello
+  in
+  let mitm = Deflection_crypto.Dh.generate (Prng.create 66L) in
+  let swapped = { reply with A.Ratls.enclave_public = mitm.Deflection_crypto.Dh.public } in
+  match
+    A.Ratls.party_complete kp ~role:A.Ratls.Data_owner ~ias ~expected_measurement:measurement
+      swapped
+  with
+  | Ok _ -> Alcotest.fail "MITM key swap accepted"
+  | Error _ -> ()
+
+let test_ratls_role_separation () =
+  (* sessions derived under different roles must not decrypt each other *)
+  match (handshake A.Ratls.Data_owner, handshake A.Ratls.Code_provider) with
+  | (enclave_o, Ok _), (_, Ok party_p) ->
+    let open Deflection_crypto.Channel in
+    let record = seal enclave_o.A.Ratls.tx (Bytes.of_string "for the owner") in
+    Alcotest.(check bool) "provider cannot read owner traffic" true
+      (try
+         ignore (open_ party_p.A.Ratls.rx record);
+         false
+       with Auth_failure -> true)
+  | _ -> Alcotest.fail "handshakes failed"
+
+let suite =
+  [
+    Alcotest.test_case "quote verifies" `Quick test_quote_verifies;
+    Alcotest.test_case "quote tamper detected" `Quick test_quote_tamper_detected;
+    Alcotest.test_case "quote wrong platform" `Quick test_quote_wrong_platform;
+    Alcotest.test_case "quote serialization" `Quick test_quote_serialization;
+    Alcotest.test_case "ratls handshake" `Quick test_ratls_handshake;
+    Alcotest.test_case "ratls wrong measurement" `Quick test_ratls_wrong_measurement;
+    Alcotest.test_case "ratls key binding (MITM)" `Quick test_ratls_key_binding;
+    Alcotest.test_case "ratls role separation" `Quick test_ratls_role_separation;
+  ]

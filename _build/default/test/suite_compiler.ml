@@ -1,0 +1,371 @@
+module Lexer = Deflection_compiler.Lexer
+module Parser = Deflection_compiler.Parser
+module Ast = Deflection_compiler.Ast
+module Frontend = Deflection_compiler.Frontend
+module Policy = Deflection_policy.Policy
+module W = Deflection_workloads
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Run a program through the full pipeline and return its printed outputs. *)
+let run_program ?(policies = Policy.Set.p1_p6) ?(inputs = []) src =
+  match W.Runner.run ~policies ~inputs ~aex_interval:None src with
+  | Ok m -> m.W.Runner.outputs
+  | Error e -> Alcotest.failf "program failed: %s" e
+
+let expect_output ?policies ?inputs src expected =
+  Alcotest.(check (list string)) "program output" expected (run_program ?policies ?inputs src)
+
+let expect_compile_error src fragment =
+  match Frontend.compile src with
+  | Ok _ -> Alcotest.failf "expected a compile error mentioning %S" fragment
+  | Error e ->
+    let msg = Format.asprintf "%a" Frontend.pp_error e in
+    if not (contains msg fragment) then
+      Alcotest.failf "error %S does not mention %S" msg fragment
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+let test_lexer_tokens () =
+  let toks = List.map fst (Lexer.tokenize "int x = 0x1F + 2.5; // comment\n while(&f)") in
+  Alcotest.(check (list string)) "token stream"
+    [ "int"; "x"; "'='"; "31"; "'+'"; "2.5"; "';'"; "while"; "'('"; "'&'"; "f"; "')'"; "<eof>" ]
+    (List.map Lexer.token_to_string toks)
+
+let test_lexer_block_comment () =
+  let toks = List.map fst (Lexer.tokenize "a /* stuff \n more */ b") in
+  Alcotest.(check int) "two idents + eof" 3 (List.length toks)
+
+let test_lexer_unterminated_comment () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Lexer.tokenize "/* never closed");
+       false
+     with Ast.Error (_, _) -> true)
+
+let test_lexer_bad_char () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Lexer.tokenize "int a @ b;");
+       false
+     with Ast.Error (_, _) -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let test_parser_precedence () =
+  (* 2 + 3 * 4 == 14, and (2+3)*4 == 20 *)
+  expect_output "int main() { print_int(2 + 3 * 4); print_int((2 + 3) * 4); return 0; }"
+    [ "14"; "20" ]
+
+let test_parser_associativity () =
+  expect_output "int main() { print_int(20 - 5 - 3); print_int(100 / 5 / 2); return 0; }"
+    [ "12"; "10" ]
+
+let test_parser_ternary () =
+  expect_output "int main() { int x = 7; print_int(x > 5 ? 1 : 2); print_int(x < 5 ? 1 : 2); return 0; }"
+    [ "1"; "2" ]
+
+let test_parser_syntax_error_position () =
+  match Frontend.compile "int main() {\n  int x = ;\n}" with
+  | Ok _ -> Alcotest.fail "accepted bad syntax"
+  | Error e -> Alcotest.(check int) "error on line 2" 2 e.Frontend.line
+
+(* ------------------------------------------------------------------ *)
+(* Semantics: fixtures covering every language feature *)
+
+let test_arith_semantics () =
+  expect_output
+    {|int main() {
+        print_int(-7 / 2); print_int(-7 % 2);
+        print_int(13 & 6); print_int(13 | 6); print_int(13 ^ 6);
+        print_int(~0); print_int(1 << 10); print_int(-64 >> 3);
+        return 0; }|}
+    [ "-3"; "-1"; "4"; "15"; "11"; "-1"; "1024"; "-8" ]
+
+let test_comparisons_and_logic () =
+  expect_output
+    {|int main() {
+        print_int(3 < 4); print_int(4 <= 4); print_int(5 > 6); print_int(5 >= 6);
+        print_int(7 == 7); print_int(7 != 7);
+        print_int(1 && 0); print_int(1 || 0); print_int(!5); print_int(!0);
+        return 0; }|}
+    [ "1"; "1"; "0"; "0"; "1"; "0"; "0"; "1"; "0"; "1" ]
+
+let test_short_circuit () =
+  (* the right operand must not run when short-circuited: it would divide
+     by zero *)
+  expect_output
+    {|int zero;
+      int boom() { return 1 / zero; }
+      int main() {
+        print_int(0 && boom());
+        print_int(1 || boom());
+        return 0; }|}
+    [ "0"; "1" ]
+
+let test_recursion () =
+  expect_output
+    {|int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+      int main() { print_int(fib(15)); return 0; }|}
+    [ "610" ]
+
+let test_mutual_recursion () =
+  (* all functions are in scope before code generation, so definition
+     order does not matter *)
+  expect_output
+    {|int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+      int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }
+      int main() { print_int(is_even(10)); print_int(is_odd(10)); return 0; }|}
+    [ "1"; "0" ]
+
+let test_arrays_local_global () =
+  expect_output
+    {|int g[8];
+      int main() {
+        int a[4];
+        for (int i = 0; i < 4; i = i + 1) { a[i] = i * i; }
+        for (int j = 0; j < 8; j = j + 1) { g[j] = j + 10; }
+        print_int(a[3] + g[7]);
+        return 0; }|}
+    [ "26" ]
+
+let test_pointer_params () =
+  expect_output
+    {|int sum(int* arr, int n) {
+        int s = 0;
+        for (int i = 0; i < n; i = i + 1) { s = s + arr[i]; }
+        return s; }
+      int g[5];
+      int main() {
+        int a[3];
+        a[0] = 1; a[1] = 2; a[2] = 3;
+        g[0] = 10; g[1] = 20; g[2] = 30; g[3] = 40; g[4] = 50;
+        print_int(sum(a, 3));
+        print_int(sum(g, 5));
+        return 0; }|}
+    [ "6"; "150" ]
+
+let test_fnptr_dispatch () =
+  expect_output
+    {|fnptr table[2];
+      int inc(int x) { return x + 1; }
+      int dec(int x) { return x - 1; }
+      int main() {
+        table[0] = &inc;
+        table[1] = &dec;
+        int acc = 100;
+        for (int i = 0; i < 6; i = i + 1) {
+          fnptr f = table[i % 2];
+          acc = f(acc);
+        }
+        print_int(acc);
+        return 0; }|}
+    [ "100" ]
+
+let test_float_math () =
+  expect_output
+    {|int main() {
+        float a = 1.5;
+        float b = a * 4.0 - 2.0;   /* 4.0 */
+        float c = sqrtf(b);        /* 2.0 */
+        print_int(ftoi(c * 100.0));
+        print_int(ftoi(itof(7) / 2.0 * 10.0)); /* 35 */
+        print_int(3.5 > 3.4 ? 1 : 0);
+        return 0; }|}
+    [ "200"; "35"; "1" ]
+
+let test_break_continue () =
+  expect_output
+    {|int main() {
+        int s = 0;
+        for (int i = 0; i < 100; i = i + 1) {
+          if (i % 2 == 0) { continue; }
+          if (i > 10) { break; }
+          s = s + i;
+        }
+        print_int(s);
+        int w = 0;
+        int n = 0;
+        while (1) {
+          n = n + 1;
+          if (n >= 5) { break; }
+          w = w + n;
+        }
+        print_int(w);
+        return 0; }|}
+    [ "25"; "10" ]
+
+let test_globals_init () =
+  expect_output
+    {|int counter = 41;
+      float ratio = 2.5;
+      int main() {
+        counter = counter + 1;
+        print_int(counter);
+        print_int(ftoi(ratio * 2.0));
+        return 0; }|}
+    [ "42"; "5" ]
+
+let test_exit_builtin () =
+  match W.Runner.run ~aex_interval:None "int main() { exit(7); return 0; }" with
+  | Ok _ -> Alcotest.fail "exit(7) should not count as clean"
+  | Error e -> Alcotest.(check bool) "exited(7)" true (contains e "exited(7)")
+
+let test_recv_send_roundtrip () =
+  expect_output ~inputs:[ Bytes.of_string "\x05\x06\x07" ]
+    {|int buf[8];
+      int main() {
+        int n = recv(buf, 8);
+        int s = 0;
+        for (int i = 0; i < n; i = i + 1) { s = s + buf[i]; }
+        print_int(s);
+        return 0; }|}
+    [ "18" ]
+
+(* ------------------------------------------------------------------ *)
+(* Type and shape errors *)
+
+let test_type_errors () =
+  expect_compile_error "int main() { float f = 1.0; int x = f + 1; return 0; }" "mix";
+  expect_compile_error "int main() { int x = 1.5; return 0; }" "initializer";
+  expect_compile_error "int main() { y = 3; return 0; }" "unknown variable";
+  expect_compile_error "int main() { return missing(3); }" "neither a function";
+  expect_compile_error "int f(int a) { return a; } int main() { return f(1, 2); }"
+    "wrong number of arguments";
+  expect_compile_error "int main() { int a[4]; a = 3; return 0; }" "cannot assign to array";
+  expect_compile_error "int main() { break; }" "break outside";
+  expect_compile_error "int f() { return 0; } int f() { return 1; }" "duplicate function";
+  expect_compile_error "int main() { int x; int x; return 0; }" "duplicate local";
+  expect_compile_error "int nope() { return 0; }" "must define main";
+  expect_compile_error "int send(int x) { return x; }" "builtin"
+
+let test_float_condition_rejected () =
+  expect_compile_error "int main() { float f = 1.0; if (f) { return 1; } return 0; }"
+    "condition must be an integer"
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation invariants *)
+
+let count_annotations policies src =
+  match Frontend.compile ~policies src with
+  | Error e -> Alcotest.failf "compile: %a" Frontend.pp_error e
+  | Ok obj ->
+    (match Deflection_verifier.Verifier.verify ~policies ~ssa_q:obj.Frontend.Objfile.ssa_q obj with
+    | Error r -> Alcotest.failf "verify: %a" Deflection_verifier.Verifier.pp_rejection r
+    | Ok report -> report)
+
+let sample = {|
+int g[4];
+fnptr table[1];
+int f(int x) { g[0] = x; return x * 2; }
+int main() {
+  table[0] = &f;
+  fnptr h = table[0];
+  int acc = 0;
+  for (int i = 0; i < 3; i = i + 1) { acc = acc + h(i); }
+  g[1] = acc;
+  return 0;
+}
+|}
+
+let test_instrumentation_scales_with_policies () =
+  let open Deflection_verifier.Verifier in
+  let p1 = count_annotations Policy.Set.p1 sample in
+  let p15 = count_annotations Policy.Set.p1_p5 sample in
+  let p16 = count_annotations Policy.Set.p1_p6 sample in
+  Alcotest.(check bool) "stores annotated under P1" true (p1.store_annotations > 0);
+  Alcotest.(check int) "no cfi under P1" 0 p1.cfi_annotations;
+  Alcotest.(check bool) "cfi appears under P5" true (p15.cfi_annotations >= 1);
+  Alcotest.(check bool) "prologues = functions" true (p15.prologues >= 2);
+  Alcotest.(check bool) "ssa checks appear under P6" true (p16.ssa_checks > 0);
+  Alcotest.(check int) "no ssa under P1-P5" 0 p15.ssa_checks
+
+let test_outputs_invariant_across_policies () =
+  (* the defining correctness property: instrumentation never changes
+     program results *)
+  let src = W.Credit.source ~n:50 in
+  let base = run_program ~policies:Policy.Set.none src in
+  List.iter
+    (fun (_, pset) ->
+      Alcotest.(check (list string)) "same output" base (run_program ~policies:pset src))
+    W.Runner.settings
+
+(* qcheck: generated straight-line programs compile, verify and match a
+   reference evaluator *)
+let gen_expr_program =
+  QCheck.Gen.(
+    let literal = map (fun v -> Int64.of_int v) (int_range (-1000) 1000) in
+    let rec expr n =
+      if n <= 0 then map (fun v -> Printf.sprintf "%Ld" v) literal
+      else
+        frequency
+          [
+            (2, map (fun v -> Printf.sprintf "%Ld" v) literal);
+            ( 3,
+              map3
+                (fun op a b -> Printf.sprintf "(%s %s %s)" a op b)
+                (oneofl [ "+"; "-"; "*" ])
+                (expr (n - 1)) (expr (n - 1)) );
+          ]
+    in
+    map (fun e -> Printf.sprintf "int main() { print_int(%s); return 0; }" e) (expr 3))
+
+(* reference evaluation via OCaml by re-parsing the expression *)
+let rec eval_ref (e : Ast.expr) : int64 =
+  match e.Ast.e with
+  | Ast.IntLit v -> v
+  | Ast.Binary (Ast.Add, a, b) -> Int64.add (eval_ref a) (eval_ref b)
+  | Ast.Binary (Ast.Sub, a, b) -> Int64.sub (eval_ref a) (eval_ref b)
+  | Ast.Binary (Ast.Mul, a, b) -> Int64.mul (eval_ref a) (eval_ref b)
+  | Ast.Unary (Ast.Neg, a) -> Int64.neg (eval_ref a)
+  | _ -> failwith "unsupported"
+
+let qcheck_expr_semantics =
+  QCheck.Test.make ~name:"generated expressions match reference" ~count:60
+    (QCheck.make gen_expr_program) (fun src ->
+      let prog = Parser.parse src in
+      let expected =
+        match prog.Ast.funcs with
+        | [ { Ast.body = [ { Ast.s = Ast.Expr { Ast.e = Ast.Call ("print_int", [ e ]); _ }; _ }; _ ]; _ } ]
+          ->
+          Int64.to_string (eval_ref e)
+        | _ -> failwith "unexpected shape"
+      in
+      run_program src = [ expected ])
+
+let suite =
+  [
+    Alcotest.test_case "lexer tokens" `Quick test_lexer_tokens;
+    Alcotest.test_case "lexer block comment" `Quick test_lexer_block_comment;
+    Alcotest.test_case "lexer unterminated comment" `Quick test_lexer_unterminated_comment;
+    Alcotest.test_case "lexer bad char" `Quick test_lexer_bad_char;
+    Alcotest.test_case "precedence" `Quick test_parser_precedence;
+    Alcotest.test_case "associativity" `Quick test_parser_associativity;
+    Alcotest.test_case "ternary" `Quick test_parser_ternary;
+    Alcotest.test_case "syntax error position" `Quick test_parser_syntax_error_position;
+    Alcotest.test_case "arith semantics" `Quick test_arith_semantics;
+    Alcotest.test_case "comparisons and logic" `Quick test_comparisons_and_logic;
+    Alcotest.test_case "short circuit" `Quick test_short_circuit;
+    Alcotest.test_case "recursion" `Quick test_recursion;
+    Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+    Alcotest.test_case "arrays local+global" `Quick test_arrays_local_global;
+    Alcotest.test_case "pointer params" `Quick test_pointer_params;
+    Alcotest.test_case "fnptr dispatch" `Quick test_fnptr_dispatch;
+    Alcotest.test_case "float math" `Quick test_float_math;
+    Alcotest.test_case "break/continue" `Quick test_break_continue;
+    Alcotest.test_case "globals init" `Quick test_globals_init;
+    Alcotest.test_case "exit builtin" `Quick test_exit_builtin;
+    Alcotest.test_case "recv/send roundtrip" `Quick test_recv_send_roundtrip;
+    Alcotest.test_case "type errors" `Quick test_type_errors;
+    Alcotest.test_case "float condition rejected" `Quick test_float_condition_rejected;
+    Alcotest.test_case "instrumentation scales with policies" `Quick
+      test_instrumentation_scales_with_policies;
+    Alcotest.test_case "outputs invariant across policies" `Slow
+      test_outputs_invariant_across_policies;
+    QCheck_alcotest.to_alcotest qcheck_expr_semantics;
+  ]

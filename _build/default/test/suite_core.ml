@@ -1,0 +1,184 @@
+module Session = Deflection.Session
+module Bootstrap = Deflection.Bootstrap
+module Policy = Deflection_policy.Policy
+module Manifest = Deflection_policy.Manifest
+module Interp = Deflection_runtime.Interp
+module Attestation = Deflection_attestation.Attestation
+
+let simple_service = {|
+int buf[16];
+int main() {
+  int n = recv(buf, 16);
+  buf[15] = n; /* an explicit store, so P1 has something to guard */
+  int s = 0;
+  for (int i = 0; i < n; i = i + 1) { s = s + buf[i]; }
+  print_int(s);
+  send(buf, n);
+  return 0;
+}
+|}
+
+let run ?policies ?manifest ?interp ?(inputs = [ Bytes.of_string "\x01\x02\x03" ]) src =
+  Session.run ?policies ?manifest ?interp ~source:src ~inputs ()
+
+let expect_ok o = match o with Ok v -> v | Error e -> Alcotest.failf "session failed: %s" e
+
+let test_end_to_end () =
+  let o = expect_ok (run simple_service) in
+  Alcotest.(check (list string)) "outputs decrypted by the owner" [ "6"; "\x01\x02\x03" ]
+    (List.map Bytes.to_string o.Session.outputs);
+  (match o.Session.exit with
+  | Interp.Exited 0L -> ()
+  | r -> Alcotest.failf "exit: %s" (Interp.exit_reason_to_string r));
+  Alcotest.(check int) "nothing leaked" 0 o.Session.leaked_bytes;
+  Alcotest.(check bool) "imm rewrites happened" true (o.Session.rewritten_imms > 0)
+
+let test_results_stable_across_policies () =
+  let base = expect_ok (run ~policies:Policy.Set.none simple_service) in
+  let hard = expect_ok (run ~policies:Policy.Set.p1_p6 simple_service) in
+  Alcotest.(check (list string)) "identical service results"
+    (List.map Bytes.to_string base.Session.outputs)
+    (List.map Bytes.to_string hard.Session.outputs);
+  Alcotest.(check bool) "instrumentation costs cycles" true
+    (hard.Session.cycles > base.Session.cycles)
+
+let test_output_records_padded_uniformly () =
+  (* P0 entropy control: every sealed record has the same wire size *)
+  let platform = Attestation.Platform.create ~seed:123L in
+  let enclave = Bootstrap.create ~platform () in
+  let ias = Attestation.Ias.for_platform platform in
+  let m = Bootstrap.measurement enclave in
+  let prng = Deflection_util.Prng.create 5L in
+  let hello_p, kp_p = Attestation.Ratls.party_begin prng in
+  let reply_p = Bootstrap.accept_party enclave ~role:Attestation.Ratls.Code_provider hello_p in
+  let provider =
+    Result.get_ok
+      (Attestation.Ratls.party_complete kp_p ~role:Attestation.Ratls.Code_provider ~ias
+         ~expected_measurement:m reply_p)
+  in
+  let obj =
+    Result.get_ok
+      (Deflection.Service.build ~policies:(Bootstrap.config enclave).Bootstrap.policies
+         {|int buf[4];
+           int main() { buf[0] = 1; send(buf, 1); buf[1] = 2; send(buf, 4); print_int(123456); return 0; }|})
+  in
+  (match Bootstrap.ecall_receive_binary enclave (Deflection.Service.deliver provider obj) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let hello_o, kp_o = Attestation.Ratls.party_begin prng in
+  let reply_o = Bootstrap.accept_party enclave ~role:Attestation.Ratls.Data_owner hello_o in
+  let _owner =
+    Result.get_ok
+      (Attestation.Ratls.party_complete kp_o ~role:Attestation.Ratls.Data_owner ~ias
+         ~expected_measurement:m reply_o)
+  in
+  let stats = Result.get_ok (Bootstrap.run enclave) in
+  let sizes = List.map Bytes.length stats.Bootstrap.sealed_outputs in
+  (match sizes with
+  | s :: rest -> List.iter (fun s' -> Alcotest.(check int) "uniform record size" s s') rest
+  | [] -> Alcotest.fail "no outputs");
+  Alcotest.(check int) "three records" 3 (List.length sizes)
+
+let test_ocall_not_in_manifest_denied () =
+  (* a manifest without print: print_int is refused at runtime (P0) *)
+  let manifest =
+    {
+      Manifest.default with
+      Manifest.allowed_ocalls =
+        List.filter
+          (fun (o : Manifest.ocall_spec) -> o.Manifest.name <> "print")
+          Manifest.default.Manifest.allowed_ocalls;
+    }
+  in
+  let o = expect_ok (run ~manifest "int main() { print_int(42); return 0; }") in
+  match o.Session.exit with
+  | Interp.Ocall_denied _ -> ()
+  | r -> Alcotest.failf "expected denial, got %s" (Interp.exit_reason_to_string r)
+
+let test_entropy_budget_enforced () =
+  (* cap total output entropy: the second send must be refused *)
+  let manifest =
+    {
+      Manifest.default with
+      Manifest.allowed_ocalls =
+        List.map
+          (fun (o : Manifest.ocall_spec) ->
+            if o.Manifest.name = "send" then { o with Manifest.max_output_bits = Some 40 } else o)
+          Manifest.default.Manifest.allowed_ocalls;
+    }
+  in
+  let o =
+    expect_ok
+      (run ~manifest
+         {|int buf[8];
+           int main() { buf[0] = 65; send(buf, 4); send(buf, 4); return 0; }|})
+  in
+  (match o.Session.exit with
+  | Interp.Ocall_denied _ -> ()
+  | r -> Alcotest.failf "expected entropy denial, got %s" (Interp.exit_reason_to_string r));
+  Alcotest.(check int) "only the first record escaped" 1 (List.length o.Session.outputs)
+
+let test_recv_evil_pointer_sanitized () =
+  (* a recv buffer pointing at the SSA region must be refused by the
+     wrapper's input sanitization (P0) - craft via integer literals *)
+  let layout = Deflection_enclave.Layout.make Deflection_enclave.Layout.small_config in
+  let src =
+    Printf.sprintf
+      {|int main() {
+          int x = recv(%d, 4); /* SSA address as a raw "pointer" */
+          return x;
+        }|}
+      layout.Deflection_enclave.Layout.ssa_lo
+  in
+  (* recv takes an int expression as pointer: MiniC types both as int,
+     which is exactly how a malicious service would smuggle it *)
+  let o = expect_ok (run src) in
+  match o.Session.exit with
+  | Interp.Ocall_denied _ -> ()
+  | r -> Alcotest.failf "expected sanitization denial, got %s" (Interp.exit_reason_to_string r)
+
+let test_time_blurring_quantizes () =
+  (* two services with very different work must report the same padded
+     completion time under a time quantum (paper Section VII) *)
+  let manifest = { Manifest.default with Manifest.time_quantum = Some 1_000_000 } in
+  let cycles src =
+    let o = expect_ok (run ~manifest ~inputs:[] src) in
+    o.Session.cycles
+  in
+  let light = cycles "int main() { print_int(1); return 0; }" in
+  let heavy =
+    cycles
+      {|int main() {
+          int s = 0;
+          for (int i = 0; i < 20000; i = i + 1) { s = s + i; }
+          print_int(s & 1);
+          return 0;
+        }|}
+  in
+  Alcotest.(check int) "light run lands on a quantum boundary" 0 (light mod 1_000_000);
+  Alcotest.(check int) "heavy run lands on a quantum boundary" 0 (heavy mod 1_000_000);
+  Alcotest.(check int) "identical observable time" light heavy
+
+let test_compile_only_reports_errors () =
+  match Session.compile_only "int main() { returd 0; }" with
+  | Ok _ -> Alcotest.fail "accepted bad program"
+  | Error e -> Alcotest.(check bool) "has message" true (String.length e > 0)
+
+let test_verifier_report_in_outcome () =
+  let o = expect_ok (run simple_service) in
+  Alcotest.(check bool) "annotations verified" true
+    (o.Session.verifier_report.Session.Verifier.store_annotations > 0)
+
+let suite =
+  [
+    Alcotest.test_case "end to end" `Quick test_end_to_end;
+    Alcotest.test_case "results stable across policies" `Quick test_results_stable_across_policies;
+    Alcotest.test_case "output records padded uniformly" `Quick
+      test_output_records_padded_uniformly;
+    Alcotest.test_case "ocall not in manifest denied" `Quick test_ocall_not_in_manifest_denied;
+    Alcotest.test_case "entropy budget enforced" `Quick test_entropy_budget_enforced;
+    Alcotest.test_case "recv evil pointer sanitized" `Quick test_recv_evil_pointer_sanitized;
+    Alcotest.test_case "time blurring quantizes" `Quick test_time_blurring_quantizes;
+    Alcotest.test_case "compile_only reports errors" `Quick test_compile_only_reports_errors;
+    Alcotest.test_case "verifier report in outcome" `Quick test_verifier_report_in_outcome;
+  ]

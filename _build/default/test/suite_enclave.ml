@@ -1,0 +1,161 @@
+module Layout = Deflection_enclave.Layout
+module Memory = Deflection_enclave.Memory
+module Measurement = Deflection_enclave.Measurement
+
+let layout () = Layout.make Layout.small_config
+
+let test_layout_ordering () =
+  let l = layout () in
+  let regions =
+    [
+      l.Layout.ssa_lo; l.Layout.ssa_hi; l.Layout.tcs_hi; l.Layout.branch_hi;
+      l.Layout.ss_guard_lo; l.Layout.ss_lo; l.Layout.ss_hi; l.Layout.ss_guard_hi;
+      l.Layout.consumer_hi; l.Layout.code_hi; l.Layout.data_hi; l.Layout.stack_guard_lo;
+      l.Layout.stack_lo; l.Layout.stack_hi; l.Layout.stack_guard_hi;
+    ]
+  in
+  let rec ascending = function
+    | a :: (b :: _ as rest) -> a <= b && ascending rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "regions ascend" true (ascending regions);
+  Alcotest.(check int) "limit is end" l.Layout.stack_guard_hi l.Layout.limit;
+  Alcotest.(check int) "page aligned base" 0 (l.Layout.base mod Layout.page_size);
+  Alcotest.(check int) "page aligned limit" 0 (l.Layout.limit mod Layout.page_size)
+
+let test_store_bounds_monotone () =
+  let l = layout () in
+  let lo1, hi1 = Layout.store_bounds l ~p3:false ~p4:false in
+  let lo3, hi3 = Layout.store_bounds l ~p3:true ~p4:false in
+  let lo4, hi4 = Layout.store_bounds l ~p3:true ~p4:true in
+  Alcotest.(check bool) "each stronger policy raises the floor" true (lo1 < lo3 && lo3 < lo4);
+  Alcotest.(check bool) "same ceiling" true (hi1 = hi3 && hi3 = hi4);
+  Alcotest.(check int) "P1 floor is ELRANGE base" l.Layout.base lo1;
+  Alcotest.(check int) "P3 floor excludes metadata" l.Layout.code_lo lo3;
+  Alcotest.(check int) "P4 floor excludes code" l.Layout.data_lo lo4
+
+let test_runtime_cells_inside_ss () =
+  let l = layout () in
+  List.iter
+    (fun c -> Alcotest.(check bool) "cell in ss region" true (c >= l.Layout.ss_lo && c < l.Layout.ss_hi))
+    [
+      Layout.ss_ptr_cell l; Layout.aex_counter_cell l; Layout.aex_threshold_cell l;
+      Layout.colocation_cell l; Layout.ss_stack_base l;
+    ];
+  Alcotest.(check bool) "marker in ssa" true
+    (Layout.ssa_marker_addr l >= l.Layout.ssa_lo && Layout.ssa_marker_addr l < l.Layout.ssa_hi)
+
+let test_memory_rw () =
+  let mem = Memory.create (layout ()) in
+  let l = Memory.layout mem in
+  let addr = l.Layout.data_lo + 128 in
+  Memory.write_u64 mem addr 0x1122334455667788L;
+  Alcotest.(check int64) "u64 roundtrip" 0x1122334455667788L (Memory.read_u64 mem addr);
+  Memory.write_u8 mem addr 0xFF;
+  Alcotest.(check int) "u8 write visible" 0xFF (Memory.read_u8 mem addr)
+
+let test_guard_page_faults () =
+  let mem = Memory.create (layout ()) in
+  let l = Memory.layout mem in
+  Alcotest.(check bool) "stack guard write faults" true
+    (try
+       Memory.write_u8 mem l.Layout.stack_guard_lo 1;
+       false
+     with Memory.Fault (Memory.Perm_violation { access = Memory.Write; _ }) -> true);
+  Alcotest.(check bool) "ss guard read faults" true
+    (try
+       ignore (Memory.read_u8 mem l.Layout.ss_guard_lo);
+       false
+     with Memory.Fault (Memory.Perm_violation { access = Memory.Read; _ }) -> true)
+
+let test_branch_table_read_only () =
+  let mem = Memory.create (layout ()) in
+  let l = Memory.layout mem in
+  Alcotest.(check bool) "branch table not writable by target code" true
+    (try
+       Memory.write_u8 mem l.Layout.branch_lo 7;
+       false
+     with Memory.Fault _ -> true);
+  (* but the loader can *)
+  Memory.priv_write_u64 mem l.Layout.branch_lo 42L;
+  Alcotest.(check int64) "privileged write lands" 42L (Memory.priv_read_u64 mem l.Layout.branch_lo)
+
+let test_out_of_enclave_write_leaks () =
+  let mem = Memory.create (layout ()) in
+  let l = Memory.layout mem in
+  Alcotest.(check int) "no leaks initially" 0 (Memory.leaked_bytes mem);
+  (* the store SUCCEEDS - that is the threat *)
+  Memory.write_u8 mem (l.Layout.limit + 4096) 0x41;
+  Memory.write_u8 mem (l.Layout.base - 8) 0x42;
+  Alcotest.(check int) "two leaked bytes" 2 (Memory.leaked_bytes mem);
+  Alcotest.(check int) "host sees the data" 0x41 (Memory.host_read_u8 mem (l.Layout.limit + 4096));
+  match Memory.leak_log mem with
+  | [ (a1, v1); (_, v2) ] ->
+    Alcotest.(check int) "log addr" (l.Layout.limit + 4096) a1;
+    Alcotest.(check int) "log val" 0x41 v1;
+    Alcotest.(check int) "log val 2" 0x42 v2
+  | _ -> Alcotest.fail "expected two leak entries"
+
+let test_exec_permissions () =
+  let mem = Memory.create (layout ()) in
+  let l = Memory.layout mem in
+  Memory.check_exec mem l.Layout.code_lo;
+  (* code region: executable *)
+  Alcotest.(check bool) "data not executable" true
+    (try
+       Memory.check_exec mem l.Layout.data_lo;
+       false
+     with Memory.Fault (Memory.Perm_violation { access = Memory.Exec; _ }) -> true);
+  Alcotest.(check bool) "outside ELRANGE not executable" true
+    (try
+       Memory.check_exec mem (l.Layout.limit + 64);
+       false
+     with Memory.Fault (Memory.Out_of_enclave_exec _) -> true)
+
+let test_code_pages_writable_rwx () =
+  (* SGXv1: target code pages are RWX; stopping self-modification is P4's
+     job, not the page table's. *)
+  let mem = Memory.create (layout ()) in
+  let l = Memory.layout mem in
+  let gen0 = Memory.code_generation mem in
+  Memory.write_u8 mem l.Layout.code_lo 0x90;
+  Alcotest.(check int) "write landed" 0x90 (Memory.read_u8 mem l.Layout.code_lo);
+  Alcotest.(check bool) "generation bumped" true (Memory.code_generation mem > gen0)
+
+let test_set_region_perm () =
+  let mem = Memory.create (layout ()) in
+  let l = Memory.layout mem in
+  Memory.set_region_perm mem ~lo:l.Layout.data_lo ~hi:(l.Layout.data_lo + Layout.page_size)
+    Memory.perm_r;
+  Alcotest.(check bool) "now read-only" true
+    (try
+       Memory.write_u8 mem l.Layout.data_lo 1;
+       false
+     with Memory.Fault _ -> true)
+
+let test_measurement_stable_and_sensitive () =
+  let l = layout () in
+  let consumer = Bytes.of_string "consumer v1" in
+  let m1 = Measurement.measure l ~consumer_code:consumer in
+  let m2 = Measurement.measure l ~consumer_code:consumer in
+  Alcotest.(check bytes) "deterministic" m1 m2;
+  let m3 = Measurement.measure l ~consumer_code:(Bytes.of_string "consumer v2") in
+  Alcotest.(check bool) "sensitive to consumer code" false (Bytes.equal m1 m3);
+  let l2 = Layout.make { Layout.small_config with Layout.code_size = 128 * 1024 } in
+  let m4 = Measurement.measure l2 ~consumer_code:consumer in
+  Alcotest.(check bool) "sensitive to geometry" false (Bytes.equal m1 m4)
+
+let suite =
+  [
+    Alcotest.test_case "layout ordering" `Quick test_layout_ordering;
+    Alcotest.test_case "store bounds monotone" `Quick test_store_bounds_monotone;
+    Alcotest.test_case "runtime cells placed" `Quick test_runtime_cells_inside_ss;
+    Alcotest.test_case "memory rw" `Quick test_memory_rw;
+    Alcotest.test_case "guard pages fault" `Quick test_guard_page_faults;
+    Alcotest.test_case "branch table read-only" `Quick test_branch_table_read_only;
+    Alcotest.test_case "out-of-enclave write leaks" `Quick test_out_of_enclave_write_leaks;
+    Alcotest.test_case "exec permissions" `Quick test_exec_permissions;
+    Alcotest.test_case "code pages RWX" `Quick test_code_pages_writable_rwx;
+    Alcotest.test_case "set region perm" `Quick test_set_region_perm;
+    Alcotest.test_case "measurement stable+sensitive" `Quick test_measurement_stable_and_sensitive;
+  ]

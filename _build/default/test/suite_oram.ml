@@ -1,0 +1,157 @@
+module Oram = Deflection_oram.Path_oram
+module Policy = Deflection_policy.Policy
+module Manifest = Deflection_policy.Manifest
+module Prng = Deflection_util.Prng
+
+let test_read_write_roundtrip () =
+  let o = Oram.create ~capacity:64 () in
+  Oram.write o 7 123L;
+  Oram.write o 13 456L;
+  Alcotest.(check int64) "read back 7" 123L (Oram.read o 7);
+  Alcotest.(check int64) "read back 13" 456L (Oram.read o 13);
+  Alcotest.(check int64) "unwritten is 0" 0L (Oram.read o 42);
+  Oram.write o 7 999L;
+  Alcotest.(check int64) "overwrite" 999L (Oram.read o 7)
+
+let test_out_of_range () =
+  let o = Oram.create ~capacity:8 () in
+  Alcotest.(check bool) "negative id" true
+    (try
+       ignore (Oram.read o (-1));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "too large" true
+    (try
+       Oram.write o 8 1L;
+       false
+     with Invalid_argument _ -> true)
+
+let qcheck_matches_reference =
+  QCheck.Test.make ~name:"oram matches a plain array" ~count:50
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 200) (pair (int_bound 31) (int_bound 10000)))
+    (fun ops ->
+      let o = Oram.create ~capacity:32 () in
+      let reference = Array.make 32 0L in
+      List.for_all
+        (fun (id, v) ->
+          if v mod 3 = 0 then begin
+            (* read *)
+            Oram.read o id = reference.(id)
+          end
+          else begin
+            let v64 = Int64.of_int v in
+            Oram.write o id v64;
+            reference.(id) <- v64;
+            true
+          end)
+        ops)
+
+let test_trace_length_uniform () =
+  (* every logical access touches exactly 2*(h+1) buckets, whatever the
+     logical pattern: the host cannot distinguish access patterns by
+     volume *)
+  let per_access o = 2 * (Oram.height o + 1) in
+  let scan = Oram.create ~capacity:64 () in
+  for i = 0 to 63 do
+    Oram.write scan i (Int64.of_int i)
+  done;
+  Alcotest.(check int) "scan trace" (64 * per_access scan) (Oram.trace_length scan);
+  let hot = Oram.create ~capacity:64 () in
+  for _ = 1 to 64 do
+    ignore (Oram.read hot 5)
+  done;
+  Alcotest.(check int) "hot-block trace" (64 * per_access hot) (Oram.trace_length hot);
+  Alcotest.(check int) "identical volumes" (Oram.trace_length scan) (Oram.trace_length hot)
+
+let test_trace_is_paths () =
+  (* each access's read half is a root-to-leaf path: starts at bucket 0,
+     each next bucket is a child of the previous *)
+  let o = Oram.create ~capacity:32 () in
+  ignore (Oram.read o 3);
+  ignore (Oram.read o 3);
+  let trace = Array.of_list (Oram.trace o) in
+  let per = 2 * (Oram.height o + 1) in
+  Alcotest.(check int) "two accesses" (2 * per) (Array.length trace);
+  for a = 0 to 1 do
+    let base = a * per in
+    Alcotest.(check int) "path starts at root" 0 trace.(base);
+    for d = 1 to Oram.height o do
+      let parent = (trace.(base + d) - 1) / 2 in
+      Alcotest.(check int) "child of previous" trace.(base + d - 1) parent
+    done
+  done
+
+let test_hot_block_paths_vary () =
+  (* accessing the same block repeatedly must take fresh random paths
+     (remapping); otherwise the host learns it is the same block *)
+  let o = Oram.create ~capacity:256 () in
+  let per = 2 * (Oram.height o + 1) in
+  let leaves = Hashtbl.create 16 in
+  for _ = 1 to 64 do
+    ignore (Oram.read o 9)
+  done;
+  let trace = Array.of_list (Oram.trace o) in
+  for a = 0 to 63 do
+    (* the deepest bucket of the read half identifies the leaf *)
+    let leaf_bucket = trace.((a * per) + Oram.height o) in
+    Hashtbl.replace leaves leaf_bucket ()
+  done;
+  Alcotest.(check bool) "many distinct leaves" true (Hashtbl.length leaves > 16)
+
+let test_stash_bounded () =
+  let o = Oram.create ~capacity:128 () in
+  let prng = Prng.create 5L in
+  for _ = 1 to 5000 do
+    let id = Prng.int prng 128 in
+    if Prng.bool prng then Oram.write o id (Prng.next_int64 prng) else ignore (Oram.read o id)
+  done;
+  Alcotest.(check bool) "stash stays small" true (Oram.stash_size o < 150)
+
+(* ------------------------------------------------------------------ *)
+(* Integration: the enclave's oblivious-storage OCalls *)
+
+let oram_session src =
+  let manifest = Manifest.with_oram Manifest.default in
+  Deflection.Session.run ~manifest ~oram_capacity:64 ~source:src ~inputs:[] ()
+
+let test_enclave_oram_roundtrip () =
+  let src =
+    {|int main() {
+        oram_write(5, 111);
+        oram_write(17, 222);
+        print_int(oram_read(5));
+        print_int(oram_read(17));
+        print_int(oram_read(40));
+        return 0;
+      }|}
+  in
+  match oram_session src with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    Alcotest.(check (list string)) "values through the enclave" [ "111"; "222"; "0" ]
+      (List.map Bytes.to_string o.Deflection.Session.outputs)
+
+let test_enclave_oram_without_config_denied () =
+  let src = "int main() { oram_write(1, 2); return 0; }" in
+  (* manifest allows the OCall but no ORAM is configured *)
+  let manifest = Manifest.with_oram Manifest.default in
+  match Deflection.Session.run ~manifest ~source:src ~inputs:[] () with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    (match o.Deflection.Session.exit with
+    | Deflection_runtime.Interp.Ocall_denied _ -> ()
+    | r ->
+      Alcotest.failf "expected denial, got %s" (Deflection_runtime.Interp.exit_reason_to_string r))
+
+let suite =
+  [
+    Alcotest.test_case "read/write roundtrip" `Quick test_read_write_roundtrip;
+    Alcotest.test_case "out of range" `Quick test_out_of_range;
+    QCheck_alcotest.to_alcotest qcheck_matches_reference;
+    Alcotest.test_case "trace length uniform" `Quick test_trace_length_uniform;
+    Alcotest.test_case "trace is root-to-leaf paths" `Quick test_trace_is_paths;
+    Alcotest.test_case "hot-block paths vary" `Quick test_hot_block_paths_vary;
+    Alcotest.test_case "stash bounded" `Quick test_stash_bounded;
+    Alcotest.test_case "enclave oram roundtrip" `Quick test_enclave_oram_roundtrip;
+    Alcotest.test_case "oram denied without config" `Quick test_enclave_oram_without_config_denied;
+  ]

@@ -1,0 +1,82 @@
+module Policy = Deflection_policy.Policy
+module Manifest = Deflection_policy.Manifest
+module Baseline = Deflection_runtimes.Interp_baseline
+
+let test_set_operations () =
+  let open Policy.Set in
+  Alcotest.(check bool) "empty has nothing" false (mem Policy.P1 empty);
+  let s = add Policy.P1 (add Policy.P5 empty) in
+  Alcotest.(check bool) "added" true (mem Policy.P1 s && mem Policy.P5 s);
+  Alcotest.(check bool) "not added" false (mem Policy.P2 s);
+  Alcotest.(check bool) "idempotent" true (equal s (add Policy.P1 s));
+  let u = union (of_list [ Policy.P1 ]) (of_list [ Policy.P2; Policy.P6 ]) in
+  Alcotest.(check (list string)) "to_list ordered" [ "P1"; "P2"; "P6" ]
+    (List.map Policy.name (to_list u))
+
+let test_standard_sets () =
+  let open Policy.Set in
+  Alcotest.(check (list string)) "p1_p5 contents" [ "P1"; "P2"; "P3"; "P4"; "P5" ]
+    (List.map Policy.name (to_list p1_p5));
+  Alcotest.(check (list string)) "p1_p6 adds P6" [ "P1"; "P2"; "P3"; "P4"; "P5"; "P6" ]
+    (List.map Policy.name (to_list p1_p6));
+  Alcotest.(check string) "labels" "P1-P5" (label p1_p5);
+  Alcotest.(check string) "custom label" "P1+P3" (label (of_list [ Policy.P1; Policy.P3 ]))
+
+let test_names_roundtrip () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "of_name . name" true (Policy.of_name (Policy.name p) = Some p))
+    Policy.all;
+  Alcotest.(check (option reject)) "unknown" None
+    (Option.map (fun _ -> ()) (Policy.of_name "P9"))
+
+let test_manifest_lookup () =
+  let m = Manifest.default in
+  Alcotest.(check (option string)) "send is 0" (Some "send")
+    (Option.map (fun (o : Manifest.ocall_spec) -> o.Manifest.name) (Manifest.find_ocall m 0));
+  Alcotest.(check bool) "no ocall 9" true (Manifest.find_ocall m 9 = None);
+  let with_oram = Manifest.with_oram m in
+  Alcotest.(check (option string)) "oram_read is 3" (Some "oram_read")
+    (Option.map (fun (o : Manifest.ocall_spec) -> o.Manifest.name) (Manifest.find_ocall with_oram 3));
+  Alcotest.(check (option string)) "oram_write is 4" (Some "oram_write")
+    (Option.map (fun (o : Manifest.ocall_spec) -> o.Manifest.name) (Manifest.find_ocall with_oram 4))
+
+let test_describe_all () =
+  List.iter
+    (fun p -> Alcotest.(check bool) "non-empty description" true (String.length (Policy.describe p) > 10))
+    Policy.all
+
+(* The in-enclave-interpreter architectural baseline (paper Section VIII):
+   same results, but an order of magnitude slower than verified native
+   execution and with the whole frontend in the TCB. *)
+let test_interpreter_baseline () =
+  let src =
+    {|int main() {
+        int s = 0;
+        for (int i = 0; i < 500; i = i + 1) { s = s + i * 3; }
+        print_int(s);
+        return 0;
+      }|}
+  in
+  match Baseline.run src with
+  | Error e -> Alcotest.fail e
+  | Ok (cycles, outputs) ->
+    Alcotest.(check (list string)) "same results" [ "374250" ] outputs;
+    (match Deflection_workloads.Runner.run ~aex_interval:None src with
+    | Error e -> Alcotest.fail e
+    | Ok native ->
+      Alcotest.(check (list string)) "native agrees" outputs native.Deflection_workloads.Runner.outputs;
+      Alcotest.(check bool) "interpreter is much slower" true
+        (cycles > 2 * native.Deflection_workloads.Runner.cycles));
+  Alcotest.(check bool) "interpreter TCB is larger than the verifier's" true
+    (Baseline.tcb_kloc > 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "set operations" `Quick test_set_operations;
+    Alcotest.test_case "standard sets" `Quick test_standard_sets;
+    Alcotest.test_case "names roundtrip" `Quick test_names_roundtrip;
+    Alcotest.test_case "manifest lookup" `Quick test_manifest_lookup;
+    Alcotest.test_case "describe all" `Quick test_describe_all;
+    Alcotest.test_case "interpreter baseline" `Quick test_interpreter_baseline;
+  ]

@@ -1,0 +1,124 @@
+(* Protocol state-machine error paths: the bootstrap must refuse every
+   out-of-order or unauthorized ECall, not just the happy path. *)
+
+module Bootstrap = Deflection.Bootstrap
+module Attestation = Deflection_attestation.Attestation
+module Channel = Deflection_crypto.Channel
+module Objfile = Deflection_isa.Objfile
+module Frontend = Deflection_compiler.Frontend
+module Prng = Deflection_util.Prng
+
+let obj () = Frontend.compile_exn "int main() { return 0; }"
+
+let fresh_enclave () =
+  let platform = Attestation.Platform.create ~seed:77L in
+  (Bootstrap.create ~platform (), platform)
+
+let test_binary_before_handshake () =
+  let enclave, _ = fresh_enclave () in
+  match Bootstrap.ecall_receive_binary enclave (Bytes.make 64 'x') with
+  | Error e -> Alcotest.(check bool) "mentions session" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "accepted a binary without a provider session"
+
+let test_data_before_handshake () =
+  let enclave, _ = fresh_enclave () in
+  match Bootstrap.ecall_receive_userdata enclave (Bytes.make 64 'x') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted data without an owner session"
+
+let test_run_before_binary () =
+  let enclave, _ = fresh_enclave () in
+  match Bootstrap.run enclave with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ran without a verified binary"
+
+let establish_provider enclave platform =
+  let ias = Attestation.Ias.for_platform platform in
+  let prng = Prng.create 3L in
+  let hello, kp = Attestation.Ratls.party_begin prng in
+  let reply = Bootstrap.accept_party enclave ~role:Attestation.Ratls.Code_provider hello in
+  Result.get_ok
+    (Attestation.Ratls.party_complete kp ~role:Attestation.Ratls.Code_provider ~ias
+       ~expected_measurement:(Bootstrap.measurement enclave) reply)
+
+let test_garbage_sealed_binary () =
+  let enclave, platform = fresh_enclave () in
+  let provider = establish_provider enclave platform in
+  (* authentic channel, garbage payload: must fail at deserialization,
+     not crash *)
+  let sealed = Channel.seal provider.Attestation.Ratls.tx (Bytes.make 100 '\xAB') in
+  match Bootstrap.ecall_receive_binary enclave sealed with
+  | Error e -> Alcotest.(check bool) "malformed reported" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "accepted garbage as a binary"
+
+let test_unsealed_binary_rejected () =
+  let enclave, platform = fresh_enclave () in
+  let _ = establish_provider enclave platform in
+  (* plaintext object without channel sealing: authentication must fail *)
+  match Bootstrap.ecall_receive_binary enclave (Objfile.serialize (obj ())) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted an unauthenticated binary"
+
+let test_owner_channel_cannot_deliver_code () =
+  (* the data owner's session must not be able to smuggle a binary in:
+     role separation means the provider channel alone decrypts it *)
+  let enclave, platform = fresh_enclave () in
+  let ias = Attestation.Ias.for_platform platform in
+  let prng = Prng.create 4L in
+  let _ = establish_provider enclave platform in
+  let hello, kp = Attestation.Ratls.party_begin prng in
+  let reply = Bootstrap.accept_party enclave ~role:Attestation.Ratls.Data_owner hello in
+  let owner =
+    Result.get_ok
+      (Attestation.Ratls.party_complete kp ~role:Attestation.Ratls.Data_owner ~ias
+         ~expected_measurement:(Bootstrap.measurement enclave) reply)
+  in
+  let sealed_with_owner_key =
+    Channel.seal owner.Attestation.Ratls.tx (Objfile.serialize (obj ()))
+  in
+  match Bootstrap.ecall_receive_binary enclave sealed_with_owner_key with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "owner-sealed binary accepted on the provider channel"
+
+let test_second_binary_replaces_first () =
+  (* delivering a new binary re-runs load+verify; the last verified one
+     runs *)
+  let enclave, platform = fresh_enclave () in
+  let ias = Attestation.Ias.for_platform platform in
+  let provider = establish_provider enclave platform in
+  let deliver src =
+    let o = Frontend.compile_exn src in
+    Bootstrap.ecall_receive_binary enclave
+      (Channel.seal provider.Attestation.Ratls.tx (Objfile.serialize o))
+  in
+  (match deliver "int main() { return 1; }" with Ok _ -> () | Error e -> Alcotest.fail e);
+  (match deliver "int main() { return 2; }" with Ok _ -> () | Error e -> Alcotest.fail e);
+  (* owner session so run is allowed *)
+  let prng = Prng.create 9L in
+  let hello, kp = Attestation.Ratls.party_begin prng in
+  let reply = Bootstrap.accept_party enclave ~role:Attestation.Ratls.Data_owner hello in
+  let _ =
+    Result.get_ok
+      (Attestation.Ratls.party_complete kp ~role:Attestation.Ratls.Data_owner ~ias
+         ~expected_measurement:(Bootstrap.measurement enclave) reply)
+  in
+  match Bootstrap.run enclave with
+  | Ok stats ->
+    (match stats.Bootstrap.exit with
+    | Deflection_runtime.Interp.Exited 2L -> ()
+    | r ->
+      Alcotest.failf "expected the second binary (exit 2), got %s"
+        (Deflection_runtime.Interp.exit_reason_to_string r))
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    Alcotest.test_case "binary before handshake" `Quick test_binary_before_handshake;
+    Alcotest.test_case "data before handshake" `Quick test_data_before_handshake;
+    Alcotest.test_case "run before binary" `Quick test_run_before_binary;
+    Alcotest.test_case "garbage sealed binary" `Quick test_garbage_sealed_binary;
+    Alcotest.test_case "unsealed binary rejected" `Quick test_unsealed_binary_rejected;
+    Alcotest.test_case "owner channel cannot deliver code" `Quick
+      test_owner_channel_cannot_deliver_code;
+    Alcotest.test_case "second binary replaces first" `Quick test_second_binary_replaces_first;
+  ]

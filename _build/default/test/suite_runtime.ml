@@ -1,0 +1,428 @@
+module Isa = Deflection_isa.Isa
+module Asm = Deflection_isa.Asm
+module Layout = Deflection_enclave.Layout
+module Memory = Deflection_enclave.Memory
+module Interp = Deflection_runtime.Interp
+open Isa
+
+let deny_all _ _ = Interp.Halt (Interp.Ocall_denied 99)
+
+let setup ?(config = Interp.default_config) ?(ocall = deny_all) items =
+  let layout = Layout.make Layout.small_config in
+  let mem = Memory.create layout in
+  let a = Asm.assemble items in
+  Memory.priv_write_bytes mem layout.Layout.code_lo a.Asm.code;
+  let itp = Interp.create ~config ~ocall mem in
+  Interp.init_stack itp;
+  (itp, mem, layout, a)
+
+let run_items ?config ?ocall items =
+  let itp, mem, layout, _ = setup ?config ?ocall items in
+  let exit = Interp.run itp ~entry:layout.Layout.code_lo in
+  (exit, itp, mem, layout)
+
+let exited = function Interp.Exited v -> v | r -> Alcotest.failf "unexpected exit: %s" (Interp.exit_reason_to_string r)
+
+let test_mov_arith () =
+  let exit, _, _, _ =
+    run_items
+      [
+        Asm.Ins (Mov (Reg RAX, Imm 10L));
+        Asm.Ins (Mov (Reg RBX, Imm 4L));
+        Asm.Ins (Binop (Imul, Reg RAX, Reg RBX)); (* 40 *)
+        Asm.Ins (Binop (Add, Reg RAX, Imm 2L)); (* 42 *)
+        Asm.Ins (Binop (Sub, Reg RAX, Imm 10L)); (* 32 *)
+        Asm.Ins (Binop (Xor, Reg RAX, Imm 1L)); (* 33 *)
+        Asm.Ins Hlt;
+      ]
+  in
+  Alcotest.(check int64) "result" 33L (exited exit)
+
+let test_memory_operands () =
+  let exit, _, _, _ =
+    run_items
+      [
+        (* use the stack as scratch: [rsp-16] is inside the stack region *)
+        Asm.Ins (Mov (Reg RBX, Reg RSP));
+        Asm.Ins (Mov (Mem { base = Some RBX; index = None; scale = 1; disp = -16L }, Imm 7L));
+        Asm.Ins (Mov (Reg RCX, Imm 2L));
+        (* rax = [rbx + rcx*8 - 32] with rcx=2 -> [rbx-16] *)
+        Asm.Ins (Mov (Reg RAX, Mem { base = Some RBX; index = Some RCX; scale = 8; disp = -32L }));
+        Asm.Ins Hlt;
+      ]
+  in
+  Alcotest.(check int64) "sib addressing" 7L (exited exit)
+
+let test_lea () =
+  let exit, _, _, _ =
+    run_items
+      [
+        Asm.Ins (Mov (Reg RBX, Imm 100L));
+        Asm.Ins (Mov (Reg RCX, Imm 3L));
+        Asm.Ins (Lea (RAX, { base = Some RBX; index = Some RCX; scale = 4; disp = 5L }));
+        Asm.Ins Hlt;
+      ]
+  in
+  Alcotest.(check int64) "lea computes" 117L (exited exit)
+
+(* Every condition code against a signed/unsigned-discriminating pair. *)
+let cond_expectations =
+  (* cmp (-1) 1 : signed -1 < 1, unsigned max > 1 *)
+  [
+    (E, false); (NE, true); (L, true); (LE, true); (G, false); (GE, false);
+    (B, false); (BE, false); (A, true); (AE, true); (S, true); (NS, false);
+  ]
+
+let test_conditions () =
+  List.iter
+    (fun (cond, expect) ->
+      let exit, _, _, _ =
+        run_items
+          [
+            Asm.Ins (Mov (Reg RBX, Imm (-1L)));
+            Asm.Ins (Cmp (Reg RBX, Imm 1L));
+            Asm.Ins (Jcc (cond, Lab "yes"));
+            Asm.Ins (Mov (Reg RAX, Imm 0L));
+            Asm.Ins Hlt;
+            Asm.Label "yes";
+            Asm.Ins (Mov (Reg RAX, Imm 1L));
+            Asm.Ins Hlt;
+          ]
+      in
+      Alcotest.(check int64)
+        (Format.asprintf "cond %a on cmp -1,1" Isa.pp_cond cond)
+        (if expect then 1L else 0L)
+        (exited exit))
+    cond_expectations
+
+let test_flag_overflow_edges () =
+  (* signed-overflow corner: min_int - 1 wraps; L must reflect the signed
+     comparison, B the unsigned one *)
+  let check ~a ~b ~cond ~expect =
+    let exit, _, _, _ =
+      run_items
+        [
+          Asm.Ins (Mov (Reg RBX, Imm a));
+          Asm.Ins (Cmp (Reg RBX, Imm b));
+          Asm.Ins (Jcc (cond, Lab "yes"));
+          Asm.Ins (Mov (Reg RAX, Imm 0L));
+          Asm.Ins Hlt;
+          Asm.Label "yes";
+          Asm.Ins (Mov (Reg RAX, Imm 1L));
+          Asm.Ins Hlt;
+        ]
+    in
+    Alcotest.(check int64)
+      (Printf.sprintf "cmp %Ld,%Ld j%s" a b (Format.asprintf "%a" Isa.pp_cond cond))
+      (if expect then 1L else 0L)
+      (exited exit)
+  in
+  check ~a:Int64.min_int ~b:1L ~cond:L ~expect:true;
+  check ~a:Int64.min_int ~b:1L ~cond:B ~expect:false;
+  check ~a:Int64.max_int ~b:Int64.min_int ~cond:L ~expect:false;
+  check ~a:Int64.max_int ~b:Int64.min_int ~cond:B ~expect:true;
+  check ~a:(-1L) ~b:(-1L) ~cond:E ~expect:true;
+  check ~a:(-2L) ~b:(-1L) ~cond:L ~expect:true;
+  check ~a:(-2L) ~b:(-1L) ~cond:B ~expect:true
+
+let test_wraparound_arith () =
+  let exit, itp, _, _ =
+    run_items
+      [
+        Asm.Ins (Mov (Reg RAX, Imm Int64.max_int));
+        Asm.Ins (Binop (Add, Reg RAX, Imm 1L)); (* wraps to min_int *)
+        Asm.Ins (Mov (Reg RBX, Imm Int64.min_int));
+        Asm.Ins (Binop (Sub, Reg RBX, Imm 1L)); (* wraps to max_int *)
+        Asm.Ins Hlt;
+      ]
+  in
+  Alcotest.(check int64) "add wraps" Int64.min_int (exited exit);
+  Alcotest.(check int64) "sub wraps" Int64.max_int (Interp.read_reg itp RBX)
+
+let test_call_ret_stack () =
+  let exit, _, _, _ =
+    run_items
+      [
+        Asm.Ins (Mov (Reg RAX, Imm 1L));
+        Asm.Ins (Call (Lab "f"));
+        Asm.Ins (Binop (Add, Reg RAX, Imm 100L));
+        Asm.Ins Hlt;
+        Asm.Label "f";
+        Asm.Ins (Binop (Add, Reg RAX, Imm 10L));
+        Asm.Ins Ret;
+      ]
+  in
+  Alcotest.(check int64) "call/ret" 111L (exited exit)
+
+let test_push_pop () =
+  let exit, _, _, _ =
+    run_items
+      [
+        Asm.Ins (Mov (Reg RBX, Imm 5L));
+        Asm.Ins (Push (Reg RBX));
+        Asm.Ins (Push (Imm 6L));
+        Asm.Ins (Pop RAX); (* 6 *)
+        Asm.Ins (Pop RCX); (* 5 *)
+        Asm.Ins (Binop (Imul, Reg RAX, Reg RCX));
+        Asm.Ins Hlt;
+      ]
+  in
+  Alcotest.(check int64) "push/pop order" 30L (exited exit)
+
+let test_idiv_signed () =
+  let cases = [ ((-7L), 2L, -3L, -1L); (7L, 2L, 3L, 1L); ((-7L), (-2L), 3L, -1L) ] in
+  List.iter
+    (fun (a, b, q, r) ->
+      let exit, itp, _, _ =
+        run_items
+          [
+            Asm.Ins (Mov (Reg RAX, Imm a));
+            Asm.Ins (Mov (Reg RBX, Imm b));
+            Asm.Ins (Idiv (Reg RBX));
+            Asm.Ins Hlt;
+          ]
+      in
+      Alcotest.(check int64) "quotient" q (exited exit);
+      Alcotest.(check int64) "remainder" r (Interp.read_reg itp RDX))
+    cases
+
+let test_div_by_zero () =
+  let exit, _, _, _ =
+    run_items
+      [ Asm.Ins (Mov (Reg RAX, Imm 1L)); Asm.Ins (Mov (Reg RBX, Imm 0L)); Asm.Ins (Idiv (Reg RBX)); Asm.Ins Hlt ]
+  in
+  match exit with
+  | Interp.Div_by_zero _ -> ()
+  | r -> Alcotest.failf "expected div-by-zero, got %s" (Interp.exit_reason_to_string r)
+
+let test_shifts () =
+  let exit, itp, _, _ =
+    run_items
+      [
+        Asm.Ins (Mov (Reg RAX, Imm (-16L)));
+        Asm.Ins (Shift (Sar, Reg RAX, Imm 2L)); (* -4 *)
+        Asm.Ins (Mov (Reg RBX, Imm (-16L)));
+        Asm.Ins (Shift (Shr, Reg RBX, Imm 60L)); (* 15 *)
+        Asm.Ins (Mov (Reg RCX, Imm 3L));
+        Asm.Ins (Shift (Shl, Reg RCX, Imm 4L)); (* 48 *)
+        Asm.Ins Hlt;
+      ]
+  in
+  Alcotest.(check int64) "sar" (-4L) (exited exit);
+  Alcotest.(check int64) "shr" 15L (Interp.read_reg itp RBX);
+  Alcotest.(check int64) "shl" 48L (Interp.read_reg itp RCX)
+
+let test_float_ops () =
+  let exit, itp, _, _ =
+    run_items
+      [
+        Asm.Ins (Mov (Reg RAX, Imm 9L));
+        Asm.Ins (Cvtsi2sd (RAX, Reg RAX));
+        Asm.Ins (Fsqrt (RAX, Reg RAX)); (* 3.0 *)
+        Asm.Ins (Mov (Reg RBX, Imm (Int64.bits_of_float 0.5)));
+        Asm.Ins (Fbin (FMul, RAX, Reg RBX)); (* 1.5 *)
+        Asm.Ins (Fbin (FAdd, RAX, Reg RBX)); (* 2.0 *)
+        Asm.Ins (Fbin (FDiv, RAX, Reg RBX)); (* 4.0 *)
+        Asm.Ins (Mov (Reg RCX, Reg RAX))  (* keep the float bits *) ;
+        Asm.Ins (Cvttsd2si (RAX, Reg RAX));
+        Asm.Ins Hlt;
+      ]
+  in
+  Alcotest.(check int64) "float pipeline" 4L (exited exit);
+  Alcotest.(check (float 1e-9)) "bits are 4.0" 4.0 (Int64.float_of_bits (Interp.read_reg itp RCX))
+
+let test_fcmp () =
+  let exit, _, _, _ =
+    run_items
+      [
+        Asm.Ins (Mov (Reg RAX, Imm (Int64.bits_of_float 1.5)));
+        Asm.Ins (Mov (Reg RBX, Imm (Int64.bits_of_float 2.5)));
+        Asm.Ins (Fcmp (RAX, Reg RBX));
+        Asm.Ins (Jcc (B, Lab "less"));
+        Asm.Ins (Mov (Reg RAX, Imm 0L));
+        Asm.Ins Hlt;
+        Asm.Label "less";
+        Asm.Ins (Mov (Reg RAX, Imm 1L));
+        Asm.Ins Hlt;
+      ]
+  in
+  Alcotest.(check int64) "1.5 < 2.5" 1L (exited exit)
+
+let test_indirect_branches () =
+  (* build once to learn label offsets, then embed the absolute address *)
+  let items target_imm =
+    [
+      Asm.Ins (Mov (Reg R10, Imm target_imm));
+      Asm.Ins (CallInd (Reg R10));
+      Asm.Ins (Binop (Add, Reg RAX, Imm 1L));
+      Asm.Ins Hlt;
+      Asm.Label "callee";
+      Asm.Ins (Mov (Reg RAX, Imm 41L));
+      Asm.Ins Ret;
+    ]
+  in
+  let probe = Asm.assemble (items 0L) in
+  let layout = Layout.make Layout.small_config in
+  let callee = layout.Layout.code_lo + List.assoc "callee" probe.Asm.label_offsets in
+  let exit, _, _, _ = run_items (items (Int64.of_int callee)) in
+  Alcotest.(check int64) "indirect call" 42L (exited exit)
+
+let test_instr_limit () =
+  let config = { Interp.default_config with Interp.instr_limit = 1000 } in
+  let exit, _, _, _ =
+    run_items ~config [ Asm.Label "loop"; Asm.Ins Nop; Asm.Ins (Jmp (Lab "loop")) ]
+  in
+  (match exit with
+  | Interp.Limit_exceeded -> ()
+  | r -> Alcotest.failf "expected limit, got %s" (Interp.exit_reason_to_string r))
+
+let test_self_modifying_code_and_cache () =
+  (* The program overwrites the first byte of the instruction at "patch"
+     with the HLT opcode, then jumps to it. The decode cache must observe
+     the write (generation bump), or it would execute the stale MOV. *)
+  let items addr =
+    [
+      Asm.Ins (Mov (Reg RBX, Imm addr));
+      Asm.Ins (Mov (Reg RCX, Imm 0x01L)); (* HLT opcode *)
+      Asm.Ins (Mov (Reg RAX, Imm 5L));
+      (* warm the decode cache for "patch" *)
+      Asm.Ins (Call (Lab "warm"));
+      (* patch: write one byte over the code *)
+      Asm.Ins (Mov (Reg RDX, Mem (mem_of_reg RBX)));
+      Asm.Ins (Binop (And, Reg RDX, Imm (-256L)));
+      Asm.Ins (Binop (Or, Reg RDX, Reg RCX));
+      Asm.Ins (Mov (Mem (mem_of_reg RBX), Reg RDX));
+      Asm.Ins (Jmp (Lab "patch"));
+      Asm.Label "warm";
+      Asm.Ins Ret;
+      Asm.Label "patch";
+      Asm.Ins (Mov (Reg RAX, Imm 99L)); (* becomes HLT after the patch *)
+      Asm.Ins Hlt;
+    ]
+  in
+  let probe = Asm.assemble (items 0L) in
+  let layout = Layout.make Layout.small_config in
+  let patch = layout.Layout.code_lo + List.assoc "patch" probe.Asm.label_offsets in
+  let exit, _, _, _ = run_items (items (Int64.of_int patch)) in
+  (* HLT with RAX=5: the patched instruction executed, not the stale MOV *)
+  Alcotest.(check int64) "self-modification took effect" 5L (exited exit)
+
+let test_aex_injection_clobbers_marker () =
+  let config = { Interp.default_config with Interp.aex_interval = Some 200 } in
+  let marker = 0x5A5AC3C3DEADBEEFL in
+  let layout = Layout.make Layout.small_config in
+  let mem = Memory.create layout in
+  let items =
+    [ Asm.Ins (Mov (Reg RCX, Imm 3000L)); Asm.Label "loop"; Asm.Ins (Binop (Sub, Reg RCX, Imm 1L));
+      Asm.Ins (Cmp (Reg RCX, Imm 0L)); Asm.Ins (Jcc (NE, Lab "loop")); Asm.Ins Hlt ]
+  in
+  let a = Asm.assemble items in
+  Memory.priv_write_bytes mem layout.Layout.code_lo a.Asm.code;
+  Memory.priv_write_u64 mem (Layout.ssa_marker_addr layout) marker;
+  let itp = Interp.create ~config ~ocall:deny_all mem in
+  Interp.init_stack itp;
+  let _ = Interp.run itp ~entry:layout.Layout.code_lo in
+  Alcotest.(check bool) "AEXes happened" true (Interp.aex_count itp > 0);
+  Alcotest.(check bool) "marker clobbered" true
+    (not (Int64.equal (Memory.priv_read_u64 mem (Layout.ssa_marker_addr layout)) marker))
+
+let test_aex_determinism () =
+  let config = { Interp.default_config with Interp.aex_interval = Some 500; aex_seed = 33L } in
+  let run () =
+    let exit, itp, _, _ =
+      run_items ~config
+        [ Asm.Ins (Mov (Reg RCX, Imm 5000L)); Asm.Label "l"; Asm.Ins (Binop (Sub, Reg RCX, Imm 1L));
+          Asm.Ins (Cmp (Reg RCX, Imm 0L)); Asm.Ins (Jcc (NE, Lab "l")); Asm.Ins Hlt ]
+    in
+    ignore (exited exit);
+    (Interp.cycles itp, Interp.aex_count itp)
+  in
+  Alcotest.(check (pair int int)) "same seed, same schedule" (run ()) (run ())
+
+let test_ocall_dispatch () =
+  let ocall n itp =
+    if n = 3 then begin
+      let v = Interp.read_reg itp RDI in
+      Interp.write_reg itp RAX (Int64.mul v 2L);
+      Interp.Continue
+    end
+    else Interp.Halt (Interp.Ocall_denied n)
+  in
+  let exit, itp, _, _ =
+    run_items ~ocall
+      [ Asm.Ins (Mov (Reg RDI, Imm 21L)); Asm.Ins (Ocall 3); Asm.Ins Hlt ]
+  in
+  Alcotest.(check int64) "handler result" 42L (exited exit);
+  Alcotest.(check int) "ocall counted" 1 (Interp.ocall_count itp);
+  Alcotest.(check bool) "transition charged" true (Interp.cycles itp >= 8000)
+
+let test_ocall_denied () =
+  let exit, _, _, _ = run_items [ Asm.Ins (Ocall 7); Asm.Ins Hlt ] in
+  match exit with
+  | Interp.Ocall_denied 99 -> ()
+  | r -> Alcotest.failf "expected denial, got %s" (Interp.exit_reason_to_string r)
+
+let test_rsp_pivot_leaks_to_host () =
+  (* push through an out-of-enclave RSP: the write lands in host memory
+     and is recorded as a leak - the ground truth P2 protects against *)
+  let exit, _, mem, layout =
+    run_items
+      [
+        Asm.Ins (Mov (Reg RSP, Imm 0x10L)); (* far below ELRANGE *)
+        Asm.Ins (Push (Imm 0x41L));
+        Asm.Ins (Mov (Reg RAX, Imm 0L));
+        Asm.Ins Hlt;
+      ]
+  in
+  ignore (exited exit);
+  ignore layout;
+  Alcotest.(check int) "secret escaped the enclave" 8 (Memory.leaked_bytes mem)
+
+let test_policy_abort_exit_codes () =
+  let code = Deflection_annot.Annot.abort_exit_code Deflection_annot.Annot.Store in
+  let exit, _, _, _ =
+    run_items [ Asm.Ins (Mov (Reg RAX, Imm code)); Asm.Ins Hlt ]
+  in
+  match exit with
+  | Interp.Policy_abort Deflection_annot.Annot.Store -> ()
+  | r -> Alcotest.failf "expected store abort, got %s" (Interp.exit_reason_to_string r)
+
+let test_single_step () =
+  let itp, _, layout, _ =
+    setup [ Asm.Ins (Mov (Reg RAX, Imm 3L)); Asm.Ins Hlt ]
+  in
+  Interp.write_reg itp RAX 0L;
+  (* manual stepping *)
+  let entry = layout.Layout.code_lo in
+  Interp.write_reg itp RSP (Int64.of_int (layout.Layout.stack_hi - 64));
+  let r = Interp.run itp ~entry in
+  Alcotest.(check int64) "ran" 3L (exited r);
+  Alcotest.(check int) "two instructions" 2 (Interp.instructions itp)
+
+let suite =
+  [
+    Alcotest.test_case "mov/arith" `Quick test_mov_arith;
+    Alcotest.test_case "memory operands" `Quick test_memory_operands;
+    Alcotest.test_case "lea" `Quick test_lea;
+    Alcotest.test_case "all conditions" `Quick test_conditions;
+    Alcotest.test_case "flag overflow edges" `Quick test_flag_overflow_edges;
+    Alcotest.test_case "wraparound arithmetic" `Quick test_wraparound_arith;
+    Alcotest.test_case "call/ret" `Quick test_call_ret_stack;
+    Alcotest.test_case "push/pop" `Quick test_push_pop;
+    Alcotest.test_case "idiv signed" `Quick test_idiv_signed;
+    Alcotest.test_case "div by zero" `Quick test_div_by_zero;
+    Alcotest.test_case "shifts" `Quick test_shifts;
+    Alcotest.test_case "float ops" `Quick test_float_ops;
+    Alcotest.test_case "fcmp" `Quick test_fcmp;
+    Alcotest.test_case "indirect branches" `Quick test_indirect_branches;
+    Alcotest.test_case "instr limit" `Quick test_instr_limit;
+    Alcotest.test_case "self-modifying code + decode cache" `Quick
+      test_self_modifying_code_and_cache;
+    Alcotest.test_case "aex clobbers marker" `Quick test_aex_injection_clobbers_marker;
+    Alcotest.test_case "aex deterministic" `Quick test_aex_determinism;
+    Alcotest.test_case "ocall dispatch" `Quick test_ocall_dispatch;
+    Alcotest.test_case "ocall denied" `Quick test_ocall_denied;
+    Alcotest.test_case "rsp pivot leaks" `Quick test_rsp_pivot_leaks_to_host;
+    Alcotest.test_case "policy abort codes" `Quick test_policy_abort_exit_codes;
+    Alcotest.test_case "single program stats" `Quick test_single_step;
+  ]

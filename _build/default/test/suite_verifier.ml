@@ -1,0 +1,393 @@
+module Verifier = Deflection_verifier.Verifier
+module Frontend = Deflection_compiler.Frontend
+module Codegen = Deflection_compiler.Codegen
+module Instrument = Deflection_compiler.Instrument
+module Objfile = Deflection_isa.Objfile
+module Asm = Deflection_isa.Asm
+module Isa = Deflection_isa.Isa
+module Codec = Deflection_isa.Codec
+module Annot = Deflection_annot.Annot
+module Policy = Deflection_policy.Policy
+module B = Deflection_util.Bytebuf
+open Isa
+
+let sample = {|
+int g[8];
+fnptr t[2];
+int helper(int x) { g[x & 7] = x; return x + 1; }
+int main() {
+  t[0] = &helper;
+  fnptr h = t[0];
+  int acc = 0;
+  for (int i = 0; i < 4; i = i + 1) { acc = h(acc); }
+  return acc;
+}
+|}
+
+let verify_obj ?(policies = Policy.Set.p1_p6) obj =
+  Verifier.verify ~policies ~ssa_q:obj.Objfile.ssa_q obj
+
+let compile ?(policies = Policy.Set.p1_p6) src = Frontend.compile_exn ~policies src
+
+let expect_accept ?policies obj =
+  match verify_obj ?policies obj with
+  | Ok r -> r
+  | Error rej -> Alcotest.failf "unexpected rejection: %a" Verifier.pp_rejection rej
+
+let expect_reject ?policies obj fragment =
+  match verify_obj ?policies obj with
+  | Ok _ -> Alcotest.failf "expected rejection (%s)" fragment
+  | Error rej ->
+    let msg = Format.asprintf "%a" Verifier.pp_rejection rej in
+    let contains h n =
+      let nh = String.length h and nn = String.length n in
+      let rec go i = i + nn <= nh && (String.sub h i nn = n || go (i + 1)) in
+      nn = 0 || go 0
+    in
+    if not (contains msg fragment) then
+      Alcotest.failf "rejection %S does not mention %S" msg fragment
+
+(* Build an object from hand-written items through the real instrumentation
+   pipeline (for attack construction). *)
+let handmade ?(policies = Policy.Set.p1_p6) ?(instrument = true) ?(branch_targets = [])
+    ~funs items =
+  let items' =
+    if instrument then
+      Instrument.run { Instrument.policies; ssa_q = 20 } ~fun_symbols:funs ~entry:"main" items
+    else
+      Annot.start_items ~entry:"main" @ items
+      @ List.concat_map Annot.abort_stub_items Annot.all_abort_reasons
+      @ [] @ Annot.aex_handler_items
+  in
+  let assembled = Asm.assemble items' in
+  let public = funs @ Instrument.stub_symbols in
+  let symbols =
+    List.filter_map
+      (fun (name, off) ->
+        if List.mem name public then
+          Some { Objfile.name; section = Objfile.Text; offset = off; is_function = true }
+        else None)
+      assembled.Asm.label_offsets
+  in
+  {
+    Objfile.text = assembled.Asm.code;
+    data = Bytes.create 64;
+    bss_size = 0;
+    symbols;
+    relocs = assembled.Asm.relocs;
+    branch_targets;
+    entry = Annot.start_symbol;
+    claimed_policies = [];
+    ssa_q = 20;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance *)
+
+let test_accepts_compiler_output_all_policies () =
+  List.iter
+    (fun (label, policies) ->
+      let obj = compile ~policies sample in
+      let r = expect_accept ~policies obj in
+      ignore r;
+      Alcotest.(check pass) ("accepted under " ^ label) () ())
+    [
+      ("none", Policy.Set.none);
+      ("P1", Policy.Set.p1);
+      ("P1+P2", Policy.Set.p1_p2);
+      ("P1-P5", Policy.Set.p1_p5);
+      ("P1-P6", Policy.Set.p1_p6);
+    ]
+
+let test_report_counts () =
+  let obj = compile sample in
+  let r = expect_accept obj in
+  Alcotest.(check bool) "stores found" true (r.Verifier.store_annotations > 0);
+  Alcotest.(check bool) "cfi found" true (r.Verifier.cfi_annotations >= 1);
+  Alcotest.(check bool) "prologue per function" true (r.Verifier.prologues >= 2);
+  Alcotest.(check bool) "epilogue per function" true (r.Verifier.epilogues >= 2);
+  Alcotest.(check bool) "ssa checks found" true (r.Verifier.ssa_checks > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Rejection: policy-weaker binaries against stronger verification *)
+
+let test_rejects_unannotated_store () =
+  let obj = compile ~policies:Policy.Set.none sample in
+  expect_reject ~policies:Policy.Set.p1 obj "store without annotation"
+
+let test_rejects_bare_ret () =
+  let obj = compile ~policies:Policy.Set.p1 sample in
+  (* P1 binary has bare rets; P5 demands epilogues somewhere before them.
+     Function entry check fires first. *)
+  expect_reject ~policies:Policy.Set.p1_p5 obj ""
+
+let test_rejects_missing_ssa () =
+  let obj = compile ~policies:Policy.Set.p1_p5 sample in
+  expect_reject ~policies:Policy.Set.p1_p6 obj ""
+
+(* ------------------------------------------------------------------ *)
+(* Rejection: hand-crafted malicious binaries *)
+
+let fresh_gen prefix =
+  let c = ref 0 in
+  fun () ->
+    incr c;
+    Printf.sprintf ".L%s%d" prefix !c
+
+let prologue_items () = Annot.emit ~fresh_label:(fresh_gen "pro") Annot.prologue_template
+
+let test_rejects_unchecked_indirect () =
+  (* correct prologue, but a raw indirect jump with no CFI group *)
+  let obj =
+    handmade ~instrument:false ~funs:[ "main" ]
+      ((Asm.Label "main" :: prologue_items ())
+      @ [ Asm.Ins (Mov (Reg R10, Imm 0x12345L)); Asm.Ins (JmpInd (Reg R10)) ])
+  in
+  expect_reject ~policies:(Policy.Set.of_list [ Policy.P5 ]) obj "indirect branch"
+
+let test_rejects_r15_write () =
+  let obj =
+    handmade ~instrument:false ~funs:[ "main" ]
+      ((Asm.Label "main" :: prologue_items ())
+      @ [ Asm.Ins (Mov (Reg R15, Imm 0L)); Asm.Ins (Mov (Reg RAX, Imm 0L)); Asm.Ins Hlt ])
+  in
+  expect_reject ~policies:(Policy.Set.of_list [ Policy.P5 ]) obj "shadow-stack register"
+
+let test_rejects_branch_into_annotation () =
+  (* A fully instrumented store, but an extra direct jump targets the
+     guarded MOV inside the group, skipping the bounds check. *)
+  let m = mem_of_reg RBX in
+  let annotated_store =
+    Annot.emit
+      ~fresh_label:(let c = ref 0 in fun () -> incr c; Printf.sprintf ".LL%d" !c)
+      (Annot.store_template (Annot.adjust_mem_for_pushes m 2))
+    @ [ Asm.Label "inside"; Asm.Ins (Mov (Mem m, Reg RCX)) ]
+  in
+  let obj =
+    handmade ~instrument:false ~funs:[ "main" ]
+      ([
+         Asm.Label "main";
+         Asm.Ins (Mov (Reg RBX, Sym "main"));
+         Asm.Ins (Jmp (Lab "inside")) (* bypass! *);
+       ]
+      @ annotated_store
+      @ [ Asm.Ins (Mov (Reg RAX, Imm 0L)); Asm.Ins Hlt ])
+  in
+  expect_reject ~policies:Policy.Set.p1 obj ""
+
+let test_rejects_truncated_text () =
+  let obj = compile sample in
+  let cut = { obj with Objfile.text = Bytes.sub obj.Objfile.text 0 40 } in
+  (match verify_obj cut with
+  | Ok _ -> Alcotest.fail "truncated text accepted"
+  | Error _ -> ())
+
+let test_rejects_missing_stub () =
+  let obj = compile sample in
+  let no_stub =
+    {
+      obj with
+      Objfile.symbols =
+        List.filter (fun s -> s.Objfile.name <> "__abort_store") obj.Objfile.symbols;
+    }
+  in
+  expect_reject no_stub "missing required symbol"
+
+let test_rejects_tampered_magic () =
+  (* flip one annotation bound so it whitelists the whole address space *)
+  let obj = compile ~policies:Policy.Set.p1 sample in
+  let text = Bytes.copy obj.Objfile.text in
+  (* find a Mov rbx, STORE_LOWER and overwrite its immediate *)
+  let rec find off =
+    if off >= Bytes.length text then None
+    else begin
+      let i, len = Codec.decode text off in
+      match i with
+      | Mov (Reg RBX, Imm v) when Int64.equal v Annot.store_lower_magic ->
+        Some (off + Option.get (Codec.imm64_field_offset i))
+      | _ -> find (off + len)
+    end
+  in
+  match find 0 with
+  | None -> Alcotest.fail "no annotation found to tamper with"
+  | Some field ->
+    let b = B.create () in
+    B.u64 b 0L;
+    Bytes.blit (B.contents b) 0 text field 8;
+    let bad = { obj with Objfile.text = text } in
+    expect_reject ~policies:Policy.Set.p1 bad ""
+
+let test_rejects_branch_list_nonfunction () =
+  let obj = compile sample in
+  let bad = { obj with Objfile.branch_targets = [ "no_such_symbol" ] } in
+  expect_reject bad "branch-list entry"
+
+let test_rejects_flow_off_end () =
+  let obj =
+    handmade ~instrument:false ~funs:[ "main" ]
+      [ Asm.Label "main"; Asm.Ins (Mov (Reg RAX, Imm 1L)) ]
+  in
+  (* main falls through into the stubs, which is fine; but jumping past
+     the end is caught *)
+  let obj2 =
+    handmade ~instrument:false ~funs:[ "main" ]
+      [ Asm.Label "main"; Asm.Ins (Jmp (Rel 100000)) ]
+  in
+  ignore obj;
+  expect_reject ~policies:Policy.Set.none obj2 "leaves the text"
+
+let test_rejects_undecodable_reachable_bytes () =
+  let obj =
+    handmade ~instrument:false ~funs:[ "main" ] [ Asm.Label "main"; Asm.Ins Nop ]
+  in
+  (* overwrite the Nop with an invalid opcode *)
+  let text = Bytes.copy obj.Objfile.text in
+  let main_off =
+    (List.find (fun s -> s.Objfile.name = "main") obj.Objfile.symbols).Objfile.offset
+  in
+  Bytes.set text main_off '\xEE';
+  let bad = { obj with Objfile.text = text } in
+  expect_reject ~policies:Policy.Set.none bad "undecodable"
+
+let test_p6_straight_line_budget () =
+  (* a long uninspected straight-line run violates the q-budget *)
+  let nops = List.init 60 (fun _ -> Asm.Ins Nop) in
+  let items =
+    (Asm.Label "main" :: nops) @ [ Asm.Ins (Mov (Reg RAX, Imm 0L)); Asm.Ins Hlt ]
+  in
+  let p6_only = Policy.Set.of_list [ Policy.P6 ] in
+  let obj = handmade ~instrument:false ~funs:[ "main" ] items in
+  expect_reject ~policies:p6_only { obj with Objfile.ssa_q = 20 } "SSA inspection period";
+  (* same code under a generous budget is fine *)
+  ignore (expect_accept ~policies:p6_only { obj with Objfile.ssa_q = 100 })
+
+let test_p6_loop_head_must_be_inspected () =
+  (* a backward branch to a target without an SSA check is rejected: the
+     loop could spin forever without the marker being inspected *)
+  let items =
+    [
+      Asm.Label "main";
+      Asm.Ins (Mov (Reg RCX, Imm 5L));
+      Asm.Label "loop";
+      Asm.Ins (Binop (Sub, Reg RCX, Imm 1L));
+      Asm.Ins (Cmp (Reg RCX, Imm 0L));
+      Asm.Ins (Jcc (NE, Lab "loop"));
+      Asm.Ins Hlt;
+    ]
+  in
+  let p6_only = Policy.Set.of_list [ Policy.P6 ] in
+  let obj = handmade ~instrument:false ~funs:[ "main" ] items in
+  expect_reject ~policies:p6_only obj "backward branch target";
+  (* the instrumentation pass fixes exactly this *)
+  let fixed = handmade ~instrument:true ~policies:p6_only ~funs:[ "main" ] items in
+  ignore (expect_accept ~policies:p6_only fixed)
+
+(* ------------------------------------------------------------------ *)
+(* Robustness: the verifier must never crash, whatever the input *)
+
+let qcheck_verifier_total =
+  QCheck.Test.make ~name:"verifier total on corrupted binaries" ~count:150
+    QCheck.(pair small_nat small_nat)
+    (fun (pos_seed, byte) ->
+      let obj = compile sample in
+      let text = Bytes.copy obj.Objfile.text in
+      let pos = pos_seed * 7919 mod Bytes.length text in
+      Bytes.set text pos (Char.chr (byte land 0xff));
+      let mutated = { obj with Objfile.text = text } in
+      match verify_obj mutated with Ok _ -> true | Error _ -> true)
+
+let qcheck_verifier_random_sources_accepted =
+  (* any well-typed source the compiler accepts must verify *)
+  let gen_src =
+    QCheck.Gen.(
+      map2
+        (fun n ops ->
+          let body =
+            List.mapi
+              (fun i op ->
+                Printf.sprintf "  acc = acc %s %d;"
+                  (match op mod 3 with 0 -> "+" | 1 -> "-" | _ -> "*")
+                  (i + 1))
+              ops
+            |> String.concat "\n"
+          in
+          Printf.sprintf
+            {|int g[4];
+int main() {
+  int acc = %d;
+%s
+  for (int i = 0; i < 3; i = i + 1) { g[i] = acc + i; }
+  return acc & 255;
+}|}
+            n body)
+        (int_bound 100)
+        (list_size (int_range 1 10) (int_bound 2)))
+  in
+  QCheck.Test.make ~name:"compiler output always verifies" ~count:50 (QCheck.make gen_src)
+    (fun src ->
+      let obj = compile src in
+      match verify_obj obj with Ok _ -> true | Error _ -> false)
+
+let qcheck_random_bytes_never_crash =
+  QCheck.Test.make ~name:"verifier total on random bytes" ~count:100
+    QCheck.(pair small_nat (list_of_size (QCheck.Gen.int_range 1 200) (int_bound 255)))
+    (fun (_, byte_list) ->
+      let text = Bytes.of_string (String.init (List.length byte_list) (fun i -> Char.chr (List.nth byte_list i))) in
+      let base = compile ~policies:Policy.Set.p1 sample in
+      let obj = { base with Objfile.text } in
+      match verify_obj ~policies:Policy.Set.p1 obj with Ok _ -> true | Error _ -> true)
+
+(* The soundness property behind the whole design: whatever single-bit
+   corruption the provider ships, IF the verifier accepts it, running it
+   must not leak a byte out of the enclave. *)
+let qcheck_accepted_mutants_do_not_leak =
+  QCheck.Test.make ~name:"accepted mutants never leak" ~count:40
+    QCheck.(pair small_nat (int_bound 7))
+    (fun (pos_seed, bit) ->
+      let obj = compile ~policies:Policy.Set.p1_p5 sample in
+      let text = Bytes.copy obj.Objfile.text in
+      let pos = pos_seed * 6151 mod Bytes.length text in
+      Bytes.set text pos (Char.chr (Char.code (Bytes.get text pos) lxor (1 lsl bit)));
+      let mutated = { obj with Objfile.text } in
+      match verify_obj ~policies:Policy.Set.p1_p5 mutated with
+      | Error _ -> true (* rejected: fine *)
+      | Ok _ -> (
+        (* accepted: it must run without leaking (aborts/faults are fine) *)
+        let config =
+          {
+            Helpers.Bootstrap.default_config with
+            Helpers.Bootstrap.policies = Policy.Set.p1_p5;
+            interp =
+              { Helpers.Interp.default_config with Helpers.Interp.instr_limit = 2_000_000 };
+          }
+        in
+        let d = Helpers.deliver_obj ~config mutated in
+        match Helpers.run_delivered d with
+        | Error _ -> true
+        | Ok stats -> stats.Helpers.Bootstrap.leaked_bytes = 0))
+
+let suite =
+  [
+    Alcotest.test_case "accepts compiler output (all policies)" `Quick
+      test_accepts_compiler_output_all_policies;
+    Alcotest.test_case "report counts" `Quick test_report_counts;
+    Alcotest.test_case "rejects unannotated store" `Quick test_rejects_unannotated_store;
+    Alcotest.test_case "rejects bare ret" `Quick test_rejects_bare_ret;
+    Alcotest.test_case "rejects missing ssa" `Quick test_rejects_missing_ssa;
+    Alcotest.test_case "rejects unchecked indirect" `Quick test_rejects_unchecked_indirect;
+    Alcotest.test_case "rejects R15 write" `Quick test_rejects_r15_write;
+    Alcotest.test_case "rejects branch into annotation" `Quick
+      test_rejects_branch_into_annotation;
+    Alcotest.test_case "rejects truncated text" `Quick test_rejects_truncated_text;
+    Alcotest.test_case "rejects missing stub" `Quick test_rejects_missing_stub;
+    Alcotest.test_case "rejects tampered magic" `Quick test_rejects_tampered_magic;
+    Alcotest.test_case "rejects bad branch list" `Quick test_rejects_branch_list_nonfunction;
+    Alcotest.test_case "rejects flow off end" `Quick test_rejects_flow_off_end;
+    Alcotest.test_case "rejects undecodable bytes" `Quick test_rejects_undecodable_reachable_bytes;
+    Alcotest.test_case "P6 straight-line budget" `Quick test_p6_straight_line_budget;
+    Alcotest.test_case "P6 loop head must be inspected" `Quick test_p6_loop_head_must_be_inspected;
+    QCheck_alcotest.to_alcotest qcheck_verifier_total;
+    QCheck_alcotest.to_alcotest qcheck_verifier_random_sources_accepted;
+    QCheck_alcotest.to_alcotest qcheck_random_bytes_never_crash;
+    QCheck_alcotest.to_alcotest qcheck_accepted_mutants_do_not_leak;
+  ]
