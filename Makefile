@@ -1,0 +1,26 @@
+# Convenience targets around dune. `make check` is the full gate: build,
+# the complete test suite, a quick benchmark pass, and a schema check on
+# the machine-readable results it must have produced.
+
+.PHONY: all build test bench check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+check:
+	dune build
+	dune runtest
+	dune exec bench/main.exe -- --quick table2
+	dune exec bin/json_check.exe -- --bench bench/results/latest.json
+
+clean:
+	dune clean
+	rm -rf bench/results

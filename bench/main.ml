@@ -9,20 +9,73 @@
 
    Overheads are deterministic virtual-cycle ratios (see DESIGN.md);
    absolute magnitudes need not match the paper's SGX testbed, the shapes
-   must. Paper reference values are printed side by side. *)
+   must. Paper reference values are printed side by side.
+
+   Besides the console tables, every run writes its results as JSON to
+   bench/results/latest.json (plus a timestamped copy) under the
+   deflection-bench/1 schema; `json_check --bench` gates on it. *)
 
 module W = Deflection_workloads
 module Policy = Deflection_policy.Policy
 module Tcb = Deflection_runtimes.Tcb
 module Shield = Deflection_runtimes.Shield
+module Telemetry = Deflection_telemetry.Telemetry
+module Json = Deflection_telemetry.Json
 
 let quick = ref false
 let printf = Printf.printf
 
 let hr title = printf "\n%s\n%s\n" title (String.make (min 78 (String.length title)) '=')
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results + bench-wide telemetry *)
+
+(* one registry across the whole run: counters aggregate over every
+   session the harness executes *)
+let tm = Telemetry.create ()
+
+let results : (string * Json.t) list ref = ref []
+let record section json = results := (section, json) :: !results
+
+let results_dir = Filename.concat "bench" "results"
+
+let ensure_dir d = try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let write_results () =
+  ensure_dir "bench";
+  ensure_dir results_dir;
+  let now = Unix.time () in
+  let snap = Telemetry.snapshot tm in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "deflection-bench/1");
+        ("generated_unix", Json.Int (int_of_float now));
+        ("quick", Json.Bool !quick);
+        ("sections", Json.Obj (List.rev !results));
+        ( "telemetry",
+          Json.Obj
+            [
+              ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) snap.Telemetry.counters));
+            ] );
+      ]
+  in
+  let write path =
+    let oc = open_out path in
+    Json.to_channel ~pretty:true oc doc;
+    close_out oc
+  in
+  let latest = Filename.concat results_dir "latest.json" in
+  let stamped = Filename.concat results_dir (Printf.sprintf "results-%.0f.json" now) in
+  write latest;
+  write stamped;
+  printf "\nresults written to %s (copy: %s)\n" latest stamped
+
+(* ------------------------------------------------------------------ *)
+(* Shared measurement helpers *)
+
 let run_workload ~policies ?(inputs = []) src =
-  match W.Runner.run ~policies ~inputs src with
+  match W.Runner.run ~policies ~inputs ~tm src with
   | Ok m -> m
   | Error e -> failwith ("bench workload failed: " ^ e)
 
@@ -30,6 +83,29 @@ let overhead_pct ~base m =
   100.0
   *. (float_of_int m.W.Runner.cycles -. float_of_int base.W.Runner.cycles)
   /. float_of_int base.W.Runner.cycles
+
+(* The one measured policy sweep every overhead experiment is built on:
+   run the baseline and each instrumented setting through the full
+   session, check the instrumented outputs never diverge, and return the
+   overhead per setting. *)
+let policy_sweep ?(inputs = []) ~what src =
+  let base = run_workload ~policies:Policy.Set.none ~inputs src in
+  let rows =
+    List.map
+      (fun (label, pset) ->
+        let m = run_workload ~policies:pset ~inputs src in
+        if m.W.Runner.outputs <> base.W.Runner.outputs then
+          failwith (what ^ ": output diverged under " ^ label);
+        (label, m, overhead_pct ~base m))
+      (List.tl W.Runner.settings)
+  in
+  (base, rows)
+
+let sweep_json ~base rows extra =
+  Json.Obj
+    (extra
+    @ [ ("base_cycles", Json.Int base.W.Runner.cycles) ]
+    @ List.map (fun (label, _, o) -> ("overhead_" ^ label, Json.Float o)) rows)
 
 (* ------------------------------------------------------------------ *)
 (* Table I: TCB comparison *)
@@ -54,8 +130,14 @@ let table1 () =
   printf "\nThis reproduction's trusted consumer (measured from the OCaml sources):\n";
   let repro = Tcb.reproduction_components () in
   List.iter (fun (c : Tcb.component) -> printf "  %-58s %6.2f kLoC\n" c.Tcb.cname c.Tcb.kloc) repro;
-  printf "  %-58s %6.2f kLoC\n" "(total; paper's loader/verifier/RA is 1.5 kLoC)"
-    (List.fold_left (fun a (c : Tcb.component) -> a +. c.Tcb.kloc) 0.0 repro)
+  let repro_total = List.fold_left (fun a (c : Tcb.component) -> a +. c.Tcb.kloc) 0.0 repro in
+  printf "  %-58s %6.2f kLoC\n" "(total; paper's loader/verifier/RA is 1.5 kLoC)" repro_total;
+  record "table1"
+    (Json.Obj
+       (List.map
+          (fun (r : Tcb.runtime) -> (r.Tcb.rname, Json.Float (Tcb.total_kloc r)))
+          Tcb.paper_table
+       @ [ ("reproduction_consumer", Json.Float repro_total) ]))
 
 (* ------------------------------------------------------------------ *)
 (* Table II: nBench under P1 / P1+P2 / P1-P5 / P1-P6 *)
@@ -76,63 +158,70 @@ let table2 () =
     if !quick then [ List.nth W.Nbench.all 0; List.nth W.Nbench.all 5 ] else W.Nbench.all
   in
   let acc = ref [] in
+  let rows = ref [] in
   List.iter
     (fun (b : W.Nbench.benchmark) ->
-      let base = run_workload ~policies:Policy.Set.none b.W.Nbench.source in
-      let m1 = run_workload ~policies:Policy.Set.p1 b.W.Nbench.source in
-      let m2 = run_workload ~policies:Policy.Set.p1_p2 b.W.Nbench.source in
-      let m5 = run_workload ~policies:Policy.Set.p1_p5 b.W.Nbench.source in
-      let m6 = run_workload ~policies:Policy.Set.p1_p6 b.W.Nbench.source in
-      List.iter
-        (fun (m : W.Runner.measurement) ->
-          if m.W.Runner.outputs <> base.W.Runner.outputs then
-            failwith (b.W.Nbench.name ^ ": output diverged under instrumentation"))
-        [ m1; m2; m5; m6 ];
-      let o1 = overhead_pct ~base m1
-      and o2 = overhead_pct ~base m2
-      and o5 = overhead_pct ~base m5
-      and o6 = overhead_pct ~base m6 in
+      let base, sweep = policy_sweep ~what:b.W.Nbench.name b.W.Nbench.source in
+      let ovh label = match List.find_opt (fun (l, _, _) -> l = label) sweep with
+        | Some (_, _, o) -> o
+        | None -> nan
+      in
+      let o1 = ovh "P1" and o2 = ovh "P1+P2" and o5 = ovh "P1-P5" and o6 = ovh "P1-P6" in
       let p1, p2, p5, p6 = b.W.Nbench.paper_overheads in
       acc := (o1, o2, o5, o6) :: !acc;
+      rows := (b.W.Nbench.name, sweep_json ~base sweep []) :: !rows;
       printf
         "%-16s | %+7.2f%%/%+6.2f%% | %+7.2f%%/%+6.2f%% | %+7.2f%%/%+6.2f%% | %+7.2f%%/%+6.2f%%\n"
         b.W.Nbench.name o1 p1 o2 p2 o5 p5 o6 p6)
     benches;
   let col f = List.map f !acc in
   printf "%s\n" (String.make 95 '-');
+  let g1 = geo_mean (col (fun (a, _, _, _) -> a)) in
+  let g2 = geo_mean (col (fun (_, a, _, _) -> a)) in
+  let g5 = geo_mean (col (fun (_, _, a, _) -> a)) in
+  let g6 = geo_mean (col (fun (_, _, _, a) -> a)) in
   printf "%-16s | %9.2f%%        | %9.2f%%        | %9.2f%%        | %9.2f%%\n" "geo-mean (ours)"
-    (geo_mean (col (fun (a, _, _, _) -> a)))
-    (geo_mean (col (fun (_, a, _, _) -> a)))
-    (geo_mean (col (fun (_, _, a, _) -> a)))
-    (geo_mean (col (fun (_, _, _, a) -> a)));
-  printf "(paper: ~10%% geo-mean without side-channel mitigation, ~20%% with P1-P6)\n"
+    g1 g2 g5 g6;
+  printf "(paper: ~10%% geo-mean without side-channel mitigation, ~20%% with P1-P6)\n";
+  record "table2"
+    (Json.Obj
+       (List.rev !rows
+       @ [
+           ( "geo_mean",
+             Json.Obj
+               [
+                 ("P1", Json.Float g1);
+                 ("P1+P2", Json.Float g2);
+                 ("P1-P5", Json.Float g5);
+                 ("P1-P6", Json.Float g6);
+               ] );
+         ]))
 
 (* ------------------------------------------------------------------ *)
 (* Figures 7/8/9: overhead sweeps *)
 
-let sweep_figure ~title ~xlabel ~xs ~make =
+let sweep_figure ~section ~title ~xlabel ~xs ~make =
   hr title;
   printf "%-10s | %12s | %9s %9s %9s %9s\n" xlabel "base cycles" "P1" "P1+P2" "P1-P5" "P1-P6";
   printf "%s\n" (String.make 70 '-');
-  List.iter
-    (fun x ->
-      let src, inputs = make x in
-      let base = run_workload ~policies:Policy.Set.none ~inputs src in
-      let one pset =
-        let m = run_workload ~policies:pset ~inputs src in
-        if m.W.Runner.outputs <> base.W.Runner.outputs then failwith (title ^ ": output diverged");
-        overhead_pct ~base m
-      in
-      let a = one Policy.Set.p1 in
-      let b = one Policy.Set.p1_p2 in
-      let c = one Policy.Set.p1_p5 in
-      let d = one Policy.Set.p1_p6 in
-      printf "%-10d | %12d | %+8.1f%% %+8.1f%% %+8.1f%% %+8.1f%%\n" x base.W.Runner.cycles a b c d)
-    xs
+  let rows =
+    List.map
+      (fun x ->
+        let src, inputs = make x in
+        let base, sweep = policy_sweep ~inputs ~what:title src in
+        (match List.map (fun (_, _, o) -> o) sweep with
+        | [ a; b; c; d ] ->
+          printf "%-10d | %12d | %+8.1f%% %+8.1f%% %+8.1f%% %+8.1f%%\n" x base.W.Runner.cycles a
+            b c d
+        | _ -> assert false);
+        sweep_json ~base sweep [ (xlabel, Json.Int x) ])
+      xs
+  in
+  record section (Json.List rows)
 
 let fig7 () =
   let xs = if !quick then [ 50; 200 ] else [ 50; 100; 200; 400; 700 ] in
-  sweep_figure
+  sweep_figure ~section:"fig7"
     ~title:
       "Figure 7: sequence alignment (Needleman-Wunsch), overhead vs input length\n\
        (paper: <= ~20% at small inputs; ~19.7% P1+P2 / ~22.2% P1-P5 at >= 500B)"
@@ -144,7 +233,7 @@ let fig7 () =
 
 let fig8 () =
   let xs = if !quick then [ 1000; 20000 ] else [ 1000; 10000; 50000; 200000 ] in
-  sweep_figure
+  sweep_figure ~section:"fig8"
     ~title:
       "Figure 8: sequence generation, overhead vs output size (nucleotides)\n\
        (paper: P1 ~5-7%; <=20% at 200K; ~25% with side-channel mitigation)"
@@ -153,7 +242,7 @@ let fig8 () =
 
 let fig9 () =
   let xs = if !quick then [ 500; 5000 ] else [ 500; 2000; 10000; 40000 ] in
-  sweep_figure
+  sweep_figure ~section:"fig9"
     ~title:
       "Figure 9: credit scoring (BP network), overhead vs scored records\n\
        (paper: ~15% at 1K-10K records under P1-P5; <20% beyond 50K)"
@@ -185,6 +274,7 @@ let fig10 () =
   printf "%s\n" (String.make 95 '-');
   let concurrencies = [ 25; 50; 75; 100; 150; 200; 250 ] in
   let resp_ovhs = ref [] in
+  let rows = ref [] in
   List.iter
     (fun c ->
       let b = W.Https.closed_loop ~service_cycles:s_base ~concurrency:c () in
@@ -197,11 +287,27 @@ let fig10 () =
         /. b.W.Https.throughput_rps
       in
       resp_ovhs := ro :: !resp_ovhs;
+      rows :=
+        Json.Obj
+          [
+            ("concurrency", Json.Int c);
+            ("response_overhead_pct", Json.Float ro);
+            ("throughput_overhead_pct", Json.Float to_);
+          ]
+        :: !rows;
       printf "%-6d | %14.3f %14.3f %+7.1f%% | %14.0f %14.0f %+7.1f%%\n" c b.W.Https.response_ms
         f.W.Https.response_ms ro b.W.Https.throughput_rps f.W.Https.throughput_rps to_)
     concurrencies;
   let mean = List.fold_left ( +. ) 0.0 !resp_ovhs /. float_of_int (List.length !resp_ovhs) in
-  printf "mean response-time overhead: %.1f%% (paper: 14.1%%)\n" mean
+  printf "mean response-time overhead: %.1f%% (paper: 14.1%%)\n" mean;
+  record "fig10"
+    (Json.Obj
+       [
+         ("per_request_base_cycles", Json.Float s_base);
+         ("per_request_p1p6_cycles", Json.Float s_full);
+         ("mean_response_overhead_pct", Json.Float mean);
+         ("points", Json.List (List.rev !rows));
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Figure 11: HTTPS transfer rate vs file size across runtimes *)
@@ -233,6 +339,7 @@ let fig11 () =
   printf "%-10s |" "size";
   List.iter (fun (m : Shield.model) -> printf " %14s" m.Shield.sname) models;
   printf "   (MB/s)\n%s\n" (String.make 75 '-');
+  let sizes = [ 1024; 10240; 102400; 512000; 1 lsl 20 ] in
   List.iter
     (fun size ->
       printf "%-10s |"
@@ -240,7 +347,7 @@ let fig11 () =
          else Printf.sprintf "%dK" (size lsr 10));
       List.iter (fun m -> printf " %14.1f" (Shield.transfer_rate_mbps m ~file_bytes:size)) models;
       printf "\n")
-    [ 1024; 10240; 102400; 512000; 1 lsl 20 ];
+    sizes;
   let r m s = Shield.transfer_rate_mbps m ~file_bytes:s in
   printf "\nDEFLECTION/native at 1 MiB: %.0f%% (paper: ~77%%)\n"
     (100.0 *. r Shield.deflection (1 lsl 20) /. r Shield.native (1 lsl 20));
@@ -250,7 +357,25 @@ let fig11 () =
        else if r Shield.deflection s > r Shield.graphene s then Printf.sprintf "~%d KiB" (s / 1024)
        else find (s * 2)
      in
-     find 1024)
+     find 1024);
+  record "fig11"
+    (Json.Obj
+       [
+         ("measured_per_byte_ratio", Json.Float (db /. nb));
+         ( "rates_mbps",
+           Json.List
+             (List.map
+                (fun size ->
+                  Json.Obj
+                    (("file_bytes", Json.Int size)
+                    :: List.map
+                         (fun (m : Shield.model) ->
+                           (m.Shield.sname, Json.Float (r m size)))
+                         models))
+                sizes) );
+         ( "deflection_vs_native_1mib_pct",
+           Json.Float (100.0 *. r Shield.deflection (1 lsl 20) /. r Shield.native (1 lsl 20)) );
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: the design choices DESIGN.md calls out *)
@@ -260,20 +385,24 @@ let ablation () =
   let src = (List.nth W.Nbench.all 0).W.Nbench.source in
   let base = run_workload ~policies:Policy.Set.none src in
   printf "%-6s | %10s | %s\n" "q" "overhead" "(denser inspection = tighter AEX detection, more cycles)";
-  List.iter
-    (fun q ->
-      match
-        W.Runner.run ~policies:Policy.Set.p1_p6 src |> fun _ ->
-        (* re-run with explicit q through the full session *)
-        Deflection.Session.run ~policies:Policy.Set.p1_p6 ~ssa_q:q ~source:src ~inputs:[] ()
-      with
-      | Error e -> failwith e
-      | Ok o ->
-        printf "%-6d | %+9.1f%% |\n" q
-          (100.0
-          *. (float_of_int o.Deflection.Session.cycles -. float_of_int base.W.Runner.cycles)
-          /. float_of_int base.W.Runner.cycles))
-    [ 10; 20; 40; 80 ];
+  let q_rows =
+    List.map
+      (fun q ->
+        match
+          Deflection.Session.run ~policies:Policy.Set.p1_p6 ~ssa_q:q ~tm ~source:src ~inputs:[]
+            ()
+        with
+        | Error e -> failwith (Deflection.Session.error_to_string e)
+        | Ok o ->
+          let ovh =
+            100.0
+            *. (float_of_int o.Deflection.Session.cycles -. float_of_int base.W.Runner.cycles)
+            /. float_of_int base.W.Runner.cycles
+          in
+          printf "%-6d | %+9.1f%% |\n" q ovh;
+          Json.Obj [ ("q", Json.Int q); ("overhead_pct", Json.Float ovh) ])
+      [ 10; 20; 40; 80 ]
+  in
 
   hr "Ablation B: CFI branch-table size (ASSIGNMENT, P1-P5)";
   printf "the linear-scan check costs O(table size) per indirect branch\n";
@@ -308,29 +437,48 @@ let ablation () =
     Printf.sprintf "fnptr sink[32];\n%s\n%s" fns body
   in
   let base_a = run_workload ~policies:Policy.Set.none (List.nth W.Nbench.all 5).W.Nbench.source in
-  List.iter
-    (fun extra ->
-      let src = asrc extra in
-      let m = run_workload ~policies:Policy.Set.p1_p5 src in
-      printf "table size %-3d | P1-P5 overhead %+7.1f%%\n" (4 + extra)
-        (overhead_pct ~base:base_a m))
-    [ 0; 8; 24 ];
+  let table_rows =
+    List.map
+      (fun extra ->
+        let src = asrc extra in
+        let m = run_workload ~policies:Policy.Set.p1_p5 src in
+        let ovh = overhead_pct ~base:base_a m in
+        printf "table size %-3d | P1-P5 overhead %+7.1f%%\n" (4 + extra) ovh;
+        Json.Obj [ ("table_size", Json.Int (4 + extra)); ("overhead_pct", Json.Float ovh) ])
+      [ 0; 8; 24 ]
+  in
 
   hr "Ablation C: code-generator optimization (NUMERIC SORT, text bytes + cycles)";
-  List.iter
-    (fun optimize ->
-      let obj =
-        Deflection_compiler.Frontend.compile_exn ~policies:Policy.Set.p1_p6 ~optimize src
-      in
-      match
-        Deflection.Session.run ~policies:Policy.Set.p1_p6 ~optimize ~source:src ~inputs:[] ()
-      with
-      | Error e -> failwith e
-      | Ok o ->
-        printf "optimize=%-5b | text %6d bytes | %9d cycles\n" optimize
-          (Bytes.length obj.Deflection_compiler.Frontend.Objfile.text)
-          o.Deflection.Session.cycles)
-    [ false; true ]
+  let opt_rows =
+    List.map
+      (fun optimize ->
+        let obj =
+          Deflection_compiler.Frontend.compile_exn ~policies:Policy.Set.p1_p6 ~optimize src
+        in
+        match
+          Deflection.Session.run ~policies:Policy.Set.p1_p6 ~optimize ~tm ~source:src
+            ~inputs:[] ()
+        with
+        | Error e -> failwith (Deflection.Session.error_to_string e)
+        | Ok o ->
+          printf "optimize=%-5b | text %6d bytes | %9d cycles\n" optimize
+            (Bytes.length obj.Deflection_compiler.Frontend.Objfile.text)
+            o.Deflection.Session.cycles;
+          Json.Obj
+            [
+              ("optimize", Json.Bool optimize);
+              ("text_bytes", Json.Int (Bytes.length obj.Deflection_compiler.Frontend.Objfile.text));
+              ("cycles", Json.Int o.Deflection.Session.cycles);
+            ])
+      [ false; true ]
+  in
+  record "ablation"
+    (Json.Obj
+       [
+         ("ssa_q", Json.List q_rows);
+         ("cfi_table", Json.List table_rows);
+         ("optimization", Json.List opt_rows);
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Architectural comparison (paper Section VIII): verified native
@@ -344,22 +492,32 @@ let related () =
      for the same confinement)";
   printf "%-16s | %14s | %16s | %9s\n" "Program" "DEFLECTION cyc" "interpreter cyc" "slowdown";
   printf "%s\n" (String.make 66 '-');
-  List.iter
-    (fun name ->
-      let b = Option.get (W.Nbench.find name) in
-      let native = run_workload ~policies:Policy.Set.p1_p6 b.W.Nbench.source in
-      match Deflection_runtimes.Interp_baseline.run b.W.Nbench.source with
-      | Error e -> failwith e
-      | Ok (icycles, outputs) ->
-        if outputs <> native.W.Runner.outputs then failwith (name ^ ": interpreter diverged");
-        printf "%-16s | %14d | %16d | %8.1fx\n" name native.W.Runner.cycles icycles
-          (float_of_int icycles /. float_of_int native.W.Runner.cycles))
-    [ "NUMERIC SORT"; "ASSIGNMENT"; "FOURIER" ];
+  let rows =
+    List.map
+      (fun name ->
+        let b = Option.get (W.Nbench.find name) in
+        let native = run_workload ~policies:Policy.Set.p1_p6 b.W.Nbench.source in
+        match Deflection_runtimes.Interp_baseline.run b.W.Nbench.source with
+        | Error e -> failwith e
+        | Ok (icycles, outputs) ->
+          if outputs <> native.W.Runner.outputs then failwith (name ^ ": interpreter diverged");
+          let slowdown = float_of_int icycles /. float_of_int native.W.Runner.cycles in
+          printf "%-16s | %14d | %16d | %8.1fx\n" name native.W.Runner.cycles icycles slowdown;
+          Json.Obj
+            [
+              ("program", Json.Str name);
+              ("deflection_cycles", Json.Int native.W.Runner.cycles);
+              ("interpreter_cycles", Json.Int icycles);
+              ("slowdown", Json.Float slowdown);
+            ])
+      [ "NUMERIC SORT"; "ASSIGNMENT"; "FOURIER" ]
+  in
   printf
     "\nTCB delta: the interpreter architecture moves the whole frontend (%.1f kLoC)\n\
      inside the enclave; DEFLECTION's verifier is ~0.8 kLoC and the compiler stays\n\
      untrusted.\n"
-    Deflection_runtimes.Interp_baseline.tcb_kloc
+    Deflection_runtimes.Interp_baseline.tcb_kloc;
+  record "related" (Json.List rows)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock micro-benchmarks: one per table/figure pipeline *)
@@ -410,6 +568,7 @@ let micro () =
     ]
   in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let rows = ref [] in
   List.iter
     (fun t ->
       let results = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] t in
@@ -421,10 +580,13 @@ let micro () =
       Hashtbl.iter
         (fun name ols ->
           match Analyze.OLS.estimates ols with
-          | Some [ est ] -> printf "  %-30s %12.0f ns/run\n" name est
+          | Some [ est ] ->
+            rows := (name, Json.Float est) :: !rows;
+            printf "  %-30s %12.0f ns/run\n" name est
           | Some _ | None -> printf "  %-30s (no estimate)\n" name)
         analyzed)
-    tests
+    tests;
+  record "micro" (Json.Obj (List.rev !rows))
 
 (* ------------------------------------------------------------------ *)
 
@@ -452,4 +614,5 @@ let () =
   in
   printf "DEFLECTION evaluation reproduction (deterministic virtual cycles)\n";
   List.iter (fun (_, f) -> f ()) selected;
+  write_results ();
   printf "\nDone.\n"

@@ -15,6 +15,8 @@ module Frontend = Deflection_compiler.Frontend
 module Objfile = Deflection_isa.Objfile
 module Verifier = Deflection_verifier.Verifier
 module Interp = Deflection_runtime.Interp
+module Telemetry = Deflection_telemetry.Telemetry
+module Json = Deflection_telemetry.Json
 
 let policy_set_conv =
   let parse s =
@@ -116,14 +118,68 @@ let run_cmd =
       value & opt_all file []
       & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Data-owner input chunk (one per recv).")
   in
-  let action source input_files policies ssa_q =
+  let trace =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record the session's span tree and trace events. Without $(docv) (or with -), \
+             print a human-readable span tree on stdout; with $(docv), write a Chrome \
+             trace_event JSON loadable in about://tracing / Perfetto.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Record the session's counters and histograms. Without $(docv) (or with -), print \
+             them on stdout; with $(docv), write the full telemetry snapshot as JSON.")
+  in
+  let action source input_files policies ssa_q trace metrics =
     let inputs = List.map (fun f -> Bytes.of_string (read_file f)) input_files in
+    let tm =
+      match (trace, metrics) with
+      | None, None -> Telemetry.create ()
+      | _ ->
+        (* a tracing sink only when the user asked for observation *)
+        Telemetry.create ~sink:(Telemetry.Sink.ring ~capacity:65536) ()
+    in
+    let dump () =
+      let snap = Telemetry.snapshot tm in
+      let write_json what file doc =
+        try
+          let oc = open_out file in
+          Json.to_channel ~pretty:true oc doc;
+          close_out oc;
+          Format.eprintf "%s written to %s@." what file
+        with Sys_error e -> Format.eprintf "cannot write %s: %s@." what e
+      in
+      (match trace with
+      | None -> ()
+      | Some "-" -> Format.printf "%a@." Telemetry.pp_snapshot snap
+      | Some file -> write_json "trace" file (Telemetry.chrome_trace snap));
+      match metrics with
+      | None -> ()
+      | Some "-" ->
+        if trace <> Some "-" then Format.printf "%a@." Telemetry.pp_snapshot snap
+      | Some file -> write_json "metrics" file (Telemetry.snapshot_to_json snap)
+    in
     match
-      Deflection.Session.run ~policies ~ssa_q ~source:(read_file source) ~inputs ()
+      Deflection.Session.run ~policies ~ssa_q ~tm ~source:(read_file source) ~inputs ()
     with
     | Error e ->
-      Format.eprintf "session failed: %s@." e;
-      exit 1
+      Format.eprintf "session failed: %a@." Deflection.Session.pp_error e;
+      dump ();
+      (* structured exit codes so scripts can tell the stages apart *)
+      exit
+        (match e with
+        | Deflection.Session.Verifier_rejection _ -> 2
+        | Deflection.Session.Compile_error _ -> 3
+        | Deflection.Session.Attestation_error _ -> 4
+        | Deflection.Session.Runtime_error _ -> 5
+        | _ -> 1)
     | Ok o ->
       Format.printf "verifier: %a@." Verifier.pp_report o.Deflection.Session.verifier_report;
       Format.printf "exit: %a | cycles=%d instructions=%d ocalls=%d aexes=%d leaked=%d@."
@@ -132,11 +188,19 @@ let run_cmd =
         o.Deflection.Session.aexes o.Deflection.Session.leaked_bytes;
       List.iteri
         (fun i out -> Format.printf "output[%d] = %S@." i (Bytes.to_string out))
-        o.Deflection.Session.outputs
+        o.Deflection.Session.outputs;
+      dump ()
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Run the full attested session on a MiniC service.")
-    Term.(const action $ src $ inputs $ policies_arg $ ssa_q_arg)
+    (Cmd.info "run" ~doc:"Run the full attested session on a MiniC service."
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "0 on success, 2 if the verifier rejected the binary, 3 on a compile error, 4 on \
+              an attestation failure, 5 on a runtime fault, 1 otherwise.";
+         ])
+    Term.(const action $ src $ inputs $ policies_arg $ ssa_q_arg $ trace $ metrics)
 
 let () =
   let info =

@@ -1,0 +1,58 @@
+(* json_check: smoke gate for machine-readable outputs.
+
+     json_check FILE            parse FILE as strict JSON, exit 1 on failure
+     json_check --bench FILE    additionally enforce the deflection-bench/1
+                                schema: schema/generated_unix/quick fields and
+                                a non-empty "sections" object whose every
+                                section is itself non-empty
+
+   Used by `make check` to fail the build when the benchmark harness
+   produced no (or malformed) bench/results/latest.json. *)
+
+module Json = Deflection_telemetry.Json
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
+
+let check_bench path json =
+  (match Json.member "schema" json with
+  | Some (Json.Str "deflection-bench/1") -> ()
+  | Some (Json.Str other) -> die "%s: unknown schema %S" path other
+  | _ -> die "%s: missing \"schema\" field" path);
+  (match Json.member "generated_unix" json with
+  | Some (Json.Int _ | Json.Float _) -> ()
+  | _ -> die "%s: missing numeric \"generated_unix\" field" path);
+  (match Json.member "quick" json with
+  | Some (Json.Bool _) -> ()
+  | _ -> die "%s: missing boolean \"quick\" field" path);
+  match Json.member "sections" json with
+  | Some (Json.Obj []) -> die "%s: \"sections\" is empty — no benchmark recorded results" path
+  | Some (Json.Obj sections) ->
+    List.iter
+      (fun (name, body) ->
+        match body with
+        | Json.Obj [] | Json.List [] -> die "%s: section %S is empty" path name
+        | Json.Obj _ | Json.List _ -> ()
+        | _ -> die "%s: section %S is not an object or array" path name)
+      sections;
+    Printf.printf "%s: ok (%d sections: %s)\n" path (List.length sections)
+      (String.concat ", " (List.map fst sections))
+  | _ -> die "%s: missing \"sections\" object" path
+
+let () =
+  let bench, path =
+    match Array.to_list Sys.argv with
+    | [ _; "--bench"; path ] -> (true, path)
+    | [ _; path ] -> (false, path)
+    | _ -> die "usage: json_check [--bench] FILE"
+  in
+  let contents = try read_file path with Sys_error e -> die "%s" e in
+  match Json.parse contents with
+  | Error e -> die "%s: invalid JSON: %s" path e
+  | Ok json -> if bench then check_bench path json else Printf.printf "%s: ok\n" path

@@ -93,13 +93,13 @@ let () =
   let enclave1, result1 = deliver ~policies:Policy.Set.p1 (build ~instrument:false ~policies:Policy.Set.p1) in
   ignore enclave1;
   (match result1 with
-  | Error e -> Printf.printf "  -> statically REJECTED: %s\n\n" e
+  | Error e -> Printf.printf "  -> statically REJECTED: %s\n\n" (Bootstrap.ecall_error_to_string e)
   | Ok _ -> failwith "verifier accepted an unannotated store!");
 
   print_endline "Scenario 2: same logic, honestly instrumented, under P1 enforcement";
   let enclave2, result2 = deliver ~policies:Policy.Set.p1 (build ~instrument:true ~policies:Policy.Set.p1) in
   (match result2 with
-  | Error e -> failwith ("expected acceptance: " ^ e)
+  | Error e -> failwith ("expected acceptance: " ^ Bootstrap.ecall_error_to_string e)
   | Ok (report, _) ->
     Format.printf "  -> accepted (%a)@." Deflection.Session.Verifier.pp_report report;
     (match Bootstrap.run enclave2 with
@@ -107,19 +107,19 @@ let () =
       Format.printf "  -> runtime: %a, %d bytes leaked\n@." Interp.pp_exit_reason
         stats.Bootstrap.exit stats.Bootstrap.leaked_bytes;
       assert (stats.Bootstrap.leaked_bytes = 0)
-    | Error e -> failwith e));
+    | Error e -> failwith (Bootstrap.ecall_error_to_string e)));
 
   print_endline "Scenario 3: ground truth - a no-policy bootstrap loads it blindly";
   let enclave3, result3 =
     deliver ~policies:Policy.Set.none (build ~instrument:false ~policies:Policy.Set.none)
   in
   (match result3 with
-  | Error e -> failwith ("unexpected rejection: " ^ e)
+  | Error e -> failwith ("unexpected rejection: " ^ Bootstrap.ecall_error_to_string e)
   | Ok _ ->
     (match Bootstrap.run enclave3 with
     | Ok stats ->
       Format.printf "  -> runtime: %a, %d bytes LEAKED to host memory@." Interp.pp_exit_reason
         stats.Bootstrap.exit stats.Bootstrap.leaked_bytes;
       assert (stats.Bootstrap.leaked_bytes > 0)
-    | Error e -> failwith e));
+    | Error e -> failwith (Bootstrap.ecall_error_to_string e)));
   print_endline "\nDEFLECTION: the same attack, stopped twice; the baseline shows it was real."

@@ -19,7 +19,7 @@ let () =
   let source = W.Genome.alignment_source ~n in
   match Deflection.Session.run ~source ~inputs:[ seq1; seq2 ] () with
   | Error e ->
-    prerr_endline ("session failed: " ^ e);
+    prerr_endline ("session failed: " ^ Deflection.Session.error_to_string e);
     exit 1
   | Ok o ->
     Format.printf "verifier accepted the proprietary binary: %a@."

@@ -42,7 +42,7 @@ let series label values =
   List.iteri (fun i v -> Bytes.set payload i (Char.chr v)) values;
   match Deflection.Session.run ~source:service ~inputs:[ payload ] () with
   | Error e ->
-    prerr_endline e;
+    prerr_endline (Deflection.Session.error_to_string e);
     exit 1
   | Ok o ->
     let risk = Bytes.to_string (List.hd o.Deflection.Session.outputs) in

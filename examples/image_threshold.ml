@@ -70,7 +70,7 @@ let () =
   render "input (secret patient scan):" img 100;
   match Deflection.Session.run ~source:service ~inputs:[ img ] () with
   | Error e ->
-    prerr_endline e;
+    prerr_endline (Deflection.Session.error_to_string e);
     exit 1
   | Ok o ->
     let out = List.hd o.Deflection.Session.outputs in

@@ -29,7 +29,7 @@ let run query =
     Deflection.Session.run ~manifest ~oram_capacity:32 ~source:(service query) ~inputs:[] ()
   with
   | Error e ->
-    prerr_endline e;
+    prerr_endline (Deflection.Session.error_to_string e);
     exit 1
   | Ok o -> o
 

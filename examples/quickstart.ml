@@ -22,7 +22,7 @@ let () =
   let input = Bytes.of_string "\001\002\003\004" in
   match Deflection.Session.run ~source ~inputs:[ input ] () with
   | Error e ->
-    prerr_endline ("session failed: " ^ e);
+    prerr_endline ("session failed: " ^ Deflection.Session.error_to_string e);
     exit 1
   | Ok o ->
     Format.printf "verifier: %a@." Deflection.Session.Verifier.pp_report o.verifier_report;

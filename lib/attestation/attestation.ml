@@ -4,6 +4,7 @@ module Channel = Deflection_crypto.Channel
 module Dh = Deflection_crypto.Dh
 module Bignum = Deflection_crypto.Bignum
 module B = Deflection_util.Bytebuf
+module Telemetry = Deflection_telemetry.Telemetry
 
 module Quote = struct
   type t = { measurement : bytes; report_data : bytes; signature : bytes }
@@ -97,7 +98,8 @@ module Ratls = struct
     let kp = Dh.generate prng in
     ({ party_public = kp.Dh.public }, kp)
 
-  let enclave_accept prng ~platform ~measurement ~role hello =
+  let enclave_accept ?(tm = Telemetry.disabled) prng ~platform ~measurement ~role hello =
+    Telemetry.span tm "attest.accept" @@ fun () ->
     let kp = Dh.generate prng in
     let report_data = report_data_for ~enclave_public:kp.Dh.public ~role in
     let quote = Platform.quote platform ~measurement ~report_data in
@@ -105,15 +107,23 @@ module Ratls = struct
     let session = sessions_of_secret ~secret ~role ~enclave_side:true in
     ({ quote; enclave_public = kp.Dh.public }, session)
 
-  let party_complete kp ~role ~ias ~expected_measurement (reply : reply) =
+  let party_complete ?(tm = Telemetry.disabled) kp ~role ~ias ~expected_measurement
+      (reply : reply) =
+    Telemetry.span tm "attest.complete" @@ fun () ->
+    let fail detail =
+      if Telemetry.tracing tm then
+        Telemetry.event tm "attest.failure"
+          ~args:[ ("role", role_label role); ("detail", detail) ];
+      Error detail
+    in
     let report = Ias.verify ias reply.quote in
-    if not report.Ias.ok then Error "attestation service rejected the quote"
+    if not report.Ias.ok then fail "attestation service rejected the quote"
     else if not (Bytes.equal report.Ias.measurement expected_measurement) then
-      Error "enclave measurement does not match the agreed bootstrap enclave"
+      fail "enclave measurement does not match the agreed bootstrap enclave"
     else begin
       let expected_rd = report_data_for ~enclave_public:reply.enclave_public ~role in
       if not (Bytes.equal report.Ias.report_data expected_rd) then
-        Error "quote is not bound to this key exchange"
+        fail "quote is not bound to this key exchange"
       else begin
         let secret = Dh.shared_secret kp reply.enclave_public in
         Ok (sessions_of_secret ~secret ~role ~enclave_side:false)

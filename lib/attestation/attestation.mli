@@ -52,18 +52,23 @@ module Ratls : sig
   val party_begin : Deflection_util.Prng.t -> hello * Deflection_crypto.Dh.keypair
 
   val enclave_accept :
+    ?tm:Deflection_telemetry.Telemetry.t ->
     Deflection_util.Prng.t ->
     platform:Platform.t ->
     measurement:bytes ->
     role:role ->
     hello ->
     reply * session
+  (** [tm] gets an ["attest.accept"] span. *)
 
   val party_complete :
+    ?tm:Deflection_telemetry.Telemetry.t ->
     Deflection_crypto.Dh.keypair ->
     role:role ->
     ias:Ias.t ->
     expected_measurement:bytes ->
     reply ->
     (session, string) result
+  (** [tm] gets an ["attest.complete"] span; verification failures emit an
+      ["attest.failure"] event. *)
 end

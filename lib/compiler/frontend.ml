@@ -1,21 +1,31 @@
 module Objfile = Deflection_isa.Objfile
 module Policy = Deflection_policy.Policy
+module Telemetry = Deflection_telemetry.Telemetry
 
 type error = { line : int; col : int; message : string }
 
 let pp_error fmt e = Format.fprintf fmt "%d:%d: %s" e.line e.col e.message
 
-let compile ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?(optimize = true) src =
+let compile ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?(optimize = true)
+    ?(tm = Telemetry.disabled) src =
+  Telemetry.span tm "compile" @@ fun () ->
   try
-    let ast = Parser.parse src in
-    let ast = if optimize then Opt.fold_program ast else ast in
-    let gen = Codegen.generate ast in
-    let items = if optimize then Opt.peephole gen.Codegen.items else gen.Codegen.items in
+    let ast = Telemetry.span tm "compile.parse" (fun () -> Parser.parse src) in
+    let ast =
+      if optimize then Telemetry.span tm "compile.fold" (fun () -> Opt.fold_program ast)
+      else ast
+    in
+    let gen = Telemetry.span tm "compile.codegen" (fun () -> Codegen.generate ast) in
+    let items =
+      if optimize then Telemetry.span tm "compile.peephole" (fun () -> Opt.peephole gen.Codegen.items)
+      else gen.Codegen.items
+    in
     let opts = { Instrument.policies; ssa_q } in
     let instrumented =
-      Instrument.run opts ~fun_symbols:gen.Codegen.fun_symbols ~entry:gen.Codegen.entry items
+      Telemetry.span tm "instrument" (fun () ->
+          Instrument.run opts ~fun_symbols:gen.Codegen.fun_symbols ~entry:gen.Codegen.entry items)
     in
-    Ok (Link.link gen ~instrumented ~policies ~ssa_q)
+    Ok (Telemetry.span tm "compile.link" (fun () -> Link.link gen ~instrumented ~policies ~ssa_q))
   with Ast.Error (pos, message) -> Error { line = pos.Ast.line; col = pos.Ast.col; message }
 
 let compile_exn ?policies ?ssa_q ?optimize src =

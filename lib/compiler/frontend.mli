@@ -12,11 +12,14 @@ val compile :
   ?policies:Deflection_policy.Policy.Set.t ->
   ?ssa_q:int ->
   ?optimize:bool ->
+  ?tm:Deflection_telemetry.Telemetry.t ->
   string ->
   (Objfile.t, error) result
 (** [compile src] builds the instrumented relocatable binary. Defaults:
     all instrumentation policies enabled ([P1-P6]), [ssa_q = 20],
-    optimization (constant folding + peephole) on. *)
+    optimization (constant folding + peephole) on. [tm] gets a
+    ["compile"] span with per-pass children (parse, fold, codegen,
+    peephole, instrument, link). *)
 
 val compile_exn :
   ?policies:Deflection_policy.Policy.Set.t ->

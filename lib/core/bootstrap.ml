@@ -11,6 +11,7 @@ module Isa = Deflection_isa.Isa
 module Attestation = Deflection_attestation.Attestation
 module Channel = Deflection_crypto.Channel
 module Ratls = Attestation.Ratls
+module Telemetry = Deflection_telemetry.Telemetry
 
 type config = {
   layout : Layout.config;
@@ -48,8 +49,32 @@ let consumer_code (config : config) =
     config.manifest.Manifest.allowed_ocalls;
   Buffer.to_bytes b
 
+type ecall_error =
+  | No_provider_session
+  | No_owner_session
+  | Auth_failure of string  (* which record failed authentication *)
+  | Malformed_binary of string
+  | Loader_error of Loader.error
+  | Verifier_rejection of Verifier.rejection
+  | Rewrite_error of Loader.error
+  | Not_verified
+
+let pp_ecall_error fmt = function
+  | No_provider_session -> Format.fprintf fmt "no code-provider session established"
+  | No_owner_session ->
+    Format.fprintf fmt "no data-owner session established (output cannot be protected)"
+  | Auth_failure what -> Format.fprintf fmt "%s record failed authentication" what
+  | Malformed_binary e -> Format.fprintf fmt "malformed target binary: %s" e
+  | Loader_error e -> Format.fprintf fmt "loader: %a" Loader.pp_error e
+  | Verifier_rejection r -> Format.fprintf fmt "verifier: %a" Verifier.pp_rejection r
+  | Rewrite_error e -> Format.fprintf fmt "imm rewriter: %a" Loader.pp_error e
+  | Not_verified -> Format.fprintf fmt "no verified target binary loaded"
+
+let ecall_error_to_string e = Format.asprintf "%a" pp_ecall_error e
+
 type t = {
   config : config;
+  tm : Telemetry.t;
   layout : Layout.t;
   mem : Memory.t;
   platform : Attestation.Platform.t;
@@ -64,7 +89,7 @@ type t = {
   oram : Deflection_oram.Path_oram.t option;
 }
 
-let create ?(config = default_config) ~platform () =
+let create ?(config = default_config) ?(tm = Telemetry.disabled) ~platform () =
   let layout = Layout.make config.layout in
   let mem = Memory.create layout in
   let consumer = consumer_code config in
@@ -78,6 +103,7 @@ let create ?(config = default_config) ~platform () =
   Memory.priv_write_bytes mem layout.Layout.consumer_lo consumer_placed;
   {
     config;
+    tm;
     layout;
     mem;
     platform;
@@ -103,7 +129,8 @@ let oram_trace t = Option.map Deflection_oram.Path_oram.trace t.oram
 
 let accept_party t ~role hello =
   let reply, session =
-    Ratls.enclave_accept t.prng ~platform:t.platform ~measurement:t.measurement ~role hello
+    Ratls.enclave_accept ~tm:t.tm t.prng ~platform:t.platform ~measurement:t.measurement ~role
+      hello
   in
   (match role with
   | Ratls.Code_provider -> t.provider_session <- Some session
@@ -111,26 +138,30 @@ let accept_party t ~role hello =
   reply
 
 let ecall_receive_binary t sealed =
+  Telemetry.span t.tm "deliver" @@ fun () ->
   match t.provider_session with
-  | None -> Error "no code-provider session established"
+  | None -> Error No_provider_session
   | Some session ->
     (match Channel.open_ session.Ratls.rx sealed with
-    | exception Channel.Auth_failure -> Error "binary record failed authentication"
+    | exception Channel.Auth_failure -> Error (Auth_failure "binary")
     | plaintext ->
+      Telemetry.count t.tm "channel.bytes_unsealed" (Bytes.length plaintext);
       (match Objfile.deserialize plaintext with
-      | Error e -> Error ("malformed target binary: " ^ e)
+      | Error e -> Error (Malformed_binary e)
       | Ok obj ->
-        (match Loader.load t.mem ~aex_threshold:t.config.manifest.Manifest.aex_threshold obj with
-        | Error e -> Error ("loader: " ^ Loader.error_to_string e)
+        (match
+           Loader.load ~tm:t.tm t.mem ~aex_threshold:t.config.manifest.Manifest.aex_threshold
+             obj
+         with
+        | Error e -> Error (Loader_error e)
         | Ok loaded ->
           (match
-             Verifier.verify ~policies:t.config.policies ~ssa_q:obj.Objfile.ssa_q obj
+             Verifier.verify ~tm:t.tm ~policies:t.config.policies ~ssa_q:obj.Objfile.ssa_q obj
            with
-          | Error r ->
-            Error (Format.asprintf "verifier: %a" Verifier.pp_rejection r)
+          | Error r -> Error (Verifier_rejection r)
           | Ok report ->
-            (match Loader.rewrite_imms t.mem loaded ~policies:t.config.policies with
-            | Error e -> Error ("imm rewriter: " ^ Loader.error_to_string e)
+            (match Loader.rewrite_imms ~tm:t.tm t.mem loaded ~policies:t.config.policies with
+            | Error e -> Error (Rewrite_error e)
             | Ok rewritten ->
               t.loaded <- Some loaded;
               t.verified <- true;
@@ -138,11 +169,12 @@ let ecall_receive_binary t sealed =
 
 let ecall_receive_userdata t sealed =
   match t.owner_session with
-  | None -> Error "no data-owner session established"
+  | None -> Error No_owner_session
   | Some session ->
     (match Channel.open_ session.Ratls.rx sealed with
-    | exception Channel.Auth_failure -> Error "data record failed authentication"
+    | exception Channel.Auth_failure -> Error (Auth_failure "data")
     | plaintext ->
+      Telemetry.count t.tm "channel.bytes_unsealed" (Bytes.length plaintext);
       t.input_queue <- t.input_queue @ [ plaintext ];
       Ok ())
 
@@ -166,16 +198,21 @@ let buffer_ok t addr nelems =
 let crypto_cycles_per_byte = 4
 
 let run t =
-  if not t.verified then Error "no verified target binary loaded"
+  if not t.verified then Error Not_verified
   else begin
     match (t.loaded, t.owner_session) with
-    | None, _ -> Error "no verified target binary loaded"
-    | _, None -> Error "no data-owner session established (output cannot be protected)"
+    | None, _ -> Error Not_verified
+    | _, None -> Error No_owner_session
     | Some loaded, Some owner ->
+      Telemetry.span t.tm "execute" @@ fun () ->
       let outputs = ref [] in
+      let record_hist = Telemetry.histogram t.tm "channel.record_bytes" in
       let seal_record plaintext pad_to itp =
         Interp.add_cycles itp (crypto_cycles_per_byte * (Bytes.length plaintext + pad_to));
-        Channel.seal_padded owner.Ratls.tx ~pad_to plaintext
+        let sealed = Channel.seal_padded owner.Ratls.tx ~pad_to plaintext in
+        Telemetry.count t.tm "channel.bytes_sealed" (Bytes.length sealed);
+        if Telemetry.enabled t.tm then Telemetry.observe record_hist (Bytes.length sealed);
+        sealed
       in
       let entropy_exceeded spec bits =
         match spec.Manifest.max_output_bits with
@@ -232,6 +269,7 @@ let run t =
                 (* one path read + one write-back, a few cycles per bucket *)
                 Interp.add_cycles itp
                   (64 * 2 * (Deflection_oram.Path_oram.height oram + 1));
+                Telemetry.count t.tm "oram.accesses" 1;
                 Interp.write_reg itp Isa.RAX v;
                 Interp.Continue
               end)
@@ -245,6 +283,7 @@ let run t =
                 Deflection_oram.Path_oram.write oram rdi (Interp.read_reg itp Isa.RSI);
                 Interp.add_cycles itp
                   (64 * 2 * (Deflection_oram.Path_oram.height oram + 1));
+                Telemetry.count t.tm "oram.accesses" 1;
                 Interp.write_reg itp Isa.RAX 0L;
                 Interp.Continue
               end)
@@ -265,7 +304,7 @@ let run t =
             end
           | _ -> Interp.Halt (Interp.Ocall_denied index))
       in
-      let itp = Interp.create ~config:t.config.interp ~ocall t.mem in
+      let itp = Interp.create ~config:t.config.interp ~tm:t.tm ~ocall t.mem in
       Interp.init_stack itp;
       (* R15 is the reserved shadow-stack pointer; target code cannot
          write it (the verifier rejects such instructions under P5) *)
@@ -281,6 +320,15 @@ let run t =
         let padded = (c + q - 1) / q * q in
         Interp.add_cycles itp (padded - c)
       | Some _ | None -> ());
+      if Telemetry.enabled t.tm then begin
+        Telemetry.count t.tm "interp.instructions" (Interp.instructions itp);
+        Telemetry.count t.tm "interp.cycles" (Interp.cycles itp);
+        Telemetry.count t.tm "interp.aexes" (Interp.aex_count itp);
+        Telemetry.count t.tm "interp.ocalls" (Interp.ocall_count itp);
+        List.iter
+          (fun (cls, n) -> Telemetry.count t.tm ("interp.class." ^ cls) n)
+          (Interp.class_counts itp)
+      end;
       Ok
         {
           exit;

@@ -36,7 +36,31 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> platform:Attestation.Platform.t -> unit -> t
+(** Structured failure modes of the consumer's ECalls — the protocol layer
+    maps these into {!Session.error} without string matching. *)
+type ecall_error =
+  | No_provider_session
+  | No_owner_session
+  | Auth_failure of string  (** which record ("binary" / "data") *)
+  | Malformed_binary of string
+  | Loader_error of Deflection_loader.Loader.error
+  | Verifier_rejection of Verifier.rejection
+  | Rewrite_error of Deflection_loader.Loader.error
+  | Not_verified
+
+val pp_ecall_error : Format.formatter -> ecall_error -> unit
+val ecall_error_to_string : ecall_error -> string
+
+val create :
+  ?config:config ->
+  ?tm:Deflection_telemetry.Telemetry.t ->
+  platform:Attestation.Platform.t ->
+  unit ->
+  t
+(** [tm] (default disabled) receives the enclave-side spans ("deliver"
+    with load/verify/rewrite children, "execute"), the channel byte
+    counters and the interpreter statistics. *)
+
 val config : t -> config
 val measurement : t -> bytes
 (** The MRENCLAVE a remote party must expect. *)
@@ -51,13 +75,13 @@ val accept_party :
 (** RA-TLS handshake with the code provider or the data owner; the
     resulting session is retained inside the enclave. *)
 
-val ecall_receive_binary : t -> bytes -> (Verifier.report * int, string) result
+val ecall_receive_binary : t -> bytes -> (Verifier.report * int, ecall_error) result
 (** Decrypt the sealed target binary with the provider session, parse it,
     dynamically load and relocate it, run the verifier, and (only on
     acceptance) rewrite the annotation immediates. Returns the verifier
     report and the number of rewritten immediates. *)
 
-val ecall_receive_userdata : t -> bytes -> (unit, string) result
+val ecall_receive_userdata : t -> bytes -> (unit, ecall_error) result
 (** Decrypt a sealed data record with the owner session and queue it for
     the service's [recv] OCall. *)
 
@@ -71,7 +95,7 @@ type run_stats = {
   sealed_outputs : bytes list;  (** records encrypted to the data owner *)
 }
 
-val run : t -> (run_stats, string) result
+val run : t -> (run_stats, ecall_error) result
 (** Transfer execution to the verified target program. *)
 
 val memory : t -> Memory.t

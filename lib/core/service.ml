@@ -4,7 +4,7 @@ module Policy = Deflection_policy.Policy
 module Ratls = Deflection_attestation.Attestation.Ratls
 module Channel = Deflection_crypto.Channel
 
-let build ?policies ?ssa_q ?optimize src = Frontend.compile ?policies ?ssa_q ?optimize src
+let build ?policies ?ssa_q ?optimize ?tm src = Frontend.compile ?policies ?ssa_q ?optimize ?tm src
 
 let deliver (session : Ratls.session) obj =
   Channel.seal session.Ratls.tx (Objfile.serialize obj)

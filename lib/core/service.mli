@@ -11,10 +11,11 @@ val build :
   ?policies:Policy.Set.t ->
   ?ssa_q:int ->
   ?optimize:bool ->
+  ?tm:Deflection_telemetry.Telemetry.t ->
   string ->
   (Objfile.t, Frontend.error) result
 (** Compile and instrument MiniC source (defaults: P1-P6, q=20,
-    optimization on). *)
+    optimization on). [tm] is forwarded to {!Frontend.compile}. *)
 
 val deliver : Ratls.session -> Objfile.t -> bytes
 (** Seal the serialized binary for the bootstrap enclave. *)

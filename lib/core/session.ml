@@ -6,6 +6,28 @@ module Manifest = Deflection_policy.Manifest
 module Attestation = Deflection_attestation.Attestation
 module Ratls = Attestation.Ratls
 module Frontend = Deflection_compiler.Frontend
+module Telemetry = Deflection_telemetry.Telemetry
+
+type error =
+  | Compile_error of Frontend.error
+  | Attestation_error of { role : Ratls.role; detail : string }
+  | Delivery_error of Bootstrap.ecall_error
+  | Verifier_rejection of Verifier.rejection
+  | Upload_error of Bootstrap.ecall_error
+  | Runtime_error of Bootstrap.ecall_error
+  | Decrypt_error of string
+
+let pp_error fmt = function
+  | Compile_error e -> Format.fprintf fmt "compile error: %a" Frontend.pp_error e
+  | Attestation_error { role; detail } ->
+    Format.fprintf fmt "%s attestation: %s" (Ratls.role_label role) detail
+  | Delivery_error e -> Bootstrap.pp_ecall_error fmt e
+  | Verifier_rejection r -> Format.fprintf fmt "verifier: %a" Verifier.pp_rejection r
+  | Upload_error e -> Bootstrap.pp_ecall_error fmt e
+  | Runtime_error e -> Bootstrap.pp_ecall_error fmt e
+  | Decrypt_error detail -> Format.fprintf fmt "%s" detail
+
+let error_to_string e = Format.asprintf "%a" pp_error e
 
 type outcome = {
   verifier_report : Verifier.report;
@@ -17,12 +39,22 @@ type outcome = {
   ocalls : int;
   leaked_bytes : int;
   outputs : bytes list;
+  telemetry : Telemetry.snapshot;
 }
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
-let run ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?optimize ?layout ?manifest ?interp
-    ?(seed = 1L) ?oram_capacity ~source ~inputs () =
+let empty_snapshot =
+  {
+    Telemetry.spans = [];
+    counters = [];
+    histograms = [];
+    events = [];
+    dropped_events = 0;
+  }
+
+let run_protocol ~policies ~ssa_q ?optimize ?layout ?manifest ?interp ~seed ?oram_capacity ~tm
+    ~source ~inputs () =
   let config =
     {
       Bootstrap.layout = (match layout with Some l -> l | None -> Bootstrap.default_config.Bootstrap.layout);
@@ -35,39 +67,56 @@ let run ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?optimize ?layout ?manifest
   in
   let platform = Attestation.Platform.create ~seed:(Int64.add seed 1000L) in
   let ias = Attestation.Ias.for_platform platform in
-  let enclave = Bootstrap.create ~config ~platform () in
+  let enclave = Bootstrap.create ~config ~tm ~platform () in
   let expected_measurement = Bootstrap.measurement enclave in
-  (* --- code provider: attest, compile, deliver --- *)
-  let provider_prng = Deflection_util.Prng.create (Int64.add seed 2000L) in
-  let hello_p, kp_p = Ratls.party_begin provider_prng in
-  let reply_p = Bootstrap.accept_party enclave ~role:Ratls.Code_provider hello_p in
-  let* provider_session =
-    Ratls.party_complete kp_p ~role:Ratls.Code_provider ~ias ~expected_measurement reply_p
+  let attest ~role prng_salt =
+    Telemetry.span tm (match role with
+        | Ratls.Code_provider -> "attest.provider"
+        | Ratls.Data_owner -> "attest.owner")
+    @@ fun () ->
+    let prng = Deflection_util.Prng.create (Int64.add seed prng_salt) in
+    let hello, kp = Ratls.party_begin prng in
+    let reply = Bootstrap.accept_party enclave ~role hello in
+    match Ratls.party_complete ~tm kp ~role ~ias ~expected_measurement reply with
+    | Ok session -> Ok session
+    | Error detail -> Error (Attestation_error { role; detail })
   in
+  (* --- code provider: attest, compile, deliver --- *)
+  let* provider_session = attest ~role:Ratls.Code_provider 2000L in
   let* obj =
-    match Service.build ~policies ~ssa_q ?optimize source with
+    match Service.build ~policies ~ssa_q ?optimize ~tm source with
     | Ok obj -> Ok obj
-    | Error e -> Error (Format.asprintf "compile error: %a" Frontend.pp_error e)
+    | Error e -> Error (Compile_error e)
   in
   let sealed_binary = Service.deliver provider_session obj in
-  let* report, rewritten_imms = Bootstrap.ecall_receive_binary enclave sealed_binary in
-  (* --- data owner: attest, upload --- *)
-  let owner_prng = Deflection_util.Prng.create (Int64.add seed 3000L) in
-  let hello_o, kp_o = Ratls.party_begin owner_prng in
-  let reply_o = Bootstrap.accept_party enclave ~role:Ratls.Data_owner hello_o in
-  let* owner_session =
-    Ratls.party_complete kp_o ~role:Ratls.Data_owner ~ias ~expected_measurement reply_o
+  let* report, rewritten_imms =
+    match Bootstrap.ecall_receive_binary enclave sealed_binary with
+    | Ok v -> Ok v
+    | Error (Bootstrap.Verifier_rejection r) -> Error (Verifier_rejection r)
+    | Error e -> Error (Delivery_error e)
   in
+  (* --- data owner: attest, upload --- *)
+  let* owner_session = attest ~role:Ratls.Data_owner 3000L in
   let* () =
+    Telemetry.span tm "upload" @@ fun () ->
     List.fold_left
       (fun acc chunk ->
         let* () = acc in
-        Bootstrap.ecall_receive_userdata enclave (Client.seal_data owner_session chunk))
+        match Bootstrap.ecall_receive_userdata enclave (Client.seal_data owner_session chunk) with
+        | Ok () -> Ok ()
+        | Error e -> Error (Upload_error e))
       (Ok ()) inputs
   in
   (* --- execute and decrypt the results --- *)
-  let* stats = Bootstrap.run enclave in
-  let* outputs = Client.open_outputs owner_session stats.Bootstrap.sealed_outputs in
+  let* stats =
+    match Bootstrap.run enclave with Ok s -> Ok s | Error e -> Error (Runtime_error e)
+  in
+  let* outputs =
+    Telemetry.span tm "decrypt" @@ fun () ->
+    match Client.open_outputs owner_session stats.Bootstrap.sealed_outputs with
+    | Ok outs -> Ok outs
+    | Error detail -> Error (Decrypt_error detail)
+  in
   Ok
     {
       verifier_report = report;
@@ -79,7 +128,22 @@ let run ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?optimize ?layout ?manifest
       ocalls = stats.Bootstrap.ocalls;
       leaked_bytes = stats.Bootstrap.leaked_bytes;
       outputs;
+      telemetry = empty_snapshot;
     }
+
+let run ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?optimize ?layout ?manifest ?interp
+    ?(seed = 1L) ?oram_capacity ?tm ~source ~inputs () =
+  let tm = match tm with Some tm -> tm | None -> Telemetry.create () in
+  (* the snapshot is taken after the root span closes so the outcome's
+     span tree includes "session" itself *)
+  let result =
+    Telemetry.span tm "session" (fun () ->
+        run_protocol ~policies ~ssa_q ?optimize ?layout ?manifest ?interp ~seed ?oram_capacity
+          ~tm ~source ~inputs ())
+  in
+  match result with
+  | Error _ as e -> e
+  | Ok o -> Ok { o with telemetry = Telemetry.snapshot tm }
 
 let compile_only ?policies ?ssa_q src =
   match Frontend.compile ?policies ?ssa_q src with

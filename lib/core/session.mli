@@ -13,6 +13,26 @@ module Interp = Deflection_runtime.Interp
 module Verifier = Deflection_verifier.Verifier
 module Layout = Deflection_enclave.Layout
 module Manifest = Deflection_policy.Manifest
+module Telemetry = Deflection_telemetry.Telemetry
+module Ratls = Deflection_attestation.Attestation.Ratls
+
+(** Which protocol stage failed, with the stage-specific detail. *)
+type error =
+  | Compile_error of Deflection_compiler.Frontend.error
+  | Attestation_error of { role : Ratls.role; detail : string }
+  | Delivery_error of Bootstrap.ecall_error
+      (** sealed-binary delivery failed before or after verification
+          (auth, parse, load, rewrite) *)
+  | Verifier_rejection of Verifier.rejection
+      (** the in-enclave verifier refused the binary *)
+  | Upload_error of Bootstrap.ecall_error
+  | Runtime_error of Bootstrap.ecall_error
+  | Decrypt_error of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val error_to_string : error -> string
+(** Renders the same messages the pre-structured string API produced. *)
 
 type outcome = {
   verifier_report : Verifier.report;
@@ -24,6 +44,10 @@ type outcome = {
   ocalls : int;
   leaked_bytes : int;
   outputs : bytes list;  (** plaintext records, decrypted by the owner *)
+  telemetry : Telemetry.snapshot;
+      (** spans/counters for the whole protocol run (root span
+          ["session"]) — always populated, from a private registry when no
+          [tm] was passed *)
 }
 
 val run :
@@ -35,13 +59,17 @@ val run :
   ?interp:Interp.config ->
   ?seed:int64 ->
   ?oram_capacity:int ->
+  ?tm:Telemetry.t ->
   source:string ->
   inputs:bytes list ->
   unit ->
-  (outcome, string) result
+  (outcome, error) result
 (** Run the whole protocol. [inputs] are the data owner's chunks, consumed
     one per [recv] OCall. Defaults: P1-P6, q=20, small layout, default
-    manifest, calm platform. *)
+    manifest, calm platform. [tm] threads one registry through every stage
+    (compile, attest, deliver, load/verify/rewrite, upload, execute,
+    decrypt); when omitted, a fresh private registry backs
+    [outcome.telemetry]. *)
 
 val compile_only :
   ?policies:Policy.Set.t ->

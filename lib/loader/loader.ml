@@ -5,6 +5,7 @@ module Memory = Deflection_enclave.Memory
 module Layout = Deflection_enclave.Layout
 module Annot = Deflection_annot.Annot
 module Policy = Deflection_policy.Policy
+module Telemetry = Deflection_telemetry.Telemetry
 
 type error =
   | Text_too_large of { size : int; capacity : int }
@@ -44,7 +45,8 @@ let symbol_addr loaded name = List.assoc_opt name loaded.symbol_addrs
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
-let load mem ~aex_threshold (obj : Objfile.t) =
+let load ?(tm = Telemetry.disabled) mem ~aex_threshold (obj : Objfile.t) =
+  Telemetry.span tm "load" @@ fun () ->
   let l = Memory.layout mem in
   let code_cap = l.Layout.code_hi - l.Layout.code_lo in
   let data_cap = l.Layout.data_hi - l.Layout.data_lo in
@@ -114,6 +116,10 @@ let load mem ~aex_threshold (obj : Objfile.t) =
   match find obj.Objfile.entry with
   | None -> Error (No_entry obj.Objfile.entry)
   | Some entry_addr ->
+    Telemetry.count tm "loader.text_bytes" text_len;
+    Telemetry.count tm "loader.data_bytes" data_len;
+    Telemetry.count tm "loader.relocs" (List.length obj.Objfile.relocs);
+    Telemetry.count tm "loader.branch_entries" n;
     Ok
       {
         entry_addr;
@@ -128,7 +134,8 @@ let load mem ~aex_threshold (obj : Objfile.t) =
 (* The imm rewriter (paper Section V-B): linear sweep over the loaded text;
    every decoded instruction whose 64-bit immediate field holds a magic
    placeholder gets the real value for this layout and policy set. *)
-let rewrite_imms mem loaded ~policies =
+let rewrite_imms ?(tm = Telemetry.disabled) mem loaded ~policies =
+  Telemetry.span tm "rewrite" @@ fun () ->
   let l = Memory.layout mem in
   let p3 = Policy.Set.mem Policy.P3 policies and p4 = Policy.Set.mem Policy.P4 policies in
   let store_lo, store_hi = Layout.store_bounds l ~p3 ~p4 in
@@ -149,7 +156,10 @@ let rewrite_imms mem loaded ~policies =
   let text = Memory.priv_read_bytes mem loaded.text_base loaded.text_len in
   let rewritten = ref 0 in
   let rec sweep off =
-    if off >= loaded.text_len then Ok !rewritten
+    if off >= loaded.text_len then begin
+      Telemetry.count tm "loader.imms_rewritten" !rewritten;
+      Ok !rewritten
+    end
     else begin
       match Codec.decode text off with
       | exception Codec.Decode_error _ -> Error (Undecodable off)

@@ -33,15 +33,18 @@ type loaded = {
 }
 
 val load :
+  ?tm:Deflection_telemetry.Telemetry.t ->
   Memory.t ->
   aex_threshold:int ->
   Objfile.t ->
   (loaded, error) result
 (** Steps 1-3 of the consumer: copy sections, relocate, translate the
     branch list, initialize shadow stack / AEX cells / SSA marker. Does
-    NOT rewrite immediates — call {!rewrite_imms} after verification. *)
+    NOT rewrite immediates — call {!rewrite_imms} after verification.
+    [tm] gets a ["load"] span and [loader.*] size counters. *)
 
 val rewrite_imms :
+  ?tm:Deflection_telemetry.Telemetry.t ->
   Memory.t ->
   loaded ->
   policies:Deflection_policy.Policy.Set.t ->

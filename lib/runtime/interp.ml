@@ -4,6 +4,7 @@ module Cost = Deflection_isa.Cost
 module Memory = Deflection_enclave.Memory
 module Layout = Deflection_enclave.Layout
 module Annot = Deflection_annot.Annot
+module Telemetry = Deflection_telemetry.Telemetry
 open Isa
 
 type exit_reason =
@@ -26,6 +27,27 @@ let pp_exit_reason fmt = function
 
 let exit_reason_to_string r = Format.asprintf "%a" pp_exit_reason r
 
+(* Instruction classes: the decode-side histogram of the paper's
+   per-instruction instrumentation cost model. The counters are a plain
+   array bump per step, cheap enough to stay on unconditionally. *)
+
+let n_classes = 10
+
+let class_names =
+  [| "mov"; "stack"; "alu"; "div"; "branch"; "callret"; "indirect"; "float"; "ocall"; "misc" |]
+
+let class_index = function
+  | Mov _ | Lea _ -> 0
+  | Push _ | Pop _ -> 1
+  | Binop _ | Unop _ | Shift _ | Cmp _ | Test _ -> 2
+  | Idiv _ -> 3
+  | Jmp _ | Jcc _ -> 4
+  | Call _ | Ret -> 5
+  | JmpInd _ | CallInd _ -> 6
+  | Fbin _ | Fcmp _ | Cvtsi2sd _ | Cvttsd2si _ | Fsqrt _ -> 7
+  | Ocall _ -> 8
+  | Nop | Hlt -> 9
+
 type flags = { mutable zf : bool; mutable sf : bool; mutable cf : bool; mutable ovf : bool }
 
 type t = {
@@ -44,6 +66,8 @@ type t = {
   ocall : int -> t -> ocall_outcome;
   (* decode cache: address -> (instr, length, generation) *)
   cache : (int, Isa.instr * int * int) Hashtbl.t;
+  klass : int array;  (* per-class instruction counts, indexed by class_index *)
+  tm : Telemetry.t;
 }
 
 and ocall_outcome = Continue | Halt of exit_reason
@@ -66,7 +90,7 @@ let schedule_next_aex t =
     let jitter = Deflection_util.Prng.int t.prng (max 1 mean) in
     t.next_aex <- t.cycles + (mean / 2) + jitter
 
-let create ?(config = default_config) ~ocall mem =
+let create ?(config = default_config) ?(tm = Telemetry.disabled) ~ocall mem =
   let t =
     {
       mem;
@@ -83,10 +107,15 @@ let create ?(config = default_config) ~ocall mem =
       prng = Deflection_util.Prng.create config.aex_seed;
       ocall;
       cache = Hashtbl.create 4096;
+      klass = Array.make n_classes 0;
+      tm;
     }
   in
   schedule_next_aex t;
   t
+
+let class_counts t =
+  Array.to_list (Array.mapi (fun i n -> (class_names.(i), n)) t.klass)
 
 let read_reg t r = t.regs.(reg_index r)
 let write_reg t r v = t.regs.(reg_index r) <- v
@@ -183,6 +212,9 @@ let pop t =
 let inject_aex t =
   t.aexes <- t.aexes + 1;
   t.cycles <- t.cycles + Cost.aex_cost;
+  if Telemetry.tracing t.tm then
+    Telemetry.event t.tm "interp.aex"
+      ~args:[ ("rip", Printf.sprintf "%#x" t.rip); ("n", string_of_int t.aexes) ];
   let l = Memory.layout t.mem in
   let ssa = l.Layout.ssa_lo in
   for i = 0 to 15 do
@@ -228,7 +260,11 @@ let exec t instr len =
   | Hlt ->
     let code = t.regs.(reg_index RAX) in
     (match Annot.abort_reason_of_exit_code code with
-    | Some r -> raise (Halted (Policy_abort r))
+    | Some r ->
+      if Telemetry.tracing t.tm then
+        Telemetry.event t.tm "interp.policy-abort"
+          ~args:[ ("reason", Format.asprintf "%a" Annot.pp_abort_reason r) ];
+      raise (Halted (Policy_abort r))
     | None -> raise (Halted (Exited code)))
   | Mov (d, s) ->
     write_operand t d (read_operand t s);
@@ -313,6 +349,8 @@ let exec t instr len =
   | Ocall n ->
     t.ocalls <- t.ocalls + 1;
     t.cycles <- t.cycles + Cost.ocall_transition;
+    if Telemetry.tracing t.tm then
+      Telemetry.event t.tm "interp.ocall" ~args:[ ("index", string_of_int n) ];
     (match t.ocall n t with Continue -> fall () | Halt r -> raise (Halted r))
   | Fbin (op, r, o) ->
     let a = f64 t.regs.(reg_index r) and b = f64 (read_operand t o) in
@@ -343,6 +381,8 @@ let step t =
       if t.cycles >= t.next_aex then inject_aex t;
       let i, len = fetch t in
       t.instrs <- t.instrs + 1;
+      let k = class_index i in
+      t.klass.(k) <- t.klass.(k) + 1;
       (* 3-wide issue for simple register ops; full latency otherwise *)
       if Cost.is_simple i then begin
         t.issue_residue <- t.issue_residue + 1;

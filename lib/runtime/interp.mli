@@ -13,6 +13,7 @@
 
 module Isa = Deflection_isa.Isa
 module Memory = Deflection_enclave.Memory
+module Telemetry = Deflection_telemetry.Telemetry
 
 type t
 
@@ -46,9 +47,14 @@ val default_config : config
 
 val create :
   ?config:config ->
+  ?tm:Telemetry.t ->
   ocall:(int -> t -> ocall_outcome) ->
   Memory.t ->
   t
+(** [tm] (default {!Telemetry.disabled}) receives instant events for
+    injected AEXes, OCall transitions and policy aborts when a tracing
+    sink is attached; per-class instruction counts are kept regardless
+    (see {!class_counts}). *)
 
 (** {2 Register and memory access (for OCall handlers and tests)} *)
 
@@ -80,3 +86,12 @@ val cycles : t -> int
 val instructions : t -> int
 val aex_count : t -> int
 val ocall_count : t -> int
+
+val class_names : string array
+(** The instruction-class partition used by {!class_counts}, in index
+    order: mov, stack, alu, div, branch, callret, indirect, float, ocall,
+    misc. *)
+
+val class_counts : t -> (string * int) list
+(** Executed-instruction counts per class, in {!class_names} order; the
+    values sum to {!instructions}. *)

@@ -1,0 +1,400 @@
+type event = {
+  seq : int;
+  ts_ns : int;
+  name : string;
+  phase : [ `Begin | `End | `Instant ];
+  args : (string * string) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Sinks *)
+
+type ring = {
+  capacity : int;
+  buf : event option array;
+  mutable next : int;  (* next write slot *)
+  mutable stored : int;  (* total events ever written *)
+}
+
+type sink = Noop | Ring of ring
+
+module Sink = struct
+  type t = sink
+
+  let noop = Noop
+
+  let ring ~capacity =
+    if capacity <= 0 then invalid_arg "Telemetry.Sink.ring: capacity must be positive";
+    Ring { capacity; buf = Array.make capacity None; next = 0; stored = 0 }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Counters and histograms *)
+
+type counter = { cname : string; mutable count : int }
+
+let hist_buckets = 63
+
+type histogram = {
+  hname : string;
+  buckets : int array;
+  mutable h_sum : int;
+  mutable h_count : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+type span_info = {
+  sname : string;
+  start_ns : int;
+  stop_ns : int;
+  depth : int;
+  start_seq : int;
+}
+
+type t = {
+  is_enabled : bool;
+  clock : unit -> int;
+  mutable sink : sink;
+  mutable seq : int;
+  counters : (string, counter) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+  mutable depth : int;
+  mutable spans_rev : span_info list;
+  mutable span_count : int;
+  span_limit : int;
+}
+
+let default_clock =
+  let last = ref 0 in
+  fun () ->
+    let now = int_of_float (Unix.gettimeofday () *. 1e9) in
+    if now > !last then last := now;
+    !last
+
+let create ?(clock = default_clock) ?(sink = Noop) ?(span_limit = 16384) () =
+  {
+    is_enabled = true;
+    clock;
+    sink;
+    seq = 0;
+    counters = Hashtbl.create 64;
+    histograms = Hashtbl.create 16;
+    depth = 0;
+    spans_rev = [];
+    span_count = 0;
+    span_limit;
+  }
+
+let disabled =
+  {
+    is_enabled = false;
+    clock = (fun () -> 0);
+    sink = Noop;
+    seq = 0;
+    counters = Hashtbl.create 1;
+    histograms = Hashtbl.create 1;
+    depth = 0;
+    spans_rev = [];
+    span_count = 0;
+    span_limit = 0;
+  }
+
+let enabled t = t.is_enabled
+let tracing t = t.is_enabled && t.sink <> Noop
+let set_sink t sink = if t.is_enabled then t.sink <- sink
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+    let c = { cname = name; count = 0 } in
+    Hashtbl.replace t.counters name c;
+    c
+
+let add c n = c.count <- c.count + n
+let incr c = c.count <- c.count + 1
+let counter_value c = c.count
+let count t name n = if t.is_enabled then add (counter t name) n
+
+let counter_total t name =
+  match Hashtbl.find_opt t.counters name with Some c -> c.count | None -> 0
+
+let histogram t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        hname = name;
+        buckets = Array.make hist_buckets 0;
+        h_sum = 0;
+        h_count = 0;
+        h_min = max_int;
+        h_max = min_int;
+      }
+    in
+    Hashtbl.replace t.histograms name h;
+    h
+
+let bucket_index v =
+  if v <= 1 then 0
+  else begin
+    (* bucket i (i >= 1) holds (2^(i-1), 2^i] *)
+    let rec go i bound = if v <= bound || i = hist_buckets - 1 then i else go (i + 1) (bound * 2) in
+    go 1 2
+  end
+
+let observe h v =
+  h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1;
+  h.h_sum <- h.h_sum + v;
+  h.h_count <- h.h_count + 1;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+type hist_summary = {
+  h_count : int;
+  h_sum : int;
+  h_min : int;
+  h_max : int;
+  h_mean : float;
+  h_buckets : (int * int) list;
+}
+
+let hist_snapshot h : hist_summary =
+  let buckets = ref [] in
+  for i = hist_buckets - 1 downto 0 do
+    if h.buckets.(i) > 0 then begin
+      let bound = if i = 0 then 1 else 1 lsl i in
+      buckets := (bound, h.buckets.(i)) :: !buckets
+    end
+  done;
+  {
+    h_count = h.h_count;
+    h_sum = h.h_sum;
+    h_min = (if h.h_count = 0 then 0 else h.h_min);
+    h_max = (if h.h_count = 0 then 0 else h.h_max);
+    h_mean = (if h.h_count = 0 then 0.0 else float_of_int h.h_sum /. float_of_int h.h_count);
+    h_buckets = !buckets;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Events and spans *)
+
+let push_event t phase name args =
+  match t.sink with
+  | Noop -> ()
+  | Ring r ->
+    let seq = t.seq in
+    t.seq <- seq + 1;
+    r.buf.(r.next) <- Some { seq; ts_ns = t.clock (); name; phase; args };
+    r.next <- (r.next + 1) mod r.capacity;
+    r.stored <- r.stored + 1
+
+let event t ?(args = []) name = if t.is_enabled then push_event t `Instant name args
+
+let span t name f =
+  if not t.is_enabled then f ()
+  else begin
+    let depth = t.depth in
+    let start_seq = t.seq in
+    t.seq <- start_seq + 1;
+    t.depth <- depth + 1;
+    let start_ns = t.clock () in
+    push_event t `Begin name [];
+    let finish () =
+      let stop_ns = t.clock () in
+      push_event t `End name [];
+      t.depth <- depth;
+      if t.span_count < t.span_limit then begin
+        t.span_count <- t.span_count + 1;
+        t.spans_rev <- { sname = name; start_ns; stop_ns; depth; start_seq } :: t.spans_rev
+      end
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+type snapshot = {
+  spans : span_info list;
+  counters : (string * int) list;
+  histograms : (string * hist_summary) list;
+  events : event list;
+  dropped_events : int;
+}
+
+let sink_events = function
+  | Noop -> ([], 0)
+  | Ring r ->
+    let dropped = max 0 (r.stored - r.capacity) in
+    let len = min r.stored r.capacity in
+    let first = if r.stored <= r.capacity then 0 else r.next in
+    let events = ref [] in
+    for i = len - 1 downto 0 do
+      match r.buf.((first + i) mod r.capacity) with
+      | Some e -> events := e :: !events
+      | None -> ()
+    done;
+    (!events, dropped)
+
+let by_name (a, _) (b, _) = compare a b
+
+let snapshot t =
+  let events, dropped_events = sink_events t.sink in
+  {
+    spans =
+      List.sort
+        (fun a b -> compare a.start_seq b.start_seq)
+        t.spans_rev;
+    counters =
+      Hashtbl.fold (fun name c acc -> (name, c.count) :: acc) t.counters []
+      |> List.sort by_name;
+    histograms =
+      Hashtbl.fold (fun name h acc -> (name, hist_snapshot h) :: acc) t.histograms []
+      |> List.sort by_name;
+    events;
+    dropped_events;
+  }
+
+let find_span snap name = List.find_opt (fun s -> s.sname = name) snap.spans
+
+let span_names snap =
+  List.fold_left
+    (fun acc s -> if List.mem s.sname acc then acc else s.sname :: acc)
+    [] snap.spans
+  |> List.rev
+
+(* ------------------------------------------------------------------ *)
+(* Exporters *)
+
+let ms_of_ns ns = float_of_int ns /. 1e6
+
+let pp_snapshot fmt snap =
+  Format.fprintf fmt "@[<v>";
+  if snap.spans <> [] then begin
+    Format.fprintf fmt "spans (ms):@,";
+    List.iter
+      (fun (s : span_info) ->
+        Format.fprintf fmt "  %s%-*s %10.3f@,"
+          (String.make (2 * s.depth) ' ')
+          (max 1 (36 - (2 * s.depth)))
+          s.sname
+          (ms_of_ns (s.stop_ns - s.start_ns)))
+      snap.spans
+  end;
+  let nonzero = List.filter (fun (_, v) -> v <> 0) snap.counters in
+  if nonzero <> [] then begin
+    Format.fprintf fmt "counters:@,";
+    List.iter (fun (name, v) -> Format.fprintf fmt "  %-38s %12d@," name v) nonzero
+  end;
+  if snap.histograms <> [] then begin
+    Format.fprintf fmt "histograms:@,";
+    List.iter
+      (fun (name, h) ->
+        Format.fprintf fmt "  %-38s n=%d sum=%d min=%d mean=%.1f max=%d@," name h.h_count h.h_sum
+          h.h_min h.h_mean h.h_max)
+      snap.histograms
+  end;
+  Format.fprintf fmt "events: %d retained, %d dropped@]"
+    (List.length snap.events)
+    snap.dropped_events
+
+let phase_label = function `Begin -> "B" | `End -> "E" | `Instant -> "i"
+
+let args_json args = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) args)
+
+let snapshot_to_json snap =
+  Json.Obj
+    [
+      ( "spans",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("name", Json.Str s.sname);
+                   ("start_ns", Json.Int s.start_ns);
+                   ("dur_ns", Json.Int (s.stop_ns - s.start_ns));
+                   ("depth", Json.Int s.depth);
+                 ])
+             snap.spans) );
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) snap.counters));
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (k, h) ->
+               ( k,
+                 Json.Obj
+                   [
+                     ("count", Json.Int h.h_count);
+                     ("sum", Json.Int h.h_sum);
+                     ("min", Json.Int h.h_min);
+                     ("max", Json.Int h.h_max);
+                     ("mean", Json.Float h.h_mean);
+                     ( "buckets",
+                       Json.List
+                         (List.map
+                            (fun (le, c) -> Json.Obj [ ("le", Json.Int le); ("n", Json.Int c) ])
+                            h.h_buckets) );
+                   ] ))
+             snap.histograms) );
+      ( "events",
+        Json.List
+          (List.map
+             (fun (e : event) ->
+               Json.Obj
+                 [
+                   ("seq", Json.Int e.seq);
+                   ("ts_ns", Json.Int e.ts_ns);
+                   ("name", Json.Str e.name);
+                   ("phase", Json.Str (phase_label e.phase));
+                   ("args", args_json e.args);
+                 ])
+             snap.events) );
+      ("dropped_events", Json.Int snap.dropped_events);
+    ]
+
+let chrome_trace snap =
+  let us ns = Json.Float (float_of_int ns /. 1e3) in
+  let span_events =
+    List.map
+      (fun (s : span_info) ->
+        Json.Obj
+          [
+            ("name", Json.Str s.sname);
+            ("ph", Json.Str "X");
+            ("ts", us s.start_ns);
+            ("dur", us (s.stop_ns - s.start_ns));
+            ("pid", Json.Int 1);
+            ("tid", Json.Int 1);
+          ])
+      snap.spans
+  in
+  let instant_events =
+    List.filter_map
+      (fun (e : event) ->
+        match e.phase with
+        | `Instant ->
+          Some
+            (Json.Obj
+               [
+                 ("name", Json.Str e.name);
+                 ("ph", Json.Str "i");
+                 ("ts", us e.ts_ns);
+                 ("s", Json.Str "t");
+                 ("pid", Json.Int 1);
+                 ("tid", Json.Int 1);
+                 ("args", args_json e.args);
+               ])
+        | `Begin | `End -> None)
+      snap.events
+  in
+  Json.List (span_events @ instant_events)

@@ -1,0 +1,149 @@
+(** Telemetry substrate for the whole CCaaS pipeline.
+
+    One {!t} is a registry of named {e counters} and {e histograms}, a
+    stack-shaped recorder of hierarchical {e spans} (phase timings on a
+    clamped-monotonic clock), and a pluggable {e event sink} for
+    fine-grained trace events (AEXes, OCalls, verifier rejections, ...).
+
+    The design goal is ~zero cost when observation is off:
+
+    - the {!disabled} instance short-circuits spans and events on a single
+      boolean test and never allocates;
+    - an enabled instance with the {!Sink.Noop} sink (the default) records
+      only spans and counters — per-event work reduces to one match on the
+      sink constructor, so instrumentation hooks are safe to leave on in
+      hot paths (guard any argument marshalling with {!tracing});
+    - the {!Sink.ring} sink is a bounded ring buffer, so tracing a
+      long-running session is allocation-cheap and can never grow without
+      bound — old events are overwritten and counted as dropped.
+
+    Snapshots are immutable and feed three exporters: a pretty-printer, a
+    JSON document, and a Chrome [trace_event] array loadable in
+    [about://tracing] / Perfetto. *)
+
+type t
+
+type event = {
+  seq : int;  (** global sequence number, strictly increasing per [t] *)
+  ts_ns : int;
+  name : string;
+  phase : [ `Begin | `End | `Instant ];
+  args : (string * string) list;
+}
+
+module Sink : sig
+  type t
+
+  val noop : t
+  (** Drops every event. Near-zero cost: one constructor match. *)
+
+  val ring : capacity:int -> t
+  (** Bounded ring buffer; once full, each new event overwrites the oldest
+      (counted as dropped). [capacity] must be positive. *)
+end
+
+val create : ?clock:(unit -> int) -> ?sink:Sink.t -> ?span_limit:int -> unit -> t
+(** A fresh enabled registry. [clock] returns nanoseconds and defaults to
+    a wall clock clamped to be non-decreasing; tests inject virtual
+    clocks. [sink] defaults to {!Sink.noop}. [span_limit] (default 16384)
+    bounds the completed-span log. *)
+
+val disabled : t
+(** The shared no-op instance: every operation returns immediately. Used
+    as the default argument of instrumentation hooks across the stack. *)
+
+val enabled : t -> bool
+
+val tracing : t -> bool
+(** [true] iff events are actually retained (enabled and non-noop sink).
+    Hot paths use this to skip argument marshalling entirely. *)
+
+val set_sink : t -> Sink.t -> unit
+
+(** {2 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Find or register the named counter (pre-resolve outside hot loops). *)
+
+val add : counter -> int -> unit
+val incr : counter -> unit
+val counter_value : counter -> int
+
+val count : t -> string -> int -> unit
+(** One-shot [add (counter t name) n] for cold paths. *)
+
+val counter_total : t -> string -> int
+(** Current value of a named counter, 0 when unregistered. *)
+
+(** {2 Histograms} *)
+
+type histogram
+
+val histogram : t -> string -> histogram
+(** Find or register; power-of-two buckets (bucket [i>0] holds values in
+    ([2{^i-1}], [2{^i}]], bucket 0 holds values ≤ 1). *)
+
+val observe : histogram -> int -> unit
+
+type hist_summary = {
+  h_count : int;
+  h_sum : int;
+  h_min : int;  (** 0 when empty *)
+  h_max : int;  (** 0 when empty *)
+  h_mean : float;  (** 0.0 when empty *)
+  h_buckets : (int * int) list;  (** (inclusive upper bound, count), non-empty buckets only *)
+}
+
+val hist_snapshot : histogram -> hist_summary
+
+(** {2 Spans and events} *)
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** Time [f] as a span nested under any currently-open span (exceptions
+    still close the span). Emits [`Begin]/[`End] events to the sink and
+    appends a {!span_info} record on completion. On {!disabled} this is
+    exactly [f ()]. *)
+
+val event : t -> ?args:(string * string) list -> string -> unit
+(** Record an instant event to the sink. Callers paying to build [args]
+    should guard with {!tracing}. *)
+
+type span_info = {
+  sname : string;
+  start_ns : int;
+  stop_ns : int;
+  depth : int;  (** nesting depth at the time the span opened (root = 0) *)
+  start_seq : int;  (** position in global start order *)
+}
+
+(** {2 Snapshots} *)
+
+type snapshot = {
+  spans : span_info list;  (** in start order *)
+  counters : (string * int) list;  (** sorted by name *)
+  histograms : (string * hist_summary) list;  (** sorted by name *)
+  events : event list;  (** oldest retained first *)
+  dropped_events : int;
+}
+
+val snapshot : t -> snapshot
+(** Immutable copy of the current state (spans still open are omitted). *)
+
+val find_span : snapshot -> string -> span_info option
+val span_names : snapshot -> string list
+(** Distinct span names in start order. *)
+
+(** {2 Exporters} *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+(** Human-readable span tree, counters, histograms, event tail. *)
+
+val snapshot_to_json : snapshot -> Json.t
+(** [{"spans": [...], "counters": {...}, "histograms": {...},
+     "events": [...], "dropped_events": n}]. *)
+
+val chrome_trace : snapshot -> Json.t
+(** Chrome [trace_event] array: spans as complete ("ph":"X") events,
+    instants as "ph":"i" — loadable in about://tracing / Perfetto. *)

@@ -3,6 +3,7 @@ module Codec = Deflection_isa.Codec
 module Objfile = Deflection_isa.Objfile
 module Annot = Deflection_annot.Annot
 module Policy = Deflection_policy.Policy
+module Telemetry = Deflection_telemetry.Telemetry
 open Isa
 
 type rejection = { offset : int; reason : string }
@@ -365,7 +366,8 @@ let scan_run st start =
 
 (* ------------------------------------------------------------------ *)
 
-let verify ~policies ~ssa_q (obj : Objfile.t) =
+let verify ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile.t) =
+  Telemetry.span tm "verify" @@ fun () ->
   try
     let text = obj.Objfile.text in
     let sym name =
@@ -378,30 +380,34 @@ let verify ~policies ~ssa_q (obj : Objfile.t) =
       | Some off -> off
       | None -> reject 0 ("missing required symbol " ^ name)
     in
-    let stub_tbl =
-      List.map (fun r -> (r, require (Annot.abort_symbol r))) Annot.all_abort_reasons
+    let stub_tbl, aex_handler_off, start_off, stub_offsets, user_funs =
+      Telemetry.span tm "verify.symbols" @@ fun () ->
+      let stub_tbl =
+        List.map (fun r -> (r, require (Annot.abort_symbol r))) Annot.all_abort_reasons
+      in
+      let aex_handler_off = require Annot.aex_handler_symbol in
+      let start_off = require Annot.start_symbol in
+      let stub_offsets =
+        (start_off :: aex_handler_off :: List.map snd stub_tbl)
+      in
+      let user_funs = Hashtbl.create 16 in
+      List.iter
+        (fun (s : Objfile.symbol) ->
+          if
+            s.Objfile.section = Objfile.Text && s.Objfile.is_function
+            && not (List.mem s.Objfile.offset stub_offsets)
+          then Hashtbl.replace user_funs s.Objfile.offset s.Objfile.name)
+        obj.Objfile.symbols;
+      (* the indirect-branch list must point at user functions *)
+      List.iter
+        (fun name ->
+          match Objfile.find_symbol obj name with
+          | Some s when s.Objfile.section = Objfile.Text && s.Objfile.is_function -> ()
+          | Some _ | None -> reject 0 ("branch-list entry is not a function: " ^ name))
+        obj.Objfile.branch_targets;
+      (stub_tbl, aex_handler_off, start_off, stub_offsets, user_funs)
     in
     let stub_addr r = List.assoc r stub_tbl in
-    let aex_handler_off = require Annot.aex_handler_symbol in
-    let start_off = require Annot.start_symbol in
-    let stub_offsets =
-      (start_off :: aex_handler_off :: List.map snd stub_tbl)
-    in
-    let user_funs = Hashtbl.create 16 in
-    List.iter
-      (fun (s : Objfile.symbol) ->
-        if
-          s.Objfile.section = Objfile.Text && s.Objfile.is_function
-          && not (List.mem s.Objfile.offset stub_offsets)
-        then Hashtbl.replace user_funs s.Objfile.offset s.Objfile.name)
-      obj.Objfile.symbols;
-    (* the indirect-branch list must point at user functions *)
-    List.iter
-      (fun name ->
-        match Objfile.find_symbol obj name with
-        | Some s when s.Objfile.section = Objfile.Text && s.Objfile.is_function -> ()
-        | Some _ | None -> reject 0 ("branch-list entry is not a function: " ^ name))
-      obj.Objfile.branch_targets;
     let st =
       {
         text;
@@ -439,29 +445,37 @@ let verify ~policies ~ssa_q (obj : Objfile.t) =
         if not (Hashtbl.mem st.visited off) then scan_run st off;
         drain ()
     in
-    drain ();
+    Telemetry.span tm "verify.scan" drain;
     (* a-posteriori control-flow target validation *)
-    List.iter
-      (fun (site, target) ->
-        if Hashtbl.mem st.interior target then
-          reject site "branch target inside an annotation group";
-        if not (Hashtbl.mem st.starts target) then
-          reject site "branch target is not an instruction boundary";
-        (* every CFG cycle goes through a backward branch: its target must
-           carry an SSA inspection (function entries carry their own) *)
-        if
-          Policy.Set.mem Policy.P6 policies && target <= site
-          && not
-               (Hashtbl.mem st.ssa_starts target
-               || Hashtbl.mem st.user_funs target
-               || List.mem target stub_offsets)
-        then reject site "backward branch target without SSA inspection")
-      st.jump_targets;
-    List.iter
-      (fun (site, target) ->
-        if not (Hashtbl.mem st.user_funs target || target = st.aex_handler_off) then
-          reject site "direct call target is not a function entry")
-      st.call_targets;
+    Telemetry.span tm "verify.cfg" (fun () ->
+        List.iter
+          (fun (site, target) ->
+            if Hashtbl.mem st.interior target then
+              reject site "branch target inside an annotation group";
+            if not (Hashtbl.mem st.starts target) then
+              reject site "branch target is not an instruction boundary";
+            (* every CFG cycle goes through a backward branch: its target must
+               carry an SSA inspection (function entries carry their own) *)
+            if
+              Policy.Set.mem Policy.P6 policies && target <= site
+              && not
+                   (Hashtbl.mem st.ssa_starts target
+                   || Hashtbl.mem st.user_funs target
+                   || List.mem target stub_offsets)
+            then reject site "backward branch target without SSA inspection")
+          st.jump_targets;
+        List.iter
+          (fun (site, target) ->
+            if not (Hashtbl.mem st.user_funs target || target = st.aex_handler_off) then
+              reject site "direct call target is not a function entry")
+          st.call_targets);
+    Telemetry.count tm "verifier.instructions" st.n_instr;
+    Telemetry.count tm "verifier.annot.store" st.n_store;
+    Telemetry.count tm "verifier.annot.rsp" st.n_rsp;
+    Telemetry.count tm "verifier.annot.cfi" st.n_cfi;
+    Telemetry.count tm "verifier.annot.prologue" st.n_prologue;
+    Telemetry.count tm "verifier.annot.epilogue" st.n_epilogue;
+    Telemetry.count tm "verifier.annot.ssa" st.n_ssa;
     Ok
       {
         instructions_checked = st.n_instr;
@@ -472,4 +486,8 @@ let verify ~policies ~ssa_q (obj : Objfile.t) =
         epilogues = st.n_epilogue;
         ssa_checks = st.n_ssa;
       }
-  with Reject r -> Error r
+  with Reject r ->
+    if Telemetry.tracing tm then
+      Telemetry.event tm "verifier.reject"
+        ~args:[ ("offset", Printf.sprintf "%#x" r.offset); ("reason", r.reason) ];
+    Error r

@@ -40,9 +40,15 @@ type report = {
 val pp_report : Format.formatter -> report -> unit
 
 val verify :
+  ?tm:Deflection_telemetry.Telemetry.t ->
   policies:Deflection_policy.Policy.Set.t ->
   ssa_q:int ->
   Objfile.t ->
   (report, rejection) result
 (** Verify the (unrelocated or relocated — annotations are unaffected by
-    relocation) target binary against the policy set. *)
+    relocation) target binary against the policy set.
+
+    [tm] (default disabled) gets a ["verify"] span with
+    ["verify.symbols"]/["verify.scan"]/["verify.cfg"] children; acceptance
+    bumps the ["verifier.instructions"] and ["verifier.annot.*"] counters,
+    rejection emits a ["verifier.reject"] event. *)

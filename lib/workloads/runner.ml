@@ -1,6 +1,7 @@
 module Policy = Deflection_policy.Policy
 module Interp = Deflection_runtime.Interp
 module Manifest = Deflection_policy.Manifest
+module Telemetry = Deflection_telemetry.Telemetry
 
 type measurement = {
   policies : Policy.Set.t;
@@ -9,6 +10,7 @@ type measurement = {
   aexes : int;
   outputs : string list;
   exit : Interp.exit_reason;
+  telemetry : Telemetry.snapshot;
 }
 
 let bench_manifest =
@@ -18,7 +20,8 @@ let bench_manifest =
     (* long benchmarks must not exhaust the AEX budget on a benign platform *)
   }
 
-let run ?(policies = Policy.Set.p1_p6) ?(inputs = []) ?(aex_interval = Some 2_000_000) source =
+let run ?(policies = Policy.Set.p1_p6) ?(inputs = []) ?(aex_interval = Some 2_000_000) ?tm
+    source =
   let interp =
     {
       Interp.default_config with
@@ -28,9 +31,9 @@ let run ?(policies = Policy.Set.p1_p6) ?(inputs = []) ?(aex_interval = Some 2_00
     }
   in
   match
-    Deflection.Session.run ~policies ~manifest:bench_manifest ~interp ~source ~inputs ()
+    Deflection.Session.run ~policies ~manifest:bench_manifest ~interp ?tm ~source ~inputs ()
   with
-  | Error e -> Error e
+  | Error e -> Error (Deflection.Session.error_to_string e)
   | Ok o ->
     (match o.Deflection.Session.exit with
     | Interp.Exited 0L ->
@@ -42,6 +45,7 @@ let run ?(policies = Policy.Set.p1_p6) ?(inputs = []) ?(aex_interval = Some 2_00
           aexes = o.Deflection.Session.aexes;
           outputs = List.map Bytes.to_string o.Deflection.Session.outputs;
           exit = o.Deflection.Session.exit;
+          telemetry = o.Deflection.Session.telemetry;
         }
     | other -> Error ("workload did not exit cleanly: " ^ Interp.exit_reason_to_string other))
 

@@ -12,12 +12,15 @@ type measurement = {
   aexes : int;
   outputs : string list;  (** decrypted plaintext records *)
   exit : Interp.exit_reason;
+  telemetry : Deflection_telemetry.Telemetry.snapshot;
+      (** the session's telemetry (see {!Deflection.Session.outcome}) *)
 }
 
 val run :
   ?policies:Policy.Set.t ->
   ?inputs:bytes list ->
   ?aex_interval:int option ->
+  ?tm:Deflection_telemetry.Telemetry.t ->
   string ->
   (measurement, string) result
 (** Defaults: P1-P6, no inputs, AEX injected every ~2M cycles (the benign

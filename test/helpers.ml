@@ -53,7 +53,7 @@ let handmade_obj ?(policies = Policy.Set.p1_p6) ?(instrument = true) ?(branch_ta
 
 type delivered = {
   enclave : Bootstrap.t;
-  verify_result : (Deflection_verifier.Verifier.report * int, string) result;
+  verify_result : (Deflection_verifier.Verifier.report * int, Bootstrap.ecall_error) result;
 }
 
 (* Run the full protocol up to (and including) binary delivery. *)
@@ -84,5 +84,8 @@ let deliver_obj ?(config = Bootstrap.default_config) obj =
 
 let run_delivered d =
   match d.verify_result with
-  | Error e -> Error ("verification failed: " ^ e)
-  | Ok _ -> Bootstrap.run d.enclave
+  | Error e -> Error ("verification failed: " ^ Bootstrap.ecall_error_to_string e)
+  | Ok _ -> (
+    match Bootstrap.run d.enclave with
+    | Ok stats -> Ok stats
+    | Error e -> Error (Bootstrap.ecall_error_to_string e))

@@ -19,4 +19,5 @@ let () =
       ("oram", Suite_oram.suite);
       ("workloads", Suite_workloads.suite);
       ("runtimes", Suite_runtimes.suite);
+      ("telemetry", Suite_telemetry.suite);
     ]

@@ -231,7 +231,7 @@ let test_aex_burst_aborts_under_p6 () =
     { Interp.default_config with Interp.aex_interval = Some 3000; colocated_prob = 1.0 }
   in
   match run_minic ~policies:Policy.Set.p1_p6 ~manifest ~interp busy_loop_src with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Deflection.Session.error_to_string e)
   | Ok o ->
     (match o.Deflection.Session.exit with
     | Interp.Policy_abort Annot.Aex_budget -> ()
@@ -243,7 +243,7 @@ let test_aex_burst_unnoticed_without_p6 () =
     { Interp.default_config with Interp.aex_interval = Some 3000; colocated_prob = 1.0 }
   in
   match run_minic ~policies:Policy.Set.p1_p5 ~manifest ~interp busy_loop_src with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Deflection.Session.error_to_string e)
   | Ok o ->
     (match o.Deflection.Session.exit with
     | Interp.Exited 0L ->
@@ -259,7 +259,7 @@ let test_colocation_failure_aborts () =
     { Interp.default_config with Interp.aex_interval = Some 3000; colocated_prob = 0.0 }
   in
   match run_minic ~policies:Policy.Set.p1_p6 ~manifest ~interp busy_loop_src with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Deflection.Session.error_to_string e)
   | Ok o ->
     (match o.Deflection.Session.exit with
     | Interp.Policy_abort Annot.Colocation -> ()
@@ -273,7 +273,7 @@ let test_benign_platform_no_false_abort () =
     run_minic ~policies:Policy.Set.p1_p6 ~manifest:Deflection_policy.Manifest.default ~interp
       busy_loop_src
   with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Deflection.Session.error_to_string e)
   | Ok o ->
     (match o.Deflection.Session.exit with
     | Interp.Exited 0L -> ()

@@ -21,7 +21,10 @@ int main() {
 let run ?policies ?manifest ?interp ?(inputs = [ Bytes.of_string "\x01\x02\x03" ]) src =
   Session.run ?policies ?manifest ?interp ~source:src ~inputs ()
 
-let expect_ok o = match o with Ok v -> v | Error e -> Alcotest.failf "session failed: %s" e
+let expect_ok o =
+  match o with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "session failed: %s" (Session.error_to_string e)
 
 let test_end_to_end () =
   let o = expect_ok (run simple_service) in
@@ -64,7 +67,7 @@ let test_output_records_padded_uniformly () =
   in
   (match Bootstrap.ecall_receive_binary enclave (Deflection.Service.deliver provider obj) with
   | Ok _ -> ()
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Bootstrap.ecall_error_to_string e));
   let hello_o, kp_o = Attestation.Ratls.party_begin prng in
   let reply_o = Bootstrap.accept_party enclave ~role:Attestation.Ratls.Data_owner hello_o in
   let _owner =

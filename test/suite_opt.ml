@@ -86,7 +86,7 @@ let test_optimized_output_equal () =
           Deflection.Session.run ~policies:Policy.Set.none ~source:src ~inputs:[] ()
         with
         | Ok o -> List.map Bytes.to_string o.Deflection.Session.outputs
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Deflection.Session.error_to_string e)
       in
       Alcotest.(check (list string)) (name ^ " outputs equal") (run false) (run true))
     [ "FOURIER" ]

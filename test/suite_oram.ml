@@ -126,7 +126,7 @@ let test_enclave_oram_roundtrip () =
       }|}
   in
   match oram_session src with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Deflection.Session.error_to_string e)
   | Ok o ->
     Alcotest.(check (list string)) "values through the enclave" [ "111"; "222"; "0" ]
       (List.map Bytes.to_string o.Deflection.Session.outputs)
@@ -136,7 +136,7 @@ let test_enclave_oram_without_config_denied () =
   (* manifest allows the OCall but no ORAM is configured *)
   let manifest = Manifest.with_oram Manifest.default in
   match Deflection.Session.run ~manifest ~source:src ~inputs:[] () with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Deflection.Session.error_to_string e)
   | Ok o ->
     (match o.Deflection.Session.exit with
     | Deflection_runtime.Interp.Ocall_denied _ -> ()

@@ -17,19 +17,22 @@ let fresh_enclave () =
 let test_binary_before_handshake () =
   let enclave, _ = fresh_enclave () in
   match Bootstrap.ecall_receive_binary enclave (Bytes.make 64 'x') with
-  | Error e -> Alcotest.(check bool) "mentions session" true (String.length e > 0)
+  | Error Bootstrap.No_provider_session -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Bootstrap.ecall_error_to_string e)
   | Ok _ -> Alcotest.fail "accepted a binary without a provider session"
 
 let test_data_before_handshake () =
   let enclave, _ = fresh_enclave () in
   match Bootstrap.ecall_receive_userdata enclave (Bytes.make 64 'x') with
-  | Error _ -> ()
+  | Error Bootstrap.No_owner_session -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Bootstrap.ecall_error_to_string e)
   | Ok _ -> Alcotest.fail "accepted data without an owner session"
 
 let test_run_before_binary () =
   let enclave, _ = fresh_enclave () in
   match Bootstrap.run enclave with
-  | Error _ -> ()
+  | Error Bootstrap.Not_verified -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Bootstrap.ecall_error_to_string e)
   | Ok _ -> Alcotest.fail "ran without a verified binary"
 
 let establish_provider enclave platform =
@@ -48,7 +51,8 @@ let test_garbage_sealed_binary () =
      not crash *)
   let sealed = Channel.seal provider.Attestation.Ratls.tx (Bytes.make 100 '\xAB') in
   match Bootstrap.ecall_receive_binary enclave sealed with
-  | Error e -> Alcotest.(check bool) "malformed reported" true (String.length e > 0)
+  | Error (Bootstrap.Malformed_binary _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Bootstrap.ecall_error_to_string e)
   | Ok _ -> Alcotest.fail "accepted garbage as a binary"
 
 let test_unsealed_binary_rejected () =
@@ -56,7 +60,8 @@ let test_unsealed_binary_rejected () =
   let _ = establish_provider enclave platform in
   (* plaintext object without channel sealing: authentication must fail *)
   match Bootstrap.ecall_receive_binary enclave (Objfile.serialize (obj ())) with
-  | Error _ -> ()
+  | Error (Bootstrap.Auth_failure _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Bootstrap.ecall_error_to_string e)
   | Ok _ -> Alcotest.fail "accepted an unauthenticated binary"
 
 let test_owner_channel_cannot_deliver_code () =
@@ -77,7 +82,8 @@ let test_owner_channel_cannot_deliver_code () =
     Channel.seal owner.Attestation.Ratls.tx (Objfile.serialize (obj ()))
   in
   match Bootstrap.ecall_receive_binary enclave sealed_with_owner_key with
-  | Error _ -> ()
+  | Error (Bootstrap.Auth_failure _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Bootstrap.ecall_error_to_string e)
   | Ok _ -> Alcotest.fail "owner-sealed binary accepted on the provider channel"
 
 let test_second_binary_replaces_first () =
@@ -91,8 +97,12 @@ let test_second_binary_replaces_first () =
     Bootstrap.ecall_receive_binary enclave
       (Channel.seal provider.Attestation.Ratls.tx (Objfile.serialize o))
   in
-  (match deliver "int main() { return 1; }" with Ok _ -> () | Error e -> Alcotest.fail e);
-  (match deliver "int main() { return 2; }" with Ok _ -> () | Error e -> Alcotest.fail e);
+  (match deliver "int main() { return 1; }" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Bootstrap.ecall_error_to_string e));
+  (match deliver "int main() { return 2; }" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Bootstrap.ecall_error_to_string e));
   (* owner session so run is allowed *)
   let prng = Prng.create 9L in
   let hello, kp = Attestation.Ratls.party_begin prng in
@@ -109,7 +119,7 @@ let test_second_binary_replaces_first () =
     | r ->
       Alcotest.failf "expected the second binary (exit 2), got %s"
         (Deflection_runtime.Interp.exit_reason_to_string r))
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Bootstrap.ecall_error_to_string e)
 
 let suite =
   [

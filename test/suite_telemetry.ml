@@ -1,0 +1,275 @@
+(* Telemetry substrate tests: span bookkeeping on a virtual clock,
+   counter/histogram math, ring-buffer wraparound, JSON round-trips, and
+   an end-to-end session whose snapshot must cover every protocol phase
+   and agree with the outcome's own counters. *)
+
+module T = Deflection_telemetry.Telemetry
+module Json = Deflection_telemetry.Json
+module Policy = Deflection_policy.Policy
+module Session = Deflection.Session
+
+(* a deterministic clock advancing [step] ns per reading *)
+let fake_clock ?(step = 10) () =
+  let now = ref 0 in
+  fun () ->
+    now := !now + step;
+    !now
+
+let find_span_exn snap name =
+  match T.find_span snap name with
+  | Some s -> s
+  | None -> Alcotest.failf "span %S missing (have: %s)" name (String.concat ", " (T.span_names snap))
+
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let tm = T.create ~clock:(fake_clock ()) () in
+  let r =
+    T.span tm "outer" (fun () ->
+        T.span tm "inner.a" (fun () -> ());
+        T.span tm "inner.b" (fun () -> 17))
+  in
+  Alcotest.(check int) "body result" 17 r;
+  let snap = T.snapshot tm in
+  Alcotest.(check (list string)) "start order" [ "outer"; "inner.a"; "inner.b" ]
+    (T.span_names snap);
+  let outer = find_span_exn snap "outer" in
+  let a = find_span_exn snap "inner.a" in
+  let b = find_span_exn snap "inner.b" in
+  Alcotest.(check int) "outer depth" 0 outer.T.depth;
+  Alcotest.(check int) "inner depth" 1 a.T.depth;
+  Alcotest.(check int) "inner depth b" 1 b.T.depth;
+  (* children fall inside the parent on the virtual clock *)
+  Alcotest.(check bool) "a within outer" true
+    (a.T.start_ns >= outer.T.start_ns && a.T.stop_ns <= outer.T.stop_ns);
+  Alcotest.(check bool) "b after a" true (b.T.start_ns >= a.T.stop_ns);
+  List.iter
+    (fun (s : T.span_info) ->
+      Alcotest.(check bool) (s.T.sname ^ " monotone") true (s.T.stop_ns >= s.T.start_ns))
+    snap.T.spans
+
+let test_span_exception () =
+  let tm = T.create ~clock:(fake_clock ()) () in
+  (try T.span tm "boom" (fun () -> failwith "x") with Failure _ -> ());
+  (* the span must have been closed despite the exception: a sibling
+     opened afterwards sits at depth 0, not nested under "boom" *)
+  T.span tm "after" (fun () -> ());
+  let snap = T.snapshot tm in
+  Alcotest.(check int) "boom recorded" 0 (find_span_exn snap "boom").T.depth;
+  Alcotest.(check int) "after at root" 0 (find_span_exn snap "after").T.depth
+
+let test_open_spans_omitted () =
+  let tm = T.create ~clock:(fake_clock ()) () in
+  T.span tm "root" (fun () ->
+      T.span tm "closed" (fun () -> ());
+      let snap = T.snapshot tm in
+      Alcotest.(check (list string)) "only completed spans" [ "closed" ] (T.span_names snap))
+
+let test_disabled () =
+  Alcotest.(check bool) "disabled" false (T.enabled T.disabled);
+  Alcotest.(check bool) "not tracing" false (T.tracing T.disabled);
+  Alcotest.(check int) "span is just f ()" 3 (T.span T.disabled "x" (fun () -> 3));
+  T.event T.disabled "e";
+  T.count T.disabled "c" 5;
+  let snap = T.snapshot T.disabled in
+  Alcotest.(check int) "no spans" 0 (List.length snap.T.spans);
+  Alcotest.(check int) "no counters" 0 (List.length snap.T.counters)
+
+let test_counters () =
+  let tm = T.create () in
+  let c = T.counter tm "a" in
+  T.add c 5;
+  T.incr c;
+  Alcotest.(check int) "resolved value" 6 (T.counter_value c);
+  (* the same name resolves to the same counter *)
+  T.add (T.counter tm "a") 4;
+  Alcotest.(check int) "shared" 10 (T.counter_value c);
+  T.count tm "b" 2;
+  T.count tm "b" 3;
+  Alcotest.(check int) "one-shot total" 5 (T.counter_total tm "b");
+  Alcotest.(check int) "unregistered" 0 (T.counter_total tm "nope");
+  let snap = T.snapshot tm in
+  Alcotest.(check (list (pair string int))) "sorted by name" [ ("a", 10); ("b", 5) ]
+    snap.T.counters
+
+let test_histogram () =
+  let tm = T.create () in
+  let h = T.histogram tm "bytes" in
+  List.iter (T.observe h) [ 1; 2; 3; 4; 100 ];
+  let s = T.hist_snapshot h in
+  Alcotest.(check int) "count" 5 s.T.h_count;
+  Alcotest.(check int) "sum" 110 s.T.h_sum;
+  Alcotest.(check int) "min" 1 s.T.h_min;
+  Alcotest.(check int) "max" 100 s.T.h_max;
+  Alcotest.(check (float 0.001)) "mean" 22.0 s.T.h_mean;
+  (* power-of-two buckets: 1 -> <=1; 2 -> <=2; 3,4 -> <=4; 100 -> <=128 *)
+  Alcotest.(check (list (pair int int))) "buckets" [ (1, 1); (2, 1); (4, 2); (128, 1) ]
+    s.T.h_buckets;
+  let empty = T.hist_snapshot (T.histogram tm "empty") in
+  Alcotest.(check int) "empty count" 0 empty.T.h_count;
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 empty.T.h_mean
+
+let test_ring_wraparound () =
+  let tm = T.create ~clock:(fake_clock ()) ~sink:(T.Sink.ring ~capacity:4) () in
+  Alcotest.(check bool) "tracing with ring" true (T.tracing tm);
+  for i = 0 to 9 do
+    T.event tm ~args:[ ("i", string_of_int i) ] "tick"
+  done;
+  let snap = T.snapshot tm in
+  Alcotest.(check int) "retained" 4 (List.length snap.T.events);
+  Alcotest.(check int) "dropped" 6 snap.T.dropped_events;
+  (* the newest four survive, oldest first *)
+  Alcotest.(check (list string)) "newest retained" [ "6"; "7"; "8"; "9" ]
+    (List.map (fun (e : T.event) -> List.assoc "i" e.T.args) snap.T.events);
+  let seqs = List.map (fun (e : T.event) -> e.T.seq) snap.T.events in
+  Alcotest.(check bool) "seq increasing" true (List.sort compare seqs = seqs)
+
+let test_noop_sink_drops () =
+  let tm = T.create () in
+  Alcotest.(check bool) "enabled" true (T.enabled tm);
+  Alcotest.(check bool) "noop sink: not tracing" false (T.tracing tm);
+  T.event tm "lost";
+  Alcotest.(check int) "no events kept" 0 (List.length (T.snapshot tm).T.events);
+  T.set_sink tm (T.Sink.ring ~capacity:8);
+  Alcotest.(check bool) "now tracing" true (T.tracing tm);
+  T.event tm "kept";
+  Alcotest.(check int) "event kept" 1 (List.length (T.snapshot tm).T.events)
+
+(* ------------------------------------------------------------------ *)
+
+let test_json_parse () =
+  let roundtrip ?pretty s =
+    match Json.parse s with
+    | Error e -> Alcotest.failf "parse %S: %s" s e
+    | Ok j -> (
+      let s' = Json.to_string ?pretty j in
+      match Json.parse s' with
+      | Error e -> Alcotest.failf "reparse %S: %s" s' e
+      | Ok j' -> Alcotest.(check bool) ("round-trip " ^ s) true (j = j'))
+  in
+  roundtrip {|{"a": [1, -2, 3.5], "b": "x\n\"y\"", "c": null, "d": [true, false], "e": {}}|};
+  roundtrip ~pretty:true {|{"nested": {"deep": [[1], [2, {"k": "v"}]]}}|};
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Ok _ -> Alcotest.failf "accepted invalid JSON %S" bad
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{'a':1}"; "[1] trailing" ]
+
+let test_snapshot_json_roundtrip () =
+  let tm = T.create ~clock:(fake_clock ()) ~sink:(T.Sink.ring ~capacity:16) () in
+  T.span tm "root" (fun () ->
+      T.span tm "child" (fun () -> T.event tm ~args:[ ("k", "v") ] "hello");
+      T.count tm "ctr" 7;
+      T.observe (T.histogram tm "h") 42);
+  let snap = T.snapshot tm in
+  let doc = T.snapshot_to_json snap in
+  (* the exporter's output must survive our own parser *)
+  let reparsed =
+    match Json.parse (Json.to_string ~pretty:true doc) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "snapshot JSON invalid: %s" e
+  in
+  Alcotest.(check bool) "round-trip equal" true (doc = reparsed);
+  (match Json.member "counters" reparsed with
+  | Some (Json.Obj [ ("ctr", Json.Int 7) ]) -> ()
+  | _ -> Alcotest.fail "counters not exported");
+  (match Json.member "spans" reparsed with
+  | Some (Json.List spans) -> Alcotest.(check int) "two spans" 2 (List.length spans)
+  | _ -> Alcotest.fail "spans not exported");
+  (* Chrome trace: one X event per span, one i event per instant *)
+  match T.chrome_trace snap with
+  | Json.List evs ->
+    let phase e = match Json.member "ph" e with Some (Json.Str p) -> p | _ -> "?" in
+    Alcotest.(check int) "complete events" 2
+      (List.length (List.filter (fun e -> phase e = "X") evs));
+    Alcotest.(check int) "instant events" 1
+      (List.length (List.filter (fun e -> phase e = "i") evs))
+  | _ -> Alcotest.fail "chrome_trace is not an array"
+
+(* ------------------------------------------------------------------ *)
+
+let trivial_src = "int buf[4]; int main() { buf[0] = 41; buf[0] = buf[0] + 1; send(buf, 4); return 0; }"
+
+let test_session_end_to_end () =
+  let tm = T.create ~sink:(T.Sink.ring ~capacity:4096) () in
+  match Session.run ~policies:Policy.Set.p1_p6 ~tm ~source:trivial_src ~inputs:[] () with
+  | Error e -> Alcotest.failf "session failed: %s" (Session.error_to_string e)
+  | Ok o ->
+    let snap = o.Session.telemetry in
+    (* every protocol phase shows up in the span tree *)
+    List.iter
+      (fun name -> ignore (find_span_exn snap name))
+      [
+        "session"; "compile"; "instrument"; "attest.provider"; "attest.accept";
+        "attest.complete"; "deliver"; "load"; "verify"; "verify.scan"; "rewrite";
+        "attest.owner"; "upload"; "execute"; "decrypt";
+      ];
+    (* the root span encloses everything *)
+    let root = find_span_exn snap "session" in
+    Alcotest.(check int) "root depth" 0 root.T.depth;
+    List.iter
+      (fun (s : T.span_info) ->
+        if s.T.sname <> "session" then
+          Alcotest.(check bool) (s.T.sname ^ " within session") true (s.T.depth > 0))
+      snap.T.spans;
+    (* counters agree with the outcome *)
+    let c = T.counter_total in
+    Alcotest.(check int) "interp.instructions" o.Session.instructions
+      (c tm "interp.instructions");
+    Alcotest.(check int) "interp.aexes" o.Session.aexes (c tm "interp.aexes");
+    Alcotest.(check int) "interp.ocalls" o.Session.ocalls (c tm "interp.ocalls");
+    Alcotest.(check int) "verifier.annot.store"
+      o.Session.verifier_report.Deflection_verifier.Verifier.store_annotations
+      (c tm "verifier.annot.store");
+    Alcotest.(check bool) "instructions nonzero" true (o.Session.instructions > 0);
+    Alcotest.(check bool) "annotations counted" true (c tm "verifier.annot.store" > 0);
+    (* per-class instruction counters partition the total *)
+    let class_sum =
+      List.fold_left
+        (fun acc name -> acc + c tm ("interp.class." ^ name))
+        0
+        (Array.to_list Deflection_runtime.Interp.class_names)
+    in
+    Alcotest.(check int) "class counters partition instructions" o.Session.instructions
+      class_sum;
+    Alcotest.(check bool) "bytes sealed" true (c tm "channel.bytes_sealed" > 0);
+    Alcotest.(check bool) "imms rewritten" true (c tm "loader.imms_rewritten" > 0)
+
+let test_session_private_registry () =
+  (* without ~tm the outcome still carries a populated snapshot *)
+  match Session.run ~policies:Policy.Set.p1 ~source:trivial_src ~inputs:[] () with
+  | Error e -> Alcotest.failf "session failed: %s" (Session.error_to_string e)
+  | Ok o ->
+    ignore (find_span_exn o.Session.telemetry "session");
+    ignore (find_span_exn o.Session.telemetry "execute");
+    Alcotest.(check bool) "counters populated" true
+      (List.mem_assoc "interp.instructions" o.Session.telemetry.T.counters)
+
+let test_structured_errors () =
+  (match Session.run ~source:"int main( {" ~inputs:[] () with
+  | Ok _ -> Alcotest.fail "bad source accepted"
+  | Error (Session.Compile_error _ as e) ->
+    let s = Session.error_to_string e in
+    Alcotest.(check bool) "compile error message" true
+      (String.length s >= 13 && String.sub s 0 13 = "compile error")
+  | Error e -> Alcotest.failf "wrong error: %s" (Session.error_to_string e));
+  let b = Deflection.Bootstrap.ecall_error_to_string Deflection.Bootstrap.No_provider_session in
+  Alcotest.(check string) "ecall error text" "no code-provider session established" b
+
+let suite =
+  [
+    Alcotest.test_case "span nesting and monotonicity" `Quick test_span_nesting;
+    Alcotest.test_case "span closes on exception" `Quick test_span_exception;
+    Alcotest.test_case "open spans omitted from snapshots" `Quick test_open_spans_omitted;
+    Alcotest.test_case "disabled instance is inert" `Quick test_disabled;
+    Alcotest.test_case "counter arithmetic" `Quick test_counters;
+    Alcotest.test_case "histogram buckets and summary" `Quick test_histogram;
+    Alcotest.test_case "ring buffer wraps and counts drops" `Quick test_ring_wraparound;
+    Alcotest.test_case "noop sink drops events" `Quick test_noop_sink_drops;
+    Alcotest.test_case "json parser accepts/rejects" `Quick test_json_parse;
+    Alcotest.test_case "snapshot json round-trip" `Quick test_snapshot_json_roundtrip;
+    Alcotest.test_case "session end-to-end telemetry" `Quick test_session_end_to_end;
+    Alcotest.test_case "session private registry" `Quick test_session_private_registry;
+    Alcotest.test_case "structured errors" `Quick test_structured_errors;
+  ]
