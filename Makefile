@@ -1,6 +1,7 @@
 # Convenience targets around dune. `make check` is the full gate: build,
-# the complete test suite, a quick benchmark pass, and a schema check on
-# the machine-readable results it must have produced.
+# the complete test suite, a quick benchmark pass (including the profiler
+# section), a forensics smoke run that must die with the documented exit
+# code, and schema checks on every machine-readable artifact produced.
 
 .PHONY: all build test bench check clean
 
@@ -18,8 +19,12 @@ bench:
 check:
 	dune build
 	dune runtest
-	dune exec bench/main.exe -- --quick table2
+	dune exec bench/main.exe -- --quick table2 profile
 	dune exec bin/json_check.exe -- --bench bench/results/latest.json
+	dune exec bin/json_check.exe -- bench/results/profile-numeric-sort.json
+	dune exec bin/deflectionc.exe -- run examples/minic/violate_store.mc \
+	  --forensics=bench/results/forensics-smoke.json; test $$? -eq 9
+	dune exec bin/json_check.exe -- bench/results/forensics-smoke.json
 
 clean:
 	dune clean

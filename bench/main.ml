@@ -16,6 +16,7 @@
    deflection-bench/1 schema; `json_check --bench` gates on it. *)
 
 module W = Deflection_workloads
+module Profiler = Deflection_forensics.Profiler
 module Policy = Deflection_policy.Policy
 module Tcb = Deflection_runtimes.Tcb
 module Shield = Deflection_runtimes.Shield
@@ -40,6 +41,24 @@ let record section json = results := (section, json) :: !results
 let results_dir = Filename.concat "bench" "results"
 
 let ensure_dir d = try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+(* keep latest.json plus the 5 most recent timestamped copies; older runs
+   accumulate forever otherwise *)
+let keep_stamped = 5
+
+let prune_stamped () =
+  let is_stamped name =
+    String.length name > String.length "results-.json"
+    && String.sub name 0 8 = "results-"
+    && Filename.check_suffix name ".json"
+  in
+  let stamped =
+    Sys.readdir results_dir |> Array.to_list |> List.filter is_stamped
+    |> List.sort (fun a b -> compare b a)
+  in
+  List.iteri
+    (fun i name -> if i >= keep_stamped then Sys.remove (Filename.concat results_dir name))
+    stamped
 
 let write_results () =
   ensure_dir "bench";
@@ -69,6 +88,7 @@ let write_results () =
   let stamped = Filename.concat results_dir (Printf.sprintf "results-%.0f.json" now) in
   write latest;
   write stamped;
+  prune_stamped ();
   printf "\nresults written to %s (copy: %s)\n" latest stamped
 
 (* ------------------------------------------------------------------ *)
@@ -520,6 +540,51 @@ let related () =
   record "related" (Json.List rows)
 
 (* ------------------------------------------------------------------ *)
+(* Profiler: sampled hotspots of one nBench workload under P1-P6 *)
+
+let profile () =
+  hr "Sampling profiler: NUMERIC SORT under P1-P6 (cycle-driven PC samples)";
+  let b = List.nth W.Nbench.all 0 in
+  let interval = 64 in
+  let profiler = Profiler.create ~interval () in
+  let m =
+    match W.Runner.run ~policies:Policy.Set.p1_p6 ~tm ~profiler b.W.Nbench.source with
+    | Ok m -> m
+    | Error e -> failwith ("profile section failed: " ^ e)
+  in
+  let samples = Profiler.samples_total profiler in
+  printf "cycles %d, sampling interval %d -> %d samples (retired %d instructions)\n\n"
+    m.W.Runner.cycles interval samples (Profiler.retired profiler);
+  printf "%-24s %10s %8s\n" "hot site" "samples" "share";
+  let hot = Profiler.hotspots profiler in
+  List.iteri
+    (fun i (h : Profiler.hotspot) ->
+      if i < 10 then
+        printf "%-24s %10d %7.1f%%\n"
+          (Printf.sprintf "%s;+0x%x" h.Profiler.func h.Profiler.offset)
+          h.Profiler.count
+          (100.0 *. float_of_int h.Profiler.count /. float_of_int samples))
+    hot;
+  ensure_dir "bench";
+  ensure_dir results_dir;
+  let path = Filename.concat results_dir "profile-numeric-sort.json" in
+  let oc = open_out path in
+  Json.to_channel ~pretty:true oc (Profiler.to_json ~cycles:m.W.Runner.cycles profiler);
+  close_out oc;
+  printf "\nprofile written to %s\n" path;
+  record "profile"
+    (Json.Obj
+       [
+         ("workload", Json.Str b.W.Nbench.name);
+         ("interval", Json.Int interval);
+         ("cycles", Json.Int m.W.Runner.cycles);
+         ("samples", Json.Int samples);
+         ("retired_instructions", Json.Int (Profiler.retired profiler));
+         ("distinct_sites", Json.Int (List.length hot));
+         ("output", Json.Str path);
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock micro-benchmarks: one per table/figure pipeline *)
 
 let micro () =
@@ -599,7 +664,7 @@ let () =
     [
       ("table1", table1); ("table2", table2); ("fig7", fig7); ("fig8", fig8); ("fig9", fig9);
       ("fig10", fig10); ("fig11", fig11); ("ablation", ablation); ("related", related);
-      ("micro", micro);
+      ("profile", profile); ("micro", micro);
     ]
   in
   let selected =

@@ -4,10 +4,14 @@
      deflectionc verify service.dfl [--policies P1-P6]
      deflectionc disasm service.mc
      deflectionc run service.mc [--input FILE]... [--policies P1-P6]
+                                [--forensics[=FILE]] [--profile[=FILE]]
+                                [--prof-interval=N] [--prom[=FILE]]
+     deflectionc report saved.json
 
    `run` executes the complete protocol: attestation, sealed delivery,
    in-enclave load/verify/rewrite, execution, and decryption of the
-   sealed outputs as the data owner. *)
+   sealed outputs as the data owner. `report` pretty-prints a saved
+   deflection-forensics/1 or deflection-profile/1 JSON document. *)
 
 open Cmdliner
 module Policy = Deflection_policy.Policy
@@ -17,6 +21,10 @@ module Verifier = Deflection_verifier.Verifier
 module Interp = Deflection_runtime.Interp
 module Telemetry = Deflection_telemetry.Telemetry
 module Json = Deflection_telemetry.Json
+module Flight_recorder = Deflection_forensics.Flight_recorder
+module Profiler = Deflection_forensics.Profiler
+module Report = Deflection_forensics.Report
+module Prometheus = Deflection_forensics.Prometheus
 
 let policy_set_conv =
   let parse s =
@@ -96,6 +104,12 @@ let verify_cmd =
         Format.printf "ACCEPTED: %a@." Verifier.pp_report report
       | Error rej ->
         Format.printf "REJECTED: %a@." Verifier.pp_rejection rej;
+        let verdict =
+          Report.explain_rejection ~text:obj.Objfile.text
+            ~pass:(Verifier.pass_label rej.Verifier.pass) ~offset:rej.Verifier.offset
+            ~reason:rej.Verifier.reason ()
+        in
+        Format.printf "%a@." Report.pp_verdict verdict;
         exit 2)
   in
   Cmd.v
@@ -137,7 +151,43 @@ let run_cmd =
             "Record the session's counters and histograms. Without $(docv) (or with -), print \
              them on stdout; with $(docv), write the full telemetry snapshot as JSON.")
   in
-  let action source input_files policies ssa_q trace metrics =
+  let forensics =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "forensics" ] ~docv:"FILE"
+          ~doc:
+            "Attach the flight recorder and, on a policy abort or runtime fault (or a \
+             verifier rejection), emit a forensic report. Without $(docv) (or with -), print \
+             it human-readable on stdout; with $(docv), write a deflection-forensics/1 JSON \
+             document.")
+  in
+  let profile =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:
+            "Attach the sampling profiler. Without $(docv) (or with -), print the \
+             collapsed-stack hotspot lines on stdout (flamegraph.pl-compatible); with \
+             $(docv), write a deflection-profile/1 JSON document.")
+  in
+  let prof_interval =
+    Arg.(
+      value & opt int 64
+      & info [ "prof-interval" ] ~docv:"N" ~doc:"Profiler sampling interval in virtual cycles.")
+  in
+  let prom =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:
+            "Export the telemetry counters and histograms in Prometheus text exposition \
+             format, to stdout (no $(docv) or -) or to $(docv).")
+  in
+  let action source input_files policies ssa_q trace metrics forensics profile prof_interval
+      prom =
     let inputs = List.map (fun f -> Bytes.of_string (read_file f)) input_files in
     let tm =
       match (trace, metrics) with
@@ -146,40 +196,79 @@ let run_cmd =
         (* a tracing sink only when the user asked for observation *)
         Telemetry.create ~sink:(Telemetry.Sink.ring ~capacity:65536) ()
     in
+    let recorder =
+      match forensics with
+      | None -> Flight_recorder.disabled
+      | Some _ -> Flight_recorder.create ~capacity:512 ()
+    in
+    let profiler =
+      match profile with
+      | None -> Profiler.disabled
+      | Some _ -> Profiler.create ~interval:prof_interval ()
+    in
+    let write_json what file doc =
+      try
+        let oc = open_out file in
+        Json.to_channel ~pretty:true oc doc;
+        close_out oc;
+        Format.eprintf "%s written to %s@." what file
+      with Sys_error e -> Format.eprintf "cannot write %s: %s@." what e
+    in
+    let write_text what file text =
+      try
+        let oc = open_out file in
+        output_string oc text;
+        close_out oc;
+        Format.eprintf "%s written to %s@." what file
+      with Sys_error e -> Format.eprintf "cannot write %s: %s@." what e
+    in
     let dump () =
       let snap = Telemetry.snapshot tm in
-      let write_json what file doc =
-        try
-          let oc = open_out file in
-          Json.to_channel ~pretty:true oc doc;
-          close_out oc;
-          Format.eprintf "%s written to %s@." what file
-        with Sys_error e -> Format.eprintf "cannot write %s: %s@." what e
-      in
       (match trace with
       | None -> ()
       | Some "-" -> Format.printf "%a@." Telemetry.pp_snapshot snap
       | Some file -> write_json "trace" file (Telemetry.chrome_trace snap));
-      match metrics with
+      (match metrics with
       | None -> ()
       | Some "-" ->
         if trace <> Some "-" then Format.printf "%a@." Telemetry.pp_snapshot snap
-      | Some file -> write_json "metrics" file (Telemetry.snapshot_to_json snap)
+      | Some file -> write_json "metrics" file (Telemetry.snapshot_to_json snap));
+      match prom with
+      | None -> ()
+      | Some "-" -> print_string (Prometheus.of_snapshot snap)
+      | Some file -> write_text "prometheus metrics" file (Prometheus.of_snapshot snap)
+    in
+    let dump_profile cycles =
+      match profile with
+      | None -> ()
+      | Some "-" -> print_string (Profiler.collapsed profiler)
+      | Some file -> write_json "profile" file (Profiler.to_json ?cycles profiler)
     in
     match
-      Deflection.Session.run ~policies ~ssa_q ~tm ~source:(read_file source) ~inputs ()
+      Deflection.Session.run ~policies ~ssa_q ~tm ~recorder ~profiler
+        ~source:(read_file source) ~inputs ()
     with
     | Error e ->
       Format.eprintf "session failed: %a@." Deflection.Session.pp_error e;
+      (* a rejected binary still gets an explained verdict when forensics
+         were requested: recompile outside the enclave to recover the text *)
+      (match (e, forensics) with
+      | Deflection.Session.Verifier_rejection rej, Some dest ->
+        let text =
+          match Deflection.Session.compile_only ~policies ~ssa_q (read_file source) with
+          | Ok obj -> Some obj.Objfile.text
+          | Error _ -> None
+        in
+        let verdict =
+          Report.explain_rejection ?text ~pass:(Verifier.pass_label rej.Verifier.pass)
+            ~offset:rej.Verifier.offset ~reason:rej.Verifier.reason ()
+        in
+        (match dest with
+        | "-" -> Format.printf "%a@." Report.pp_verdict verdict
+        | file -> write_json "forensics" file (Report.verdict_to_json verdict))
+      | _ -> ());
       dump ();
-      (* structured exit codes so scripts can tell the stages apart *)
-      exit
-        (match e with
-        | Deflection.Session.Verifier_rejection _ -> 2
-        | Deflection.Session.Compile_error _ -> 3
-        | Deflection.Session.Attestation_error _ -> 4
-        | Deflection.Session.Runtime_error _ -> 5
-        | _ -> 1)
+      exit (Deflection.Session.exit_code e)
     | Ok o ->
       Format.printf "verifier: %a@." Verifier.pp_report o.Deflection.Session.verifier_report;
       Format.printf "exit: %a | cycles=%d instructions=%d ocalls=%d aexes=%d leaked=%d@."
@@ -189,7 +278,18 @@ let run_cmd =
       List.iteri
         (fun i out -> Format.printf "output[%d] = %S@." i (Bytes.to_string out))
         o.Deflection.Session.outputs;
-      dump ()
+      (match (forensics, o.Deflection.Session.crash) with
+      | None, _ -> ()
+      | Some _, None -> ()
+      | Some "-", Some crash -> Format.printf "%a@." Report.pp_crash crash
+      | Some file, Some crash -> write_json "forensics" file (Report.crash_to_json crash));
+      dump_profile (Some o.Deflection.Session.cycles);
+      dump ();
+      (* the protocol succeeded but the enclave program died: distinct code
+         so scripts can tell "service misbehaved" from "pipeline failed" *)
+      (match o.Deflection.Session.exit with
+      | Interp.Exited _ -> ()
+      | _ -> exit 9)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run the full attested session on a MiniC service."
@@ -198,13 +298,39 @@ let run_cmd =
            `S Manpage.s_exit_status;
            `P
              "0 on success, 2 if the verifier rejected the binary, 3 on a compile error, 4 on \
-              an attestation failure, 5 on a runtime fault, 1 otherwise.";
+              an attestation failure, 5 on a runtime-stage protocol failure, 6 on a delivery \
+              failure, 7 on an upload failure, 8 on an output-decryption failure, 9 when the \
+              session succeeded but the enclave program aborted or faulted (policy abort, \
+              memory fault, ...), 1 otherwise.";
          ])
-    Term.(const action $ src $ inputs $ policies_arg $ ssa_q_arg $ trace $ metrics)
+    Term.(
+      const action $ src $ inputs $ policies_arg $ ssa_q_arg $ trace $ metrics $ forensics
+      $ profile $ prof_interval $ prom)
+
+let report_cmd =
+  let doc_file = Arg.(required & pos 0 (some file) None & info [] ~docv:"JSON") in
+  let action path =
+    match Json.parse (read_file path) with
+    | Error e ->
+      Format.eprintf "%s: invalid JSON: %s@." path e;
+      exit 1
+    | Ok doc ->
+      (match Report.render doc with
+      | Ok text -> print_string (text ^ "\n")
+      | Error e ->
+        Format.eprintf "%s: %s@." path e;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Pretty-print a saved forensics (deflection-forensics/1) or profile \
+          (deflection-profile/1) JSON document.")
+    Term.(const action $ doc_file)
 
 let () =
   let info =
     Cmd.info "deflectionc" ~version:"1.0"
       ~doc:"DEFLECTION: delegated in-enclave verification of privacy compliance."
   in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; verify_cmd; disasm_cmd; run_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; verify_cmd; disasm_cmd; run_cmd; report_cmd ]))

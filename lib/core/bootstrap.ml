@@ -12,6 +12,9 @@ module Attestation = Deflection_attestation.Attestation
 module Channel = Deflection_crypto.Channel
 module Ratls = Attestation.Ratls
 module Telemetry = Deflection_telemetry.Telemetry
+module Flight_recorder = Deflection_forensics.Flight_recorder
+module Profiler = Deflection_forensics.Profiler
+module Report = Deflection_forensics.Report
 
 type config = {
   layout : Layout.config;
@@ -186,7 +189,71 @@ type run_stats = {
   ocalls : int;
   leaked_bytes : int;
   sealed_outputs : bytes list;
+  crash : Report.crash option;
 }
+
+(* Freeze the interpreter state into a crash report. Only called on
+   abnormal exits, so the disassembly/decode cost never taxes a clean
+   run. *)
+let build_crash t (loaded : Loader.loaded) itp exit =
+  let kind, detail, policy, abort_stub =
+    match (exit : Interp.exit_reason) with
+    | Interp.Exited _ -> ("exited", Interp.exit_reason_to_string exit, None, None)
+    | Interp.Policy_abort r ->
+      ( "policy-abort",
+        Interp.exit_reason_to_string exit,
+        Some (Report.policy_of_abort ~enforced:t.config.policies r),
+        Some (Deflection_annot.Annot.abort_symbol r) )
+    | Interp.Mem_fault _ -> ("mem-fault", Interp.exit_reason_to_string exit, None, None)
+    | Interp.Invalid_instruction _ ->
+      ("bad-decode", Interp.exit_reason_to_string exit, None, None)
+    | Interp.Div_by_zero _ -> ("div-by-zero", Interp.exit_reason_to_string exit, None, None)
+    | Interp.Ocall_denied _ ->
+      ("ocall-denied", Interp.exit_reason_to_string exit, Some Policy.P0, None)
+    | Interp.Limit_exceeded ->
+      ("limit-exceeded", Interp.exit_reason_to_string exit, None, None)
+  in
+  let pc = Interp.rip itp in
+  let text = Memory.priv_read_bytes t.mem loaded.Loader.text_base loaded.Loader.text_len in
+  let window = Report.disasm_window ~code:text ~base:loaded.Loader.text_base ~pc () in
+  let instr_bytes =
+    match List.find_opt (fun l -> l.Report.w_fault) window with
+    | Some l -> l.Report.w_bytes
+    | None -> ""
+  in
+  let regions =
+    List.filter_map
+      (fun (name, lo, hi) ->
+        if lo >= hi then None
+        else
+          Some
+            {
+              Report.r_name = name;
+              r_lo = lo;
+              r_hi = hi;
+              r_perm = Format.asprintf "%a" Memory.pp_perm (Memory.page_perm t.mem lo);
+            })
+      (Layout.regions t.layout)
+  in
+  let recorder = Interp.recorder itp in
+  {
+    Report.kind;
+    detail;
+    policy;
+    abort_stub;
+    pc;
+    instr_bytes;
+    window;
+    regs = Interp.register_file itp;
+    regions;
+    events = Flight_recorder.entries recorder;
+    events_dropped = Flight_recorder.dropped recorder;
+    cycles = Interp.cycles itp;
+    instructions = Interp.instructions itp;
+    aexes = Interp.aex_count itp;
+    ocalls = Interp.ocall_count itp;
+    leaked_bytes = Memory.leaked_bytes t.mem;
+  }
 
 (* OCall wrappers: P0. Buffers handed out by the target are validated to
    lie inside the data/stack regions before the wrapper touches them. *)
@@ -197,7 +264,7 @@ let buffer_ok t addr nelems =
 (* per-byte cycle surcharge for record encryption done by the wrapper *)
 let crypto_cycles_per_byte = 4
 
-let run t =
+let run ?(recorder = Flight_recorder.disabled) ?(profiler = Profiler.disabled) t =
   if not t.verified then Error Not_verified
   else begin
     match (t.loaded, t.owner_session) with
@@ -304,7 +371,8 @@ let run t =
             end
           | _ -> Interp.Halt (Interp.Ocall_denied index))
       in
-      let itp = Interp.create ~config:t.config.interp ~tm:t.tm ~ocall t.mem in
+      Profiler.set_symbols profiler loaded.Loader.function_addrs;
+      let itp = Interp.create ~config:t.config.interp ~tm:t.tm ~recorder ~profiler ~ocall t.mem in
       Interp.init_stack itp;
       (* R15 is the reserved shadow-stack pointer; target code cannot
          write it (the verifier rejects such instructions under P5) *)
@@ -320,6 +388,9 @@ let run t =
         let padded = (c + q - 1) / q * q in
         Interp.add_cycles itp (padded - c)
       | Some _ | None -> ());
+      (* the blurring padding is real enclave time: attribute its samples
+         to the final pc so the sample count tracks the cycle count *)
+      Profiler.catch_up profiler ~cycles:(Interp.cycles itp) ~pc:(Interp.rip itp);
       if Telemetry.enabled t.tm then begin
         Telemetry.count t.tm "interp.instructions" (Interp.instructions itp);
         Telemetry.count t.tm "interp.cycles" (Interp.cycles itp);
@@ -329,6 +400,11 @@ let run t =
           (fun (cls, n) -> Telemetry.count t.tm ("interp.class." ^ cls) n)
           (Interp.class_counts itp)
       end;
+      let crash =
+        match exit with
+        | Interp.Exited _ -> None
+        | _ -> Some (build_crash t loaded itp exit)
+      in
       Ok
         {
           exit;
@@ -338,5 +414,6 @@ let run t =
           ocalls = Interp.ocall_count itp;
           leaked_bytes = Memory.leaked_bytes t.mem;
           sealed_outputs = List.rev !outputs;
+          crash;
         }
   end

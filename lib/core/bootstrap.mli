@@ -18,6 +18,9 @@ module Policy = Deflection_policy.Policy
 module Interp = Deflection_runtime.Interp
 module Verifier = Deflection_verifier.Verifier
 module Attestation = Deflection_attestation.Attestation
+module Flight_recorder = Deflection_forensics.Flight_recorder
+module Profiler = Deflection_forensics.Profiler
+module Report = Deflection_forensics.Report
 
 type config = {
   layout : Layout.config;
@@ -93,10 +96,18 @@ type run_stats = {
   ocalls : int;
   leaked_bytes : int;
   sealed_outputs : bytes list;  (** records encrypted to the data owner *)
+  crash : Report.crash option;
+      (** present iff [exit] is abnormal: the frozen forensic state —
+          violated policy, faulting instruction + disassembly window,
+          register file, memory map, flight-recorder tail *)
 }
 
-val run : t -> (run_stats, ecall_error) result
-(** Transfer execution to the verified target program. *)
+val run :
+  ?recorder:Flight_recorder.t -> ?profiler:Profiler.t -> t -> (run_stats, ecall_error) result
+(** Transfer execution to the verified target program. [recorder]
+    (default disabled) rides the interpreter's stepping loop and is frozen
+    into [crash] on abnormal exits; [profiler] (default disabled) samples
+    pcs and is fed the loader's function symbol map before entry. *)
 
 val memory : t -> Memory.t
 

@@ -7,6 +7,9 @@ module Attestation = Deflection_attestation.Attestation
 module Ratls = Attestation.Ratls
 module Frontend = Deflection_compiler.Frontend
 module Telemetry = Deflection_telemetry.Telemetry
+module Flight_recorder = Deflection_forensics.Flight_recorder
+module Profiler = Deflection_forensics.Profiler
+module Report = Deflection_forensics.Report
 
 type error =
   | Compile_error of Frontend.error
@@ -29,6 +32,17 @@ let pp_error fmt = function
 
 let error_to_string e = Format.asprintf "%a" pp_error e
 
+(* Process exit codes, one per failure stage. Documented in the README
+   ("Exit codes") and asserted distinct by suite_forensics. *)
+let exit_code = function
+  | Verifier_rejection _ -> 2
+  | Compile_error _ -> 3
+  | Attestation_error _ -> 4
+  | Runtime_error _ -> 5
+  | Delivery_error _ -> 6
+  | Upload_error _ -> 7
+  | Decrypt_error _ -> 8
+
 type outcome = {
   verifier_report : Verifier.report;
   rewritten_imms : int;
@@ -40,6 +54,7 @@ type outcome = {
   leaked_bytes : int;
   outputs : bytes list;
   telemetry : Telemetry.snapshot;
+  crash : Report.crash option;
 }
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
@@ -54,7 +69,7 @@ let empty_snapshot =
   }
 
 let run_protocol ~policies ~ssa_q ?optimize ?layout ?manifest ?interp ~seed ?oram_capacity ~tm
-    ~source ~inputs () =
+    ~recorder ~profiler ~source ~inputs () =
   let config =
     {
       Bootstrap.layout = (match layout with Some l -> l | None -> Bootstrap.default_config.Bootstrap.layout);
@@ -109,7 +124,9 @@ let run_protocol ~policies ~ssa_q ?optimize ?layout ?manifest ?interp ~seed ?ora
   in
   (* --- execute and decrypt the results --- *)
   let* stats =
-    match Bootstrap.run enclave with Ok s -> Ok s | Error e -> Error (Runtime_error e)
+    match Bootstrap.run ~recorder ~profiler enclave with
+    | Ok s -> Ok s
+    | Error e -> Error (Runtime_error e)
   in
   let* outputs =
     Telemetry.span tm "decrypt" @@ fun () ->
@@ -129,17 +146,19 @@ let run_protocol ~policies ~ssa_q ?optimize ?layout ?manifest ?interp ~seed ?ora
       leaked_bytes = stats.Bootstrap.leaked_bytes;
       outputs;
       telemetry = empty_snapshot;
+      crash = stats.Bootstrap.crash;
     }
 
 let run ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?optimize ?layout ?manifest ?interp
-    ?(seed = 1L) ?oram_capacity ?tm ~source ~inputs () =
+    ?(seed = 1L) ?oram_capacity ?tm ?(recorder = Flight_recorder.disabled)
+    ?(profiler = Profiler.disabled) ~source ~inputs () =
   let tm = match tm with Some tm -> tm | None -> Telemetry.create () in
   (* the snapshot is taken after the root span closes so the outcome's
      span tree includes "session" itself *)
   let result =
     Telemetry.span tm "session" (fun () ->
         run_protocol ~policies ~ssa_q ?optimize ?layout ?manifest ?interp ~seed ?oram_capacity
-          ~tm ~source ~inputs ())
+          ~tm ~recorder ~profiler ~source ~inputs ())
   in
   match result with
   | Error _ as e -> e

@@ -15,6 +15,9 @@ module Layout = Deflection_enclave.Layout
 module Manifest = Deflection_policy.Manifest
 module Telemetry = Deflection_telemetry.Telemetry
 module Ratls = Deflection_attestation.Attestation.Ratls
+module Flight_recorder = Deflection_forensics.Flight_recorder
+module Profiler = Deflection_forensics.Profiler
+module Report = Deflection_forensics.Report
 
 (** Which protocol stage failed, with the stage-specific detail. *)
 type error =
@@ -34,6 +37,13 @@ val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 (** Renders the same messages the pre-structured string API produced. *)
 
+val exit_code : error -> int
+(** The documented process exit code for each failure stage, all distinct:
+    verifier rejection 2, compile 3, attestation 4, runtime 5, delivery 6,
+    upload 7, decrypt 8. (The CLI additionally uses 9 for a protocol-level
+    [Ok] whose enclave program aborted or faulted, and 1 for usage/other
+    errors.) *)
+
 type outcome = {
   verifier_report : Verifier.report;
   rewritten_imms : int;
@@ -48,6 +58,9 @@ type outcome = {
       (** spans/counters for the whole protocol run (root span
           ["session"]) — always populated, from a private registry when no
           [tm] was passed *)
+  crash : Report.crash option;
+      (** present iff [exit] is abnormal (policy abort, fault, limit):
+          the frozen forensic state of the enclave at the point of death *)
 }
 
 val run :
@@ -60,6 +73,8 @@ val run :
   ?seed:int64 ->
   ?oram_capacity:int ->
   ?tm:Telemetry.t ->
+  ?recorder:Flight_recorder.t ->
+  ?profiler:Profiler.t ->
   source:string ->
   inputs:bytes list ->
   unit ->
@@ -69,7 +84,8 @@ val run :
     manifest, calm platform. [tm] threads one registry through every stage
     (compile, attest, deliver, load/verify/rewrite, upload, execute,
     decrypt); when omitted, a fresh private registry backs
-    [outcome.telemetry]. *)
+    [outcome.telemetry]. [recorder]/[profiler] (default disabled) attach
+    the flight recorder and the sampling profiler to the interpreter. *)
 
 val compile_only :
   ?policies:Policy.Set.t ->

@@ -114,6 +114,22 @@ let colocation_cell t = t.ss_lo + 24
 let ss_stack_base t = t.ss_lo + 64
 let ssa_marker_addr t = t.ssa_lo
 
+let regions t =
+  [
+    ("ssa", t.ssa_lo, t.ssa_hi);
+    ("tcs", t.tcs_lo, t.tcs_hi);
+    ("branch-table", t.branch_lo, t.branch_hi);
+    ("ss-guard-lo", t.ss_guard_lo, t.ss_lo);
+    ("shadow-stack", t.ss_lo, t.ss_hi);
+    ("ss-guard-hi", t.ss_hi, t.ss_guard_hi);
+    ("consumer", t.consumer_lo, t.consumer_hi);
+    ("code", t.code_lo, t.code_hi);
+    ("data", t.data_lo, t.data_hi);
+    ("stack-guard-lo", t.stack_guard_lo, t.stack_lo);
+    ("stack", t.stack_lo, t.stack_hi);
+    ("stack-guard-hi", t.stack_hi, t.stack_guard_hi);
+  ]
+
 let store_bounds t ~p3 ~p4 =
   if p4 then (t.data_lo, t.limit)
   else if p3 then (t.code_lo, t.limit)

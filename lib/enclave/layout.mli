@@ -78,6 +78,11 @@ val ssa_marker_addr : t -> int
 (** The SSA word the P6 annotations arm and inspect; an AEX context dump
     overwrites it. *)
 
+val regions : t -> (string * int * int) list
+(** Every named region as [(name, lo, hi)], in address order — the
+    memory-map snapshot crash reports embed (pair each region with
+    {!Memory.page_perm} for the permission column). *)
+
 val store_bounds : t -> p3:bool -> p4:bool -> int * int
 (** Legal [lo, hi) for annotated stores under the given policy mix. *)
 

@@ -1,0 +1,44 @@
+module Telemetry = Deflection_telemetry.Telemetry
+
+let legal_first c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+let legal c = legal_first c || (c >= '0' && c <= '9')
+
+let sanitize_name s =
+  if s = "" then "_"
+  else begin
+    let b = Bytes.of_string s in
+    Bytes.iteri
+      (fun i c ->
+        let ok = if i = 0 then legal_first c else legal c in
+        if not ok then Bytes.set b i '_')
+      b;
+    Bytes.to_string b
+  end
+
+let of_snapshot ?(prefix = "deflection") (snap : Telemetry.snapshot) =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let metric raw = sanitize_name (prefix ^ "_" ^ raw) in
+  List.iter
+    (fun (raw, value) ->
+      let name = metric raw ^ "_total" in
+      add "# HELP %s Telemetry counter %s\n" name raw;
+      add "# TYPE %s counter\n" name;
+      add "%s %d\n" name value)
+    snap.Telemetry.counters;
+  List.iter
+    (fun (raw, (h : Telemetry.hist_summary)) ->
+      let name = metric raw in
+      add "# HELP %s Telemetry histogram %s\n" name raw;
+      add "# TYPE %s histogram\n" name;
+      let cumulative = ref 0 in
+      List.iter
+        (fun (ub, count) ->
+          cumulative := !cumulative + count;
+          add "%s_bucket{le=\"%d\"} %d\n" name ub !cumulative)
+        h.Telemetry.h_buckets;
+      add "%s_bucket{le=\"+Inf\"} %d\n" name h.Telemetry.h_count;
+      add "%s_sum %d\n" name h.Telemetry.h_sum;
+      add "%s_count %d\n" name h.Telemetry.h_count)
+    snap.Telemetry.histograms;
+  Buffer.contents buf

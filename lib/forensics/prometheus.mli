@@ -1,0 +1,18 @@
+(** Prometheus text-format exposition of the telemetry registry.
+
+    Renders a {!Deflection_telemetry.Telemetry.snapshot} in the Prometheus
+    text exposition format (version 0.0.4): counters become
+    [<name>_total], histograms become the conventional cumulative
+    [<name>_bucket{le="..."}] series plus [<name>_sum] and [<name>_count],
+    always ending with the [le="+Inf"] bucket. Metric names are sanitized
+    to the legal charset [[a-zA-Z_:][a-zA-Z0-9_:]*] (every other character
+    becomes [_]), and each family carries [# HELP] / [# TYPE] headers so
+    the output scrapes cleanly. *)
+
+val sanitize_name : string -> string
+(** Map an arbitrary telemetry name (e.g. ["interp.class.alu"]) to a legal
+    Prometheus metric name (["interp_class_alu"]). *)
+
+val of_snapshot : ?prefix:string -> Deflection_telemetry.Telemetry.snapshot -> string
+(** The full exposition document. [prefix] (default ["deflection"]) is
+    prepended to every metric name as ["<prefix>_"]. *)

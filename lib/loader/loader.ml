@@ -34,6 +34,7 @@ let error_to_string e = Format.asprintf "%a" pp_error e
 type loaded = {
   entry_addr : int;
   symbol_addrs : (string * int) list;
+  function_addrs : (string * int) list;
   branch_table_addr : int;
   branch_table_len : int;
   text_base : int;
@@ -120,10 +121,19 @@ let load ?(tm = Telemetry.disabled) mem ~aex_threshold (obj : Objfile.t) =
     Telemetry.count tm "loader.data_bytes" data_len;
     Telemetry.count tm "loader.relocs" (List.length obj.Objfile.relocs);
     Telemetry.count tm "loader.branch_entries" n;
+    let function_addrs =
+      List.filter_map
+        (fun (s : Objfile.symbol) ->
+          if s.Objfile.section = Objfile.Text && s.Objfile.is_function then
+            Some (s.Objfile.name, l.Layout.code_lo + s.Objfile.offset)
+          else None)
+        obj.Objfile.symbols
+    in
     Ok
       {
         entry_addr;
         symbol_addrs;
+        function_addrs;
         branch_table_addr = l.Layout.branch_lo;
         branch_table_len = n;
         text_base = l.Layout.code_lo;

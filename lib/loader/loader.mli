@@ -25,6 +25,9 @@ val error_to_string : error -> string
 type loaded = {
   entry_addr : int;  (** absolute address of the entry symbol *)
   symbol_addrs : (string * int) list;  (** every symbol, rebased *)
+  function_addrs : (string * int) list;
+      (** rebased text-section function symbols (runtime stubs included) —
+          the symbol map the sampling profiler attributes pcs against *)
   branch_table_addr : int;
   branch_table_len : int;
   text_base : int;

@@ -5,6 +5,8 @@ module Memory = Deflection_enclave.Memory
 module Layout = Deflection_enclave.Layout
 module Annot = Deflection_annot.Annot
 module Telemetry = Deflection_telemetry.Telemetry
+module Flight_recorder = Deflection_forensics.Flight_recorder
+module Profiler = Deflection_forensics.Profiler
 open Isa
 
 type exit_reason =
@@ -68,6 +70,8 @@ type t = {
   cache : (int, Isa.instr * int * int) Hashtbl.t;
   klass : int array;  (* per-class instruction counts, indexed by class_index *)
   tm : Telemetry.t;
+  recorder : Flight_recorder.t;
+  profiler : Profiler.t;
 }
 
 and ocall_outcome = Continue | Halt of exit_reason
@@ -90,7 +94,8 @@ let schedule_next_aex t =
     let jitter = Deflection_util.Prng.int t.prng (max 1 mean) in
     t.next_aex <- t.cycles + (mean / 2) + jitter
 
-let create ?(config = default_config) ?(tm = Telemetry.disabled) ~ocall mem =
+let create ?(config = default_config) ?(tm = Telemetry.disabled)
+    ?(recorder = Flight_recorder.disabled) ?(profiler = Profiler.disabled) ~ocall mem =
   let t =
     {
       mem;
@@ -109,6 +114,8 @@ let create ?(config = default_config) ?(tm = Telemetry.disabled) ~ocall mem =
       cache = Hashtbl.create 4096;
       klass = Array.make n_classes 0;
       tm;
+      recorder;
+      profiler;
     }
   in
   schedule_next_aex t;
@@ -121,6 +128,19 @@ let read_reg t r = t.regs.(reg_index r)
 let write_reg t r v = t.regs.(reg_index r) <- v
 let memory t = t.mem
 let rip t = t.rip
+let recorder t = t.recorder
+let profiler t = t.profiler
+let register_file t =
+  Array.to_list
+    (Array.mapi
+       (fun i v ->
+         let name =
+           match reg_of_index i with
+           | Some r -> Format.asprintf "%a" pp_reg r
+           | None -> Printf.sprintf "r%d" i
+         in
+         (name, v))
+       t.regs)
 
 let init_stack t =
   let l = Memory.layout t.mem in
@@ -212,6 +232,8 @@ let pop t =
 let inject_aex t =
   t.aexes <- t.aexes + 1;
   t.cycles <- t.cycles + Cost.aex_cost;
+  if Flight_recorder.enabled t.recorder then
+    Flight_recorder.record t.recorder Flight_recorder.Aex ~pc:t.rip ~arg:t.aexes;
   if Telemetry.tracing t.tm then
     Telemetry.event t.tm "interp.aex"
       ~args:[ ("rip", Printf.sprintf "%#x" t.rip); ("n", string_of_int t.aexes) ];
@@ -349,6 +371,8 @@ let exec t instr len =
   | Ocall n ->
     t.ocalls <- t.ocalls + 1;
     t.cycles <- t.cycles + Cost.ocall_transition;
+    if Flight_recorder.enabled t.recorder then
+      Flight_recorder.record t.recorder Flight_recorder.Ocall ~pc:t.rip ~arg:n;
     if Telemetry.tracing t.tm then
       Telemetry.event t.tm "interp.ocall" ~args:[ ("index", string_of_int n) ];
     (match t.ocall n t with Continue -> fall () | Halt r -> raise (Halted r))
@@ -374,12 +398,26 @@ let exec t instr len =
     t.regs.(reg_index r) <- b64 (sqrt (f64 (read_operand t o)));
     fall ()
 
+(* Record an abnormal-exit event at the current rip (the pc of the
+   instruction that raised — [exec] updates rip only on success). *)
+let record_exit t r =
+  if Flight_recorder.enabled t.recorder then begin
+    match r with
+    | Exited _ | Limit_exceeded -> ()
+    | Policy_abort reason ->
+      Flight_recorder.record t.recorder Flight_recorder.Abort ~pc:t.rip
+        ~arg:(Int64.to_int (Annot.abort_exit_code reason))
+    | Mem_fault _ | Invalid_instruction _ | Div_by_zero _ | Ocall_denied _ ->
+      Flight_recorder.record t.recorder Flight_recorder.Fault ~pc:t.rip ~arg:0
+  end
+
 let step t =
   try
     if t.instrs >= t.config.instr_limit then Some Limit_exceeded
     else begin
       if t.cycles >= t.next_aex then inject_aex t;
       let i, len = fetch t in
+      let pc = t.rip in
       t.instrs <- t.instrs + 1;
       let k = class_index i in
       t.klass.(k) <- t.klass.(k) + 1;
@@ -392,18 +430,44 @@ let step t =
         end
       end
       else t.cycles <- t.cycles + Cost.of_instr i;
+      (* retired count bumps before exec so it matches [instrs] (and the
+         class counters) even when the instruction faults mid-execution *)
+      Profiler.on_step t.profiler ~cycles:t.cycles ~pc;
+      if Flight_recorder.enabled t.recorder then
+        Flight_recorder.record t.recorder Flight_recorder.Retired ~pc ~arg:0;
       exec t i len;
+      if Flight_recorder.enabled t.recorder then begin
+        match i with
+        | Jcc _ ->
+          let taken = t.rip <> pc + len in
+          Flight_recorder.record t.recorder
+            (if taken then Flight_recorder.Branch_taken else Flight_recorder.Branch_not_taken)
+            ~pc ~arg:t.rip
+        | JmpInd _ | CallInd _ | Ret ->
+          Flight_recorder.record t.recorder Flight_recorder.Branch_taken ~pc ~arg:t.rip
+        | _ -> ()
+      end;
       None
     end
   with
-  | Halted r -> Some r
-  | Memory.Fault f -> Some (Mem_fault f)
-  | Codec.Decode_error _ -> Some (Invalid_instruction t.rip)
+  | Halted r ->
+    record_exit t r;
+    Some r
+  | Memory.Fault f ->
+    record_exit t (Mem_fault f);
+    Some (Mem_fault f)
+  | Codec.Decode_error _ ->
+    record_exit t (Invalid_instruction t.rip);
+    Some (Invalid_instruction t.rip)
 
 let run t ~entry =
   t.rip <- entry;
+  if Flight_recorder.enabled t.recorder then
+    Flight_recorder.record t.recorder Flight_recorder.Ecall ~pc:entry ~arg:0;
   let rec loop () = match step t with None -> loop () | Some r -> r in
-  loop ()
+  let r = loop () in
+  Profiler.catch_up t.profiler ~cycles:t.cycles ~pc:t.rip;
+  r
 
 let add_cycles t n = t.cycles <- t.cycles + n
 let cycles t = t.cycles

@@ -14,6 +14,8 @@
 module Isa = Deflection_isa.Isa
 module Memory = Deflection_enclave.Memory
 module Telemetry = Deflection_telemetry.Telemetry
+module Flight_recorder = Deflection_forensics.Flight_recorder
+module Profiler = Deflection_forensics.Profiler
 
 type t
 
@@ -48,13 +50,23 @@ val default_config : config
 val create :
   ?config:config ->
   ?tm:Telemetry.t ->
+  ?recorder:Flight_recorder.t ->
+  ?profiler:Profiler.t ->
   ocall:(int -> t -> ocall_outcome) ->
   Memory.t ->
   t
 (** [tm] (default {!Telemetry.disabled}) receives instant events for
     injected AEXes, OCall transitions and policy aborts when a tracing
     sink is attached; per-class instruction counts are kept regardless
-    (see {!class_counts}). *)
+    (see {!class_counts}).
+
+    [recorder] (default {!Flight_recorder.disabled}) receives the
+    fine-grained event stream — retired pcs, conditional/indirect branch
+    outcomes, ECall/OCall transitions, AEX injections and abnormal exits.
+
+    [profiler] (default {!Profiler.disabled}) samples the pc every
+    [interval] virtual cycles; its retired-instruction count tracks
+    {!instructions} exactly. *)
 
 (** {2 Register and memory access (for OCall handlers and tests)} *)
 
@@ -62,6 +74,12 @@ val read_reg : t -> Isa.reg -> int64
 val write_reg : t -> Isa.reg -> int64 -> unit
 val memory : t -> Memory.t
 val rip : t -> int
+val recorder : t -> Flight_recorder.t
+val profiler : t -> Profiler.t
+
+val register_file : t -> (string * int64) list
+(** The full register file as [(name, value)], in index order — the
+    snapshot crash reports embed. *)
 
 (** {2 Execution} *)
 

@@ -6,9 +6,14 @@ module Policy = Deflection_policy.Policy
 module Telemetry = Deflection_telemetry.Telemetry
 open Isa
 
-type rejection = { offset : int; reason : string }
+type pass = Symbols | Scan | Cfg
 
-let pp_rejection fmt r = Format.fprintf fmt "rejected at %#x: %s" r.offset r.reason
+let pass_label = function Symbols -> "symbols" | Scan -> "scan" | Cfg -> "cfg"
+
+type rejection = { pass : pass; offset : int; reason : string }
+
+let pp_rejection fmt r =
+  Format.fprintf fmt "rejected at %#x (%s pass): %s" r.offset (pass_label r.pass) r.reason
 
 type report = {
   instructions_checked : int;
@@ -27,9 +32,9 @@ let pp_report fmt r =
     r.instructions_checked r.store_annotations r.rsp_annotations r.cfi_annotations r.prologues
     r.epilogues r.ssa_checks
 
-exception Reject of rejection
+exception Reject of int * string
 
-let reject offset reason = raise (Reject { offset; reason })
+let reject offset reason = raise (Reject (offset, reason))
 
 (* P6 slack: the instrumentation pass may delay a marker inspection past
    the nominal period while flags are live; see Instrument.maybe_ssa_check. *)
@@ -368,6 +373,7 @@ let scan_run st start =
 
 let verify ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile.t) =
   Telemetry.span tm "verify" @@ fun () ->
+  let current_pass = ref Symbols in
   try
     let text = obj.Objfile.text in
     let sym name =
@@ -445,8 +451,10 @@ let verify ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile.t) =
         if not (Hashtbl.mem st.visited off) then scan_run st off;
         drain ()
     in
+    current_pass := Scan;
     Telemetry.span tm "verify.scan" drain;
     (* a-posteriori control-flow target validation *)
+    current_pass := Cfg;
     Telemetry.span tm "verify.cfg" (fun () ->
         List.iter
           (fun (site, target) ->
@@ -486,8 +494,14 @@ let verify ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile.t) =
         epilogues = st.n_epilogue;
         ssa_checks = st.n_ssa;
       }
-  with Reject r ->
+  with Reject (offset, reason) ->
+    let r = { pass = !current_pass; offset; reason } in
     if Telemetry.tracing tm then
       Telemetry.event tm "verifier.reject"
-        ~args:[ ("offset", Printf.sprintf "%#x" r.offset); ("reason", r.reason) ];
+        ~args:
+          [
+            ("pass", pass_label r.pass);
+            ("offset", Printf.sprintf "%#x" r.offset);
+            ("reason", r.reason);
+          ];
     Error r

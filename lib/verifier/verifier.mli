@@ -23,7 +23,14 @@
 
 module Objfile = Deflection_isa.Objfile
 
-type rejection = { offset : int; reason : string }
+(** Which verification pass rejected the binary (forensics uses this to
+    explain verdicts). *)
+type pass = Symbols | Scan | Cfg
+
+val pass_label : pass -> string
+(** ["symbols"] | ["scan"] | ["cfg"]. *)
+
+type rejection = { pass : pass; offset : int; reason : string }
 
 val pp_rejection : Format.formatter -> rejection -> unit
 

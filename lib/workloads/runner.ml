@@ -21,7 +21,7 @@ let bench_manifest =
   }
 
 let run ?(policies = Policy.Set.p1_p6) ?(inputs = []) ?(aex_interval = Some 2_000_000) ?tm
-    source =
+    ?recorder ?profiler source =
   let interp =
     {
       Interp.default_config with
@@ -31,7 +31,8 @@ let run ?(policies = Policy.Set.p1_p6) ?(inputs = []) ?(aex_interval = Some 2_00
     }
   in
   match
-    Deflection.Session.run ~policies ~manifest:bench_manifest ~interp ?tm ~source ~inputs ()
+    Deflection.Session.run ~policies ~manifest:bench_manifest ~interp ?tm ?recorder ?profiler
+      ~source ~inputs ()
   with
   | Error e -> Error (Deflection.Session.error_to_string e)
   | Ok o ->

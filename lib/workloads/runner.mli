@@ -21,11 +21,14 @@ val run :
   ?inputs:bytes list ->
   ?aex_interval:int option ->
   ?tm:Deflection_telemetry.Telemetry.t ->
+  ?recorder:Deflection_forensics.Flight_recorder.t ->
+  ?profiler:Deflection_forensics.Profiler.t ->
   string ->
   (measurement, string) result
 (** Defaults: P1-P6, no inputs, AEX injected every ~2M cycles (the benign
     platform's interrupt rate), co-location always true, AEX budget high
-    enough for long benchmarks. *)
+    enough for long benchmarks. [recorder]/[profiler] attach the forensics
+    instruments to the interpreter (see {!Deflection.Session.run}). *)
 
 val settings : (string * Policy.Set.t) list
 (** The five evaluation settings: baseline (no instrumentation), P1,

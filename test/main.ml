@@ -20,4 +20,5 @@ let () =
       ("workloads", Suite_workloads.suite);
       ("runtimes", Suite_runtimes.suite);
       ("telemetry", Suite_telemetry.suite);
+      ("forensics", Suite_forensics.suite);
     ]

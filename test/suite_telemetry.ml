@@ -156,6 +156,84 @@ let test_json_parse () =
       | Error _ -> ())
     [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{'a':1}"; "[1] trailing" ]
 
+let test_json_string_escapes () =
+  (* every escape JSON defines, incl. \uXXXX and astral surrogate pairs *)
+  (match Json.parse {|"\" \\ \/ \b \f \n \r \t A é € 😀"|} with
+  | Error e -> Alcotest.failf "escape parse: %s" e
+  | Ok (Json.Str s) ->
+    Alcotest.(check string) "decoded escapes"
+      "\" \\ / \b \012 \n \r \t A \xc3\xa9 \xe2\x82\xac \xf0\x9f\x98\x80" s;
+    (* control characters re-escape on output and survive a round-trip *)
+    let again =
+      match Json.parse (Json.to_string (Json.Str s)) with
+      | Ok (Json.Str s') -> s'
+      | Ok _ | Error _ -> Alcotest.fail "re-parse failed"
+    in
+    Alcotest.(check string) "escape round-trip" s again
+  | Ok _ -> Alcotest.fail "not a string");
+  (* a lone high surrogate degrades to U+FFFD rather than corrupting *)
+  (match Json.parse {|"\ud83d oops"|} with
+  | Ok (Json.Str s) -> Alcotest.(check string) "lone surrogate" "\xef\xbf\xbd oops" s
+  | Ok _ | Error _ -> Alcotest.fail "lone surrogate not handled");
+  (* raw control characters inside strings are invalid JSON *)
+  match Json.parse "\"a\nb\"" with
+  | Ok _ -> Alcotest.fail "raw newline accepted in string"
+  | Error _ -> ()
+
+let test_json_nonfinite_floats () =
+  (* JSON has no nan/inf: the writer must emit null, and the result must
+     still parse *)
+  List.iter
+    (fun f ->
+      let s = Json.to_string (Json.List [ Json.Float f; Json.Float 1.5 ]) in
+      match Json.parse s with
+      | Ok (Json.List [ Json.Null; Json.Float 1.5 ]) -> ()
+      | Ok j -> Alcotest.failf "unexpected reparse %s of %s" (Json.to_string j) s
+      | Error e -> Alcotest.failf "non-finite output unparseable (%s): %s" s e)
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  (* finite floats survive exactly, including ugly ones *)
+  List.iter
+    (fun f ->
+      match Json.parse (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float f') -> Alcotest.(check (float 0.0)) "exact round-trip" f f'
+      | Ok _ -> Alcotest.fail "float reparsed as non-float"
+      | Error e -> Alcotest.failf "float %h: %s" f e)
+    [ 0.1; -1e-300; 1.7976931348623157e308; 4503599627370497.0; -0.5 ]
+
+let test_json_trailing_garbage () =
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Ok j -> Alcotest.failf "accepted %S as %s" bad (Json.to_string j)
+      | Error _ -> ())
+    [
+      "{} {}"; "[1] [2]"; "null x"; "42abc"; "{\"a\":1}]"; "  true false"; "\"s\"\"t\"";
+    ];
+  (* leading and trailing whitespace alone is fine *)
+  match Json.parse "  {\"a\": [1, 2]}  \n" with
+  | Ok (Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Int 2 ]) ]) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "whitespace-padded document rejected"
+
+let test_json_deep_nesting () =
+  (* a ~1000-deep document must parse and round-trip without blowing the
+     stack (the parser recurses, so this bounds its depth headroom) *)
+  let depth = 1000 in
+  let doc =
+    let rec build n acc = if n = 0 then acc else build (n - 1) (Json.List [ acc ]) in
+    build depth (Json.Int 7)
+  in
+  let s = Json.to_string doc in
+  Alcotest.(check int) "serialized size" ((2 * depth) + 1) (String.length s);
+  (match Json.parse s with
+  | Ok j -> Alcotest.(check bool) "deep round-trip" true (j = doc)
+  | Error e -> Alcotest.failf "deep parse failed: %s" e);
+  (* deep objects too *)
+  let rec build_obj n acc = if n = 0 then acc else build_obj (n - 1) (Json.Obj [ ("k", acc) ]) in
+  let odoc = build_obj 500 Json.Null in
+  match Json.parse (Json.to_string odoc) with
+  | Ok j -> Alcotest.(check bool) "deep object round-trip" true (j = odoc)
+  | Error e -> Alcotest.failf "deep object parse failed: %s" e
+
 let test_snapshot_json_roundtrip () =
   let tm = T.create ~clock:(fake_clock ()) ~sink:(T.Sink.ring ~capacity:16) () in
   T.span tm "root" (fun () ->
@@ -268,6 +346,10 @@ let suite =
     Alcotest.test_case "ring buffer wraps and counts drops" `Quick test_ring_wraparound;
     Alcotest.test_case "noop sink drops events" `Quick test_noop_sink_drops;
     Alcotest.test_case "json parser accepts/rejects" `Quick test_json_parse;
+    Alcotest.test_case "json string escapes" `Quick test_json_string_escapes;
+    Alcotest.test_case "json non-finite floats become null" `Quick test_json_nonfinite_floats;
+    Alcotest.test_case "json trailing garbage rejected" `Quick test_json_trailing_garbage;
+    Alcotest.test_case "json deep nesting" `Quick test_json_deep_nesting;
     Alcotest.test_case "snapshot json round-trip" `Quick test_snapshot_json_roundtrip;
     Alcotest.test_case "session end-to-end telemetry" `Quick test_session_end_to_end;
     Alcotest.test_case "session private registry" `Quick test_session_private_registry;
