@@ -1,7 +1,8 @@
 # Convenience targets around dune. `make check` is the full gate: build,
 # the complete test suite, a quick benchmark pass (including the profiler
 # section), a forensics smoke run that must die with the documented exit
-# code, and schema checks on every machine-readable artifact produced.
+# code, a chaos smoke campaign that must stay fail-closed, and schema
+# checks on every machine-readable artifact produced.
 
 .PHONY: all build test bench check clean
 
@@ -25,6 +26,8 @@ check:
 	dune exec bin/deflectionc.exe -- run examples/minic/violate_store.mc \
 	  --forensics=bench/results/forensics-smoke.json; test $$? -eq 9
 	dune exec bin/json_check.exe -- bench/results/forensics-smoke.json
+	dune exec bin/deflectionc.exe -- chaos --seeds 50 -o bench/results/chaos.json
+	dune exec bin/json_check.exe -- --chaos bench/results/chaos.json
 
 clean:
 	dune clean

@@ -585,6 +585,45 @@ let profile () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Chaos campaign: seeded fault plans held against the fail-closed oracle *)
+
+let chaos () =
+  hr "Chaos campaign: seeded fault injection vs the fail-closed oracle";
+  let seeds = if !quick then 20 else 50 in
+  let report = Deflection.Campaign.run ~base_seed:1L ~seeds () in
+  let json = Deflection.Campaign.report_to_json report in
+  let violations = Deflection.Campaign.violations report in
+  let failed =
+    List.length
+      (List.filter
+         (fun (c : Deflection.Campaign.case) ->
+           not (Deflection_chaos.Oracle.ok c.Deflection.Campaign.verdict))
+         report.Deflection.Campaign.cases)
+  in
+  printf "%d plans, %d passed, %d failed, %d fail-closed violation(s)\n\n" seeds
+    (seeds - failed) failed violations;
+  printf "%-18s %10s\n" "fault site" "injected";
+  List.iter
+    (fun (site, n) -> printf "%-18s %10d\n" site n)
+    (Deflection.Campaign.histogram report);
+  ensure_dir "bench";
+  ensure_dir results_dir;
+  let path = Filename.concat results_dir "chaos.json" in
+  let oc = open_out path in
+  Json.to_channel ~pretty:true oc json;
+  close_out oc;
+  printf "\ncampaign report written to %s\n" path;
+  record "chaos"
+    (Json.Obj
+       [
+         ("seeds", Json.Int seeds);
+         ("passed", Json.Int (seeds - failed));
+         ("failed", Json.Int failed);
+         ("violations", Json.Int violations);
+         ("output", Json.Str path);
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock micro-benchmarks: one per table/figure pipeline *)
 
 let micro () =
@@ -664,7 +703,7 @@ let () =
     [
       ("table1", table1); ("table2", table2); ("fig7", fig7); ("fig8", fig8); ("fig9", fig9);
       ("fig10", fig10); ("fig11", fig11); ("ablation", ablation); ("related", related);
-      ("profile", profile); ("micro", micro);
+      ("profile", profile); ("chaos", chaos); ("micro", micro);
     ]
   in
   let selected =

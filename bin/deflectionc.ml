@@ -285,11 +285,12 @@ let run_cmd =
       | Some file, Some crash -> write_json "forensics" file (Report.crash_to_json crash));
       dump_profile (Some o.Deflection.Session.cycles);
       dump ();
-      (* the protocol succeeded but the enclave program died: distinct code
-         so scripts can tell "service misbehaved" from "pipeline failed" *)
-      (match o.Deflection.Session.exit with
-      | Interp.Exited _ -> ()
-      | _ -> exit 9)
+      (* the protocol succeeded but the enclave program died: distinct
+         codes so scripts can tell "service misbehaved" (9) and "watchdog
+         fuel ran out" (11) from "pipeline failed" *)
+      (match Deflection.Session.process_exit_code (Ok o) with
+      | 0 -> ()
+      | code -> exit code)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run the full attested session on a MiniC service."
@@ -301,11 +302,74 @@ let run_cmd =
               an attestation failure, 5 on a runtime-stage protocol failure, 6 on a delivery \
               failure, 7 on an upload failure, 8 on an output-decryption failure, 9 when the \
               session succeeded but the enclave program aborted or faulted (policy abort, \
-              memory fault, ...), 1 otherwise.";
+              memory fault, ...), 10 when a protocol stage exhausted its retry/backoff budget \
+              without a structured response, 11 when the interpreter's watchdog fuel ran out, \
+              1 otherwise.";
          ])
     Term.(
       const action $ src $ inputs $ policies_arg $ ssa_q_arg $ trace $ metrics $ forensics
       $ profile $ prof_interval $ prom)
+
+let chaos_cmd =
+  let seeds =
+    Arg.(value & opt int 200 & info [ "seeds" ] ~docv:"N" ~doc:"Number of fault plans to run.")
+  in
+  let base_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "base-seed" ] ~docv:"SEED" ~doc:"Plan $(i,i) uses seed $(docv) + i.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "replay" ] ~docv:"SEED"
+          ~doc:
+            "Instead of a campaign, run the single plan derived from $(docv) and print its \
+             case record — byte-for-byte identical on every run, so a failing campaign case \
+             replays exactly.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the deflection-chaos/1 campaign report to $(docv).")
+  in
+  let action seeds base_seed replay out =
+    match replay with
+    | Some seed ->
+      let case = Deflection.Campaign.run_case ~seed:(Int64.of_int seed) in
+      print_endline (Json.to_string ~pretty:true (Deflection.Campaign.case_to_json case));
+      if not (Deflection_chaos.Oracle.ok case.Deflection.Campaign.verdict) then exit 2
+    | None ->
+      let report = Deflection.Campaign.run ~base_seed:(Int64.of_int base_seed) ~seeds () in
+      let violations = Deflection.Campaign.violations report in
+      (match out with
+      | None -> ()
+      | Some file ->
+        let oc = open_out file in
+        Json.to_channel ~pretty:true oc (Deflection.Campaign.report_to_json report);
+        close_out oc;
+        Format.eprintf "campaign report written to %s@." file);
+      Format.printf "%d plans, %d fail-closed violations@." seeds violations;
+      List.iter
+        (fun (site, n) -> if n > 0 then Format.printf "  %-16s %d faults injected@." site n)
+        (Deflection.Campaign.histogram report);
+      if violations > 0 then exit 2
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a deterministic fault-injection campaign against the full attested session and \
+          check the fail-closed invariants (no fault may flip a rejection into an acceptance, \
+          leak plaintext across the enclave boundary, or produce an undocumented exit code)."
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P "0 when every plan upheld the invariants, 2 on any violation, 1 otherwise.";
+         ])
+    Term.(const action $ seeds $ base_seed $ replay $ out)
 
 let report_cmd =
   let doc_file = Arg.(required & pos 0 (some file) None & info [] ~docv:"JSON") in
@@ -333,4 +397,6 @@ let () =
     Cmd.info "deflectionc" ~version:"1.0"
       ~doc:"DEFLECTION: delegated in-enclave verification of privacy compliance."
   in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; verify_cmd; disasm_cmd; run_cmd; report_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ compile_cmd; verify_cmd; disasm_cmd; run_cmd; chaos_cmd; report_cmd ]))

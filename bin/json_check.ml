@@ -5,9 +5,14 @@
                                 schema: schema/generated_unix/quick fields and
                                 a non-empty "sections" object whose every
                                 section is itself non-empty
+     json_check --chaos FILE    additionally enforce the deflection-chaos/1
+                                schema: seeds/passed/failed bookkeeping must
+                                be consistent, every case must carry a
+                                replayable plan, and "violations" must be 0
 
    Used by `make check` to fail the build when the benchmark harness
-   produced no (or malformed) bench/results/latest.json. *)
+   produced no (or malformed) bench/results/latest.json, and by the chaos
+   smoke job to fail CI on a malformed or fail-open campaign report. *)
 
 module Json = Deflection_telemetry.Json
 
@@ -45,14 +50,67 @@ let check_bench path json =
       (String.concat ", " (List.map fst sections))
   | _ -> die "%s: missing \"sections\" object" path
 
+let int_field path json name =
+  match Json.member name json with
+  | Some (Json.Int n) -> n
+  | _ -> die "%s: missing integer %S field" path name
+
+let check_chaos path json =
+  (match Json.member "schema" json with
+  | Some (Json.Str "deflection-chaos/1") -> ()
+  | Some (Json.Str other) -> die "%s: unknown schema %S" path other
+  | _ -> die "%s: missing \"schema\" field" path);
+  (match Json.member "base_seed" json with
+  | Some (Json.Str s) when Int64.of_string_opt s <> None -> ()
+  | _ -> die "%s: missing int64-string \"base_seed\" field" path);
+  let seeds = int_field path json "seeds" in
+  let passed = int_field path json "passed" in
+  let failed = int_field path json "failed" in
+  let violations = int_field path json "violations" in
+  if seeds <= 0 then die "%s: campaign ran no plans" path;
+  if passed + failed <> seeds then
+    die "%s: passed (%d) + failed (%d) != seeds (%d)" path passed failed seeds;
+  (match Json.member "fault_histogram" json with
+  | Some (Json.Obj ((_ :: _) as sites)) ->
+    List.iter
+      (fun (site, v) ->
+        match v with Json.Int _ -> () | _ -> die "%s: histogram site %S not an int" path site)
+      sites
+  | _ -> die "%s: missing non-empty \"fault_histogram\" object" path);
+  (match Json.member "cases" json with
+  | Some (Json.List cases) ->
+    if List.length cases <> seeds then
+      die "%s: %d cases but \"seeds\" says %d" path (List.length cases) seeds;
+    List.iteri
+      (fun i case ->
+        (match Json.member "seed" case with
+        | Some (Json.Str s) when Int64.of_string_opt s <> None -> ()
+        | _ -> die "%s: case %d: missing int64-string \"seed\"" path i);
+        (match Json.member "plan" case with
+        | Some (Json.Obj _) -> ()
+        | _ -> die "%s: case %d: missing replayable \"plan\" object" path i);
+        match Json.member "pass" case with
+        | Some (Json.Bool _) -> ()
+        | _ -> die "%s: case %d: missing boolean \"pass\"" path i)
+      cases
+  | _ -> die "%s: missing \"cases\" array" path);
+  if violations > 0 then
+    die "%s: %d fail-closed violation(s) — the campaign is fail-open" path violations;
+  Printf.printf "%s: ok (%d plans, %d passed, 0 violations)\n" path seeds passed
+
 let () =
-  let bench, path =
+  let mode, path =
     match Array.to_list Sys.argv with
-    | [ _; "--bench"; path ] -> (true, path)
-    | [ _; path ] -> (false, path)
-    | _ -> die "usage: json_check [--bench] FILE"
+    | [ _; "--bench"; path ] -> (`Bench, path)
+    | [ _; "--chaos"; path ] -> (`Chaos, path)
+    | [ _; path ] -> (`Plain, path)
+    | _ -> die "usage: json_check [--bench|--chaos] FILE"
   in
   let contents = try read_file path with Sys_error e -> die "%s" e in
   match Json.parse contents with
   | Error e -> die "%s: invalid JSON: %s" path e
-  | Ok json -> if bench then check_bench path json else Printf.printf "%s: ok\n" path
+  | Ok json -> (
+    match mode with
+    | `Bench -> check_bench path json
+    | `Chaos -> check_chaos path json
+    | `Plain -> Printf.printf "%s: ok\n" path)

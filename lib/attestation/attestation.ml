@@ -26,7 +26,9 @@ module Quote = struct
       let report_data = B.Reader.raw r (B.Reader.u32 r) in
       let signature = B.Reader.raw r (B.Reader.u32 r) in
       Ok { measurement; report_data; signature }
-    with B.Reader.Truncated -> Error "truncated quote"
+    with
+    | B.Reader.Truncated -> Error "truncated quote"
+    | Invalid_argument m -> Error ("malformed quote: " ^ m)
 end
 
 module Platform = struct

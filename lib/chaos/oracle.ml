@@ -1,0 +1,45 @@
+module Json = Deflection_telemetry.Json
+
+type observation = {
+  exit_code : int;
+  accepted : bool;
+  leaked_bytes : int;
+  outputs_digest : string;
+}
+
+type verdict = { violations : string list }
+
+let ok v = v.violations = []
+
+(* The CLI contract: 0 success, 1 usage, 2 verifier rejection, 3 compile,
+   4 attestation, 5 runtime, 6 delivery, 7 upload, 8 decrypt, 9 program
+   aborted/faulted, 10 stage timeout, 11 watchdog fuel exhausted.
+   Asserted in sync with Session.exit_code by suite_forensics. *)
+let documented_exit_codes = [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11 ]
+
+let check ~reference ~subject ~divergence_allowed =
+  let violations = ref [] in
+  let add m = violations := m :: !violations in
+  if not (List.mem subject.exit_code documented_exit_codes) then
+    add (Printf.sprintf "undocumented exit code %d" subject.exit_code);
+  if subject.leaked_bytes > reference.leaked_bytes then
+    add
+      (Printf.sprintf "plaintext crossed the enclave boundary under fault (%d > %d leaked bytes)"
+         subject.leaked_bytes reference.leaked_bytes);
+  let ref_ok = reference.accepted && reference.exit_code = 0 in
+  let subj_ok = subject.accepted && subject.exit_code = 0 in
+  if (not ref_ok) && subj_ok then add "fault flipped a rejection into an acceptance";
+  if
+    ref_ok && subj_ok && (not divergence_allowed)
+    && not (String.equal subject.outputs_digest reference.outputs_digest)
+  then add "corrupted outputs accepted as genuine";
+  { violations = List.rev !violations }
+
+let observation_to_json o =
+  Json.Obj
+    [
+      ("exit_code", Json.Int o.exit_code);
+      ("accepted", Json.Bool o.accepted);
+      ("leaked_bytes", Json.Int o.leaked_bytes);
+      ("outputs_digest", Json.Str o.outputs_digest);
+    ]

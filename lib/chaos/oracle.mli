@@ -1,0 +1,40 @@
+(** The fail-closed invariant checker.
+
+    A chaos campaign runs every plan twice over the same workload and
+    session seed: once without faults (the {e reference}) and once with
+    the plan's faults injected (the {e subject}). The oracle compares the
+    two {!observation}s and reports every violated invariant:
+
+    - the subject's process exit code must be documented
+      ({!documented_exit_codes});
+    - no fault may increase the bytes of plaintext crossing the enclave
+      boundary;
+    - no fault may flip a reference rejection/failure into a subject
+      acceptance (fail-open);
+    - when both runs succeed, the decrypted outputs must be byte-identical
+      — unless the plan contains faults that legitimately change the
+      computation (in-enclave memory flips), flagged by the caller via
+      [divergence_allowed].
+
+    An empty violation list means the run was fail-closed under that
+    plan. *)
+
+type observation = {
+  exit_code : int;  (** the documented process exit code of the run *)
+  accepted : bool;  (** protocol-level [Ok] *)
+  leaked_bytes : int;  (** plaintext bytes the boundary monitor saw *)
+  outputs_digest : string;  (** hex digest of the decrypted outputs *)
+}
+
+type verdict = { violations : string list }
+
+val ok : verdict -> bool
+
+val documented_exit_codes : int list
+(** [0..11] — kept in sync with [Session.exit_code] / the CLI by
+    [suite_forensics]. *)
+
+val check :
+  reference:observation -> subject:observation -> divergence_allowed:bool -> verdict
+
+val observation_to_json : observation -> Deflection_telemetry.Json.t

@@ -1,0 +1,72 @@
+module Prng = Deflection_util.Prng
+
+type config = {
+  max_attempts : int;
+  base_backoff_ms : int;
+  max_backoff_ms : int;
+  stage_budget_ms : int;
+}
+
+let default_config =
+  { max_attempts = 5; base_backoff_ms = 5; max_backoff_ms = 80; stage_budget_ms = 10_000 }
+
+type stage_stats = {
+  stage : string;
+  attempts : int;
+  retries : int;
+  backoff_ms : int;
+  timed_out : bool;
+}
+
+type t = {
+  config : config;
+  jitter : Prng.t;
+  mutable stats_rev : stage_stats list;
+}
+
+let create ?(config = default_config) ~seed () =
+  { config; jitter = Prng.create (Prng.derive seed ~label:"retry-jitter"); stats_rev = [] }
+
+let config t = t.config
+let stats t = List.rev t.stats_rev
+
+let total_retries t = List.fold_left (fun acc s -> acc + s.retries) 0 t.stats_rev
+let total_backoff_ms t = List.fold_left (fun acc s -> acc + s.backoff_ms) 0 t.stats_rev
+
+type ('a, 'e) attempt = Done of 'a | Transient of string | Fatal of 'e
+
+type 'e failure =
+  | Timed_out of { stage : string; attempts : int; last : string }
+  | Gave_up of 'e
+
+(* Exponential backoff, capped, plus jitter in [0, base) from the
+   chaos-derived stream. The simulation charges the delay to the stage's
+   virtual clock; it never sleeps. *)
+let backoff_for t ~attempt =
+  let cfg = t.config in
+  let exp = min cfg.max_backoff_ms (cfg.base_backoff_ms * (1 lsl min 20 (attempt - 1))) in
+  exp + Prng.int t.jitter (max 1 cfg.base_backoff_ms)
+
+let run t ~stage f =
+  let cfg = t.config in
+  let record ~attempts ~backoff_ms ~timed_out =
+    t.stats_rev <-
+      { stage; attempts; retries = max 0 (attempts - 1); backoff_ms; timed_out } :: t.stats_rev
+  in
+  let rec go ~attempt ~elapsed ~last =
+    if attempt > cfg.max_attempts || elapsed > cfg.stage_budget_ms then begin
+      record ~attempts:(attempt - 1) ~backoff_ms:elapsed ~timed_out:true;
+      Error (Timed_out { stage; attempts = attempt - 1; last })
+    end
+    else
+      match f ~attempt with
+      | Done v ->
+        record ~attempts:attempt ~backoff_ms:elapsed ~timed_out:false;
+        Ok v
+      | Fatal e ->
+        record ~attempts:attempt ~backoff_ms:elapsed ~timed_out:false;
+        Error (Gave_up e)
+      | Transient msg ->
+        go ~attempt:(attempt + 1) ~elapsed:(elapsed + backoff_for t ~attempt) ~last:msg
+  in
+  go ~attempt:1 ~elapsed:0 ~last:"no attempt made"

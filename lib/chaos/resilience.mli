@@ -1,0 +1,65 @@
+(** Bounded retry with deterministic exponential backoff, per-stage
+    budgets, and retry statistics.
+
+    The session uses one {!t} per protocol run. Each stage (attestation,
+    delivery, upload, output return) wraps its transient-failure-prone
+    work in {!run}: transient faults (authentication failures on
+    corrupted records, dropped transmissions, rejected quotes) are
+    retried up to [max_attempts] times with capped exponential backoff;
+    fatal errors (verifier rejections, malformed authenticated payloads)
+    abort immediately and keep their documented exit codes.
+
+    Backoff jitter is drawn from a PRNG stream derived from the chaos
+    seed under the label ["retry-jitter"] — deterministic, and
+    independent of every other stream. Delays are {e virtual}: they are
+    charged to the stage budget, never slept, so campaigns stay fast and
+    replayable. *)
+
+type config = {
+  max_attempts : int;  (** total tries per stage, retries included (default 5) *)
+  base_backoff_ms : int;  (** first retry delay, also the jitter span (default 5) *)
+  max_backoff_ms : int;  (** exponential cap (default 80) *)
+  stage_budget_ms : int;
+      (** per-stage virtual-time budget; exceeding it times the stage out
+          (default 10_000) *)
+}
+
+val default_config : config
+
+type stage_stats = {
+  stage : string;
+  attempts : int;
+  retries : int;  (** [attempts - 1] *)
+  backoff_ms : int;  (** total virtual backoff charged *)
+  timed_out : bool;
+}
+
+type t
+
+val create : ?config:config -> seed:int64 -> unit -> t
+(** [seed] is the chaos plan seed (or the session seed when chaos is
+    off); the jitter stream is [derive seed ~label:"retry-jitter"]. *)
+
+val config : t -> config
+
+val stats : t -> stage_stats list
+(** Per-stage statistics, in execution order. *)
+
+val total_retries : t -> int
+val total_backoff_ms : t -> int
+
+(** One attempt's outcome, as reported by the stage body. *)
+type ('a, 'e) attempt =
+  | Done of 'a
+  | Transient of string  (** retryable; the string names the fault *)
+  | Fatal of 'e  (** not retryable; propagated as-is *)
+
+type 'e failure =
+  | Timed_out of { stage : string; attempts : int; last : string }
+      (** attempts or budget exhausted; [last] is the final transient
+          fault *)
+  | Gave_up of 'e  (** the stage body reported a fatal error *)
+
+val run : t -> stage:string -> (attempt:int -> ('a, 'e) attempt) -> ('a, 'e failure) result
+(** Run the stage body until [Done]/[Fatal]/exhaustion. [attempt] is
+    1-based. Records one {!stage_stats} entry per call. *)

@@ -15,6 +15,8 @@ module Telemetry = Deflection_telemetry.Telemetry
 module Flight_recorder = Deflection_forensics.Flight_recorder
 module Profiler = Deflection_forensics.Profiler
 module Report = Deflection_forensics.Report
+module Chaos = Deflection_chaos.Chaos
+module Resilience = Deflection_chaos.Resilience
 
 type config = {
   layout : Layout.config;
@@ -210,8 +212,12 @@ let build_crash t (loaded : Loader.loaded) itp exit =
     | Interp.Div_by_zero _ -> ("div-by-zero", Interp.exit_reason_to_string exit, None, None)
     | Interp.Ocall_denied _ ->
       ("ocall-denied", Interp.exit_reason_to_string exit, Some Policy.P0, None)
+    | Interp.Ocall_failed _ ->
+      ("ocall-failed", Interp.exit_reason_to_string exit, None, None)
     | Interp.Limit_exceeded ->
       ("limit-exceeded", Interp.exit_reason_to_string exit, None, None)
+    | Interp.Fuel_exhausted ->
+      ("fuel-exhausted", Interp.exit_reason_to_string exit, None, None)
   in
   let pc = Interp.rip itp in
   let text = Memory.priv_read_bytes t.mem loaded.Loader.text_base loaded.Loader.text_len in
@@ -264,7 +270,8 @@ let buffer_ok t addr nelems =
 (* per-byte cycle surcharge for record encryption done by the wrapper *)
 let crypto_cycles_per_byte = 4
 
-let run ?(recorder = Flight_recorder.disabled) ?(profiler = Profiler.disabled) t =
+let run ?(recorder = Flight_recorder.disabled) ?(profiler = Profiler.disabled)
+    ?(chaos = Chaos.disabled) ?(resilience = Resilience.default_config) t =
   if not t.verified then Error Not_verified
   else begin
     match (t.loaded, t.owner_session) with
@@ -371,8 +378,42 @@ let run ?(recorder = Flight_recorder.disabled) ?(profiler = Profiler.disabled) t
             end
           | _ -> Interp.Halt (Interp.Ocall_denied index))
       in
+      (* chaos: single-bit flips in the non-measured data/stack pages
+         before execution starts — the enclave must stay fail-closed
+         (sealed outputs or a documented fault, never a leak) *)
+      List.iter
+        (fun (addr, bit) ->
+          let b = Memory.priv_read_bytes t.mem addr 1 in
+          Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor (1 lsl bit)));
+          Memory.priv_write_bytes t.mem addr b)
+        (Chaos.mem_flip_plan chaos ~lo:t.layout.Layout.data_lo ~hi:t.layout.Layout.stack_hi);
+      let interp_config =
+        let c = t.config.interp in
+        let c =
+          match Chaos.aex_interval_override chaos with
+          | Some i -> { c with Interp.aex_interval = Some i }
+          | None -> c
+        in
+        match Chaos.fuel_override chaos with
+        | Some f -> { c with Interp.fuel = Some f }
+        | None -> c
+      in
+      (* the OCall wrapper retries host-side service failures; only a
+         failure outlasting the whole budget surfaces as Ocall_failed *)
+      let ocall index itp =
+        let rec attempt k =
+          if Chaos.ocall_fails chaos then begin
+            Interp.add_cycles itp 64 (* re-issued host round trip *);
+            if k >= resilience.Resilience.max_attempts then
+              Interp.Halt (Interp.Ocall_failed index)
+            else attempt (k + 1)
+          end
+          else ocall index itp
+        in
+        attempt 1
+      in
       Profiler.set_symbols profiler loaded.Loader.function_addrs;
-      let itp = Interp.create ~config:t.config.interp ~tm:t.tm ~recorder ~profiler ~ocall t.mem in
+      let itp = Interp.create ~config:interp_config ~tm:t.tm ~recorder ~profiler ~ocall t.mem in
       Interp.init_stack itp;
       (* R15 is the reserved shadow-stack pointer; target code cannot
          write it (the verifier rejects such instructions under P5) *)

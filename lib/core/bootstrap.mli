@@ -103,11 +103,24 @@ type run_stats = {
 }
 
 val run :
-  ?recorder:Flight_recorder.t -> ?profiler:Profiler.t -> t -> (run_stats, ecall_error) result
+  ?recorder:Flight_recorder.t ->
+  ?profiler:Profiler.t ->
+  ?chaos:Deflection_chaos.Chaos.t ->
+  ?resilience:Deflection_chaos.Resilience.config ->
+  t ->
+  (run_stats, ecall_error) result
 (** Transfer execution to the verified target program. [recorder]
     (default disabled) rides the interpreter's stepping loop and is frozen
     into [crash] on abnormal exits; [profiler] (default disabled) samples
-    pcs and is fed the loader's function symbol map before entry. *)
+    pcs and is fed the loader's function symbol map before entry.
+
+    [chaos] (default {!Deflection_chaos.Chaos.disabled}) injects the
+    execution-stage faults of a chaos plan: pre-run bit flips in the
+    non-measured data/stack pages, AEX-interval and watchdog-fuel
+    overrides, and host-side OCall failures. The OCall wrapper retries a
+    failing host call up to [resilience].[max_attempts] times (charging
+    virtual cycles per re-issue); a failure outlasting the budget halts
+    the program with [Interp.Ocall_failed]. *)
 
 val memory : t -> Memory.t
 

@@ -1,0 +1,49 @@
+(** Chaos campaigns: run generated fault plans end-to-end through the
+    full Figure-3 session and hold the outcomes against the fail-closed
+    oracle.
+
+    Each case derives a {!Chaos.plan} from its seed, picks a workload
+    (three compliant runs for every policy-violating one), runs the
+    protocol once without faults (the reference — cached per workload;
+    everything is deterministic) and once with the plan injected, and
+    asks {!Oracle.check} for violations. The whole campaign is a pure
+    function of [base_seed] and [seeds]: re-running any case by seed
+    reproduces its report entry byte-for-byte, which is what makes a
+    failing case a bug report rather than an anecdote.
+
+    The report serializes under the [deflection-chaos/1] schema
+    (validated by [json_check --chaos]). *)
+
+module Chaos = Deflection_chaos.Chaos
+module Oracle = Deflection_chaos.Oracle
+module Resilience = Deflection_chaos.Resilience
+
+type case = {
+  seed : int64;
+  workload : string;
+  plan : Chaos.plan;
+  reference : Oracle.observation;  (** the fault-free run *)
+  subject : Oracle.observation;  (** the run with the plan injected *)
+  verdict : Oracle.verdict;
+  fired : (string * int) list;  (** per-site injected-fault histogram *)
+  retries : Resilience.stage_stats list;
+}
+
+type report = { base_seed : int64; cases : case list }
+
+val run_case : seed:int64 -> case
+(** Deterministic in [seed]. *)
+
+val run : ?base_seed:int64 -> seeds:int -> unit -> report
+(** Case [i] uses seed [base_seed + i]. *)
+
+val violations : report -> int
+(** Total fail-closed violations across all cases — the campaign's pass
+    criterion is zero. *)
+
+val histogram : report -> (string * int) list
+(** Injected faults per site, summed over the campaign, in
+    {!Chaos.all_sites} order. *)
+
+val case_to_json : case -> Deflection_telemetry.Json.t
+val report_to_json : report -> Deflection_telemetry.Json.t

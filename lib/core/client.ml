@@ -3,6 +3,10 @@ module Channel = Deflection_crypto.Channel
 
 let seal_data (session : Ratls.session) data = Channel.seal session.Ratls.tx data
 
+let open_record (session : Ratls.session) record =
+  try Ok (Channel.open_padded session.Ratls.rx record)
+  with Channel.Auth_failure -> Error "output record failed authentication"
+
 let open_outputs (session : Ratls.session) records =
   try
     Ok (List.map (fun r -> Channel.open_padded session.Ratls.rx r) records)

@@ -5,5 +5,12 @@ module Ratls = Deflection_attestation.Attestation.Ratls
 
 val seal_data : Ratls.session -> bytes -> bytes
 
+val open_record : Ratls.session -> bytes -> (bytes, string) result
+(** Decrypt (and unpad) one output record. A failure (corrupted,
+    replayed, or out-of-order record) does not advance the channel's
+    sequence cursor, so the caller can skip it and retry with a
+    retransmission — the primitive the session's resilient output path
+    is built on. *)
+
 val open_outputs : Ratls.session -> bytes list -> (bytes list, string) result
 (** Decrypt (and unpad) the enclave's output records, in order. *)

@@ -18,6 +18,8 @@ module Ratls = Deflection_attestation.Attestation.Ratls
 module Flight_recorder = Deflection_forensics.Flight_recorder
 module Profiler = Deflection_forensics.Profiler
 module Report = Deflection_forensics.Report
+module Chaos = Deflection_chaos.Chaos
+module Resilience = Deflection_chaos.Resilience
 
 (** Which protocol stage failed, with the stage-specific detail. *)
 type error =
@@ -31,6 +33,10 @@ type error =
   | Upload_error of Bootstrap.ecall_error
   | Runtime_error of Bootstrap.ecall_error
   | Decrypt_error of string
+  | Stage_timeout of { stage : string; detail : string }
+      (** the stage's retry/backoff budget ran out without ever producing
+          a structured response (e.g. every transmission was dropped);
+          persistent structured failures keep their own stage error *)
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -40,9 +46,9 @@ val error_to_string : error -> string
 val exit_code : error -> int
 (** The documented process exit code for each failure stage, all distinct:
     verifier rejection 2, compile 3, attestation 4, runtime 5, delivery 6,
-    upload 7, decrypt 8. (The CLI additionally uses 9 for a protocol-level
-    [Ok] whose enclave program aborted or faulted, and 1 for usage/other
-    errors.) *)
+    upload 7, decrypt 8, stage timeout 10. (The CLI additionally uses 9
+    for a protocol-level [Ok] whose enclave program aborted or faulted,
+    11 when the watchdog fuel ran out, and 1 for usage/other errors.) *)
 
 type outcome = {
   verifier_report : Verifier.report;
@@ -61,7 +67,16 @@ type outcome = {
   crash : Report.crash option;
       (** present iff [exit] is abnormal (policy abort, fault, limit):
           the frozen forensic state of the enclave at the point of death *)
+  retries : Resilience.stage_stats list;
+      (** per-stage retry/backoff statistics, in execution order; every
+          stage appears (clean runs show one attempt and no backoff) *)
 }
+
+val process_exit_code : (outcome, error) result -> int
+(** The full CLI exit-code contract in one place: [Error e] is
+    [exit_code e]; a protocol-level [Ok] maps the enclave program's exit
+    reason — normal termination 0, watchdog fuel exhaustion 11, any other
+    abort/fault 9. *)
 
 val run :
   ?policies:Policy.Set.t ->
@@ -72,6 +87,8 @@ val run :
   ?interp:Interp.config ->
   ?seed:int64 ->
   ?oram_capacity:int ->
+  ?chaos:Chaos.t ->
+  ?resilience_config:Resilience.config ->
   ?tm:Telemetry.t ->
   ?recorder:Flight_recorder.t ->
   ?profiler:Profiler.t ->
@@ -85,7 +102,19 @@ val run :
     (compile, attest, deliver, load/verify/rewrite, upload, execute,
     decrypt); when omitted, a fresh private registry backs
     [outcome.telemetry]. [recorder]/[profiler] (default disabled) attach
-    the flight recorder and the sampling profiler to the interpreter. *)
+    the flight recorder and the sampling profiler to the interpreter.
+
+    [chaos] (default {!Chaos.disabled}) threads a fault-injection engine
+    through every stage: sealed records pass {!Chaos.transport}, quotes
+    pass {!Chaos.corrupt_quote}, and the execution stage applies memory
+    flips, AEX storms, OCall failures and fuel limits. Each logical
+    message is sealed exactly once — retries resend the identical record,
+    so the channel's sequence discipline rejects duplicates and replays
+    while retransmissions of a lost record still land.
+    [resilience_config] (default {!Resilience.default_config}) bounds the
+    per-stage retry/backoff/timeout budget; backoff jitter derives from
+    the chaos plan's seed (or [seed] when chaos is off), so runs are
+    deterministic either way. *)
 
 val compile_only :
   ?policies:Policy.Set.t ->

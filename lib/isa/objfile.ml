@@ -79,11 +79,30 @@ let deserialize bytes =
                 let symbol = B.Reader.string r in
                 { at; symbol })
           in
-          let branch_targets = List.init (B.Reader.u32 r) (fun _ -> B.Reader.string r) in
-          let entry = B.Reader.string r in
-          let claimed_policies = List.init (B.Reader.u32 r) (fun _ -> B.Reader.string r) in
-          let ssa_q = B.Reader.u32 r in
-          Ok { text; data; bss_size; symbols; relocs; branch_targets; entry; claimed_policies; ssa_q }
+          let nbranch = B.Reader.u32 r in
+          if nbranch > 1_000_000 then Error "branch-target table too large"
+          else begin
+            let branch_targets = List.init nbranch (fun _ -> B.Reader.string r) in
+            let entry = B.Reader.string r in
+            let npol = B.Reader.u32 r in
+            if npol > 1_000 then Error "claimed-policy list too large"
+            else begin
+              let claimed_policies = List.init npol (fun _ -> B.Reader.string r) in
+              let ssa_q = B.Reader.u32 r in
+              Ok
+                {
+                  text;
+                  data;
+                  bss_size;
+                  symbols;
+                  relocs;
+                  branch_targets;
+                  entry;
+                  claimed_policies;
+                  ssa_q;
+                }
+            end
+          end
         end
       end
     end

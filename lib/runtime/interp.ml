@@ -16,7 +16,9 @@ type exit_reason =
   | Invalid_instruction of int
   | Div_by_zero of int
   | Ocall_denied of int
+  | Ocall_failed of int
   | Limit_exceeded
+  | Fuel_exhausted
 
 let pp_exit_reason fmt = function
   | Exited v -> Format.fprintf fmt "exited(%Ld)" v
@@ -25,7 +27,9 @@ let pp_exit_reason fmt = function
   | Invalid_instruction a -> Format.fprintf fmt "invalid-instruction(%#x)" a
   | Div_by_zero a -> Format.fprintf fmt "div-by-zero(%#x)" a
   | Ocall_denied n -> Format.fprintf fmt "ocall-denied(%d)" n
+  | Ocall_failed n -> Format.fprintf fmt "ocall-failed(%d)" n
   | Limit_exceeded -> Format.fprintf fmt "instruction-limit-exceeded"
+  | Fuel_exhausted -> Format.fprintf fmt "watchdog-fuel-exhausted"
 
 let exit_reason_to_string r = Format.asprintf "%a" pp_exit_reason r
 
@@ -64,7 +68,8 @@ type t = {
   mutable next_aex : int;
   mutable issue_residue : int;  (* simple ops awaiting a shared issue cycle *)
   config : config;
-  prng : Deflection_util.Prng.t;
+  jitter_prng : Deflection_util.Prng.t;  (* AEX schedule jitter *)
+  coloc_prng : Deflection_util.Prng.t;  (* co-location observations *)
   ocall : int -> t -> ocall_outcome;
   (* decode cache: address -> (instr, length, generation) *)
   cache : (int, Isa.instr * int * int) Hashtbl.t;
@@ -81,17 +86,24 @@ and config = {
   aex_interval : int option;
   aex_seed : int64;
   colocated_prob : float;
+  fuel : int option;
 }
 
 let default_config =
-  { instr_limit = 2_000_000_000; aex_interval = None; aex_seed = 7L; colocated_prob = 0.9999 }
+  {
+    instr_limit = 2_000_000_000;
+    aex_interval = None;
+    aex_seed = 7L;
+    colocated_prob = 0.9999;
+    fuel = None;
+  }
 
 let schedule_next_aex t =
   match t.config.aex_interval with
   | None -> t.next_aex <- max_int
   | Some mean ->
     (* uniform jitter in [mean/2, 3*mean/2) keeps the schedule aperiodic *)
-    let jitter = Deflection_util.Prng.int t.prng (max 1 mean) in
+    let jitter = Deflection_util.Prng.int t.jitter_prng (max 1 mean) in
     t.next_aex <- t.cycles + (mean / 2) + jitter
 
 let create ?(config = default_config) ?(tm = Telemetry.disabled)
@@ -109,7 +121,14 @@ let create ?(config = default_config) ?(tm = Telemetry.disabled)
       next_aex = max_int;
       issue_residue = 0;
       config;
-      prng = Deflection_util.Prng.create config.aex_seed;
+      (* labeled sub-streams of the one aex_seed: the AEX schedule and the
+         co-location observations never perturb each other (Prng.derive) *)
+      jitter_prng =
+        Deflection_util.Prng.create
+          (Deflection_util.Prng.derive config.aex_seed ~label:"aex-jitter");
+      coloc_prng =
+        Deflection_util.Prng.create
+          (Deflection_util.Prng.derive config.aex_seed ~label:"colocation");
       ocall;
       cache = Hashtbl.create 4096;
       klass = Array.make n_classes 0;
@@ -128,6 +147,7 @@ let read_reg t r = t.regs.(reg_index r)
 let write_reg t r v = t.regs.(reg_index r) <- v
 let memory t = t.mem
 let rip t = t.rip
+let set_rip t pc = t.rip <- pc
 let recorder t = t.recorder
 let profiler t = t.profiler
 let register_file t =
@@ -226,6 +246,13 @@ let pop t =
   t.regs.(reg_index RSP) <- Int64.add rsp 8L;
   v
 
+(* RFLAGS image dumped to (and restored from) the SSA: one bit per
+   simulated flag. *)
+let flags_word t =
+  let bit b i = if b then Int64.shift_left 1L i else 0L in
+  Int64.logor (bit t.flags.zf 0)
+    (Int64.logor (bit t.flags.sf 1) (Int64.logor (bit t.flags.cf 2) (bit t.flags.ovf 3)))
+
 (* An AEX dumps the register context into the SSA, clobbering the P6
    marker word (which shares the SSA's first slot), and deposits the
    co-location observation the HyperRace-style probe would make. *)
@@ -243,11 +270,14 @@ let inject_aex t =
     Memory.priv_write_u64 t.mem (ssa + (8 * i)) t.regs.(i)
   done;
   Memory.priv_write_u64 t.mem (ssa + 128) (Int64.of_int t.rip);
+  Memory.priv_write_u64 t.mem (ssa + 136) (flags_word t);
   let colocated =
-    if Deflection_util.Prng.float t.prng 1.0 < t.config.colocated_prob then 1L else 0L
+    if Deflection_util.Prng.float t.coloc_prng 1.0 < t.config.colocated_prob then 1L else 0L
   in
   Memory.priv_write_u64 t.mem (Layout.colocation_cell l) colocated;
   schedule_next_aex t
+
+let force_aex t = inject_aex t
 
 (* ------------------------------------------------------------------ *)
 (* Fetch/decode with a generation-stamped cache *)
@@ -403,17 +433,21 @@ let exec t instr len =
 let record_exit t r =
   if Flight_recorder.enabled t.recorder then begin
     match r with
-    | Exited _ | Limit_exceeded -> ()
+    | Exited _ | Limit_exceeded | Fuel_exhausted -> ()
     | Policy_abort reason ->
       Flight_recorder.record t.recorder Flight_recorder.Abort ~pc:t.rip
         ~arg:(Int64.to_int (Annot.abort_exit_code reason))
-    | Mem_fault _ | Invalid_instruction _ | Div_by_zero _ | Ocall_denied _ ->
+    | Mem_fault _ | Invalid_instruction _ | Div_by_zero _ | Ocall_denied _ | Ocall_failed _ ->
       Flight_recorder.record t.recorder Flight_recorder.Fault ~pc:t.rip ~arg:0
   end
+
+let fuel_spent t =
+  match t.config.fuel with Some fuel -> t.cycles >= fuel | None -> false
 
 let step t =
   try
     if t.instrs >= t.config.instr_limit then Some Limit_exceeded
+    else if fuel_spent t then Some Fuel_exhausted
     else begin
       if t.cycles >= t.next_aex then inject_aex t;
       let i, len = fetch t in

@@ -27,7 +27,13 @@ type exit_reason =
   | Invalid_instruction of int  (** undecodable bytes at address *)
   | Div_by_zero of int
   | Ocall_denied of int  (** OCall index not allowed by the manifest *)
+  | Ocall_failed of int
+      (** OCall handler reported an unrecoverable host-side failure *)
   | Limit_exceeded  (** safety instruction budget exhausted *)
+  | Fuel_exhausted
+      (** watchdog fuel limit ({!config}[.fuel]) spent — the structured
+          "stage ran too long" signal the session maps to its own exit
+          code, distinct from the hard safety budget *)
 
 val pp_exit_reason : Format.formatter -> exit_reason -> unit
 val exit_reason_to_string : exit_reason -> string
@@ -43,6 +49,11 @@ type config = {
   colocated_prob : float;
       (** probability that an injected AEX's co-location observation reads
           "same physical core" (benign scheduler ≈ 1 - alpha) *)
+  fuel : int option;
+      (** watchdog budget in virtual cycles; [None] (default) disables it.
+          Exceeding it ends the run with {!Fuel_exhausted}. Unlike
+          [instr_limit] this is a per-stage resilience knob, not a safety
+          backstop. *)
 }
 
 val default_config : config
@@ -74,6 +85,10 @@ val read_reg : t -> Isa.reg -> int64
 val write_reg : t -> Isa.reg -> int64 -> unit
 val memory : t -> Memory.t
 val rip : t -> int
+
+(** [set_rip] points the program counter at an entry before driving the
+    interpreter with {!step} (which, unlike {!run}, takes no [entry]). *)
+val set_rip : t -> int -> unit
 val recorder : t -> Flight_recorder.t
 val profiler : t -> Profiler.t
 
@@ -93,6 +108,16 @@ val init_stack : t -> unit
 
 val step : t -> exit_reason option
 (** Single-step; [None] while running. *)
+
+val force_aex : t -> unit
+(** Inject an AEX right now, regardless of the schedule: dump the register
+    context (including the flags word) into the SSA and deposit a
+    co-location observation. Used by chaos plans (AEX storms) and by the
+    SSA round-trip property tests. *)
+
+val flags_word : t -> int64
+(** The RFLAGS image as saved to the SSA on an AEX (bit 0 ZF, bit 1 SF,
+    bit 2 CF, bit 3 OF). *)
 
 val add_cycles : t -> int -> unit
 (** Charge extra virtual cycles (used by OCall wrappers to account for

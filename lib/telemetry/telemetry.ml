@@ -16,7 +16,18 @@ type ring = {
   mutable stored : int;  (* total events ever written *)
 }
 
-type sink = Noop | Ring of ring
+(* A user-supplied consumer. Observability must never decide outcomes:
+   the first exception the callback raises poisons the sink (every later
+   event is counted as dropped, the callback is never called again) and
+   nothing propagates to the instrumented code path. *)
+type custom = {
+  fn : event -> unit;
+  mutable failed : bool;
+  mutable delivered : int;
+  mutable custom_dropped : int;
+}
+
+type sink = Noop | Ring of ring | Custom of custom
 
 module Sink = struct
   type t = sink
@@ -26,6 +37,8 @@ module Sink = struct
   let ring ~capacity =
     if capacity <= 0 then invalid_arg "Telemetry.Sink.ring: capacity must be positive";
     Ring { capacity; buf = Array.make capacity None; next = 0; stored = 0 }
+
+  let custom fn = Custom { fn; failed = false; delivered = 0; custom_dropped = 0 }
 end
 
 (* ------------------------------------------------------------------ *)
@@ -190,6 +203,17 @@ let push_event t phase name args =
     r.buf.(r.next) <- Some { seq; ts_ns = t.clock (); name; phase; args };
     r.next <- (r.next + 1) mod r.capacity;
     r.stored <- r.stored + 1
+  | Custom c ->
+    let seq = t.seq in
+    t.seq <- seq + 1;
+    if c.failed then c.custom_dropped <- c.custom_dropped + 1
+    else begin
+      match c.fn { seq; ts_ns = t.clock (); name; phase; args } with
+      | () -> c.delivered <- c.delivered + 1
+      | exception _ ->
+        c.failed <- true;
+        c.custom_dropped <- c.custom_dropped + 1
+    end
 
 let event t ?(args = []) name = if t.is_enabled then push_event t `Instant name args
 
@@ -231,8 +255,11 @@ type snapshot = {
   dropped_events : int;
 }
 
+let sink_failed t = match t.sink with Custom c -> c.failed | Noop | Ring _ -> false
+
 let sink_events = function
   | Noop -> ([], 0)
+  | Custom c -> ([], c.custom_dropped)
   | Ring r ->
     let dropped = max 0 (r.stored - r.capacity) in
     let len = min r.stored r.capacity in

@@ -40,6 +40,14 @@ module Sink : sig
   val ring : capacity:int -> t
   (** Bounded ring buffer; once full, each new event overwrites the oldest
       (counted as dropped). [capacity] must be positive. *)
+
+  val custom : (event -> unit) -> t
+  (** Deliver each event to a user callback (file writer, network
+      exporter, ...). Observability can never affect the computation it
+      observes: the first exception the callback raises marks the sink
+      failed — the callback is never invoked again, subsequent events are
+      counted as dropped ({!snapshot}[.dropped_events]) and no exception
+      ever reaches the instrumented code. See {!sink_failed}. *)
 end
 
 val create : ?clock:(unit -> int) -> ?sink:Sink.t -> ?span_limit:int -> unit -> t
@@ -59,6 +67,11 @@ val tracing : t -> bool
     Hot paths use this to skip argument marshalling entirely. *)
 
 val set_sink : t -> Sink.t -> unit
+
+val sink_failed : t -> bool
+(** [true] iff the attached {!Sink.custom} sink has thrown and been
+    poisoned (graceful degradation: the session verdict is unaffected,
+    only events are lost). Always [false] for noop/ring sinks. *)
 
 (** {2 Counters} *)
 

@@ -3,6 +3,26 @@ type t = { mutable state : int64 }
 let create seed = { state = seed }
 let copy t = { state = t.state }
 
+(* One SplitMix64 finalization round: the same bijective mixer [next_int64]
+   applies, reused to hash label bytes into sub-seeds. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* FNV-1a over the label, then one mix round to spread the low entropy of
+   short ASCII strings across all 64 bits. *)
+let label_hash label =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    label;
+  mix64 !h
+
+let derive seed ~label = mix64 (Int64.add (Int64.mul seed 0x9E3779B97F4A7C15L) (label_hash label))
+
 (* SplitMix64 (Steele, Lea, Flood 2014). *)
 let next_int64 t =
   t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
@@ -42,3 +62,5 @@ let shuffle t a =
     a.(i) <- a.(j);
     a.(j) <- tmp
   done
+
+let split t ~label = create (derive (next_int64 t) ~label)

@@ -21,4 +21,5 @@ let () =
       ("runtimes", Suite_runtimes.suite);
       ("telemetry", Suite_telemetry.suite);
       ("forensics", Suite_forensics.suite);
+      ("chaos", Suite_chaos.suite);
     ]

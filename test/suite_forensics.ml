@@ -471,6 +471,7 @@ let test_exit_codes () =
       (Session.Delivery_error Deflection.Bootstrap.No_provider_session, 6);
       (Session.Upload_error Deflection.Bootstrap.No_owner_session, 7);
       (Session.Decrypt_error "x", 8);
+      (Session.Stage_timeout { stage = "deliver"; detail = "x" }, 10);
     ]
   in
   List.iter
@@ -479,13 +480,19 @@ let test_exit_codes () =
         ("exit code of " ^ Session.error_to_string e)
         expected (Session.exit_code e))
     samples;
-  (* all distinct, and disjoint from the CLI's 0 / 1 / 9 *)
+  (* all distinct, and disjoint from the CLI's 0 / 1 / 9 / 11 *)
   let codes = List.map (fun (e, _) -> Session.exit_code e) samples in
   Alcotest.(check int) "distinct" (List.length codes)
     (List.length (List.sort_uniq compare codes));
   List.iter
-    (fun c -> Alcotest.(check bool) "reserved codes untouched" false (List.mem c [ 0; 1; 9 ]))
+    (fun c ->
+      Alcotest.(check bool) "reserved codes untouched" false (List.mem c [ 0; 1; 9; 11 ]))
     codes;
+  (* the Ok-side mapping: fuel exhaustion is 11, distinct from everything *)
+  Alcotest.(check bool) "11 documented" true
+    (List.mem 11 Deflection_chaos.Oracle.documented_exit_codes);
+  Alcotest.(check bool) "10 documented" true
+    (List.mem 10 Deflection_chaos.Oracle.documented_exit_codes);
   (* the mapping holds for errors produced by real failing sessions too *)
   (match Session.run ~source:"int main( {" ~inputs:[] () with
   | Error e -> Alcotest.(check int) "real compile error -> 3" 3 (Session.exit_code e)
