@@ -1,8 +1,9 @@
 # Convenience targets around dune. `make check` is the full gate: build,
 # the complete test suite, a quick benchmark pass (including the profiler
 # section), a forensics smoke run that must die with the documented exit
-# code, a chaos smoke campaign that must stay fail-closed, and schema
-# checks on every machine-readable artifact produced.
+# code, a chaos smoke campaign that must stay fail-closed, a fixed-seed
+# differential fuzz campaign that must stay sound and complete, and
+# schema checks on every machine-readable artifact produced.
 
 .PHONY: all build test bench check clean
 
@@ -28,6 +29,9 @@ check:
 	dune exec bin/json_check.exe -- bench/results/forensics-smoke.json
 	dune exec bin/deflectionc.exe -- chaos --seeds 50 -o bench/results/chaos.json
 	dune exec bin/json_check.exe -- --chaos bench/results/chaos.json
+	dune exec bin/deflectionc.exe -- fuzz --seeds 60 --mutants 60 --base-seed 1 \
+	  -o bench/results/fuzz.json
+	dune exec bin/json_check.exe -- --fuzz bench/results/fuzz.json
 
 clean:
 	dune clean

@@ -624,6 +624,68 @@ let chaos () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Fuzz campaign: differential oracles over generated programs and
+   adversarial mutants, plus verifier wall-clock throughput *)
+
+let fuzz () =
+  hr "Fuzz campaign: differential + soundness oracles and verifier throughput";
+  let module Fuzz = Deflection_fuzz.Fuzz in
+  let module Gen = Deflection_fuzz.Gen in
+  let n = if !quick then 30 else 100 in
+  let report = Fuzz.campaign ~base_seed:1L ~programs:n ~mutants:n () in
+  printf "%d programs (%d clean), %d mutants (%d rejected, %d ran clean), %d failure(s)\n"
+    report.Fuzz.programs report.Fuzz.programs_clean report.Fuzz.mutants
+    report.Fuzz.mutants_rejected report.Fuzz.mutants_clean
+    (List.length report.Fuzz.failures);
+  printf "self-tests: planted bad mutant %s, planted raw store %s\n"
+    (if report.Fuzz.selftest_rejection_caught then "caught" else "MISSED")
+    (if report.Fuzz.selftest_monitor_caught then "caught" else "MISSED");
+  (* verifier throughput: wall-clock verify over a compiled corpus *)
+  let corpus =
+    List.filter_map
+      (fun i ->
+        let seed = Deflection_util.Prng.derive 1L ~label:(Printf.sprintf "fuzz.prog.%d" i) in
+        let g = Gen.generate ~seed in
+        Result.to_option
+          (Deflection_compiler.Frontend.compile ~policies:Policy.Set.p1_p6 ~ssa_q:20
+             g.Gen.source))
+      (List.init (if !quick then 10 else 25) Fun.id)
+  in
+  let t0 = Unix.gettimeofday () in
+  let reps = 8 in
+  let instrs = ref 0 in
+  for _ = 1 to reps do
+    List.iter
+      (fun obj ->
+        match
+          Deflection_verifier.Verifier.verify ~policies:Policy.Set.p1_p6
+            ~ssa_q:obj.Deflection_isa.Objfile.ssa_q obj
+        with
+        | Ok r -> instrs := !instrs + r.Deflection_verifier.Verifier.instructions_checked
+        | Error _ -> failwith "fuzz bench: corpus program rejected")
+      corpus
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let throughput = if dt > 0.0 then float_of_int !instrs /. dt else 0.0 in
+  printf "verifier throughput: %d instructions in %.3fs = %.0f instr/s\n" !instrs dt
+    throughput;
+  record "fuzz"
+    (Json.Obj
+       [
+         ("programs", Json.Int report.Fuzz.programs);
+         ("programs_clean", Json.Int report.Fuzz.programs_clean);
+         ("mutants", Json.Int report.Fuzz.mutants);
+         ("mutants_rejected", Json.Int report.Fuzz.mutants_rejected);
+         ("mutants_clean", Json.Int report.Fuzz.mutants_clean);
+         ("failures", Json.Int (List.length report.Fuzz.failures));
+         ("selftest_rejection_caught", Json.Bool report.Fuzz.selftest_rejection_caught);
+         ("selftest_monitor_caught", Json.Bool report.Fuzz.selftest_monitor_caught);
+         ("verify_instructions", Json.Int !instrs);
+         ("verify_seconds", Json.Float dt);
+         ("verify_instr_per_sec", Json.Float throughput);
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock micro-benchmarks: one per table/figure pipeline *)
 
 let micro () =
@@ -703,7 +765,7 @@ let () =
     [
       ("table1", table1); ("table2", table2); ("fig7", fig7); ("fig8", fig8); ("fig9", fig9);
       ("fig10", fig10); ("fig11", fig11); ("ablation", ablation); ("related", related);
-      ("profile", profile); ("chaos", chaos); ("micro", micro);
+      ("profile", profile); ("chaos", chaos); ("fuzz", fuzz); ("micro", micro);
     ]
   in
   let selected =

@@ -371,6 +371,121 @@ let chaos_cmd =
          ])
     Term.(const action $ seeds $ base_seed $ replay $ out)
 
+let fuzz_cmd =
+  let seeds =
+    Arg.(
+      value & opt int 200
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of generated-program cases.")
+  in
+  let mutants =
+    Arg.(
+      value & opt int 200
+      & info [ "mutants" ] ~docv:"N" ~doc:"Number of adversarial binary-mutant cases.")
+  in
+  let base_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "base-seed" ] ~docv:"SEED"
+          ~doc:"Root seed; every case is a pure function of $(docv) and its index.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Instead of a campaign, replay the single serialized case in $(docv) (a \
+             deflection-fuzz/1 case object, or any object with a \"case\" field such as a \
+             saved failure record) — byte-for-byte identical on every run.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the deflection-fuzz/1 campaign report to $(docv).")
+  in
+  let module Fuzz = Deflection_fuzz.Fuzz in
+  let action seeds mutants base_seed replay out =
+    match replay with
+    | Some file -> (
+      match Json.parse (read_file file) with
+      | Error e ->
+        Format.eprintf "%s: invalid JSON: %s@." file e;
+        exit 1
+      | Ok doc -> (
+        let case_json = Option.value ~default:doc (Json.member "case" doc) in
+        match Fuzz.case_of_json case_json with
+        | Error e ->
+          Format.eprintf "%s: not a deflection-fuzz/1 case: %s@." file e;
+          exit 1
+        | Ok case -> (
+          match Fuzz.run_case case with
+          | Ok Fuzz.Accepted_ran ->
+            Format.printf "clean: accepted and ran with zero policy violations@."
+          | Ok Fuzz.Rejected_static ->
+            Format.printf "clean: rejected before execution (fail-closed)@."
+          | Error failure ->
+            let shrunk = Fuzz.shrink failure in
+            print_endline
+              (Json.to_string ~pretty:true
+                 (Json.Obj
+                    [
+                      ("original", Fuzz.failure_to_json failure);
+                      ("shrunk", Fuzz.failure_to_json shrunk);
+                    ]));
+            exit 2)))
+    | None ->
+      let report =
+        Fuzz.campaign ~base_seed:(Int64.of_int base_seed) ~programs:seeds ~mutants ()
+      in
+      (match out with
+      | None -> ()
+      | Some file ->
+        let oc = open_out file in
+        Json.to_channel ~pretty:true oc (Fuzz.report_to_json report);
+        close_out oc;
+        Format.eprintf "fuzz report written to %s@." file);
+      Format.printf
+        "%d programs (%d clean), %d mutants (%d rejected, %d ran clean), %d failures@."
+        report.Fuzz.programs report.Fuzz.programs_clean report.Fuzz.mutants
+        report.Fuzz.mutants_rejected report.Fuzz.mutants_clean
+        (List.length report.Fuzz.failures);
+      List.iter
+        (fun (orig, shrunk) ->
+          Format.printf "  %s: %s@."
+            (Fuzz.failure_kind_label orig.Fuzz.kind)
+            orig.Fuzz.detail;
+          Format.printf "    shrunk: %s@."
+            (Json.to_string (Fuzz.failure_to_json shrunk)))
+        report.Fuzz.failures;
+      if not report.Fuzz.selftest_rejection_caught then
+        Format.printf "SELF-TEST FAILED: known-bad mutant was not rejected@.";
+      if not report.Fuzz.selftest_monitor_caught then
+        Format.printf "SELF-TEST FAILED: runtime monitors missed a spliced raw store@.";
+      if
+        report.Fuzz.failures <> []
+        || (not report.Fuzz.selftest_rejection_caught)
+        || not report.Fuzz.selftest_monitor_caught
+      then exit 2
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Run a deterministic differential fuzzing campaign against the verifier: generated \
+          well-typed programs must pass verification and match the reference evaluator \
+          (completeness + differential oracles); adversarial binary mutants must be rejected \
+          or run with zero monitored policy violations (soundness oracle). Failures are \
+          auto-shrunk and serialized for byte-for-byte replay."
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "0 when every case upheld its oracle and both harness self-tests caught their \
+              planted defects, 2 on any oracle failure or missed self-test, 1 otherwise.";
+         ])
+    Term.(const action $ seeds $ mutants $ base_seed $ replay $ out)
+
 let report_cmd =
   let doc_file = Arg.(required & pos 0 (some file) None & info [] ~docv:"JSON") in
   let action path =
@@ -399,4 +514,4 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ compile_cmd; verify_cmd; disasm_cmd; run_cmd; chaos_cmd; report_cmd ]))
+       (Cmd.group info [ compile_cmd; verify_cmd; disasm_cmd; run_cmd; chaos_cmd; fuzz_cmd; report_cmd ]))

@@ -9,6 +9,10 @@
                                 schema: seeds/passed/failed bookkeeping must
                                 be consistent, every case must carry a
                                 replayable plan, and "violations" must be 0
+     json_check --fuzz FILE     additionally enforce the deflection-fuzz/1
+                                schema: every generated program clean, every
+                                mutant rejected or ran clean, both harness
+                                self-tests caught, zero failures
 
    Used by `make check` to fail the build when the benchmark harness
    produced no (or malformed) bench/results/latest.json, and by the chaos
@@ -98,13 +102,52 @@ let check_chaos path json =
     die "%s: %d fail-closed violation(s) — the campaign is fail-open" path violations;
   Printf.printf "%s: ok (%d plans, %d passed, 0 violations)\n" path seeds passed
 
+let check_fuzz path json =
+  (match Json.member "schema" json with
+  | Some (Json.Str "deflection-fuzz/1") -> ()
+  | Some (Json.Str other) -> die "%s: unknown schema %S" path other
+  | _ -> die "%s: missing \"schema\" field" path);
+  (match Json.member "base_seed" json with
+  | Some (Json.Str s) when Int64.of_string_opt s <> None -> ()
+  | _ -> die "%s: missing int64-string \"base_seed\" field" path);
+  let programs = int_field path json "programs" in
+  let mutants = int_field path json "mutants" in
+  let programs_clean = int_field path json "programs_clean" in
+  let mutants_rejected = int_field path json "mutants_rejected" in
+  let mutants_clean = int_field path json "mutants_clean" in
+  let failure_count = int_field path json "failure_count" in
+  if programs <= 0 then die "%s: campaign generated no programs" path;
+  if mutants <= 0 then die "%s: campaign ran no mutants" path;
+  if programs_clean <> programs then
+    die "%s: %d of %d generated programs failed an oracle (false positive or divergence)"
+      path (programs - programs_clean) programs;
+  if mutants_rejected + mutants_clean <> mutants then
+    die "%s: rejected (%d) + ran-clean (%d) != mutants (%d) — some mutant broke an oracle"
+      path mutants_rejected mutants_clean mutants;
+  (match Json.member "selftest_rejection_caught" json with
+  | Some (Json.Bool true) -> ()
+  | _ -> die "%s: the planted known-bad mutant was not rejected — the oracle is blind" path);
+  (match Json.member "selftest_monitor_caught" json with
+  | Some (Json.Bool true) -> ()
+  | _ -> die "%s: the planted raw store was not flagged — the runtime monitor is blind" path);
+  (match Json.member "failures" json with
+  | Some (Json.List l) ->
+    if List.length l <> failure_count then
+      die "%s: %d failure records but \"failure_count\" says %d" path (List.length l)
+        failure_count
+  | _ -> die "%s: missing \"failures\" array" path);
+  if failure_count > 0 then die "%s: %d unshrunk oracle failure(s)" path failure_count;
+  Printf.printf "%s: ok (%d programs clean, %d mutants: %d rejected / %d ran clean)\n" path
+    programs mutants mutants_rejected mutants_clean
+
 let () =
   let mode, path =
     match Array.to_list Sys.argv with
     | [ _; "--bench"; path ] -> (`Bench, path)
     | [ _; "--chaos"; path ] -> (`Chaos, path)
+    | [ _; "--fuzz"; path ] -> (`Fuzz, path)
     | [ _; path ] -> (`Plain, path)
-    | _ -> die "usage: json_check [--bench|--chaos] FILE"
+    | _ -> die "usage: json_check [--bench|--chaos|--fuzz] FILE"
   in
   let contents = try read_file path with Sys_error e -> die "%s" e in
   match Json.parse contents with
@@ -113,4 +156,5 @@ let () =
     match mode with
     | `Bench -> check_bench path json
     | `Chaos -> check_chaos path json
+    | `Fuzz -> check_fuzz path json
     | `Plain -> Printf.printf "%s: ok\n" path)

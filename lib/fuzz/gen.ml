@@ -1,0 +1,354 @@
+module Ast = Deflection_compiler.Ast
+module Ast_printer = Deflection_compiler.Ast_printer
+module Prng = Deflection_util.Prng
+
+type t = { prog : Ast.program; source : string; inputs : bytes list }
+
+let pos = { Ast.line = 1; col = 1 }
+let e node = { Ast.e = node; Ast.pos }
+let s node = { Ast.s = node; Ast.spos = pos }
+let ilit n = e (Ast.IntLit n)
+let iliti n = ilit (Int64.of_int n)
+
+(* generation context: everything in scope at the current point *)
+type ctx = {
+  rng : Prng.t;
+  fresh : int ref;
+  mutable vars : string list;  (** assignable int scalars *)
+  mutable ro_vars : string list;  (** readable but never assigned (loop counters) *)
+  mutable arrays : (string * int) list;  (** int arrays, power-of-two sizes *)
+  mutable fnptrs : (string * int) list;  (** fnptr scalars, with arity *)
+  funcs : (string * int) list;  (** callable helpers, with arity *)
+  mutable in_loop : bool;
+  mutable continue_ok : bool;
+      (** [Continue] is only safe in [for] bodies: in generated [while]
+          loops it would skip the end-of-body counter increment *)
+}
+
+(* Names declared inside a conditional or loop body must not escape it:
+   the reference evaluator would read them as zero on the skipped path
+   while compiled code would read frame/register garbage. Bodies are
+   generated inside [scoped], which restores the visible scope after. *)
+let scoped ctx ~in_loop ~continue_ok f =
+  let vars = ctx.vars
+  and ro = ctx.ro_vars
+  and arrays = ctx.arrays
+  and fnptrs = ctx.fnptrs
+  and il = ctx.in_loop
+  and ck = ctx.continue_ok in
+  ctx.in_loop <- in_loop;
+  ctx.continue_ok <- continue_ok;
+  let r = f () in
+  ctx.vars <- vars;
+  ctx.ro_vars <- ro;
+  ctx.arrays <- arrays;
+  ctx.fnptrs <- fnptrs;
+  ctx.in_loop <- il;
+  ctx.continue_ok <- ck;
+  r
+
+let fresh_name ctx prefix =
+  incr ctx.fresh;
+  Printf.sprintf "%s%d" prefix !(ctx.fresh)
+
+let pick rng l = List.nth l (Prng.int rng (List.length l))
+
+(* Interesting 64-bit constants plus uniform small ones. Full-range values
+   are fine for +,-,*,&,|,^ (wrapping matches), but division operands are
+   always masked (see below), so no INT64_MIN/-1 trap case can arise. *)
+let int_const rng =
+  match Prng.int rng 6 with
+  | 0 -> Int64.of_int (Prng.int rng 16)
+  | 1 -> Int64.of_int (Prng.int rng 256)
+  | 2 -> pick rng [ 0L; 1L; -1L; 2L; 63L; 255L; 4096L ]
+  | 3 -> Int64.neg (Int64.of_int (Prng.int rng 1024))
+  | 4 -> Prng.next_int64 rng
+  | _ -> Int64.of_int (Prng.int rng 65536)
+
+let band a b = e (Ast.Binary (Ast.BitAnd, a, b))
+
+(* mask an index expression into [0, size) — size is a power of two *)
+let masked_index idx size = band idx (iliti (size - 1))
+
+let rec int_leaf ctx =
+  let rng = ctx.rng in
+  let readable = ctx.vars @ ctx.ro_vars in
+  match Prng.int rng 4 with
+  | 0 | 1 when readable <> [] -> e (Ast.Var (pick rng readable))
+  | 2 when ctx.arrays <> [] ->
+    let name, size = pick rng ctx.arrays in
+    e (Ast.Index (name, masked_index (int_leaf ctx) size))
+  | _ -> ilit (int_const rng)
+
+(* Floats stay small and exactly representable: leaves are itof of a
+   byte-masked int or a small literal, so products fit a double exactly
+   and ftoi truncation agrees bit-for-bit between Eval and the target. *)
+and float_expr ctx depth =
+  let rng = ctx.rng in
+  if depth <= 0 then
+    match Prng.int rng 2 with
+    | 0 -> e (Ast.FloatLit (float_of_int (Prng.int rng 256)))
+    | _ -> e (Ast.Call ("itof", [ band (int_leaf ctx) (iliti 255) ]))
+  else
+    let op = pick rng [ Ast.Add; Ast.Sub; Ast.Mul ] in
+    e (Ast.Binary (op, float_expr ctx (depth - 1), float_expr ctx (depth - 1)))
+
+and int_expr ctx depth =
+  let rng = ctx.rng in
+  if depth <= 0 then int_leaf ctx
+  else
+    match Prng.int rng 13 with
+    | 0 -> int_leaf ctx
+    | 1 ->
+      let op = pick rng [ Ast.Neg; Ast.LogNot; Ast.BitNot ] in
+      e (Ast.Unary (op, int_expr ctx (depth - 1)))
+    | 2 | 3 | 4 ->
+      let op =
+        pick rng
+          [ Ast.Add; Ast.Sub; Ast.Mul; Ast.BitAnd; Ast.BitOr; Ast.BitXor ]
+      in
+      e (Ast.Binary (op, int_expr ctx (depth - 1), int_expr ctx (depth - 1)))
+    | 5 ->
+      let op = pick rng [ Ast.Eq; Ast.Neq; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ] in
+      e (Ast.Binary (op, int_expr ctx (depth - 1), int_expr ctx (depth - 1)))
+    | 6 ->
+      let op = pick rng [ Ast.LogAnd; Ast.LogOr ] in
+      e (Ast.Binary (op, int_expr ctx (depth - 1), int_expr ctx (depth - 1)))
+    | 7 ->
+      (* shift counts masked to 6 bits on both sides already; mask anyway *)
+      let op = pick rng [ Ast.Shl; Ast.Shr ] in
+      e (Ast.Binary (op, int_expr ctx (depth - 1), band (int_leaf ctx) (iliti 63)))
+    | 8 ->
+      (* divisor in [1,8]: positive and nonzero, so no /0 and no
+         INT64_MIN/-1 overflow divergence *)
+      let op = pick rng [ Ast.Div; Ast.Mod ] in
+      let divisor =
+        e (Ast.Binary (Ast.Add, band (int_leaf ctx) (iliti 7), iliti 1))
+      in
+      e (Ast.Binary (op, int_expr ctx (depth - 1), divisor))
+    | 9 ->
+      e
+        (Ast.Cond
+           (int_expr ctx (depth - 1), int_expr ctx (depth - 1), int_expr ctx (depth - 1)))
+    | 10 when ctx.funcs <> [] ->
+      let name, arity = pick rng ctx.funcs in
+      e (Ast.Call (name, List.init arity (fun _ -> int_expr ctx (depth - 1))))
+    | 11 when ctx.fnptrs <> [] ->
+      let name, arity = pick rng ctx.fnptrs in
+      e (Ast.Call (name, List.init arity (fun _ -> int_expr ctx (depth - 1))))
+    | 12 -> e (Ast.Call ("ftoi", [ float_expr ctx 2 ]))
+    | _ -> int_leaf ctx
+
+(* A zeroing loop after every local-array declaration: the reference
+   evaluator zero-fills activations while the code generator leaves frame
+   garbage, so generated programs must establish the state themselves. *)
+let zeroing_loop ctx name size =
+  let i = fresh_name ctx "z" in
+  s
+    (Ast.For
+       ( Some (s (Ast.Decl (Ast.Tint, i, None, Some (iliti 0)))),
+         Some (e (Ast.Binary (Ast.Lt, e (Ast.Var i), iliti size))),
+         Some
+           (s
+              (Ast.Expr
+                 (e
+                    (Ast.Assign
+                       (Ast.Lvar i, e (Ast.Binary (Ast.Add, e (Ast.Var i), iliti 1))))))),
+         [
+           s (Ast.Expr (e (Ast.Assign (Ast.Lindex (name, e (Ast.Var i)), iliti 0))));
+         ] ))
+
+let rec gen_stmts ctx ~depth ~n =
+  if n <= 0 then []
+  else
+    let stmts = gen_stmt ctx ~depth in
+    stmts @ gen_stmts ctx ~depth ~n:(n - 1)
+
+and gen_stmt ctx ~depth =
+  let rng = ctx.rng in
+  match Prng.int rng 14 with
+  | 0 | 1 ->
+    let name = fresh_name ctx "x" in
+    let st = s (Ast.Decl (Ast.Tint, name, None, Some (int_expr ctx 2))) in
+    ctx.vars <- name :: ctx.vars;
+    [ st ]
+  | 2 | 3 when ctx.vars <> [] ->
+    let v = pick rng ctx.vars in
+    [ s (Ast.Expr (e (Ast.Assign (Ast.Lvar v, int_expr ctx 3)))) ]
+  | 4 when ctx.arrays <> [] ->
+    let name, size = pick rng ctx.arrays in
+    let idx = masked_index (int_expr ctx 1) size in
+    [ s (Ast.Expr (e (Ast.Assign (Ast.Lindex (name, idx), int_expr ctx 2)))) ]
+  | 5 -> [ s (Ast.Expr (e (Ast.Call ("print_int", [ int_expr ctx 2 ])))) ]
+  | 6 when ctx.arrays <> [] ->
+    let name, size = pick rng ctx.arrays in
+    let n = 1 + Prng.int rng size in
+    [ s (Ast.Expr (e (Ast.Call ("send", [ e (Ast.Var name); iliti n ])))) ]
+  | 7 when ctx.arrays <> [] ->
+    let name, size = pick rng ctx.arrays in
+    let n = 1 + Prng.int rng size in
+    [ s (Ast.Expr (e (Ast.Call ("recv", [ e (Ast.Var name); iliti n ])))) ]
+  | 8 when depth > 0 ->
+    let cond = int_expr ctx 2 in
+    let then_b =
+      scoped ctx ~in_loop:ctx.in_loop ~continue_ok:ctx.continue_ok (fun () ->
+          gen_stmts ctx ~depth:(depth - 1) ~n:(1 + Prng.int rng 2))
+    in
+    let else_b =
+      if Prng.bool rng then
+        scoped ctx ~in_loop:ctx.in_loop ~continue_ok:ctx.continue_ok (fun () ->
+            gen_stmts ctx ~depth:(depth - 1) ~n:(1 + Prng.int rng 2))
+      else []
+    in
+    [ s (Ast.If (cond, then_b, else_b)) ]
+  | 9 when depth > 0 ->
+    (* bounded for: dedicated counter, literal bound, nothing else may
+       assign it (it only enters ro_vars) *)
+    let i = fresh_name ctx "i" in
+    let bound = 1 + Prng.int rng 6 in
+    let body =
+      scoped ctx ~in_loop:true ~continue_ok:true (fun () ->
+          ctx.ro_vars <- i :: ctx.ro_vars;
+          gen_stmts ctx ~depth:(depth - 1) ~n:(1 + Prng.int rng 2))
+    in
+    [
+      s
+        (Ast.For
+           ( Some (s (Ast.Decl (Ast.Tint, i, None, Some (iliti 0)))),
+             Some (e (Ast.Binary (Ast.Lt, e (Ast.Var i), iliti bound))),
+             Some
+               (s
+                  (Ast.Expr
+                     (e
+                        (Ast.Assign
+                           ( Ast.Lvar i,
+                             e (Ast.Binary (Ast.Add, e (Ast.Var i), iliti 1)) ))))),
+             body ));
+    ]
+  | 10 when depth > 0 ->
+    (* bounded while with a dedicated counter incremented last *)
+    let w = fresh_name ctx "w" in
+    let bound = 1 + Prng.int rng 5 in
+    let body =
+      scoped ctx ~in_loop:true ~continue_ok:false (fun () ->
+          ctx.ro_vars <- w :: ctx.ro_vars;
+          gen_stmts ctx ~depth:(depth - 1) ~n:(1 + Prng.int rng 2))
+    in
+    [
+      s (Ast.Decl (Ast.Tint, w, None, Some (iliti 0)));
+      s
+        (Ast.While
+           ( e (Ast.Binary (Ast.Lt, e (Ast.Var w), iliti bound)),
+             body
+             @ [
+                 s
+                   (Ast.Expr
+                      (e
+                         (Ast.Assign
+                            ( Ast.Lvar w,
+                              e (Ast.Binary (Ast.Add, e (Ast.Var w), iliti 1)) ))));
+               ] ));
+    ]
+  | 11 when ctx.in_loop ->
+    let jump =
+      if ctx.continue_ok && Prng.bool rng then Ast.Continue else Ast.Break
+    in
+    [ s (Ast.If (int_expr ctx 1, [ s jump ], [])) ]
+  | 12 ->
+    let name = fresh_name ctx "a" in
+    let size = pick rng [ 4; 8 ] in
+    let st = s (Ast.Decl (Ast.Tint, name, Some size, None)) in
+    let zero = zeroing_loop ctx name size in
+    ctx.arrays <- (name, size) :: ctx.arrays;
+    [ st; zero ]
+  | 13 when ctx.funcs <> [] ->
+    let fname, arity = pick rng ctx.funcs in
+    let p = fresh_name ctx "p" in
+    let st = s (Ast.Decl (Ast.Tfnptr, p, None, Some (e (Ast.AddrOfFun fname)))) in
+    ctx.fnptrs <- (p, arity) :: ctx.fnptrs;
+    [ st ]
+  | _ -> [ s (Ast.Expr (int_expr ctx 2)) ]
+
+let gen_helper ctx name arity =
+  let params = List.init arity (fun i -> (Ast.Tint, Printf.sprintf "%s_p%d" name i)) in
+  let hctx =
+    {
+      ctx with
+      vars = List.map snd params;
+      ro_vars = [];
+      arrays = [];
+      fnptrs = [];
+      in_loop = false;
+      continue_ok = false;
+    }
+  in
+  let body = gen_stmts hctx ~depth:1 ~n:(1 + Prng.int ctx.rng 3) in
+  let body = body @ [ s (Ast.Return (Some (int_expr hctx 3))) ] in
+  { Ast.fname = name; ret = Ast.Tint; params; body; fpos = pos }
+
+let generate ~seed =
+  let rng = Prng.create (Prng.derive seed ~label:"fuzz.gen") in
+  let fresh = ref 0 in
+  (* globals: a couple of scalars and one array (bss-zeroed on both sides) *)
+  let n_scalars = 1 + Prng.int rng 3 in
+  let g_scalars =
+    List.init n_scalars (fun i ->
+        {
+          Ast.gname = Printf.sprintf "g%d" i;
+          gty = Ast.Tint;
+          garray = None;
+          ginit = Some (int_const rng);
+          gpos = pos;
+        })
+  in
+  let garr_size = pick rng [ 4; 8 ] in
+  let g_array =
+    {
+      Ast.gname = "ga";
+      gty = Ast.Tint;
+      garray = Some garr_size;
+      ginit = None;
+      gpos = pos;
+    }
+  in
+  let globals = g_scalars @ [ g_array ] in
+  let base_ctx =
+    {
+      rng;
+      fresh;
+      vars = [];
+      ro_vars = [];
+      arrays = [];
+      fnptrs = [];
+      funcs = [];
+      in_loop = false;
+      continue_ok = false;
+    }
+  in
+  (* helpers first (callable and address-takeable from main) *)
+  let n_helpers = Prng.int rng 3 in
+  let helpers =
+    List.init n_helpers (fun i ->
+        let arity = 1 + Prng.int rng 2 in
+        gen_helper base_ctx (Printf.sprintf "fn%d" i) arity)
+  in
+  let funcs = List.map (fun f -> (f.Ast.fname, List.length f.Ast.params)) helpers in
+  let mctx =
+    {
+      base_ctx with
+      vars = List.map (fun (g : Ast.global) -> g.gname) g_scalars;
+      arrays = [ ("ga", garr_size) ];
+      funcs;
+    }
+  in
+  let body = gen_stmts mctx ~depth:2 ~n:(3 + Prng.int rng 7) in
+  let body =
+    body @ [ s (Ast.Return (Some (band (int_expr mctx 2) (iliti 255)))) ]
+  in
+  let main = { Ast.fname = "main"; ret = Ast.Tint; params = []; body; fpos = pos } in
+  let prog = { Ast.globals; funcs = helpers @ [ main ] } in
+  let irng = Prng.create (Prng.derive seed ~label:"fuzz.inputs") in
+  let inputs =
+    List.init (Prng.int irng 3) (fun _ -> Prng.bytes irng (1 + Prng.int irng 12))
+  in
+  { prog; source = Ast_printer.program_to_string prog; inputs }

@@ -1,0 +1,29 @@
+(** Seeded well-typed MiniC program generator (fuzzing layer 1).
+
+    Emits random programs over the full observable surface of the source
+    language — 64-bit arithmetic, comparisons, short-circuit logic,
+    branches, bounded loops, direct and indirect ([fnptr]) calls, global
+    and local arrays, float round-trips through [itof]/[ftoi], and the
+    OCall builtins [print_int]/[send]/[recv] — while staying inside the
+    semantics both {!Deflection_compiler.Eval} and the compiled pipeline
+    define identically:
+
+    - divisors are forced odd ([e | 1]), so no division by zero;
+    - array subscripts are masked to the (power-of-two) array size;
+    - loops have literal bounds and dedicated counters no other
+      statement can assign, so every program terminates;
+    - [main] returns [e & 255], so the exit code never collides with the
+      negative annotation abort codes;
+    - [send]/[recv] element counts are literals bounded by the array
+      size.
+
+    Everything is a pure function of the seed: equal seeds yield equal
+    programs, sources and input queues (the replay contract). *)
+
+type t = {
+  prog : Deflection_compiler.Ast.program;
+  source : string;  (** [Ast_printer.program_to_string prog] *)
+  inputs : bytes list;  (** deterministic [recv] input queue *)
+}
+
+val generate : seed:int64 -> t

@@ -1,0 +1,279 @@
+module Isa = Deflection_isa.Isa
+module Codec = Deflection_isa.Codec
+module Objfile = Deflection_isa.Objfile
+module Annot = Deflection_annot.Annot
+module Bytebuf = Deflection_util.Bytebuf
+module Prng = Deflection_util.Prng
+module Json = Deflection_telemetry.Json
+
+type kind =
+  | Byte_flip of { pos : int; bit : int }
+  | Byte_set of { pos : int; value : int }
+  | Nop_instr of { idx : int }
+  | Swap_instrs of { idx : int }
+  | Corrupt_magic of { idx : int; delta : int64 }
+  | Splice_store of { idx : int; addr : int64 }
+  | Retarget_branch of { idx : int; delta : int }
+  | Inflate_branch_table of { count : int }
+  | Drop_symbol of { idx : int }
+  | Lie_ssa_q of { q : int }
+
+let label = function
+  | Byte_flip _ -> "byte_flip"
+  | Byte_set _ -> "byte_set"
+  | Nop_instr _ -> "nop_instr"
+  | Swap_instrs _ -> "swap_instrs"
+  | Corrupt_magic _ -> "corrupt_magic"
+  | Splice_store _ -> "splice_store"
+  | Retarget_branch _ -> "retarget_branch"
+  | Inflate_branch_table _ -> "inflate_branch_table"
+  | Drop_symbol _ -> "drop_symbol"
+  | Lie_ssa_q _ -> "lie_ssa_q"
+
+let gen rng =
+  match Prng.int rng 10 with
+  | 0 -> Byte_flip { pos = Prng.int rng 1_000_000; bit = Prng.int rng 8 }
+  | 1 -> Byte_set { pos = Prng.int rng 1_000_000; value = Prng.int rng 256 }
+  | 2 -> Nop_instr { idx = Prng.int rng 1_000_000 }
+  | 3 -> Swap_instrs { idx = Prng.int rng 1_000_000 }
+  | 4 ->
+    let delta = Prng.next_int64 rng in
+    let delta = if Int64.equal delta 0L then 8L else delta in
+    Corrupt_magic { idx = Prng.int rng 1_000_000; delta }
+  | 5 ->
+    (* target below code_lo, inside code, or wild — all interesting *)
+    let addr =
+      match Prng.int rng 3 with
+      | 0 -> Int64.of_int (0x100000 + Prng.int rng 0x8000)  (* metadata *)
+      | 1 -> Int64.of_int (0x100000 + 0x20000 + Prng.int rng 0x80000)
+      | _ -> Prng.next_int64 rng
+    in
+    Splice_store { idx = Prng.int rng 1_000_000; addr }
+  | 6 ->
+    let delta = 1 + Prng.int rng 16 in
+    let delta = if Prng.bool rng then -delta else delta in
+    Retarget_branch { idx = Prng.int rng 1_000_000; delta }
+  | 7 -> Inflate_branch_table { count = 1 + Prng.int rng 64 }
+  | 8 -> Drop_symbol { idx = Prng.int rng 1_000_000 }
+  | _ -> Lie_ssa_q { q = 1 + Prng.int rng 8 }
+
+(* Linear decode of the text section into (offset, length, instr) triples,
+   stopping at the first undecodable byte. *)
+let boundaries text =
+  let len = Bytes.length text in
+  let rec go off acc =
+    if off >= len then List.rev acc
+    else
+      match Codec.decode text off with
+      | exception Codec.Decode_error _ -> List.rev acc
+      | exception Invalid_argument _ -> List.rev acc
+      | instr, ilen -> go (off + ilen) ((off, ilen, instr) :: acc)
+  in
+  Array.of_list (go 0 [])
+
+let encode_instr i =
+  let b = Bytebuf.create () in
+  ignore (Codec.encode b i);
+  Bytebuf.contents b
+
+let nop_byte = Bytes.get (encode_instr Isa.Nop) 0
+
+let read_i64_le b off =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get b (off + i))))
+  done;
+  !v
+
+let write_i64_le b off v =
+  for i = 0 to 7 do
+    Bytes.set b (off + i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+let nth_mod arr idx =
+  let n = Array.length arr in
+  if n = 0 then None else Some arr.(idx mod n)
+
+(* offsets of imm64 fields currently holding a magic placeholder, in
+   linear decode order — the candidate class of [Corrupt_magic] *)
+let magic_fields text =
+  Array.of_list
+    (Array.fold_right
+       (fun (off, _, instr) acc ->
+         match Codec.imm64_field_offset instr with
+         | Some k when Annot.is_magic (read_i64_le text (off + k)) -> (off + k) :: acc
+         | Some _ | None -> acc)
+       (boundaries text) [])
+
+let find_magic (obj : Objfile.t) v =
+  let text = obj.Objfile.text in
+  let fields = magic_fields text in
+  let rec go i =
+    if i >= Array.length fields then None
+    else if Int64.equal (read_i64_le text fields.(i)) v then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let apply_one (obj : Objfile.t) kind : Objfile.t =
+  let text = Bytes.copy obj.Objfile.text in
+  let tlen = Bytes.length text in
+  match kind with
+  | _ when tlen = 0 -> obj
+  | Byte_flip { pos; bit } ->
+    let pos = pos mod tlen in
+    Bytes.set text pos (Char.chr (Char.code (Bytes.get text pos) lxor (1 lsl bit)));
+    { obj with Objfile.text }
+  | Byte_set { pos; value } ->
+    let pos = pos mod tlen in
+    Bytes.set text pos (Char.chr (value land 0xFF));
+    { obj with Objfile.text }
+  | Nop_instr { idx } -> (
+    match nth_mod (boundaries text) idx with
+    | None -> obj
+    | Some (off, len, _) ->
+      Bytes.fill text off len nop_byte;
+      { obj with Objfile.text })
+  | Swap_instrs { idx } ->
+    let bs = boundaries text in
+    if Array.length bs < 2 then obj
+    else begin
+      let i = idx mod (Array.length bs - 1) in
+      let o1, l1, _ = bs.(i) and o2, l2, _ = bs.(i + 1) in
+      let first = Bytes.sub text o1 l1 and second = Bytes.sub text o2 l2 in
+      Bytes.blit second 0 text o1 l2;
+      Bytes.blit first 0 text (o1 + l2) l1;
+      ignore (o2 : int);
+      { obj with Objfile.text }
+    end
+  | Corrupt_magic { idx; delta } -> (
+    match nth_mod (magic_fields text) idx with
+    | None -> obj
+    | Some field ->
+      write_i64_le text field (Int64.add (read_i64_le text field) delta);
+      { obj with Objfile.text })
+  | Splice_store { idx; addr } -> (
+    (* clamp to the encodable 32-bit displacement range; still covers
+       every region of interest (metadata, code, wild-but-mapped) *)
+    let addr = Int64.logand addr 0x7FFF_FFFFL in
+    let store =
+      encode_instr
+        (Isa.Mov (Isa.Mem { base = None; index = None; scale = 1; disp = addr }, Isa.Reg Isa.RAX))
+    in
+    let slen = Bytes.length store in
+    let bs = boundaries text in
+    match nth_mod bs idx with
+    | None -> obj
+    | Some (off, _, _) ->
+      (* consume whole instructions until the splice fits, then Nop-pad
+         to the next original boundary so the suffix still decodes *)
+      let covered = ref 0 in
+      Array.iter
+        (fun (o, l, _) -> if o >= off && !covered < slen then covered := o + l - off)
+        bs;
+      let covered = !covered in
+      if covered < slen || off + covered > tlen then obj
+      else begin
+        Bytes.blit store 0 text off slen;
+        Bytes.fill text (off + slen) (covered - slen) nop_byte;
+        { obj with Objfile.text }
+      end)
+  | Retarget_branch { idx; delta } -> (
+    let branches =
+      Array.of_list
+        (Array.fold_right
+           (fun (off, len, instr) acc ->
+             match instr with
+             | Isa.Jmp (Isa.Rel r) -> (off, len, `Jmp, r) :: acc
+             | Isa.Jcc (c, Isa.Rel r) -> (off, len, `Jcc c, r) :: acc
+             | Isa.Call (Isa.Rel r) -> (off, len, `Call, r) :: acc
+             | _ -> acc)
+           (boundaries text) [])
+    in
+    match nth_mod branches idx with
+    | None -> obj
+    | Some (off, len, form, r) ->
+      let instr' =
+        match form with
+        | `Jmp -> Isa.Jmp (Isa.Rel (r + delta))
+        | `Jcc c -> Isa.Jcc (c, Isa.Rel (r + delta))
+        | `Call -> Isa.Call (Isa.Rel (r + delta))
+      in
+      let enc = encode_instr instr' in
+      if Bytes.length enc <> len then obj
+      else begin
+        Bytes.blit enc 0 text off len;
+        { obj with Objfile.text }
+      end)
+  | Inflate_branch_table { count } ->
+    let pool =
+      match obj.Objfile.branch_targets with [] -> [ obj.Objfile.entry ] | l -> l
+    in
+    let extra = List.init count (fun i -> List.nth pool (i mod List.length pool)) in
+    { obj with Objfile.branch_targets = obj.Objfile.branch_targets @ extra }
+  | Drop_symbol { idx } ->
+    let n = List.length obj.Objfile.symbols in
+    if n = 0 then obj
+    else
+      let k = idx mod n in
+      { obj with Objfile.symbols = List.filteri (fun i _ -> i <> k) obj.Objfile.symbols }
+  | Lie_ssa_q { q } -> { obj with Objfile.ssa_q = q }
+
+let apply obj kinds = List.fold_left apply_one obj kinds
+
+(* ------------------------------------------------------------------ *)
+
+let kind_to_json k =
+  let f fields = Json.Obj (("kind", Json.Str (label k)) :: fields) in
+  match k with
+  | Byte_flip { pos; bit } -> f [ ("pos", Json.Int pos); ("bit", Json.Int bit) ]
+  | Byte_set { pos; value } -> f [ ("pos", Json.Int pos); ("value", Json.Int value) ]
+  | Nop_instr { idx } -> f [ ("idx", Json.Int idx) ]
+  | Swap_instrs { idx } -> f [ ("idx", Json.Int idx) ]
+  | Corrupt_magic { idx; delta } ->
+    f [ ("idx", Json.Int idx); ("delta", Json.Str (Int64.to_string delta)) ]
+  | Splice_store { idx; addr } ->
+    f [ ("idx", Json.Int idx); ("addr", Json.Str (Int64.to_string addr)) ]
+  | Retarget_branch { idx; delta } ->
+    f [ ("idx", Json.Int idx); ("delta", Json.Int delta) ]
+  | Inflate_branch_table { count } -> f [ ("count", Json.Int count) ]
+  | Drop_symbol { idx } -> f [ ("idx", Json.Int idx) ]
+  | Lie_ssa_q { q } -> f [ ("q", Json.Int q) ]
+
+let kind_of_json j =
+  let str k = match Json.member k j with Some (Json.Str s) -> Some s | _ -> None in
+  let int k = match Json.member k j with Some (Json.Int i) -> Some i | _ -> None in
+  let i64 k = Option.bind (str k) Int64.of_string_opt in
+  let req name = function Some v -> Ok v | None -> Error ("mutation missing " ^ name) in
+  match str "kind" with
+  | None -> Error "mutation without kind"
+  | Some "byte_flip" ->
+    Result.bind (req "pos" (int "pos")) (fun pos ->
+        Result.bind (req "bit" (int "bit")) (fun bit -> Ok (Byte_flip { pos; bit })))
+  | Some "byte_set" ->
+    Result.bind (req "pos" (int "pos")) (fun pos ->
+        Result.bind (req "value" (int "value")) (fun value ->
+            Ok (Byte_set { pos; value })))
+  | Some "nop_instr" -> Result.bind (req "idx" (int "idx")) (fun idx -> Ok (Nop_instr { idx }))
+  | Some "swap_instrs" ->
+    Result.bind (req "idx" (int "idx")) (fun idx -> Ok (Swap_instrs { idx }))
+  | Some "corrupt_magic" ->
+    Result.bind (req "idx" (int "idx")) (fun idx ->
+        Result.bind (req "delta" (i64 "delta")) (fun delta ->
+            Ok (Corrupt_magic { idx; delta })))
+  | Some "splice_store" ->
+    Result.bind (req "idx" (int "idx")) (fun idx ->
+        Result.bind (req "addr" (i64 "addr")) (fun addr ->
+            Ok (Splice_store { idx; addr })))
+  | Some "retarget_branch" ->
+    Result.bind (req "idx" (int "idx")) (fun idx ->
+        Result.bind (req "delta" (int "delta")) (fun delta ->
+            Ok (Retarget_branch { idx; delta })))
+  | Some "inflate_branch_table" ->
+    Result.bind (req "count" (int "count")) (fun count ->
+        Ok (Inflate_branch_table { count }))
+  | Some "drop_symbol" ->
+    Result.bind (req "idx" (int "idx")) (fun idx -> Ok (Drop_symbol { idx }))
+  | Some "lie_ssa_q" -> Result.bind (req "q" (int "q")) (fun q -> Ok (Lie_ssa_q { q }))
+  | Some other -> Error ("unknown mutation kind " ^ other)

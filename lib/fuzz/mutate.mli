@@ -1,0 +1,54 @@
+(** Adversarial binary mutator (fuzzing layer 2).
+
+    Structured, replayable mutations over a relocatable target binary:
+    raw byte corruption, annotation stripping (Nop fill), instruction
+    reordering, annotation-immediate corruption, raw-store splicing,
+    mid-instruction branch retargeting (exploiting the variable-length
+    encoding), branch-table inflation, symbol dropping and [ssa_q]
+    misdeclaration.
+
+    Mutation parameters are raw random integers resolved {e modulo the
+    actual candidate count} against the pristine base binary at apply
+    time, so a serialized mutation list replays byte-for-byte on the
+    same base and stays applicable when the shrinker removes earlier
+    mutations. A mutation whose candidate class is empty (e.g. no
+    direct branches) is a no-op, never an error. *)
+
+module Objfile = Deflection_isa.Objfile
+module Json = Deflection_telemetry.Json
+
+type kind =
+  | Byte_flip of { pos : int; bit : int }  (** flip one text bit *)
+  | Byte_set of { pos : int; value : int }  (** overwrite one text byte *)
+  | Nop_instr of { idx : int }  (** Nop-fill the [idx]-th instruction *)
+  | Swap_instrs of { idx : int }  (** swap instructions [idx] and [idx+1] *)
+  | Corrupt_magic of { idx : int; delta : int64 }
+      (** add [delta] to the [idx]-th magic annotation immediate *)
+  | Splice_store of { idx : int; addr : int64 }
+      (** overwrite code at the [idx]-th instruction with a raw
+          [Mov [addr], RAX] store (Nop-padded to a boundary) *)
+  | Retarget_branch of { idx : int; delta : int }
+      (** shift the displacement of the [idx]-th direct branch by
+          [delta] bytes — typically landing mid-instruction *)
+  | Inflate_branch_table of { count : int }
+      (** append [count] duplicate entries to the indirect-branch list *)
+  | Drop_symbol of { idx : int }  (** remove the [idx]-th symbol *)
+  | Lie_ssa_q of { q : int }  (** misdeclare the P6 inspection period *)
+
+val label : kind -> string
+(** Short stable tag, e.g. ["byte_flip"] — also the JSON discriminator. *)
+
+val gen : Deflection_util.Prng.t -> kind
+(** One random mutation with raw (unresolved) parameters. *)
+
+val find_magic : Objfile.t -> int64 -> int option
+(** [find_magic obj v] is the {!Corrupt_magic} candidate index of the
+    first imm64 field holding exactly the magic [v], if any — used to
+    target a specific annotation template deterministically. *)
+
+val apply : Objfile.t -> kind list -> Objfile.t
+(** Apply in order to a copy of the base binary (the base is not
+    mutated). Deterministic: equal base and list give equal results. *)
+
+val kind_to_json : kind -> Json.t
+val kind_of_json : Json.t -> (kind, string) result

@@ -196,17 +196,17 @@ let imm64_field_offset instr =
 (* Decoding *)
 
 let decode_reg code pos =
-  if pos >= Bytes.length code then raise (Decode_error pos);
+  if pos < 0 || pos >= Bytes.length code then raise (Decode_error pos);
   match reg_of_index (Char.code (Bytes.get code pos)) with
   | Some r -> r
   | None -> raise (Decode_error pos)
 
 let read_u8 code pos =
-  if pos >= Bytes.length code then raise (Decode_error pos);
+  if pos < 0 || pos >= Bytes.length code then raise (Decode_error pos);
   Char.code (Bytes.get code pos)
 
 let read_i32 code pos =
-  if pos + 4 > Bytes.length code then raise (Decode_error pos);
+  if pos < 0 || pos + 4 > Bytes.length code then raise (Decode_error pos);
   let v = ref 0 in
   for i = 3 downto 0 do
     v := (!v lsl 8) lor Char.code (Bytes.get code (pos + i))
@@ -215,7 +215,7 @@ let read_i32 code pos =
   if !v land 0x80000000 <> 0 then !v - (1 lsl 32) else !v
 
 let read_u64 code pos =
-  if pos + 8 > Bytes.length code then raise (Decode_error pos);
+  if pos < 0 || pos + 8 > Bytes.length code then raise (Decode_error pos);
   let v = ref 0L in
   for i = 7 downto 0 do
     v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get code (pos + i))))

@@ -40,6 +40,15 @@ let reject offset reason = raise (Reject (offset, reason))
    the nominal period while flags are live; see Instrument.maybe_ssa_check. *)
 let ssa_slack = 8
 
+type classification = {
+  machinery : (int, unit) Hashtbl.t;
+  guarded_stores : (int, unit) Hashtbl.t;
+}
+
+let is_machinery c off = Hashtbl.mem c.machinery off
+let is_guarded_store c off = Hashtbl.mem c.guarded_stores off
+let empty_classification () = { machinery = Hashtbl.create 1; guarded_stores = Hashtbl.create 1 }
+
 type st = {
   text : bytes;
   tlen : int;
@@ -53,6 +62,8 @@ type st = {
   visited : (int, unit) Hashtbl.t;  (** unit start offsets already scanned *)
   starts : (int, unit) Hashtbl.t;  (** legitimate branch-target offsets *)
   interior : (int, unit) Hashtbl.t;  (** instruction starts inside groups *)
+  members : (int, unit) Hashtbl.t;  (** every instruction start inside any matched group *)
+  guarded : (int, unit) Hashtbl.t;  (** the store instruction each Figure-5 group protects *)
   ssa_starts : (int, unit) Hashtbl.t;
   mutable jump_targets : (int * int) list;  (** (site, target) of jmp/jcc *)
   mutable call_targets : (int * int) list;
@@ -127,6 +138,7 @@ let mark_group st unit_offsets end_off =
   Array.iteri
     (fun i o ->
       Hashtbl.replace st.visited o ();
+      Hashtbl.replace st.members o ();
       if i > 0 then Hashtbl.replace st.interior o ())
     unit_offsets;
   st.n_instr <- st.n_instr + Array.length unit_offsets;
@@ -168,6 +180,7 @@ let match_store_group st off : int option =
         (match maystore store_instr with
         | Some m' when Annot.adjust_mem_for_pushes m' 2 = m ->
           let all_units = Array.append units [| tmpl_end |] in
+          Hashtbl.replace st.guarded tmpl_end ();
           Some (mark_group st all_units (tmpl_end + slen))
         | Some _ | None -> None)
       | Some _ | None -> None))
@@ -262,6 +275,8 @@ let scan_run st start =
   in
   let rec step off =
     if off = st.tlen then reject off "control flow falls off the end of the text"
+    else if off < 0 || off > st.tlen then
+      reject off "control flow leaves the text section"
     else if Hashtbl.mem st.visited off then () (* merged with an already-scanned run *)
     else begin
       (* stubs *)
@@ -371,7 +386,7 @@ let scan_run st start =
 
 (* ------------------------------------------------------------------ *)
 
-let verify ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile.t) =
+let verify_classified ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile.t) =
   Telemetry.span tm "verify" @@ fun () ->
   let current_pass = ref Symbols in
   try
@@ -427,6 +442,8 @@ let verify ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile.t) =
         visited = Hashtbl.create 4096;
         starts = Hashtbl.create 4096;
         interior = Hashtbl.create 4096;
+        members = Hashtbl.create 4096;
+        guarded = Hashtbl.create 256;
         ssa_starts = Hashtbl.create 1024;
         jump_targets = [];
         call_targets = [];
@@ -484,16 +501,19 @@ let verify ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile.t) =
     Telemetry.count tm "verifier.annot.prologue" st.n_prologue;
     Telemetry.count tm "verifier.annot.epilogue" st.n_epilogue;
     Telemetry.count tm "verifier.annot.ssa" st.n_ssa;
+    let machinery = Hashtbl.copy st.members in
+    Hashtbl.iter (fun off () -> Hashtbl.remove machinery off) st.guarded;
     Ok
-      {
-        instructions_checked = st.n_instr;
-        store_annotations = st.n_store;
-        rsp_annotations = st.n_rsp;
-        cfi_annotations = st.n_cfi;
-        prologues = st.n_prologue;
-        epilogues = st.n_epilogue;
-        ssa_checks = st.n_ssa;
-      }
+      ( {
+          instructions_checked = st.n_instr;
+          store_annotations = st.n_store;
+          rsp_annotations = st.n_rsp;
+          cfi_annotations = st.n_cfi;
+          prologues = st.n_prologue;
+          epilogues = st.n_epilogue;
+          ssa_checks = st.n_ssa;
+        },
+        { machinery; guarded_stores = st.guarded } )
   with Reject (offset, reason) ->
     let r = { pass = !current_pass; offset; reason } in
     if Telemetry.tracing tm then
@@ -505,3 +525,8 @@ let verify ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile.t) =
             ("reason", r.reason);
           ];
     Error r
+
+let verify ?tm ~policies ~ssa_q obj =
+  match verify_classified ?tm ~policies ~ssa_q obj with
+  | Ok (report, _) -> Ok report
+  | Error r -> Error r

@@ -46,6 +46,34 @@ type report = {
 
 val pp_report : Format.formatter -> report -> unit
 
+(** Structural classification of the accepted binary's text offsets, for
+    runtime policy monitors: which instruction starts belong to verified
+    Figure-5 annotation machinery (and thus legitimately touch the shadow
+    stack, counter cells and SSA marker), and which are the guarded target
+    stores those groups protect (still subject to bounds monitoring). *)
+type classification
+
+val is_machinery : classification -> int -> bool
+(** [is_machinery c off] — [off] is an instruction start inside a matched
+    annotation group, {e excluding} the guarded store itself. *)
+
+val is_guarded_store : classification -> int -> bool
+(** [is_guarded_store c off] — [off] is the store instruction a Figure-5
+    bounds template protects. *)
+
+val empty_classification : unit -> classification
+(** A classification with no machinery — every store is monitored. *)
+
+val verify_classified :
+  ?tm:Deflection_telemetry.Telemetry.t ->
+  policies:Deflection_policy.Policy.Set.t ->
+  ssa_q:int ->
+  Objfile.t ->
+  (report * classification, rejection) result
+(** Like {!verify}, but on acceptance also returns the offset
+    classification a runtime policy monitor needs to distinguish verified
+    machinery stores from target-code stores. *)
+
 val verify :
   ?tm:Deflection_telemetry.Telemetry.t ->
   policies:Deflection_policy.Policy.Set.t ->

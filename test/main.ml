@@ -22,4 +22,5 @@ let () =
       ("telemetry", Suite_telemetry.suite);
       ("forensics", Suite_forensics.suite);
       ("chaos", Suite_chaos.suite);
+      ("fuzz", Suite_fuzz.suite);
     ]

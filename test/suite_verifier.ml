@@ -283,6 +283,107 @@ let test_p6_loop_head_must_be_inspected () =
   ignore (expect_accept ~policies:p6_only fixed)
 
 (* ------------------------------------------------------------------ *)
+(* Golden rejection triples: the exact (pass, offset, reason) for a set
+   of known-bad binaries is part of the verifier's contract — forensics
+   and replay tooling key off these values, so a drift is a regression,
+   not a cosmetic change. *)
+
+let expect_triple name policies obj (pass, offset, reason) =
+  match verify_obj ~policies obj with
+  | Ok _ -> Alcotest.failf "%s: expected rejection" name
+  | Error r ->
+    Alcotest.(check string) (name ^ ": pass") pass (Verifier.pass_label r.Verifier.pass);
+    Alcotest.(check int) (name ^ ": offset") offset r.Verifier.offset;
+    Alcotest.(check string) (name ^ ": reason") reason r.Verifier.reason
+
+let test_golden_unannotated_store () =
+  let obj = compile ~policies:Policy.Set.none sample in
+  expect_triple "bare store vs P1" Policy.Set.p1 obj
+    ("scan", 333, "memory store without annotation: mov [rsi+rdx*8], rax")
+
+let test_golden_missing_stub () =
+  let obj = compile sample in
+  let bad =
+    {
+      obj with
+      Objfile.symbols =
+        List.filter (fun s -> s.Objfile.name <> "__abort_store") obj.Objfile.symbols;
+    }
+  in
+  expect_triple "dropped abort stub" Policy.Set.p1_p6 bad
+    ("symbols", 0, "missing required symbol __abort_store")
+
+let test_golden_bad_branch_list () =
+  let obj = compile sample in
+  let bad = { obj with Objfile.branch_targets = [ "no_such_symbol" ] } in
+  expect_triple "non-function branch-list entry" Policy.Set.p1_p6 bad
+    ("symbols", 0, "branch-list entry is not a function: no_such_symbol")
+
+let test_golden_missing_prologue () =
+  let obj = compile ~policies:Policy.Set.p1 sample in
+  expect_triple "P1 binary vs P1-P5" Policy.Set.p1_p5 obj
+    ("scan", 349, "function entry without shadow-stack prologue")
+
+let test_golden_missing_ssa_checks () =
+  let obj = compile ~policies:Policy.Set.p1_p5 sample in
+  expect_triple "P1-P5 binary vs P1-P6" Policy.Set.p1_p6 obj
+    ("scan", 294, "straight-line run exceeds the SSA inspection period")
+
+let test_golden_lying_ssa_q () =
+  (* binary instrumented for q=20 but delivered claiming q=5: the declared
+     (stricter) period is what the verifier holds it to *)
+  let obj = compile sample in
+  expect_triple "understated ssa_q" Policy.Set.p1_p6 { obj with Objfile.ssa_q = 5 }
+    ("scan", 254, "straight-line run exceeds the SSA inspection period")
+
+let test_golden_bare_rsp_write () =
+  let obj = compile ~policies:Policy.Set.none sample in
+  expect_triple "bare RSP write vs P2" (Policy.Set.of_list [ Policy.P2 ]) obj
+    ("scan", 378, "RSP write without P2 annotation: mov rsp, rbp")
+
+(* ------------------------------------------------------------------ *)
+(* Classification: the machinery/guarded-store split exposed to runtime
+   monitors must cover matched annotation groups and nothing else *)
+
+let test_classification_partitions_text () =
+  let obj = compile sample in
+  match Verifier.verify_classified ~policies:Policy.Set.p1_p6 ~ssa_q:obj.Objfile.ssa_q obj with
+  | Error r -> Alcotest.failf "unexpected rejection: %a" Verifier.pp_rejection r
+  | Ok (report, cls) ->
+    (* every guarded store is NOT machinery (it stays runtime-monitored) *)
+    let text = obj.Objfile.text in
+    let rec walk off machinery guarded =
+      if off >= Bytes.length text then (machinery, guarded)
+      else
+        match Codec.decode text off with
+        | exception Codec.Decode_error _ -> (machinery, guarded)
+        | _, len ->
+          walk (off + len)
+            (machinery + if Verifier.is_machinery cls off then 1 else 0)
+            (guarded + if Verifier.is_guarded_store cls off then 1 else 0)
+    in
+    let machinery, guarded = walk 0 0 0 in
+    Alcotest.(check int) "one guarded store per annotation" report.Verifier.store_annotations
+      guarded;
+    Alcotest.(check bool) "machinery present" true (machinery > 0);
+    Alcotest.(check bool) "machinery excludes guarded stores" true
+      (let rec check off =
+         off >= Bytes.length text
+         ||
+         match Codec.decode text off with
+         | exception Codec.Decode_error _ -> true
+         | _, len ->
+           (not (Verifier.is_guarded_store cls off && Verifier.is_machinery cls off))
+           && check (off + len)
+       in
+       check 0)
+
+let test_empty_classification () =
+  let cls = Verifier.empty_classification () in
+  Alcotest.(check bool) "nothing is machinery" false (Verifier.is_machinery cls 0);
+  Alcotest.(check bool) "nothing is guarded" false (Verifier.is_guarded_store cls 0)
+
+(* ------------------------------------------------------------------ *)
 (* Robustness: the verifier must never crash, whatever the input *)
 
 let qcheck_verifier_total =
@@ -386,6 +487,15 @@ let suite =
     Alcotest.test_case "rejects undecodable bytes" `Quick test_rejects_undecodable_reachable_bytes;
     Alcotest.test_case "P6 straight-line budget" `Quick test_p6_straight_line_budget;
     Alcotest.test_case "P6 loop head must be inspected" `Quick test_p6_loop_head_must_be_inspected;
+    Alcotest.test_case "golden: unannotated store" `Quick test_golden_unannotated_store;
+    Alcotest.test_case "golden: missing stub" `Quick test_golden_missing_stub;
+    Alcotest.test_case "golden: bad branch list" `Quick test_golden_bad_branch_list;
+    Alcotest.test_case "golden: missing prologue" `Quick test_golden_missing_prologue;
+    Alcotest.test_case "golden: missing ssa checks" `Quick test_golden_missing_ssa_checks;
+    Alcotest.test_case "golden: lying ssa_q" `Quick test_golden_lying_ssa_q;
+    Alcotest.test_case "golden: bare RSP write" `Quick test_golden_bare_rsp_write;
+    Alcotest.test_case "classification partitions text" `Quick test_classification_partitions_text;
+    Alcotest.test_case "empty classification" `Quick test_empty_classification;
     QCheck_alcotest.to_alcotest qcheck_verifier_total;
     QCheck_alcotest.to_alcotest qcheck_verifier_random_sources_accepted;
     QCheck_alcotest.to_alcotest qcheck_random_bytes_never_crash;
