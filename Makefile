@@ -2,8 +2,9 @@
 # the complete test suite, a quick benchmark pass (including the profiler
 # section), a forensics smoke run that must die with the documented exit
 # code, a chaos smoke campaign that must stay fail-closed, a fixed-seed
-# differential fuzz campaign that must stay sound and complete, and
-# schema checks on every machine-readable artifact produced.
+# differential fuzz campaign that must stay sound and complete, a gateway
+# smoke batch fanned out over two domains, and schema checks on every
+# machine-readable artifact produced.
 
 .PHONY: all build test bench check clean
 
@@ -32,6 +33,9 @@ check:
 	dune exec bin/deflectionc.exe -- fuzz --seeds 60 --mutants 60 --base-seed 1 \
 	  -o bench/results/fuzz.json
 	dune exec bin/json_check.exe -- --fuzz bench/results/fuzz.json
+	dune exec bin/deflectionc.exe -- gateway --sessions 6 --jobs 2 \
+	  -o bench/results/gateway.json
+	dune exec bin/json_check.exe -- --gateway bench/results/gateway.json
 
 clean:
 	dune clean

@@ -686,6 +686,108 @@ let fuzz () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Gateway: verify-once/admit-many batch serving. Cold = every session
+   compiles and verifies its own delivery, sequentially (the paper's
+   one-enclave-per-client baseline). Warm = shared verdict cache,
+   pre-warmed, compile-once sharing, at increasing domain fan-out. *)
+
+(* Code-heavy, run-light service: many small annotated functions, each
+   called once, so compile+verify dominates a session and the
+   verify-once/admit-many fast path has something to amortize. *)
+let gateway_source () =
+  let b = Buffer.create 4096 in
+  let funcs = if !quick then 64 else 160 in
+  for i = 0 to funcs - 1 do
+    Buffer.add_string b
+      (Printf.sprintf
+         "int f%d(int x) { int a[8]; a[x %% 8] = x + %d; a[(x + 1) %% 8] = a[x %% 8] * 3; \
+          return a[x %% 8] + a[(x + 1) %% 8]; }\n"
+         i i)
+  done;
+  Buffer.add_string b "int main() {\n  int s = 0;\n";
+  for i = 0 to funcs - 1 do
+    Buffer.add_string b (Printf.sprintf "  s = s + f%d(%d);\n" i i)
+  done;
+  Buffer.add_string b "  print_int(s);\n  return 0;\n}\n";
+  Buffer.contents b
+
+let gateway () =
+  let module Gateway = Deflection_gateway.Gateway in
+  let module Verifier = Deflection_verifier.Verifier in
+  let sessions = if !quick then 4 else 8 in
+  hr (Printf.sprintf "Gateway: verify-once/admit-many (%d-session same-binary batch)" sessions);
+  let src = gateway_source () in
+  let mk_jobs () =
+    List.init sessions (fun i ->
+        Gateway.job ~label:(Printf.sprintf "s%d" i) ~seed:(Int64.of_int (i + 1)) src)
+  in
+  let assert_clean what (batch : Gateway.batch) =
+    List.iter
+      (fun (r : Gateway.session_result) ->
+        if r.Gateway.exit_code <> 0 then
+          failwith (Printf.sprintf "gateway bench: %s session %s exited %d" what
+               r.Gateway.label r.Gateway.exit_code))
+      batch.Gateway.results
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* the default layout: 96 annotated functions overflow the small test
+     map's 64KB code region *)
+  let layout = Deflection_enclave.Layout.default_config in
+  let cold_batch, cold_dt = time (fun () -> Gateway.run_batch ~jobs:1 ~layout (mk_jobs ())) in
+  assert_clean "cold" cold_batch;
+  let cold_rate = if cold_dt > 0. then float_of_int sessions /. cold_dt else 0. in
+  printf "cold sequential:     %6.3fs  %7.1f sessions/s\n" cold_dt cold_rate;
+  let fanouts = if !quick then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let warm_rows =
+    List.map
+      (fun k ->
+        let cache = Verifier.Cache.create () in
+        let prewarm =
+          Gateway.run_batch ~jobs:1 ~layout ~cache
+            [ Gateway.job ~label:"prewarm" ~seed:1L src ]
+        in
+        assert_clean "prewarm" prewarm;
+        let batch, dt =
+          time (fun () -> Gateway.run_batch ~jobs:k ~layout ~cache (mk_jobs ()))
+        in
+        assert_clean "warm" batch;
+        let stats = Option.get batch.Gateway.cache_stats in
+        let rate = if dt > 0. then float_of_int sessions /. dt else 0. in
+        printf "warm cache, jobs=%d:  %6.3fs  %7.1f sessions/s  (%d hits / %d misses)\n" k dt
+          rate stats.Verifier.Cache.hits stats.Verifier.Cache.misses;
+        (k, dt, rate, stats))
+      fanouts
+  in
+  let _, _, warm1_rate, _ = List.hd warm_rows in
+  let speedup = if cold_rate > 0. then warm1_rate /. cold_rate else 0. in
+  printf "warm/cold throughput at jobs=1: %.2fx\n" speedup;
+  record "gateway"
+    (Json.Obj
+       [
+         ("sessions", Json.Int sessions);
+         ("cold_seconds", Json.Float cold_dt);
+         ("cold_sessions_per_s", Json.Float cold_rate);
+         ( "warm",
+           Json.List
+             (List.map
+                (fun (k, dt, rate, (stats : Verifier.Cache.stats)) ->
+                  Json.Obj
+                    [
+                      ("jobs", Json.Int k);
+                      ("seconds", Json.Float dt);
+                      ("sessions_per_s", Json.Float rate);
+                      ("cache_hits", Json.Int stats.Verifier.Cache.hits);
+                      ("cache_misses", Json.Int stats.Verifier.Cache.misses);
+                    ])
+                warm_rows) );
+         ("warm_over_cold_x", Json.Float speedup);
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock micro-benchmarks: one per table/figure pipeline *)
 
 let micro () =
@@ -765,7 +867,8 @@ let () =
     [
       ("table1", table1); ("table2", table2); ("fig7", fig7); ("fig8", fig8); ("fig9", fig9);
       ("fig10", fig10); ("fig11", fig11); ("ablation", ablation); ("related", related);
-      ("profile", profile); ("chaos", chaos); ("fuzz", fuzz); ("micro", micro);
+      ("profile", profile); ("chaos", chaos); ("fuzz", fuzz); ("gateway", gateway);
+      ("micro", micro);
     ]
   in
   let selected =

@@ -25,6 +25,7 @@ module Flight_recorder = Deflection_forensics.Flight_recorder
 module Profiler = Deflection_forensics.Profiler
 module Report = Deflection_forensics.Report
 module Prometheus = Deflection_forensics.Prometheus
+module Gateway = Deflection_gateway.Gateway
 
 let policy_set_conv =
   let parse s =
@@ -486,6 +487,168 @@ let fuzz_cmd =
          ])
     Term.(const action $ seeds $ mutants $ base_seed $ replay $ out)
 
+(* ------------------------------------------------------------------ *)
+(* gateway: verify-once/admit-many batch serving demo. The batch cycles
+   three embedded services — a compliant reducer, a P1-violating store
+   (runtime abort) and a binary annotated for a narrower policy set than
+   the gateway enforces (verifier rejection) — so one run exercises the
+   cached-acceptance, cached-rejection and crash paths together. *)
+
+let gateway_compliant_src =
+  "int acc[16];\n\
+   int main() {\n\
+  \  int s = 0;\n\
+  \  for (int i = 0; i < 96; i = i + 1) {\n\
+  \    acc[i % 16] = i * 3;\n\
+  \    s = s + acc[i % 16] % 7;\n\
+  \  }\n\
+  \  print_int(s);\n\
+  \  return 0;\n\
+   }\n"
+
+let gateway_aborting_src = "int buf[4];\nint main() {\n  buf[2000000] = 7;\n  return 0;\n}\n"
+
+let gateway_rejected_src =
+  "int cell[8];\nint main() {\n  cell[3] = 11;\n  print_int(cell[3]);\n  return 0;\n}\n"
+
+let gateway_jobs ~sessions ~seed =
+  List.init sessions (fun i ->
+      let seed = Int64.of_int (seed + i) in
+      match i mod 3 with
+      | 0 -> Gateway.job ~label:(Printf.sprintf "ok-%d" i) ~seed gateway_compliant_src
+      | 1 -> Gateway.job ~label:(Printf.sprintf "abort-%d" i) ~seed gateway_aborting_src
+      | _ ->
+        (* annotated for P1 only: the P1-P6 gateway's verifier refuses it *)
+        Gateway.job
+          ~label:(Printf.sprintf "reject-%d" i)
+          ~compile_policies:Policy.Set.p1 ~seed gateway_rejected_src)
+
+let gateway_result_json (r : Gateway.session_result) =
+  let status, detail, outputs, cycles, instructions =
+    match r.Gateway.outcome with
+    | Ok o ->
+      ( "ok",
+        Interp.exit_reason_to_string o.Deflection.Session.exit,
+        o.Deflection.Session.outputs,
+        o.Deflection.Session.cycles,
+        o.Deflection.Session.instructions )
+    | Error e -> ("error", Deflection.Session.error_to_string e, [], 0, 0)
+  in
+  Json.Obj
+    [
+      ("label", Json.Str r.Gateway.label);
+      ("seed", Json.Int (Int64.to_int r.Gateway.seed));
+      ("status", Json.Str status);
+      ("exit_code", Json.Int r.Gateway.exit_code);
+      ("detail", Json.Str detail);
+      ("outputs", Json.List (List.map (fun b -> Json.Str (Bytes.to_string b)) outputs));
+      ("cycles", Json.Int cycles);
+      ("instructions", Json.Int instructions);
+    ]
+
+let gateway_cmd =
+  let sessions =
+    Arg.(
+      value & opt int 8
+      & info [ "n"; "sessions" ] ~docv:"N" ~doc:"Number of sessions in the batch.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"K" ~doc:"Worker domains to fan the batch out over.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Base seed; session i uses S+i.")
+  in
+  let cold =
+    Arg.(
+      value & flag
+      & info [ "cold" ]
+          ~doc:
+            "Disable the verdict cache and compile-once sharing: every session compiles and \
+             verifies its own delivery (the sequential baseline the bench compares against).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the deflection-gateway/1 JSON document to $(docv) instead of stdout.")
+  in
+  let action sessions jobs seed cold out policies ssa_q =
+    if sessions < 1 then begin
+      Format.eprintf "gateway: --sessions must be >= 1@.";
+      exit 1
+    end;
+    if jobs < 1 then begin
+      Format.eprintf "gateway: --jobs must be >= 1@.";
+      exit 1
+    end;
+    let cache = if cold then None else Some (Verifier.Cache.create ()) in
+    let t0 = Unix.gettimeofday () in
+    let batch = Gateway.run_batch ~jobs ~policies ~ssa_q ?cache (gateway_jobs ~sessions ~seed) in
+    let dt = Unix.gettimeofday () -. t0 in
+    let doc =
+      Json.Obj
+        [
+          ("schema", Json.Str "deflection-gateway/1");
+          ("sessions", Json.Int sessions);
+          ("seed", Json.Int seed);
+          ("policies", Json.Str (Policy.Set.label policies));
+          ("ssa_q", Json.Int ssa_q);
+          ("warm", Json.Bool (not cold));
+          ("distinct_binaries", Json.Int batch.Gateway.distinct_binaries);
+          ( "cache",
+            match batch.Gateway.cache_stats with
+            | None -> Json.Null
+            | Some s ->
+              Json.Obj
+                (List.map (fun (k, v) -> (k, Json.Int v)) (Verifier.Cache.stats_to_list s)) );
+          ("results", Json.List (List.map gateway_result_json batch.Gateway.results));
+          ( "counters",
+            Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) batch.Gateway.counters) );
+          (* everything that legitimately varies with the fan-out or the
+             clock lives here: strip "timing" and two runs of the same
+             batch at different --jobs compare byte-identical *)
+          ( "timing",
+            Json.Obj
+              [
+                ("jobs", Json.Int jobs);
+                ("workers", Json.Int batch.Gateway.workers);
+                ("wall_s", Json.Float dt);
+                ( "sessions_per_s",
+                  Json.Float (if dt > 0. then float_of_int sessions /. dt else 0.) );
+              ] );
+        ]
+    in
+    match out with
+    | None -> print_endline (Json.to_string ~pretty:true doc)
+    | Some file ->
+      let oc = open_out file in
+      Json.to_channel ~pretty:true oc doc;
+      close_out oc;
+      Format.eprintf "gateway batch written to %s@." file
+  in
+  Cmd.v
+    (Cmd.info "gateway"
+       ~doc:
+         "Serve a batch of sessions through the verify-once/admit-many gateway (measurement \
+          -keyed verdict cache + domain fan-out) and emit a deflection-gateway/1 JSON \
+          document."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "The batch cycles three embedded services: a compliant reducer, a program whose \
+              out-of-bounds store trips the inlined P1 bounds annotation at runtime, and a \
+              binary annotated for P1 only, which the gateway's P1-P6 verifier rejects. With \
+              the cache enabled (default), each distinct binary is compiled once and its \
+              verdict — acceptance or rejection — is verified once; every other session \
+              admits (or refuses) from the cache. Results are byte-identical for any --jobs \
+              value apart from the \"timing\" object.";
+         ])
+    Term.(const action $ sessions $ jobs $ seed $ cold $ out $ policies_arg $ ssa_q_arg)
+
 let report_cmd =
   let doc_file = Arg.(required & pos 0 (some file) None & info [] ~docv:"JSON") in
   let action path =
@@ -514,4 +677,14 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ compile_cmd; verify_cmd; disasm_cmd; run_cmd; chaos_cmd; fuzz_cmd; report_cmd ]))
+       (Cmd.group info
+          [
+            compile_cmd;
+            verify_cmd;
+            disasm_cmd;
+            run_cmd;
+            gateway_cmd;
+            chaos_cmd;
+            fuzz_cmd;
+            report_cmd;
+          ]))

@@ -13,6 +13,10 @@
                                 schema: every generated program clean, every
                                 mutant rejected or ran clean, both harness
                                 self-tests caught, zero failures
+     json_check --gateway FILE  additionally enforce the deflection-gateway/1
+                                schema: one result per session, consistent
+                                verdict-cache accounting (hits + misses =
+                                sessions when warm), and a timing object
 
    Used by `make check` to fail the build when the benchmark harness
    produced no (or malformed) bench/results/latest.json, and by the chaos
@@ -140,14 +144,61 @@ let check_fuzz path json =
   Printf.printf "%s: ok (%d programs clean, %d mutants: %d rejected / %d ran clean)\n" path
     programs mutants mutants_rejected mutants_clean
 
+let check_gateway path json =
+  (match Json.member "schema" json with
+  | Some (Json.Str "deflection-gateway/1") -> ()
+  | Some (Json.Str other) -> die "%s: unknown schema %S" path other
+  | _ -> die "%s: missing \"schema\" field" path);
+  let sessions = int_field path json "sessions" in
+  if sessions <= 0 then die "%s: batch served no sessions" path;
+  let warm =
+    match Json.member "warm" json with
+    | Some (Json.Bool b) -> b
+    | _ -> die "%s: missing boolean \"warm\" field" path
+  in
+  (match (warm, Json.member "cache" json) with
+  | true, Some (Json.Obj _ as cache) ->
+    let hits = int_field path cache "hits" in
+    let misses = int_field path cache "misses" in
+    let entries = int_field path cache "entries" in
+    let capacity = int_field path cache "capacity" in
+    if hits + misses <> sessions then
+      die "%s: cache hits (%d) + misses (%d) != sessions (%d)" path hits misses sessions;
+    if entries > capacity then
+      die "%s: cache holds %d settled entries over its capacity %d" path entries capacity
+  | true, _ -> die "%s: warm batch without a \"cache\" object" path
+  | false, (Some Json.Null | None) -> ()
+  | false, Some _ -> die "%s: cold batch carries a non-null \"cache\"" path);
+  (match Json.member "results" json with
+  | Some (Json.List results) ->
+    if List.length results <> sessions then
+      die "%s: %d results but \"sessions\" says %d" path (List.length results) sessions;
+    List.iteri
+      (fun i r ->
+        (match Json.member "label" r with
+        | Some (Json.Str _) -> ()
+        | _ -> die "%s: result %d: missing string \"label\"" path i);
+        (match Json.member "status" r with
+        | Some (Json.Str ("ok" | "error")) -> ()
+        | _ -> die "%s: result %d: \"status\" is not \"ok\"/\"error\"" path i);
+        ignore (int_field path r "exit_code"))
+      results
+  | _ -> die "%s: missing \"results\" array" path);
+  (match Json.member "timing" json with
+  | Some (Json.Obj _ as timing) -> ignore (int_field path timing "jobs")
+  | _ -> die "%s: missing \"timing\" object" path);
+  Printf.printf "%s: ok (%d sessions, %s)\n" path sessions
+    (if warm then "warm cache" else "cold")
+
 let () =
   let mode, path =
     match Array.to_list Sys.argv with
     | [ _; "--bench"; path ] -> (`Bench, path)
     | [ _; "--chaos"; path ] -> (`Chaos, path)
     | [ _; "--fuzz"; path ] -> (`Fuzz, path)
+    | [ _; "--gateway"; path ] -> (`Gateway, path)
     | [ _; path ] -> (`Plain, path)
-    | _ -> die "usage: json_check [--bench|--chaos|--fuzz] FILE"
+    | _ -> die "usage: json_check [--bench|--chaos|--fuzz|--gateway] FILE"
   in
   let contents = try read_file path with Sys_error e -> die "%s" e in
   match Json.parse contents with
@@ -157,4 +208,5 @@ let () =
     | `Bench -> check_bench path json
     | `Chaos -> check_chaos path json
     | `Fuzz -> check_fuzz path json
+    | `Gateway -> check_gateway path json
     | `Plain -> Printf.printf "%s: ok\n" path)

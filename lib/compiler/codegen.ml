@@ -117,10 +117,47 @@ let int_cond = function
   | Add | Sub | Mul | Div | Mod | BitAnd | BitOr | BitXor | Shl | Shr | LogAnd | LogOr ->
     invalid_arg "int_cond"
 
-let float_cond = function
-  | Eq -> E | Neq -> NE | Lt -> B | Le -> BE | Gt -> A | Ge -> AE
+(* Float comparisons read the ucomisd flag image, where unordered (NaN)
+   sets ZF=CF=1. Every comparison except != must come out false on NaN:
+
+   - Gt/Ge test A/AE (CF-based), which unordered leaves false;
+   - Lt/Le swap the operands and test A/AE — testing B/BE directly would
+     read CF=1 on unordered as "less";
+   - Eq is ZF && not CF (ZF alone is also set when unordered);
+   - Neq is the complement: not ZF || CF. *)
+let materialize_fcmp env ra rb op =
+  match op with
+  | Gt ->
+    emit env (Fcmp (ra, Reg rb));
+    materialize_cond env ra A
+  | Ge ->
+    emit env (Fcmp (ra, Reg rb));
+    materialize_cond env ra AE
+  | Lt ->
+    emit env (Fcmp (rb, Reg ra));
+    materialize_cond env ra A
+  | Le ->
+    emit env (Fcmp (rb, Reg ra));
+    materialize_cond env ra AE
+  | Eq ->
+    let lfalse = fresh env "feqf" and lend = fresh env "feqe" in
+    emit env (Fcmp (ra, Reg rb));
+    emit env (Mov (Reg ra, Imm 1L));
+    emit env (Jcc (B, Lab lfalse)) (* CF=1: below or unordered *);
+    emit env (Jcc (E, Lab lend)) (* ZF=1, CF=0: ordered equal *);
+    place_label env lfalse;
+    emit env (Mov (Reg ra, Imm 0L));
+    place_label env lend
+  | Neq ->
+    let lend = fresh env "fnee" in
+    emit env (Fcmp (ra, Reg rb));
+    emit env (Mov (Reg ra, Imm 1L));
+    emit env (Jcc (B, Lab lend)) (* CF=1: below or unordered — unequal *);
+    emit env (Jcc (NE, Lab lend)) (* ZF=0: ordered, not equal *);
+    emit env (Mov (Reg ra, Imm 0L));
+    place_label env lend
   | Add | Sub | Mul | Div | Mod | BitAnd | BitOr | BitXor | Shl | Shr | LogAnd | LogOr ->
-    invalid_arg "float_cond"
+    invalid_arg "materialize_fcmp"
 
 let is_cmp = function
   | Eq | Neq | Lt | Le | Gt | Ge -> true
@@ -239,9 +276,8 @@ let rec eval env (ex : expr) : reg * ty =
       error pos "cannot mix int and float operands (use itof/ftoi)";
     if is_cmp op then begin
       if float_op then begin
-        emit env (Fcmp (ra, Reg rb));
+        materialize_fcmp env ra rb op;
         release env rb;
-        materialize_cond env ra (float_cond op);
         (ra, Tint)
       end
       else begin

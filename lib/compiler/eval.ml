@@ -6,6 +6,7 @@ type outcome = { exit_code : int64; outputs : string list; steps : int }
 
 type error =
   | Division_by_zero
+  | Division_overflow
   | Out_of_bounds of string
   | Unbound of string
   | Unsupported of string
@@ -13,6 +14,7 @@ type error =
 
 let pp_error fmt = function
   | Division_by_zero -> Format.pp_print_string fmt "division by zero"
+  | Division_overflow -> Format.pp_print_string fmt "integer division overflow"
   | Out_of_bounds s -> Format.fprintf fmt "array index out of bounds (%s)" s
   | Unbound s -> Format.fprintf fmt "unbound name %s" s
   | Unsupported s -> Format.fprintf fmt "unsupported: %s" s
@@ -54,13 +56,23 @@ let tick st =
   st.steps <- st.steps + 1;
   if st.steps > st.step_limit then raise (Err Step_limit)
 
+(* x86 idiv faults (#DE) on INT64_MIN / -1 — the quotient overflows — and
+   the compiled code inherits that; the oracle must agree. *)
+let div_check a b =
+  if Int64.equal b 0L then raise (Err Division_by_zero);
+  if Int64.equal a Int64.min_int && Int64.equal b (-1L) then raise (Err Division_overflow)
+
 let int_arith op a b =
   match op with
   | Add -> VInt (Int64.add a b)
   | Sub -> VInt (Int64.sub a b)
   | Mul -> VInt (Int64.mul a b)
-  | Div -> if Int64.equal b 0L then raise (Err Division_by_zero) else VInt (Int64.div a b)
-  | Mod -> if Int64.equal b 0L then raise (Err Division_by_zero) else VInt (Int64.rem a b)
+  | Div ->
+    div_check a b;
+    VInt (Int64.div a b)
+  | Mod ->
+    div_check a b;
+    VInt (Int64.rem a b)
   | Eq -> VInt (if Int64.equal a b then 1L else 0L)
   | Neq -> VInt (if Int64.equal a b then 0L else 1L)
   | Lt -> VInt (if Int64.compare a b < 0 then 1L else 0L)

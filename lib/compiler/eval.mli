@@ -16,6 +16,9 @@ type outcome = {
 
 type error =
   | Division_by_zero
+  | Division_overflow
+      (** [INT64_MIN / -1] (or [% -1]): the quotient is unrepresentable and
+          x86 [idiv] raises #DE, so the oracle faults rather than wraps *)
   | Out_of_bounds of string
   | Unbound of string
   | Unsupported of string

@@ -13,8 +13,15 @@ let int_binop op a b =
   | Add -> Some (Int64.add a b)
   | Sub -> Some (Int64.sub a b)
   | Mul -> Some (Int64.mul a b)
-  | Div -> if Int64.equal b 0L then None else Some (Int64.div a b)
-  | Mod -> if Int64.equal b 0L then None else Some (Int64.rem a b)
+  (* never fold a division that traps at runtime (zero divisor, or the
+     INT64_MIN / -1 overflow that x86 idiv faults on): folding would turn
+     a faulting program into a silently-wrapping one *)
+  | Div ->
+    if Int64.equal b 0L || (Int64.equal a Int64.min_int && Int64.equal b (-1L)) then None
+    else Some (Int64.div a b)
+  | Mod ->
+    if Int64.equal b 0L || (Int64.equal a Int64.min_int && Int64.equal b (-1L)) then None
+    else Some (Int64.rem a b)
   | Eq -> Some (if Int64.equal a b then 1L else 0L)
   | Neq -> Some (if Int64.equal a b then 0L else 1L)
   | Lt -> Some (if Int64.compare a b < 0 then 1L else 0L)

@@ -27,6 +27,10 @@ type config = {
   oram_capacity : int option;
       (* when set, the manifest's oram_read/oram_write OCalls are backed
          by a Path ORAM over untrusted host memory (paper Section VII) *)
+  verifier_cache : Verifier.Cache.t option;
+      (* when set, ecall_receive_binary consults the measurement-keyed
+         verdict cache before running the verifier pass (verify-once /
+         admit-many, shared across enclave instances of one gateway) *)
 }
 
 let default_config =
@@ -37,6 +41,7 @@ let default_config =
     policies = Policy.Set.p1_p6;
     seed = 1L;
     oram_capacity = None;
+    verifier_cache = None;
   }
 
 let consumer_code (config : config) =
@@ -160,11 +165,18 @@ let ecall_receive_binary t sealed =
          with
         | Error e -> Error (Loader_error e)
         | Ok loaded ->
-          (match
-             Verifier.verify ~tm:t.tm ~policies:t.config.policies ~ssa_q:obj.Objfile.ssa_q obj
-           with
+          let verdict =
+            match t.config.verifier_cache with
+            | Some cache ->
+              Verifier.Cache.verify_classified cache ~tm:t.tm ~policies:t.config.policies
+                ~ssa_q:obj.Objfile.ssa_q ~serialized:plaintext obj
+            | None ->
+              Verifier.verify_classified ~tm:t.tm ~policies:t.config.policies
+                ~ssa_q:obj.Objfile.ssa_q obj
+          in
+          (match verdict with
           | Error r -> Error (Verifier_rejection r)
-          | Ok report ->
+          | Ok (report, _classification) ->
             (match Loader.rewrite_imms ~tm:t.tm t.mem loaded ~policies:t.config.policies with
             | Error e -> Error (Rewrite_error e)
             | Ok rewritten ->
@@ -210,6 +222,8 @@ let build_crash t (loaded : Loader.loaded) itp exit =
     | Interp.Invalid_instruction _ ->
       ("bad-decode", Interp.exit_reason_to_string exit, None, None)
     | Interp.Div_by_zero _ -> ("div-by-zero", Interp.exit_reason_to_string exit, None, None)
+    | Interp.Div_overflow _ ->
+      ("div-overflow", Interp.exit_reason_to_string exit, None, None)
     | Interp.Ocall_denied _ ->
       ("ocall-denied", Interp.exit_reason_to_string exit, Some Policy.P0, None)
     | Interp.Ocall_failed _ ->

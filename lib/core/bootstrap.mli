@@ -32,6 +32,12 @@ type config = {
       (** when set (and the manifest includes the [oram_*] OCalls, see
           {!Manifest.with_oram}), the enclave offers oblivious storage in
           untrusted host memory through a Path ORAM (paper Section VII) *)
+  verifier_cache : Verifier.Cache.t option;
+      (** when set, {!ecall_receive_binary} consults the measurement-keyed
+          verdict cache before running its own verifier pass — the
+          verify-once/admit-many fast path a gateway shares across the
+          enclave instances it drives. [None] (the default) verifies every
+          delivery from scratch. *)
 }
 
 val default_config : config

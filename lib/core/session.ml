@@ -102,7 +102,8 @@ let staged resilience ~stage body =
     | None -> Error (Stage_timeout { stage; detail = last }))
 
 let run_protocol ~policies ~ssa_q ?optimize ?layout ?manifest ?interp ~seed ?oram_capacity
-    ~chaos ~resilience ~tm ~recorder ~profiler ~source ~inputs () =
+    ?verifier_cache ?precompiled ~chaos ~resilience ~tm ~recorder ~profiler ~source ~inputs
+    () =
   let config =
     {
       Bootstrap.layout = (match layout with Some l -> l | None -> Bootstrap.default_config.Bootstrap.layout);
@@ -111,6 +112,7 @@ let run_protocol ~policies ~ssa_q ?optimize ?layout ?manifest ?interp ~seed ?ora
       policies;
       seed;
       oram_capacity;
+      verifier_cache;
     }
   in
   let platform = Attestation.Platform.create ~seed:(Int64.add seed 1000L) in
@@ -151,9 +153,14 @@ let run_protocol ~policies ~ssa_q ?optimize ?layout ?manifest ?interp ~seed ?ora
   (* --- code provider: attest, compile, deliver --- *)
   let* provider_session = attest ~role:Ratls.Code_provider 2000L in
   let* obj =
-    match Service.build ~policies ~ssa_q ?optimize ~tm source with
-    | Ok obj -> Ok obj
-    | Error e -> Error (Compile_error e)
+    (* a gateway compiles each distinct source once and hands the shared
+       objfile to every session it fans out *)
+    match precompiled with
+    | Some obj -> Ok obj
+    | None -> (
+      match Service.build ~policies ~ssa_q ?optimize ~tm source with
+      | Ok obj -> Ok obj
+      | Error e -> Error (Compile_error e))
   in
   (* seal exactly once: retransmissions resend the same sealed record, so
      the channel's sequence discipline detects duplicates and replays *)
@@ -265,8 +272,9 @@ let run_protocol ~policies ~ssa_q ?optimize ?layout ?manifest ?interp ~seed ?ora
     }
 
 let run ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?optimize ?layout ?manifest ?interp
-    ?(seed = 1L) ?oram_capacity ?(chaos = Chaos.disabled) ?resilience_config ?tm
-    ?(recorder = Flight_recorder.disabled) ?(profiler = Profiler.disabled) ~source ~inputs () =
+    ?(seed = 1L) ?oram_capacity ?verifier_cache ?precompiled ?(chaos = Chaos.disabled)
+    ?resilience_config ?tm ?(recorder = Flight_recorder.disabled)
+    ?(profiler = Profiler.disabled) ~source ~inputs () =
   let tm = match tm with Some tm -> tm | None -> Telemetry.create () in
   let resilience_seed =
     match Chaos.plan chaos with Some p -> p.Chaos.seed | None -> seed
@@ -277,7 +285,8 @@ let run ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?optimize ?layout ?manifest
   let result =
     Telemetry.span tm "session" (fun () ->
         run_protocol ~policies ~ssa_q ?optimize ?layout ?manifest ?interp ~seed ?oram_capacity
-          ~chaos ~resilience ~tm ~recorder ~profiler ~source ~inputs ())
+          ?verifier_cache ?precompiled ~chaos ~resilience ~tm ~recorder ~profiler ~source
+          ~inputs ())
   in
   match result with
   | Error _ as e -> e

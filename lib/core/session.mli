@@ -87,6 +87,8 @@ val run :
   ?interp:Interp.config ->
   ?seed:int64 ->
   ?oram_capacity:int ->
+  ?verifier_cache:Verifier.Cache.t ->
+  ?precompiled:Deflection_isa.Objfile.t ->
   ?chaos:Chaos.t ->
   ?resilience_config:Resilience.config ->
   ?tm:Telemetry.t ->
@@ -103,6 +105,12 @@ val run :
     decrypt); when omitted, a fresh private registry backs
     [outcome.telemetry]. [recorder]/[profiler] (default disabled) attach
     the flight recorder and the sampling profiler to the interpreter.
+
+    [verifier_cache] (default none) is handed to the bootstrap enclave so
+    its binary-delivery ECall consults the shared measurement-keyed
+    verdict cache before running a verifier pass; [precompiled] skips the
+    code provider's compile step and delivers the given objfile instead —
+    together they are the gateway's verify-once/admit-many fast path.
 
     [chaos] (default {!Chaos.disabled}) threads a fault-injection engine
     through every stage: sealed records pass {!Chaos.transport}, quotes

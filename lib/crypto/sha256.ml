@@ -25,6 +25,11 @@ let k =
 type ctx = {
   h : int array; (* 8 state words *)
   block : bytes; (* 64-byte working block *)
+  w : int array; (* 64-entry message schedule — per-context, NOT module
+                    global: contexts hash concurrently on separate
+                    domains (the gateway's parallel session fan-out), and
+                    a shared schedule silently corrupts every digest
+                    computed during an overlap *)
   mutable fill : int; (* bytes pending in [block] *)
   mutable total : int64; (* total message bytes *)
 }
@@ -35,14 +40,14 @@ let init () =
       [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
          0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |];
     block = Bytes.create 64;
+    w = Array.make 64 0;
     fill = 0;
     total = 0L;
   }
 
-let w = Array.make 64 0
-
 let compress ctx =
   let b = ctx.block in
+  let w = ctx.w in
   for i = 0 to 15 do
     w.(i) <-
       (Char.code (Bytes.get b (4 * i)) lsl 24)

@@ -1,0 +1,86 @@
+(** Verify-once/admit-many serving gateway.
+
+    A gateway drives a batch of independent CCaaS sessions — each its own
+    bootstrap enclave, attestation handshakes, sealed delivery, execution
+    and output decryption — through two shared fast paths:
+
+    - a {!Verifier.Cache} of verdicts keyed by the measurement of the
+      delivered binary (SHA-256 of the serialized objfile) bound to the
+      enforced policy set and SSA inspection period, so N sessions of the
+      same binary pay the in-enclave verifier pass once; and
+    - compile-once sharing: each distinct (source, policy set) pair is
+      compiled a single time and the objfile handed to every session that
+      delivers it.
+
+    Batches fan out over 1..K OCaml domains. The dispatch is an atomic
+    work-stealing index, results land in per-job slots, and telemetry
+    counters are summed after the join, so a batch's results and merged
+    counters are identical regardless of the worker count — the property
+    [suite_gateway] pins with a K=1 vs K=4 diff. *)
+
+module Session = Deflection.Session
+module Policy = Deflection_policy.Policy
+module Verifier = Deflection_verifier.Verifier
+module Telemetry = Deflection_telemetry.Telemetry
+
+type job = {
+  label : string;  (** caller-chosen name, echoed in the result *)
+  source : string;  (** MiniC source the code provider ships *)
+  compile_policies : Policy.Set.t option;
+      (** policy set the binary is {e annotated} for; [None] compiles for
+          the batch's enforced set. A mismatching subset (e.g. compiling
+          for P1-P4 under a P1-P6 gateway) is the canonical way to get a
+          verifier rejection into a batch. *)
+  inputs : bytes list;  (** the data owner's chunks *)
+  seed : int64;
+}
+
+val job :
+  ?compile_policies:Policy.Set.t ->
+  ?inputs:bytes list ->
+  ?seed:int64 ->
+  label:string ->
+  string ->
+  job
+(** [job ~label source] with defaults: compile for the batch policy set,
+    no inputs, seed 1. *)
+
+type session_result = {
+  label : string;
+  seed : int64;
+  outcome : (Session.outcome, Session.error) result;
+  exit_code : int;  (** {!Session.process_exit_code} of [outcome] *)
+}
+
+type batch = {
+  results : session_result list;  (** in job order, independent of [workers] *)
+  counters : (string * int) list;
+      (** telemetry counters summed over every session, sorted by name —
+          equal to the sequential totals for any worker count *)
+  cache_stats : Verifier.Cache.stats option;
+      (** verdict-cache accounting, when a cache was supplied *)
+  distinct_binaries : int;
+      (** distinct (source, policy set) pairs compiled up front (0 on the
+          cold path, which compiles per session) *)
+  workers : int;  (** domains actually used: [min jobs (max n 1)] *)
+}
+
+val run_batch :
+  ?jobs:int ->
+  ?policies:Policy.Set.t ->
+  ?ssa_q:int ->
+  ?layout:Deflection_enclave.Layout.config ->
+  ?cache:Verifier.Cache.t ->
+  job list ->
+  batch
+(** Run every job to completion and return the batch in job order.
+
+    [jobs] (default 1) is the domain fan-out; [invalid_arg] when < 1.
+    [policies] (default P1-P6) and [ssa_q] (default 20) are the gateway's
+    enforced verification configuration, shared by every session.
+
+    [cache] enables the warm path: the verdict cache is consulted by each
+    enclave's binary-delivery ECall ({e both} acceptances and rejections
+    are cached), and distinct sources are compiled once up front. Omit it
+    for the cold baseline, where every session compiles and verifies its
+    own delivery from scratch. *)

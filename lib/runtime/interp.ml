@@ -15,6 +15,7 @@ type exit_reason =
   | Mem_fault of Memory.fault
   | Invalid_instruction of int
   | Div_by_zero of int
+  | Div_overflow of int
   | Ocall_denied of int
   | Ocall_failed of int
   | Limit_exceeded
@@ -26,6 +27,7 @@ let pp_exit_reason fmt = function
   | Mem_fault f -> Format.fprintf fmt "fault(%a)" Memory.pp_fault f
   | Invalid_instruction a -> Format.fprintf fmt "invalid-instruction(%#x)" a
   | Div_by_zero a -> Format.fprintf fmt "div-by-zero(%#x)" a
+  | Div_overflow a -> Format.fprintf fmt "div-overflow(%#x)" a
   | Ocall_denied n -> Format.fprintf fmt "ocall-denied(%d)" n
   | Ocall_failed n -> Format.fprintf fmt "ocall-failed(%d)" n
   | Limit_exceeded -> Format.fprintf fmt "instruction-limit-exceeded"
@@ -71,8 +73,11 @@ type t = {
   jitter_prng : Deflection_util.Prng.t;  (* AEX schedule jitter *)
   coloc_prng : Deflection_util.Prng.t;  (* co-location observations *)
   ocall : int -> t -> ocall_outcome;
-  (* decode cache: address -> (instr, length, generation) *)
-  cache : (int, Isa.instr * int * int) Hashtbl.t;
+  (* decode cache: address -> (instr, length), valid for [cache_gen] only —
+     the whole table is dropped when the code generation moves, so stale
+     decodes can neither be served nor accumulate *)
+  cache : (int, Isa.instr * int) Hashtbl.t;
+  mutable cache_gen : int;
   klass : int array;  (* per-class instruction counts, indexed by class_index *)
   tm : Telemetry.t;
   recorder : Flight_recorder.t;
@@ -131,6 +136,7 @@ let create ?(config = default_config) ?(tm = Telemetry.disabled)
           (Deflection_util.Prng.derive config.aex_seed ~label:"colocation");
       ocall;
       cache = Hashtbl.create 4096;
+      cache_gen = Memory.code_generation mem;
       klass = Array.make n_classes 0;
       tm;
       recorder;
@@ -285,15 +291,23 @@ let force_aex t = inject_aex t
 let fetch t =
   Memory.check_exec t.mem t.rip;
   let gen = Memory.code_generation t.mem in
+  if gen <> t.cache_gen then begin
+    (* an imm-rewrite or code patch invalidated every cached decode:
+       reset instead of letting dead generations accumulate *)
+    Hashtbl.reset t.cache;
+    t.cache_gen <- gen
+  end;
   match Hashtbl.find_opt t.cache t.rip with
-  | Some (i, len, g) when g = gen -> (i, len)
-  | Some _ | None ->
+  | Some (i, len) -> (i, len)
+  | None ->
     let off = Memory.to_offset t.mem t.rip in
     let i, len = Codec.decode (Memory.code_bytes t.mem) off in
     (* ensure the whole instruction lies in executable memory *)
     Memory.check_exec t.mem (t.rip + len - 1);
-    Hashtbl.replace t.cache t.rip (i, len, gen);
+    Hashtbl.replace t.cache t.rip (i, len);
     (i, len)
+
+let decode_cache_size t = Hashtbl.length t.cache
 
 (* ------------------------------------------------------------------ *)
 (* Execution *)
@@ -375,6 +389,10 @@ let exec t instr len =
     let b = read_operand t o in
     if Int64.equal b 0L then raise (Halted (Div_by_zero t.rip));
     let a = t.regs.(reg_index RAX) in
+    (* x86 idiv raises #DE when the quotient is unrepresentable:
+       INT64_MIN / -1 faults on hardware, it does not wrap *)
+    if Int64.equal a Int64.min_int && Int64.equal b (-1L) then
+      raise (Halted (Div_overflow t.rip));
     t.regs.(reg_index RAX) <- Int64.div a b;
     t.regs.(reg_index RDX) <- Int64.rem a b;
     fall ()
@@ -413,8 +431,17 @@ let exec t instr len =
     fall ()
   | Fcmp (r, o) ->
     let a = f64 t.regs.(reg_index r) and b = f64 (read_operand t o) in
-    t.flags.zf <- a = b;
-    t.flags.cf <- a < b;
+    (* ucomisd flag image: unordered (either operand NaN) sets ZF=CF=1,
+       so A/AE ("strictly ordered-greater" / "not below") stay false on
+       NaN while B/BE read true — never "greater" *)
+    if Float.is_nan a || Float.is_nan b then begin
+      t.flags.zf <- true;
+      t.flags.cf <- true
+    end
+    else begin
+      t.flags.zf <- a = b;
+      t.flags.cf <- a < b
+    end;
     t.flags.sf <- false;
     t.flags.ovf <- false;
     fall ()
@@ -437,7 +464,8 @@ let record_exit t r =
     | Policy_abort reason ->
       Flight_recorder.record t.recorder Flight_recorder.Abort ~pc:t.rip
         ~arg:(Int64.to_int (Annot.abort_exit_code reason))
-    | Mem_fault _ | Invalid_instruction _ | Div_by_zero _ | Ocall_denied _ | Ocall_failed _ ->
+    | Mem_fault _ | Invalid_instruction _ | Div_by_zero _ | Div_overflow _ | Ocall_denied _
+    | Ocall_failed _ ->
       Flight_recorder.record t.recorder Flight_recorder.Fault ~pc:t.rip ~arg:0
   end
 

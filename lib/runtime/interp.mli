@@ -26,6 +26,10 @@ type exit_reason =
   | Mem_fault of Memory.fault
   | Invalid_instruction of int  (** undecodable bytes at address *)
   | Div_by_zero of int
+  | Div_overflow of int
+      (** [idiv] with an unrepresentable quotient (INT64_MIN / -1): x86
+          raises #DE exactly as for a zero divisor — the model faults
+          instead of silently wrapping *)
   | Ocall_denied of int  (** OCall index not allowed by the manifest *)
   | Ocall_failed of int
       (** OCall handler reported an unrecoverable host-side failure *)
@@ -129,6 +133,12 @@ val cycles : t -> int
 val instructions : t -> int
 val aex_count : t -> int
 val ocall_count : t -> int
+
+val decode_cache_size : t -> int
+(** Number of live entries in the fetch/decode cache. The cache is reset
+    whenever {!Memory.code_generation} moves, so this is bounded by the
+    number of distinct instruction addresses executed since the last code
+    write — it does not grow across generation bumps. *)
 
 val class_names : string array
 (** The instruction-class partition used by {!class_counts}, in index

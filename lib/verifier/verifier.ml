@@ -55,6 +55,10 @@ type st = {
   policies : Policy.Set.t;
   ssa_q : int;
   stub_addr : Annot.abort_reason -> int;
+  stub_at : (int, Annot.abort_reason) Hashtbl.t;
+      (** offset -> abort reason, precomputed so the per-offset stub probe
+          in {!scan_run} is one hash lookup instead of a
+          [List.find_opt]-over-[List.assoc] scan *)
   aex_handler_off : int;
   start_off : int;
   user_funs : (int, string) Hashtbl.t;  (** offset -> name *)
@@ -280,10 +284,7 @@ let scan_run st start =
     else if Hashtbl.mem st.visited off then () (* merged with an already-scanned run *)
     else begin
       (* stubs *)
-      let stub_reason =
-        List.find_opt (fun r -> st.stub_addr r = off) Annot.all_abort_reasons
-      in
-      match stub_reason with
+      match Hashtbl.find_opt st.stub_at off with
       | Some r ->
         let template =
           [ Annot.Exact (Mov (Reg RAX, Imm (Annot.abort_exit_code r))); Annot.Exact Hlt ]
@@ -429,6 +430,17 @@ let verify_classified ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile
       (stub_tbl, aex_handler_off, start_off, stub_offsets, user_funs)
     in
     let stub_addr r = List.assoc r stub_tbl in
+    (* offset-keyed views of the symbol tables, built once: scan_run probes
+       [stub_at] per offset and the CFG pass probes [stub_offset_set] per
+       backward branch. Insertion order mirrors [all_abort_reasons] so a
+       (hypothetical) shared offset resolves to the same reason the old
+       list scan found first. *)
+    let stub_at = Hashtbl.create 16 in
+    List.iter
+      (fun (r, off) -> if not (Hashtbl.mem stub_at off) then Hashtbl.add stub_at off r)
+      stub_tbl;
+    let stub_offset_set = Hashtbl.create 16 in
+    List.iter (fun off -> Hashtbl.replace stub_offset_set off ()) stub_offsets;
     let st =
       {
         text;
@@ -436,6 +448,7 @@ let verify_classified ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile
         policies;
         ssa_q;
         stub_addr;
+        stub_at;
         aex_handler_off;
         start_off;
         user_funs;
@@ -486,7 +499,7 @@ let verify_classified ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile
               && not
                    (Hashtbl.mem st.ssa_starts target
                    || Hashtbl.mem st.user_funs target
-                   || List.mem target stub_offsets)
+                   || Hashtbl.mem stub_offset_set target)
             then reject site "backward branch target without SSA inspection")
           st.jump_targets;
         List.iter
@@ -530,3 +543,162 @@ let verify ?tm ~policies ~ssa_q obj =
   match verify_classified ?tm ~policies ~ssa_q obj with
   | Ok (report, _) -> Ok report
   | Error r -> Error r
+
+(* ------------------------------------------------------------------ *)
+(* Measurement-keyed verdict cache: verify once, admit many. *)
+
+module Cache = struct
+  module Sha256 = Deflection_crypto.Sha256
+
+  type verdict = (report * classification, rejection) result
+
+  (* An [In_flight] entry is a claim: the domain that inserted it is
+     verifying; later arrivals for the same key count a hit and block on
+     the condition until the verdict lands. This single-flight discipline
+     makes hit/miss totals a function of the batch alone, not of the
+     domain schedule. *)
+  type entry = { mutable state : state; mutable last_used : int }
+  and state = In_flight | Done of verdict | Poisoned of exn
+
+  type t = {
+    capacity : int;
+    mutex : Mutex.t;
+    cond : Condition.t;
+    table : (string, entry) Hashtbl.t;
+    mutable tick : int;  (* logical access clock for LRU *)
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+  }
+
+  type stats = { hits : int; misses : int; evictions : int; entries : int; capacity : int }
+
+  let default_capacity = 64
+
+  let create ?(capacity = default_capacity) () =
+    if capacity < 1 then invalid_arg "Verifier.Cache.create: capacity must be positive";
+    {
+      capacity;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      table = Hashtbl.create 64;
+      tick = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+    }
+
+  let capacity (t : t) = t.capacity
+
+  let stats (t : t) =
+    Mutex.lock t.mutex;
+    let s =
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.table;
+        capacity = t.capacity;
+      }
+    in
+    Mutex.unlock t.mutex;
+    s
+
+  let stats_to_list s =
+    [
+      ("hits", s.hits);
+      ("misses", s.misses);
+      ("evictions", s.evictions);
+      ("entries", s.entries);
+      ("capacity", s.capacity);
+    ]
+
+  (* The key binds everything the verdict depends on: the exact serialized
+     objfile (the measurement of the delivered code), the enforced policy
+     set and the inspection period. *)
+  let key ~policies ~ssa_q ~(serialized : bytes) =
+    let ctx = Sha256.init () in
+    Sha256.update_string ctx (Policy.Set.label policies);
+    Sha256.update_string ctx (Printf.sprintf "|q=%d|" ssa_q);
+    Sha256.update ctx serialized;
+    Bytes.to_string (Sha256.finalize ctx)
+
+  (* Evict the least-recently-used settled entry while over capacity.
+     In-flight entries are never evicted (a waiter may hold a reference);
+     the table can thus briefly exceed [capacity] by the number of
+     concurrent distinct verifications, but settles back under it. *)
+  let evict_over_capacity t =
+    while
+      Hashtbl.length t.table > t.capacity
+      &&
+      let victim = ref None in
+      Hashtbl.iter
+        (fun k e ->
+          match e.state with
+          | In_flight | Poisoned _ -> ()
+          | Done _ -> (
+            match !victim with
+            | Some (_, best) when best <= e.last_used -> ()
+            | _ -> victim := Some (k, e.last_used)))
+        t.table;
+      match !victim with
+      | None -> false
+      | Some (k, _) ->
+        Hashtbl.remove t.table k;
+        t.evictions <- t.evictions + 1;
+        true
+    do
+      ()
+    done
+
+  let verify_classified t ?(tm = Telemetry.disabled) ~policies ~ssa_q ~serialized obj :
+      verdict =
+    let k = key ~policies ~ssa_q ~serialized in
+    Mutex.lock t.mutex;
+    t.tick <- t.tick + 1;
+    match Hashtbl.find_opt t.table k with
+    | Some e ->
+      e.last_used <- t.tick;
+      t.hits <- t.hits + 1;
+      let rec settled () =
+        match e.state with
+        | Done v -> v
+        | Poisoned exn ->
+          Mutex.unlock t.mutex;
+          raise exn
+        | In_flight ->
+          Condition.wait t.cond t.mutex;
+          settled ()
+      in
+      let v = settled () in
+      Mutex.unlock t.mutex;
+      Telemetry.count tm "verifier.cache.hit" 1;
+      v
+    | None ->
+      let e = { state = In_flight; last_used = t.tick } in
+      Hashtbl.replace t.table k e;
+      t.misses <- t.misses + 1;
+      Mutex.unlock t.mutex;
+      Telemetry.count tm "verifier.cache.miss" 1;
+      (* verify outside the lock: distinct keys verify concurrently *)
+      let v =
+        match verify_classified ~tm ~policies ~ssa_q obj with
+        | v -> v
+        | exception exn ->
+          (* never leave waiters blocked on a dead claim: mark the shared
+             entry so current waiters re-raise, and drop it from the table
+             so later arrivals verify afresh *)
+          Mutex.lock t.mutex;
+          e.state <- Poisoned exn;
+          Hashtbl.remove t.table k;
+          Condition.broadcast t.cond;
+          Mutex.unlock t.mutex;
+          raise exn
+      in
+      Mutex.lock t.mutex;
+      e.state <- Done v;
+      evict_over_capacity t;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex;
+      v
+end

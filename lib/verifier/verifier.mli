@@ -87,3 +87,59 @@ val verify :
     ["verify.symbols"]/["verify.scan"]/["verify.cfg"] children; acceptance
     bumps the ["verifier.instructions"] and ["verifier.annot.*"] counters,
     rejection emits a ["verifier.reject"] event. *)
+
+(** Measurement-keyed verdict cache: verify once, admit many.
+
+    The key is the SHA-256 of the serialized objfile bytes (the exact
+    record the code provider sealed — the measurement of the delivered
+    code) bound to the enforced policy set and the SSA inspection period;
+    the value is the full verdict, acceptance (report + classification)
+    {e or} rejection. A gateway serving N sessions of the same binary
+    under the same policy configuration pays the verifier pass once and
+    admits (or refuses) the other N-1 from the cache.
+
+    Thread-safe: lookups are single-flight — concurrent sessions racing
+    on the same uncached key block on the one in-flight verification
+    instead of duplicating it, so hit/miss totals depend only on the
+    request multiset, never on the domain schedule. Bounded: settled
+    entries are evicted least-recently-used once the table exceeds its
+    capacity. *)
+module Cache : sig
+  type t
+
+  type stats = {
+    hits : int;  (** lookups answered from (or merged into) a cached verdict *)
+    misses : int;  (** lookups that had to run the verifier *)
+    evictions : int;
+    entries : int;  (** current table size *)
+    capacity : int;
+  }
+
+  val create : ?capacity:int -> unit -> t
+  (** [capacity] (default 64, must be positive) bounds the settled-entry
+      count; the least-recently-used verdict is evicted on overflow. *)
+
+  val capacity : t -> int
+  val stats : t -> stats
+
+  val stats_to_list : stats -> (string * int) list
+  (** [("hits", h); ("misses", m); ...] — for JSON/telemetry export. *)
+
+  val key :
+    policies:Deflection_policy.Policy.Set.t -> ssa_q:int -> serialized:bytes -> string
+  (** The 32-byte cache key (raw SHA-256 digest). *)
+
+  val verify_classified :
+    t ->
+    ?tm:Deflection_telemetry.Telemetry.t ->
+    policies:Deflection_policy.Policy.Set.t ->
+    ssa_q:int ->
+    serialized:bytes ->
+    Objfile.t ->
+    (report * classification, rejection) result
+  (** Like {!Verifier.verify_classified}, but consult the cache first.
+      [serialized] must be the exact bytes [obj] was deserialized from.
+      [tm] (default disabled) counts ["verifier.cache.hit"] /
+      ["verifier.cache.miss"]; a miss additionally records the usual
+      ["verify"] span tree on [tm]. *)
+end

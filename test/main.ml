@@ -23,4 +23,5 @@ let () =
       ("forensics", Suite_forensics.suite);
       ("chaos", Suite_chaos.suite);
       ("fuzz", Suite_fuzz.suite);
+      ("gateway", Suite_gateway.suite);
     ]

@@ -179,6 +179,63 @@ let test_float_math () =
         return 0; }|}
     [ "200"; "35"; "1" ]
 
+let test_float_nan_comparisons () =
+  (* n is NaN computed at runtime (0.0/0.0 through registers, so the
+     optimizer cannot fold the comparisons). Every ordered comparison on
+     NaN is false; only != is true — the ucomisd unordered result. *)
+  expect_output
+    {|int main() {
+        float z = 0.0;
+        float n = z / z;
+        print_int(n == n ? 1 : 0);
+        print_int(n != n ? 1 : 0);
+        print_int(n < 1.0 ? 1 : 0);
+        print_int(n <= 1.0 ? 1 : 0);
+        print_int(n > 1.0 ? 1 : 0);
+        print_int(n >= 1.0 ? 1 : 0);
+        print_int(1.0 < n ? 1 : 0);
+        print_int(1.0 >= n ? 1 : 0);
+        return 0; }|}
+    [ "0"; "1"; "0"; "0"; "0"; "0"; "0"; "0" ]
+
+let test_float_ordered_comparisons_runtime () =
+  (* ordered compares through the runtime Fcmp path (operands built from
+     locals, so nothing folds): both operand orders for every operator *)
+  expect_output
+    {|int main() {
+        float z = 0.0;
+        float a = z + 1.5;
+        float b = z + 2.5;
+        print_int(a < b ? 1 : 0);
+        print_int(b < a ? 1 : 0);
+        print_int(a <= a ? 1 : 0);
+        print_int(b <= a ? 1 : 0);
+        print_int(b > a ? 1 : 0);
+        print_int(a > b ? 1 : 0);
+        print_int(a >= a ? 1 : 0);
+        print_int(a >= b ? 1 : 0);
+        print_int(a == a ? 1 : 0);
+        print_int(a == b ? 1 : 0);
+        print_int(a != b ? 1 : 0);
+        print_int(a != a ? 1 : 0);
+        return 0; }|}
+    [ "1"; "0"; "1"; "0"; "1"; "0"; "1"; "0"; "1"; "0"; "1"; "0" ]
+
+let test_div_overflow_faults () =
+  (* min_int / -1 must reach the machine (the optimizer refuses to fold a
+     trapping division) and fault there, distinct from div-by-zero *)
+  let src =
+    "int main() { int a = 0 - 9223372036854775807 - 1; int b = 0 - 1; print_int(a / b); \
+     return 0; }"
+  in
+  match W.Runner.run ~aex_interval:None src with
+  | Ok m ->
+    Alcotest.failf "expected a div-overflow fault, program printed %s"
+      (String.concat "," m.W.Runner.outputs)
+  | Error e ->
+    if not (contains e "div-overflow") then
+      Alcotest.failf "expected a div-overflow fault, got: %s" e
+
 let test_break_continue () =
   expect_output
     {|int main() {
@@ -357,6 +414,10 @@ let suite =
     Alcotest.test_case "pointer params" `Quick test_pointer_params;
     Alcotest.test_case "fnptr dispatch" `Quick test_fnptr_dispatch;
     Alcotest.test_case "float math" `Quick test_float_math;
+    Alcotest.test_case "float nan comparisons" `Quick test_float_nan_comparisons;
+    Alcotest.test_case "float ordered comparisons (runtime path)" `Quick
+      test_float_ordered_comparisons_runtime;
+    Alcotest.test_case "div overflow faults" `Quick test_div_overflow_faults;
     Alcotest.test_case "break/continue" `Quick test_break_continue;
     Alcotest.test_case "globals init" `Quick test_globals_init;
     Alcotest.test_case "exit builtin" `Quick test_exit_builtin;

@@ -1,0 +1,183 @@
+(* The verify-once/admit-many gateway: verdict-cache accounting, LRU
+   bounds, fan-out determinism, mixed-batch exit codes, and telemetry
+   merge totals. *)
+
+module Gateway = Deflection_gateway.Gateway
+module Session = Deflection.Session
+module Policy = Deflection_policy.Policy
+module Verifier = Deflection_verifier.Verifier
+
+let compliant_src = "int main() { print_int(42); return 0; }"
+
+(* out-of-bounds store: delivered and admitted, then faults at runtime *)
+let aborting_src = "int buf[4];\nint main() { buf[2000000] = 7; return 0; }"
+
+(* compiled for P1 only, so a P1-P6 gateway rejects it at verification *)
+let rejected_src = "int cell[8];\nint main() { cell[3] = 9; print_int(cell[3]); return 0; }"
+
+let ok_job ~label ~seed = Gateway.job ~label ~seed compliant_src
+let abort_job ~label ~seed = Gateway.job ~label ~seed aborting_src
+
+let reject_job ~label ~seed =
+  Gateway.job ~compile_policies:Policy.Set.p1 ~label ~seed rejected_src
+
+let stats_exn batch =
+  match batch.Gateway.cache_stats with
+  | Some s -> s
+  | None -> Alcotest.fail "expected cache stats on a warm batch"
+
+let outputs_of r =
+  match r.Gateway.outcome with
+  | Ok o -> List.map Bytes.to_string o.Session.outputs
+  | Error _ -> []
+
+let test_cache_hit_miss_accounting () =
+  (* six sessions of one binary: the verifier runs once, five admissions
+     ride the cached verdict -- independent of each session's seed *)
+  let jobs =
+    List.init 6 (fun i ->
+        ok_job ~label:(Printf.sprintf "ok-%d" i) ~seed:(Int64.of_int (100 + i)))
+  in
+  let cache = Verifier.Cache.create () in
+  let batch = Gateway.run_batch ~cache jobs in
+  let s = stats_exn batch in
+  Alcotest.(check int) "misses" 1 s.Verifier.Cache.misses;
+  Alcotest.(check int) "hits" 5 s.Verifier.Cache.hits;
+  Alcotest.(check int) "entries" 1 s.Verifier.Cache.entries;
+  Alcotest.(check int) "distinct binaries" 1 batch.Gateway.distinct_binaries;
+  List.iter
+    (fun r ->
+      Alcotest.(check int) (r.Gateway.label ^ " exit") 0 r.Gateway.exit_code;
+      Alcotest.(check (list string)) (r.Gateway.label ^ " output") [ "42" ] (outputs_of r))
+    batch.Gateway.results
+
+let test_rejections_are_cached () =
+  (* a rejection is a verdict too: one verifier pass, then cached denials *)
+  let jobs =
+    List.init 4 (fun i -> reject_job ~label:(Printf.sprintf "rej-%d" i) ~seed:1L)
+  in
+  let cache = Verifier.Cache.create () in
+  let batch = Gateway.run_batch ~cache jobs in
+  let s = stats_exn batch in
+  Alcotest.(check int) "misses" 1 s.Verifier.Cache.misses;
+  Alcotest.(check int) "hits" 3 s.Verifier.Cache.hits;
+  List.iter
+    (fun r ->
+      Alcotest.(check int) (r.Gateway.label ^ " exit") 2 r.Gateway.exit_code;
+      match r.Gateway.outcome with
+      | Error (Session.Verifier_rejection _) -> ()
+      | _ -> Alcotest.failf "%s: expected a verifier rejection" r.Gateway.label)
+    batch.Gateway.results
+
+let test_lru_eviction_bound () =
+  (* three distinct binaries through a two-entry cache: the LRU entry is
+     evicted, and the live-entry count never exceeds the capacity *)
+  let srcs =
+    [
+      compliant_src;
+      "int main() { print_int(1); return 0; }";
+      "int main() { print_int(2); return 0; }";
+    ]
+  in
+  let jobs =
+    List.concat
+      (List.mapi
+         (fun i src ->
+           [
+             Gateway.job ~label:(Printf.sprintf "a-%d" i) ~seed:1L src;
+             Gateway.job ~label:(Printf.sprintf "b-%d" i) ~seed:2L src;
+           ])
+         srcs)
+  in
+  let cache = Verifier.Cache.create ~capacity:2 () in
+  let batch = Gateway.run_batch ~cache jobs in
+  let s = stats_exn batch in
+  Alcotest.(check int) "misses" 3 s.Verifier.Cache.misses;
+  Alcotest.(check int) "hits" 3 s.Verifier.Cache.hits;
+  Alcotest.(check bool) "evicted" true (s.Verifier.Cache.evictions > 0);
+  Alcotest.(check bool) "bounded" true
+    (s.Verifier.Cache.entries <= s.Verifier.Cache.capacity);
+  Alcotest.(check int) "distinct binaries" 3 batch.Gateway.distinct_binaries
+
+let mixed_jobs n =
+  List.init n (fun i ->
+      let seed = Int64.of_int (1 + i) in
+      match i mod 3 with
+      | 0 -> ok_job ~label:(Printf.sprintf "ok-%d" i) ~seed
+      | 1 -> abort_job ~label:(Printf.sprintf "abort-%d" i) ~seed
+      | _ -> reject_job ~label:(Printf.sprintf "reject-%d" i) ~seed)
+
+let test_mixed_batch_exit_codes () =
+  let cache = Verifier.Cache.create () in
+  let batch = Gateway.run_batch ~cache (mixed_jobs 6) in
+  List.iter
+    (fun r ->
+      let expect =
+        if String.length r.Gateway.label >= 2 && String.sub r.Gateway.label 0 2 = "ok" then 0
+        else if String.sub r.Gateway.label 0 5 = "abort" then 9
+        else 2
+      in
+      Alcotest.(check int) (r.Gateway.label ^ " exit code") expect r.Gateway.exit_code)
+    batch.Gateway.results;
+  (* 3 distinct binaries, each delivered twice: 3 misses + 3 hits *)
+  let s = stats_exn batch in
+  Alcotest.(check int) "misses" 3 s.Verifier.Cache.misses;
+  Alcotest.(check int) "hits" 3 s.Verifier.Cache.hits
+
+let digest batch =
+  List.map
+    (fun r -> (r.Gateway.label, r.Gateway.seed, r.Gateway.exit_code, outputs_of r))
+    batch.Gateway.results
+
+let test_fanout_equivalence () =
+  (* the hard gateway property: K=4 produces the same batch as K=1 --
+     same results in the same order, same merged telemetry totals, same
+     cache accounting -- so parallelism is unobservable in the output *)
+  let run k =
+    let cache = Verifier.Cache.create () in
+    Gateway.run_batch ~jobs:k ~cache (mixed_jobs 9)
+  in
+  let seq = run 1 and par = run 4 in
+  Alcotest.(check int) "sequential workers" 1 seq.Gateway.workers;
+  Alcotest.(check int) "parallel workers" 4 par.Gateway.workers;
+  Alcotest.(check bool) "results identical" true (digest seq = digest par);
+  Alcotest.(check bool) "counter totals identical" true
+    (seq.Gateway.counters = par.Gateway.counters);
+  let ss = stats_exn seq and sp = stats_exn par in
+  Alcotest.(check int) "hits schedule-independent" ss.Verifier.Cache.hits
+    sp.Verifier.Cache.hits;
+  Alcotest.(check int) "misses schedule-independent" ss.Verifier.Cache.misses
+    sp.Verifier.Cache.misses
+
+let test_telemetry_merge_totals () =
+  (* merged counters must be real sums: a fan-out batch of 2N identical
+     sessions carries exactly twice the count of every counter of N *)
+  let run n k =
+    let cache = Verifier.Cache.create () in
+    (Gateway.run_batch ~jobs:k ~cache
+       (List.init n (fun i -> ok_job ~label:(Printf.sprintf "ok-%d" i) ~seed:7L)))
+      .Gateway.counters
+  in
+  let three = run 3 1 and six = run 6 2 in
+  Alcotest.(check bool) "nonempty" true (three <> []);
+  Alcotest.(check (list string)) "same counter names" (List.map fst three)
+    (List.map fst six);
+  List.iter2
+    (fun (name, a) (_, b) ->
+      (* verifier work is cached after the first session, so its counters
+         are per-verdict rather than per-session: only require doubling
+         for the per-session counters *)
+      if not (String.length name >= 14 && String.sub name 0 14 = "verifier.cache")
+         && not (String.length name >= 9 && String.sub name 0 9 = "verifier.")
+      then Alcotest.(check int) (name ^ " doubled") (2 * a) b)
+    three six
+
+let suite =
+  [
+    Alcotest.test_case "cache hit/miss accounting" `Quick test_cache_hit_miss_accounting;
+    Alcotest.test_case "rejections are cached" `Quick test_rejections_are_cached;
+    Alcotest.test_case "lru eviction bound" `Quick test_lru_eviction_bound;
+    Alcotest.test_case "mixed batch exit codes" `Quick test_mixed_batch_exit_codes;
+    Alcotest.test_case "k=1 vs k=4 equivalence" `Quick test_fanout_equivalence;
+    Alcotest.test_case "telemetry merge totals" `Quick test_telemetry_merge_totals;
+  ]

@@ -30,7 +30,12 @@ let test_constant_folding () =
   Alcotest.(check (option int64)) "neg" (Some (-5L)) (fold_to_int "-(2+3)");
   Alcotest.(check (option int64)) "bitnot" (Some (-1L)) (fold_to_int "~0");
   (* division by a constant zero must NOT fold (it traps at runtime) *)
-  Alcotest.(check (option int64)) "div by zero unfolded" None (fold_to_int "1 / 0")
+  Alcotest.(check (option int64)) "div by zero unfolded" None (fold_to_int "1 / 0");
+  (* INT64_MIN / -1 traps too: folding it would wrap where idiv faults *)
+  Alcotest.(check (option int64)) "min_int/-1 unfolded" None
+    (fold_to_int "(0 - 9223372036854775807 - 1) / (0 - 1)");
+  Alcotest.(check (option int64)) "min_int%-1 unfolded" None
+    (fold_to_int "(0 - 9223372036854775807 - 1) % (0 - 1)")
 
 let test_identities () =
   let is_var src =
@@ -189,6 +194,19 @@ let qcheck_parser_printer_roundtrip =
       let reparsed = Parser.parse src in
       Ast_printer.program_to_string reparsed = src)
 
+let test_eval_division_overflow () =
+  (* the reference evaluator must trap INT64_MIN / -1 exactly like the
+     machine does, or differential runs would diverge on it *)
+  let prog =
+    Parser.parse
+      "int main() { int a = 0 - 9223372036854775807 - 1; int b = 0 - 1; print_int(a / b); \
+       return 0; }"
+  in
+  match Eval.run prog with
+  | Error Eval.Division_overflow -> ()
+  | Ok _ -> Alcotest.fail "evaluator wrapped min_int / -1 instead of trapping"
+  | Error e -> Alcotest.failf "unexpected eval error: %a" Eval.pp_error e
+
 let test_eval_matches_pipeline_on_workloads () =
   (* the reference evaluator agrees with the pipeline on a real workload *)
   let src = W.Credit.source ~n:25 in
@@ -209,6 +227,7 @@ let suite =
     Alcotest.test_case "optimized output equal" `Quick test_optimized_output_equal;
     Alcotest.test_case "evaluator matches pipeline on workload" `Quick
       test_eval_matches_pipeline_on_workloads;
+    Alcotest.test_case "evaluator traps min_int / -1" `Quick test_eval_division_overflow;
     QCheck_alcotest.to_alcotest qcheck_differential;
     QCheck_alcotest.to_alcotest qcheck_parser_printer_roundtrip;
   ]

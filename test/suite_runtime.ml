@@ -195,6 +195,22 @@ let test_div_by_zero () =
   | Interp.Div_by_zero _ -> ()
   | r -> Alcotest.failf "expected div-by-zero, got %s" (Interp.exit_reason_to_string r)
 
+let test_div_overflow () =
+  (* INT64_MIN / -1 overflows the quotient: real idiv raises #DE, so the
+     interpreter must fault distinctly from div-by-zero, not wrap *)
+  let exit, _, _, _ =
+    run_items
+      [
+        Asm.Ins (Mov (Reg RAX, Imm Int64.min_int));
+        Asm.Ins (Mov (Reg RBX, Imm (-1L)));
+        Asm.Ins (Idiv (Reg RBX));
+        Asm.Ins Hlt;
+      ]
+  in
+  match exit with
+  | Interp.Div_overflow _ -> ()
+  | r -> Alcotest.failf "expected div-overflow, got %s" (Interp.exit_reason_to_string r)
+
 let test_shifts () =
   let exit, itp, _, _ =
     run_items
@@ -247,6 +263,50 @@ let test_fcmp () =
       ]
   in
   Alcotest.(check int64) "1.5 < 2.5" 1L (exited exit)
+
+let test_fcmp_nan () =
+  (* ucomisd semantics: an unordered compare sets ZF and CF together
+     (flags_word bits 0 and 2 -> 5); ordered less-than sets CF alone *)
+  let nan_bits = Int64.bits_of_float Float.nan in
+  let flags_after a b =
+    let itp, _, layout, _ =
+      setup [ Asm.Ins (Mov (Reg RAX, Imm a)); Asm.Ins (Mov (Reg RBX, Imm b));
+              Asm.Ins (Fcmp (RAX, Reg RBX)); Asm.Ins Hlt ]
+    in
+    ignore (exited (Interp.run itp ~entry:layout.Layout.code_lo));
+    Interp.flags_word itp
+  in
+  Alcotest.(check int64) "nan vs 1.0 unordered" 5L
+    (flags_after nan_bits (Int64.bits_of_float 1.0));
+  Alcotest.(check int64) "1.0 vs nan unordered" 5L
+    (flags_after (Int64.bits_of_float 1.0) nan_bits);
+  Alcotest.(check int64) "nan vs nan unordered" 5L (flags_after nan_bits nan_bits);
+  Alcotest.(check int64) "1.5 < 2.5 sets CF only" 4L
+    (flags_after (Int64.bits_of_float 1.5) (Int64.bits_of_float 2.5));
+  Alcotest.(check int64) "2.5 = 2.5 sets ZF only" 1L
+    (flags_after (Int64.bits_of_float 2.5) (Int64.bits_of_float 2.5));
+  (* every condition code against the unordered result: ZF=CF=1 means the
+     below/equal family is taken and the above/not-equal family is not *)
+  List.iter
+    (fun (cond, expect) ->
+      let exit, _, _, _ =
+        run_items
+          [
+            Asm.Ins (Mov (Reg RCX, Imm nan_bits));
+            Asm.Ins (Fcmp (RCX, Reg RCX));
+            Asm.Ins (Jcc (cond, Lab "yes"));
+            Asm.Ins (Mov (Reg RAX, Imm 0L));
+            Asm.Ins Hlt;
+            Asm.Label "yes";
+            Asm.Ins (Mov (Reg RAX, Imm 1L));
+            Asm.Ins Hlt;
+          ]
+      in
+      Alcotest.(check int64)
+        (Format.asprintf "j%a after nan fcmp" Isa.pp_cond cond)
+        (if expect then 1L else 0L)
+        (exited exit))
+    [ (E, true); (B, true); (BE, true); (NE, false); (A, false); (AE, false) ]
 
 let test_indirect_branches () =
   (* build once to learn label offsets, then embed the absolute address *)
@@ -306,6 +366,21 @@ let test_self_modifying_code_and_cache () =
   let exit, _, _, _ = run_items (items (Int64.of_int patch)) in
   (* HLT with RAX=5: the patched instruction executed, not the stale MOV *)
   Alcotest.(check int64) "self-modification took effect" 5L (exited exit)
+
+let test_decode_cache_generation_reset () =
+  (* Re-delivering code bumps the memory generation; the decode cache must
+     drop its stale entries rather than keep both generations' worth *)
+  let items = [ Asm.Ins (Mov (Reg RAX, Imm 7L)); Asm.Ins Hlt ] in
+  let itp, mem, layout, a = setup items in
+  ignore (exited (Interp.run itp ~entry:layout.Layout.code_lo));
+  let s1 = Interp.decode_cache_size itp in
+  Alcotest.(check bool) "cache populated" true (s1 > 0);
+  let gen = Memory.code_generation mem in
+  Memory.priv_write_bytes mem layout.Layout.code_lo a.Asm.code;
+  Alcotest.(check bool) "generation bumped" true (Memory.code_generation mem > gen);
+  ignore (exited (Interp.run itp ~entry:layout.Layout.code_lo));
+  Alcotest.(check int) "cache reset, no growth across generations" s1
+    (Interp.decode_cache_size itp)
 
 let test_aex_injection_clobbers_marker () =
   let config = { Interp.default_config with Interp.aex_interval = Some 200 } in
@@ -411,13 +486,17 @@ let suite =
     Alcotest.test_case "push/pop" `Quick test_push_pop;
     Alcotest.test_case "idiv signed" `Quick test_idiv_signed;
     Alcotest.test_case "div by zero" `Quick test_div_by_zero;
+    Alcotest.test_case "div overflow" `Quick test_div_overflow;
     Alcotest.test_case "shifts" `Quick test_shifts;
     Alcotest.test_case "float ops" `Quick test_float_ops;
     Alcotest.test_case "fcmp" `Quick test_fcmp;
+    Alcotest.test_case "fcmp nan unordered" `Quick test_fcmp_nan;
     Alcotest.test_case "indirect branches" `Quick test_indirect_branches;
     Alcotest.test_case "instr limit" `Quick test_instr_limit;
     Alcotest.test_case "self-modifying code + decode cache" `Quick
       test_self_modifying_code_and_cache;
+    Alcotest.test_case "decode cache resets on code generation" `Quick
+      test_decode_cache_generation_reset;
     Alcotest.test_case "aex clobbers marker" `Quick test_aex_injection_clobbers_marker;
     Alcotest.test_case "aex deterministic" `Quick test_aex_determinism;
     Alcotest.test_case "ocall dispatch" `Quick test_ocall_dispatch;
