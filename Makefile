@@ -3,10 +3,15 @@
 # section), a forensics smoke run that must die with the documented exit
 # code, a chaos smoke campaign that must stay fail-closed, a fixed-seed
 # differential fuzz campaign that must stay sound and complete, a gateway
-# smoke batch fanned out over two domains, and schema checks on every
-# machine-readable artifact produced.
+# smoke batch fanned out over two domains, schema checks on every
+# machine-readable artifact produced, and the bench-history regression
+# gate (`json_check --regress`) over the run's own history window.
+#
+# `make benchdiff` compares the newest bench run against the committed
+# baseline (bench/baseline.json) -- advisory: wall clock is machine-
+# dependent, so the comparator prints verdicts but always exits 0.
 
-.PHONY: all build test bench check clean
+.PHONY: all build test bench benchdiff check clean
 
 all: build
 
@@ -18,6 +23,10 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+benchdiff:
+	dune exec bin/deflectionc.exe -- benchdiff bench/baseline.json \
+	  bench/results/latest.json -o bench/results/benchdiff-baseline.json
 
 check:
 	dune build
@@ -36,6 +45,9 @@ check:
 	dune exec bin/deflectionc.exe -- gateway --sessions 6 --jobs 2 \
 	  -o bench/results/gateway.json
 	dune exec bin/json_check.exe -- --gateway bench/results/gateway.json
+	dune exec bin/deflectionc.exe -- benchdiff bench/results/history \
+	  bench/results/latest.json -o bench/results/benchdiff.json
+	dune exec bin/json_check.exe -- --regress bench/results/benchdiff.json
 
 clean:
 	dune clean

@@ -12,8 +12,11 @@
    must. Paper reference values are printed side by side.
 
    Besides the console tables, every run writes its results as JSON to
-   bench/results/latest.json (plus a timestamped copy) under the
-   deflection-bench/1 schema; `json_check --bench` gates on it. *)
+   bench/results/latest.json under the deflection-bench/1 schema
+   (`json_check --bench` gates on it), plus a history entry
+   bench/results/history/<unix-stamp>-<git-rev>.json so `deflectionc
+   benchdiff` can compare the current run against the median of recent
+   runs. History retention is bounded (see [history_keep]). *)
 
 module W = Deflection_workloads
 module Profiler = Deflection_forensics.Profiler
@@ -42,34 +45,57 @@ let results_dir = Filename.concat "bench" "results"
 
 let ensure_dir d = try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
 
-(* keep latest.json plus the 5 most recent timestamped copies; older runs
-   accumulate forever otherwise *)
-let keep_stamped = 5
+let history_dir = Filename.concat results_dir "history"
 
-let prune_stamped () =
-  let is_stamped name =
-    String.length name > String.length "results-.json"
-    && String.sub name 0 8 = "results-"
-    && Filename.check_suffix name ".json"
-  in
-  let stamped =
-    Sys.readdir results_dir |> Array.to_list |> List.filter is_stamped
+(* Retention knob: every run stamps a history entry; keep only the
+   newest DEFLECTION_BENCH_HISTORY_KEEP (default 5, minimum 1) so local
+   checkouts don't accumulate results forever. Raise it on machines that
+   serve as long-term baselines, e.g.
+
+     DEFLECTION_BENCH_HISTORY_KEEP=50 dune exec bench/main.exe
+
+   `deflectionc benchdiff --history-depth N` reads at most the N newest
+   entries, so the comparator never needs more history than this keeps. *)
+let history_keep =
+  match Option.bind (Sys.getenv_opt "DEFLECTION_BENCH_HISTORY_KEEP") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | Some _ | None -> 5
+
+(* History entries are keyed by the git revision that produced them, so a
+   regression surfaced by benchdiff names the offending commit. Falls back
+   to "unknown" outside a git checkout (e.g. a release tarball). *)
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short=12 HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let prune_history () =
+  let entries =
+    Sys.readdir history_dir |> Array.to_list
+    |> List.filter (fun n -> Filename.check_suffix n ".json")
     |> List.sort (fun a b -> compare b a)
   in
   List.iteri
-    (fun i name -> if i >= keep_stamped then Sys.remove (Filename.concat results_dir name))
-    stamped
+    (fun i name -> if i >= history_keep then Sys.remove (Filename.concat history_dir name))
+    entries
 
 let write_results () =
   ensure_dir "bench";
   ensure_dir results_dir;
+  ensure_dir history_dir;
   let now = Unix.time () in
+  let rev = git_rev () in
   let snap = Telemetry.snapshot tm in
   let doc =
     Json.Obj
       [
         ("schema", Json.Str "deflection-bench/1");
         ("generated_unix", Json.Int (int_of_float now));
+        ("git_rev", Json.Str rev);
         ("quick", Json.Bool !quick);
         ("sections", Json.Obj (List.rev !results));
         ( "telemetry",
@@ -85,11 +111,13 @@ let write_results () =
     close_out oc
   in
   let latest = Filename.concat results_dir "latest.json" in
-  let stamped = Filename.concat results_dir (Printf.sprintf "results-%.0f.json" now) in
+  (* zero-padded unix stamp so lexicographically-greatest names are the
+     newest entries; benchdiff relies on this when picking its window *)
+  let stamped = Filename.concat history_dir (Printf.sprintf "%010.0f-%s.json" now rev) in
   write latest;
   write stamped;
-  prune_stamped ();
-  printf "\nresults written to %s (copy: %s)\n" latest stamped
+  prune_history ();
+  printf "\nresults written to %s (history: %s, keeping %d)\n" latest stamped history_keep
 
 (* ------------------------------------------------------------------ *)
 (* Shared measurement helpers *)
@@ -179,6 +207,8 @@ let table2 () =
   in
   let acc = ref [] in
   let rows = ref [] in
+  let instrs = ref 0 in
+  let t0 = Unix.gettimeofday () in
   List.iter
     (fun (b : W.Nbench.benchmark) ->
       let base, sweep = policy_sweep ~what:b.W.Nbench.name b.W.Nbench.source in
@@ -186,6 +216,11 @@ let table2 () =
         | Some (_, _, o) -> o
         | None -> nan
       in
+      instrs :=
+        !instrs
+        + List.fold_left
+            (fun a (_, (m : W.Runner.measurement), _) -> a + m.W.Runner.instructions)
+            base.W.Runner.instructions sweep;
       let o1 = ovh "P1" and o2 = ovh "P1+P2" and o5 = ovh "P1-P5" and o6 = ovh "P1-P6" in
       let p1, p2, p5, p6 = b.W.Nbench.paper_overheads in
       acc := (o1, o2, o5, o6) :: !acc;
@@ -203,6 +238,12 @@ let table2 () =
   printf "%-16s | %9.2f%%        | %9.2f%%        | %9.2f%%        | %9.2f%%\n" "geo-mean (ours)"
     g1 g2 g5 g6;
   printf "(paper: ~10%% geo-mean without side-channel mitigation, ~20%% with P1-P6)\n";
+  (* wall-clock interpreter throughput across the whole sweep — one of the
+     tracked benchdiff metrics (sections.table2.instr_per_sec) *)
+  let dt = Unix.gettimeofday () -. t0 in
+  let throughput = if dt > 0.0 then float_of_int !instrs /. dt else 0.0 in
+  printf "interpreter throughput: %d instructions in %.3fs = %.0f instr/s\n" !instrs dt
+    throughput;
   record "table2"
     (Json.Obj
        (List.rev !rows
@@ -215,6 +256,9 @@ let table2 () =
                  ("P1-P5", Json.Float g5);
                  ("P1-P6", Json.Float g6);
                ] );
+           ("instructions_executed", Json.Int !instrs);
+           ("wall_seconds", Json.Float dt);
+           ("instr_per_sec", Json.Float throughput);
          ]))
 
 (* ------------------------------------------------------------------ *)

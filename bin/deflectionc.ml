@@ -21,6 +21,8 @@ module Verifier = Deflection_verifier.Verifier
 module Interp = Deflection_runtime.Interp
 module Telemetry = Deflection_telemetry.Telemetry
 module Json = Deflection_telemetry.Json
+module Hdr = Deflection_telemetry.Hdr
+module Benchdiff = Deflection_telemetry.Benchdiff
 module Flight_recorder = Deflection_forensics.Flight_recorder
 module Profiler = Deflection_forensics.Profiler
 module Report = Deflection_forensics.Report
@@ -575,7 +577,28 @@ let gateway_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Write the deflection-gateway/1 JSON document to $(docv) instead of stdout.")
   in
-  let action sessions jobs seed cold out policies ssa_q =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record every session's span tree, graft the per-worker lanes under one \
+             gateway.batch root span, and write the Chrome trace_event JSON to $(docv) \
+             (loadable in about://tracing / Perfetto: one lane per worker domain, every \
+             span carrying sid/parent links back to the batch root).")
+  in
+  let prom =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:
+            "Export the batch's merged counters and per-stage latency histograms \
+             (cumulative le buckets, OpenMetrics-compatible) in Prometheus text \
+             exposition format to $(docv).")
+  in
+  let action sessions jobs seed cold out trace prom policies ssa_q =
     if sessions < 1 then begin
       Format.eprintf "gateway: --sessions must be >= 1@.";
       exit 1
@@ -585,8 +608,15 @@ let gateway_cmd =
       exit 1
     end;
     let cache = if cold then None else Some (Verifier.Cache.create ()) in
+    let btm =
+      match trace with
+      | Some _ -> Telemetry.create ~sink:(Telemetry.Sink.ring ~capacity:65536) ()
+      | None -> Telemetry.create ()
+    in
     let t0 = Unix.gettimeofday () in
-    let batch = Gateway.run_batch ~jobs ~policies ~ssa_q ?cache (gateway_jobs ~sessions ~seed) in
+    let batch =
+      Gateway.run_batch ~jobs ~policies ~ssa_q ?cache ~tm:btm (gateway_jobs ~sessions ~seed)
+    in
     let dt = Unix.gettimeofday () -. t0 in
     let doc =
       Json.Obj
@@ -618,9 +648,45 @@ let gateway_cmd =
                 ("wall_s", Json.Float dt);
                 ( "sessions_per_s",
                   Json.Float (if dt > 0. then float_of_int sessions /. dt else 0.) );
+                (* per-stage wall latency percentiles: the sample counts
+                   are schedule-independent, the nanosecond values are
+                   not, so the whole block sits inside "timing" *)
+                ( "latency_ns",
+                  Json.Obj
+                    (List.map
+                       (fun (name, h) -> (name, Hdr.to_json h))
+                       batch.Gateway.latencies) );
               ] );
         ]
     in
+    (match (trace, batch.Gateway.trace) with
+    | Some file, Some snap ->
+      let oc = open_out file in
+      Json.to_channel ~pretty:true oc (Telemetry.chrome_trace snap);
+      close_out oc;
+      Format.eprintf "gateway trace written to %s@." file
+    | _ -> ());
+    (match prom with
+    | None -> ()
+    | Some file ->
+      let counters_snap =
+        {
+          Telemetry.spans = [];
+          counters = batch.Gateway.counters;
+          histograms = [];
+          events = [];
+          dropped_events = 0;
+        }
+      in
+      let text =
+        Prometheus.of_snapshot counters_snap
+        ^ Prometheus.of_hdr_families ~prefix:"deflection_gateway_latency_ns"
+            batch.Gateway.latencies
+      in
+      let oc = open_out file in
+      output_string oc text;
+      close_out oc;
+      Format.eprintf "gateway metrics written to %s@." file);
     match out with
     | None -> print_endline (Json.to_string ~pretty:true doc)
     | Some file ->
@@ -645,9 +711,125 @@ let gateway_cmd =
               the cache enabled (default), each distinct binary is compiled once and its \
               verdict — acceptance or rejection — is verified once; every other session \
               admits (or refuses) from the cache. Results are byte-identical for any --jobs \
-              value apart from the \"timing\" object.";
+              value apart from the \"timing\" object, which carries the wall-clock numbers: \
+              throughput plus per-stage latency percentiles (p50/p90/p95/p99/p99.9) for \
+              session, verify, execute and the cache-hit/miss session split.";
          ])
-    Term.(const action $ sessions $ jobs $ seed $ cold $ out $ policies_arg $ ssa_q_arg)
+    Term.(
+      const action $ sessions $ jobs $ seed $ cold $ out $ trace $ prom $ policies_arg
+      $ ssa_q_arg)
+
+(* ------------------------------------------------------------------ *)
+(* benchdiff: compare a bench run against a baseline (file or history
+   directory) over the tracked wall-clock metrics and emit an explicit
+   better/worse/neutral verdict document. The comparator itself is
+   advisory — `json_check --regress` is the gate that turns a "worse"
+   verdict into a failing exit code. *)
+
+let benchdiff_cmd =
+  let baseline =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BASELINE"
+          ~doc:
+            "Baseline: a deflection-bench/1 JSON file, or a directory (e.g. \
+             bench/results/history/) whose most recent entries form a median-of-N \
+             baseline.")
+  in
+  let current =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"CURRENT" ~doc:"The bench document to judge (deflection-bench/1).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the deflection-benchdiff/1 verdict document to $(docv).")
+  in
+  let depth =
+    Arg.(
+      value & opt int 5
+      & info [ "history-depth" ] ~docv:"N"
+          ~doc:
+            "When BASELINE is a directory, take the median of each metric over the $(docv) \
+             most recent entries.")
+  in
+  let action baseline current out depth =
+    let parse path =
+      match Json.parse (read_file path) with
+      | Ok doc -> doc
+      | Error e ->
+        Format.eprintf "%s: invalid JSON: %s@." path e;
+        exit 1
+    in
+    let baseline_files =
+      if Sys.is_directory baseline then begin
+        let entries =
+          Sys.readdir baseline |> Array.to_list
+          |> List.filter (fun f -> Filename.check_suffix f ".json")
+          (* history entries are named <unix-stamp>-<rev>.json, so the
+             lexicographically greatest names are the newest runs *)
+          |> List.sort (fun a b -> compare b a)
+        in
+        List.filteri (fun i _ -> i < max 1 depth) entries
+        |> List.map (Filename.concat baseline)
+      end
+      else [ baseline ]
+    in
+    if baseline_files = [] then begin
+      Format.eprintf "benchdiff: no baseline entries under %s@." baseline;
+      exit 1
+    end;
+    let report =
+      Benchdiff.compare_docs
+        ~baseline:(List.map parse baseline_files)
+        ~current:(parse current)
+    in
+    Format.printf "baseline: %d run(s), newest %s@." (List.length baseline_files)
+      (List.hd baseline_files);
+    Format.printf "%-28s %12s %12s %9s %8s  %s@." "metric" "baseline" "current" "delta"
+      "tol" "verdict";
+    List.iter
+      (fun (c : Benchdiff.comparison) ->
+        let f = function Some v -> Printf.sprintf "%.2f" v | None -> "-" in
+        Format.printf "%-28s %12s %12s %8s%% %7.0f%%  %s@." c.Benchdiff.c_metric.Benchdiff.m_name
+          (f c.Benchdiff.c_baseline) (f c.Benchdiff.c_current)
+          (match c.Benchdiff.c_delta_pct with
+          | Some d -> Printf.sprintf "%+.1f" d
+          | None -> "-")
+          c.Benchdiff.c_metric.Benchdiff.m_tolerance_pct
+          (Benchdiff.verdict_label c.Benchdiff.c_verdict))
+      report.Benchdiff.comparisons;
+    Format.printf "verdict: %s (%d regression(s), %d improvement(s))@."
+      (if report.Benchdiff.ok then "ok" else "REGRESSED")
+      report.Benchdiff.regressions report.Benchdiff.improvements;
+    match out with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      Json.to_channel ~pretty:true oc
+        (Benchdiff.report_to_json ~baseline_files ~current_file:current report);
+      close_out oc;
+      Format.eprintf "verdict written to %s@." file
+  in
+  Cmd.v
+    (Cmd.info "benchdiff"
+       ~doc:
+         "Compare a bench run against a baseline (single file or median-of-N over a history \
+          directory) on the tracked wall-clock metrics, print a per-metric \
+          better/worse/neutral table and write a deflection-benchdiff/1 verdict document. \
+          Always exits 0 when the comparison completes; gate with `json_check --regress` on \
+          the verdict file."
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P "0 when the comparison completed (whatever the verdicts), 1 otherwise.";
+         ])
+    Term.(const action $ baseline $ current $ out $ depth)
 
 let report_cmd =
   let doc_file = Arg.(required & pos 0 (some file) None & info [] ~docv:"JSON") in
@@ -686,5 +868,6 @@ let () =
             gateway_cmd;
             chaos_cmd;
             fuzz_cmd;
+            benchdiff_cmd;
             report_cmd;
           ]))

@@ -17,6 +17,13 @@
                                 schema: one result per session, consistent
                                 verdict-cache accounting (hits + misses =
                                 sessions when warm), and a timing object
+                                whose latency_ns percentile block is
+                                well-formed (monotone p50<=p90<=p95<=p99,
+                                one "session" sample per session)
+     json_check --regress FILE  enforce the deflection-benchdiff/1 verdict
+                                schema and FAIL (exit 1) when any tracked
+                                metric regressed beyond its tolerance —
+                                this is the bench-history regression gate
 
    Used by `make check` to fail the build when the benchmark harness
    produced no (or malformed) bench/results/latest.json, and by the chaos
@@ -184,11 +191,81 @@ let check_gateway path json =
         ignore (int_field path r "exit_code"))
       results
   | _ -> die "%s: missing \"results\" array" path);
-  (match Json.member "timing" json with
-  | Some (Json.Obj _ as timing) -> ignore (int_field path timing "jobs")
-  | _ -> die "%s: missing \"timing\" object" path);
-  Printf.printf "%s: ok (%d sessions, %s)\n" path sessions
+  let families =
+    match Json.member "timing" json with
+    | Some (Json.Obj _ as timing) -> (
+      ignore (int_field path timing "jobs");
+      match Json.member "latency_ns" timing with
+      | Some (Json.Obj ((_ :: _) as families)) -> families
+      | Some (Json.Obj []) -> die "%s: \"latency_ns\" percentile block is empty" path
+      | _ -> die "%s: timing lacks the \"latency_ns\" percentile block" path)
+    | _ -> die "%s: missing \"timing\" object" path
+  in
+  (* the percentile block is schedule-variant (that's why it lives inside
+     "timing"), but its shape is not: every family must carry a monotone
+     quantile ladder, and the "session" family must have exactly one
+     sample per served session. *)
+  List.iter
+    (fun (fam, body) ->
+      let q name = int_field path body name in
+      let count = q "count" in
+      if count <= 0 then die "%s: latency family %S is empty" path fam;
+      let p50 = q "p50" and p90 = q "p90" and p95 = q "p95" and p99 = q "p99" in
+      let minv = q "min" and maxv = q "max" in
+      if not (minv <= p50 && p50 <= p90 && p90 <= p95 && p95 <= p99 && p99 <= maxv) then
+        die "%s: latency family %S has a non-monotone quantile ladder" path fam)
+    families;
+  (match List.assoc_opt "session" families with
+  | None -> die "%s: no \"session\" latency family — per-session spans were not recorded" path
+  | Some body ->
+    let count = int_field path body "count" in
+    if count <> sessions then
+      die "%s: \"session\" latency family has %d samples but %d sessions ran" path count
+        sessions);
+  Printf.printf "%s: ok (%d sessions, %s, %d latency families)\n" path sessions
     (if warm then "warm cache" else "cold")
+    (List.length families)
+
+let check_regress path json =
+  (match Json.member "schema" json with
+  | Some (Json.Str "deflection-benchdiff/1") -> ()
+  | Some (Json.Str other) -> die "%s: unknown schema %S" path other
+  | _ -> die "%s: missing \"schema\" field" path);
+  let baseline_runs = int_field path json "baseline_runs" in
+  if baseline_runs <= 0 then die "%s: verdict compares against zero baseline runs" path;
+  let regressions = int_field path json "regressions" in
+  let ok =
+    match Json.member "ok" json with
+    | Some (Json.Bool b) -> b
+    | _ -> die "%s: missing boolean \"ok\" field" path
+  in
+  let worse =
+    match Json.member "metrics" json with
+    | Some (Json.List ((_ :: _) as metrics)) ->
+      List.filter_map
+        (fun m ->
+          let name =
+            match Json.member "name" m with
+            | Some (Json.Str s) -> s
+            | _ -> die "%s: metric without a string \"name\"" path
+          in
+          match Json.member "verdict" m with
+          | Some (Json.Str ("better" | "neutral" | "missing")) -> None
+          | Some (Json.Str "worse") -> Some name
+          | _ -> die "%s: metric %S has no recognised \"verdict\"" path name)
+        metrics
+    | _ -> die "%s: missing non-empty \"metrics\" array" path
+  in
+  if List.length worse <> regressions then
+    die "%s: %d worse verdict(s) but \"regressions\" says %d" path (List.length worse)
+      regressions;
+  if ok <> (regressions = 0) then
+    die "%s: \"ok\" flag disagrees with the regression count" path;
+  if regressions > 0 then
+    die "%s: REGRESSION — %d tracked metric(s) worse than baseline: %s" path regressions
+      (String.concat ", " worse);
+  Printf.printf "%s: ok (no regressions across %d baseline run%s)\n" path baseline_runs
+    (if baseline_runs = 1 then "" else "s")
 
 let () =
   let mode, path =
@@ -197,8 +274,9 @@ let () =
     | [ _; "--chaos"; path ] -> (`Chaos, path)
     | [ _; "--fuzz"; path ] -> (`Fuzz, path)
     | [ _; "--gateway"; path ] -> (`Gateway, path)
+    | [ _; "--regress"; path ] -> (`Regress, path)
     | [ _; path ] -> (`Plain, path)
-    | _ -> die "usage: json_check [--bench|--chaos|--fuzz|--gateway] FILE"
+    | _ -> die "usage: json_check [--bench|--chaos|--fuzz|--gateway|--regress] FILE"
   in
   let contents = try read_file path with Sys_error e -> die "%s" e in
   match Json.parse contents with
@@ -209,4 +287,5 @@ let () =
     | `Chaos -> check_chaos path json
     | `Fuzz -> check_fuzz path json
     | `Gateway -> check_gateway path json
+    | `Regress -> check_regress path json
     | `Plain -> Printf.printf "%s: ok\n" path)

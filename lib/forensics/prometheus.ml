@@ -1,4 +1,5 @@
 module Telemetry = Deflection_telemetry.Telemetry
+module Hdr = Deflection_telemetry.Hdr
 
 let legal_first c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
 let legal c = legal_first c || (c >= '0' && c <= '9')
@@ -41,4 +42,26 @@ let of_snapshot ?(prefix = "deflection") (snap : Telemetry.snapshot) =
       add "%s_sum %d\n" name h.Telemetry.h_sum;
       add "%s_count %d\n" name h.Telemetry.h_count)
     snap.Telemetry.histograms;
+  Buffer.contents buf
+
+let of_hdr_families ?(prefix = "deflection") families =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (raw, h) ->
+      let name = sanitize_name (prefix ^ "_" ^ raw) in
+      add "# HELP %s Log-bucketed latency histogram %s\n" name raw;
+      add "# TYPE %s histogram\n" name;
+      (* cumulative counts per inclusive upper bound, as the exposition
+         format requires; the log-bucket bounds become the le labels *)
+      let cumulative = ref 0 in
+      List.iter
+        (fun (ub, count) ->
+          cumulative := !cumulative + count;
+          add "%s_bucket{le=\"%d\"} %d\n" name ub !cumulative)
+        (Hdr.nonzero_buckets h);
+      add "%s_bucket{le=\"+Inf\"} %d\n" name (Hdr.count h);
+      add "%s_sum %d\n" name (Hdr.sum h);
+      add "%s_count %d\n" name (Hdr.count h))
+    families;
   Buffer.contents buf

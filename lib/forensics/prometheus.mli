@@ -16,3 +16,13 @@ val sanitize_name : string -> string
 val of_snapshot : ?prefix:string -> Deflection_telemetry.Telemetry.snapshot -> string
 (** The full exposition document. [prefix] (default ["deflection"]) is
     prepended to every metric name as ["<prefix>_"]. *)
+
+val of_hdr_families :
+  ?prefix:string -> (string * Deflection_telemetry.Hdr.t) list -> string
+(** Exposition of percentile-accurate log-bucketed histograms (the
+    gateway's per-stage latency plane): each family becomes the
+    conventional cumulative [<name>_bucket{le="..."}] series — one line
+    per occupied log bucket, counts accumulated in bound order, closed by
+    [le="+Inf"] — plus [<name>_sum] and [<name>_count]. The output is
+    OpenMetrics-compatible (monotone cumulative buckets, counts equal at
+    [+Inf] and [_count]). *)

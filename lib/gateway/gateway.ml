@@ -4,6 +4,7 @@ module Verifier = Deflection_verifier.Verifier
 module Frontend = Deflection_compiler.Frontend
 module Objfile = Deflection_isa.Objfile
 module Telemetry = Deflection_telemetry.Telemetry
+module Hdr = Deflection_telemetry.Hdr
 
 type job = {
   label : string;
@@ -29,6 +30,8 @@ type batch = {
   cache_stats : Verifier.Cache.stats option;
   distinct_binaries : int;
   workers : int;
+  latencies : (string * Hdr.t) list;
+  trace : Telemetry.snapshot option;
 }
 
 (* The key under which a job's compiled binary is shared: two jobs share
@@ -41,8 +44,44 @@ let compile_key ~policies j =
 let bump tbl k v =
   Hashtbl.replace tbl k (v + Option.value ~default:0 (Hashtbl.find_opt tbl k))
 
+(* Stage latencies ride on the session span tree: every completed span's
+   wall duration lands in a per-worker log-bucketed histogram under the
+   span's name, plus a whole-session family split by verdict-cache
+   outcome. Worker instances merge exactly at join (Hdr.merge), so the
+   batch's percentile block is the same histogram a serial run would
+   have accumulated — only the recorded durations themselves are
+   timing-variant. *)
+let observe_session_latencies lat (snap : Telemetry.snapshot) =
+  let observe name v =
+    let h =
+      match Hashtbl.find_opt lat name with
+      | Some h -> h
+      | None ->
+        let h = Hdr.create () in
+        Hashtbl.add lat name h;
+        h
+    in
+    Hdr.observe h v
+  in
+  let cache_family =
+    if Option.value ~default:0 (List.assoc_opt "verifier.cache.hit" snap.Telemetry.counters) > 0
+    then Some "session.cache_hit"
+    else if
+      Option.value ~default:0 (List.assoc_opt "verifier.cache.miss" snap.Telemetry.counters)
+      > 0
+    then Some "session.cache_miss"
+    else None
+  in
+  List.iter
+    (fun (s : Telemetry.span_info) ->
+      let dur = s.Telemetry.stop_ns - s.Telemetry.start_ns in
+      observe s.Telemetry.sname dur;
+      if s.Telemetry.sname = "session" then
+        match cache_family with Some f -> observe f dur | None -> ())
+    snap.Telemetry.spans
+
 let run_batch ?(jobs = 1) ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?layout ?cache
-    (job_list : job list) : batch =
+    ?(tm = Telemetry.disabled) (job_list : job list) : batch =
   if jobs < 1 then invalid_arg "Gateway.run_batch: jobs must be >= 1";
   let js = Array.of_list job_list in
   let n = Array.length js in
@@ -65,18 +104,29 @@ let run_batch ?(jobs = 1) ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?layout ?
       js;
   let results : session_result option array = Array.make n None in
   let next = Atomic.make 0 in
+  (* Per-session trace retention is only paid when the caller attached a
+     tracing batch registry: each session then records into its own ring
+     sink, and the per-worker snapshot lists are grafted under the batch
+     root span at join. *)
+  let collect_trace = Telemetry.tracing tm in
   (* Work-stealing dispatch over an atomic index: each slot of [results]
      is written by exactly one worker, each worker folds its sessions'
-     counters into a private table, and the tables are summed after the
-     join — so neither the result array nor the merged counters depend on
-     which domain ran which job. *)
+     counters and stage latencies into private tables, and the tables
+     are summed/merged after the join — so neither the result array nor
+     the merged counters depend on which domain ran which job. *)
   let worker () =
     let counters : (string, int) Hashtbl.t = Hashtbl.create 64 in
+    let lat : (string, Hdr.t) Hashtbl.t = Hashtbl.create 16 in
+    let snaps_rev = ref [] in
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
         let j = js.(i) in
-        let tm = Telemetry.create () in
+        let stm =
+          if collect_trace then
+            Telemetry.create ~sink:(Telemetry.Sink.ring ~capacity:4096) ()
+          else Telemetry.create ()
+        in
         let outcome =
           match
             if Option.is_some cache then Hashtbl.find_opt compiled (compile_key ~policies j)
@@ -86,13 +136,14 @@ let run_batch ?(jobs = 1) ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?layout ?
           | pre ->
             let precompiled = match pre with Some (Ok obj) -> Some obj | _ -> None in
             Session.run ~policies ~ssa_q ?layout ?verifier_cache:cache ?precompiled
-              ~seed:j.seed ~tm ~source:j.source ~inputs:j.inputs ()
+              ~seed:j.seed ~tm:stm ~source:j.source ~inputs:j.inputs ()
         in
         (* fold this session's counters in whether it succeeded or not:
            failed sessions still did attestation/verification work *)
-        List.iter
-          (fun (k, v) -> bump counters k v)
-          (Telemetry.snapshot tm).Telemetry.counters;
+        let snap = Telemetry.snapshot stm in
+        List.iter (fun (k, v) -> bump counters k v) snap.Telemetry.counters;
+        observe_session_latencies lat snap;
+        if collect_trace then snaps_rev := snap :: !snaps_rev;
         results.(i) <-
           Some
             {
@@ -105,10 +156,11 @@ let run_batch ?(jobs = 1) ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?layout ?
       end
     in
     loop ();
-    counters
+    (counters, lat, List.rev !snaps_rev)
   in
   let k = max 1 (min jobs (max n 1)) in
   let tables =
+    Telemetry.span tm "gateway.batch" @@ fun () ->
     if k = 1 then [ worker () ]
     else begin
       let spawned = List.init (k - 1) (fun _ -> Domain.spawn worker) in
@@ -117,10 +169,37 @@ let run_batch ?(jobs = 1) ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?layout ?
     end
   in
   let merged : (string, int) Hashtbl.t = Hashtbl.create 64 in
-  List.iter (fun t -> Hashtbl.iter (fun key v -> bump merged key v) t) tables;
+  List.iter (fun (t, _, _) -> Hashtbl.iter (fun key v -> bump merged key v) t) tables;
   let counters =
     Hashtbl.fold (fun key v acc -> (key, v) :: acc) merged []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let merged_lat : (string, Hdr.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (_, lat, _) ->
+      Hashtbl.iter
+        (fun key h ->
+          match Hashtbl.find_opt merged_lat key with
+          | Some into -> Hdr.merge_into ~into h
+          | None ->
+            let into = Hdr.create ~sub_bits:(Hdr.sub_bits h) () in
+            Hdr.merge_into ~into h;
+            Hashtbl.add merged_lat key into)
+        lat)
+    tables;
+  let latencies =
+    Hashtbl.fold (fun key h acc -> (key, h) :: acc) merged_lat []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let trace =
+    if collect_trace then
+      Some
+        (Telemetry.graft ~root:(Telemetry.snapshot tm)
+           ~lanes:
+             (List.mapi
+                (fun i (_, _, snaps) -> (Printf.sprintf "worker.%d" i, snaps))
+                tables))
+    else None
   in
   {
     results = Array.to_list results |> List.map Option.get;
@@ -128,4 +207,6 @@ let run_batch ?(jobs = 1) ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?layout ?
     cache_stats = Option.map Verifier.Cache.stats cache;
     distinct_binaries = !distinct;
     workers = k;
+    latencies;
+    trace;
   }

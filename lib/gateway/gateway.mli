@@ -22,6 +22,7 @@ module Session = Deflection.Session
 module Policy = Deflection_policy.Policy
 module Verifier = Deflection_verifier.Verifier
 module Telemetry = Deflection_telemetry.Telemetry
+module Hdr = Deflection_telemetry.Hdr
 
 type job = {
   label : string;  (** caller-chosen name, echoed in the result *)
@@ -63,6 +64,20 @@ type batch = {
       (** distinct (source, policy set) pairs compiled up front (0 on the
           cold path, which compiles per session) *)
   workers : int;  (** domains actually used: [min jobs (max n 1)] *)
+  latencies : (string * Hdr.t) list;
+      (** per-stage wall-clock latency histograms, sorted by name: one
+          family per session span name ([session], [verify], [compile],
+          [execute], [deliver], ...) plus [session.cache_hit] /
+          [session.cache_miss] splitting whole-session latency by
+          verdict-cache outcome. Per-worker instances are merged exactly
+          at join, so sample {e counts} are schedule-independent; the
+          recorded durations are wall-clock and belong in the
+          timing-variant part of any export. *)
+  trace : Telemetry.snapshot option;
+      (** the grafted batch trace — root [gateway.batch] span, one
+          [worker.K] lane per domain, every session's span tree
+          re-parented under its lane — when a tracing registry was
+          passed; [None] otherwise *)
 }
 
 val run_batch :
@@ -71,6 +86,7 @@ val run_batch :
   ?ssa_q:int ->
   ?layout:Deflection_enclave.Layout.config ->
   ?cache:Verifier.Cache.t ->
+  ?tm:Telemetry.t ->
   job list ->
   batch
 (** Run every job to completion and return the batch in job order.
@@ -83,4 +99,11 @@ val run_batch :
     enclave's binary-delivery ECall ({e both} acceptances and rejections
     are cached), and distinct sources are compiled once up front. Omit it
     for the cold baseline, where every session compiles and verifies its
-    own delivery from scratch. *)
+    own delivery from scratch.
+
+    [tm] (default {!Telemetry.disabled}) is the batch-level registry: the
+    dispatch runs under a [gateway.batch] root span on it, and when it is
+    {e tracing} (ring or custom sink) every session additionally records
+    into its own ring sink and [batch.trace] carries the grafted
+    one-tree snapshot. Stage latency histograms are collected whether or
+    not [tm] traces. *)

@@ -1,0 +1,152 @@
+(* Log-bucketed histogram with [2^sub_bits] linear sub-buckets per
+   octave. Values below 2^sub_bits are bucketed exactly (width-1
+   buckets); above that, a value with most-significant bit m lands in one
+   of 2^sub_bits equal-width buckets spanning [2^m, 2^(m+1)), so bucket
+   width / bucket bound <= 1 / 2^sub_bits everywhere. *)
+
+type t = {
+  sub_bits : int;
+  sub_count : int;  (* 1 lsl sub_bits *)
+  buckets : int array;
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create ?(sub_bits = 5) () =
+  let sub_bits = max 0 (min 8 sub_bits) in
+  let sub_count = 1 lsl sub_bits in
+  (* highest representable msb on a 63-bit OCaml int is 61 for positive
+     values after the tag; size for msb up to 62 to be safe *)
+  let octaves = 63 - sub_bits in
+  {
+    sub_bits;
+    sub_count;
+    buckets = Array.make ((octaves + 2) * sub_count) 0;
+    count = 0;
+    sum = 0;
+    min_v = max_int;
+    max_v = min_int;
+  }
+
+let sub_bits t = t.sub_bits
+
+let msb v =
+  let rec go v acc = if v > 1 then go (v lsr 1) (acc + 1) else acc in
+  go v 0
+
+let index t v =
+  if v < t.sub_count then v
+  else begin
+    let shift = msb v - t.sub_bits in
+    (* v lsr shift is in [sub_count, 2*sub_count) *)
+    ((shift + 1) * t.sub_count) + (v lsr shift) - t.sub_count
+  end
+
+(* inclusive upper bound of bucket [i] *)
+let bound t i =
+  if i < t.sub_count then i
+  else begin
+    let shift = (i / t.sub_count) - 1 in
+    let sub = i mod t.sub_count in
+    ((t.sub_count + sub + 1) lsl shift) - 1
+  end
+
+let observe t v =
+  let v = max 0 v in
+  t.buckets.(index t v) <- t.buckets.(index t v) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.count
+let sum t = t.sum
+let min_value t = if t.count = 0 then 0 else t.min_v
+let max_value t = if t.count = 0 then 0 else t.max_v
+let mean t = if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count
+
+let quantile t p =
+  if t.count = 0 then 0
+  else if p <= 0.0 then min_value t
+  else if p >= 1.0 then max_value t
+  else begin
+    let rank = max 1 (min t.count (int_of_float (ceil (p *. float_of_int t.count)))) in
+    let n = Array.length t.buckets in
+    let rec walk i seen =
+      if i >= n then max_value t
+      else begin
+        let seen = seen + t.buckets.(i) in
+        if seen >= rank then
+          (* clamp to the recorded extremes: the first/last occupied
+             bucket's bound can overshoot the exact min/max *)
+          max (min_value t) (min (bound t i) (max_value t))
+        else walk (i + 1) seen
+      end
+    in
+    walk 0 0
+  end
+
+let check_compatible a b =
+  if a.sub_bits <> b.sub_bits then
+    invalid_arg
+      (Printf.sprintf "Hdr.merge: sub_bits mismatch (%d vs %d)" a.sub_bits b.sub_bits)
+
+let merge_into ~into src =
+  check_compatible into src;
+  Array.iteri (fun i n -> if n > 0 then into.buckets.(i) <- into.buckets.(i) + n) src.buckets;
+  into.count <- into.count + src.count;
+  into.sum <- into.sum + src.sum;
+  if src.count > 0 then begin
+    if src.min_v < into.min_v then into.min_v <- src.min_v;
+    if src.max_v > into.max_v then into.max_v <- src.max_v
+  end
+
+let merge a b =
+  check_compatible a b;
+  let t = create ~sub_bits:a.sub_bits () in
+  merge_into ~into:t a;
+  merge_into ~into:t b;
+  t
+
+let nonzero_buckets t =
+  let acc = ref [] in
+  for i = Array.length t.buckets - 1 downto 0 do
+    if t.buckets.(i) > 0 then acc := (bound t i, t.buckets.(i)) :: !acc
+  done;
+  !acc
+
+let equal a b =
+  a.sub_bits = b.sub_bits && a.count = b.count && a.sum = b.sum
+  && (a.count = 0 || (a.min_v = b.min_v && a.max_v = b.max_v))
+  && nonzero_buckets a = nonzero_buckets b
+
+let percentiles =
+  [ ("p50", 0.50); ("p90", 0.90); ("p95", 0.95); ("p99", 0.99); ("p99_9", 0.999) ]
+
+let to_json t =
+  Json.Obj
+    ([
+       ("count", Json.Int t.count);
+       ("sum", Json.Int t.sum);
+       ("min", Json.Int (min_value t));
+       ("max", Json.Int (max_value t));
+       ("mean", Json.Float (mean t));
+     ]
+    @ List.map (fun (name, p) -> (name, Json.Int (quantile t p))) percentiles
+    @ [
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (le, n) -> Json.Obj [ ("le", Json.Int le); ("n", Json.Int n) ])
+               (nonzero_buckets t)) );
+      ])
+
+let pp fmt t =
+  if t.count = 0 then Format.fprintf fmt "empty"
+  else begin
+    Format.fprintf fmt "n=%d min=%d mean=%.1f max=%d" t.count (min_value t) (mean t)
+      (max_value t);
+    List.iter (fun (name, p) -> Format.fprintf fmt " %s=%d" name (quantile t p)) percentiles
+  end

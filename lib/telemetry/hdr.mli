@@ -1,0 +1,74 @@
+(** Percentile-accurate log-bucketed histograms (HDR-style).
+
+    The registry histograms in {!Telemetry} are power-of-two bucketed:
+    cheap, but a quantile read off them can be off by a factor of two.
+    This module is the latency-plane companion: values are bucketed with
+    [2{^sub_bits}] linear sub-buckets per octave, so every recorded value
+    [v] lands in a bucket whose width is at most [v / 2{^sub_bits}] — a
+    bounded {e relative} error of [1/2{^sub_bits}] (≈ 3.1% at the default
+    [sub_bits = 5]) for any quantile, at any magnitude.
+
+    Instances with the same [sub_bits] merge exactly (bucket-wise sums):
+    per-worker histograms recorded on separate domains combine at join
+    into the same state one serial recorder would have produced, in any
+    merge order — the associativity/commutativity property
+    [suite_telemetry] pins. *)
+
+type t
+
+val create : ?sub_bits:int -> unit -> t
+(** A fresh empty histogram. [sub_bits] (default 5, clamped to [0..8])
+    sets the sub-bucket resolution: relative quantile error is bounded by
+    [1 / 2{^sub_bits}]. *)
+
+val sub_bits : t -> int
+
+val observe : t -> int -> unit
+(** Record one value. Negative values clamp to 0 (latencies are never
+    negative; a clamped clock can still yield 0). *)
+
+val count : t -> int
+val sum : t -> int
+
+val min_value : t -> int
+(** 0 when empty *)
+
+val max_value : t -> int
+(** 0 when empty *)
+
+val mean : t -> float
+(** 0.0 when empty *)
+
+val quantile : t -> float -> int
+(** [quantile t p] for [p] in [[0, 1]]: the recorded value of rank
+    [ceil (p * count)] (clamped to [[1, count]]), reported as the upper
+    bound of its bucket — never below the exact rank value and at most
+    [1/2{^sub_bits}] relatively above it. [p <= 0] is the exact minimum,
+    [p >= 1] the exact maximum. 0 when empty. *)
+
+val merge : t -> t -> t
+(** A new histogram holding both inputs' samples. The inputs are
+    unchanged. @raise Invalid_argument when [sub_bits] differ. *)
+
+val merge_into : into:t -> t -> unit
+(** In-place variant of {!merge}. @raise Invalid_argument on a
+    [sub_bits] mismatch. *)
+
+val nonzero_buckets : t -> (int * int) list
+(** [(inclusive upper bound, count)] for every non-empty bucket, in
+    increasing bound order — the Prometheus exporter's cumulative
+    [_bucket] series and the JSON export are both derived from this. *)
+
+val equal : t -> t -> bool
+(** Structural equality of the full state (resolution, buckets, count,
+    sum, min, max) — what the merge-associativity tests compare. *)
+
+val percentiles : (string * float) list
+(** The standard export block: p50, p90, p95, p99, p99.9. *)
+
+val to_json : t -> Json.t
+(** [{"count", "sum", "min", "max", "mean", "p50", "p90", "p95", "p99",
+    "p99_9", "buckets": [{"le", "n"}, ...]}]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: count, min/mean/max and the percentile block. *)

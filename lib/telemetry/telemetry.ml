@@ -63,6 +63,9 @@ type span_info = {
   stop_ns : int;
   depth : int;
   start_seq : int;
+  sid : int;
+  parent : int;
+  lane : int;
 }
 
 type t = {
@@ -76,6 +79,8 @@ type t = {
   mutable spans_rev : span_info list;
   mutable span_count : int;
   span_limit : int;
+  mutable next_sid : int;
+  mutable open_sids : int list;  (* innermost open span first *)
 }
 
 let default_clock =
@@ -97,6 +102,8 @@ let create ?(clock = default_clock) ?(sink = Noop) ?(span_limit = 16384) () =
     spans_rev = [];
     span_count = 0;
     span_limit;
+    next_sid = 1;
+    open_sids = [];
   }
 
 let disabled =
@@ -111,6 +118,8 @@ let disabled =
     spans_rev = [];
     span_count = 0;
     span_limit = 0;
+    next_sid = 1;
+    open_sids = [];
   }
 
 let enabled t = t.is_enabled
@@ -224,15 +233,22 @@ let span t name f =
     let start_seq = t.seq in
     t.seq <- start_seq + 1;
     t.depth <- depth + 1;
+    let sid = t.next_sid in
+    t.next_sid <- sid + 1;
+    let parent = match t.open_sids with p :: _ -> p | [] -> 0 in
+    t.open_sids <- sid :: t.open_sids;
     let start_ns = t.clock () in
     push_event t `Begin name [];
     let finish () =
       let stop_ns = t.clock () in
       push_event t `End name [];
       t.depth <- depth;
+      (match t.open_sids with _ :: rest -> t.open_sids <- rest | [] -> ());
       if t.span_count < t.span_limit then begin
         t.span_count <- t.span_count + 1;
-        t.spans_rev <- { sname = name; start_ns; stop_ns; depth; start_seq } :: t.spans_rev
+        t.spans_rev <-
+          { sname = name; start_ns; stop_ns; depth; start_seq; sid; parent; lane = 0 }
+          :: t.spans_rev
       end
     in
     match f () with
@@ -289,6 +305,120 @@ let snapshot t =
       |> List.sort by_name;
     events;
     dropped_events;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Grafting: merge per-worker snapshots under one root span so the batch
+   exports a single causal tree instead of K disjoint registries. *)
+
+let merge_hist_summary (a : hist_summary) (b : hist_summary) : hist_summary =
+  if a.h_count = 0 then b
+  else if b.h_count = 0 then a
+  else begin
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (le, n) -> Hashtbl.replace tbl le (n + Option.value ~default:0 (Hashtbl.find_opt tbl le)))
+      (a.h_buckets @ b.h_buckets);
+    let buckets =
+      Hashtbl.fold (fun le n acc -> (le, n) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    let count = a.h_count + b.h_count in
+    let sum = a.h_sum + b.h_sum in
+    {
+      h_count = count;
+      h_sum = sum;
+      h_min = min a.h_min b.h_min;
+      h_max = max a.h_max b.h_max;
+      h_mean = float_of_int sum /. float_of_int count;
+      h_buckets = buckets;
+    }
+  end
+
+let graft ~(root : snapshot) ~(lanes : (string * snapshot list) list) : snapshot =
+  (* fresh global ids: root spans first, then each lane's snapshots in
+     order — parent links are remapped through the same table, so every
+     grafted span still reaches the root batch span *)
+  let next_sid = ref 0 in
+  let fresh () = Stdlib.incr next_sid; !next_sid in
+  let next_seq = ref 0 in
+  let seq () = let s = !next_seq in Stdlib.incr next_seq; s in
+  let remap lane parent_of (spans : span_info list) =
+    (* one table per child snapshot: sids are only unique within it *)
+    let map = Hashtbl.create 64 in
+    List.map
+      (fun s ->
+        let sid = fresh () in
+        Hashtbl.replace map s.sid sid;
+        let parent =
+          if s.parent <> 0 then Option.value ~default:(parent_of s) (Hashtbl.find_opt map s.parent)
+          else parent_of s
+        in
+        { s with sid; parent; lane; start_seq = seq () })
+      spans
+  in
+  let root_spans = remap 0 (fun _ -> 0) root.spans in
+  let root_sid =
+    match List.find_opt (fun (s : span_info) -> s.depth = 0) root_spans with
+    | Some s -> s.sid
+    | None -> 0
+  in
+  let root_depth = 1 in
+  let grafted =
+    List.concat
+      (List.mapi
+         (fun i (label, snaps) ->
+           let lane = i + 1 in
+           (* the lane wrapper is allocated first so it precedes its
+              children in the global sequence *)
+           let lane_sid = fresh () in
+           let lane_seq = seq () in
+           let children =
+             List.concat_map
+               (fun (snap : snapshot) ->
+                 remap lane (fun _ -> lane_sid) snap.spans
+                 |> List.map (fun (s : span_info) -> { s with depth = s.depth + root_depth + 1 }))
+               snaps
+           in
+           let start_ns =
+             List.fold_left (fun acc s -> min acc s.start_ns) max_int children
+           in
+           let stop_ns = List.fold_left (fun acc s -> max acc s.stop_ns) 0 children in
+           let lane_span =
+             {
+               sname = label;
+               start_ns = (if children = [] then 0 else start_ns);
+               stop_ns;
+               depth = root_depth;
+               start_seq = lane_seq;
+               sid = lane_sid;
+               parent = root_sid;
+               lane;
+             }
+           in
+           lane_span :: children)
+         lanes)
+  in
+  let all_snaps = root :: List.concat_map snd lanes in
+  let sum_assoc merge snaps =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (List.iter (fun (k, v) ->
+           Hashtbl.replace tbl k
+             (match Hashtbl.find_opt tbl k with None -> v | Some prev -> merge prev v)))
+      snaps;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort by_name
+  in
+  let events =
+    List.concat_map (fun (s : snapshot) -> s.events) all_snaps
+    |> List.map (fun (e : event) -> { e with seq = seq () })
+  in
+  {
+    spans = root_spans @ grafted;
+    counters = sum_assoc ( + ) (List.map (fun s -> s.counters) all_snaps);
+    histograms = sum_assoc merge_hist_summary (List.map (fun s -> s.histograms) all_snaps);
+    events;
+    dropped_events = List.fold_left (fun acc s -> acc + s.dropped_events) 0 all_snaps;
   }
 
 let find_span snap name = List.find_opt (fun s -> s.sname = name) snap.spans
@@ -351,6 +481,9 @@ let snapshot_to_json snap =
                    ("start_ns", Json.Int s.start_ns);
                    ("dur_ns", Json.Int (s.stop_ns - s.start_ns));
                    ("depth", Json.Int s.depth);
+                   ("sid", Json.Int s.sid);
+                   ("parent", Json.Int s.parent);
+                   ("lane", Json.Int s.lane);
                  ])
              snap.spans) );
       ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) snap.counters));
@@ -401,7 +534,10 @@ let chrome_trace snap =
             ("ts", us s.start_ns);
             ("dur", us (s.stop_ns - s.start_ns));
             ("pid", Json.Int 1);
-            ("tid", Json.Int 1);
+            ("tid", Json.Int (s.lane + 1));
+            (* parent links let a consumer rebuild the causal tree even
+               across lanes, where stack nesting alone is ambiguous *)
+            ("args", Json.Obj [ ("sid", Json.Int s.sid); ("parent", Json.Int s.parent) ]);
           ])
       snap.spans
   in

@@ -129,6 +129,9 @@ type span_info = {
   stop_ns : int;
   depth : int;  (** nesting depth at the time the span opened (root = 0) *)
   start_seq : int;  (** position in global start order *)
+  sid : int;  (** span id, unique and nonzero within its snapshot *)
+  parent : int;  (** sid of the enclosing span, 0 for a root span *)
+  lane : int;  (** worker lane after {!graft} (root registry = 0) *)
 }
 
 (** {2 Snapshots} *)
@@ -147,6 +150,18 @@ val snapshot : t -> snapshot
 val find_span : snapshot -> string -> span_info option
 val span_names : snapshot -> string list
 (** Distinct span names in start order. *)
+
+val graft : root:snapshot -> lanes:(string * snapshot list) list -> snapshot
+(** Merge per-worker snapshots into one causal tree under [root]'s
+    outermost span. Lane [i] contributes a synthetic wrapper span (named
+    by its label, spanning its children's time range, [lane = i + 1])
+    parented to the root span; every top-level span of every child
+    snapshot is re-parented to its lane wrapper and nested spans keep
+    their relative links. Span ids and sequence numbers are reissued
+    globally (root first, then lane order), so the result is one
+    consistent snapshot: every span's [parent] chain terminates at the
+    root batch span. Counters and histograms are summed across all
+    inputs; events are concatenated under the same global sequence. *)
 
 (** {2 Exporters} *)
 

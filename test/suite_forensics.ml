@@ -420,6 +420,44 @@ let test_prometheus_lines () =
   Alcotest.(check bool) "sum" true (contains text "deflection_channel_record_bytes_sum 106");
   Alcotest.(check bool) "count" true (contains text "deflection_channel_record_bytes_count 4")
 
+let test_prometheus_hdr_families () =
+  let module Hdr = Deflection_telemetry.Hdr in
+  let h = Hdr.create () in
+  List.iter (Hdr.observe h) [ 150; 150; 3_000; 90_000 ];
+  let text =
+    Prometheus.of_hdr_families ~prefix:"deflection_gateway_latency_ns" [ ("verify", h) ]
+  in
+  Alcotest.(check bool) "family name sanitized+prefixed" true
+    (contains text "# TYPE deflection_gateway_latency_ns_verify histogram");
+  Alcotest.(check bool) "+Inf closes the series" true
+    (contains text "deflection_gateway_latency_ns_verify_bucket{le=\"+Inf\"} 4");
+  Alcotest.(check bool) "count line" true
+    (contains text "deflection_gateway_latency_ns_verify_count 4");
+  Alcotest.(check bool) "sum line" true
+    (contains text "deflection_gateway_latency_ns_verify_sum 93300");
+  (* buckets must be cumulative and monotone in bound order *)
+  let lines = String.split_on_char '\n' text in
+  let buckets =
+    List.filter_map
+      (fun l ->
+        let pre = "deflection_gateway_latency_ns_verify_bucket{le=\"" in
+        if String.length l > String.length pre && String.sub l 0 (String.length pre) = pre
+        then
+          match String.index_opt l ' ' with
+          | Some sp -> int_of_string_opt (String.sub l (sp + 1) (String.length l - sp - 1))
+          | None -> None
+        else None)
+      lines
+  in
+  Alcotest.(check bool) "at least two buckets" true (List.length buckets >= 2);
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "cumulative counts monotone" true (monotone buckets);
+  (* the last cumulative bucket (+Inf) equals the total count *)
+  Alcotest.(check int) "closes at the count" 4 (List.nth buckets (List.length buckets - 1))
+
 (* ------------------------------------------------------------------ *)
 (* Saved-document rendering (the [deflectionc report] path) *)
 
@@ -528,6 +566,7 @@ let suite =
     Alcotest.test_case "profiler: JSON export" `Quick test_profile_json;
     Alcotest.test_case "prometheus: exposition parses line by line" `Quick
       test_prometheus_lines;
+    Alcotest.test_case "prometheus: hdr latency families" `Quick test_prometheus_hdr_families;
     Alcotest.test_case "report: renders saved documents" `Quick test_render_documents;
     Alcotest.test_case "exit codes: distinct and documented" `Quick test_exit_codes;
   ]

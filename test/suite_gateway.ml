@@ -1,11 +1,15 @@
 (* The verify-once/admit-many gateway: verdict-cache accounting, LRU
-   bounds, fan-out determinism, mixed-batch exit codes, and telemetry
-   merge totals. *)
+   bounds, fan-out determinism, mixed-batch exit codes, telemetry merge
+   totals, the per-stage latency plane, and cross-domain trace
+   propagation (every span of a K=4 batch reaches the root through
+   parent links). *)
 
 module Gateway = Deflection_gateway.Gateway
 module Session = Deflection.Session
 module Policy = Deflection_policy.Policy
 module Verifier = Deflection_verifier.Verifier
+module T = Deflection_telemetry.Telemetry
+module Hdr = Deflection_telemetry.Hdr
 
 let compliant_src = "int main() { print_int(42); return 0; }"
 
@@ -172,6 +176,131 @@ let test_telemetry_merge_totals () =
       then Alcotest.(check int) (name ^ " doubled") (2 * a) b)
     three six
 
+let test_latency_families () =
+  (* the per-stage latency plane: one "session" sample per session, the
+     cache_hit/cache_miss split agreeing with the verdict cache, and a
+     "verify" sample only where the verifier actually ran *)
+  let n = 5 in
+  let cache = Verifier.Cache.create () in
+  let batch =
+    Gateway.run_batch ~cache
+      (List.init n (fun i -> ok_job ~label:(Printf.sprintf "ok-%d" i) ~seed:3L))
+  in
+  let s = stats_exn batch in
+  let fam name =
+    match List.assoc_opt name batch.Gateway.latencies with
+    | Some h -> Hdr.count h
+    | None ->
+      Alcotest.failf "latency family %S missing (have: %s)" name
+        (String.concat ", " (List.map fst batch.Gateway.latencies))
+  in
+  Alcotest.(check int) "session samples" n (fam "session");
+  Alcotest.(check int) "hit samples" s.Verifier.Cache.hits (fam "session.cache_hit");
+  Alcotest.(check int) "miss samples" s.Verifier.Cache.misses (fam "session.cache_miss");
+  Alcotest.(check int) "verify runs = misses" s.Verifier.Cache.misses (fam "verify");
+  Alcotest.(check bool) "execute recorded" true (fam "execute" > 0);
+  List.iter
+    (fun (name, h) ->
+      let p50 = Hdr.quantile h 0.5 and p99 = Hdr.quantile h 0.99 in
+      if not (Hdr.min_value h <= p50 && p50 <= p99 && p99 <= Hdr.max_value h) then
+        Alcotest.failf "family %S: non-monotone quantiles" name)
+    batch.Gateway.latencies
+
+let test_latency_schedule_independence () =
+  (* durations are wall-clock, but which spans exist is deterministic:
+     K=1 and K=4 must collect the same families with the same counts *)
+  let run k =
+    let cache = Verifier.Cache.create () in
+    Gateway.run_batch ~jobs:k ~cache (mixed_jobs 8)
+  in
+  let seq = run 1 and par = run 4 in
+  Alcotest.(check (list string)) "same families"
+    (List.map fst seq.Gateway.latencies)
+    (List.map fst par.Gateway.latencies);
+  List.iter2
+    (fun (name, a) (_, b) ->
+      Alcotest.(check int) (name ^ " count schedule-independent") (Hdr.count a) (Hdr.count b))
+    seq.Gateway.latencies par.Gateway.latencies
+
+let span_name (s : T.span_info) = s.T.sname
+
+let trace_of_batch ~k n =
+  let tm = T.create ~sink:(T.Sink.ring ~capacity:4096) () in
+  let cache = Verifier.Cache.create () in
+  let batch =
+    Gateway.run_batch ~jobs:k ~cache ~tm
+      (List.init n (fun i -> ok_job ~label:(Printf.sprintf "ok-%d" i) ~seed:5L))
+  in
+  match batch.Gateway.trace with
+  | Some snap -> snap
+  | None -> Alcotest.fail "tracing registry supplied but batch.trace is None"
+
+let test_trace_propagation () =
+  (* the grafted K=4 trace is one causal tree: unique span ids, every
+     parent link resolving, and every chain terminating at the
+     gateway.batch root *)
+  let n = 6 in
+  let snap = trace_of_batch ~k:4 n in
+  let root =
+    match List.find_opt (fun (s : T.span_info) -> s.T.depth = 0) snap.T.spans with
+    | Some s -> s
+    | None -> Alcotest.fail "no depth-0 root span in the grafted trace"
+  in
+  Alcotest.(check string) "root is the batch span" "gateway.batch" (span_name root);
+  Alcotest.(check int) "root has no parent" 0 root.T.parent;
+  let by_sid = Hashtbl.create 64 in
+  List.iter
+    (fun (s : T.span_info) ->
+      if Hashtbl.mem by_sid s.T.sid then Alcotest.failf "duplicate sid %d" s.T.sid;
+      Hashtbl.add by_sid s.T.sid s)
+    snap.T.spans;
+  let rec reaches_root hops (s : T.span_info) =
+    if hops > List.length snap.T.spans then false
+    else if s.T.sid = root.T.sid then true
+    else
+      match Hashtbl.find_opt by_sid s.T.parent with
+      | Some p -> reaches_root (hops + 1) p
+      | None -> false
+    in
+  List.iter
+    (fun (s : T.span_info) ->
+      if not (reaches_root 0 s) then
+        Alcotest.failf "span %S (sid %d) does not reach the root" (span_name s) s.T.sid)
+    snap.T.spans;
+  (* one lane wrapper per domain, every session span under some lane *)
+  let lanes =
+    List.filter
+      (fun (s : T.span_info) ->
+        String.length (span_name s) > 7 && String.sub (span_name s) 0 7 = "worker.")
+      snap.T.spans
+  in
+  Alcotest.(check int) "one lane per domain" 4 (List.length lanes);
+  let sessions =
+    List.filter (fun (s : T.span_info) -> span_name s = "session") snap.T.spans
+  in
+  Alcotest.(check int) "one session span per session" n (List.length sessions);
+  List.iter
+    (fun (s : T.span_info) ->
+      Alcotest.(check bool) "session span carries a worker lane" true
+        (s.T.lane >= 1 && s.T.lane <= 4))
+    sessions
+
+let test_trace_counters_match_k1 () =
+  (* the grafted trace's merged counters are schedule-independent: K=4
+     totals equal K=1 totals, and both carry every session's work *)
+  let n = 6 in
+  let s1 = trace_of_batch ~k:1 n and s4 = trace_of_batch ~k:4 n in
+  Alcotest.(check bool) "counters nonempty" true (s1.T.counters <> []);
+  Alcotest.(check (list (pair string int))) "merged counters equal" s1.T.counters s4.T.counters;
+  (* span population differs only by the per-domain lane wrappers *)
+  let names snap =
+    List.filter
+      (fun n -> not (String.length n > 7 && String.sub n 0 7 = "worker."))
+      (List.map span_name snap.T.spans)
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "same session span population" (names s1) (names s4)
+
 let suite =
   [
     Alcotest.test_case "cache hit/miss accounting" `Quick test_cache_hit_miss_accounting;
@@ -180,4 +309,9 @@ let suite =
     Alcotest.test_case "mixed batch exit codes" `Quick test_mixed_batch_exit_codes;
     Alcotest.test_case "k=1 vs k=4 equivalence" `Quick test_fanout_equivalence;
     Alcotest.test_case "telemetry merge totals" `Quick test_telemetry_merge_totals;
+    Alcotest.test_case "per-stage latency families" `Quick test_latency_families;
+    Alcotest.test_case "latency counts schedule-independent" `Quick
+      test_latency_schedule_independence;
+    Alcotest.test_case "k=4 trace reaches root" `Quick test_trace_propagation;
+    Alcotest.test_case "trace counters match k=1" `Quick test_trace_counters_match_k1;
   ]

@@ -4,6 +4,8 @@
    and agree with the outcome's own counters. *)
 
 module T = Deflection_telemetry.Telemetry
+module Hdr = Deflection_telemetry.Hdr
+module Benchdiff = Deflection_telemetry.Benchdiff
 module Json = Deflection_telemetry.Json
 module Policy = Deflection_policy.Policy
 module Session = Deflection.Session
@@ -335,6 +337,206 @@ let test_structured_errors () =
   let b = Deflection.Bootstrap.ecall_error_to_string Deflection.Bootstrap.No_provider_session in
   Alcotest.(check string) "ecall error text" "no code-provider session established" b
 
+(* ------------------------------------------------------------------ *)
+(* Log-bucketed percentile histograms (Hdr) *)
+
+let hdr_of samples =
+  let h = Hdr.create () in
+  List.iter (Hdr.observe h) samples;
+  h
+
+(* the exact quantile under Hdr's rank rule: 1-indexed
+   ceil(p * n)-th smallest sample, clamped to [1, n] *)
+let exact_quantile samples p =
+  let sorted = List.sort compare samples in
+  let n = List.length sorted in
+  if n = 0 then 0
+  else if p <= 0.0 then List.hd sorted
+  else if p >= 1.0 then List.nth sorted (n - 1)
+  else
+    let rank = max 1 (min n (int_of_float (ceil (p *. float_of_int n)))) in
+    List.nth sorted (rank - 1)
+
+let test_hdr_empty_and_singleton () =
+  let h = Hdr.create () in
+  Alcotest.(check int) "empty count" 0 (Hdr.count h);
+  Alcotest.(check int) "empty p99" 0 (Hdr.quantile h 0.99);
+  Alcotest.(check int) "empty min" 0 (Hdr.min_value h);
+  Alcotest.(check int) "empty max" 0 (Hdr.max_value h);
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 (Hdr.mean h);
+  let one = hdr_of [ 12345 ] in
+  List.iter
+    (fun (name, p) ->
+      Alcotest.(check int) ("singleton " ^ name) 12345 (Hdr.quantile one p))
+    Hdr.percentiles;
+  Alcotest.(check int) "singleton min" 12345 (Hdr.min_value one);
+  Alcotest.(check int) "singleton max" 12345 (Hdr.max_value one);
+  (* negative observations clamp to zero rather than crashing *)
+  let neg = hdr_of [ -5 ] in
+  Alcotest.(check int) "negative clamps" 0 (Hdr.quantile neg 0.5)
+
+(* arbitrary sample lists spanning six orders of magnitude, the shape of
+   nanosecond latencies *)
+let gen_samples =
+  QCheck.Gen.(
+    list_size (int_range 1 400)
+      (oneof [ int_range 0 100; int_range 100 100_000; int_range 100_000 1_000_000_000 ]))
+
+let qcheck_hdr_quantile_accuracy =
+  QCheck.Test.make ~name:"hdr quantile within 1/32 of exact" ~count:200
+    (QCheck.make ~print:QCheck.Print.(list int) gen_samples)
+    (fun samples ->
+      let h = hdr_of samples in
+      List.for_all
+        (fun (_, p) ->
+          let exact = exact_quantile samples p in
+          let est = Hdr.quantile h p in
+          (* the log-bucket bound never undershoots the exact sample and
+             overshoots by at most one sub-bucket width: 1/2^sub_bits *)
+          est >= exact && float_of_int est <= float_of_int exact *. (1.0 +. (1.0 /. 32.0)))
+        Hdr.percentiles)
+
+let qcheck_hdr_merge_associative =
+  QCheck.Test.make ~name:"hdr merge associative and count-preserving" ~count:100
+    QCheck.(triple (make gen_samples) (make gen_samples) (make gen_samples))
+    (fun (a, b, c) ->
+      let ha = hdr_of a and hb = hdr_of b and hc = hdr_of c in
+      let left = Hdr.merge (Hdr.merge ha hb) hc in
+      let right = Hdr.merge ha (Hdr.merge hb hc) in
+      let whole = hdr_of (a @ b @ c) in
+      Hdr.equal left right && Hdr.equal left whole
+      && Hdr.count left = List.length a + List.length b + List.length c)
+
+let test_hdr_merge_mismatch () =
+  let a = Hdr.create ~sub_bits:5 () and b = Hdr.create ~sub_bits:6 () in
+  Alcotest.check_raises "sub_bits mismatch rejected"
+    (Invalid_argument "Hdr.merge: sub_bits mismatch (5 vs 6)") (fun () ->
+      ignore (Hdr.merge a b))
+
+let test_hdr_json () =
+  let h = hdr_of [ 10; 20; 30; 1000 ] in
+  let json = Hdr.to_json h in
+  (match Json.member "count" json with
+  | Some (Json.Int 4) -> ()
+  | _ -> Alcotest.fail "count missing");
+  List.iter
+    (fun (name, _) ->
+      match Json.member name json with
+      | Some (Json.Int _) -> ()
+      | _ -> Alcotest.failf "percentile %s missing from json" name)
+    Hdr.percentiles;
+  match Json.member "buckets" json with
+  | Some (Json.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "buckets missing"
+
+(* ------------------------------------------------------------------ *)
+(* Benchdiff comparator *)
+
+let bench_doc ?(warm_over_cold = 1.8) ?(instr_per_sec = 500_000.0) () =
+  Json.Obj
+    [
+      ( "sections",
+        Json.Obj
+          [
+            ( "gateway",
+              Json.Obj
+                [
+                  ("warm_over_cold_x", Json.Float warm_over_cold);
+                  ("cold_sessions_per_s", Json.Float 12.0);
+                ] );
+            ("fuzz", Json.Obj [ ("verify_instr_per_sec", Json.Float instr_per_sec) ]);
+            ("table2", Json.Obj [ ("instr_per_sec", Json.Float 8_000_000.0) ]);
+          ] );
+    ]
+
+let verdict_of report name =
+  match
+    List.find_opt
+      (fun (c : Benchdiff.comparison) -> c.Benchdiff.c_metric.Benchdiff.m_name = name)
+      report.Benchdiff.comparisons
+  with
+  | Some c -> c.Benchdiff.c_verdict
+  | None -> Alcotest.failf "metric %s not compared" name
+
+let test_benchdiff_median () =
+  Alcotest.(check (float 1e-9)) "odd" 2.0 (Benchdiff.median [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "even" 2.5 (Benchdiff.median [ 4.0; 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Benchdiff.median [])
+
+let test_benchdiff_verdicts () =
+  let baseline = [ bench_doc () ] in
+  (* unchanged: everything neutral, gate ok *)
+  let same = Benchdiff.compare_docs ~baseline ~current:(bench_doc ()) in
+  Alcotest.(check int) "no regressions" 0 same.Benchdiff.regressions;
+  Alcotest.(check bool) "ok" true same.Benchdiff.ok;
+  (* a 2x slowdown on a higher-is-better metric is a regression *)
+  let slow =
+    Benchdiff.compare_docs ~baseline ~current:(bench_doc ~instr_per_sec:250_000.0 ())
+  in
+  Alcotest.(check bool) "slowdown flagged" true
+    (verdict_of slow "fuzz.verify_instr_per_sec" = Benchdiff.Worse);
+  Alcotest.(check bool) "gate fails" false slow.Benchdiff.ok;
+  (* a 2x speedup is an improvement, not a regression *)
+  let fast =
+    Benchdiff.compare_docs ~baseline ~current:(bench_doc ~instr_per_sec:1_000_000.0 ())
+  in
+  Alcotest.(check bool) "speedup flagged" true
+    (verdict_of fast "fuzz.verify_instr_per_sec" = Benchdiff.Better);
+  Alcotest.(check bool) "speedup passes gate" true fast.Benchdiff.ok;
+  (* a wobble inside the tolerance band stays neutral *)
+  let wobble =
+    Benchdiff.compare_docs ~baseline ~current:(bench_doc ~instr_per_sec:450_000.0 ())
+  in
+  Alcotest.(check bool) "noise is neutral" true
+    (verdict_of wobble "fuzz.verify_instr_per_sec" = Benchdiff.Neutral)
+
+let test_benchdiff_median_baseline () =
+  (* median-of-3 absorbs one outlier baseline run: the slow outlier must
+     not drag the baseline down and mask a real regression *)
+  let baseline =
+    [
+      bench_doc ~instr_per_sec:500_000.0 ();
+      bench_doc ~instr_per_sec:510_000.0 ();
+      bench_doc ~instr_per_sec:50_000.0 ();
+    ]
+  in
+  let r = Benchdiff.compare_docs ~baseline ~current:(bench_doc ~instr_per_sec:250_000.0 ()) in
+  Alcotest.(check bool) "regression vs median baseline" true
+    (verdict_of r "fuzz.verify_instr_per_sec" = Benchdiff.Worse)
+
+let test_benchdiff_missing () =
+  (* a section absent on either side is Missing and never fails the gate *)
+  let quick = Json.Obj [ ("sections", Json.Obj [ ("table1", Json.Obj [] ) ]) ] in
+  let r = Benchdiff.compare_docs ~baseline:[ bench_doc () ] ~current:quick in
+  List.iter
+    (fun (c : Benchdiff.comparison) ->
+      Alcotest.(check bool)
+        (c.Benchdiff.c_metric.Benchdiff.m_name ^ " missing")
+        true
+        (c.Benchdiff.c_verdict = Benchdiff.Missing))
+    r.Benchdiff.comparisons;
+  Alcotest.(check bool) "missing passes gate" true r.Benchdiff.ok
+
+let test_benchdiff_report_json () =
+  let report =
+    Benchdiff.compare_docs ~baseline:[ bench_doc () ]
+      ~current:(bench_doc ~instr_per_sec:250_000.0 ())
+  in
+  let json =
+    Benchdiff.report_to_json ~baseline_files:[ "a.json" ] ~current_file:"b.json" report
+  in
+  (match Json.member "schema" json with
+  | Some (Json.Str "deflection-benchdiff/1") -> ()
+  | _ -> Alcotest.fail "schema field wrong");
+  (match Json.member "ok" json with
+  | Some (Json.Bool false) -> ()
+  | _ -> Alcotest.fail "ok flag wrong");
+  match Json.member "metrics" json with
+  | Some (Json.List ms) ->
+    Alcotest.(check int) "all tracked metrics reported" (List.length Benchdiff.tracked)
+      (List.length ms)
+  | _ -> Alcotest.fail "metrics array missing"
+
 let suite =
   [
     Alcotest.test_case "span nesting and monotonicity" `Quick test_span_nesting;
@@ -354,4 +556,14 @@ let suite =
     Alcotest.test_case "session end-to-end telemetry" `Quick test_session_end_to_end;
     Alcotest.test_case "session private registry" `Quick test_session_private_registry;
     Alcotest.test_case "structured errors" `Quick test_structured_errors;
+    Alcotest.test_case "hdr empty and singleton" `Quick test_hdr_empty_and_singleton;
+    QCheck_alcotest.to_alcotest qcheck_hdr_quantile_accuracy;
+    QCheck_alcotest.to_alcotest qcheck_hdr_merge_associative;
+    Alcotest.test_case "hdr merge rejects sub_bits mismatch" `Quick test_hdr_merge_mismatch;
+    Alcotest.test_case "hdr json export" `Quick test_hdr_json;
+    Alcotest.test_case "benchdiff median" `Quick test_benchdiff_median;
+    Alcotest.test_case "benchdiff verdicts" `Quick test_benchdiff_verdicts;
+    Alcotest.test_case "benchdiff median-of-N baseline" `Quick test_benchdiff_median_baseline;
+    Alcotest.test_case "benchdiff missing metrics" `Quick test_benchdiff_missing;
+    Alcotest.test_case "benchdiff verdict document" `Quick test_benchdiff_report_json;
   ]
