@@ -3,9 +3,11 @@
 # section), a forensics smoke run that must die with the documented exit
 # code, a chaos smoke campaign that must stay fail-closed, a fixed-seed
 # differential fuzz campaign that must stay sound and complete, a gateway
-# smoke batch fanned out over two domains, schema checks on every
-# machine-readable artifact produced, and the bench-history regression
-# gate (`json_check --regress`) over the run's own history window.
+# smoke batch fanned out over two domains with the attested audit plane
+# on (the sealed log must verify and pass its schema check), schema
+# checks on every machine-readable artifact produced, and the
+# bench-history regression gate (`json_check --regress`) over the run's
+# own history window.
 #
 # `make benchdiff` compares the newest bench run against the committed
 # baseline (bench/baseline.json) -- advisory: wall clock is machine-
@@ -43,8 +45,10 @@ check:
 	  -o bench/results/fuzz.json
 	dune exec bin/json_check.exe -- --fuzz bench/results/fuzz.json
 	dune exec bin/deflectionc.exe -- gateway --sessions 6 --jobs 2 \
-	  -o bench/results/gateway.json
+	  --audit bench/results/audit.json -o bench/results/gateway.json
 	dune exec bin/json_check.exe -- --gateway bench/results/gateway.json
+	dune exec bin/deflectionc.exe -- audit verify bench/results/audit.json
+	dune exec bin/json_check.exe -- --audit bench/results/audit.json
 	dune exec bin/deflectionc.exe -- benchdiff bench/results/history \
 	  bench/results/latest.json -o bench/results/benchdiff.json
 	dune exec bin/json_check.exe -- --regress bench/results/benchdiff.json

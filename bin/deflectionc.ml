@@ -28,6 +28,43 @@ module Profiler = Deflection_forensics.Profiler
 module Report = Deflection_forensics.Report
 module Prometheus = Deflection_forensics.Prometheus
 module Gateway = Deflection_gateway.Gateway
+module Audit = Deflection_audit.Audit
+module Attestation = Deflection_attestation.Attestation
+
+(* ------------------------------------------------------------------ *)
+(* build identity: one place lists every machine-readable schema this
+   binary emits, consumed by `deflectionc version` and stamped as a
+   deflection_build_info gauge into every Prometheus exposition. *)
+
+let tool_version = "1.0"
+
+let schema_versions =
+  [
+    ("bench", "1");
+    ("chaos", "1");
+    ("fuzz", "1");
+    ("gateway", "1");
+    ("benchdiff", "1");
+    ("audit", "1");
+    ("forensics", "1");
+    ("profile", "1");
+  ]
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short=12 HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let build_info_gauge () =
+  Prometheus.build_info
+    ~labels:
+      (("version", tool_version) :: ("git_rev", git_rev ())
+      :: List.map (fun (s, v) -> ("schema_" ^ s, v)) schema_versions)
+    ()
 
 let policy_set_conv =
   let parse s =
@@ -238,8 +275,9 @@ let run_cmd =
       | Some file -> write_json "metrics" file (Telemetry.snapshot_to_json snap));
       match prom with
       | None -> ()
-      | Some "-" -> print_string (Prometheus.of_snapshot snap)
-      | Some file -> write_text "prometheus metrics" file (Prometheus.of_snapshot snap)
+      | Some "-" -> print_string (build_info_gauge () ^ Prometheus.of_snapshot snap)
+      | Some file ->
+        write_text "prometheus metrics" file (build_info_gauge () ^ Prometheus.of_snapshot snap)
     in
     let dump_profile cycles =
       match profile with
@@ -598,7 +636,19 @@ let gateway_cmd =
              (cumulative le buckets, OpenMetrics-compatible) in Prometheus text \
              exposition format to $(docv).")
   in
-  let action sessions jobs seed cold out trace prom policies ssa_q =
+  let audit =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "audit" ] ~docv:"FILE"
+          ~doc:
+            "Attach the attested audit plane: every admission decision appends one record to \
+             a hash-chained log sealed under the platform derived from --seed, and the \
+             deflection-audit/1 document (records, segment MACs, chain head, binding quote) \
+             is written to $(docv). Check it with `deflectionc audit verify $(docv) --seed \
+             S`.")
+  in
+  let action sessions jobs seed cold out trace prom audit policies ssa_q =
     if sessions < 1 then begin
       Format.eprintf "gateway: --sessions must be >= 1@.";
       exit 1
@@ -613,9 +663,19 @@ let gateway_cmd =
       | Some _ -> Telemetry.create ~sink:(Telemetry.Sink.ring ~capacity:65536) ()
       | None -> Telemetry.create ()
     in
+    let audit_log =
+      match audit with
+      | None -> None
+      | Some _ ->
+        (* the sealing platform is re-derivable from --seed alone, so the
+           consumer side (`audit verify --seed S`) never needs the key *)
+        let platform = Attestation.Platform.create ~seed:(Int64.of_int seed) in
+        Some (Audit.Log.create ~platform ())
+    in
     let t0 = Unix.gettimeofday () in
     let batch =
-      Gateway.run_batch ~jobs ~policies ~ssa_q ?cache ~tm:btm (gateway_jobs ~sessions ~seed)
+      Gateway.run_batch ~jobs ~policies ~ssa_q ?cache ?audit:audit_log ~tm:btm
+        (gateway_jobs ~sessions ~seed)
     in
     let dt = Unix.gettimeofday () -. t0 in
     let doc =
@@ -659,6 +719,15 @@ let gateway_cmd =
               ] );
         ]
     in
+    (match (audit, audit_log) with
+    | Some file, Some log ->
+      let oc = open_out file in
+      Json.to_channel ~pretty:true oc (Audit.Log.seal log);
+      close_out oc;
+      Format.eprintf "audit log written to %s (%d records, head %s)@." file
+        (Audit.Log.length log)
+        (String.sub (Audit.Log.head log) 0 16)
+    | _ -> ());
     (match (trace, batch.Gateway.trace) with
     | Some file, Some snap ->
       let oc = open_out file in
@@ -679,7 +748,8 @@ let gateway_cmd =
         }
       in
       let text =
-        Prometheus.of_snapshot counters_snap
+        build_info_gauge ()
+        ^ Prometheus.of_snapshot counters_snap
         ^ Prometheus.of_hdr_families ~prefix:"deflection_gateway_latency_ns"
             batch.Gateway.latencies
       in
@@ -713,11 +783,12 @@ let gateway_cmd =
               admits (or refuses) from the cache. Results are byte-identical for any --jobs \
               value apart from the \"timing\" object, which carries the wall-clock numbers: \
               throughput plus per-stage latency percentiles (p50/p90/p95/p99/p99.9) for \
-              session, verify, execute and the cache-hit/miss session split.";
+              session, verify, execute, the cache-hit/miss session split and the \
+              instrumented verifier passes (verifier.pass.*).";
          ])
     Term.(
-      const action $ sessions $ jobs $ seed $ cold $ out $ trace $ prom $ policies_arg
-      $ ssa_q_arg)
+      const action $ sessions $ jobs $ seed $ cold $ out $ trace $ prom $ audit
+      $ policies_arg $ ssa_q_arg)
 
 (* ------------------------------------------------------------------ *)
 (* benchdiff: compare a bench run against a baseline (file or history
@@ -831,6 +902,113 @@ let benchdiff_cmd =
          ])
     Term.(const action $ baseline $ current $ out $ depth)
 
+(* ------------------------------------------------------------------ *)
+(* audit: the consumer side of the attested audit plane. `verify`
+   re-walks a sealed deflection-audit/1 document under the platform
+   re-derived from --seed and exits 12 on any tamper; `show` renders the
+   records without integrity checks. *)
+
+let audit_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"S"
+        ~doc:
+          "Platform seed the log was sealed under (the producing gateway's --seed): the \
+           sealing key and the attestation-service view are re-derived from it, so the \
+           verifier never handles the key material itself.")
+
+let parse_json_file path =
+  match Json.parse (read_file path) with
+  | Ok doc -> doc
+  | Error e ->
+    Format.eprintf "%s: invalid JSON: %s@." path e;
+    exit 1
+
+let audit_verify_cmd =
+  let log_file = Arg.(required & pos 0 (some file) None & info [] ~docv:"LOG") in
+  let action path seed =
+    let platform = Attestation.Platform.create ~seed:(Int64.of_int seed) in
+    match Audit.verify ~platform (parse_json_file path) with
+    | Ok s ->
+      Format.printf "OK: %d record(s) in %d sealed segment(s); chain, MACs and quote verify@."
+        s.Audit.n_records s.Audit.n_segments
+    | Error tamper ->
+      Format.eprintf "TAMPERED: %a@." Audit.pp_tamper tamper;
+      exit 12
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Re-walk a sealed audit log: recompute the hash chain over every record, check \
+          every segment MAC and the closing MAC under the re-derived sealing key, and check \
+          the quote binding (report data = chain head)."
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "0 when the document is byte-for-byte the history the enclave sealed, 12 on any \
+              tamper (flip, drop, reorder, truncation, splice, forged quote), 1 otherwise.";
+         ])
+    Term.(const action $ log_file $ audit_seed_arg)
+
+let audit_show_cmd =
+  let log_file = Arg.(required & pos 0 (some file) None & info [] ~docv:"LOG") in
+  let action path =
+    match Audit.records_of_doc (parse_json_file path) with
+    | Error e ->
+      Format.eprintf "%s: %s@." path e;
+      exit 1
+    | Ok records ->
+      Format.printf "%-5s %-4s %-8s %-12s %-8s %-4s %s@." "seq" "lane" "cache" "measurement"
+        "policies" "q" "verdict";
+      List.iter
+        (fun (r : Audit.record) ->
+          let verdict =
+            match r.Audit.verdict with
+            | Audit.Accepted rep ->
+              Printf.sprintf "accepted (%d instructions)" rep.Verifier.instructions_checked
+            | Audit.Rejected rej ->
+              Printf.sprintf "rejected (%s@%d: %s)"
+                (Verifier.pass_label rej.Verifier.pass)
+                rej.Verifier.offset rej.Verifier.reason
+          in
+          Format.printf "%-5d %-4d %-8s %-12s %-8s %-4d %s@." r.Audit.seq r.Audit.lane
+            (Audit.cache_outcome_label r.Audit.cache)
+            (String.sub r.Audit.measurement 0 12)
+            r.Audit.policies r.Audit.ssa_q verdict)
+        records;
+      Format.printf "%d record(s)@." (List.length records)
+  in
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:
+         "Render the records of an audit log (no integrity checks — use `audit verify` for \
+          those).")
+    Term.(const action $ log_file)
+
+let audit_cmd =
+  Cmd.group
+    (Cmd.info "audit"
+       ~doc:
+         "Inspect and verify the attested admission audit plane produced by `gateway \
+          --audit`.")
+    [ audit_verify_cmd; audit_show_cmd ]
+
+let version_cmd =
+  let action () =
+    Format.printf "deflectionc %s (git %s)@." tool_version (git_rev ());
+    Format.printf "schemas:";
+    List.iter (fun (s, v) -> Format.printf " deflection-%s/%s" s v) schema_versions;
+    Format.printf "@."
+  in
+  Cmd.v
+    (Cmd.info "version"
+       ~doc:
+         "Print the tool version, the git revision it was built from, and the version of \
+          every machine-readable schema it emits (also exported as the \
+          deflection_build_info gauge in Prometheus expositions).")
+    Term.(const action $ const ())
+
 let report_cmd =
   let doc_file = Arg.(required & pos 0 (some file) None & info [] ~docv:"JSON") in
   let action path =
@@ -866,8 +1044,10 @@ let () =
             disasm_cmd;
             run_cmd;
             gateway_cmd;
+            audit_cmd;
             chaos_cmd;
             fuzz_cmd;
             benchdiff_cmd;
             report_cmd;
+            version_cmd;
           ]))

@@ -20,6 +20,14 @@
                                 whose latency_ns percentile block is
                                 well-formed (monotone p50<=p90<=p95<=p99,
                                 one "session" sample per session)
+     json_check --audit FILE    additionally enforce the deflection-audit/1
+                                schema: hex-encoded digests everywhere,
+                                contiguous sequence numbers, segments that
+                                tile the records, and a quote whose report
+                                data is the chain head (structural only —
+                                the cryptographic re-walk needs the sealing
+                                platform and lives in `deflectionc audit
+                                verify`)
      json_check --regress FILE  enforce the deflection-benchdiff/1 verdict
                                 schema and FAIL (exit 1) when any tracked
                                 metric regressed beyond its tolerance —
@@ -163,34 +171,39 @@ let check_gateway path json =
     | Some (Json.Bool b) -> b
     | _ -> die "%s: missing boolean \"warm\" field" path
   in
-  (match (warm, Json.member "cache" json) with
-  | true, Some (Json.Obj _ as cache) ->
-    let hits = int_field path cache "hits" in
-    let misses = int_field path cache "misses" in
-    let entries = int_field path cache "entries" in
-    let capacity = int_field path cache "capacity" in
-    if hits + misses <> sessions then
-      die "%s: cache hits (%d) + misses (%d) != sessions (%d)" path hits misses sessions;
-    if entries > capacity then
-      die "%s: cache holds %d settled entries over its capacity %d" path entries capacity
-  | true, _ -> die "%s: warm batch without a \"cache\" object" path
-  | false, (Some Json.Null | None) -> ()
-  | false, Some _ -> die "%s: cold batch carries a non-null \"cache\"" path);
-  (match Json.member "results" json with
-  | Some (Json.List results) ->
-    if List.length results <> sessions then
-      die "%s: %d results but \"sessions\" says %d" path (List.length results) sessions;
-    List.iteri
-      (fun i r ->
-        (match Json.member "label" r with
-        | Some (Json.Str _) -> ()
-        | _ -> die "%s: result %d: missing string \"label\"" path i);
-        (match Json.member "status" r with
-        | Some (Json.Str ("ok" | "error")) -> ()
-        | _ -> die "%s: result %d: \"status\" is not \"ok\"/\"error\"" path i);
-        ignore (int_field path r "exit_code"))
-      results
-  | _ -> die "%s: missing \"results\" array" path);
+  let cache_counts =
+    match (warm, Json.member "cache" json) with
+    | true, Some (Json.Obj _ as cache) ->
+      let hits = int_field path cache "hits" in
+      let misses = int_field path cache "misses" in
+      let entries = int_field path cache "entries" in
+      let capacity = int_field path cache "capacity" in
+      if hits + misses <> sessions then
+        die "%s: cache hits (%d) + misses (%d) != sessions (%d)" path hits misses sessions;
+      if entries > capacity then
+        die "%s: cache holds %d settled entries over its capacity %d" path entries capacity;
+      Some (hits, misses)
+    | true, _ -> die "%s: warm batch without a \"cache\" object" path
+    | false, (Some Json.Null | None) -> None
+    | false, Some _ -> die "%s: cold batch carries a non-null \"cache\"" path
+  in
+  let exit_codes =
+    match Json.member "results" json with
+    | Some (Json.List results) ->
+      if List.length results <> sessions then
+        die "%s: %d results but \"sessions\" says %d" path (List.length results) sessions;
+      List.mapi
+        (fun i r ->
+          (match Json.member "label" r with
+          | Some (Json.Str _) -> ()
+          | _ -> die "%s: result %d: missing string \"label\"" path i);
+          (match Json.member "status" r with
+          | Some (Json.Str ("ok" | "error")) -> ()
+          | _ -> die "%s: result %d: \"status\" is not \"ok\"/\"error\"" path i);
+          int_field path r "exit_code")
+        results
+    | _ -> die "%s: missing \"results\" array" path
+  in
   let families =
     match Json.member "timing" json with
     | Some (Json.Obj _ as timing) -> (
@@ -222,9 +235,136 @@ let check_gateway path json =
     if count <> sessions then
       die "%s: \"session\" latency family has %d samples but %d sessions ran" path count
         sessions);
+  (* cross-check the merged per-stage sample counts against the session
+     totals: the merge at worker join must neither drop nor double-count
+     a session's contribution, whatever the fan-out was. *)
+  let fam_count name =
+    match List.assoc_opt name families with
+    | None -> 0
+    | Some body -> int_field path body "count"
+  in
+  let executed = List.length (List.filter (fun c -> c = 0 || c = 9 || c = 11) exit_codes) in
+  if fam_count "execute" <> executed then
+    die "%s: \"execute\" family has %d samples but %d session(s) reached execution" path
+      (fam_count "execute") executed;
+  (match cache_counts with
+  | Some (hits, misses) ->
+    if fam_count "session.cache_hit" <> hits then
+      die "%s: \"session.cache_hit\" family has %d samples but the cache reports %d hits"
+        path
+        (fam_count "session.cache_hit")
+        hits;
+    if fam_count "session.cache_miss" <> misses then
+      die "%s: \"session.cache_miss\" family has %d samples but the cache reports %d misses"
+        path
+        (fam_count "session.cache_miss")
+        misses;
+    if fam_count "verify" <> misses then
+      die "%s: \"verify\" family has %d samples but only the %d cache miss(es) run a pass"
+        path (fam_count "verify") misses
+  | None ->
+    (* cold: every session that got past compile and attestation runs its
+       own verifier pass *)
+    let expected =
+      List.length (List.filter (fun c -> c <> 3 && c <> 4 && c <> 10) exit_codes)
+    in
+    if fam_count "verify" <> expected then
+      die "%s: \"verify\" family has %d samples but %d cold session(s) reached the verifier"
+        path (fam_count "verify") expected);
   Printf.printf "%s: ok (%d sessions, %s, %d latency families)\n" path sessions
     (if warm then "warm cache" else "cold")
     (List.length families)
+
+let str_field path json name =
+  match Json.member name json with
+  | Some (Json.Str s) -> s
+  | _ -> die "%s: missing string %S field" path name
+
+let hex_field ?len path json name =
+  let s = str_field path json name in
+  let len_ok = match len with Some n -> String.length s = n | None -> String.length s > 0 in
+  if
+    (not len_ok)
+    || not (String.for_all (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) s)
+  then die "%s: field %S is not lowercase hex%s" path name
+      (match len with Some n -> Printf.sprintf " of %d chars" n | None -> "");
+  s
+
+let check_audit path json =
+  (match Json.member "schema" json with
+  | Some (Json.Str "deflection-audit/1") -> ()
+  | Some (Json.Str other) -> die "%s: unknown schema %S" path other
+  | _ -> die "%s: missing \"schema\" field" path);
+  ignore (hex_field ~len:64 path json "genesis");
+  let head = hex_field ~len:64 path json "head" in
+  ignore (hex_field ~len:64 path json "final_mac");
+  let segment_records = int_field path json "segment_records" in
+  if segment_records <= 0 then die "%s: non-positive \"segment_records\"" path;
+  let n_records =
+    match Json.member "records" json with
+    | Some (Json.List []) -> die "%s: audit log holds no records" path
+    | Some (Json.List records) ->
+      List.iteri
+        (fun i r ->
+          if int_field path r "seq" <> i then
+            die "%s: record %d carries seq %d — not an untouched append order" path i
+              (int_field path r "seq");
+          ignore (hex_field ~len:64 path r "measurement");
+          if str_field path r "policies" = "" then
+            die "%s: record %d: empty policy-set label" path i;
+          ignore (int_field path r "ssa_q");
+          ignore (int_field path r "lane");
+          (match Json.member "cache" r with
+          | Some (Json.Str ("hit" | "miss" | "uncached")) -> ()
+          | _ -> die "%s: record %d: \"cache\" is not hit/miss/uncached" path i);
+          match Json.member "verdict" r with
+          | Some (Json.Obj _ as v) -> (
+            match Json.member "status" v with
+            | Some (Json.Str "accepted") -> ignore (int_field path v "instructions")
+            | Some (Json.Str "rejected") ->
+              ignore (str_field path v "pass");
+              ignore (int_field path v "offset");
+              ignore (str_field path v "reason")
+            | _ -> die "%s: record %d: verdict status is not accepted/rejected" path i)
+          | _ -> die "%s: record %d: missing \"verdict\" object" path i)
+        records;
+      List.length records
+    | _ -> die "%s: missing \"records\" array" path
+  in
+  (match Json.member "segments" json with
+  | Some (Json.List segments) ->
+    if segments = [] then die "%s: %d record(s) but no sealed segments" path n_records;
+    let next = ref 0 in
+    List.iteri
+      (fun i s ->
+        if int_field path s "index" <> i then die "%s: segment %d carries index %d" path i
+            (int_field path s "index");
+        let first = int_field path s "first_seq" in
+        let last = int_field path s "last_seq" in
+        if first <> !next || last < first then
+          die "%s: segment %d spans [%d,%d] but the chain is covered up to %d" path i first
+            last !next;
+        next := last + 1;
+        ignore (hex_field ~len:64 path s "head");
+        ignore (hex_field ~len:64 path s "mac"))
+      segments;
+    if !next <> n_records then
+      die "%s: segments cover %d record(s) but the log holds %d" path !next n_records;
+    (* the last segment closes at the last record, so its head is the
+       log's head *)
+    let last_seg = List.nth segments (List.length segments - 1) in
+    if str_field path last_seg "head" <> head then
+      die "%s: final segment head disagrees with the document head" path
+  | _ -> die "%s: missing \"segments\" array" path);
+  (match Json.member "quote" json with
+  | Some (Json.Obj _ as q) ->
+    ignore (hex_field ~len:64 path q "measurement");
+    if hex_field ~len:64 path q "report_data" <> head then
+      die "%s: quote report data is not the chain head — the binding is broken" path;
+    ignore (hex_field path q "signature")
+  | _ -> die "%s: missing \"quote\" object" path);
+  Printf.printf "%s: ok (%d records, head %s..., quote bound)\n" path n_records
+    (String.sub head 0 12)
 
 let check_regress path json =
   (match Json.member "schema" json with
@@ -274,9 +414,10 @@ let () =
     | [ _; "--chaos"; path ] -> (`Chaos, path)
     | [ _; "--fuzz"; path ] -> (`Fuzz, path)
     | [ _; "--gateway"; path ] -> (`Gateway, path)
+    | [ _; "--audit"; path ] -> (`Audit, path)
     | [ _; "--regress"; path ] -> (`Regress, path)
     | [ _; path ] -> (`Plain, path)
-    | _ -> die "usage: json_check [--bench|--chaos|--fuzz|--gateway|--regress] FILE"
+    | _ -> die "usage: json_check [--bench|--chaos|--fuzz|--gateway|--audit|--regress] FILE"
   in
   let contents = try read_file path with Sys_error e -> die "%s" e in
   match Json.parse contents with
@@ -287,5 +428,6 @@ let () =
     | `Chaos -> check_chaos path json
     | `Fuzz -> check_fuzz path json
     | `Gateway -> check_gateway path json
+    | `Audit -> check_audit path json
     | `Regress -> check_regress path json
     | `Plain -> Printf.printf "%s: ok\n" path)

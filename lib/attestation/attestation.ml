@@ -38,6 +38,11 @@ module Platform = struct
     let prng = Deflection_util.Prng.create seed in
     { attestation_key = Deflection_util.Prng.bytes prng 32 }
 
+  (* The enclave sealing key (EGETKEY stand-in): derived from the
+     platform root so data sealed to the untrusted host — audit-log MACs,
+     persisted verdicts — is bound to this platform and nothing else. *)
+  let sealing_key t = Hmac.hkdf ~key:t.attestation_key ~info:"DEFLECTION-sealing-v1" 32
+
   let signing_body ~measurement ~report_data =
     let buf = B.create () in
     B.string buf "DEFLECTION-QUOTE-v1";

@@ -26,6 +26,12 @@ module Platform : sig
 
   val create : seed:int64 -> t
   val quote : t -> measurement:bytes -> report_data:bytes -> Quote.t
+
+  val sealing_key : t -> bytes
+  (** The platform's 32-byte sealing key (EGETKEY stand-in), derived from
+      the platform root via HKDF. MACs data the enclave hands to the
+      untrusted host (audit-log segments, persisted verdicts); two
+      platforms created from different seeds never share it. *)
 end
 
 module Ias : sig

@@ -17,6 +17,8 @@ module Profiler = Deflection_forensics.Profiler
 module Report = Deflection_forensics.Report
 module Chaos = Deflection_chaos.Chaos
 module Resilience = Deflection_chaos.Resilience
+module Audit = Deflection_audit.Audit
+module Sha256 = Deflection_crypto.Sha256
 
 type config = {
   layout : Layout.config;
@@ -31,6 +33,10 @@ type config = {
       (* when set, ecall_receive_binary consults the measurement-keyed
          verdict cache before running the verifier pass (verify-once /
          admit-many, shared across enclave instances of one gateway) *)
+  audit : Audit.sink option;
+      (* when set, every admission decision ecall_receive_binary renders
+         — acceptance or rejection, cached or not — appends one record
+         to the shared hash-chained audit log under this worker lane *)
 }
 
 let default_config =
@@ -42,6 +48,7 @@ let default_config =
     seed = 1L;
     oram_capacity = None;
     verifier_cache = None;
+    audit = None;
   }
 
 let consumer_code (config : config) =
@@ -165,15 +172,36 @@ let ecall_receive_binary t sealed =
          with
         | Error e -> Error (Loader_error e)
         | Ok loaded ->
-          let verdict =
+          let verdict, cache_outcome =
             match t.config.verifier_cache with
             | Some cache ->
-              Verifier.Cache.verify_classified cache ~tm:t.tm ~policies:t.config.policies
-                ~ssa_q:obj.Objfile.ssa_q ~serialized:plaintext obj
+              let v, o =
+                Verifier.Cache.verify_classified_outcome cache ~tm:t.tm
+                  ~policies:t.config.policies ~ssa_q:obj.Objfile.ssa_q ~serialized:plaintext
+                  obj
+              in
+              (v, match o with `Hit -> Audit.Hit | `Miss -> Audit.Miss)
             | None ->
-              Verifier.verify_classified ~tm:t.tm ~policies:t.config.policies
-                ~ssa_q:obj.Objfile.ssa_q obj
+              ( Verifier.verify_classified ~tm:t.tm ~policies:t.config.policies
+                  ~ssa_q:obj.Objfile.ssa_q obj,
+                Audit.Uncached )
           in
+          (* the admission decision is now rendered: evidence it before
+             acting on it, acceptance and rejection alike *)
+          (match t.config.audit with
+          | None -> ()
+          | Some sink ->
+            let av =
+              match verdict with
+              | Ok (report, _) -> Audit.Accepted report
+              | Error r -> Audit.Rejected r
+            in
+            ignore
+              (Audit.Log.append sink.Audit.log
+                 ~measurement:(Sha256.digest plaintext)
+                 ~policies:t.config.policies ~ssa_q:obj.Objfile.ssa_q ~verdict:av
+                 ~cache:cache_outcome ~lane:sink.Audit.lane);
+            Telemetry.count t.tm "audit.records" 1);
           (match verdict with
           | Error r -> Error (Verifier_rejection r)
           | Ok (report, _classification) ->

@@ -21,6 +21,7 @@ module Attestation = Deflection_attestation.Attestation
 module Flight_recorder = Deflection_forensics.Flight_recorder
 module Profiler = Deflection_forensics.Profiler
 module Report = Deflection_forensics.Report
+module Audit = Deflection_audit.Audit
 
 type config = {
   layout : Layout.config;
@@ -38,6 +39,12 @@ type config = {
           verify-once/admit-many fast path a gateway shares across the
           enclave instances it drives. [None] (the default) verifies every
           delivery from scratch. *)
+  audit : Audit.sink option;
+      (** when set, every admission decision {!ecall_receive_binary}
+          renders — acceptance or rejection, from the cache or from a
+          fresh verifier pass — appends one record to the shared
+          hash-chained audit log, attributed to the sink's worker lane
+          and counted on [tm] as ["audit.records"]. *)
 }
 
 val default_config : config

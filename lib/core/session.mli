@@ -89,6 +89,7 @@ val run :
   ?oram_capacity:int ->
   ?verifier_cache:Verifier.Cache.t ->
   ?precompiled:Deflection_isa.Objfile.t ->
+  ?audit:Deflection_audit.Audit.sink ->
   ?chaos:Chaos.t ->
   ?resilience_config:Resilience.config ->
   ?tm:Telemetry.t ->
@@ -111,6 +112,9 @@ val run :
     verdict cache before running a verifier pass; [precompiled] skips the
     code provider's compile step and delivers the given objfile instead —
     together they are the gateway's verify-once/admit-many fast path.
+    [audit] (default none) hands the bootstrap enclave an audit-log sink:
+    the admission decision the delivery ECall renders appends one
+    hash-chained record under the sink's worker lane.
 
     [chaos] (default {!Chaos.disabled}) threads a fault-injection engine
     through every stage: sealed records pass {!Chaos.transport}, quotes

@@ -44,6 +44,29 @@ let of_snapshot ?(prefix = "deflection") (snap : Telemetry.snapshot) =
     snap.Telemetry.histograms;
   Buffer.contents buf
 
+let build_info ?(name = "deflection_build_info") ~labels () =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let quote v =
+    let b = Buffer.create (String.length v) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '"' -> Buffer.add_string b "\\\""
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      v;
+    Buffer.contents b
+  in
+  let name = sanitize_name name in
+  add "# HELP %s Build and schema identity of the producing binary.\n" name;
+  add "# TYPE %s gauge\n" name;
+  add "%s{%s} 1\n" name
+    (String.concat ","
+       (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (sanitize_name k) (quote v)) labels));
+  Buffer.contents buf
+
 let of_hdr_families ?(prefix = "deflection") families =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in

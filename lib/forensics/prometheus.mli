@@ -17,6 +17,12 @@ val of_snapshot : ?prefix:string -> Deflection_telemetry.Telemetry.snapshot -> s
 (** The full exposition document. [prefix] (default ["deflection"]) is
     prepended to every metric name as ["<prefix>_"]. *)
 
+val build_info : ?name:string -> labels:(string * string) list -> unit -> string
+(** A conventional [deflection_build_info] info-style gauge (value 1, the
+    identity in the labels — git revision, tool version, schema
+    versions), prepended by the CLI to every exposition it writes. Label
+    names are sanitized; label values are escaped per the text format. *)
+
 val of_hdr_families :
   ?prefix:string -> (string * Deflection_telemetry.Hdr.t) list -> string
 (** Exposition of percentile-accurate log-bucketed histograms (the

@@ -5,6 +5,7 @@ module Frontend = Deflection_compiler.Frontend
 module Objfile = Deflection_isa.Objfile
 module Telemetry = Deflection_telemetry.Telemetry
 module Hdr = Deflection_telemetry.Hdr
+module Audit = Deflection_audit.Audit
 
 type job = {
   label : string;
@@ -50,7 +51,11 @@ let bump tbl k v =
    outcome. Worker instances merge exactly at join (Hdr.merge), so the
    batch's percentile block is the same histogram a serial run would
    have accumulated — only the recorded durations themselves are
-   timing-variant. *)
+   timing-variant. The verifier's per-pass nanosecond counters ride the
+   same merge: each session contributes one sample per pass family
+   ([verifier.pass.decode], [verifier.pass.p5_cfi], ...). *)
+let pass_ns_prefix = "verifier.pass_ns."
+
 let observe_session_latencies lat (snap : Telemetry.snapshot) =
   let observe name v =
     let h =
@@ -78,10 +83,17 @@ let observe_session_latencies lat (snap : Telemetry.snapshot) =
       observe s.Telemetry.sname dur;
       if s.Telemetry.sname = "session" then
         match cache_family with Some f -> observe f dur | None -> ())
-    snap.Telemetry.spans
+    snap.Telemetry.spans;
+  List.iter
+    (fun (name, (h : Telemetry.hist_summary)) ->
+      let lp = String.length pass_ns_prefix in
+      if String.length name > lp && String.sub name 0 lp = pass_ns_prefix then
+        observe ("verifier.pass." ^ String.sub name lp (String.length name - lp))
+          h.Telemetry.h_sum)
+    snap.Telemetry.histograms
 
 let run_batch ?(jobs = 1) ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?layout ?cache
-    ?(tm = Telemetry.disabled) (job_list : job list) : batch =
+    ?audit ?(tm = Telemetry.disabled) (job_list : job list) : batch =
   if jobs < 1 then invalid_arg "Gateway.run_batch: jobs must be >= 1";
   let js = Array.of_list job_list in
   let n = Array.length js in
@@ -113,8 +125,13 @@ let run_batch ?(jobs = 1) ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?layout ?
      is written by exactly one worker, each worker folds its sessions'
      counters and stage latencies into private tables, and the tables
      are summed/merged after the join — so neither the result array nor
-     the merged counters depend on which domain ran which job. *)
-  let worker () =
+     the merged counters depend on which domain ran which job. Worker
+     [w] appends its admission records under audit lane [w] (lane 0 is
+     the calling domain); the log itself serialises appends, and the
+     record {e set} — everything but seq/lane — stays
+     schedule-independent. *)
+  let worker w () =
+    let audit_sink = Option.map (fun log -> { Audit.log; lane = w }) audit in
     let counters : (string, int) Hashtbl.t = Hashtbl.create 64 in
     let lat : (string, Hdr.t) Hashtbl.t = Hashtbl.create 16 in
     let snaps_rev = ref [] in
@@ -136,7 +153,7 @@ let run_batch ?(jobs = 1) ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?layout ?
           | pre ->
             let precompiled = match pre with Some (Ok obj) -> Some obj | _ -> None in
             Session.run ~policies ~ssa_q ?layout ?verifier_cache:cache ?precompiled
-              ~seed:j.seed ~tm:stm ~source:j.source ~inputs:j.inputs ()
+              ?audit:audit_sink ~seed:j.seed ~tm:stm ~source:j.source ~inputs:j.inputs ()
         in
         (* fold this session's counters in whether it succeeded or not:
            failed sessions still did attestation/verification work *)
@@ -161,10 +178,10 @@ let run_batch ?(jobs = 1) ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?layout ?
   let k = max 1 (min jobs (max n 1)) in
   let tables =
     Telemetry.span tm "gateway.batch" @@ fun () ->
-    if k = 1 then [ worker () ]
+    if k = 1 then [ worker 0 () ]
     else begin
-      let spawned = List.init (k - 1) (fun _ -> Domain.spawn worker) in
-      let mine = worker () in
+      let spawned = List.init (k - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+      let mine = worker 0 () in
       mine :: List.map Domain.join spawned
     end
   in

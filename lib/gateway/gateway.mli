@@ -23,6 +23,7 @@ module Policy = Deflection_policy.Policy
 module Verifier = Deflection_verifier.Verifier
 module Telemetry = Deflection_telemetry.Telemetry
 module Hdr = Deflection_telemetry.Hdr
+module Audit = Deflection_audit.Audit
 
 type job = {
   label : string;  (** caller-chosen name, echoed in the result *)
@@ -69,7 +70,11 @@ type batch = {
           family per session span name ([session], [verify], [compile],
           [execute], [deliver], ...) plus [session.cache_hit] /
           [session.cache_miss] splitting whole-session latency by
-          verdict-cache outcome. Per-worker instances are merged exactly
+          verdict-cache outcome, and one [verifier.pass.*] family per
+          instrumented verifier pass ([decode], [p1_store], [p2_rsp],
+          [p5_cfi], [p5_stack], [p6_ssa]) — each session that ran a
+          fresh verifier pass contributes one per-pass nanosecond
+          sample. Per-worker instances are merged exactly
           at join, so sample {e counts} are schedule-independent; the
           recorded durations are wall-clock and belong in the
           timing-variant part of any export. *)
@@ -86,6 +91,7 @@ val run_batch :
   ?ssa_q:int ->
   ?layout:Deflection_enclave.Layout.config ->
   ?cache:Verifier.Cache.t ->
+  ?audit:Audit.Log.t ->
   ?tm:Telemetry.t ->
   job list ->
   batch
@@ -100,6 +106,13 @@ val run_batch :
     are cached), and distinct sources are compiled once up front. Omit it
     for the cold baseline, where every session compiles and verifies its
     own delivery from scratch.
+
+    [audit] (default none) attaches a shared admission audit log: every
+    session's delivery verdict appends one hash-chained record,
+    attributed to the worker lane that ran the session (lane 0 is the
+    calling domain). Appends are serialised by the log itself; the
+    record {e set} minus seq/lane is schedule-independent, matching the
+    batch's determinism contract.
 
     [tm] (default {!Telemetry.disabled}) is the batch-level registry: the
     dispatch runs under a [gateway.batch] root span on it, and when it is

@@ -123,6 +123,7 @@ let disabled =
   }
 
 let enabled t = t.is_enabled
+let now_ns t = t.clock ()
 let tracing t = t.is_enabled && t.sink <> Noop
 let set_sink t sink = if t.is_enabled then t.sink <- sink
 

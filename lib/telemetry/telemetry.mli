@@ -62,6 +62,12 @@ val disabled : t
 
 val enabled : t -> bool
 
+val now_ns : t -> int
+(** Read the registry's clock (nanoseconds, clamped monotone by default;
+    0 on {!disabled}). Instrumentation that accumulates sub-span phase
+    durations into counters — finer than a span per call site would be
+    economical — reads this directly; guard with {!enabled}. *)
+
 val tracing : t -> bool
 (** [true] iff events are actually retained (enabled and non-noop sink).
     Hot paths use this to skip argument marshalling entirely. *)

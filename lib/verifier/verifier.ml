@@ -72,6 +72,18 @@ type st = {
   mutable jump_targets : (int * int) list;  (** (site, target) of jmp/jcc *)
   mutable call_targets : (int * int) list;
   mutable worklist : int list;
+  (* per-pass attribution: wall-clock nanoseconds accumulated by each
+     policy-check family during the scan. [now] is [None] when telemetry
+     is disabled, so the hot path (bench/fuzz verify throughput) pays one
+     match and nothing else. Decode time inside a matched template is
+     attributed to the template's policy, not to [decode]. *)
+  now : (unit -> int) option;
+  mutable ns_decode : int;
+  mutable ns_p1_store : int;
+  mutable ns_p2_rsp : int;
+  mutable ns_p5_cfi : int;
+  mutable ns_p5_stack : int;
+  mutable ns_p6_ssa : int;
   (* stats *)
   mutable n_instr : int;
   mutable n_store : int;
@@ -224,7 +236,15 @@ let match_rsp_unit st off instr len : int =
 type unit_result = Fallthrough of int | End_of_run | Branch_and_fall of int
 
 let scan_plain st off =
-  let instr, len = decode_at st off in
+  let instr, len =
+    match st.now with
+    | None -> decode_at st off
+    | Some now ->
+      let t0 = now () in
+      let r = decode_at st off in
+      st.ns_decode <- st.ns_decode + now () - t0;
+      r
+  in
   let end_off = off + len in
   (* policy gates on bare instructions *)
   (match maystore instr with
@@ -239,7 +259,15 @@ let scan_plain st off =
   if has Policy.P5 st && writes_reg Annot.shadow_stack_reg instr then
     reject off "write to the reserved shadow-stack register";
   if writes_rsp instr && has Policy.P2 st then begin
-    let e = match_rsp_unit st off instr len in
+    let e =
+      match st.now with
+      | None -> match_rsp_unit st off instr len
+      | Some now ->
+        let t0 = now () in
+        let r = match_rsp_unit st off instr len in
+        st.ns_p2_rsp <- st.ns_p2_rsp + now () - t0;
+        r
+    in
     Fallthrough e
   end
   else begin
@@ -319,7 +347,15 @@ let scan_run st start =
           (* function entry? *)
           let is_fun = Hashtbl.mem st.user_funs off in
           if is_fun && has Policy.P5 st then begin
-            match match_simple_group st off Annot.prologue_template with
+            match
+              (match st.now with
+              | None -> match_simple_group st off Annot.prologue_template
+              | Some now ->
+                let t0 = now () in
+                let r = match_simple_group st off Annot.prologue_template in
+                st.ns_p5_stack <- st.ns_p5_stack + now () - t0;
+                r)
+            with
             | Some e ->
               st.n_prologue <- st.n_prologue + 1;
               bump_ssa off;
@@ -330,7 +366,15 @@ let scan_run st start =
             (* annotation groups *)
             let try_ssa () =
               if has Policy.P6 st then
-                match match_simple_group st off Annot.ssa_template with
+                match
+                  (match st.now with
+                  | None -> match_simple_group st off Annot.ssa_template
+                  | Some now ->
+                    let t0 = now () in
+                    let r = match_simple_group st off Annot.ssa_template in
+                    st.ns_p6_ssa <- st.ns_p6_ssa + now () - t0;
+                    r)
+                with
                 | Some e ->
                   st.n_ssa <- st.n_ssa + 1;
                   Hashtbl.replace st.ssa_starts off ();
@@ -341,7 +385,15 @@ let scan_run st start =
             in
             let try_store () =
               if has Policy.P1 st then
-                match match_store_group st off with
+                match
+                  (match st.now with
+                  | None -> match_store_group st off
+                  | Some now ->
+                    let t0 = now () in
+                    let r = match_store_group st off in
+                    st.ns_p1_store <- st.ns_p1_store + now () - t0;
+                    r)
+                with
                 | Some e ->
                   st.n_store <- st.n_store + 1;
                   Some e
@@ -357,13 +409,29 @@ let scan_run st start =
                 step e
               | None ->
                 if has Policy.P5 st then begin
-                  match match_cfi_group st off with
+                  match
+                    (match st.now with
+                    | None -> match_cfi_group st off
+                    | Some now ->
+                      let t0 = now () in
+                      let r = match_cfi_group st off in
+                      st.ns_p5_cfi <- st.ns_p5_cfi + now () - t0;
+                      r)
+                  with
                   | Some (e, kind) ->
                     st.n_cfi <- st.n_cfi + 1;
                     bump_ssa off;
                     (match kind with `Jmp -> () | `Call -> step e)
                   | None ->
-                    (match match_simple_group st off Annot.epilogue_template with
+                    (match
+                       (match st.now with
+                       | None -> match_simple_group st off Annot.epilogue_template
+                       | Some now ->
+                         let t0 = now () in
+                         let r = match_simple_group st off Annot.epilogue_template in
+                         st.ns_p5_stack <- st.ns_p5_stack + now () - t0;
+                         r)
+                     with
                     | Some _ ->
                       st.n_epilogue <- st.n_epilogue + 1
                       (* epilogue ends with ret: end of run *)
@@ -387,9 +455,28 @@ let scan_run st start =
 
 (* ------------------------------------------------------------------ *)
 
+(* Per-pass wall-clock attribution, emitted as counters so a session's
+   snapshot carries the scan's cost breakdown next to the coarser
+   verify.symbols/verify.scan/verify.cfg spans. Emitted on acceptance and
+   rejection alike (a rejected scan still did attributable work). *)
+let emit_pass_ns tm st =
+  if Telemetry.enabled tm then begin
+    (* histograms, not counters: the values are wall-clock nanoseconds,
+       which belong in the timing-variant plane — the gateway's merged
+       counter totals must stay schedule-independent *)
+    let emit name v = Telemetry.observe (Telemetry.histogram tm name) v in
+    emit "verifier.pass_ns.decode" st.ns_decode;
+    emit "verifier.pass_ns.p1_store" st.ns_p1_store;
+    emit "verifier.pass_ns.p2_rsp" st.ns_p2_rsp;
+    emit "verifier.pass_ns.p5_cfi" st.ns_p5_cfi;
+    emit "verifier.pass_ns.p5_stack" st.ns_p5_stack;
+    emit "verifier.pass_ns.p6_ssa" st.ns_p6_ssa
+  end
+
 let verify_classified ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile.t) =
   Telemetry.span tm "verify" @@ fun () ->
   let current_pass = ref Symbols in
+  let st_cell = ref None in
   try
     let text = obj.Objfile.text in
     let sym name =
@@ -461,6 +548,13 @@ let verify_classified ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile
         jump_targets = [];
         call_targets = [];
         worklist = [];
+        now = (if Telemetry.enabled tm then Some (fun () -> Telemetry.now_ns tm) else None);
+        ns_decode = 0;
+        ns_p1_store = 0;
+        ns_p2_rsp = 0;
+        ns_p5_cfi = 0;
+        ns_p5_stack = 0;
+        ns_p6_ssa = 0;
         n_instr = 0;
         n_store = 0;
         n_rsp = 0;
@@ -470,6 +564,7 @@ let verify_classified ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile
         n_ssa = 0;
       }
     in
+    st_cell := Some st;
     (* seed: entry, stubs, every function, every indirect target *)
     st.worklist <- start_off :: stub_offsets;
     Hashtbl.iter (fun off _ -> st.worklist <- off :: st.worklist) user_funs;
@@ -507,6 +602,7 @@ let verify_classified ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile
             if not (Hashtbl.mem st.user_funs target || target = st.aex_handler_off) then
               reject site "direct call target is not a function entry")
           st.call_targets);
+    emit_pass_ns tm st;
     Telemetry.count tm "verifier.instructions" st.n_instr;
     Telemetry.count tm "verifier.annot.store" st.n_store;
     Telemetry.count tm "verifier.annot.rsp" st.n_rsp;
@@ -528,6 +624,7 @@ let verify_classified ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile
         },
         { machinery; guarded_stores = st.guarded } )
   with Reject (offset, reason) ->
+    Option.iter (emit_pass_ns tm) !st_cell;
     let r = { pass = !current_pass; offset; reason } in
     if Telemetry.tracing tm then
       Telemetry.event tm "verifier.reject"
@@ -651,8 +748,8 @@ module Cache = struct
       ()
     done
 
-  let verify_classified t ?(tm = Telemetry.disabled) ~policies ~ssa_q ~serialized obj :
-      verdict =
+  let verify_classified_outcome t ?(tm = Telemetry.disabled) ~policies ~ssa_q ~serialized obj
+      : verdict * [ `Hit | `Miss ] =
     let k = key ~policies ~ssa_q ~serialized in
     Mutex.lock t.mutex;
     t.tick <- t.tick + 1;
@@ -673,7 +770,7 @@ module Cache = struct
       let v = settled () in
       Mutex.unlock t.mutex;
       Telemetry.count tm "verifier.cache.hit" 1;
-      v
+      (v, `Hit)
     | None ->
       let e = { state = In_flight; last_used = t.tick } in
       Hashtbl.replace t.table k e;
@@ -700,5 +797,8 @@ module Cache = struct
       evict_over_capacity t;
       Condition.broadcast t.cond;
       Mutex.unlock t.mutex;
-      v
+      (v, `Miss)
+
+  let verify_classified t ?tm ~policies ~ssa_q ~serialized obj : verdict =
+    fst (verify_classified_outcome t ?tm ~policies ~ssa_q ~serialized obj)
 end

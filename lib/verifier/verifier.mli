@@ -142,4 +142,17 @@ module Cache : sig
       [tm] (default disabled) counts ["verifier.cache.hit"] /
       ["verifier.cache.miss"]; a miss additionally records the usual
       ["verify"] span tree on [tm]. *)
+
+  val verify_classified_outcome :
+    t ->
+    ?tm:Deflection_telemetry.Telemetry.t ->
+    policies:Deflection_policy.Policy.Set.t ->
+    ssa_q:int ->
+    serialized:bytes ->
+    Objfile.t ->
+    (report * classification, rejection) result * [ `Hit | `Miss ]
+  (** {!verify_classified} plus how the verdict was obtained — [`Hit] for
+      an answer from (or merged into) a cached/in-flight verdict, [`Miss]
+      when this call ran the verifier under its own claim. The audit
+      plane records this attribution per admission. *)
 end

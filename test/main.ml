@@ -24,4 +24,5 @@ let () =
       ("chaos", Suite_chaos.suite);
       ("fuzz", Suite_fuzz.suite);
       ("gateway", Suite_gateway.suite);
+      ("audit", Suite_audit.suite);
     ]

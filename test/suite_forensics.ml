@@ -64,6 +64,35 @@ let test_recorder_wraparound () =
   Alcotest.(check (list int)) "seq oldest-first" [ 6; 7; 8; 9 ]
     (List.map (fun (e : FR.entry) -> e.FR.seq) es)
 
+let test_recorder_wrap_boundary () =
+  (* the exact boundary: filling the ring to capacity drops nothing, and
+     whole extra turns retain precisely the newest window *)
+  let r = FR.create ~capacity:4 () in
+  for i = 0 to 3 do
+    FR.record r FR.Retired ~pc:(200 + i) ~arg:i
+  done;
+  Alcotest.(check int) "full ring, nothing dropped" 0 (FR.dropped r);
+  Alcotest.(check (list int)) "all four retained" [ 200; 201; 202; 203 ]
+    (List.map (fun (e : FR.entry) -> e.FR.pc) (FR.entries r));
+  (* one more full turn: exactly the first four fall off *)
+  for i = 4 to 7 do
+    FR.record r FR.Retired ~pc:(200 + i) ~arg:i
+  done;
+  Alcotest.(check int) "recorded counts every event" 8 (FR.recorded r);
+  Alcotest.(check int) "one turn dropped" 4 (FR.dropped r);
+  Alcotest.(check (list int)) "second turn retained" [ 204; 205; 206; 207 ]
+    (List.map (fun (e : FR.entry) -> e.FR.pc) (FR.entries r));
+  Alcotest.(check (list int)) "seqs keep global numbering" [ 4; 5; 6; 7 ]
+    (List.map (fun (e : FR.entry) -> e.FR.seq) (FR.entries r));
+  (* degenerate capacity 1: always exactly the newest event *)
+  let r1 = FR.create ~capacity:1 () in
+  for i = 0 to 5 do
+    FR.record r1 FR.Ocall ~pc:(300 + i) ~arg:0
+  done;
+  Alcotest.(check (list int)) "capacity 1 keeps the newest" [ 305 ]
+    (List.map (fun (e : FR.entry) -> e.FR.pc) (FR.entries r1));
+  Alcotest.(check int) "capacity 1 dropped the rest" 5 (FR.dropped r1)
+
 let test_recorder_interp_events () =
   (* capacity generously above the event volume so nothing wraps and the
      very first event (the ECall) is still retained *)
@@ -168,6 +197,67 @@ let test_crash_json_roundtrip () =
   match Json.member "window" reparsed with
   | Some (Json.List (_ :: _)) -> ()
   | _ -> Alcotest.fail "disassembly window missing"
+
+let test_crash_json_escaping () =
+  (* a crash report whose string fields carry the worst the disassembler
+     can produce — raw control bytes, quotes, backslashes, non-UTF8
+     bytes — must still serialize to parseable JSON and survive the
+     round trip byte-for-byte *)
+  let nasty = "\x00\x01\x1f\"\\\n\r\t\xff\xfe<bad opcode 0x9c>" in
+  let crash =
+    {
+      Report.kind = "bad-decode";
+      detail = "decode failed at pc\t0x40 \"garbage\"\n";
+      policy = None;
+      abort_stub = Some nasty;
+      pc = 0x40;
+      instr_bytes = nasty;
+      window =
+        [
+          { Report.w_addr = 0x38; w_bytes = "9c ff"; w_text = nasty; w_fault = false };
+          { Report.w_addr = 0x40; w_bytes = ""; w_text = "<bad opcode>"; w_fault = true };
+        ];
+      regs = [ ("r0", 0L); ("r1", -1L) ];
+      regions = [ { Report.r_name = "text"; r_lo = 0; r_hi = 4096; r_perm = "r-x" } ];
+      events = [];
+      events_dropped = 0;
+      cycles = 1;
+      instructions = 1;
+      aexes = 0;
+      ocalls = 0;
+      leaked_bytes = 0;
+    }
+  in
+  let doc = Report.crash_to_json crash in
+  let text = Json.to_string ~pretty:true doc in
+  (* control characters must never appear raw inside the serialized form *)
+  String.iter
+    (fun c ->
+      if Char.code c < 0x20 && c <> '\n' && c <> ' ' then
+        Alcotest.failf "raw control byte %#x in serialized JSON" (Char.code c))
+    text;
+  (match Json.parse text with
+  | Error e -> Alcotest.failf "escaped crash JSON does not parse: %s" e
+  | Ok reparsed ->
+    Alcotest.(check bool) "round-trip equal" true (doc = reparsed);
+    (match Json.member "instr_bytes" reparsed with
+    | Some (Json.Str s) -> Alcotest.(check string) "instr bytes intact" nasty s
+    | _ -> Alcotest.fail "instr_bytes missing");
+    match Json.member "window" reparsed with
+    | Some (Json.List (first :: _)) -> (
+      match Json.member "text" first with
+      | Some (Json.Str s) -> Alcotest.(check string) "window text intact" nasty s
+      | _ -> Alcotest.fail "window text missing")
+    | _ -> Alcotest.fail "window missing");
+  (* the disassembly window over genuinely undecodable bytes feeds the
+     same path from real data: render and serialize without raising *)
+  let garbage = Bytes.init 24 (fun i -> Char.chr ((0xf0 + i) land 0xff)) in
+  let window = Report.disasm_window ~code:garbage ~base:0 ~pc:8 () in
+  Alcotest.(check bool) "garbage still windows" true (List.length window > 0);
+  let doc2 = Report.crash_to_json { crash with window } in
+  match Json.parse (Json.to_string doc2) with
+  | Ok j -> Alcotest.(check bool) "garbage window round-trips" true (doc2 = j)
+  | Error e -> Alcotest.failf "garbage window JSON does not parse: %s" e
 
 let test_crash_runtime_fault () =
   (* a hardware-level fault (not a policy abort): same forensic machinery,
@@ -546,11 +636,15 @@ let suite =
     Alcotest.test_case "flight recorder: disabled is inert" `Quick test_recorder_disabled;
     Alcotest.test_case "flight recorder: ring wraps, counts drops" `Quick
       test_recorder_wraparound;
+    Alcotest.test_case "flight recorder: wrap boundaries exact" `Quick
+      test_recorder_wrap_boundary;
     Alcotest.test_case "flight recorder: interpreter event stream" `Quick
       test_recorder_interp_events;
     Alcotest.test_case "flight recorder: AEX events" `Quick test_recorder_aex_events;
     Alcotest.test_case "crash report: policy abort" `Quick test_crash_policy_abort;
     Alcotest.test_case "crash report: JSON round-trip" `Quick test_crash_json_roundtrip;
+    Alcotest.test_case "crash report: escapes non-printable disasm bytes" `Quick
+      test_crash_json_escaping;
     Alcotest.test_case "crash report: runtime fault" `Quick test_crash_runtime_fault;
     Alcotest.test_case "crash report: absent on clean exit" `Quick test_no_crash_on_clean_exit;
     Alcotest.test_case "rejection: scan verdict with evidence" `Quick
