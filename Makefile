@@ -4,10 +4,13 @@
 # code, a chaos smoke campaign that must stay fail-closed, a fixed-seed
 # differential fuzz campaign that must stay sound and complete, a gateway
 # smoke batch fanned out over two domains with the attested audit plane
-# on (the sealed log must verify and pass its schema check), schema
-# checks on every machine-readable artifact produced, and the
-# bench-history regression gate (`json_check --regress`) over the run's
-# own history window.
+# on (the sealed log must verify and pass its schema check), a persistent
+# server smoke (cold serve with sealed-cache persistence, then a restart
+# that must come back warm, both schema-checked and audit-verified), a
+# server chaos mini-campaign that must stay fail-closed across kills and
+# sealed-state tampering, schema checks on every machine-readable
+# artifact produced, and the bench-history regression gate
+# (`json_check --regress`) over the run's own history window.
 #
 # `make benchdiff` compares the newest bench run against the committed
 # baseline (bench/baseline.json) -- advisory: wall clock is machine-
@@ -49,6 +52,19 @@ check:
 	dune exec bin/json_check.exe -- --gateway bench/results/gateway.json
 	dune exec bin/deflectionc.exe -- audit verify bench/results/audit.json
 	dune exec bin/json_check.exe -- --audit bench/results/audit.json
+	rm -rf bench/results/server-state
+	dune exec bin/deflectionc.exe -- serve --offered 60 --rounds 6 --batch 8 \
+	  --queue 24 --jobs 2 --state bench/results/server-state \
+	  --audit bench/results/server-audit.json -o bench/results/server.json
+	dune exec bin/json_check.exe -- --server bench/results/server.json
+	dune exec bin/deflectionc.exe -- audit verify bench/results/server-audit.json --seed 7
+	dune exec bin/deflectionc.exe -- serve --offered 60 --rounds 6 --batch 8 \
+	  --queue 24 --jobs 2 --state bench/results/server-state --expect-warm \
+	  -o bench/results/server-warm.json
+	dune exec bin/json_check.exe -- --server bench/results/server-warm.json
+	dune exec bin/deflectionc.exe -- serve --campaign --seeds 2 --base-seed 1005 \
+	  --offered 36 --state bench/results/server-chaos-state \
+	  -o bench/results/server-chaos.json
 	dune exec bin/deflectionc.exe -- benchdiff bench/results/history \
 	  bench/results/latest.json -o bench/results/benchdiff.json
 	dune exec bin/json_check.exe -- --regress bench/results/benchdiff.json

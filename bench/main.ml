@@ -901,6 +901,108 @@ let gateway () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Persistent multi-tenant server: saturation throughput under 2x
+   overload (typed shedding), admitted-session latency percentiles, and
+   the warm-after-restart vs cold ratio the sealed verdict cache buys. *)
+
+let server () =
+  hr "Persistent server (VI-B context: verify-once amortised across restarts)";
+  let module Server = Deflection_server.Server in
+  let rounds = if !quick then 4 else 10 in
+  let batch = 8 in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "deflection-bench-server" in
+  ensure_dir dir;
+  let clean () =
+    List.iter
+      (fun f ->
+        let p = Filename.concat dir f in
+        if Sys.file_exists p then Sys.remove p)
+      [ "verdict-cache.json"; "verdict-cache.json.1"; "verdict-cache.json.tmp" ]
+  in
+  let cfg =
+    {
+      Server.default_config with
+      Server.queue_capacity = 2 * batch;
+      batch_size = batch;
+      workers = (if !quick then 2 else 4);
+      seed = 21L;
+      state_dir = Some dir;
+      persist_every = 1;
+    }
+  in
+  let run () =
+    let s = Server.create cfg in
+    let t0 = Unix.gettimeofday () in
+    (match Server.serve_load s ~offered:(2 * batch * rounds) ~rounds ~kill_after:None with
+    | `Done -> ()
+    | `Killed -> failwith "bench server died without a chaos engine");
+    (s, Unix.gettimeofday () -. t0)
+  in
+  (* saturation: offer 2x what batch*rounds can admit; the excess must be
+     shed (typed), never queued unboundedly *)
+  clean ();
+  let cold, cold_dt = run () in
+  let doc = Server.doc cold in
+  let geti k = match Json.member k doc with Some (Json.Int n) -> n | _ -> 0 in
+  let offered = geti "offered"
+  and admitted = geti "admitted"
+  and shed = geti "shed"
+  and rejected = geti "rejected" in
+  let shed_rate = if offered > 0 then 100. *. float_of_int shed /. float_of_int offered else 0. in
+  let sat_rate = if cold_dt > 0. then float_of_int admitted /. cold_dt else 0. in
+  printf "saturation (2x capacity): %d offered -> %d admitted, %d shed (%.1f%%), %d rejected\n"
+    offered admitted shed shed_rate rejected;
+  printf "cold serve:          %6.3fs  %7.1f admitted sessions/s\n" cold_dt sat_rate;
+  (* admitted-session latency percentiles; the resilience stage budget
+     (default 10s per protocol stage) is the documented p99 bound *)
+  let session_q p =
+    match Json.member "timing" doc with
+    | Some timing -> (
+      match Json.member "latency_ns" timing with
+      | Some (Json.Obj fams) -> (
+        match List.assoc_opt "session" fams with
+        | Some body -> (
+          match Json.member p body with Some (Json.Int n) -> n | _ -> 0)
+        | None -> 0)
+      | _ -> 0)
+    | None -> 0
+  in
+  let p50 = session_q "p50" and p95 = session_q "p95" and p99 = session_q "p99" in
+  printf "admitted session latency: p50 %.2f ms  p95 %.2f ms  p99 %.2f ms (budget: 10s stage timeout)\n"
+    (float_of_int p50 /. 1e6) (float_of_int p95 /. 1e6) (float_of_int p99 /. 1e6);
+  (* restart against the sealed state: the same workload replays warm *)
+  let warm, warm_dt = run () in
+  let wdoc = Server.doc warm in
+  let wgeti k = match Json.member k wdoc with Some (Json.Int n) -> n | _ -> 0 in
+  let w_hits = wgeti "warm_hits" and w_misses = wgeti "cold_misses" in
+  let warm_ratio =
+    if w_hits + w_misses > 0 then float_of_int w_hits /. float_of_int (w_hits + w_misses) else 0.
+  in
+  let warm_over_cold = if warm_dt > 0. then cold_dt /. warm_dt else 0. in
+  printf "warm restart:        %6.3fs  %.2fx vs cold  (hit ratio %.2f, %d preloaded)\n" warm_dt
+    warm_over_cold warm_ratio (wgeti "preloaded");
+  clean ();
+  record "server"
+    (Json.Obj
+       [
+         ("rounds", Json.Int rounds);
+         ("offered", Json.Int offered);
+         ("admitted", Json.Int admitted);
+         ("shed", Json.Int shed);
+         ("shed_rate_pct", Json.Float shed_rate);
+         ("saturation_sessions_per_s", Json.Float sat_rate);
+         ("session_p50_ns", Json.Int p50);
+         ("session_p95_ns", Json.Int p95);
+         ("session_p99_ns", Json.Int p99);
+         ("stage_budget_ms", Json.Int 10_000);
+         ("cold_seconds", Json.Float cold_dt);
+         ("warm_seconds", Json.Float warm_dt);
+         ("warm_over_cold_x", Json.Float warm_over_cold);
+         ("warm_hit_ratio_after_restart", Json.Float warm_ratio);
+         ("preloaded", Json.Int (wgeti "preloaded"));
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock micro-benchmarks: one per table/figure pipeline *)
 
 let micro () =
@@ -981,7 +1083,7 @@ let () =
       ("table1", table1); ("table2", table2); ("fig7", fig7); ("fig8", fig8); ("fig9", fig9);
       ("fig10", fig10); ("fig11", fig11); ("ablation", ablation); ("related", related);
       ("profile", profile); ("chaos", chaos); ("fuzz", fuzz); ("gateway", gateway);
-      ("micro", micro);
+      ("server", server); ("micro", micro);
     ]
   in
   let selected =

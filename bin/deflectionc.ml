@@ -30,6 +30,9 @@ module Prometheus = Deflection_forensics.Prometheus
 module Gateway = Deflection_gateway.Gateway
 module Audit = Deflection_audit.Audit
 module Attestation = Deflection_attestation.Attestation
+module Server = Deflection_server.Server
+module Persist = Deflection_server.Persist
+module Chaos = Deflection_chaos.Chaos
 
 (* ------------------------------------------------------------------ *)
 (* build identity: one place lists every machine-readable schema this
@@ -44,6 +47,9 @@ let schema_versions =
     ("chaos", "1");
     ("fuzz", "1");
     ("gateway", "1");
+    ("server", "1");
+    ("server-cache", "1");
+    ("server-chaos", "1");
     ("benchdiff", "1");
     ("audit", "1");
     ("forensics", "1");
@@ -791,6 +797,304 @@ let gateway_cmd =
       $ policies_arg $ ssa_q_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve: the persistent multi-tenant gateway server. One process serves
+   an open-loop load round by round, sealing its verdict caches (and the
+   audit log, when requested) every persistence cadence so a kill -9 at
+   any point loses at most one round of warmness. *)
+
+let serve_cmd =
+  let offered =
+    Arg.(
+      value & opt int 200
+      & info [ "offered" ] ~docv:"N" ~doc:"Total sessions the load generator offers.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 20
+      & info [ "rounds" ] ~docv:"R" ~doc:"Serving rounds the offered load is spread over.")
+  in
+  let tenants =
+    Arg.(
+      value & opt int 4
+      & info [ "tenants" ] ~docv:"N"
+          ~doc:
+            "Tenant count (t0..tN-1); tenant t3, when present, is fuel-capped so its \
+             sessions exhaust the watchdog (exit 11).")
+  in
+  let queue =
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"CAP" ~doc:"Ingress queue capacity.")
+  in
+  let batch =
+    Arg.(value & opt int 8 & info [ "batch" ] ~docv:"B" ~doc:"Sessions admitted per round.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"K"
+          ~doc:"Worker domains per tenant sub-batch (timing only; results are identical).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Drives the arrival schedule and the sealing platform.")
+  in
+  let state =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state" ] ~docv:"DIR"
+          ~doc:
+            "Persistence root: the verdict caches are sealed to \
+             $(docv)/verdict-cache.json every --persist-every rounds and reloaded — \
+             segment by segment, fail-closed — on the next start.")
+  in
+  let persist_every =
+    Arg.(
+      value & opt int 1
+      & info [ "persist-every" ] ~docv:"N" ~doc:"Seal the caches every $(docv) rounds.")
+  in
+  let audit =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "audit" ] ~docv:"FILE"
+          ~doc:
+            "Write the sealed deflection-audit/1 admission log to $(docv) after every \
+             round (so it survives a kill) and at shutdown. Check with `deflectionc \
+             audit verify $(docv) --seed S`.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the deflection-server/1 report to $(docv) instead of stdout.")
+  in
+  let kill_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-after" ] ~docv:"ROUND"
+          ~doc:
+            "Scripted SIGKILL: exit 137 after round $(docv)'s sessions ran, with no \
+             drain and no final seal — only the periodic seals survive.")
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos" ] ~docv:"SEED"
+          ~doc:
+            "Run under the server fault plan derived from $(docv) (torn seals, stale \
+             or MAC-corrupted segments at load, queue storms, kill points).")
+  in
+  let expect_warm =
+    Arg.(
+      value & flag
+      & info [ "expect-warm" ]
+          ~doc:
+            "Assert this is a warm restart: fail with exit 14 unless sealed state was \
+             found and at least one admitted session hit a recovered verdict.")
+  in
+  let max_shed_pct =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-shed-pct" ] ~docv:"P"
+          ~doc:"Fail with exit 13 when more than $(docv)%% of offered sessions were shed.")
+  in
+  let campaign =
+    Arg.(
+      value & flag
+      & info [ "campaign" ]
+          ~doc:
+            "Instead of one serving run, run the chaos campaign: per seed, a persisted \
+             multi-tenant load under a generated fault plan with mid-run restarts, \
+             checking every admitted result against the load oracle and the audit chain. \
+             Exits 2 on any fail-open or recovery violation.")
+  in
+  let camp_seeds =
+    Arg.(value & opt int 4 & info [ "seeds" ] ~docv:"N" ~doc:"Campaign: fault plans to run.")
+  in
+  let camp_base =
+    Arg.(
+      value & opt int 1000
+      & info [ "base-seed" ] ~docv:"SEED" ~doc:"Campaign: plan $(i,i) uses seed $(docv) + i.")
+  in
+  let action offered rounds tenants queue batch jobs seed state persist_every audit out
+      kill_after chaos_seed expect_warm max_shed_pct campaign camp_seeds camp_base policies
+      ssa_q =
+    if campaign then begin
+      let state_root = Option.value ~default:(Filename.concat (Filename.get_temp_dir_name ()) "deflection-server-chaos") state in
+      let report =
+        Server.chaos_campaign ~base_seed:(Int64.of_int camp_base) ~seeds:camp_seeds ~offered
+          ~state_root ()
+      in
+      (match out with
+      | None -> ()
+      | Some file ->
+        let oc = open_out file in
+        Json.to_channel ~pretty:true oc (Server.campaign_to_json report);
+        close_out oc;
+        Format.eprintf "campaign report written to %s@." file);
+      Format.printf "%d plans, %d violations@." camp_seeds report.Server.total_violations;
+      List.iter
+        (fun (site, n) -> if n > 0 then Format.printf "  %-16s %d faults injected@." site n)
+        report.Server.fired;
+      List.iter
+        (fun case ->
+          List.iter
+            (fun v -> Format.printf "  seed %Ld: %s@." case.Server.c_seed v)
+            case.Server.c_violations)
+        report.Server.cases;
+      if report.Server.total_violations > 0 then exit 2
+    end
+    else begin
+      if offered < 1 || rounds < 1 || tenants < 1 || jobs < 1 then begin
+        Format.eprintf "serve: --offered, --rounds, --tenants and --jobs must be >= 1@.";
+        exit 1
+      end;
+      let tenant_cfgs =
+        List.init tenants (fun i ->
+            let quota =
+              if i = 3 then { Server.default_quota with Server.fuel = Some 5 }
+              else Server.default_quota
+            in
+            { Server.t_name = Printf.sprintf "t%d" i; Server.t_quota = quota })
+      in
+      let cfg =
+        {
+          Server.default_config with
+          Server.policies;
+          ssa_q;
+          tenants = tenant_cfgs;
+          queue_capacity = queue;
+          batch_size = batch;
+          workers = jobs;
+          seed = Int64.of_int seed;
+          state_dir = state;
+          persist_every;
+        }
+      in
+      let engine =
+        match chaos_seed with
+        | None -> Chaos.disabled
+        | Some s -> Chaos.of_plan (Chaos.generate_server ~seed:(Int64.of_int s))
+      in
+      let server = Server.create ~chaos:engine cfg in
+      (match Server.recovery server with
+      | Some r when r.Persist.found ->
+        Format.eprintf "recovery: generation %d, %d entrie(s) loaded, %d segment(s) discarded%s%s@."
+          r.Persist.generation r.Persist.entries_loaded r.Persist.segments_discarded
+          (if r.Persist.malformed then ", file malformed (all cold)" else "")
+          (if r.Persist.truncated then ", tail truncated" else "")
+      | _ -> ());
+      let write_audit () =
+        match audit with
+        | None -> ()
+        | Some file ->
+          let oc = open_out file in
+          Json.to_channel ~pretty:true oc (Server.audit_doc server);
+          close_out oc
+      in
+      let t0 = Unix.gettimeofday () in
+      let rec loop r =
+        if r < rounds && not (Server.killed server) then begin
+          Server.offer_load server ~offered ~rounds;
+          match Server.run_round server with
+          | `Killed -> ()
+          | `Ok ->
+            write_audit ();
+            (match kill_after with
+            | Some k when r >= k ->
+              Format.eprintf "kill point: dying after round %d without a seal@." r;
+              Stdlib.exit 137
+            | _ -> ());
+            loop (r + 1)
+        end
+      in
+      loop 0;
+      Server.shutdown server;
+      let dt = Unix.gettimeofday () -. t0 in
+      write_audit ();
+      let doc = Server.doc server in
+      (match out with
+      | None -> print_endline (Json.to_string ~pretty:true doc)
+      | Some file ->
+        let oc = open_out file in
+        Json.to_channel ~pretty:true oc doc;
+        close_out oc;
+        Format.eprintf "server report written to %s@." file);
+      let geti k = match Json.member k doc with Some (Json.Int n) -> n | _ -> 0 in
+      let offered_n = geti "offered"
+      and admitted_n = geti "admitted"
+      and shed_n = geti "shed"
+      and warm = geti "warm_hits" in
+      Format.eprintf
+        "served %d round(s) in %.2fs: offered %d, admitted %d, shed %d, rejected %d, warm \
+         hits %d, preloaded %d@."
+        (Server.round server) dt offered_n admitted_n shed_n (geti "rejected") warm
+        (geti "preloaded");
+      if Server.killed server then begin
+        Format.eprintf "chaos kill point fired: state is whatever the last seal kept@.";
+        Stdlib.exit 137
+      end;
+      (match max_shed_pct with
+      | Some p
+        when offered_n > 0 && 100. *. float_of_int shed_n /. float_of_int offered_n > p ->
+        Format.eprintf "shed %.1f%% > %.1f%%: overloaded@."
+          (100. *. float_of_int shed_n /. float_of_int offered_n)
+          p;
+        exit Server.exit_overloaded
+      | _ -> ());
+      if expect_warm then begin
+        let recovered =
+          match Server.recovery server with Some r -> r.Persist.found | None -> false
+        in
+        if (not recovered) || warm = 0 || geti "preloaded" = 0 then begin
+          Format.eprintf
+            "expected a warm restart but recovery found nothing to reuse (found=%b, \
+             preloaded=%d, warm hits=%d)@."
+            recovered (geti "preloaded") warm;
+          exit Server.exit_recovery_failure
+        end
+      end;
+      ignore admitted_n
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent multi-tenant gateway server against a deterministic open-loop \
+          load: bounded ingress queue with typed shedding, per-tenant verdict caches, \
+          quotas and fuel budgets, and sealed crash-recoverable cache persistence."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Requests arrive round by round from a seed-derived schedule (so a restarted \
+              server replays the same workload). Each round admits up to --batch sessions, \
+              skipping tenants at their in-flight quota without blocking the queue behind \
+              them; offers beyond --queue capacity are shed with a typed Overloaded \
+              rejection. With --state, the per-tenant verdict caches are sealed under the \
+              platform key every --persist-every rounds; a restart verifies each sealed \
+              segment and re-serves warm, discarding (only) whatever the host tampered \
+              with. Everything in the report outside the \"timing\" object is byte-identical \
+              for any --jobs value.";
+           `S Manpage.s_exit_status;
+           `P
+             "0 on a completed run, 2 on campaign violations, 13 when more than \
+              --max-shed-pct of the offered load was shed, 14 when --expect-warm found no \
+              recovered warmness, 137 when --kill-after (or a chaos kill point) stopped the \
+              server, 1 otherwise.";
+         ])
+    Term.(
+      const action $ offered $ rounds $ tenants $ queue $ batch $ jobs $ seed $ state
+      $ persist_every $ audit $ out $ kill_after $ chaos $ expect_warm $ max_shed_pct
+      $ campaign $ camp_seeds $ camp_base $ policies_arg $ ssa_q_arg)
+
+(* ------------------------------------------------------------------ *)
 (* benchdiff: compare a bench run against a baseline (file or history
    directory) over the tracked wall-clock metrics and emit an explicit
    better/worse/neutral verdict document. The comparator itself is
@@ -1044,6 +1348,7 @@ let () =
             disasm_cmd;
             run_cmd;
             gateway_cmd;
+            serve_cmd;
             audit_cmd;
             chaos_cmd;
             fuzz_cmd;

@@ -28,6 +28,13 @@
                                 the cryptographic re-walk needs the sealing
                                 platform and lives in `deflectionc audit
                                 verify`)
+     json_check --server FILE   additionally enforce the deflection-server/1
+                                schema: every offer accounted for exactly
+                                once (admitted + shed + rejected + queued ==
+                                offered, per tenant and globally), per-tenant
+                                cache entries within quota, exit histograms
+                                that sum to the admitted counts, a coherent
+                                recovery report and monotone latency ladders
      json_check --regress FILE  enforce the deflection-benchdiff/1 verdict
                                 schema and FAIL (exit 1) when any tracked
                                 metric regressed beyond its tolerance —
@@ -366,6 +373,138 @@ let check_audit path json =
   Printf.printf "%s: ok (%d records, head %s..., quote bound)\n" path n_records
     (String.sub head 0 12)
 
+let check_server path json =
+  (match Json.member "schema" json with
+  | Some (Json.Str "deflection-server/1") -> ()
+  | Some (Json.Str other) -> die "%s: unknown schema %S" path other
+  | _ -> die "%s: missing \"schema\" field" path);
+  let offered = int_field path json "offered" in
+  let admitted = int_field path json "admitted" in
+  let shed = int_field path json "shed" in
+  let rejected = int_field path json "rejected" in
+  let queue_depth = int_field path json "queue_depth" in
+  if offered <= 0 then die "%s: server was offered no sessions" path;
+  (* every offer is accounted for exactly once: admitted, typed-shed,
+     rejected (unknown tenant), or still queued at report time *)
+  if admitted + shed + rejected + queue_depth <> offered then
+    die "%s: admitted (%d) + shed (%d) + rejected (%d) + queued (%d) != offered (%d)" path
+      admitted shed rejected queue_depth offered;
+  let warm_hits = int_field path json "warm_hits" in
+  let cold_misses = int_field path json "cold_misses" in
+  if warm_hits + cold_misses <> admitted then
+    die "%s: warm hits (%d) + cold misses (%d) != admitted (%d) — a session dodged its \
+         tenant's cache" path warm_hits cold_misses admitted;
+  let exits_total body what expect =
+    match Json.member "exits" body with
+    | Some (Json.Obj codes) ->
+      let total =
+        List.fold_left
+          (fun acc (code, v) ->
+            (match int_of_string_opt code with
+            | Some _ -> ()
+            | None -> die "%s: %s: exit histogram key %S is not a code" path what code);
+            match v with
+            | Json.Int n when n >= 0 -> acc + n
+            | _ -> die "%s: %s: exit histogram value for %S is not a count" path what code)
+          0 codes
+      in
+      if total <> expect then
+        die "%s: %s: exit histogram sums to %d but %d session(s) were admitted" path what
+          total expect
+    | _ -> die "%s: %s: missing \"exits\" object" path what
+  in
+  exits_total json "server" admitted;
+  let ladder fam body =
+    let q name = int_field path body name in
+    let count = q "count" in
+    let p50 = q "p50" and p90 = q "p90" and p95 = q "p95" and p99 = q "p99" in
+    let minv = q "min" and maxv = q "max" in
+    if count > 0 && not (minv <= p50 && p50 <= p90 && p90 <= p95 && p95 <= p99 && p99 <= maxv)
+    then die "%s: latency family %S has a non-monotone quantile ladder" path fam;
+    count
+  in
+  (match Json.member "queue_wait_rounds" json with
+  | Some (Json.Obj _ as body) ->
+    if ladder "queue_wait_rounds" body <> admitted then
+      die "%s: queue-wait histogram has %d samples but %d session(s) were admitted" path
+        (ladder "queue_wait_rounds" body) admitted
+  | _ -> die "%s: missing \"queue_wait_rounds\" histogram" path);
+  (* per-tenant accounting must tile the global totals, and no tenant's
+     settled cache may exceed its entry quota *)
+  (match Json.member "tenants" json with
+  | Some (Json.List ((_ :: _) as tenants)) ->
+    let sum_offered = ref 0 and sum_admitted = ref 0 and sum_shed = ref 0 in
+    List.iter
+      (fun t ->
+        let name = str_field path t "name" in
+        let t_offered = int_field path t "offered" in
+        let t_admitted = int_field path t "admitted" in
+        let t_shed = int_field path t "shed" in
+        if t_admitted + t_shed > t_offered then
+          die "%s: tenant %S: admitted (%d) + shed (%d) > offered (%d)" path name t_admitted
+            t_shed t_offered;
+        sum_offered := !sum_offered + t_offered;
+        sum_admitted := !sum_admitted + t_admitted;
+        sum_shed := !sum_shed + t_shed;
+        exits_total t (Printf.sprintf "tenant %S" name) t_admitted;
+        match Json.member "cache" t with
+        | Some (Json.Obj _ as cache) ->
+          let entries = int_field path cache "entries" in
+          let quota = int_field path cache "quota_max_entries" in
+          if entries > quota then
+            die "%s: tenant %S holds %d cache entries over its quota of %d" path name entries
+              quota
+        | _ -> die "%s: tenant %S: missing \"cache\" object" path name)
+      tenants;
+    (* global rejected counts only unknown-tenant offers, which belong to
+       no tenant row *)
+    if !sum_offered + rejected <> offered then
+      die "%s: tenant offered (%d) + rejected (%d) != offered (%d)" path !sum_offered
+        rejected offered;
+    if !sum_admitted <> admitted then
+      die "%s: tenant admitted sums to %d but the server says %d" path !sum_admitted admitted;
+    if !sum_shed <> shed then
+      die "%s: tenant shed sums to %d but the server says %d" path !sum_shed shed
+  | _ -> die "%s: missing non-empty \"tenants\" array" path);
+  (* recovery, when present, must be internally consistent *)
+  (match Json.member "recovery" json with
+  | Some Json.Null | None -> ()
+  | Some (Json.Obj _ as r) ->
+    let loaded = int_field path r "entries_loaded" in
+    let discarded = int_field path r "segments_discarded" in
+    (match Json.member "segments" r with
+    | Some (Json.List segs) ->
+      let sum_loaded = ref 0 and bad = ref 0 in
+      List.iter
+        (fun s ->
+          match Json.member "status" s with
+          | Some (Json.Str "loaded") -> sum_loaded := !sum_loaded + int_field path s "entries"
+          | Some (Json.Str ("bad-mac" | "malformed")) -> incr bad
+          | _ -> die "%s: recovery segment without a recognised \"status\"" path)
+        segs;
+      if !sum_loaded <> loaded then
+        die "%s: recovery segments carry %d entries but \"entries_loaded\" says %d" path
+          !sum_loaded loaded;
+      if !bad <> discarded then
+        die "%s: %d bad recovery segment(s) but \"segments_discarded\" says %d" path !bad
+          discarded
+    | _ -> die "%s: recovery report lacks its \"segments\" array" path)
+  | Some _ -> die "%s: \"recovery\" is neither null nor an object" path);
+  (* timing is schedule-variant but shape-checked *)
+  (match Json.member "timing" json with
+  | Some (Json.Obj _ as timing) -> (
+    ignore (int_field path timing "workers");
+    match Json.member "latency_ns" timing with
+    | Some (Json.Obj families) ->
+      List.iter (fun (fam, body) -> ignore (ladder fam body)) families;
+      if admitted > 0 && not (List.mem_assoc "session" families) then
+        die "%s: sessions ran but no \"session\" latency family was recorded" path
+    | _ -> die "%s: timing lacks the \"latency_ns\" block" path)
+  | _ -> die "%s: missing \"timing\" object" path);
+  Printf.printf "%s: ok (%d offered: %d admitted / %d shed / %d rejected, warm ratio %.2f)\n"
+    path offered admitted shed rejected
+    (if admitted > 0 then float_of_int warm_hits /. float_of_int admitted else 0.)
+
 let check_regress path json =
   (match Json.member "schema" json with
   | Some (Json.Str "deflection-benchdiff/1") -> ()
@@ -415,9 +554,11 @@ let () =
     | [ _; "--fuzz"; path ] -> (`Fuzz, path)
     | [ _; "--gateway"; path ] -> (`Gateway, path)
     | [ _; "--audit"; path ] -> (`Audit, path)
+    | [ _; "--server"; path ] -> (`Server, path)
     | [ _; "--regress"; path ] -> (`Regress, path)
     | [ _; path ] -> (`Plain, path)
-    | _ -> die "usage: json_check [--bench|--chaos|--fuzz|--gateway|--audit|--regress] FILE"
+    | _ ->
+      die "usage: json_check [--bench|--chaos|--fuzz|--gateway|--audit|--server|--regress] FILE"
   in
   let contents = try read_file path with Sys_error e -> die "%s" e in
   match Json.parse contents with
@@ -429,5 +570,6 @@ let () =
     | `Fuzz -> check_fuzz path json
     | `Gateway -> check_gateway path json
     | `Audit -> check_audit path json
+    | `Server -> check_server path json
     | `Regress -> check_regress path json
     | `Plain -> Printf.printf "%s: ok\n" path)

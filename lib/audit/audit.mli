@@ -76,6 +76,13 @@ val plane_measurement : bytes
     under (the digest of a fixed plane tag: the sealing identity covers
     the audit machinery itself, not any one target binary). *)
 
+val mac_body : string -> string list -> bytes
+(** [mac_body tag fields] — the injective, length-prefixed byte encoding
+    every MAC in this codebase is computed over (domain-separating [tag]
+    first, then each field). Exported so other sealed planes (the server's
+    verdict-cache persistence) share the exact discipline instead of
+    re-inventing a near-miss of it. *)
+
 (** The producer: an append-only, mutex-protected chained log. Safe to
     share across gateway worker domains. *)
 module Log : sig

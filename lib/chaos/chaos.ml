@@ -11,6 +11,10 @@ type site =
   | Enclave_memory
   | Aex_schedule
   | Interp_fuel
+  | Persist_seal
+  | Persist_load
+  | Ingress
+  | Serve_loop
 
 let all_sites =
   [
@@ -23,6 +27,10 @@ let all_sites =
     Enclave_memory;
     Aex_schedule;
     Interp_fuel;
+    Persist_seal;
+    Persist_load;
+    Ingress;
+    Serve_loop;
   ]
 
 let site_label = function
@@ -35,6 +43,10 @@ let site_label = function
   | Enclave_memory -> "enclave-memory"
   | Aex_schedule -> "aex-schedule"
   | Interp_fuel -> "interp-fuel"
+  | Persist_seal -> "persist-seal"
+  | Persist_load -> "persist-load"
+  | Ingress -> "ingress"
+  | Serve_loop -> "serve-loop"
 
 let site_of_label l = List.find_opt (fun s -> String.equal (site_label s) l) all_sites
 
@@ -58,6 +70,11 @@ type fault =
   | Mem_flip of { flips : int }
   | Aex_storm of { interval : int }
   | Fuel_limit of { fuel : int }
+  | Torn_write of { round : int; frac16 : int }
+  | Stale_segment of { segment : int }
+  | Mac_corrupt of { segment : int }
+  | Queue_storm of { round : int; burst : int }
+  | Kill_point of { round : int }
 
 let fault_site = function
   | Channel_fault { site; _ } | Quote_corrupt { site } -> site
@@ -65,6 +82,10 @@ let fault_site = function
   | Mem_flip _ -> Enclave_memory
   | Aex_storm _ -> Aex_schedule
   | Fuel_limit _ -> Interp_fuel
+  | Torn_write _ -> Persist_seal
+  | Stale_segment _ | Mac_corrupt _ -> Persist_load
+  | Queue_storm _ -> Ingress
+  | Kill_point _ -> Serve_loop
 
 type plan = { seed : int64; faults : fault list }
 
@@ -96,6 +117,24 @@ let generate ~seed =
   let n = 1 + Prng.int rng 3 in
   { seed; faults = List.init n (fun _ -> random_fault rng) }
 
+(* Server-plane faults live under their own derivation label so adding
+   them never perturbs the plans existing seeds already replay. Round
+   ranges assume the server chaos campaign's protocol: it restarts the
+   server once mid-run (after round 3), so torn writes land on rounds
+   0-3 (observable at the restart load) and kill points on rounds 1-5. *)
+let random_server_fault rng =
+  match Prng.int rng 10 with
+  | 0 | 1 -> Torn_write { round = Prng.int rng 4; frac16 = Prng.int rng 16 }
+  | 2 | 3 -> Stale_segment { segment = Prng.int rng 8 }
+  | 4 | 5 -> Mac_corrupt { segment = Prng.int rng 8 }
+  | 6 | 7 -> Queue_storm { round = Prng.int rng 6; burst = 8 + Prng.int rng 56 }
+  | _ -> Kill_point { round = 1 + Prng.int rng 5 }
+
+let generate_server ~seed =
+  let rng = Prng.create (Prng.derive seed ~label:"server-chaos-plan") in
+  let n = 1 + Prng.int rng 3 in
+  { seed; faults = List.init n (fun _ -> random_server_fault rng) }
+
 (* ------------------------------------------------------------------ *)
 (* Serialization (embedded in the deflection-chaos/1 campaign report) *)
 
@@ -115,6 +154,15 @@ let fault_to_json = function
   | Aex_storm { interval } ->
     Json.Obj [ ("kind", Json.Str "aex"); ("interval", Json.Int interval) ]
   | Fuel_limit { fuel } -> Json.Obj [ ("kind", Json.Str "fuel"); ("fuel", Json.Int fuel) ]
+  | Torn_write { round; frac16 } ->
+    Json.Obj [ ("kind", Json.Str "torn"); ("round", Json.Int round); ("frac16", Json.Int frac16) ]
+  | Stale_segment { segment } ->
+    Json.Obj [ ("kind", Json.Str "stale"); ("segment", Json.Int segment) ]
+  | Mac_corrupt { segment } ->
+    Json.Obj [ ("kind", Json.Str "mac"); ("segment", Json.Int segment) ]
+  | Queue_storm { round; burst } ->
+    Json.Obj [ ("kind", Json.Str "storm"); ("round", Json.Int round); ("burst", Json.Int burst) ]
+  | Kill_point { round } -> Json.Obj [ ("kind", Json.Str "kill"); ("round", Json.Int round) ]
 
 let plan_to_json p =
   Json.Obj
@@ -153,6 +201,23 @@ let fault_of_json j =
   | Some "fuel" ->
     let* fuel = int_member "fuel" j in
     Ok (Fuel_limit { fuel })
+  | Some "torn" ->
+    let* round = int_member "round" j in
+    let* frac16 = int_member "frac16" j in
+    Ok (Torn_write { round; frac16 })
+  | Some "stale" ->
+    let* segment = int_member "segment" j in
+    Ok (Stale_segment { segment })
+  | Some "mac" ->
+    let* segment = int_member "segment" j in
+    Ok (Mac_corrupt { segment })
+  | Some "storm" ->
+    let* round = int_member "round" j in
+    let* burst = int_member "burst" j in
+    Ok (Queue_storm { round; burst })
+  | Some "kill" ->
+    let* round = int_member "round" j in
+    Ok (Kill_point { round })
   | _ -> Error "unknown fault kind"
 
 let plan_of_json j =
@@ -316,3 +381,33 @@ let aex_interval_override t =
 let fuel_override t =
   if not (enabled t) then None
   else take_pending t (function Fuel_limit { fuel } -> Some fuel | _ -> None)
+
+(* --- server / persistence plane --------------------------------------- *)
+
+let torn_write t ~round =
+  if not (enabled t) then None
+  else
+    take_pending t (function
+      | Torn_write { round = r; frac16 } when r = round -> Some frac16
+      | _ -> None)
+
+let stale_segment t =
+  if not (enabled t) then None
+  else take_pending t (function Stale_segment { segment } -> Some segment | _ -> None)
+
+let mac_corrupt t =
+  if not (enabled t) then None
+  else take_pending t (function Mac_corrupt { segment } -> Some segment | _ -> None)
+
+let queue_storm t ~round =
+  if not (enabled t) then None
+  else
+    take_pending t (function
+      | Queue_storm { round = r; burst } when r = round -> Some burst
+      | _ -> None)
+
+let kill_point t ~round =
+  if not (enabled t) then false
+  else
+    Option.is_some
+      (take_pending t (function Kill_point { round = r } when r = round -> Some () | _ -> None))

@@ -25,6 +25,10 @@ type site =
   | Enclave_memory  (** bit flips in non-measured (data/stack) pages *)
   | Aex_schedule  (** interrupt storm *)
   | Interp_fuel  (** watchdog fuel exhaustion *)
+  | Persist_seal  (** sealed verdict-cache write to untrusted host storage *)
+  | Persist_load  (** sealed verdict-cache read back from host storage *)
+  | Ingress  (** server admission queue *)
+  | Serve_loop  (** the serving loop itself (abrupt death) *)
 
 val site_label : site -> string
 val site_of_label : string -> site option
@@ -56,6 +60,21 @@ type fault =
       (** override the AEX mean interval (small = storm) *)
   | Fuel_limit of { fuel : int }
       (** impose a watchdog fuel budget on the interpreter *)
+  | Torn_write of { round : int; frac16 : int }
+      (** the sealed-cache write in server round [round] is torn: only the
+          first [frac16]/16 of the bytes reach the disk *)
+  | Stale_segment of { segment : int }
+      (** at the next sealed-cache load, the host replays segment
+          [segment mod n] from the {e previous} on-disk generation *)
+  | Mac_corrupt of { segment : int }
+      (** at the next sealed-cache load, segment [segment mod n]'s MAC is
+          corrupted *)
+  | Queue_storm of { round : int; burst : int }
+      (** [burst] extra requests slam the ingress queue in server round
+          [round] *)
+  | Kill_point of { round : int }
+      (** the serving loop dies abruptly (no drain, no seal) in round
+          [round] *)
 
 val fault_site : fault -> site
 
@@ -66,6 +85,12 @@ type plan = { seed : int64; faults : fault list }
 val generate : seed:int64 -> plan
 (** Derive a plan (1-3 faults) from [seed]. Deterministic: equal seeds
     yield equal plans. *)
+
+val generate_server : seed:int64 -> plan
+(** Like {!generate} but over the server/persistence fault classes
+    (torn writes, stale-segment replay, MAC corruption, queue storms,
+    kill points). A separate derivation label keeps existing {!generate}
+    seeds replaying the exact plans they always produced. *)
 
 val plan_to_json : plan -> Deflection_telemetry.Json.t
 val plan_of_json : Deflection_telemetry.Json.t -> (plan, string) result
@@ -134,3 +159,26 @@ val aex_interval_override : t -> int option
 
 val fuel_override : t -> int option
 (** [Some fuel] iff a [Fuel_limit] fault is pending (fires it). *)
+
+(** {2 Server / persistence hooks} — called by [lib/server]. *)
+
+val torn_write : t -> round:int -> int option
+(** [Some frac16] iff a [Torn_write] for this server round is pending
+    (fires it): the persistence layer then writes only the first
+    [frac16]/16 of the sealed bytes. *)
+
+val stale_segment : t -> int option
+(** [Some segment] iff a [Stale_segment] fault is pending (fires it);
+    applied by the loader to the bytes the host serves. *)
+
+val mac_corrupt : t -> int option
+(** [Some segment] iff a [Mac_corrupt] fault is pending (fires it). *)
+
+val queue_storm : t -> round:int -> int option
+(** [Some burst] iff a [Queue_storm] for this round is pending (fires
+    it): the load generator then slams [burst] extra requests into the
+    ingress queue. *)
+
+val kill_point : t -> round:int -> bool
+(** [true] iff a [Kill_point] for this round is pending (fires it): the
+    serving loop must die abruptly — no drain, no seal. *)

@@ -93,7 +93,8 @@ let observe_session_latencies lat (snap : Telemetry.snapshot) =
     snap.Telemetry.histograms
 
 let run_batch ?(jobs = 1) ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?layout ?cache
-    ?audit ?(tm = Telemetry.disabled) (job_list : job list) : batch =
+    ?interp ?resilience_config ?audit ?(tm = Telemetry.disabled) (job_list : job list) :
+    batch =
   if jobs < 1 then invalid_arg "Gateway.run_batch: jobs must be >= 1";
   let js = Array.of_list job_list in
   let n = Array.length js in
@@ -152,8 +153,9 @@ let run_batch ?(jobs = 1) ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?layout ?
           | Some (Error e) -> Error (Session.Compile_error e)
           | pre ->
             let precompiled = match pre with Some (Ok obj) -> Some obj | _ -> None in
-            Session.run ~policies ~ssa_q ?layout ?verifier_cache:cache ?precompiled
-              ?audit:audit_sink ~seed:j.seed ~tm:stm ~source:j.source ~inputs:j.inputs ()
+            Session.run ~policies ~ssa_q ?layout ?interp ?resilience_config
+              ?verifier_cache:cache ?precompiled ?audit:audit_sink ~seed:j.seed ~tm:stm
+              ~source:j.source ~inputs:j.inputs ()
         in
         (* fold this session's counters in whether it succeeded or not:
            failed sessions still did attestation/verification work *)

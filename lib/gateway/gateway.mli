@@ -91,6 +91,8 @@ val run_batch :
   ?ssa_q:int ->
   ?layout:Deflection_enclave.Layout.config ->
   ?cache:Verifier.Cache.t ->
+  ?interp:Session.Interp.config ->
+  ?resilience_config:Session.Resilience.config ->
   ?audit:Audit.Log.t ->
   ?tm:Telemetry.t ->
   job list ->
@@ -100,6 +102,11 @@ val run_batch :
     [jobs] (default 1) is the domain fan-out; [invalid_arg] when < 1.
     [policies] (default P1-P6) and [ssa_q] (default 20) are the gateway's
     enforced verification configuration, shared by every session.
+
+    [interp] and [resilience_config] are handed to every session
+    unchanged — a multi-tenant server uses them to impose a per-tenant
+    fuel budget and per-stage retry/timeout bounds on a tenant's whole
+    sub-batch.
 
     [cache] enables the warm path: the verdict cache is consulted by each
     enclave's binary-delivery ECall ({e both} acceptances and rejections

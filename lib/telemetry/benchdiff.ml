@@ -26,6 +26,21 @@ let tracked =
       m_tolerance_pct = 40.0;
     };
     {
+      m_name = "server.saturation_sessions_per_s";
+      m_path = [ "sections"; "server"; "saturation_sessions_per_s" ];
+      m_direction = Higher_better;
+      m_tolerance_pct = 40.0;
+    };
+    {
+      (* deterministic (not wall-clock): a restarted bench server replays
+         its workload entirely from the recovered sealed cache, so any
+         dip below 1.0 means recovery silently lost entries *)
+      m_name = "server.warm_hit_ratio_after_restart";
+      m_path = [ "sections"; "server"; "warm_hit_ratio_after_restart" ];
+      m_direction = Higher_better;
+      m_tolerance_pct = 5.0;
+    };
+    {
       m_name = "fuzz.verify_instr_per_sec";
       m_path = [ "sections"; "fuzz"; "verify_instr_per_sec" ];
       m_direction = Higher_better;

@@ -49,6 +49,20 @@ let is_machinery c off = Hashtbl.mem c.machinery off
 let is_guarded_store c off = Hashtbl.mem c.guarded_stores off
 let empty_classification () = { machinery = Hashtbl.create 1; guarded_stores = Hashtbl.create 1 }
 
+(* Flat views for persistence: a classification is fully determined by
+   its two offset sets, so (sorted offsets out, offsets in) round-trips. *)
+let classification_offsets c =
+  let sorted h = Hashtbl.fold (fun k () acc -> k :: acc) h [] |> List.sort compare in
+  (sorted c.machinery, sorted c.guarded_stores)
+
+let classification_of_offsets ~machinery ~guarded_stores =
+  let tbl xs =
+    let h = Hashtbl.create (max 1 (List.length xs)) in
+    List.iter (fun o -> Hashtbl.replace h o ()) xs;
+    h
+  in
+  { machinery = tbl machinery; guarded_stores = tbl guarded_stores }
+
 type st = {
   text : bytes;
   tlen : int;
@@ -650,12 +664,15 @@ module Cache = struct
   type verdict = (report * classification, rejection) result
 
   (* An [In_flight] entry is a claim: the domain that inserted it is
-     verifying; later arrivals for the same key count a hit and block on
-     the condition until the verdict lands. This single-flight discipline
-     makes hit/miss totals a function of the batch alone, not of the
-     domain schedule. *)
+     verifying; later arrivals for the same key block on the condition
+     until the verdict lands, then re-look-up. This single-flight
+     discipline makes hit/miss totals a function of the batch alone, not
+     of the domain schedule. A claim whose verifier raised is simply
+     removed (no terminal poisoned state): woken waiters find the key
+     absent and convert to a fresh miss, so one crashed verification
+     never blocks a measurement for the cache's lifetime. *)
   type entry = { mutable state : state; mutable last_used : int }
-  and state = In_flight | Done of verdict | Poisoned of exn
+  and state = In_flight | Done of verdict
 
   type t = {
     capacity : int;
@@ -663,6 +680,11 @@ module Cache = struct
     cond : Condition.t;
     table : (string, entry) Hashtbl.t;
     mutable tick : int;  (* logical access clock for LRU *)
+    mutable epoch : int option;
+        (* when set, accesses stamp this value instead of the tick: a
+           server pins the epoch to its round number so LRU victim order
+           (and thus eviction under a quota trim) is a function of the
+           round's request set, never of the domain schedule inside it *)
     mutable hits : int;
     mutable misses : int;
     mutable evictions : int;
@@ -680,6 +702,7 @@ module Cache = struct
       cond = Condition.create ();
       table = Hashtbl.create 64;
       tick = 0;
+      epoch = None;
       hits = 0;
       misses = 0;
       evictions = 0;
@@ -720,22 +743,39 @@ module Cache = struct
     Sha256.update ctx serialized;
     Bytes.to_string (Sha256.finalize ctx)
 
-  (* Evict the least-recently-used settled entry while over capacity.
+  (* Logical access stamp: the tick by default, the pinned epoch when a
+     server has set one (see [set_epoch]). *)
+  let stamp t =
+    match t.epoch with
+    | Some e -> e
+    | None ->
+      t.tick <- t.tick + 1;
+      t.tick
+
+  let set_epoch t e =
+    Mutex.lock t.mutex;
+    t.epoch <- Some e;
+    Mutex.unlock t.mutex
+
+  (* Evict least-recently-used settled entries while over [cap].
      In-flight entries are never evicted (a waiter may hold a reference);
-     the table can thus briefly exceed [capacity] by the number of
-     concurrent distinct verifications, but settles back under it. *)
-  let evict_over_capacity t =
+     the table can thus briefly exceed capacity by the number of
+     concurrent distinct verifications, but settles back under it. Ties
+     on [last_used] (routine under a pinned epoch) break on the key, so
+     the victim sequence is a function of the table's contents alone. *)
+  let evict_down_to t cap =
+    let evicted = ref 0 in
     while
-      Hashtbl.length t.table > t.capacity
+      Hashtbl.length t.table > cap
       &&
       let victim = ref None in
       Hashtbl.iter
         (fun k e ->
           match e.state with
-          | In_flight | Poisoned _ -> ()
+          | In_flight -> ()
           | Done _ -> (
             match !victim with
-            | Some (_, best) when best <= e.last_used -> ()
+            | Some (bk, bu) when bu < e.last_used || (bu = e.last_used && bk <= k) -> ()
             | _ -> victim := Some (k, e.last_used)))
         t.table;
       match !victim with
@@ -743,62 +783,98 @@ module Cache = struct
       | Some (k, _) ->
         Hashtbl.remove t.table k;
         t.evictions <- t.evictions + 1;
+        incr evicted;
         true
     do
       ()
-    done
+    done;
+    !evicted
 
-  let verify_classified_outcome t ?(tm = Telemetry.disabled) ~policies ~ssa_q ~serialized obj
-      : verdict * [ `Hit | `Miss ] =
-    let k = key ~policies ~ssa_q ~serialized in
+  let evict_over_capacity t = ignore (evict_down_to t t.capacity)
+
+  let trim t ~capacity =
+    if capacity < 0 then invalid_arg "Verifier.Cache.trim: capacity must be >= 0";
     Mutex.lock t.mutex;
-    t.tick <- t.tick + 1;
-    match Hashtbl.find_opt t.table k with
-    | Some e ->
-      e.last_used <- t.tick;
-      t.hits <- t.hits + 1;
-      let rec settled () =
+    let n = evict_down_to t capacity in
+    Mutex.unlock t.mutex;
+    n
+
+  let lookup_or_verify t ?(tm = Telemetry.disabled) ~key:k ~(verify : unit -> verdict) () :
+      verdict * [ `Hit | `Miss ] =
+    Mutex.lock t.mutex;
+    let rec attempt () =
+      match Hashtbl.find_opt t.table k with
+      | Some e -> (
+        e.last_used <- stamp t;
         match e.state with
-        | Done v -> v
-        | Poisoned exn ->
+        | Done v ->
+          t.hits <- t.hits + 1;
           Mutex.unlock t.mutex;
-          raise exn
+          Telemetry.count tm "verifier.cache.hit" 1;
+          (v, `Hit)
         | In_flight ->
+          (* wait for the claimant to settle, then re-look-up: the claim
+             may have landed a verdict (hit on the next attempt) or died
+             (key absent — this delivery claims afresh as a miss) *)
           Condition.wait t.cond t.mutex;
-          settled ()
-      in
-      let v = settled () in
-      Mutex.unlock t.mutex;
-      Telemetry.count tm "verifier.cache.hit" 1;
-      (v, `Hit)
-    | None ->
-      let e = { state = In_flight; last_used = t.tick } in
-      Hashtbl.replace t.table k e;
-      t.misses <- t.misses + 1;
-      Mutex.unlock t.mutex;
-      Telemetry.count tm "verifier.cache.miss" 1;
-      (* verify outside the lock: distinct keys verify concurrently *)
-      let v =
-        match verify_classified ~tm ~policies ~ssa_q obj with
-        | v -> v
-        | exception exn ->
-          (* never leave waiters blocked on a dead claim: mark the shared
-             entry so current waiters re-raise, and drop it from the table
-             so later arrivals verify afresh *)
-          Mutex.lock t.mutex;
-          e.state <- Poisoned exn;
-          Hashtbl.remove t.table k;
-          Condition.broadcast t.cond;
-          Mutex.unlock t.mutex;
-          raise exn
-      in
-      Mutex.lock t.mutex;
-      e.state <- Done v;
-      evict_over_capacity t;
-      Condition.broadcast t.cond;
-      Mutex.unlock t.mutex;
-      (v, `Miss)
+          attempt ())
+      | None ->
+        let e = { state = In_flight; last_used = stamp t } in
+        Hashtbl.replace t.table k e;
+        t.misses <- t.misses + 1;
+        Mutex.unlock t.mutex;
+        Telemetry.count tm "verifier.cache.miss" 1;
+        (* verify outside the lock: distinct keys verify concurrently *)
+        let v =
+          match verify () with
+          | v -> v
+          | exception exn ->
+            (* never leave waiters blocked on a dead claim: drop it and
+               wake them — they re-attempt and verify afresh *)
+            Mutex.lock t.mutex;
+            Hashtbl.remove t.table k;
+            Condition.broadcast t.cond;
+            Mutex.unlock t.mutex;
+            raise exn
+        in
+        Mutex.lock t.mutex;
+        e.state <- Done v;
+        evict_over_capacity t;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.mutex;
+        (v, `Miss)
+    in
+    attempt ()
+
+  let verify_classified_outcome t ?tm ~policies ~ssa_q ~serialized obj :
+      verdict * [ `Hit | `Miss ] =
+    let k = key ~policies ~ssa_q ~serialized in
+    lookup_or_verify t ?tm ~key:k
+      ~verify:(fun () -> verify_classified ?tm ~policies ~ssa_q obj)
+      ()
 
   let verify_classified t ?tm ~policies ~ssa_q ~serialized obj : verdict =
     fst (verify_classified_outcome t ?tm ~policies ~ssa_q ~serialized obj)
+
+  (* Persistence surface: settled verdicts out, trusted verdicts back in.
+     [export] never includes in-flight claims; [preload] never overwrites
+     a live entry and never touches hit/miss accounting, so a reloaded
+     cache's stats measure only post-restart traffic. *)
+  let export t =
+    Mutex.lock t.mutex;
+    let xs =
+      Hashtbl.fold
+        (fun k e acc -> match e.state with Done v -> (k, v) :: acc | In_flight -> acc)
+        t.table []
+    in
+    Mutex.unlock t.mutex;
+    List.sort (fun (a, _) (b, _) -> String.compare a b) xs
+
+  let preload t ~key:k (v : verdict) =
+    Mutex.lock t.mutex;
+    if not (Hashtbl.mem t.table k) then begin
+      Hashtbl.replace t.table k { state = Done v; last_used = stamp t };
+      evict_over_capacity t
+    end;
+    Mutex.unlock t.mutex
 end

@@ -64,6 +64,14 @@ val is_guarded_store : classification -> int -> bool
 val empty_classification : unit -> classification
 (** A classification with no machinery — every store is monitored. *)
 
+val classification_offsets : classification -> int list * int list
+(** [(machinery, guarded_stores)] as sorted offset lists — the flat view a
+    persistence layer serializes. *)
+
+val classification_of_offsets :
+  machinery:int list -> guarded_stores:int list -> classification
+(** Rebuild a classification from {!classification_offsets} output. *)
+
 val verify_classified :
   ?tm:Deflection_telemetry.Telemetry.t ->
   policies:Deflection_policy.Policy.Set.t ->
@@ -128,6 +136,42 @@ module Cache : sig
   val key :
     policies:Deflection_policy.Policy.Set.t -> ssa_q:int -> serialized:bytes -> string
   (** The 32-byte cache key (raw SHA-256 digest). *)
+
+  val lookup_or_verify :
+    t ->
+    ?tm:Deflection_telemetry.Telemetry.t ->
+    key:string ->
+    verify:(unit -> (report * classification, rejection) result) ->
+    unit ->
+    (report * classification, rejection) result * [ `Hit | `Miss ]
+  (** Single-flight lookup under an arbitrary key with an injectable
+      verify thunk (the cached entry points below are this applied to
+      {!Verifier.verify_classified}). A raised [verify] drops the claim
+      and wakes waiters, who convert to a fresh miss — a crashed
+      verification never wedges its key. *)
+
+  val set_epoch : t -> int -> unit
+  (** Pin the LRU access stamp: until the next call, every lookup and
+      preload records this value as its recency instead of the internal
+      monotone tick. A server sets the epoch to its round number so that
+      victim order under {!trim} depends only on {e which} rounds touched
+      an entry, not on the domain schedule within a round; ties break on
+      the key bytes. *)
+
+  val trim : t -> capacity:int -> int
+  (** Evict settled entries least-recently-used-first (ties on the access
+      stamp break lexicographically on the key) until at most [capacity]
+      remain; returns how many were evicted and counts them in
+      {!stats}. In-flight claims are never evicted. *)
+
+  val export : t -> (string * (report * classification, rejection) result) list
+  (** All settled (key, verdict) pairs, sorted by key — the snapshot a
+      persistence layer seals. In-flight claims are excluded. *)
+
+  val preload : t -> key:string -> (report * classification, rejection) result -> unit
+  (** Insert a verdict recovered from trusted storage. Never overwrites a
+      live entry and does not touch hit/miss counters — a reloaded
+      cache's stats measure only post-restart traffic. *)
 
   val verify_classified :
     t ->

@@ -25,4 +25,5 @@ let () =
       ("fuzz", Suite_fuzz.suite);
       ("gateway", Suite_gateway.suite);
       ("audit", Suite_audit.suite);
+      ("server", Suite_server.suite);
     ]
