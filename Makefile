@@ -1,6 +1,8 @@
 # Convenience targets around dune. `make check` is the full gate: build,
 # the complete test suite, a quick benchmark pass (including the profiler
-# section), a forensics smoke run that must die with the documented exit
+# section and the execution-tier section, whose differential gate asserts
+# byte-identical observables and the committed nBench golden output
+# digests under both tiers), a forensics smoke run that must die with the documented exit
 # code, a chaos smoke campaign that must stay fail-closed, a fixed-seed
 # differential fuzz campaign that must stay sound and complete, a gateway
 # smoke batch fanned out over two domains with the attested audit plane
@@ -36,7 +38,7 @@ benchdiff:
 check:
 	dune build
 	dune runtest
-	dune exec bench/main.exe -- --quick table2 profile
+	dune exec bench/main.exe -- --quick table2 profile tier
 	dune exec bin/json_check.exe -- --bench bench/results/latest.json
 	dune exec bin/json_check.exe -- bench/results/profile-numeric-sort.json
 	dune exec bin/deflectionc.exe -- run examples/minic/violate_store.mc \

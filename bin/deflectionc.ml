@@ -232,8 +232,21 @@ let run_cmd =
             "Export the telemetry counters and histograms in Prometheus text exposition \
              format, to stdout (no $(docv) or -) or to $(docv).")
   in
+  let tier =
+    Arg.(
+      value
+      & opt (enum [ ("trace", Interp.Trace); ("step", Interp.Step) ]) Interp.Trace
+      & info [ "tier" ] ~docv:"TIER"
+          ~doc:
+            "Execution tier: $(b,trace) (default) compiles verified straight-line blocks \
+             into fused closures and executes block-at-a-time; $(b,step) interprets one \
+             decoded instruction at a time. Both tiers are observably identical; the \
+             interpreter falls back to $(b,step) on its own whenever per-instruction \
+             observation is attached (--forensics, --profile, a watchdog fuel budget, or a \
+             chaos plan).")
+  in
   let action source input_files policies ssa_q trace metrics forensics profile prof_interval
-      prom =
+      prom tier =
     let inputs = List.map (fun f -> Bytes.of_string (read_file f)) input_files in
     let tm =
       match (trace, metrics) with
@@ -292,7 +305,8 @@ let run_cmd =
       | Some file -> write_json "profile" file (Profiler.to_json ?cycles profiler)
     in
     match
-      Deflection.Session.run ~policies ~ssa_q ~tm ~recorder ~profiler
+      Deflection.Session.run ~policies ~ssa_q
+        ~interp:{ Interp.default_config with Interp.tier } ~tm ~recorder ~profiler
         ~source:(read_file source) ~inputs ()
     with
     | Error e ->
@@ -355,7 +369,7 @@ let run_cmd =
          ])
     Term.(
       const action $ src $ inputs $ policies_arg $ ssa_q_arg $ trace $ metrics $ forensics
-      $ profile $ prof_interval $ prom)
+      $ profile $ prof_interval $ prom $ tier)
 
 let chaos_cmd =
   let seeds =

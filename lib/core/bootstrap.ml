@@ -101,6 +101,9 @@ type t = {
   mutable owner_session : Ratls.session option;
   mutable loaded : Loader.loaded option;
   mutable verified : bool;
+  mutable block_leaders : int list;
+      (** verified basic-block leader offsets from the accepting verdict;
+          handed to the interpreter's trace tier at run time *)
   mutable input_queue : bytes list;  (** plaintext chunks, FIFO *)
   mutable bits_sent : int;
   oram : Deflection_oram.Path_oram.t option;
@@ -130,6 +133,7 @@ let create ?(config = default_config) ?(tm = Telemetry.disabled) ~platform () =
     owner_session = None;
     loaded = None;
     verified = false;
+    block_leaders = [];
     input_queue = [];
     bits_sent = 0;
     oram =
@@ -204,12 +208,15 @@ let ecall_receive_binary t sealed =
             Telemetry.count t.tm "audit.records" 1);
           (match verdict with
           | Error r -> Error (Verifier_rejection r)
-          | Ok (report, _classification) ->
+          | Ok (report, classification) ->
             (match Loader.rewrite_imms ~tm:t.tm t.mem loaded ~policies:t.config.policies with
             | Error e -> Error (Rewrite_error e)
             | Ok rewritten ->
               t.loaded <- Some loaded;
               t.verified <- true;
+              (* may be empty for cache-recovered verdicts: the trace
+                 tier then falls back to discovering boundaries itself *)
+              t.block_leaders <- Verifier.classification_leaders classification;
               Ok (report, rewritten))))))
 
 let ecall_receive_userdata t sealed =
@@ -436,9 +443,12 @@ let run ?(recorder = Flight_recorder.disabled) ?(profiler = Profiler.disabled)
           | Some i -> { c with Interp.aex_interval = Some i }
           | None -> c
         in
-        match Chaos.fuel_override chaos with
-        | Some f -> { c with Interp.fuel = Some f }
-        | None -> c
+        let c =
+          match Chaos.fuel_override chaos with
+          | Some f -> { c with Interp.fuel = Some f }
+          | None -> c
+        in
+        if Chaos.forces_step_tier chaos then { c with Interp.tier = Interp.Step } else c
       in
       (* the OCall wrapper retries host-side service failures; only a
          failure outlasting the whole budget surfaces as Ocall_failed *)
@@ -456,6 +466,9 @@ let run ?(recorder = Flight_recorder.disabled) ?(profiler = Profiler.disabled)
       in
       Profiler.set_symbols profiler loaded.Loader.function_addrs;
       let itp = Interp.create ~config:interp_config ~tm:t.tm ~recorder ~profiler ~ocall t.mem in
+      (* verified block boundaries, rebased from text offsets to pcs *)
+      Interp.set_block_leaders itp
+        (List.map (fun off -> loaded.Loader.text_base + off) t.block_leaders);
       Interp.init_stack itp;
       (* R15 is the reserved shadow-stack pointer; target code cannot
          write it (the verifier rejects such instructions under P5) *)

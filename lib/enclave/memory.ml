@@ -31,6 +31,8 @@ let fault_to_string f = Format.asprintf "%a" pp_fault f
 
 type t = {
   layout : Layout.t;
+  base : int;  (* = layout.base, cached for the word fast paths *)
+  size : int;  (* = ELRANGE length in bytes *)
   mem : bytes;
   perms : perm array; (* one per page *)
   host : (int, int) Hashtbl.t;
@@ -41,12 +43,18 @@ type t = {
 
 let page_of t addr = (addr - t.layout.Layout.base) / Layout.page_size
 
+(* pages are 4 KiB, so a non-negative ELRANGE offset's page is a shift *)
+let page_shift = 12
+let () = assert (Layout.page_size = 1 lsl page_shift)
+
 let create (layout : Layout.t) =
   let npages = Layout.total_size layout / Layout.page_size in
   let perms = Array.make npages perm_rw in
   let t =
     {
       layout;
+      base = layout.Layout.base;
+      size = Layout.total_size layout;
       mem = Bytes.make (Layout.total_size layout) '\x00';
       perms;
       host = Hashtbl.create 64;
@@ -127,6 +135,41 @@ let write_u64 t addr v =
   for i = 0 to 7 do
     write_u8 t (addr + i) (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
   done
+
+(* Word-at-a-time fast paths for the trace-compiled interpreter tier.
+   Each takes the fast lane only when the byte-loop slow path above would
+   succeed with identical observable effects; every other case — faults,
+   host-memory leaks, and stores to executable pages (whose mutation must
+   bump the code generation byte-by-byte) — is left to the byte loop, so
+   fault addresses, leak logs and generation counts cannot drift. A u64
+   spans at most two pages, so checking the end bytes covers the span. *)
+
+let[@inline always] read_u64_fast t addr =
+  let off = addr - t.base in
+  if
+    off >= 0
+    && off + 8 <= t.size
+    &&
+    let p0 = Array.unsafe_get t.perms (off lsr page_shift)
+    and p1 = Array.unsafe_get t.perms ((off + 7) lsr page_shift) in
+    p0.r && p1.r
+  then Bytes.get_int64_le t.mem off
+  else read_u64 t addr
+
+let write_u64_fast t addr v =
+  let off = addr - t.base in
+  if
+    off >= 0
+    && off + 8 <= t.size
+    &&
+    let p0 = Array.unsafe_get t.perms (off lsr page_shift)
+    and p1 = Array.unsafe_get t.perms ((off + 7) lsr page_shift) in
+    p0.w && p1.w && (not p0.x) && not p1.x
+  then begin
+    Bytes.set_int64_le t.mem off v;
+    true
+  end
+  else false
 
 let check_exec t addr =
   if not (in_elrange t addr) then raise (Fault (Out_of_enclave_exec addr));

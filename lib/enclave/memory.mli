@@ -48,6 +48,18 @@ val read_u64 : t -> int -> int64
 val write_u8 : t -> int -> int -> unit
 val write_u64 : t -> int -> int64 -> unit
 
+val read_u64_fast : t -> int -> int64
+(** Observably identical to {!read_u64}; takes a word-at-a-time fast path
+    when every byte of the span is readable enclave memory, and falls back
+    to the byte loop (same faults, same host reads) otherwise. *)
+
+val write_u64_fast : t -> int -> int64 -> bool
+(** Attempt the word store on a fast path that is only taken when the
+    byte loop of {!write_u64} would succeed without side effects beyond
+    the store itself — in particular never on executable pages, so the
+    code generation cannot move. Returns [false] (and writes nothing)
+    when the caller must use {!write_u64} instead. *)
+
 val check_exec : t -> int -> unit
 (** Fault unless [addr] is executable enclave memory. *)
 

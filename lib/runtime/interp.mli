@@ -45,6 +45,21 @@ val exit_reason_to_string : exit_reason -> string
 (** What an OCall handler tells the engine to do next. *)
 type ocall_outcome = Continue | Halt of exit_reason
 
+(** Execution tier. [Step] fetches, decodes (through the generation-
+    stamped decode cache) and executes one instruction at a time. [Trace]
+    (the default) additionally compiles verified straight-line basic
+    blocks into fused OCaml closures — superinstructions for the hot
+    pairs — cached per code generation and executed block-at-a-time. The
+    trace tier preserves every observable of the single-stepper: exit
+    reasons and their reported offsets, virtual-cycle and instruction
+    counts (including the 3-wide-issue residue), per-class histograms,
+    AEX injection points, SSA contents and leak logs. {!run} silently
+    falls back to [Step] whenever per-instruction observation is needed:
+    a watchdog fuel budget, an attached flight recorder or profiler (and,
+    upstream, chaos plans and the fuzz monitor, which pin [Step]
+    explicitly). *)
+type tier = Step | Trace
+
 type config = {
   instr_limit : int;  (** hard safety budget (default 2_000_000_000) *)
   aex_interval : int option;
@@ -58,6 +73,7 @@ type config = {
           Exceeding it ends the run with {!Fuel_exhausted}. Unlike
           [instr_limit] this is a per-stage resilience knob, not a safety
           backstop. *)
+  tier : tier;  (** execution tier (default {!Trace}) *)
 }
 
 val default_config : config
@@ -139,6 +155,21 @@ val decode_cache_size : t -> int
     whenever {!Memory.code_generation} moves, so this is bounded by the
     number of distinct instruction addresses executed since the last code
     write — it does not grow across generation bumps. *)
+
+val set_block_leaders : t -> int list -> unit
+(** Absolute pcs of verified basic-block leaders (branch targets,
+    function entries, stubs — what the verifier discovered during its
+    recursive descent). The trace tier stops compiling a block at any
+    leader, so control-flow join points are shared between blocks instead
+    of being re-discovered as duplicated suffixes. Purely a compilation
+    hint: correctness never depends on it (an unknown join merely
+    compiles an overlapping block). Resets the block cache. *)
+
+val trace_cache_size : t -> int
+(** Number of live entries in the trace tier's compiled-block cache
+    (including negative entries for pcs that must single-step). Reset
+    whenever {!Memory.code_generation} moves, exactly like the decode
+    cache. *)
 
 val class_names : string array
 (** The instruction-class partition used by {!class_counts}, in index

@@ -52,6 +52,12 @@ let tracked =
       m_direction = Higher_better;
       m_tolerance_pct = 40.0;
     };
+    {
+      m_name = "tier.trace_instr_per_sec";
+      m_path = [ "sections"; "tier"; "trace_instr_per_sec" ];
+      m_direction = Higher_better;
+      m_tolerance_pct = 40.0;
+    };
   ]
 
 type verdict = Better | Worse | Neutral | Missing

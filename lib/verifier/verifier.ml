@@ -43,17 +43,26 @@ let ssa_slack = 8
 type classification = {
   machinery : (int, unit) Hashtbl.t;
   guarded_stores : (int, unit) Hashtbl.t;
+  leaders : (int, unit) Hashtbl.t;
+      (* basic-block leader offsets discovered during the descent: branch
+         targets, function entries, stubs, the AEX handler and _start.
+         A performance hint for the trace tier, not part of the verdict. *)
 }
 
 let is_machinery c off = Hashtbl.mem c.machinery off
 let is_guarded_store c off = Hashtbl.mem c.guarded_stores off
-let empty_classification () = { machinery = Hashtbl.create 1; guarded_stores = Hashtbl.create 1 }
+
+let empty_classification () =
+  { machinery = Hashtbl.create 1; guarded_stores = Hashtbl.create 1; leaders = Hashtbl.create 1 }
+
+let sorted_offsets h = Hashtbl.fold (fun k () acc -> k :: acc) h [] |> List.sort compare
 
 (* Flat views for persistence: a classification is fully determined by
-   its two offset sets, so (sorted offsets out, offsets in) round-trips. *)
-let classification_offsets c =
-  let sorted h = Hashtbl.fold (fun k () acc -> k :: acc) h [] |> List.sort compare in
-  (sorted c.machinery, sorted c.guarded_stores)
+   its two offset sets, so (sorted offsets out, offsets in) round-trips.
+   Leaders are deliberately not persisted — a recovered verdict merely
+   loses the block-boundary hint, never soundness. *)
+let classification_offsets c = (sorted_offsets c.machinery, sorted_offsets c.guarded_stores)
+let classification_leaders c = sorted_offsets c.leaders
 
 let classification_of_offsets ~machinery ~guarded_stores =
   let tbl xs =
@@ -61,7 +70,7 @@ let classification_of_offsets ~machinery ~guarded_stores =
     List.iter (fun o -> Hashtbl.replace h o ()) xs;
     h
   in
-  { machinery = tbl machinery; guarded_stores = tbl guarded_stores }
+  { machinery = tbl machinery; guarded_stores = tbl guarded_stores; leaders = Hashtbl.create 1 }
 
 type st = {
   text : bytes;
@@ -626,6 +635,13 @@ let verify_classified ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile
     Telemetry.count tm "verifier.annot.ssa" st.n_ssa;
     let machinery = Hashtbl.copy st.members in
     Hashtbl.iter (fun off () -> Hashtbl.remove machinery off) st.guarded;
+    (* export the verified basic-block boundaries: every offset the
+       descent proved to be a legitimate control-flow entry *)
+    let leaders = Hashtbl.copy st.starts in
+    Hashtbl.iter (fun off _ -> Hashtbl.replace leaders off ()) st.user_funs;
+    Hashtbl.iter (fun off _ -> Hashtbl.replace leaders off ()) st.stub_at;
+    Hashtbl.replace leaders st.aex_handler_off ();
+    Hashtbl.replace leaders st.start_off ();
     Ok
       ( {
           instructions_checked = st.n_instr;
@@ -636,7 +652,7 @@ let verify_classified ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile
           epilogues = st.n_epilogue;
           ssa_checks = st.n_ssa;
         },
-        { machinery; guarded_stores = st.guarded } )
+        { machinery; guarded_stores = st.guarded; leaders } )
   with Reject (offset, reason) ->
     Option.iter (emit_pass_ns tm) !st_cell;
     let r = { pass = !current_pass; offset; reason } in

@@ -20,14 +20,15 @@ let bench_manifest =
     (* long benchmarks must not exhaust the AEX budget on a benign platform *)
   }
 
-let run ?(policies = Policy.Set.p1_p6) ?(inputs = []) ?(aex_interval = Some 2_000_000) ?tm
-    ?recorder ?profiler source =
+let run ?(policies = Policy.Set.p1_p6) ?(inputs = []) ?(aex_interval = Some 2_000_000)
+    ?(tier = Interp.default_config.Interp.tier) ?tm ?recorder ?profiler source =
   let interp =
     {
       Interp.default_config with
       Interp.aex_interval;
       colocated_prob = 1.0;
       (* benign scheduler: the co-location test always passes *)
+      tier;
     }
   in
   match
