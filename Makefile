@@ -2,9 +2,12 @@
 # the complete test suite, a quick benchmark pass (including the profiler
 # section and the execution-tier section, whose differential gate asserts
 # byte-identical observables and the committed nBench golden output
-# digests under both tiers), a forensics smoke run that must die with the documented exit
+# digests under both tiers, and the witness section, which asserts the
+# witnessed replay agrees with recursive descent and rejects a doctored
+# witness), a forensics smoke run that must die with the documented exit
 # code, a chaos smoke campaign that must stay fail-closed, a fixed-seed
-# differential fuzz campaign that must stay sound and complete, a gateway
+# differential fuzz campaign (with adversarial witness mutations) that
+# must stay sound and complete, a gateway
 # smoke batch fanned out over two domains with the attested audit plane
 # on (the sealed log must verify and pass its schema check), a persistent
 # server smoke (cold serve with sealed-cache persistence, then a restart
@@ -38,7 +41,7 @@ benchdiff:
 check:
 	dune build
 	dune runtest
-	dune exec bench/main.exe -- --quick table2 profile tier
+	dune exec bench/main.exe -- --quick table2 profile tier witness
 	dune exec bin/json_check.exe -- --bench bench/results/latest.json
 	dune exec bin/json_check.exe -- bench/results/profile-numeric-sort.json
 	dune exec bin/deflectionc.exe -- run examples/minic/violate_store.mc \
@@ -46,8 +49,8 @@ check:
 	dune exec bin/json_check.exe -- bench/results/forensics-smoke.json
 	dune exec bin/deflectionc.exe -- chaos --seeds 50 -o bench/results/chaos.json
 	dune exec bin/json_check.exe -- --chaos bench/results/chaos.json
-	dune exec bin/deflectionc.exe -- fuzz --seeds 60 --mutants 60 --base-seed 1 \
-	  -o bench/results/fuzz.json
+	dune exec bin/deflectionc.exe -- fuzz --seeds 60 --mutants 60 \
+	  --witness-mutants 60 --base-seed 1 -o bench/results/fuzz.json
 	dune exec bin/json_check.exe -- --fuzz bench/results/fuzz.json
 	dune exec bin/deflectionc.exe -- gateway --sessions 6 --jobs 2 \
 	  --audit bench/results/audit.json -o bench/results/gateway.json

@@ -872,6 +872,84 @@ let fuzz () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Witnessed verification: cold-verify throughput of the proof-carrying
+   replay tier against the recursive descent over the same compiled
+   corpus. Before timing, the section asserts the two tiers agree
+   verdict-for-verdict and that a doctored witness rejects in the Witness
+   pass — a fast replay that lies would be worse than a slow descent.
+   [witness_instr_per_sec] is benchdiff-tracked
+   (verifier.witness_instr_per_sec). *)
+
+let witness () =
+  let module Verifier = Deflection_verifier.Verifier in
+  let module Gen = Deflection_fuzz.Gen in
+  let module Mutate = Deflection_fuzz.Mutate in
+  let n_prog = if !quick then 8 else 24 in
+  let reps = if !quick then 10 else 40 in
+  hr
+    (Printf.sprintf "Witnessed verification: descent vs replay (%d programs x %d reps)" n_prog
+       reps);
+  let corpus =
+    List.init n_prog (fun i ->
+        let g = Gen.generate ~seed:(Int64.of_int (i + 1)) in
+        Deflection_compiler.Frontend.compile_exn ~policies:Policy.Set.p1_p6 ~ssa_q:20
+          g.Gen.source)
+  in
+  (* verdict equality: the replay must reproduce the descent's report *)
+  List.iter
+    (fun obj ->
+      match
+        ( Verifier.verify_classified ~policies:Policy.Set.p1_p6 ~ssa_q:20 obj,
+          Verifier.verify_witnessed ~policies:Policy.Set.p1_p6 ~ssa_q:20 obj )
+      with
+      | Ok (rd, _), Ok (rw, _) when rd = rw -> ()
+      | _ -> failwith "witness bench: tiers disagree on a compiler-produced binary")
+    corpus;
+  (* adversarial sanity: a doctored witness must reject in the Witness pass *)
+  List.iter
+    (fun obj ->
+      let doctored = Mutate.apply_witness obj [ Mutate.Wflip_digest ] in
+      match Verifier.verify_witnessed ~policies:Policy.Set.p1_p6 ~ssa_q:20 doctored with
+      | Error { Verifier.pass = Verifier.Witness; _ } -> ()
+      | Ok _ | Error _ -> failwith "witness bench: doctored witness was not rejected")
+    corpus;
+  let time verify =
+    let t0 = Unix.gettimeofday () in
+    let instrs = ref 0 in
+    for _ = 1 to reps do
+      List.iter
+        (fun obj ->
+          match verify obj with
+          | Ok (r, _) -> instrs := !instrs + r.Verifier.instructions_checked
+          | Error _ -> failwith "witness bench: corpus program rejected")
+        corpus
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    (!instrs, dt, if dt > 0.0 then float_of_int !instrs /. dt else 0.0)
+  in
+  let di, dd, descent_ips =
+    time (fun o -> Verifier.verify_classified ~policies:Policy.Set.p1_p6 ~ssa_q:20 o)
+  in
+  let wi, wd, witness_ips =
+    time (fun o -> Verifier.verify_witnessed ~policies:Policy.Set.p1_p6 ~ssa_q:20 o)
+  in
+  let speedup = if descent_ips > 0.0 then witness_ips /. descent_ips else 0.0 in
+  printf "descent   %10.0f instr/s (%d instructions, %.3fs)\n" descent_ips di dd;
+  printf "witnessed %10.0f instr/s (%d instructions, %.3fs)\n" witness_ips wi wd;
+  printf "cold-verify speedup: %.2fx (witnessed replay over recursive descent)\n" speedup;
+  record "witness"
+    (Json.Obj
+       [
+         ("programs", Json.Int n_prog);
+         ("reps", Json.Int reps);
+         ("descent_instr_per_sec", Json.Float descent_ips);
+         ("witness_instr_per_sec", Json.Float witness_ips);
+         ("speedup_x", Json.Float speedup);
+         ("verdicts_equal", Json.Bool true);
+         ("doctored_witness_rejected", Json.Bool true);
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Gateway: verify-once/admit-many batch serving. Cold = every session
    compiles and verifies its own delivery, sequentially (the paper's
    one-enclave-per-client baseline). Warm = shared verdict cache,
@@ -1225,8 +1303,8 @@ let () =
       ("table1", table1); ("table2", table2); ("tier", tier); ("fig7", fig7); ("fig8", fig8);
       ("fig9", fig9);
       ("fig10", fig10); ("fig11", fig11); ("ablation", ablation); ("related", related);
-      ("profile", profile); ("chaos", chaos); ("fuzz", fuzz); ("gateway", gateway);
-      ("server", server); ("micro", micro);
+      ("profile", profile); ("chaos", chaos); ("fuzz", fuzz); ("witness", witness);
+      ("gateway", gateway); ("server", server); ("micro", micro);
     ]
   in
   let selected =

@@ -105,6 +105,30 @@ let policies_arg =
 let ssa_q_arg =
   Arg.(value & opt int 20 & info [ "ssa-q" ] ~docv:"Q" ~doc:"P6 marker inspection period.")
 
+let verify_mode_conv =
+  let parse s =
+    match Verifier.mode_of_label (String.lowercase_ascii s) with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown verification mode %S (descent, witnessed, witnessed-fallback)"
+             s))
+  in
+  let print fmt m = Format.pp_print_string fmt (Verifier.mode_label m) in
+  Arg.conv (parse, print)
+
+let verify_mode_arg =
+  Arg.(
+    value
+    & opt verify_mode_conv Verifier.Descent
+    & info [ "verify-mode" ] ~docv:"MODE"
+        ~doc:
+          "Verification mode: $(b,descent) (classic recursive-descent re-discovery), \
+           $(b,witnessed) (one linear replay of the compiler-emitted witness; refuses \
+           witnessless binaries), or $(b,witnessed-fallback) (witnessed, re-running the \
+           descent whenever the witness itself is at fault).")
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -139,17 +163,19 @@ let compile_cmd =
 
 let verify_cmd =
   let obj_file = Arg.(required & pos 0 (some file) None & info [] ~docv:"BINARY") in
-  let action path policies =
+  let action path policies mode =
     match Objfile.deserialize (Bytes.of_string (read_file path)) with
     | Error e ->
       Format.eprintf "%s: %s@." path e;
       exit 1
     | Ok obj ->
-      (match Verifier.verify ~policies ~ssa_q:obj.Objfile.ssa_q obj with
-      | Ok report ->
-        Format.printf "ACCEPTED: %a@." Verifier.pp_report report
+      (match Verifier.verify_mode ~mode ~policies ~ssa_q:obj.Objfile.ssa_q obj with
+      | Ok (report, _) ->
+        Format.printf "ACCEPTED (%s): %a@." (Verifier.mode_label mode) Verifier.pp_report
+          report
       | Error rej ->
-        Format.printf "REJECTED: %a@." Verifier.pp_rejection rej;
+        Format.printf "REJECTED (%s): %a@." (Verifier.mode_label mode) Verifier.pp_rejection
+          rej;
         let verdict =
           Report.explain_rejection ~text:obj.Objfile.text
             ~pass:(Verifier.pass_label rej.Verifier.pass) ~offset:rej.Verifier.offset
@@ -160,7 +186,7 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Run the in-enclave policy verifier on a target binary.")
-    Term.(const action $ obj_file $ policies_arg)
+    Term.(const action $ obj_file $ policies_arg $ verify_mode_arg)
 
 let disasm_cmd =
   let src = Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE") in
@@ -245,8 +271,8 @@ let run_cmd =
              observation is attached (--forensics, --profile, a watchdog fuel budget, or a \
              chaos plan).")
   in
-  let action source input_files policies ssa_q trace metrics forensics profile prof_interval
-      prom tier =
+  let action source input_files policies ssa_q verification trace metrics forensics
+      profile prof_interval prom tier =
     let inputs = List.map (fun f -> Bytes.of_string (read_file f)) input_files in
     let tm =
       match (trace, metrics) with
@@ -305,7 +331,7 @@ let run_cmd =
       | Some file -> write_json "profile" file (Profiler.to_json ?cycles profiler)
     in
     match
-      Deflection.Session.run ~policies ~ssa_q
+      Deflection.Session.run ~policies ~ssa_q ~verification
         ~interp:{ Interp.default_config with Interp.tier } ~tm ~recorder ~profiler
         ~source:(read_file source) ~inputs ()
     with
@@ -368,8 +394,8 @@ let run_cmd =
               1 otherwise.";
          ])
     Term.(
-      const action $ src $ inputs $ policies_arg $ ssa_q_arg $ trace $ metrics $ forensics
-      $ profile $ prof_interval $ prom $ tier)
+      const action $ src $ inputs $ policies_arg $ ssa_q_arg $ verify_mode_arg $ trace
+      $ metrics $ forensics $ profile $ prof_interval $ prom $ tier)
 
 let chaos_cmd =
   let seeds =
@@ -443,6 +469,16 @@ let fuzz_cmd =
       value & opt int 200
       & info [ "mutants" ] ~docv:"N" ~doc:"Number of adversarial binary-mutant cases.")
   in
+  let witness_mutants =
+    Arg.(
+      value & opt int 200
+      & info [ "witness-mutants" ] ~docv:"N"
+          ~doc:
+            "Number of doctored-witness cases: honest compiler output whose witness is then \
+             mutated (lying boundary maps, omitted or relabeled claims, shifted extents, \
+             stale text). Each must either reject in the Witness pass or accept with exactly \
+             the descent's report.")
+  in
   let base_seed =
     Arg.(
       value & opt int 1
@@ -467,7 +503,7 @@ let fuzz_cmd =
           ~doc:"Write the deflection-fuzz/1 campaign report to $(docv).")
   in
   let module Fuzz = Deflection_fuzz.Fuzz in
-  let action seeds mutants base_seed replay out =
+  let action seeds mutants witness_mutants base_seed replay out =
     match replay with
     | Some file -> (
       match Json.parse (read_file file) with
@@ -498,7 +534,8 @@ let fuzz_cmd =
             exit 2)))
     | None ->
       let report =
-        Fuzz.campaign ~base_seed:(Int64.of_int base_seed) ~programs:seeds ~mutants ()
+        Fuzz.campaign ~base_seed:(Int64.of_int base_seed) ~programs:seeds ~mutants
+          ~witness_mutants ()
       in
       (match out with
       | None -> ()
@@ -508,9 +545,11 @@ let fuzz_cmd =
         close_out oc;
         Format.eprintf "fuzz report written to %s@." file);
       Format.printf
-        "%d programs (%d clean), %d mutants (%d rejected, %d ran clean), %d failures@."
+        "%d programs (%d clean), %d mutants (%d rejected, %d ran clean), %d witness \
+         mutants (%d rejected, %d ran clean), %d failures@."
         report.Fuzz.programs report.Fuzz.programs_clean report.Fuzz.mutants
-        report.Fuzz.mutants_rejected report.Fuzz.mutants_clean
+        report.Fuzz.mutants_rejected report.Fuzz.mutants_clean report.Fuzz.witness_mutants
+        report.Fuzz.wmutants_rejected report.Fuzz.wmutants_clean
         (List.length report.Fuzz.failures);
       List.iter
         (fun (orig, shrunk) ->
@@ -524,10 +563,13 @@ let fuzz_cmd =
         Format.printf "SELF-TEST FAILED: known-bad mutant was not rejected@.";
       if not report.Fuzz.selftest_monitor_caught then
         Format.printf "SELF-TEST FAILED: runtime monitors missed a spliced raw store@.";
+      if not report.Fuzz.selftest_witness_caught then
+        Format.printf "SELF-TEST FAILED: the planted doctored witness was not rejected@.";
       if
         report.Fuzz.failures <> []
         || (not report.Fuzz.selftest_rejection_caught)
-        || not report.Fuzz.selftest_monitor_caught
+        || (not report.Fuzz.selftest_monitor_caught)
+        || not report.Fuzz.selftest_witness_caught
       then exit 2
   in
   Cmd.v
@@ -545,7 +587,7 @@ let fuzz_cmd =
              "0 when every case upheld its oracle and both harness self-tests caught their \
               planted defects, 2 on any oracle failure or missed self-test, 1 otherwise.";
          ])
-    Term.(const action $ seeds $ mutants $ base_seed $ replay $ out)
+    Term.(const action $ seeds $ mutants $ witness_mutants $ base_seed $ replay $ out)
 
 (* ------------------------------------------------------------------ *)
 (* gateway: verify-once/admit-many batch serving demo. The batch cycles
@@ -668,7 +710,7 @@ let gateway_cmd =
              is written to $(docv). Check it with `deflectionc audit verify $(docv) --seed \
              S`.")
   in
-  let action sessions jobs seed cold out trace prom audit policies ssa_q =
+  let action sessions jobs seed cold out trace prom audit policies ssa_q verification =
     if sessions < 1 then begin
       Format.eprintf "gateway: --sessions must be >= 1@.";
       exit 1
@@ -694,7 +736,7 @@ let gateway_cmd =
     in
     let t0 = Unix.gettimeofday () in
     let batch =
-      Gateway.run_batch ~jobs ~policies ~ssa_q ?cache ?audit:audit_log ~tm:btm
+      Gateway.run_batch ~jobs ~policies ~ssa_q ~verification ?cache ?audit:audit_log ~tm:btm
         (gateway_jobs ~sessions ~seed)
     in
     let dt = Unix.gettimeofday () -. t0 in
@@ -706,6 +748,7 @@ let gateway_cmd =
           ("seed", Json.Int seed);
           ("policies", Json.Str (Policy.Set.label policies));
           ("ssa_q", Json.Int ssa_q);
+          ("verification", Json.Str (Verifier.mode_label verification));
           ("warm", Json.Bool (not cold));
           ("distinct_binaries", Json.Int batch.Gateway.distinct_binaries);
           ( "cache",
@@ -808,7 +851,7 @@ let gateway_cmd =
          ])
     Term.(
       const action $ sessions $ jobs $ seed $ cold $ out $ trace $ prom $ audit
-      $ policies_arg $ ssa_q_arg)
+      $ policies_arg $ ssa_q_arg $ verify_mode_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve: the persistent multi-tenant gateway server. One process serves
@@ -938,7 +981,7 @@ let serve_cmd =
   in
   let action offered rounds tenants queue batch jobs seed state persist_every audit out
       kill_after chaos_seed expect_warm max_shed_pct campaign camp_seeds camp_base policies
-      ssa_q =
+      ssa_q verification =
     if campaign then begin
       let state_root = Option.value ~default:(Filename.concat (Filename.get_temp_dir_name ()) "deflection-server-chaos") state in
       let report =
@@ -982,6 +1025,7 @@ let serve_cmd =
           Server.default_config with
           Server.policies;
           ssa_q;
+          verification;
           tenants = tenant_cfgs;
           queue_capacity = queue;
           batch_size = batch;
@@ -1106,7 +1150,7 @@ let serve_cmd =
     Term.(
       const action $ offered $ rounds $ tenants $ queue $ batch $ jobs $ seed $ state
       $ persist_every $ audit $ out $ kill_after $ chaos $ expect_warm $ max_shed_pct
-      $ campaign $ camp_seeds $ camp_base $ policies_arg $ ssa_q_arg)
+      $ campaign $ camp_seeds $ camp_base $ policies_arg $ ssa_q_arg $ verify_mode_arg)
 
 (* ------------------------------------------------------------------ *)
 (* benchdiff: compare a bench run against a baseline (file or history

@@ -76,6 +76,29 @@ let check_bench path json =
         | Json.Obj _ | Json.List _ -> ()
         | _ -> die "%s: section %S is not an object or array" path name)
       sections;
+    (* the witnessed-verification section carries correctness booleans
+       next to its throughput numbers: a fast replay that disagrees with
+       the descent (or admits a doctored witness) must fail the gate *)
+    (match List.assoc_opt "witness" sections with
+    | None -> ()
+    | Some body ->
+      let num name =
+        match Json.member name body with
+        | Some (Json.Float f) -> f
+        | Some (Json.Int n) -> float_of_int n
+        | _ -> die "%s: witness section: missing numeric %S field" path name
+      in
+      if num "witness_instr_per_sec" <= 0.0 then
+        die "%s: witness section: non-positive witness_instr_per_sec" path;
+      if num "descent_instr_per_sec" <= 0.0 then
+        die "%s: witness section: non-positive descent_instr_per_sec" path;
+      ignore (num "speedup_x");
+      (match Json.member "verdicts_equal" body with
+      | Some (Json.Bool true) -> ()
+      | _ -> die "%s: witness section: tiers disagreed (verdicts_equal is not true)" path);
+      (match Json.member "doctored_witness_rejected" body with
+      | Some (Json.Bool true) -> ()
+      | _ -> die "%s: witness section: a doctored witness was not rejected" path));
     Printf.printf "%s: ok (%d sections: %s)\n" path (List.length sections)
       (String.concat ", " (List.map fst sections))
   | _ -> die "%s: missing \"sections\" object" path
@@ -156,6 +179,20 @@ let check_fuzz path json =
   (match Json.member "selftest_monitor_caught" json with
   | Some (Json.Bool true) -> ()
   | _ -> die "%s: the planted raw store was not flagged — the runtime monitor is blind" path);
+  (* witness-mutant accounting, present when the campaign also doctored
+     witnesses (deflectionc fuzz --witness-mutants N) *)
+  (match Json.member "witness_mutants" json with
+  | Some (Json.Int wm) when wm > 0 ->
+    let wr = int_field path json "wmutants_rejected" in
+    let wc = int_field path json "wmutants_clean" in
+    if wr + wc <> wm then
+      die "%s: wmutants_rejected (%d) + wmutants_clean (%d) != witness_mutants (%d)" path wr
+        wc wm;
+    (match Json.member "selftest_witness_caught" json with
+    | Some (Json.Bool true) -> ()
+    | _ -> die "%s: the planted doctored witness was not rejected — the witness oracle is blind" path)
+  | Some (Json.Int _) | None -> ()
+  | Some _ -> die "%s: \"witness_mutants\" is not an integer" path);
   (match Json.member "failures" json with
   | Some (Json.List l) ->
     if List.length l <> failure_count then

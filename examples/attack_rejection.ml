@@ -63,6 +63,7 @@ let build ~instrument ~policies =
     entry = Annot.start_symbol;
     claimed_policies = [];
     ssa_q = 20;
+    witness = None;
   }
 
 let deliver ~policies obj =

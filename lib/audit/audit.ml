@@ -24,6 +24,7 @@ type record = {
   seq : int;
   measurement : string;
   policies : string;
+  mode : string;  (* Verifier.mode_label of the admitting verification mode *)
   ssa_q : int;
   verdict : verdict;
   cache : cache_outcome;
@@ -45,6 +46,7 @@ let canonical r =
   f (string_of_int r.seq);
   f r.measurement;
   f r.policies;
+  f r.mode;
   f (string_of_int r.ssa_q);
   (match r.verdict with
   | Accepted rep ->
@@ -144,13 +146,14 @@ module Log = struct
       segments_rev = [];
     }
 
-  let append t ~measurement ~policies ~ssa_q ~verdict ~cache ~lane =
+  let append t ~measurement ~policies ~mode ~ssa_q ~verdict ~cache ~lane =
     Mutex.lock t.mutex;
     let r =
       {
         seq = t.count;
         measurement = Hex.encode measurement;
         policies = Policy.Set.label policies;
+        mode = Verifier.mode_label mode;
         ssa_q;
         verdict;
         cache;
@@ -225,6 +228,7 @@ module Log = struct
         ("seq", Json.Int r.seq);
         ("measurement", Json.Str r.measurement);
         ("policies", Json.Str r.policies);
+        ("mode", Json.Str r.mode);
         ("ssa_q", Json.Int r.ssa_q);
         ("verdict", verdict_json r.verdict);
         ("cache", Json.Str (cache_outcome_label r.cache));
@@ -345,6 +349,7 @@ let pass_of_label = function
   | "symbols" -> Verifier.Symbols
   | "scan" -> Verifier.Scan
   | "cfg" -> Verifier.Cfg
+  | "witness" -> Verifier.Witness
   | other -> raise (Bad (Printf.sprintf "unknown verifier pass %S" other))
 
 let record_of_json j =
@@ -380,10 +385,16 @@ let record_of_json j =
     | Some c -> c
     | None -> raise (Bad "unknown cache outcome")
   in
+  let mode =
+    match str_field "mode" j with
+    | s when Verifier.mode_of_label s <> None -> s
+    | other -> raise (Bad (Printf.sprintf "unknown verification mode %S" other))
+  in
   {
     seq = int_field "seq" j;
     measurement = str_field "measurement" j;
     policies = str_field "policies" j;
+    mode;
     ssa_q = int_field "ssa_q" j;
     verdict;
     cache;

@@ -53,6 +53,10 @@ type record = {
       (** lowercase-hex SHA-256 of the serialized objfile — the exact
           bytes the code provider sealed *)
   policies : string;  (** {!Policy.Set.label} of the enforced set *)
+  mode : string;
+      (** {!Verifier.mode_label} of the verification mode that rendered
+          the verdict — an auditor can tell a descent admission from a
+          witness-checked one *)
   ssa_q : int;
   verdict : verdict;
   cache : cache_outcome;
@@ -99,6 +103,7 @@ module Log : sig
     t ->
     measurement:bytes ->
     policies:Policy.Set.t ->
+    mode:Verifier.mode ->
     ssa_q:int ->
     verdict:verdict ->
     cache:cache_outcome ->

@@ -25,7 +25,14 @@ let compile ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?(optimize = true)
       Telemetry.span tm "instrument" (fun () ->
           Instrument.run opts ~fun_symbols:gen.Codegen.fun_symbols ~entry:gen.Codegen.entry items)
     in
-    Ok (Telemetry.span tm "compile.link" (fun () -> Link.link gen ~instrumented ~policies ~ssa_q))
+    let obj =
+      Telemetry.span tm "compile.link" (fun () -> Link.link gen ~instrumented ~policies ~ssa_q)
+    in
+    (* emit the compliance witness next to the binary: the untrusted half
+       of proof-carrying admission (the enclave validates, never trusts) *)
+    Ok
+      (Telemetry.span tm "compile.witness" (fun () ->
+           Deflection_verifier.Verifier.Witness.attach obj))
   with Ast.Error (pos, message) -> Error { line = pos.Ast.line; col = pos.Ast.col; message }
 
 let compile_exn ?policies ?ssa_q ?optimize src =

@@ -30,4 +30,5 @@ let link (gen : Codegen.output) ~instrumented ~policies ~ssa_q =
     entry = Deflection_annot.Annot.start_symbol;
     claimed_policies = List.map Policy.name (Policy.Set.to_list policies);
     ssa_q;
+    witness = None (* attached by Frontend once the object is final *);
   }

@@ -25,6 +25,10 @@ type config = {
   manifest : Manifest.t;
   interp : Interp.config;
   policies : Policy.Set.t;
+  verification : Verifier.mode;
+      (* how ecall_receive_binary verifies deliveries: classic recursive
+         descent, the witness-checked linear pass, or witnessed with a
+         descent fallback on witness-pass rejections *)
   seed : int64;
   oram_capacity : int option;
       (* when set, the manifest's oram_read/oram_write OCalls are backed
@@ -45,6 +49,7 @@ let default_config =
     manifest = Manifest.default;
     interp = Interp.default_config;
     policies = Policy.Set.p1_p6;
+    verification = Verifier.Descent;
     seed = 1L;
     oram_capacity = None;
     verifier_cache = None;
@@ -55,6 +60,11 @@ let consumer_code (config : config) =
   let b = Buffer.create 256 in
   Buffer.add_string b "DEFLECTION consumer v1 (loader+verifier+imm-rewriter+ocall-wrappers);";
   Buffer.add_string b (Printf.sprintf "policies=%s;" (Policy.Set.label config.policies));
+  (* the verification mode is part of the measured consumer identity: a
+     remote party attesting the enclave knows which admission discipline
+     will judge its binary *)
+  Buffer.add_string b
+    (Printf.sprintf "verification=%s;" (Verifier.mode_label config.verification));
   Buffer.add_string b (Printf.sprintf "ssa_q=%d;aex_threshold=%d;" config.manifest.Manifest.ssa_q
        config.manifest.Manifest.aex_threshold);
   List.iter
@@ -181,13 +191,13 @@ let ecall_receive_binary t sealed =
             | Some cache ->
               let v, o =
                 Verifier.Cache.verify_classified_outcome cache ~tm:t.tm
-                  ~policies:t.config.policies ~ssa_q:obj.Objfile.ssa_q ~serialized:plaintext
-                  obj
+                  ~mode:t.config.verification ~policies:t.config.policies
+                  ~ssa_q:obj.Objfile.ssa_q ~serialized:plaintext obj
               in
               (v, match o with `Hit -> Audit.Hit | `Miss -> Audit.Miss)
             | None ->
-              ( Verifier.verify_classified ~tm:t.tm ~policies:t.config.policies
-                  ~ssa_q:obj.Objfile.ssa_q obj,
+              ( Verifier.verify_mode ~tm:t.tm ~mode:t.config.verification
+                  ~policies:t.config.policies ~ssa_q:obj.Objfile.ssa_q obj,
                 Audit.Uncached )
           in
           (* the admission decision is now rendered: evidence it before
@@ -203,8 +213,9 @@ let ecall_receive_binary t sealed =
             ignore
               (Audit.Log.append sink.Audit.log
                  ~measurement:(Sha256.digest plaintext)
-                 ~policies:t.config.policies ~ssa_q:obj.Objfile.ssa_q ~verdict:av
-                 ~cache:cache_outcome ~lane:sink.Audit.lane);
+                 ~policies:t.config.policies ~mode:t.config.verification
+                 ~ssa_q:obj.Objfile.ssa_q ~verdict:av ~cache:cache_outcome
+                 ~lane:sink.Audit.lane);
             Telemetry.count t.tm "audit.records" 1);
           (match verdict with
           | Error r -> Error (Verifier_rejection r)

@@ -102,14 +102,15 @@ let staged resilience ~stage body =
     | None -> Error (Stage_timeout { stage; detail = last }))
 
 let run_protocol ~policies ~ssa_q ?optimize ?layout ?manifest ?interp ~seed ?oram_capacity
-    ?verifier_cache ?precompiled ?audit ~chaos ~resilience ~tm ~recorder ~profiler ~source
-    ~inputs () =
+    ?verifier_cache ?precompiled ?audit ~verification ~chaos ~resilience ~tm ~recorder
+    ~profiler ~source ~inputs () =
   let config =
     {
       Bootstrap.layout = (match layout with Some l -> l | None -> Bootstrap.default_config.Bootstrap.layout);
       manifest = (match manifest with Some m -> m | None -> Manifest.default);
       interp = (match interp with Some i -> i | None -> Interp.default_config);
       policies;
+      verification;
       seed;
       oram_capacity;
       verifier_cache;
@@ -273,7 +274,8 @@ let run_protocol ~policies ~ssa_q ?optimize ?layout ?manifest ?interp ~seed ?ora
     }
 
 let run ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?optimize ?layout ?manifest ?interp
-    ?(seed = 1L) ?oram_capacity ?verifier_cache ?precompiled ?audit ?(chaos = Chaos.disabled)
+    ?(seed = 1L) ?oram_capacity ?verifier_cache ?precompiled ?audit
+    ?(verification = Verifier.Descent) ?(chaos = Chaos.disabled)
     ?resilience_config ?tm ?(recorder = Flight_recorder.disabled)
     ?(profiler = Profiler.disabled) ~source ~inputs () =
   let tm = match tm with Some tm -> tm | None -> Telemetry.create () in
@@ -286,8 +288,8 @@ let run ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?optimize ?layout ?manifest
   let result =
     Telemetry.span tm "session" (fun () ->
         run_protocol ~policies ~ssa_q ?optimize ?layout ?manifest ?interp ~seed ?oram_capacity
-          ?verifier_cache ?precompiled ?audit ~chaos ~resilience ~tm ~recorder ~profiler
-          ~source ~inputs ())
+          ?verifier_cache ?precompiled ?audit ~verification ~chaos ~resilience ~tm
+          ~recorder ~profiler ~source ~inputs ())
   in
   match result with
   | Error _ as e -> e

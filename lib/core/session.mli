@@ -90,6 +90,7 @@ val run :
   ?verifier_cache:Verifier.Cache.t ->
   ?precompiled:Deflection_isa.Objfile.t ->
   ?audit:Deflection_audit.Audit.sink ->
+  ?verification:Verifier.mode ->
   ?chaos:Chaos.t ->
   ?resilience_config:Resilience.config ->
   ?tm:Telemetry.t ->
@@ -115,6 +116,11 @@ val run :
     [audit] (default none) hands the bootstrap enclave an audit-log sink:
     the admission decision the delivery ECall renders appends one
     hash-chained record under the sink's worker lane.
+    [verification] (default [Verifier.Descent]) selects how the enclave
+    verifies the delivered binary — classic recursive descent, the
+    witness-checked linear pass, or witnessed with a descent fallback on
+    witness-pass rejections; it is folded into the measured consumer
+    identity, the verdict-cache key and every audit record.
 
     [chaos] (default {!Chaos.disabled}) threads a fault-injection engine
     through every stage: sealed records pass {!Chaos.transport}, quotes

@@ -16,6 +16,7 @@ type case =
   | Program of { seed : int64 }
   | Program_src of { source : string; inputs : bytes list }
   | Mutant of { prog_seed : int64; mutations : Mutate.kind list }
+  | Witness_mutant of { prog_seed : int64; wmutations : Mutate.wkind list }
 
 type failure_kind = False_positive | Divergence | Soundness | Harness_error
 
@@ -53,6 +54,83 @@ let default_config =
 let describe_outputs outs =
   String.concat ", " (List.map (fun o -> "\"" ^ String.escaped o ^ "\"") outs)
 
+let rejection_str r = Format.asprintf "%a" Verifier.pp_rejection r
+
+(* Witness differential on {e compiler output} (honest witness): the
+   pure witnessed tier must reproduce the descent verdict exactly —
+   same report and classification on acceptance, same (pass, offset,
+   reason) triple on rejection. *)
+let witness_differential cfg ~case obj : (unit, failure) result =
+  let fail kind detail = Error { case; kind; detail } in
+  let d =
+    Verifier.verify_classified ~policies:cfg.policies ~ssa_q:obj.Objfile.ssa_q obj
+  in
+  let w =
+    Verifier.verify_witnessed ~policies:cfg.policies ~ssa_q:obj.Objfile.ssa_q obj
+  in
+  match (d, w) with
+  | Ok (rd, cd), Ok (rw, cw) ->
+    if rd <> rw then
+      fail Divergence "witnessed tier report differs from descent report"
+    else if
+      Verifier.classification_offsets cd <> Verifier.classification_offsets cw
+      || Verifier.classification_leaders cd <> Verifier.classification_leaders cw
+    then fail Divergence "witnessed tier classification differs from descent"
+    else Ok ()
+  | Error a, Error b ->
+    if a = b then Ok ()
+    else
+      fail Divergence
+        (Printf.sprintf "witnessed rejection [%s] vs descent rejection [%s]"
+           (rejection_str b) (rejection_str a))
+  | Ok _, Error r ->
+    fail Divergence ("witnessed tier rejected what the descent accepts: " ^ rejection_str r)
+  | Error r, Ok _ ->
+    fail Soundness ("witnessed tier accepted what the descent rejects: " ^ rejection_str r)
+
+(* Pure-witnessed soundness on an {e arbitrary} binary: a witnessed
+   rejection is always allowed (the unclaimed-offset sweep is strictly
+   sounder than the descent on unreachable code), but an acceptance must
+   coincide with a descent acceptance of the same report. *)
+let witness_soundness cfg ~case obj : (unit, failure) result =
+  let fail kind detail = Error { case; kind; detail } in
+  match
+    Verifier.verify_witnessed ~policies:cfg.policies ~ssa_q:obj.Objfile.ssa_q obj
+  with
+  | Error _ -> Ok ()
+  | Ok (rw, _) -> (
+    match
+      Verifier.verify_classified ~policies:cfg.policies ~ssa_q:obj.Objfile.ssa_q obj
+    with
+    | Ok (rd, _) when rd = rw -> Ok ()
+    | Ok _ ->
+      fail Divergence "witnessed tier accepted with a report differing from the descent"
+    | Error r ->
+      fail Soundness
+        ("witnessed tier accepted what the descent rejects: " ^ rejection_str r))
+
+(* Honest-witness fallback invariant: rebuilding the witness from the
+   (possibly mutated) bytes and verifying under [Witnessed_fallback]
+   must give the descent verdict, triple for triple. *)
+let fallback_differential cfg ~case obj : (unit, failure) result =
+  let fail kind detail = Error { case; kind; detail } in
+  let objw = Verifier.Witness.attach obj in
+  let d =
+    Verifier.verify_classified ~policies:cfg.policies ~ssa_q:objw.Objfile.ssa_q objw
+  in
+  let f =
+    Verifier.verify_mode ~mode:Verifier.Witnessed_fallback ~policies:cfg.policies
+      ~ssa_q:objw.Objfile.ssa_q objw
+  in
+  match (d, f) with
+  | Ok (rd, _), Ok (rf, _) when rd = rf -> Ok ()
+  | Error a, Error b when a = b -> Ok ()
+  | Error _, Ok _ ->
+    fail Soundness "witnessed-fallback accepted a mutant the descent rejects"
+  | _ ->
+    fail Divergence
+      "witnessed-fallback verdict differs from descent on an honest-witness rebuild"
+
 (* completeness + differential oracle over an explicit program *)
 let oracle_program cfg ~case ~prog ~source ~inputs : (clean, failure) result =
   let fail kind detail = Error { case; kind; detail } in
@@ -61,6 +139,9 @@ let oracle_program cfg ~case ~prog ~source ~inputs : (clean, failure) result =
     fail Harness_error
       (Format.asprintf "generated program does not compile: %a" Frontend.pp_error e)
   | Ok obj -> (
+    match witness_differential cfg ~case obj with
+    | Error f -> Error f
+    | Ok () -> (
     match Eval.run ~inputs ~step_limit:cfg.eval_step_limit prog with
     | Error e ->
       fail Harness_error
@@ -95,7 +176,7 @@ let oracle_program cfg ~case ~prog ~source ~inputs : (clean, failure) result =
               (Printf.sprintf "outputs [%s] (enclave) vs [%s] (reference)"
                  (describe_outputs exec.Monitor.outputs)
                  (describe_outputs expected.Eval.outputs))
-          | Some _ -> Ok Accepted_ran))))
+          | Some _ -> Ok Accepted_ran)))))
 
 (* soundness oracle over a mutant of a compiled base program *)
 let oracle_mutant cfg ~case ~prog_seed ~mutations : (clean, failure) result =
@@ -107,6 +188,16 @@ let oracle_mutant cfg ~case ~prog_seed ~mutations : (clean, failure) result =
       (Format.asprintf "mutant base program does not compile: %a" Frontend.pp_error e)
   | Ok base -> (
     let obj = Mutate.apply base mutations in
+    (* witness-tier invariants on the mutant: an honest rebuilt witness
+       makes the fallback tier agree with the descent triple for triple,
+       and the pure witnessed tier never out-accepts the descent *)
+    let objw = Verifier.Witness.attach obj in
+    match fallback_differential cfg ~case objw with
+    | Error f -> Error f
+    | Ok () -> (
+    match witness_soundness cfg ~case objw with
+    | Error f -> Error f
+    | Ok () -> (
     match
       Monitor.run ~inputs:g.Gen.inputs ~instr_limit:cfg.instr_limit
         ~policies:cfg.policies ~ssa_q:obj.Objfile.ssa_q obj
@@ -118,7 +209,37 @@ let oracle_mutant cfg ~case ~prog_seed ~mutations : (clean, failure) result =
         fail Soundness
           (Format.asprintf "accepted mutant violated policy at runtime: %a"
              Monitor.pp_violation v)
-      | [] -> Ok Accepted_ran))
+      | [] -> Ok Accepted_ran))))
+
+(* soundness oracle over a doctored witness attached to a compliant base
+   program: the witnessed tier must reject the lie, or — when the
+   mutation degenerated to a no-op — agree with the descent exactly *)
+let oracle_witness_mutant cfg ~case ~prog_seed ~wmutations : (clean, failure) result =
+  let fail kind detail = Error { case; kind; detail } in
+  let g = Gen.generate ~seed:prog_seed in
+  match Frontend.compile ~policies:cfg.policies ~ssa_q:cfg.ssa_q g.Gen.source with
+  | Error e ->
+    fail Harness_error
+      (Format.asprintf "witness-mutant base program does not compile: %a"
+         Frontend.pp_error e)
+  | Ok base -> (
+    let obj = Mutate.apply_witness base wmutations in
+    match
+      Verifier.verify_witnessed ~policies:cfg.policies ~ssa_q:obj.Objfile.ssa_q obj
+    with
+    | Error _ -> Ok Rejected_static
+    | Ok (rw, _) -> (
+      match
+        Verifier.verify_classified ~policies:cfg.policies ~ssa_q:obj.Objfile.ssa_q obj
+      with
+      | Ok (rd, _) when rd = rw -> Ok Accepted_ran
+      | Ok _ ->
+        fail Divergence
+          "witnessed tier accepted a doctored witness with a report differing from the descent"
+      | Error r ->
+        fail Soundness
+          ("witnessed tier accepted a doctored witness on a binary the descent rejects: "
+          ^ rejection_str r)))
 
 let run_case ?(config = default_config) case : (clean, failure) result =
   try
@@ -131,6 +252,8 @@ let run_case ?(config = default_config) case : (clean, failure) result =
       let prog = Parser.parse source in
       oracle_program config ~case ~prog ~source ~inputs
     | Mutant { prog_seed; mutations } -> oracle_mutant config ~case ~prog_seed ~mutations
+    | Witness_mutant { prog_seed; wmutations } ->
+      oracle_witness_mutant config ~case ~prog_seed ~wmutations
   with exn ->
     Error
       {
@@ -274,6 +397,30 @@ let shrink_mutant cfg ~kind ~prog_seed mutations detail0 =
   let ms', detail' = go mutations detail0 in
   { case = Mutant { prog_seed; mutations = ms' }; kind; detail = detail' }
 
+let shrink_witness_mutant cfg ~kind ~prog_seed wmutations detail0 =
+  let budget = ref cfg.shrink_budget in
+  let fails ms =
+    if !budget <= 0 then None
+    else begin
+      decr budget;
+      match run_case ~config:cfg (Witness_mutant { prog_seed; wmutations = ms }) with
+      | Error f when f.kind = kind -> Some f.detail
+      | Ok _ | Error _ -> None
+    end
+  in
+  let rec go ms detail =
+    let n = List.length ms in
+    let rec first i =
+      if i >= n then (ms, detail)
+      else
+        let cand = List.filteri (fun j _ -> j <> i) ms in
+        match fails cand with Some d -> go cand d | None -> first (i + 1)
+    in
+    if n = 0 || !budget <= 0 then (ms, detail) else first 0
+  in
+  let ms', detail' = go wmutations detail0 in
+  { case = Witness_mutant { prog_seed; wmutations = ms' }; kind; detail = detail' }
+
 let shrink ?(config = default_config) (f : failure) : failure =
   try
     match f.case with
@@ -285,6 +432,8 @@ let shrink ?(config = default_config) (f : failure) : failure =
       shrink_program config ~kind:f.kind ~inputs prog f.detail
     | Mutant { prog_seed; mutations } ->
       shrink_mutant config ~kind:f.kind ~prog_seed mutations f.detail
+    | Witness_mutant { prog_seed; wmutations } ->
+      shrink_witness_mutant config ~kind:f.kind ~prog_seed wmutations f.detail
   with _ -> f
 
 (* ------------------------------------------------------------------ *)
@@ -345,6 +494,20 @@ let selftest_monitor cfg =
           List.exists (fun v -> v.Monitor.policy = "P3") exec.Monitor.violations
         | Monitor.Rejected _ | Monitor.Load_refused _ -> false)))
 
+(* A known-lying witness must be rejected by the Witness pass: flipping
+   one digest bit stales the proof without touching the code. *)
+let selftest_witness cfg =
+  let source = "int g[2]; int main() { g[0] = 7; return 0; }" in
+  match Frontend.compile ~policies:Policy.Set.p1_p6 ~ssa_q:cfg.ssa_q source with
+  | Error _ -> false
+  | Ok base -> (
+    let obj = Mutate.apply_witness base [ Mutate.Wflip_digest ] in
+    match
+      Verifier.verify_witnessed ~policies:Policy.Set.p1_p6 ~ssa_q:obj.Objfile.ssa_q obj
+    with
+    | Error { Verifier.pass = Verifier.Witness; _ } -> true
+    | Error _ | Ok _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* Campaign *)
 
@@ -352,12 +515,16 @@ type report = {
   base_seed : int64;
   programs : int;
   mutants : int;
+  witness_mutants : int;
   programs_clean : int;
   mutants_rejected : int;
   mutants_clean : int;
+  wmutants_rejected : int;
+  wmutants_clean : int;
   verified_instructions : int;
   selftest_rejection_caught : bool;
   selftest_monitor_caught : bool;
+  selftest_witness_caught : bool;
   failures : (failure * failure) list;
 }
 
@@ -370,12 +537,23 @@ let mutant_case cfg ~base_seed ~programs i =
   let n = 1 + Prng.int rng cfg.mutations_per_case in
   Mutant { prog_seed; mutations = List.init n (fun _ -> Mutate.gen rng) }
 
-let campaign ?(config = default_config) ?(on_case = fun _ -> ()) ~base_seed ~programs
-    ~mutants () =
+let witness_mutant_case ~base_seed ~programs i =
+  let rng = Prng.create (Prng.derive base_seed ~label:(Printf.sprintf "fuzz.wmut.%d" i)) in
+  let prog_seed =
+    Prng.derive base_seed
+      ~label:(Printf.sprintf "fuzz.prog.%d" (if programs > 0 then i mod programs else i))
+  in
+  let n = 1 + Prng.int rng 2 in
+  Witness_mutant { prog_seed; wmutations = List.init n (fun _ -> Mutate.gen_witness rng) }
+
+let campaign ?(config = default_config) ?(on_case = fun _ -> ()) ?(witness_mutants = 0)
+    ~base_seed ~programs ~mutants () =
   let failures = ref [] in
   let programs_clean = ref 0 in
   let mutants_rejected = ref 0 in
   let mutants_clean = ref 0 in
+  let wmutants_rejected = ref 0 in
+  let wmutants_clean = ref 0 in
   let verified_instructions = ref 0 in
   let run i case =
     on_case i;
@@ -383,8 +561,12 @@ let campaign ?(config = default_config) ?(on_case = fun _ -> ()) ~base_seed ~pro
     | Ok Accepted_ran -> (
       match case with
       | Program _ | Program_src _ -> incr programs_clean
-      | Mutant _ -> incr mutants_clean)
-    | Ok Rejected_static -> incr mutants_rejected
+      | Mutant _ -> incr mutants_clean
+      | Witness_mutant _ -> incr wmutants_clean)
+    | Ok Rejected_static -> (
+      match case with
+      | Witness_mutant _ -> incr wmutants_rejected
+      | Program _ | Program_src _ | Mutant _ -> incr mutants_rejected)
     | Error f -> failures := f :: !failures
   in
   for i = 0 to programs - 1 do
@@ -393,6 +575,9 @@ let campaign ?(config = default_config) ?(on_case = fun _ -> ()) ~base_seed ~pro
   done;
   for i = 0 to mutants - 1 do
     run (programs + i) (mutant_case config ~base_seed ~programs i)
+  done;
+  for i = 0 to witness_mutants - 1 do
+    run (programs + mutants + i) (witness_mutant_case ~base_seed ~programs i)
   done;
   (* verifier throughput input: count instructions over the program corpus *)
   for i = 0 to min (programs - 1) 31 do
@@ -412,12 +597,16 @@ let campaign ?(config = default_config) ?(on_case = fun _ -> ()) ~base_seed ~pro
     base_seed;
     programs;
     mutants;
+    witness_mutants;
     programs_clean = !programs_clean;
     mutants_rejected = !mutants_rejected;
     mutants_clean = !mutants_clean;
+    wmutants_rejected = !wmutants_rejected;
+    wmutants_clean = !wmutants_clean;
     verified_instructions = !verified_instructions;
     selftest_rejection_caught = selftest_rejection config ~base_seed;
     selftest_monitor_caught = selftest_monitor config;
+    selftest_witness_caught = selftest_witness config;
     failures = shrunk;
   }
 
@@ -456,6 +645,13 @@ let case_to_json = function
         ("prog_seed", Json.Str (Int64.to_string prog_seed));
         ("mutations", Json.List (List.map Mutate.kind_to_json mutations));
       ]
+  | Witness_mutant { prog_seed; wmutations } ->
+    Json.Obj
+      [
+        ("type", Json.Str "witness_mutant");
+        ("prog_seed", Json.Str (Int64.to_string prog_seed));
+        ("mutations", Json.List (List.map Mutate.wkind_to_json wmutations));
+      ]
 
 let case_of_json j =
   let str k = match Json.member k j with Some (Json.Str s) -> Some s | _ -> None in
@@ -486,6 +682,17 @@ let case_of_json j =
       Result.bind (conv [] l) (fun mutations -> Ok (Mutant { prog_seed; mutations }))
     | None, _ -> Error "mutant case without prog_seed"
     | _, _ -> Error "mutant case without mutations")
+  | Some "witness_mutant" -> (
+    match (Option.bind (str "prog_seed") Int64.of_string_opt, Json.member "mutations" j) with
+    | Some prog_seed, Some (Json.List l) ->
+      let rec conv acc = function
+        | [] -> Ok (List.rev acc)
+        | m :: rest -> Result.bind (Mutate.wkind_of_json m) (fun k -> conv (k :: acc) rest)
+      in
+      Result.bind (conv [] l) (fun wmutations ->
+          Ok (Witness_mutant { prog_seed; wmutations }))
+    | None, _ -> Error "witness_mutant case without prog_seed"
+    | _, _ -> Error "witness_mutant case without mutations")
   | Some other -> Error ("unknown case type " ^ other)
   | None -> Error "case without type"
 
@@ -504,12 +711,16 @@ let report_to_json r =
       ("base_seed", Json.Str (Int64.to_string r.base_seed));
       ("programs", Json.Int r.programs);
       ("mutants", Json.Int r.mutants);
+      ("witness_mutants", Json.Int r.witness_mutants);
       ("programs_clean", Json.Int r.programs_clean);
       ("mutants_rejected", Json.Int r.mutants_rejected);
       ("mutants_clean", Json.Int r.mutants_clean);
+      ("wmutants_rejected", Json.Int r.wmutants_rejected);
+      ("wmutants_clean", Json.Int r.wmutants_clean);
       ("verified_instructions", Json.Int r.verified_instructions);
       ("selftest_rejection_caught", Json.Bool r.selftest_rejection_caught);
       ("selftest_monitor_caught", Json.Bool r.selftest_monitor_caught);
+      ("selftest_witness_caught", Json.Bool r.selftest_witness_caught);
       ("failure_count", Json.Int (List.length r.failures));
       ( "failures",
         Json.List

@@ -14,6 +14,23 @@
       violations — abnormal exits (aborts, faults, denials) are
       fail-closed and count as clean.
 
+    The witnessed verification tier adds two more, threaded through the
+    same cases:
+
+    - {b witness differential}: on every compiler output (which carries
+      an honest witness) the pure witnessed tier must reproduce the
+      descent verdict exactly — report, classification, and on rejection
+      the (pass, offset, reason) triple; on every binary mutant, an
+      honest {e rebuilt} witness must make [Witnessed_fallback] agree
+      with the descent triple for triple, and a pure-witnessed
+      acceptance must coincide with a descent acceptance (a witnessed
+      rejection of a descent-accepted mutant is allowed: the
+      unclaimed-offset sweep is strictly sounder on unreachable code);
+    - {b witness soundness}: every {!case.Witness_mutant} — a doctored
+      witness over a compliant base — must be rejected by the witnessed
+      tier, or (when the mutation degenerated to a no-op) produce
+      exactly the descent verdict.
+
     Every case is a pure function of its serialized form
     ([deflection-fuzz/1]): a [Program] case of the seed, a [Mutant] case
     of the base-program seed plus its mutation list, an explicit
@@ -35,6 +52,9 @@ type case =
       (** explicit (typically shrunk) program case *)
   | Mutant of { prog_seed : int64; mutations : Mutate.kind list }
       (** mutated binary: soundness oracle *)
+  | Witness_mutant of { prog_seed : int64; wmutations : Mutate.wkind list }
+      (** doctored witness over a compliant base: witness-soundness
+          oracle *)
 
 type failure_kind = False_positive | Divergence | Soundness | Harness_error
 
@@ -70,9 +90,13 @@ type report = {
   base_seed : int64;
   programs : int;
   mutants : int;
+  witness_mutants : int;
   programs_clean : int;
   mutants_rejected : int;  (** verifier or loader refused *)
   mutants_clean : int;  (** accepted, ran with zero violations *)
+  wmutants_rejected : int;  (** witnessed tier refused the doctored witness *)
+  wmutants_clean : int;
+      (** mutation was a no-op; verdict matched the descent exactly *)
   verified_instructions : int;
       (** sum of verifier-report instruction counts over the campaign *)
   selftest_rejection_caught : bool;
@@ -80,21 +104,26 @@ type report = {
   selftest_monitor_caught : bool;
       (** a spliced raw store past an unsound (empty) verification policy
           was flagged by the runtime monitors *)
+  selftest_witness_caught : bool;
+      (** a known-lying witness (flipped text digest) was rejected by the
+          [Witness] pass *)
   failures : (failure * failure) list;  (** (original, shrunk) pairs *)
 }
 
 val campaign :
   ?config:config ->
   ?on_case:(int -> unit) ->
+  ?witness_mutants:int ->
   base_seed:int64 ->
   programs:int ->
   mutants:int ->
   unit ->
   report
-(** Fixed-seed campaign: [programs] generated-program cases and
-    [mutants] mutant cases, all derived from [base_seed], plus the two
-    harness self-tests. Every failure is shrunk before reporting.
-    [on_case] is called with a running case index (progress display). *)
+(** Fixed-seed campaign: [programs] generated-program cases, [mutants]
+    mutant cases and [witness_mutants] (default 0) doctored-witness
+    cases, all derived from [base_seed], plus the three harness
+    self-tests. Every failure is shrunk before reporting. [on_case] is
+    called with a running case index (progress display). *)
 
 val case_to_json : case -> Json.t
 val case_of_json : Json.t -> (case, string) result

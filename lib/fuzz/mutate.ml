@@ -223,6 +223,200 @@ let apply_one (obj : Objfile.t) kind : Objfile.t =
 let apply obj kinds = List.fold_left apply_one obj kinds
 
 (* ------------------------------------------------------------------ *)
+(* Witness mutations: doctor the untrusted proof, not the code (except
+   [Wstale_text], which doctors the code out from under the proof). *)
+
+type wkind =
+  | Wflip_digest
+  | Wshift_boundary of { idx : int }
+  | Wdrop_boundary of { idx : int }
+  | Womit_site of { idx : int }
+  | Wshift_extent of { idx : int }
+  | Wrelabel_site of { idx : int }
+  | Wlie_branch of { idx : int; delta : int }
+  | Wmid_leader of { idx : int }
+  | Wstale_text of { pos : int; bit : int }
+
+let wlabel = function
+  | Wflip_digest -> "wflip_digest"
+  | Wshift_boundary _ -> "wshift_boundary"
+  | Wdrop_boundary _ -> "wdrop_boundary"
+  | Womit_site _ -> "womit_site"
+  | Wshift_extent _ -> "wshift_extent"
+  | Wrelabel_site _ -> "wrelabel_site"
+  | Wlie_branch _ -> "wlie_branch"
+  | Wmid_leader _ -> "wmid_leader"
+  | Wstale_text _ -> "wstale_text"
+
+let gen_witness rng =
+  match Prng.int rng 9 with
+  | 0 -> Wflip_digest
+  | 1 -> Wshift_boundary { idx = Prng.int rng 1_000_000 }
+  | 2 -> Wdrop_boundary { idx = Prng.int rng 1_000_000 }
+  | 3 -> Womit_site { idx = Prng.int rng 1_000_000 }
+  | 4 -> Wshift_extent { idx = Prng.int rng 1_000_000 }
+  | 5 -> Wrelabel_site { idx = Prng.int rng 1_000_000 }
+  | 6 ->
+    let delta = 1 + Prng.int rng 16 in
+    Wlie_branch { idx = Prng.int rng 1_000_000; delta = (if Prng.bool rng then -delta else delta) }
+  | 7 -> Wmid_leader { idx = Prng.int rng 1_000_000 }
+  | _ -> Wstale_text { pos = Prng.int rng 1_000_000; bit = Prng.int rng 8 }
+
+(* Only these four claim kinds are fair game for omission and
+   relabeling: their underlying machinery (a guarded store, an indirect
+   branch, a shadow-stack write, a function entry) rejects on its own
+   when its claim is missing or wrong. Lying about an ssa or rsp claim
+   can be {e benign} — the replay treats the site as plain code and the
+   plain gates pass — so a mutation there would not be a guaranteed
+   rejection, and compositions (relabel-then-omit) must stay inside the
+   catchable class too. *)
+let machinery_kind = function
+  | Objfile.Wstore | Objfile.Wcfi | Objfile.Wprologue | Objfile.Wepilogue -> true
+  | Objfile.Wrsp | Objfile.Wssa -> false
+
+(* the kind a relabeled site claims instead: always one whose replay
+   matcher actively re-validates the claim (store/cfi), so the mutually
+   exclusive Figure-5 template heads guarantee a mismatch rejection —
+   relabeling to a kind the replay merely ignores (e.g. rsp) would let
+   benign machinery slip through as plain code *)
+let next_kind = function
+  | Objfile.Wstore -> Objfile.Wcfi
+  | Objfile.Wcfi | Objfile.Wepilogue | Objfile.Wprologue | Objfile.Wssa | Objfile.Wrsp ->
+    Objfile.Wstore
+
+let nth_list_mod l idx =
+  let n = List.length l in
+  if n = 0 then None else Some (idx mod n)
+
+let apply_witness_one (obj : Objfile.t) wkind : Objfile.t =
+  match obj.Objfile.witness with
+  | None -> obj
+  | Some w -> (
+    let with_w w' = { obj with Objfile.witness = Some w' } in
+    let tlen = Bytes.length obj.Objfile.text in
+    match wkind with
+    | Wflip_digest ->
+      let d = Bytes.of_string w.Objfile.w_text_digest in
+      if Bytes.length d = 0 then obj
+      else begin
+        Bytes.set d 0 (Char.chr (Char.code (Bytes.get d 0) lxor 1));
+        with_w { w with Objfile.w_text_digest = Bytes.to_string d }
+      end
+    | Wshift_boundary { idx } ->
+      let n = Array.length w.Objfile.w_boundaries in
+      if n = 0 then obj
+      else begin
+        let i = idx mod n in
+        let bs = Array.copy w.Objfile.w_boundaries in
+        let off, len = bs.(i) in
+        bs.(i) <- (off, len + 1);
+        with_w { w with Objfile.w_boundaries = bs }
+      end
+    | Wdrop_boundary { idx } ->
+      let n = Array.length w.Objfile.w_boundaries in
+      if n = 0 then obj
+      else
+        let i = idx mod n in
+        with_w
+          {
+            w with
+            Objfile.w_boundaries =
+              Array.of_list
+                (List.filteri
+                   (fun j _ -> j <> i)
+                   (Array.to_list w.Objfile.w_boundaries));
+          }
+    | Womit_site { idx } -> (
+      let cands =
+        List.mapi (fun j s -> (j, s)) w.Objfile.w_sites
+        |> List.filter (fun (_, s) -> machinery_kind s.Objfile.w_kind)
+      in
+      match nth_list_mod cands idx with
+      | None -> obj
+      | Some k ->
+        let victim, _ = List.nth cands k in
+        with_w
+          { w with Objfile.w_sites = List.filteri (fun j _ -> j <> victim) w.Objfile.w_sites })
+    | Wshift_extent { idx } -> (
+      let cands =
+        List.mapi (fun j s -> (j, s)) w.Objfile.w_sites
+        |> List.filter (fun (_, s) -> s.Objfile.w_kind <> Objfile.Wrsp)
+      in
+      match nth_list_mod cands idx with
+      | None -> obj
+      | Some k ->
+        let victim, s = List.nth cands k in
+        let w_end =
+          if s.Objfile.w_end + 1 <= tlen then s.Objfile.w_end + 1
+          else if s.Objfile.w_end - 1 > s.Objfile.w_off then s.Objfile.w_end - 1
+          else s.Objfile.w_end
+        in
+        if w_end = s.Objfile.w_end then obj
+        else
+          with_w
+            {
+              w with
+              Objfile.w_sites =
+                List.mapi
+                  (fun j s0 -> if j = victim then { s0 with Objfile.w_end } else s0)
+                  w.Objfile.w_sites;
+            })
+    | Wrelabel_site { idx } -> (
+      let cands =
+        List.mapi (fun j s -> (j, s)) w.Objfile.w_sites
+        |> List.filter (fun (_, s) -> machinery_kind s.Objfile.w_kind)
+      in
+      match nth_list_mod cands idx with
+      | None -> obj
+      | Some k ->
+        let victim, _ = List.nth cands k in
+        with_w
+          {
+            w with
+            Objfile.w_sites =
+              List.mapi
+                (fun j s ->
+                  if j = victim then { s with Objfile.w_kind = next_kind s.Objfile.w_kind }
+                  else s)
+                w.Objfile.w_sites;
+          })
+    | Wlie_branch { idx; delta } -> (
+      let delta = if delta = 0 then 1 else delta in
+      match nth_list_mod w.Objfile.w_branches idx with
+      | None -> obj
+      | Some i ->
+        with_w
+          {
+            w with
+            Objfile.w_branches =
+              List.mapi
+                (fun j (site, target) -> if j = i then (site, target + delta) else (site, target))
+                w.Objfile.w_branches;
+          })
+    | Wmid_leader { idx } -> (
+      (* a leader one byte into a multi-byte instruction: structurally
+         in-range, but on no claimed boundary *)
+      let cands =
+        Array.to_list w.Objfile.w_boundaries |> List.filter (fun (_, len) -> len >= 2)
+      in
+      match nth_list_mod cands idx with
+      | None -> obj
+      | Some i ->
+        let off, _ = List.nth cands i in
+        with_w { w with Objfile.w_leaders = w.Objfile.w_leaders @ [ off + 1 ] })
+    | Wstale_text { pos; bit } ->
+      if tlen = 0 then obj
+      else begin
+        let text = Bytes.copy obj.Objfile.text in
+        let pos = pos mod tlen in
+        Bytes.set text pos (Char.chr (Char.code (Bytes.get text pos) lxor (1 lsl bit)));
+        (* keep the witness exactly as it was: the proof is now stale *)
+        { obj with Objfile.text }
+      end)
+
+let apply_witness obj wkinds = List.fold_left apply_witness_one obj wkinds
+
+(* ------------------------------------------------------------------ *)
 
 let kind_to_json k =
   let f fields = Json.Obj (("kind", Json.Str (label k)) :: fields) in
@@ -277,3 +471,39 @@ let kind_of_json j =
     Result.bind (req "idx" (int "idx")) (fun idx -> Ok (Drop_symbol { idx }))
   | Some "lie_ssa_q" -> Result.bind (req "q" (int "q")) (fun q -> Ok (Lie_ssa_q { q }))
   | Some other -> Error ("unknown mutation kind " ^ other)
+
+let wkind_to_json k =
+  let f fields = Json.Obj (("kind", Json.Str (wlabel k)) :: fields) in
+  match k with
+  | Wflip_digest -> f []
+  | Wshift_boundary { idx } -> f [ ("idx", Json.Int idx) ]
+  | Wdrop_boundary { idx } -> f [ ("idx", Json.Int idx) ]
+  | Womit_site { idx } -> f [ ("idx", Json.Int idx) ]
+  | Wshift_extent { idx } -> f [ ("idx", Json.Int idx) ]
+  | Wrelabel_site { idx } -> f [ ("idx", Json.Int idx) ]
+  | Wlie_branch { idx; delta } -> f [ ("idx", Json.Int idx); ("delta", Json.Int delta) ]
+  | Wmid_leader { idx } -> f [ ("idx", Json.Int idx) ]
+  | Wstale_text { pos; bit } -> f [ ("pos", Json.Int pos); ("bit", Json.Int bit) ]
+
+let wkind_of_json j =
+  let str k = match Json.member k j with Some (Json.Str s) -> Some s | _ -> None in
+  let int k = match Json.member k j with Some (Json.Int i) -> Some i | _ -> None in
+  let req name = function Some v -> Ok v | None -> Error ("mutation missing " ^ name) in
+  let idx_only mk = Result.bind (req "idx" (int "idx")) (fun idx -> Ok (mk idx)) in
+  match str "kind" with
+  | None -> Error "witness mutation without kind"
+  | Some "wflip_digest" -> Ok Wflip_digest
+  | Some "wshift_boundary" -> idx_only (fun idx -> Wshift_boundary { idx })
+  | Some "wdrop_boundary" -> idx_only (fun idx -> Wdrop_boundary { idx })
+  | Some "womit_site" -> idx_only (fun idx -> Womit_site { idx })
+  | Some "wshift_extent" -> idx_only (fun idx -> Wshift_extent { idx })
+  | Some "wrelabel_site" -> idx_only (fun idx -> Wrelabel_site { idx })
+  | Some "wlie_branch" ->
+    Result.bind (req "idx" (int "idx")) (fun idx ->
+        Result.bind (req "delta" (int "delta")) (fun delta ->
+            Ok (Wlie_branch { idx; delta })))
+  | Some "wmid_leader" -> idx_only (fun idx -> Wmid_leader { idx })
+  | Some "wstale_text" ->
+    Result.bind (req "pos" (int "pos")) (fun pos ->
+        Result.bind (req "bit" (int "bit")) (fun bit -> Ok (Wstale_text { pos; bit })))
+  | Some other -> Error ("unknown witness mutation kind " ^ other)

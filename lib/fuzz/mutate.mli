@@ -52,3 +52,46 @@ val apply : Objfile.t -> kind list -> Objfile.t
 
 val kind_to_json : kind -> Json.t
 val kind_of_json : Json.t -> (kind, string) result
+
+(** {2 Witness mutations}
+
+    Mutations over the {e untrusted proof} attached to a binary rather
+    than the binary itself: a lying witness must be rejected by
+    {!Deflection_verifier.Verifier.verify_witnessed} or — when the lie
+    happens to be a no-op — produce exactly the descent verdict. The
+    same modulo-candidate replay discipline as {!kind} applies, resolved
+    against the witness attached to the base binary; a binary with no
+    witness is left untouched. *)
+
+type wkind =
+  | Wflip_digest  (** flip one bit of the claimed text digest *)
+  | Wshift_boundary of { idx : int }
+      (** grow the [idx]-th claimed instruction length by one byte *)
+  | Wdrop_boundary of { idx : int }
+      (** omit the [idx]-th instruction boundary (leaves a decodable gap) *)
+  | Womit_site of { idx : int }
+      (** omit the [idx]-th store/cfi/prologue/epilogue annotation claim
+          — lying by omission *)
+  | Wshift_extent of { idx : int }
+      (** shift the [idx]-th (non-rsp) claimed group end by one byte *)
+  | Wrelabel_site of { idx : int }
+      (** claim the [idx]-th site as a different template kind *)
+  | Wlie_branch of { idx : int; delta : int }
+      (** misstate the [idx]-th claimed branch target by [delta] bytes *)
+  | Wmid_leader of { idx : int }
+      (** add a block leader one byte inside the [idx]-th multi-byte
+          instruction — in range, but on no claimed boundary *)
+  | Wstale_text of { pos : int; bit : int }
+      (** flip a text bit but keep the old witness — a stale proof *)
+
+val wlabel : wkind -> string
+val gen_witness : Deflection_util.Prng.t -> wkind
+
+val apply_witness : Objfile.t -> wkind list -> Objfile.t
+(** Apply in order to a copy of the base binary's witness (the base is
+    not mutated; [Wstale_text] mutates the text copy instead).
+    Deterministic; no-op on a witness-less binary or when a mutation's
+    candidate class is empty. *)
+
+val wkind_to_json : wkind -> Json.t
+val wkind_of_json : Json.t -> (wkind, string) result

@@ -93,8 +93,8 @@ let observe_session_latencies lat (snap : Telemetry.snapshot) =
     snap.Telemetry.histograms
 
 let run_batch ?(jobs = 1) ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?layout ?cache
-    ?interp ?resilience_config ?audit ?(tm = Telemetry.disabled) (job_list : job list) :
-    batch =
+    ?interp ?resilience_config ?audit ?(verification = Verifier.Descent)
+    ?(tm = Telemetry.disabled) (job_list : job list) : batch =
   if jobs < 1 then invalid_arg "Gateway.run_batch: jobs must be >= 1";
   let js = Array.of_list job_list in
   let n = Array.length js in
@@ -154,8 +154,8 @@ let run_batch ?(jobs = 1) ?(policies = Policy.Set.p1_p6) ?(ssa_q = 20) ?layout ?
           | pre ->
             let precompiled = match pre with Some (Ok obj) -> Some obj | _ -> None in
             Session.run ~policies ~ssa_q ?layout ?interp ?resilience_config
-              ?verifier_cache:cache ?precompiled ?audit:audit_sink ~seed:j.seed ~tm:stm
-              ~source:j.source ~inputs:j.inputs ()
+              ?verifier_cache:cache ?precompiled ?audit:audit_sink ~verification
+              ~seed:j.seed ~tm:stm ~source:j.source ~inputs:j.inputs ()
         in
         (* fold this session's counters in whether it succeeded or not:
            failed sessions still did attestation/verification work *)

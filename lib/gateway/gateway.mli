@@ -94,6 +94,7 @@ val run_batch :
   ?interp:Session.Interp.config ->
   ?resilience_config:Session.Resilience.config ->
   ?audit:Audit.Log.t ->
+  ?verification:Verifier.mode ->
   ?tm:Telemetry.t ->
   job list ->
   batch
@@ -120,6 +121,11 @@ val run_batch :
     calling domain). Appends are serialised by the log itself; the
     record {e set} minus seq/lane is schedule-independent, matching the
     batch's determinism contract.
+
+    [verification] (default [Verifier.Descent]) selects each session's
+    verification mode (descent, witnessed, witnessed with fallback) —
+    part of every enclave's measured identity and of the verdict-cache
+    key, so batches under different modes never share cache entries.
 
     [tm] (default {!Telemetry.disabled}) is the batch-level registry: the
     dispatch runs under a [gateway.batch] root span on it, and when it is

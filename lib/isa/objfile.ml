@@ -2,6 +2,18 @@ type section = Text | Data
 
 type symbol = { name : string; section : section; offset : int; is_function : bool }
 
+type site_kind = Wstore | Wrsp | Wcfi | Wprologue | Wepilogue | Wssa
+
+type site = { w_kind : site_kind; w_off : int; w_end : int }
+
+type witness = {
+  w_boundaries : (int * int) array;
+  w_leaders : int list;
+  w_branches : (int * int) list;
+  w_sites : site list;
+  w_text_digest : string;
+}
+
 type t = {
   text : bytes;
   data : bytes;
@@ -12,13 +24,122 @@ type t = {
   entry : string;
   claimed_policies : string list;
   ssa_q : int;
+  witness : witness option;
 }
 
 let find_symbol t name = List.find_opt (fun s -> s.name = name) t.symbols
 
-let magic = "DFLOBJ01"
+(* 02: 01 plus the optional trailing witness section *)
+let magic = "DFLOBJ02"
 
 module B = Deflection_util.Bytebuf
+
+let site_kind_code = function
+  | Wstore -> 0
+  | Wrsp -> 1
+  | Wcfi -> 2
+  | Wprologue -> 3
+  | Wepilogue -> 4
+  | Wssa -> 5
+
+let site_kind_label = function
+  | Wstore -> "store"
+  | Wrsp -> "rsp"
+  | Wcfi -> "cfi"
+  | Wprologue -> "prologue"
+  | Wepilogue -> "epilogue"
+  | Wssa -> "ssa"
+
+let serialize_witness buf (w : witness) =
+  B.string buf w.w_text_digest;
+  B.u32 buf (Array.length w.w_boundaries);
+  Array.iter
+    (fun (off, len) ->
+      B.u32 buf off;
+      B.u32 buf len)
+    w.w_boundaries;
+  B.u32 buf (List.length w.w_leaders);
+  List.iter (fun off -> B.u32 buf off) w.w_leaders;
+  B.u32 buf (List.length w.w_branches);
+  List.iter
+    (fun (site, target) ->
+      B.u32 buf site;
+      (* targets are signed: a (corrupt but encodable) relative branch can
+         point below offset 0, and the witness must record exactly what the
+         bytes say so the checker's cross-decode comparison is meaningful *)
+      B.u64 buf (Int64.of_int target))
+    w.w_branches;
+  B.u32 buf (List.length w.w_sites);
+  List.iter
+    (fun s ->
+      B.u8 buf (site_kind_code s.w_kind);
+      B.u32 buf s.w_off;
+      B.u32 buf s.w_end)
+    w.w_sites
+
+(* Witness-section parser. Every offset, length and extent is validated
+   against the already-parsed text length before the record is built:
+   untrusted input can claim nothing outside [0, tlen), lengths are
+   positive, boundaries are strictly increasing and non-overlapping, and
+   sums are checked so no length field can wrap the arithmetic. Any
+   violation is a structured [Error], never an exception. *)
+let deserialize_witness r ~tlen =
+  let fail fmt = Printf.ksprintf (fun m -> failwith ("witness: " ^ m)) fmt in
+  let w_text_digest = B.Reader.string r in
+  if String.length w_text_digest <> 32 then fail "text digest must be 32 bytes";
+  let count what cap =
+    let n = B.Reader.u32 r in
+    if n > cap then fail "%s table too large" what;
+    n
+  in
+  let nbound = count "boundary" 16_000_000 in
+  let prev_end = ref 0 in
+  let w_boundaries =
+    Array.init nbound (fun i ->
+        let off = B.Reader.u32 r in
+        let len = B.Reader.u32 r in
+        if len < 1 then fail "boundary %d has non-positive length" i;
+        if off < !prev_end then fail "boundary %d overlaps or reorders at %#x" i off;
+        if off > tlen || len > tlen - off then
+          fail "boundary %d extends outside the text section" i;
+        prev_end := off + len;
+        (off, len))
+  in
+  let nlead = count "leader" 16_000_000 in
+  let w_leaders =
+    List.init nlead (fun i ->
+        let off = B.Reader.u32 r in
+        if off >= tlen then fail "leader %d outside the text section" i;
+        off)
+  in
+  let nbr = count "branch" 16_000_000 in
+  let w_branches =
+    List.init nbr (fun i ->
+        let site = B.Reader.u32 r in
+        if site >= tlen then fail "branch site %d outside the text section" i;
+        let target = Int64.to_int (B.Reader.u64 r) in
+        (site, target))
+  in
+  let nsites = count "site" 16_000_000 in
+  let w_sites =
+    List.init nsites (fun i ->
+        let w_kind =
+          match B.Reader.u8 r with
+          | 0 -> Wstore
+          | 1 -> Wrsp
+          | 2 -> Wcfi
+          | 3 -> Wprologue
+          | 4 -> Wepilogue
+          | 5 -> Wssa
+          | k -> fail "site %d has unknown kind %d" i k
+        in
+        let w_off = B.Reader.u32 r in
+        let w_end = B.Reader.u32 r in
+        if w_off >= tlen then fail "site %d outside the text section" i;
+        if w_end <= w_off || w_end > tlen then fail "site %d has a bad extent" i;
+        { w_kind; w_off; w_end })
+  in
+  { w_boundaries; w_leaders; w_branches; w_sites; w_text_digest }
 
 let serialize t =
   let buf = B.create ~capacity:4096 () in
@@ -48,6 +169,11 @@ let serialize t =
   B.u32 buf (List.length t.claimed_policies);
   List.iter (fun s -> B.string buf s) t.claimed_policies;
   B.u32 buf t.ssa_q;
+  (match t.witness with
+  | None -> B.u8 buf 0
+  | Some w ->
+    B.u8 buf 1;
+    serialize_witness buf w);
   B.contents buf
 
 let deserialize bytes =
@@ -89,6 +215,10 @@ let deserialize bytes =
             else begin
               let claimed_policies = List.init npol (fun _ -> B.Reader.string r) in
               let ssa_q = B.Reader.u32 r in
+              let witness =
+                if B.Reader.u8 r = 0 then None
+                else Some (deserialize_witness r ~tlen:(Bytes.length text))
+              in
               Ok
                 {
                   text;
@@ -100,6 +230,7 @@ let deserialize bytes =
                   entry;
                   claimed_policies;
                   ssa_q;
+                  witness;
                 }
             end
           end
@@ -109,3 +240,4 @@ let deserialize bytes =
   with
   | B.Reader.Truncated -> Error "truncated object file"
   | Invalid_argument m -> Error ("malformed object file: " ^ m)
+  | Failure m -> Error ("malformed object file: " ^ m)

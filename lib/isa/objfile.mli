@@ -15,6 +15,41 @@ type symbol = {
   is_function : bool;
 }
 
+(** {1 Compliance witness}
+
+    An untrusted, checkable index of the instrumented text, emitted by the
+    code generator next to the binary so the in-enclave verifier can run a
+    single linear validation pass instead of recursive-descent re-discovery
+    (ROADMAP item 3). Nothing in it is trusted: every claim is re-derived
+    from the bytes by [Verifier.verify_witnessed], and a lying witness is
+    rejected. *)
+
+type site_kind = Wstore | Wrsp | Wcfi | Wprologue | Wepilogue | Wssa
+
+type site = {
+  w_kind : site_kind;
+  w_off : int;  (** text offset the annotation group starts at *)
+  w_end : int;  (** first offset past the group (extent end, exclusive) *)
+}
+
+type witness = {
+  w_boundaries : (int * int) array;
+      (** instruction-boundary map: (offset, length) pairs, strictly
+          increasing and non-overlapping; gaps must contain no decodable
+          instruction *)
+  w_leaders : int list;  (** claimed basic-block leader offsets *)
+  w_branches : (int * int) list;
+      (** (site, target) of every direct jmp/jcc/call outside claimed
+          annotation groups; targets are signed (a corrupt branch can
+          encode a target below 0, and the witness records what the bytes
+          say) *)
+  w_sites : site list;  (** per-policy annotation-site table, by offset *)
+  w_text_digest : string;  (** SHA-256 of the text the witness describes *)
+}
+
+val site_kind_label : site_kind -> string
+(** ["store"] | ["rsp"] | ["cfi"] | ["prologue"] | ["epilogue"] | ["ssa"]. *)
+
 type t = {
   text : bytes;  (** instrumented machine code *)
   data : bytes;  (** initialized globals *)
@@ -29,6 +64,9 @@ type t = {
       (** policies the producer claims to have instrumented — informational
           only; the verifier re-establishes them from the code itself *)
   ssa_q : int;  (** P6 marker-inspection period (instructions per check) *)
+  witness : witness option;
+      (** optional compliance witness; [None] round-trips with pre-witness
+          serialized blobs *)
 }
 
 val find_symbol : t -> string -> symbol option
@@ -36,4 +74,8 @@ val find_symbol : t -> string -> symbol option
 val serialize : t -> bytes
 val deserialize : bytes -> (t, string) result
 (** Total parser over untrusted input: any truncation or corruption yields
-    [Error], never an exception. *)
+    [Error], never an exception. The witness section is range-validated
+    field by field against the text length — no offset, length or extent
+    outside [0, |text|], no negative or wrapping length arithmetic — so a
+    parsed witness is structurally well-formed even before the verifier
+    cross-checks its claims against the bytes. *)

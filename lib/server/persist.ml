@@ -8,7 +8,7 @@ module Chaos = Deflection_chaos.Chaos
 module Resilience = Deflection_chaos.Resilience
 
 type verdict = (Verifier.report * Verifier.classification, Verifier.rejection) result
-type entry = { tenant : string; key : string; verdict : verdict }
+type entry = { tenant : string; key : string; mode : string; verdict : verdict }
 type segment_outcome = Seg_loaded of int | Seg_bad_mac | Seg_malformed
 
 type load_report = {
@@ -100,6 +100,7 @@ let pass_of_label = function
   | "symbols" -> Some Verifier.Symbols
   | "scan" -> Some Verifier.Scan
   | "cfg" -> Some Verifier.Cfg
+  | "witness" -> Some Verifier.Witness
   | _ -> None
 
 let report_of_json j =
@@ -142,7 +143,7 @@ let verdict_of_json j : verdict option =
    preceded by their count. *)
 let canonical_entry (e : entry) =
   let fields =
-    [ e.tenant; Hex.encode_string e.key ]
+    [ e.tenant; Hex.encode_string e.key; e.mode ]
     @
     match e.verdict with
     | Ok (rep, cls) ->
@@ -192,6 +193,7 @@ let entry_to_json e =
     [
       ("tenant", Json.Str e.tenant);
       ("key", Json.Str (Hex.encode_string e.key));
+      ("mode", Json.Str e.mode);
       ("verdict", verdict_to_json e.verdict);
     ]
 
@@ -200,8 +202,10 @@ let entry_of_json j =
   let* tenant = str_member "tenant" j in
   let* key_hex = str_member "key" j in
   let* key = try Some (Bytes.to_string (Hex.decode key_hex)) with _ -> None in
+  let* mode = str_member "mode" j in
+  let* _ = Verifier.mode_of_label mode in
   let* verdict = Option.bind (Json.member "verdict" j) verdict_of_json in
-  Some { tenant; key; verdict }
+  Some { tenant; key; mode; verdict }
 
 let rec chunks n = function
   | [] -> []

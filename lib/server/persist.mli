@@ -36,8 +36,13 @@ module Chaos = Deflection_chaos.Chaos
 
 type verdict = (Verifier.report * Verifier.classification, Verifier.rejection) result
 
-type entry = { tenant : string; key : string; verdict : verdict }
-(** [key] is the raw 32-byte cache key ({!Verifier.Cache.key}). *)
+type entry = { tenant : string; key : string; mode : string; verdict : verdict }
+(** [key] is the raw 32-byte cache key ({!Verifier.Cache.key}); [mode] is
+    the {!Verifier.mode_label} of the verification mode the verdict was
+    rendered under — redundant with the key binding (the key hashes the
+    mode) but carried explicitly so recovery can refuse to warm a cache
+    whose server now runs a different mode, and so an operator reading
+    the sealed file can see which discipline admitted each entry. *)
 
 (** What became of one on-disk segment at load. *)
 type segment_outcome =

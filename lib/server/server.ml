@@ -21,6 +21,7 @@ type tenant_config = { t_name : string; t_quota : quota }
 type config = {
   policies : Policy.Set.t;
   ssa_q : int;
+  verification : Verifier.mode;
   layout : Layout.config option;
   tenants : tenant_config list;
   queue_capacity : int;
@@ -37,6 +38,7 @@ let default_config =
   {
     policies = Policy.Set.p1_p6;
     ssa_q = 20;
+    verification = Verifier.Descent;
     layout = None;
     tenants =
       [
@@ -170,6 +172,9 @@ let create ?(chaos = Chaos.disabled) cfg =
       (fun (e : Persist.entry) ->
         match tenant_state t e.Persist.tenant with
         | None -> ()  (* entry for a tenant this server no longer hosts *)
+        | Some _ when e.Persist.mode <> Verifier.mode_label cfg.verification ->
+          ()  (* verdict rendered under another verification mode: its key
+                 could never be looked up here — cold re-verification *)
         | Some ts ->
           Verifier.Cache.set_epoch ts.cache 0;
           Verifier.Cache.preload ts.cache ~key:e.Persist.key e.Persist.verdict;
@@ -230,7 +235,13 @@ let persist_now t ~round =
           | None -> []
           | Some ts ->
             List.map
-              (fun (key, verdict) -> { Persist.tenant = tc.t_name; key; verdict })
+              (fun (key, verdict) ->
+                {
+                  Persist.tenant = tc.t_name;
+                  key;
+                  mode = Verifier.mode_label t.cfg.verification;
+                  verdict;
+                })
               (Verifier.Cache.export ts.cache))
         t.cfg.tenants
     in
@@ -284,7 +295,7 @@ let run_round t =
           in
           let batch =
             Gateway.run_batch ~jobs:t.cfg.workers ~policies:t.cfg.policies ~ssa_q:t.cfg.ssa_q
-              ?layout:t.cfg.layout ~cache:ts.cache ?interp
+              ~verification:t.cfg.verification ?layout:t.cfg.layout ~cache:ts.cache ?interp
               ~resilience_config:t.cfg.resilience ~audit:t.audit jobs
           in
           merge_latencies t batch;

@@ -54,6 +54,11 @@ type tenant_config = { t_name : string; t_quota : quota }
 type config = {
   policies : Policy.Set.t;
   ssa_q : int;
+  verification : Verifier.mode;
+      (** verification mode every tenant's sessions run under (default
+          [Descent]); bound into each verdict-cache key and carried on
+          every persisted entry — recovery refuses to warm a cache with
+          entries sealed under a different mode *)
   layout : Layout.config option;
   tenants : tenant_config list;
   queue_capacity : int;

@@ -58,6 +58,12 @@ let tracked =
       m_direction = Higher_better;
       m_tolerance_pct = 40.0;
     };
+    {
+      m_name = "verifier.witness_instr_per_sec";
+      m_path = [ "sections"; "witness"; "witness_instr_per_sec" ];
+      m_direction = Higher_better;
+      m_tolerance_pct = 40.0;
+    };
   ]
 
 type verdict = Better | Worse | Neutral | Missing

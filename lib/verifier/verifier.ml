@@ -4,11 +4,29 @@ module Objfile = Deflection_isa.Objfile
 module Annot = Deflection_annot.Annot
 module Policy = Deflection_policy.Policy
 module Telemetry = Deflection_telemetry.Telemetry
+module Sha256 = Deflection_crypto.Sha256
 open Isa
 
-type pass = Symbols | Scan | Cfg
+type pass = Symbols | Scan | Cfg | Witness
 
-let pass_label = function Symbols -> "symbols" | Scan -> "scan" | Cfg -> "cfg"
+let pass_label = function
+  | Symbols -> "symbols"
+  | Scan -> "scan"
+  | Cfg -> "cfg"
+  | Witness -> "witness"
+
+type mode = Descent | Witnessed | Witnessed_fallback
+
+let mode_label = function
+  | Descent -> "descent"
+  | Witnessed -> "witnessed"
+  | Witnessed_fallback -> "witnessed-fallback"
+
+let mode_of_label = function
+  | "descent" -> Some Descent
+  | "witnessed" -> Some Witnessed
+  | "witnessed-fallback" | "witnessed_fallback" -> Some Witnessed_fallback
+  | _ -> None
 
 type rejection = { pass : pass; offset : int; reason : string }
 
@@ -35,6 +53,15 @@ let pp_report fmt r =
 exception Reject of int * string
 
 let reject offset reason = raise (Reject (offset, reason))
+
+(* A witness-specific rejection: the binary may well be compliant, but the
+   witness lied about it (or went stale). Kept distinct from [Reject] so
+   the catcher can attribute it to the [Witness] pass even when it fires
+   in the middle of the scan replay, and so [Witnessed_fallback] knows
+   which rejections are eligible for a descent re-run. *)
+exception Reject_w of int * string
+
+let wreject offset reason = raise (Reject_w (offset, reason))
 
 (* P6 slack: the instrumentation pass may delay a marker inspection past
    the nominal period while flags are live; see Instrument.maybe_ssa_check. *)
@@ -72,6 +99,33 @@ let classification_of_offsets ~machinery ~guarded_stores =
   in
   { machinery = tbl machinery; guarded_stores = tbl guarded_stores; leaders = Hashtbl.create 1 }
 
+(* Witnessed-replay tables, offset-indexed. [wlens.(off)] is the claimed
+   instruction length at a claimed boundary (0 elsewhere), [winstrs.(off)]
+   the instruction the validation pass decoded there, [wclaims.(off)] the
+   annotation-site claim anchored there. Arrays rather than hash tables
+   because the replay consults them once per scanned offset, and reusing
+   the validation pass's decode results is what makes the witnessed tier
+   fast: a claimed boundary is decoded exactly once per verification. *)
+type wtab = {
+  wlens : int array;
+  winstrs : instr array;
+  wclaims : Objfile.site option array;
+}
+
+(* Offset-set membership bits, one byte per text offset. The scan probes
+   and updates several of these sets per instruction, so they live in a
+   single flat byte array ([st.flags], length tlen+1 so a branch target of
+   exactly tlen can be tracked) instead of seven hash tables; wild
+   out-of-range branch targets — rejected when popped — overflow into the
+   small [st.oob] table used only for worklist dedup. *)
+let f_visited = 1
+let f_starts = 2
+let f_interior = 4
+let f_members = 8
+let f_guarded = 16
+let f_ssa = 32
+let f_enqueued = 64
+
 type st = {
   text : bytes;
   tlen : int;
@@ -85,13 +139,17 @@ type st = {
   aex_handler_off : int;
   start_off : int;
   user_funs : (int, string) Hashtbl.t;  (** offset -> name *)
-  (* classification *)
-  visited : (int, unit) Hashtbl.t;  (** unit start offsets already scanned *)
-  starts : (int, unit) Hashtbl.t;  (** legitimate branch-target offsets *)
-  interior : (int, unit) Hashtbl.t;  (** instruction starts inside groups *)
-  members : (int, unit) Hashtbl.t;  (** every instruction start inside any matched group *)
-  guarded : (int, unit) Hashtbl.t;  (** the store instruction each Figure-5 group protects *)
-  ssa_starts : (int, unit) Hashtbl.t;
+  (* witnessed replay: when [wt] is set the scan consults the witness
+     instead of running the full template try-chain at every offset — see
+     [scan_run]. [None] is the classic recursive descent. *)
+  wt : wtab option;
+  (* classification: [f_*] membership bits per offset. [f_enqueued] marks
+     offsets ever pushed on the worklist — converging branches used to
+     enqueue the same target once per incoming edge (harmless for the
+     verdict thanks to the pop-time visited check, but the worklist grew
+     with the in-degree); [enqueue] filters at push time. *)
+  flags : Bytes.t;
+  oob : (int, unit) Hashtbl.t;  (** out-of-range offsets ever enqueued *)
   mutable jump_targets : (int * int) list;  (** (site, target) of jmp/jcc *)
   mutable call_targets : (int * int) list;
   mutable worklist : int list;
@@ -119,13 +177,45 @@ type st = {
 
 let has p st = Policy.Set.mem p st.policies
 
+(* Flag-set probes. [fmem] treats out-of-range offsets as absent, exactly
+   as a hash-table miss did; [fset] callers only pass in-range offsets
+   (instruction starts the scan decoded) except [enqueue], which guards. *)
+let fmem st mask off =
+  off >= 0 && off < Bytes.length st.flags
+  && Char.code (Bytes.unsafe_get st.flags off) land mask <> 0
+
+let fset st mask off =
+  Bytes.unsafe_set st.flags off
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get st.flags off) lor mask))
+
+(* Push a discovered control-flow target exactly once: skip offsets that
+   are already scanned or already pending. The pop-time visited check in
+   the drain loop stays as a second line of defense (an offset can become
+   visited between enqueue and pop when a fall-through run reaches it). *)
+let enqueue st off =
+  if off >= 0 && off < Bytes.length st.flags then begin
+    if not (fmem st (f_visited lor f_enqueued) off) then begin
+      fset st f_enqueued off;
+      st.worklist <- off :: st.worklist
+    end
+  end
+  else if not (Hashtbl.mem st.oob off) then begin
+    Hashtbl.replace st.oob off ();
+    st.worklist <- off :: st.worklist
+  end
+
 let decode_at st off =
-  if off < 0 || off >= st.tlen then reject off "control flow leaves the text section";
-  match Codec.decode st.text off with
-  | exception Codec.Decode_error _ -> reject off "undecodable instruction"
-  | instr, len ->
-    if off + len > st.tlen then reject off "instruction extends past the text section";
-    (instr, len)
+  match st.wt with
+  | Some wt when off >= 0 && off < st.tlen && wt.wlens.(off) > 0 ->
+    (* claimed boundary: reuse the validation pass's decode *)
+    (wt.winstrs.(off), wt.wlens.(off))
+  | _ ->
+    if off < 0 || off >= st.tlen then reject off "control flow leaves the text section";
+    (match Codec.decode st.text off with
+    | exception Codec.Decode_error _ -> reject off "undecodable instruction"
+    | instr, len ->
+      if off + len > st.tlen then reject off "instruction extends past the text section";
+      (instr, len))
 
 (* Try to match a template starting at [off]. Returns the unit offsets and
    the end offset, or None (without raising) on mismatch. *)
@@ -141,12 +231,17 @@ let match_template st off (slots : Annot.slot list) : (int array * int) option =
         (fun i _ ->
           offsets.(i) <- !cur;
           if !cur >= st.tlen then raise Exit;
-          match Codec.decode st.text !cur with
-          | exception Codec.Decode_error _ -> raise Exit
-          | instr, len ->
-            if !cur + len > st.tlen then raise Exit;
-            decoded.(i) <- instr;
-            cur := !cur + len)
+          match st.wt with
+          | Some wt when wt.wlens.(!cur) > 0 ->
+            decoded.(i) <- wt.winstrs.(!cur);
+            cur := !cur + wt.wlens.(!cur)
+          | _ -> (
+            match Codec.decode st.text !cur with
+            | exception Codec.Decode_error _ -> raise Exit
+            | instr, len ->
+              if !cur + len > st.tlen then raise Exit;
+              decoded.(i) <- instr;
+              cur := !cur + len))
         slots;
       offsets.(n) <- !cur;
       true
@@ -173,19 +268,20 @@ let match_template st off (slots : Annot.slot list) : (int array * int) option =
   end
 
 let mark_group st unit_offsets end_off =
-  Hashtbl.replace st.starts unit_offsets.(0) ();
+  fset st f_starts unit_offsets.(0);
   Array.iteri
     (fun i o ->
-      Hashtbl.replace st.visited o ();
-      Hashtbl.replace st.members o ();
-      if i > 0 then Hashtbl.replace st.interior o ())
+      fset st (f_visited lor f_members) o;
+      if i > 0 then fset st f_interior o)
     unit_offsets;
   st.n_instr <- st.n_instr + Array.length unit_offsets;
   end_off
 
 (* The store group is the Figure-5 template followed by the guarded store;
-   the template's lea operand must equal the push-adjusted destination. *)
-let match_store_group st off : int option =
+   the template's lea operand must equal the push-adjusted destination.
+   [find_store_group] is pure (no marking, no counters): the witness sweep
+   re-matches unreachable claimed groups without perturbing the report. *)
+let find_store_group st off : (int array * int) option =
   (* peek at unit 2 to learn the lea operand *)
   let peek_lea () =
     try
@@ -218,11 +314,16 @@ let match_store_group st off : int option =
       | Some (store_instr, slen) when tmpl_end + slen <= st.tlen ->
         (match maystore store_instr with
         | Some m' when Annot.adjust_mem_for_pushes m' 2 = m ->
-          let all_units = Array.append units [| tmpl_end |] in
-          Hashtbl.replace st.guarded tmpl_end ();
-          Some (mark_group st all_units (tmpl_end + slen))
+          Some (Array.append units [| tmpl_end |], tmpl_end + slen)
         | Some _ | None -> None)
       | Some _ | None -> None))
+
+let match_store_group st off : int option =
+  match find_store_group st off with
+  | None -> None
+  | Some (all_units, end_off) ->
+    fset st f_guarded all_units.(Array.length all_units - 1);
+    Some (mark_group st all_units end_off)
 
 let match_simple_group st off template : int option =
   match match_template st off template with
@@ -230,19 +331,22 @@ let match_simple_group st off template : int option =
   | Some (units, end_off) -> Some (mark_group st units end_off)
 
 (* CFI group: the table-scan template followed by the indirect branch via
-   R10. Returns (end offset, branch kind). *)
-let match_cfi_group st off : (int * [ `Jmp | `Call ]) option =
+   R10. Returns (units, end offset, branch kind). *)
+let find_cfi_group st off : (int array * int * [ `Jmp | `Call ]) option =
   match match_template st off Annot.cfi_template with
   | None -> None
   | Some (units, tmpl_end) ->
     (match (try Some (Codec.decode st.text tmpl_end) with Codec.Decode_error _ -> None) with
     | Some (JmpInd (Reg r), len) when r = Annot.cfi_target_reg ->
-      let all = Array.append units [| tmpl_end |] in
-      Some (mark_group st all (tmpl_end + len), `Jmp)
+      Some (Array.append units [| tmpl_end |], tmpl_end + len, `Jmp)
     | Some (CallInd (Reg r), len) when r = Annot.cfi_target_reg ->
-      let all = Array.append units [| tmpl_end |] in
-      Some (mark_group st all (tmpl_end + len), `Call)
+      Some (Array.append units [| tmpl_end |], tmpl_end + len, `Call)
     | Some _ | None -> None)
+
+let match_cfi_group st off : (int * [ `Jmp | `Call ]) option =
+  match find_cfi_group st off with
+  | None -> None
+  | Some (all, end_off, kind) -> Some (mark_group st all end_off, kind)
 
 (* A plain instruction that writes RSP must drag the P2 suffix with it. *)
 let match_rsp_unit st off instr len : int =
@@ -252,6 +356,84 @@ let match_rsp_unit st off instr len : int =
     let all = Array.append [| off |] units in
     st.n_rsp <- st.n_rsp + 1;
     mark_group st all end_off
+
+(* ------------------------------------------------------------------ *)
+(* Witness validation: the O(n) linear pass. Re-derives every structural
+   claim from the raw bytes — nothing the untrusted generator wrote is
+   believed without a cross-decode. Returns the boundary map and the
+   per-offset claim table the scan replay consults. *)
+
+let validate_witness ~(text : bytes) (w : Objfile.witness) =
+  let tlen = Bytes.length text in
+  (* stale witness: built for different bytes than were delivered *)
+  if not (String.equal w.w_text_digest (Bytes.to_string (Sha256.digest text))) then
+    wreject 0 "witness text digest does not match the delivered binary";
+  let decodable off =
+    match Codec.decode text off with
+    | exception Codec.Decode_error _ -> None
+    | instr, len -> if off + len > tlen then None else Some (instr, len)
+  in
+  (* boundary map: strictly increasing, in-range, re-decoded, and the gaps
+     between claimed instructions must hold no decodable instruction (a
+     gap that decodes is where a lying witness would hide code). The
+     decode results are kept in offset-indexed arrays so the scan replay
+     and the dead-code sweep never decode a claimed boundary again. *)
+  let wlens = Array.make (max tlen 1) 0 in
+  let winstrs = Array.make (max tlen 1) Nop in
+  let wclaims = Array.make (max tlen 1) None in
+  let check_gap from_ until =
+    for g = from_ to until - 1 do
+      match decodable g with
+      | Some _ -> wreject g "witness boundary gap hides a decodable instruction"
+      | None -> ()
+    done
+  in
+  let prev_end = ref 0 in
+  Array.iter
+    (fun (off, len) ->
+      if off < !prev_end || len < 1 || off > tlen || len > tlen - off then
+        wreject (max 0 off) "witness boundary map is not a monotone in-range tiling";
+      check_gap !prev_end off;
+      (match decodable off with
+      | Some (instr, len') when len' = len -> winstrs.(off) <- instr
+      | Some _ -> wreject off "witness boundary length disagrees with the decoded instruction"
+      | None -> wreject off "witness boundary does not decode");
+      wlens.(off) <- len;
+      prev_end := off + len)
+    w.w_boundaries;
+  check_gap !prev_end tlen;
+  let claimed off = off >= 0 && off < tlen && wlens.(off) > 0 in
+  (* branch list: every claimed (site, target) must be a claimed boundary
+     holding a direct branch whose encoded displacement lands on target *)
+  List.iter
+    (fun (site, target) ->
+      if not (claimed site) then wreject site "witness branch site is not a claimed boundary";
+      match winstrs.(site) with
+      | Jmp (Rel d) | Jcc (_, Rel d) | Call (Rel d) ->
+        if site + wlens.(site) + d <> target then
+          wreject site "witness branch target disagrees with the encoded displacement"
+      | _ -> wreject site "witness branch site is not a direct branch")
+    w.w_branches;
+  (* leaders: advisory for downstream consumers, but they must at least be
+     claimed instruction boundaries *)
+  List.iter
+    (fun off ->
+      if not (claimed off) then wreject off "witness leader is not a claimed boundary")
+    w.w_leaders;
+  (* annotation sites: in-range extents anchored on claimed boundaries, at
+     most one claim per offset; the template cross-match happens during
+     the scan replay (reachable sites) or the final sweep (dead sites) *)
+  List.iter
+    (fun (s : Objfile.site) ->
+      if s.Objfile.w_off < 0 || s.Objfile.w_end <= s.Objfile.w_off || s.Objfile.w_end > tlen
+      then wreject (max 0 s.Objfile.w_off) "witness site extent is out of range";
+      if not (claimed s.Objfile.w_off) then
+        wreject s.Objfile.w_off "witness site is not anchored on a claimed boundary";
+      if wclaims.(s.Objfile.w_off) <> None then
+        wreject s.Objfile.w_off "duplicate witness site claim";
+      wclaims.(s.Objfile.w_off) <- Some s)
+    w.w_sites;
+  { wlens; winstrs; wclaims }
 
 (* ------------------------------------------------------------------ *)
 (* Run scanning *)
@@ -269,6 +451,17 @@ let scan_plain st off =
       r
   in
   let end_off = off + len in
+  (* witnessed replay: every plain instruction the scan actually reaches
+     must be a claimed boundary with the claimed length — reaching code
+     the witness did not describe (e.g. a branch into the middle of a
+     claimed instruction) means the witness lied about the boundary map *)
+  (match st.wt with
+  | None -> ()
+  | Some wt ->
+    let l = wt.wlens.(off) in
+    if l = 0 then wreject off "reachable instruction not claimed by the witness boundary map"
+    else if l <> len then
+      wreject off "instruction length disagrees with the witness boundary map");
   (* policy gates on bare instructions *)
   (match maystore instr with
   | Some _ when has Policy.P1 st ->
@@ -294,21 +487,20 @@ let scan_plain st off =
     Fallthrough e
   end
   else begin
-    Hashtbl.replace st.visited off ();
-    Hashtbl.replace st.starts off ();
+    fset st (f_visited lor f_starts) off;
     st.n_instr <- st.n_instr + 1;
     match instr with
     | Jmp (Rel d) ->
       st.jump_targets <- (off, end_off + d) :: st.jump_targets;
-      st.worklist <- (end_off + d) :: st.worklist;
+      enqueue st (end_off + d);
       End_of_run
     | Jcc (_, Rel d) ->
       st.jump_targets <- (off, end_off + d) :: st.jump_targets;
-      st.worklist <- (end_off + d) :: st.worklist;
+      enqueue st (end_off + d);
       Branch_and_fall end_off
     | Call (Rel d) ->
       st.call_targets <- (off, end_off + d) :: st.call_targets;
-      st.worklist <- (end_off + d) :: st.worklist;
+      enqueue st (end_off + d);
       Fallthrough end_off
     | Jmp (Lab _) | Jcc (_, Lab _) | Call (Lab _) -> reject off "unresolved label in binary"
     | Ret -> End_of_run
@@ -332,7 +524,7 @@ let scan_run st start =
     if off = st.tlen then reject off "control flow falls off the end of the text"
     else if off < 0 || off > st.tlen then
       reject off "control flow leaves the text section"
-    else if Hashtbl.mem st.visited off then () (* merged with an already-scanned run *)
+    else if fmem st f_visited off then () (* merged with an already-scanned run *)
     else begin
       (* stubs *)
       match Hashtbl.find_opt st.stub_at off with
@@ -356,13 +548,11 @@ let scan_run st start =
           | Call (Rel d) ->
             let target = off + len + d in
             st.call_targets <- (off, target) :: st.call_targets;
-            st.worklist <- target :: st.worklist;
-            Hashtbl.replace st.visited off ();
-            Hashtbl.replace st.starts off ();
+            enqueue st target;
+            fset st (f_visited lor f_starts) off;
             let i2, _ = decode_at st (off + len) in
             if i2 <> Hlt then reject (off + len) "__start must halt after calling the entry";
-            Hashtbl.replace st.visited (off + len) ();
-            Hashtbl.replace st.starts (off + len) ();
+            fset st (f_visited lor f_starts) (off + len);
             st.n_instr <- st.n_instr + 2
           | _ -> reject off "__start must begin with a direct call"
         end
@@ -380,6 +570,16 @@ let scan_run st start =
                 r)
             with
             | Some e ->
+              (* in a witnessed replay the prologue is the one template the
+                 scan matches unprompted, so lying-by-omission is caught
+                 here: a matched prologue must also be claimed *)
+              (match st.wt with
+              | None -> ()
+              | Some wt -> (
+                match wt.wclaims.(off) with
+                | Some { Objfile.w_kind = Objfile.Wprologue; w_end; _ } when w_end = e -> ()
+                | Some _ -> wreject off "function prologue claim disagrees with the code"
+                | None -> wreject off "function prologue not claimed by the witness"));
               st.n_prologue <- st.n_prologue + 1;
               bump_ssa off;
               step e
@@ -400,7 +600,7 @@ let scan_run st start =
                 with
                 | Some e ->
                   st.n_ssa <- st.n_ssa + 1;
-                  Hashtbl.replace st.ssa_starts off ();
+                  fset st f_ssa off;
                   ssa_counter := 0;
                   Some e
                 | None -> None
@@ -423,44 +623,89 @@ let scan_run st start =
                 | None -> None
               else None
             in
-            match try_ssa () with
-            | Some e -> step e
-            | None ->
-              (match try_store () with
-              | Some e ->
-                bump_ssa off;
-                step e
+            let try_cfi () =
+              match st.now with
+              | None -> match_cfi_group st off
+              | Some now ->
+                let t0 = now () in
+                let r = match_cfi_group st off in
+                st.ns_p5_cfi <- st.ns_p5_cfi + now () - t0;
+                r
+            in
+            let try_epilogue () =
+              match st.now with
+              | None -> match_simple_group st off Annot.epilogue_template
+              | Some now ->
+                let t0 = now () in
+                let r = match_simple_group st off Annot.epilogue_template in
+                st.ns_p5_stack <- st.ns_p5_stack + now () - t0;
+                r
+            in
+            let descent_chain () =
+              match try_ssa () with
+              | Some e -> step e
               | None ->
-                if has Policy.P5 st then begin
-                  match
-                    (match st.now with
-                    | None -> match_cfi_group st off
-                    | Some now ->
-                      let t0 = now () in
-                      let r = match_cfi_group st off in
-                      st.ns_p5_cfi <- st.ns_p5_cfi + now () - t0;
-                      r)
-                  with
-                  | Some (e, kind) ->
-                    st.n_cfi <- st.n_cfi + 1;
-                    bump_ssa off;
-                    (match kind with `Jmp -> () | `Call -> step e)
-                  | None ->
-                    (match
-                       (match st.now with
-                       | None -> match_simple_group st off Annot.epilogue_template
-                       | Some now ->
-                         let t0 = now () in
-                         let r = match_simple_group st off Annot.epilogue_template in
-                         st.ns_p5_stack <- st.ns_p5_stack + now () - t0;
-                         r)
-                     with
-                    | Some _ ->
-                      st.n_epilogue <- st.n_epilogue + 1
-                      (* epilogue ends with ret: end of run *)
-                    | None -> plain off)
-                end
-                else plain off)
+                (match try_store () with
+                | Some e ->
+                  bump_ssa off;
+                  step e
+                | None ->
+                  if has Policy.P5 st then begin
+                    match try_cfi () with
+                    | Some (e, kind) ->
+                      st.n_cfi <- st.n_cfi + 1;
+                      bump_ssa off;
+                      (match kind with `Jmp -> () | `Call -> step e)
+                    | None ->
+                      (match try_epilogue () with
+                      | Some _ ->
+                        st.n_epilogue <- st.n_epilogue + 1
+                        (* epilogue ends with ret: end of run *)
+                      | None -> plain off)
+                  end
+                  else plain off)
+            in
+            match st.wt with
+            | None -> descent_chain ()
+            | Some wt -> (
+              (* witnessed replay: the claim table names the one template
+                 the descent chain would have matched here (the Figure-5
+                 templates are mutually exclusive — distinct two-instruction
+                 heads — so claim-guided matching cannot pick a different
+                 template than the priority chain). Claims whose policy is
+                 not enforced are ignored exactly as the descent chain
+                 ignores the corresponding matcher; an unclaimed offset runs
+                 only the plain-instruction gates, which is where a
+                 lying-by-omission witness is caught (the bare store /
+                 indirect branch / RSP write the omitted claim was hiding
+                 rejects on its own). *)
+              match wt.wclaims.(off) with
+              | Some { Objfile.w_kind = Objfile.Wssa; w_end; _ } when has Policy.P6 st -> (
+                match try_ssa () with
+                | Some e when e = w_end -> step e
+                | Some _ -> wreject off "SSA site extent disagrees with the witness"
+                | None -> wreject off "claimed SSA site does not match the canonical template")
+              | Some { Objfile.w_kind = Objfile.Wstore; w_end; _ } when has Policy.P1 st -> (
+                match try_store () with
+                | Some e when e = w_end ->
+                  bump_ssa off;
+                  step e
+                | Some _ -> wreject off "store site extent disagrees with the witness"
+                | None -> wreject off "claimed store site does not match the canonical template")
+              | Some { Objfile.w_kind = Objfile.Wcfi; w_end; _ } when has Policy.P5 st -> (
+                match try_cfi () with
+                | Some (e, kind) when e = w_end ->
+                  st.n_cfi <- st.n_cfi + 1;
+                  bump_ssa off;
+                  (match kind with `Jmp -> () | `Call -> step e)
+                | Some _ -> wreject off "CFI site extent disagrees with the witness"
+                | None -> wreject off "claimed CFI site does not match the canonical template")
+              | Some { Objfile.w_kind = Objfile.Wepilogue; w_end; _ } when has Policy.P5 st -> (
+                match try_epilogue () with
+                | Some e when e = w_end -> st.n_epilogue <- st.n_epilogue + 1
+                | Some _ -> wreject off "epilogue extent disagrees with the witness"
+                | None -> wreject off "claimed epilogue does not match the canonical template")
+              | Some _ | None -> plain off)
           end
         end
     end
@@ -475,6 +720,78 @@ let scan_run st start =
       step e
   in
   step start
+
+(* ------------------------------------------------------------------ *)
+(* Lying-by-omission sweep: after the replay accepted, walk every claimed
+   boundary the scan never reached. Dead code the descent would not even
+   look at must still be benign under the witness's claims — an unclaimed
+   (or mis-claimed) store, RSP write, indirect branch or shadow-stack
+   write anywhere in the text rejects. This is deliberately stricter than
+   the descent (which ignores unreachable bytes); [Witnessed_fallback]
+   recovers descent-equal verdicts for honest witnesses over such
+   binaries by re-running the descent on any witness-pass rejection.
+   Pure matching only (find_*/match_template): report counters must stay
+   byte-identical to the descent's, which never counts unreachable code. *)
+
+let witness_sweep st (w : Objfile.witness) (wt : wtab) =
+  let n = Array.length w.w_boundaries in
+  let i = ref 0 in
+  while !i < n do
+    let off, _len = w.w_boundaries.(!i) in
+    if fmem st f_visited off then incr i
+    else begin
+      let skip_to e =
+        incr i;
+        while !i < n && fst w.w_boundaries.(!i) < e do incr i done
+      in
+      match wt.wclaims.(off) with
+      | Some { Objfile.w_kind = Objfile.Wssa; w_end; _ } when has Policy.P6 st -> (
+        match match_template st off Annot.ssa_template with
+        | Some (_, e) when e = w_end -> skip_to e
+        | Some _ | None -> wreject off "unreachable claimed SSA site does not match the code")
+      | Some { Objfile.w_kind = Objfile.Wstore; w_end; _ } when has Policy.P1 st -> (
+        match find_store_group st off with
+        | Some (_, e) when e = w_end -> skip_to e
+        | Some _ | None -> wreject off "unreachable claimed store site does not match the code")
+      | Some { Objfile.w_kind = Objfile.Wcfi; w_end; _ } when has Policy.P5 st -> (
+        match find_cfi_group st off with
+        | Some (_, e, _) when e = w_end -> skip_to e
+        | Some _ | None -> wreject off "unreachable claimed CFI site does not match the code")
+      | Some { Objfile.w_kind = Objfile.Wprologue; w_end; _ } when has Policy.P5 st -> (
+        match match_template st off Annot.prologue_template with
+        | Some (_, e) when e = w_end -> skip_to e
+        | Some _ | None -> wreject off "unreachable claimed prologue does not match the code")
+      | Some { Objfile.w_kind = Objfile.Wepilogue; w_end; _ } when has Policy.P5 st -> (
+        match match_template st off Annot.epilogue_template with
+        | Some (_, e) when e = w_end -> skip_to e
+        | Some _ | None -> wreject off "unreachable claimed epilogue does not match the code")
+      | Some { Objfile.w_kind = Objfile.Wrsp; w_end; _ } when has Policy.P2 st ->
+        (* validation already decoded every claimed boundary *)
+        let instr = wt.winstrs.(off) and ilen = wt.wlens.(off) in
+        if not (writes_rsp instr) then
+          wreject off "unreachable claimed RSP site does not write RSP";
+        (match match_template st (off + ilen) Annot.rsp_template with
+        | Some (_, e) when e = w_end -> skip_to e
+        | Some _ | None -> wreject off "unreachable claimed RSP site does not match the code")
+      | Some _ | None ->
+        (* unclaimed (or policy-idle) dead instruction: nothing a policy
+           would require an annotation for may live here *)
+        let instr = wt.winstrs.(off) in
+        (match maystore instr with
+        | Some _ when has Policy.P1 st ->
+          wreject off "unreachable memory store not claimed by the witness"
+        | Some _ | None -> ());
+        (match instr with
+        | (Ret | JmpInd _ | CallInd _) when has Policy.P5 st ->
+          wreject off "unreachable indirect control flow not claimed by the witness"
+        | _ -> ());
+        if has Policy.P5 st && writes_reg Annot.shadow_stack_reg instr then
+          wreject off "unreachable shadow-stack write not claimed by the witness";
+        if has Policy.P2 st && writes_rsp instr then
+          wreject off "unreachable RSP write not claimed by the witness";
+        incr i
+    end
+  done
 
 (* ------------------------------------------------------------------ *)
 
@@ -496,12 +813,24 @@ let emit_pass_ns tm st =
     emit "verifier.pass_ns.p6_ssa" st.ns_p6_ssa
   end
 
-let verify_classified ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile.t) =
+let verify_with ?(tm = Telemetry.disabled) ~policies ~ssa_q
+    ~(witness : Objfile.witness option) (obj : Objfile.t) =
   Telemetry.span tm "verify" @@ fun () ->
   let current_pass = ref Symbols in
   let st_cell = ref None in
   try
     let text = obj.Objfile.text in
+    (* witness structural validation runs first: boundary re-decode, gap
+       audit, branch/leader/site anchoring — the linear O(n) pass *)
+    let wtables =
+      match witness with
+      | None -> None
+      | Some w ->
+        current_pass := Witness;
+        let tables = Telemetry.span tm "verify.witness" (fun () -> validate_witness ~text w) in
+        current_pass := Symbols;
+        Some tables
+    in
     let sym name =
       match Objfile.find_symbol obj name with
       | Some s when s.Objfile.section = Objfile.Text -> Some s.Objfile.offset
@@ -562,12 +891,9 @@ let verify_classified ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile
         aex_handler_off;
         start_off;
         user_funs;
-        visited = Hashtbl.create 4096;
-        starts = Hashtbl.create 4096;
-        interior = Hashtbl.create 4096;
-        members = Hashtbl.create 4096;
-        guarded = Hashtbl.create 256;
-        ssa_starts = Hashtbl.create 1024;
+        wt = wtables;
+        flags = Bytes.make (Bytes.length text + 1) '\000';
+        oob = Hashtbl.create 8;
         jump_targets = [];
         call_targets = [];
         worklist = [];
@@ -588,15 +914,35 @@ let verify_classified ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile
       }
     in
     st_cell := Some st;
-    (* seed: entry, stubs, every function, every indirect target *)
+    (* seed: entry, stubs, every function, every indirect target. The seed
+       list is built exactly as before, then deduplicated preserving the
+       first pop position of each offset ([_start] appears in both the
+       explicit head and [stub_offsets]), so the scan order — and thus
+       which rejection fires first on a multi-defect binary — is unchanged
+       from the pre-dedup verifier. *)
     st.worklist <- start_off :: stub_offsets;
     Hashtbl.iter (fun off _ -> st.worklist <- off :: st.worklist) user_funs;
+    st.worklist <-
+      List.filter
+        (fun off ->
+          if off >= 0 && off < Bytes.length st.flags then
+            if fmem st f_enqueued off then false
+            else begin
+              fset st f_enqueued off;
+              true
+            end
+          else if Hashtbl.mem st.oob off then false
+          else begin
+            Hashtbl.replace st.oob off ();
+            true
+          end)
+        st.worklist;
     let rec drain () =
       match st.worklist with
       | [] -> ()
       | off :: rest ->
         st.worklist <- rest;
-        if not (Hashtbl.mem st.visited off) then scan_run st off;
+        if not (fmem st f_visited off) then scan_run st off;
         drain ()
     in
     current_pass := Scan;
@@ -606,16 +952,16 @@ let verify_classified ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile
     Telemetry.span tm "verify.cfg" (fun () ->
         List.iter
           (fun (site, target) ->
-            if Hashtbl.mem st.interior target then
+            if fmem st f_interior target then
               reject site "branch target inside an annotation group";
-            if not (Hashtbl.mem st.starts target) then
+            if not (fmem st f_starts target) then
               reject site "branch target is not an instruction boundary";
             (* every CFG cycle goes through a backward branch: its target must
                carry an SSA inspection (function entries carry their own) *)
             if
               Policy.Set.mem Policy.P6 policies && target <= site
               && not
-                   (Hashtbl.mem st.ssa_starts target
+                   (fmem st f_ssa target
                    || Hashtbl.mem st.user_funs target
                    || Hashtbl.mem stub_offset_set target)
             then reject site "backward branch target without SSA inspection")
@@ -625,6 +971,14 @@ let verify_classified ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile
             if not (Hashtbl.mem st.user_funs target || target = st.aex_handler_off) then
               reject site "direct call target is not a function entry")
           st.call_targets);
+    (* witnessed tier: lying-by-omission sweep over unreached boundaries.
+       Runs last so every defect in reachable code rejects with exactly
+       the (pass, offset, reason) triple the descent would produce. *)
+    (match (witness, wtables) with
+    | Some w, Some wt ->
+      current_pass := Witness;
+      Telemetry.span tm "verify.sweep" (fun () -> witness_sweep st w wt)
+    | _ -> ());
     emit_pass_ns tm st;
     Telemetry.count tm "verifier.instructions" st.n_instr;
     Telemetry.count tm "verifier.annot.store" st.n_store;
@@ -633,11 +987,19 @@ let verify_classified ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile
     Telemetry.count tm "verifier.annot.prologue" st.n_prologue;
     Telemetry.count tm "verifier.annot.epilogue" st.n_epilogue;
     Telemetry.count tm "verifier.annot.ssa" st.n_ssa;
-    let machinery = Hashtbl.copy st.members in
-    Hashtbl.iter (fun off () -> Hashtbl.remove machinery off) st.guarded;
-    (* export the verified basic-block boundaries: every offset the
-       descent proved to be a legitimate control-flow entry *)
-    let leaders = Hashtbl.copy st.starts in
+    (* materialize the classification sets from the flag array: machinery
+       is members minus guarded stores, leaders are the verified
+       basic-block boundaries — every offset the descent proved to be a
+       legitimate control-flow entry *)
+    let machinery = Hashtbl.create 256 in
+    let guarded_stores = Hashtbl.create 64 in
+    let leaders = Hashtbl.create 256 in
+    for off = 0 to Bytes.length st.flags - 1 do
+      let f = Char.code (Bytes.unsafe_get st.flags off) in
+      if f land f_members <> 0 && f land f_guarded = 0 then Hashtbl.replace machinery off ();
+      if f land f_guarded <> 0 then Hashtbl.replace guarded_stores off ();
+      if f land f_starts <> 0 then Hashtbl.replace leaders off ()
+    done;
     Hashtbl.iter (fun off _ -> Hashtbl.replace leaders off ()) st.user_funs;
     Hashtbl.iter (fun off _ -> Hashtbl.replace leaders off ()) st.stub_at;
     Hashtbl.replace leaders st.aex_handler_off ();
@@ -652,10 +1014,17 @@ let verify_classified ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile
           epilogues = st.n_epilogue;
           ssa_checks = st.n_ssa;
         },
-        { machinery; guarded_stores = st.guarded; leaders } )
-  with Reject (offset, reason) ->
+        { machinery; guarded_stores; leaders } )
+  with
+  | Reject _ | Reject_w _ as exn ->
+    let pass, offset, reason =
+      match exn with
+      | Reject (offset, reason) -> (!current_pass, offset, reason)
+      | Reject_w (offset, reason) -> (Witness, offset, reason)
+      | _ -> assert false
+    in
     Option.iter (emit_pass_ns tm) !st_cell;
-    let r = { pass = !current_pass; offset; reason } in
+    let r = { pass; offset; reason } in
     if Telemetry.tracing tm then
       Telemetry.event tm "verifier.reject"
         ~args:
@@ -666,10 +1035,173 @@ let verify_classified ?(tm = Telemetry.disabled) ~policies ~ssa_q (obj : Objfile
           ];
     Error r
 
+let verify_classified ?tm ~policies ~ssa_q (obj : Objfile.t) =
+  verify_with ?tm ~policies ~ssa_q ~witness:None obj
+
 let verify ?tm ~policies ~ssa_q obj =
   match verify_classified ?tm ~policies ~ssa_q obj with
   | Ok (report, _) -> Ok report
   | Error r -> Error r
+
+let verify_witnessed ?tm ~policies ~ssa_q (obj : Objfile.t) =
+  match obj.Objfile.witness with
+  | None -> Error { pass = Witness; offset = 0; reason = "binary carries no witness" }
+  | Some w -> verify_with ?tm ~policies ~ssa_q ~witness:(Some w) obj
+
+let verify_mode ?(tm = Telemetry.disabled) ~mode ~policies ~ssa_q (obj : Objfile.t) =
+  match mode with
+  | Descent -> verify_classified ~tm ~policies ~ssa_q obj
+  | Witnessed -> verify_witnessed ~tm ~policies ~ssa_q obj
+  | Witnessed_fallback -> (
+    match verify_witnessed ~tm ~policies ~ssa_q obj with
+    | Error { pass = Witness; _ } ->
+      (* only witness-attributed rejections fall back: the binary itself
+         was never proven bad, only the witness (absent, stale or lying),
+         so the descent re-derives the ground-truth verdict *)
+      Telemetry.count tm "verifier.witness.fallback" 1;
+      verify_classified ~tm ~policies ~ssa_q obj
+    | v -> v)
+
+(* ------------------------------------------------------------------ *)
+(* Witness construction: the untrusted generator's side. Shares the
+   template matchers with the checker above — the witness is honest by
+   construction for any binary, including non-compliant ones (the witness
+   then faithfully describes the violation, and the replay rejects with
+   the descent's exact triple). *)
+
+module Witness = struct
+  (* unresolvable abort-stub/handler symbols resolve to a sentinel no
+     encodable displacement can reach: the affected templates simply never
+     match, and the verifier rejects such a binary in its symbols pass
+     before consulting any claim *)
+  let sentinel = min_int / 4
+
+  let build_state (obj : Objfile.t) =
+    let sym name =
+      match Objfile.find_symbol obj name with
+      | Some s when s.Objfile.section = Objfile.Text -> Some s.Objfile.offset
+      | Some _ | None -> None
+    in
+    let resolve name = match sym name with Some o -> o | None -> sentinel in
+    let text = obj.Objfile.text in
+    {
+      text;
+      tlen = Bytes.length text;
+      policies = Policy.Set.p1_p6 (* template matching is policy-blind *);
+      ssa_q = obj.Objfile.ssa_q;
+      stub_addr = (fun r -> resolve (Annot.abort_symbol r));
+      stub_at = Hashtbl.create 1;
+      aex_handler_off = resolve Annot.aex_handler_symbol;
+      start_off = resolve Annot.start_symbol;
+      user_funs = Hashtbl.create 1;
+      wt = None;
+      flags = Bytes.make (Bytes.length text + 1) '\000';
+      oob = Hashtbl.create 1;
+      jump_targets = [];
+      call_targets = [];
+      worklist = [];
+      now = None;
+      ns_decode = 0;
+      ns_p1_store = 0;
+      ns_p2_rsp = 0;
+      ns_p5_cfi = 0;
+      ns_p5_stack = 0;
+      ns_p6_ssa = 0;
+      n_instr = 0;
+      n_store = 0;
+      n_rsp = 0;
+      n_cfi = 0;
+      n_prologue = 0;
+      n_epilogue = 0;
+      n_ssa = 0;
+    }
+
+  let build (obj : Objfile.t) : Objfile.witness =
+    let st = build_state obj in
+    let text = obj.Objfile.text in
+    let tlen = Bytes.length text in
+    (* 1. greedy linear boundary map, one-byte resync over undecodable input *)
+    let bounds = ref [] in
+    let off = ref 0 in
+    while !off < tlen do
+      match Codec.decode text !off with
+      | exception Codec.Decode_error _ -> incr off
+      | _, len -> if !off + len > tlen then incr off
+        else begin
+          bounds := (!off, len) :: !bounds;
+          off := !off + len
+        end
+    done;
+    let w_boundaries = Array.of_list (List.rev !bounds) in
+    let bset = Hashtbl.create (max 16 (2 * Array.length w_boundaries)) in
+    Array.iter (fun (o, l) -> Hashtbl.replace bset o l) w_boundaries;
+    (* 2. annotation sites and direct branches over the boundary starts,
+       skipping claimed extents (the replay records branches only outside
+       matched groups, and so does the witness) *)
+    let sites = ref [] in
+    let branches = ref [] in
+    let nb = Array.length w_boundaries in
+    let i = ref 0 in
+    while !i < nb do
+      let boff, blen = w_boundaries.(!i) in
+      let claim kind e =
+        sites := { Objfile.w_kind = kind; w_off = boff; w_end = e } :: !sites;
+        incr i;
+        while !i < nb && fst w_boundaries.(!i) < e do incr i done
+      in
+      let plain () =
+        (match Codec.decode text boff with
+        | exception Codec.Decode_error _ -> ()
+        | (Jmp (Rel d) | Jcc (_, Rel d) | Call (Rel d)), _ ->
+          branches := (boff, boff + blen + d) :: !branches
+        | _ -> ());
+        incr i
+      in
+      match match_template st boff Annot.ssa_template with
+      | Some (_, e) -> claim Objfile.Wssa e
+      | None -> (
+        match find_store_group st boff with
+        | Some (_, e) -> claim Objfile.Wstore e
+        | None -> (
+          match find_cfi_group st boff with
+          | Some (_, e, _) -> claim Objfile.Wcfi e
+          | None -> (
+            match match_template st boff Annot.prologue_template with
+            | Some (_, e) -> claim Objfile.Wprologue e
+            | None -> (
+              match match_template st boff Annot.epilogue_template with
+              | Some (_, e) -> claim Objfile.Wepilogue e
+              | None -> (
+                match Codec.decode text boff with
+                | exception Codec.Decode_error _ -> incr i
+                | instr, _ when writes_rsp instr -> (
+                  match match_template st (boff + blen) Annot.rsp_template with
+                  | Some (_, e) -> claim Objfile.Wrsp e
+                  | None -> plain ())
+                | _ -> plain ())))))
+    done;
+    (* 3. leaders: claimed branch targets and function entries that land on
+       instruction boundaries (a corrupt branch target that misses every
+       boundary is simply not a leader — the verifier rejects it in its
+       CFG pass either way) *)
+    let leader_set = Hashtbl.create 64 in
+    let add_leader o = if Hashtbl.mem bset o then Hashtbl.replace leader_set o () in
+    List.iter (fun (_, t) -> add_leader t) !branches;
+    List.iter
+      (fun (s : Objfile.symbol) ->
+        if s.Objfile.section = Objfile.Text && s.Objfile.is_function then
+          add_leader s.Objfile.offset)
+      obj.Objfile.symbols;
+    {
+      Objfile.w_boundaries;
+      w_leaders = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) leader_set []);
+      w_branches = List.rev !branches;
+      w_sites = List.rev !sites;
+      w_text_digest = Bytes.to_string (Sha256.digest text);
+    }
+
+  let attach (obj : Objfile.t) : Objfile.t = { obj with Objfile.witness = Some (build obj) }
+end
 
 (* ------------------------------------------------------------------ *)
 (* Measurement-keyed verdict cache: verify once, admit many. *)
@@ -750,10 +1282,16 @@ module Cache = struct
     ]
 
   (* The key binds everything the verdict depends on: the exact serialized
-     objfile (the measurement of the delivered code), the enforced policy
-     set and the inspection period. *)
-  let key ~policies ~ssa_q ~(serialized : bytes) =
+     objfile (the measurement of the delivered code — which includes the
+     witness section, so a witness edit re-keys on its own), the enforced
+     policy set, the inspection period and the verification mode. The mode
+     is part of the key because the tiers are not extensionally equal: the
+     pure witnessed tier is strictly sounder on dead code, and a witnessed
+     verdict must never answer a descent request (or vice versa). *)
+  let key ~mode ~policies ~ssa_q ~(serialized : bytes) =
     let ctx = Sha256.init () in
+    Sha256.update_string ctx (mode_label mode);
+    Sha256.update_string ctx "|";
     Sha256.update_string ctx (Policy.Set.label policies);
     Sha256.update_string ctx (Printf.sprintf "|q=%d|" ssa_q);
     Sha256.update ctx serialized;
@@ -862,15 +1400,15 @@ module Cache = struct
     in
     attempt ()
 
-  let verify_classified_outcome t ?tm ~policies ~ssa_q ~serialized obj :
+  let verify_classified_outcome t ?tm ?(mode = Descent) ~policies ~ssa_q ~serialized obj :
       verdict * [ `Hit | `Miss ] =
-    let k = key ~policies ~ssa_q ~serialized in
+    let k = key ~mode ~policies ~ssa_q ~serialized in
     lookup_or_verify t ?tm ~key:k
-      ~verify:(fun () -> verify_classified ?tm ~policies ~ssa_q obj)
+      ~verify:(fun () -> verify_mode ?tm ~mode ~policies ~ssa_q obj)
       ()
 
-  let verify_classified t ?tm ~policies ~ssa_q ~serialized obj : verdict =
-    fst (verify_classified_outcome t ?tm ~policies ~ssa_q ~serialized obj)
+  let verify_classified t ?tm ?mode ~policies ~ssa_q ~serialized obj : verdict =
+    fst (verify_classified_outcome t ?tm ?mode ~policies ~ssa_q ~serialized obj)
 
   (* Persistence surface: settled verdicts out, trusted verdicts back in.
      [export] never includes in-flight claims; [preload] never overwrites

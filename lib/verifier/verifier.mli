@@ -24,11 +24,31 @@
 module Objfile = Deflection_isa.Objfile
 
 (** Which verification pass rejected the binary (forensics uses this to
-    explain verdicts). *)
-type pass = Symbols | Scan | Cfg
+    explain verdicts). [Witness] rejections mean the {e witness} was bad —
+    absent, stale, structurally invalid, or lying about the code — not
+    that the binary itself was proven non-compliant. *)
+type pass = Symbols | Scan | Cfg | Witness
 
 val pass_label : pass -> string
-(** ["symbols"] | ["scan"] | ["cfg"]. *)
+(** ["symbols"] | ["scan"] | ["cfg"] | ["witness"]. *)
+
+(** How a binary is verified (threaded through
+    [Bootstrap.config.verification]):
+
+    - [Descent] — the classic recursive-descent discovery above.
+    - [Witnessed] — {!verify_witnessed}: one linear witness-checked pass.
+      Requires a witness; strictly sounder than descent (a witness-pass
+      rejection may fire on dead code the descent never looks at).
+    - [Witnessed_fallback] — witnessed first; on any [Witness]-pass
+      rejection re-runs the descent, so honest witnesses always yield the
+      descent's exact verdict while still paying the linear-scan price on
+      the common path. *)
+type mode = Descent | Witnessed | Witnessed_fallback
+
+val mode_label : mode -> string
+(** ["descent"] | ["witnessed"] | ["witnessed-fallback"]. *)
+
+val mode_of_label : string -> mode option
 
 type rejection = { pass : pass; offset : int; reason : string }
 
@@ -105,6 +125,57 @@ val verify :
     bumps the ["verifier.instructions"] and ["verifier.annot.*"] counters,
     rejection emits a ["verifier.reject"] event. *)
 
+val verify_witnessed :
+  ?tm:Deflection_telemetry.Telemetry.t ->
+  policies:Deflection_policy.Policy.Set.t ->
+  ssa_q:int ->
+  Objfile.t ->
+  (report * classification, rejection) result
+(** Witness-checked verification: one linear scan instead of recursive
+    re-discovery. The binary's witness section is validated structurally
+    (every claimed boundary re-decoded; no gap may hide a decodable
+    instruction; branch, leader and site claims anchored and cross-decoded;
+    text digest checked against the delivered bytes), then the control-flow
+    replay consults the claim table — running exactly the one claimed
+    Figure-5 matcher at claimed sites and only the plain-instruction policy
+    gates elsewhere — and finally a lying-by-omission sweep checks that no
+    unreached claimed boundary holds a store, RSP write, indirect branch or
+    shadow-stack write the witness failed to claim.
+
+    For an honest witness every rejection in reachable code carries the
+    exact (pass, offset, reason) triple {!verify_classified} produces, and
+    acceptance yields an identical report and classification. Witness
+    defects reject with [pass = Witness]. A binary without a witness is a
+    [Witness]-pass rejection. Adds ["verify.witness"]/["verify.sweep"]
+    spans around the shared ["verify.*"] tree. *)
+
+val verify_mode :
+  ?tm:Deflection_telemetry.Telemetry.t ->
+  mode:mode ->
+  policies:Deflection_policy.Policy.Set.t ->
+  ssa_q:int ->
+  Objfile.t ->
+  (report * classification, rejection) result
+(** Dispatch on {!mode}. [Witnessed_fallback] counts
+    ["verifier.witness.fallback"] on [tm] each time a [Witness]-pass
+    rejection sends it back to the descent. *)
+
+(** Witness construction — the untrusted generator's half of the
+    proof-carrying admission protocol (ROADMAP item 3). *)
+module Witness : sig
+  val build : Objfile.t -> Objfile.witness
+  (** Derive an honest witness from the bytes: greedy linear instruction
+      boundaries (one-byte resync across undecodable input), annotation
+      sites wherever a canonical Figure-5 template matches, direct-branch
+      records outside claimed groups, block leaders, and the text digest.
+      Total on arbitrary binaries — for a non-compliant binary the witness
+      faithfully describes the violation and the checker rejects with the
+      descent's triple. *)
+
+  val attach : Objfile.t -> Objfile.t
+  (** [attach obj] is [obj] with [witness = Some (build obj)]. *)
+end
+
 (** Measurement-keyed verdict cache: verify once, admit many.
 
     The key is the SHA-256 of the serialized objfile bytes (the exact
@@ -143,8 +214,17 @@ module Cache : sig
   (** [("hits", h); ("misses", m); ...] — for JSON/telemetry export. *)
 
   val key :
-    policies:Deflection_policy.Policy.Set.t -> ssa_q:int -> serialized:bytes -> string
-  (** The 32-byte cache key (raw SHA-256 digest). *)
+    mode:mode ->
+    policies:Deflection_policy.Policy.Set.t ->
+    ssa_q:int ->
+    serialized:bytes ->
+    string
+  (** The 32-byte cache key (raw SHA-256 digest). Binds the verification
+      mode alongside policies, period and the exact
+      serialized objfile — which itself contains the witness section, so
+      the witness digest is part of the measurement and distinct witnesses
+      for the same text never share an entry. Verdicts can therefore never
+      be served across modes. *)
 
   val lookup_or_verify :
     t ->
@@ -185,20 +265,22 @@ module Cache : sig
   val verify_classified :
     t ->
     ?tm:Deflection_telemetry.Telemetry.t ->
+    ?mode:mode ->
     policies:Deflection_policy.Policy.Set.t ->
     ssa_q:int ->
     serialized:bytes ->
     Objfile.t ->
     (report * classification, rejection) result
-  (** Like {!Verifier.verify_classified}, but consult the cache first.
-      [serialized] must be the exact bytes [obj] was deserialized from.
-      [tm] (default disabled) counts ["verifier.cache.hit"] /
-      ["verifier.cache.miss"]; a miss additionally records the usual
-      ["verify"] span tree on [tm]. *)
+  (** Like {!Verifier.verify_mode} (default [mode] is [Descent]), but
+      consult the cache first. [serialized] must be the exact bytes [obj]
+      was deserialized from. [tm] (default disabled) counts
+      ["verifier.cache.hit"] / ["verifier.cache.miss"]; a miss
+      additionally records the usual ["verify"] span tree on [tm]. *)
 
   val verify_classified_outcome :
     t ->
     ?tm:Deflection_telemetry.Telemetry.t ->
+    ?mode:mode ->
     policies:Deflection_policy.Policy.Set.t ->
     ssa_q:int ->
     serialized:bytes ->

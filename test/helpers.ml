@@ -49,6 +49,7 @@ let handmade_obj ?(policies = Policy.Set.p1_p6) ?(instrument = true) ?(branch_ta
     entry = Annot.start_symbol;
     claimed_policies = [];
     ssa_q;
+    witness = None;
   }
 
 type delivered = {

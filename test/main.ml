@@ -23,6 +23,7 @@ let () =
       ("forensics", Suite_forensics.suite);
       ("chaos", Suite_chaos.suite);
       ("fuzz", Suite_fuzz.suite);
+      ("witness", Suite_witness.suite);
       ("tier", Suite_tier.suite);
       ("gateway", Suite_gateway.suite);
       ("audit", Suite_audit.suite);

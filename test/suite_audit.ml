@@ -40,7 +40,7 @@ let sample_log ?(segment_records = 2) ?(n = 5) ?(tag = "binary") plat =
     ignore
       (Audit.Log.append log
          ~measurement:(Sha256.digest_string (Printf.sprintf "%s-%d" tag i))
-         ~policies:Policy.Set.p1_p6 ~ssa_q:20 ~verdict
+         ~policies:Policy.Set.p1_p6 ~mode:Verifier.Descent ~ssa_q:20 ~verdict
          ~cache:(if i = 0 then Audit.Miss else Audit.Hit)
          ~lane:(i mod 2))
   done;
@@ -200,7 +200,8 @@ let test_seal_is_nondestructive () =
   ignore
     (Audit.Log.append log
        ~measurement:(Sha256.digest_string "late-binary")
-       ~policies:Policy.Set.p1_p6 ~ssa_q:20 ~verdict:(accepted_report 9) ~cache:Audit.Miss
+       ~policies:Policy.Set.p1_p6 ~mode:Verifier.Descent ~ssa_q:20
+       ~verdict:(accepted_report 9) ~cache:Audit.Miss
        ~lane:0);
   let second = Audit.Log.seal log in
   let a = check_ok "first seal" plat first in

@@ -168,6 +168,35 @@ let test_case_json_program_src () =
 let test_case_json_mutant () =
   roundtrip_case "mutant" (Fuzz.Mutant { prog_seed = 77L; mutations = all_kinds })
 
+let all_wkinds =
+  [
+    Mutate.Wflip_digest;
+    Mutate.Wshift_boundary { idx = 4 };
+    Mutate.Wdrop_boundary { idx = 11 };
+    Mutate.Womit_site { idx = 0 };
+    Mutate.Wshift_extent { idx = 2 };
+    Mutate.Wrelabel_site { idx = 6 };
+    Mutate.Wlie_branch { idx = 1; delta = -5 };
+    Mutate.Wmid_leader { idx = 9 };
+    Mutate.Wstale_text { pos = 31; bit = 6 };
+  ]
+
+let test_wmutation_labels_distinct () =
+  let labels = List.map Mutate.wlabel all_wkinds in
+  Alcotest.(check int) "nine distinct labels" 9 (List.length (List.sort_uniq compare labels))
+
+let test_wmutation_kind_json_roundtrip () =
+  List.iter
+    (fun k ->
+      match Mutate.wkind_of_json (Mutate.wkind_to_json k) with
+      | Ok k' -> Alcotest.(check bool) (Mutate.wlabel k ^ " roundtrips") true (k = k')
+      | Error e -> Alcotest.failf "%s: %s" (Mutate.wlabel k) e)
+    all_wkinds
+
+let test_case_json_witness_mutant () =
+  roundtrip_case "witness_mutant"
+    (Fuzz.Witness_mutant { prog_seed = -3L; wmutations = all_wkinds })
+
 let test_case_json_rejects_garbage () =
   (match Fuzz.case_of_json (Json.Obj [ ("type", Json.Str "quine") ]) with
   | Error _ -> ()
@@ -271,7 +300,7 @@ let test_shrink_nonreproducing_failure_is_identity () =
   | Fuzz.Program_src { source; _ } ->
     Alcotest.(check string) "source unchanged" (Gen.generate ~seed:3L).Gen.source source
   | Fuzz.Program _ -> ()
-  | Fuzz.Mutant _ -> Alcotest.fail "case changed shape");
+  | Fuzz.Mutant _ | Fuzz.Witness_mutant _ -> Alcotest.fail "case changed shape");
   Alcotest.(check string) "detail kept" f.Fuzz.detail s.Fuzz.detail
 
 let test_shrink_mutant_drops_mutations () =
@@ -332,7 +361,7 @@ let test_regression_negative_scan_offset_rejected () =
 (* Campaign accounting and the report schema *)
 
 let small_campaign =
-  lazy (Fuzz.campaign ~base_seed:7L ~programs:6 ~mutants:6 ())
+  lazy (Fuzz.campaign ~base_seed:7L ~programs:6 ~mutants:6 ~witness_mutants:6 ())
 
 let test_campaign_accounting () =
   let r = Lazy.force small_campaign in
@@ -340,17 +369,22 @@ let test_campaign_accounting () =
   Alcotest.(check int) "all programs clean" 6 r.Fuzz.programs_clean;
   Alcotest.(check int) "all mutants counted" 6 r.Fuzz.mutants;
   Alcotest.(check int) "mutants partition" 6 (r.Fuzz.mutants_rejected + r.Fuzz.mutants_clean);
+  Alcotest.(check int) "all witness mutants counted" 6 r.Fuzz.witness_mutants;
+  Alcotest.(check int) "witness mutants partition" 6
+    (r.Fuzz.wmutants_rejected + r.Fuzz.wmutants_clean);
+  Alcotest.(check bool) "some doctored witnesses rejected" true (r.Fuzz.wmutants_rejected > 0);
   Alcotest.(check bool) "some instructions verified" true (r.Fuzz.verified_instructions > 0);
   Alcotest.(check int) "no failures" 0 (List.length r.Fuzz.failures)
 
 let test_campaign_selftests () =
   let r = Lazy.force small_campaign in
   Alcotest.(check bool) "rejection self-test caught" true r.Fuzz.selftest_rejection_caught;
-  Alcotest.(check bool) "monitor self-test caught" true r.Fuzz.selftest_monitor_caught
+  Alcotest.(check bool) "monitor self-test caught" true r.Fuzz.selftest_monitor_caught;
+  Alcotest.(check bool) "witness self-test caught" true r.Fuzz.selftest_witness_caught
 
 let test_campaign_deterministic () =
   let a = Lazy.force small_campaign in
-  let b = Fuzz.campaign ~base_seed:7L ~programs:6 ~mutants:6 () in
+  let b = Fuzz.campaign ~base_seed:7L ~programs:6 ~mutants:6 ~witness_mutants:6 () in
   Alcotest.(check string) "identical reports"
     (Json.to_string (Fuzz.report_to_json a))
     (Json.to_string (Fuzz.report_to_json b))
@@ -371,8 +405,9 @@ let test_report_json_schema () =
         match Json.member field j with
         | Some (Json.Int _) -> ()
         | _ -> Alcotest.failf "%s missing or not an int" field)
-      [ "programs"; "mutants"; "programs_clean"; "mutants_rejected"; "mutants_clean";
-        "verified_instructions"; "failure_count" ]
+      [ "programs"; "mutants"; "witness_mutants"; "programs_clean"; "mutants_rejected";
+        "mutants_clean"; "wmutants_rejected"; "wmutants_clean"; "verified_instructions";
+        "failure_count" ]
 
 let suite =
   [
@@ -391,6 +426,9 @@ let suite =
     Alcotest.test_case "case json program" `Quick test_case_json_program;
     Alcotest.test_case "case json program_src" `Quick test_case_json_program_src;
     Alcotest.test_case "case json mutant" `Quick test_case_json_mutant;
+    Alcotest.test_case "witness mutation labels distinct" `Quick test_wmutation_labels_distinct;
+    Alcotest.test_case "witness mutation kind json roundtrip" `Quick test_wmutation_kind_json_roundtrip;
+    Alcotest.test_case "case json witness mutant" `Quick test_case_json_witness_mutant;
     Alcotest.test_case "case json rejects garbage" `Quick test_case_json_rejects_garbage;
     Alcotest.test_case "failure kind labels" `Quick test_failure_kind_labels;
     Alcotest.test_case "non-compiling source is harness error" `Quick test_non_compiling_source_is_harness_error;

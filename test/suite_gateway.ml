@@ -55,6 +55,36 @@ let test_cache_hit_miss_accounting () =
       Alcotest.(check (list string)) (r.Gateway.label ^ " output") [ "42" ] (outputs_of r))
     batch.Gateway.results
 
+let test_cross_mode_cache_isolation () =
+  (* the verdict-cache key binds the verification mode: the same binary
+     admitted under Descent and then under Witnessed must go cold twice —
+     a verdict rendered by one discipline is never served to another *)
+  let jobs n =
+    List.init n (fun i -> ok_job ~label:(Printf.sprintf "xm-%d" i) ~seed:(Int64.of_int i))
+  in
+  let cache = Verifier.Cache.create () in
+  let b1 = Gateway.run_batch ~cache ~verification:Verifier.Descent (jobs 2) in
+  let s1 = stats_exn b1 in
+  Alcotest.(check int) "descent batch: one miss" 1 s1.Verifier.Cache.misses;
+  Alcotest.(check int) "descent batch: one hit" 1 s1.Verifier.Cache.hits;
+  let b2 = Gateway.run_batch ~cache ~verification:Verifier.Witnessed (jobs 2) in
+  let s2 = stats_exn b2 in
+  Alcotest.(check int) "witnessed batch went cold again" 2 s2.Verifier.Cache.misses;
+  Alcotest.(check int) "two entries, one per mode" 2 s2.Verifier.Cache.entries;
+  (* and a replay under the first mode is still warm *)
+  let b3 = Gateway.run_batch ~cache ~verification:Verifier.Descent (jobs 2) in
+  let s3 = stats_exn b3 in
+  Alcotest.(check int) "no third miss" 2 s3.Verifier.Cache.misses;
+  (* both tiers admit the compliant binary with identical behaviour *)
+  List.iter
+    (fun batch ->
+      List.iter
+        (fun r ->
+          Alcotest.(check int) (r.Gateway.label ^ " exit") 0 r.Gateway.exit_code;
+          Alcotest.(check (list string)) (r.Gateway.label ^ " output") [ "42" ] (outputs_of r))
+        batch.Gateway.results)
+    [ b1; b2; b3 ]
+
 let test_rejections_are_cached () =
   (* a rejection is a verdict too: one verifier pass, then cached denials *)
   let jobs =
@@ -305,6 +335,7 @@ let suite =
   [
     Alcotest.test_case "cache hit/miss accounting" `Quick test_cache_hit_miss_accounting;
     Alcotest.test_case "rejections are cached" `Quick test_rejections_are_cached;
+    Alcotest.test_case "cross-mode cache isolation" `Quick test_cross_mode_cache_isolation;
     Alcotest.test_case "lru eviction bound" `Quick test_lru_eviction_bound;
     Alcotest.test_case "mixed batch exit codes" `Quick test_mixed_batch_exit_codes;
     Alcotest.test_case "k=1 vs k=4 equivalence" `Quick test_fanout_equivalence;

@@ -235,6 +235,7 @@ let sample_obj () =
     entry = "main";
     claimed_policies = [ "P1"; "P5" ];
     ssa_q = 20;
+    witness = None;
   }
 
 let test_objfile_roundtrip () =
@@ -262,6 +263,66 @@ let test_objfile_truncation_total () =
     match Objfile.deserialize (Bytes.sub whole 0 len) with
     | Error _ -> ()
     | Ok _ -> Alcotest.fail (Printf.sprintf "prefix of %d bytes accepted" len)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Witness section *)
+
+let witnessed_obj () =
+  (* text is 3 bytes; the witness tiles it as one 1-byte and one 2-byte
+     instruction claim (structural parsing only — no decoding here) *)
+  {
+    (sample_obj ()) with
+    Objfile.witness =
+      Some
+        {
+          Objfile.w_boundaries = [| (0, 1); (1, 2) |];
+          w_leaders = [ 0; 1 ];
+          w_branches = [ (1, 0) ];
+          w_sites = [ { Objfile.w_kind = Objfile.Wstore; w_off = 0; w_end = 3 } ];
+          w_text_digest = String.init 32 (fun i -> Char.chr (i * 7 mod 256));
+        };
+  }
+
+let test_objfile_witness_roundtrip () =
+  let obj = witnessed_obj () in
+  match Objfile.deserialize (Objfile.serialize obj) with
+  | Error e -> Alcotest.fail e
+  | Ok obj' -> (
+    match obj'.Objfile.witness with
+    | None -> Alcotest.fail "witness lost in round-trip"
+    | Some w ->
+      let orig = Option.get obj.Objfile.witness in
+      Alcotest.(check bool) "boundaries" true (w.Objfile.w_boundaries = orig.Objfile.w_boundaries);
+      Alcotest.(check (list int)) "leaders" orig.Objfile.w_leaders w.Objfile.w_leaders;
+      Alcotest.(check bool) "branches" true (w.Objfile.w_branches = orig.Objfile.w_branches);
+      Alcotest.(check bool) "sites" true (w.Objfile.w_sites = orig.Objfile.w_sites);
+      Alcotest.(check string) "digest" orig.Objfile.w_text_digest w.Objfile.w_text_digest)
+
+(* Parser hardening: 1000 random corruptions of a serialized witnessed
+   object. Every corruption must deserialize to Ok or a structured Error
+   — never an escaping exception (Invalid_argument from an unchecked
+   length, Out_of_memory from a lying count, ...). Deterministic PRNG,
+   replayable byte-for-byte. *)
+let test_objfile_witness_parser_fuzz_total () =
+  let whole = Objfile.serialize (witnessed_obj ()) in
+  let n = Bytes.length whole in
+  let rng = Deflection_util.Prng.create 97L in
+  for i = 0 to 999 do
+    let b = Bytes.copy whole in
+    (* 1-4 corruptions, biased toward the tail where the witness lives *)
+    let hits = 1 + Deflection_util.Prng.int rng 4 in
+    for _ = 1 to hits do
+      let pos =
+        if Deflection_util.Prng.bool rng then Deflection_util.Prng.int rng n
+        else n - 1 - Deflection_util.Prng.int rng (min n 96)
+      in
+      Bytes.set b pos (Char.chr (Deflection_util.Prng.int rng 256))
+    done;
+    match Objfile.deserialize b with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+      Alcotest.failf "mutation %d escaped the parser: %s" i (Printexc.to_string e)
   done
 
 (* ------------------------------------------------------------------ *)
@@ -439,6 +500,9 @@ let suite =
     Alcotest.test_case "objfile roundtrip" `Quick test_objfile_roundtrip;
     Alcotest.test_case "objfile bad magic" `Quick test_objfile_bad_magic;
     Alcotest.test_case "objfile truncation total" `Quick test_objfile_truncation_total;
+    Alcotest.test_case "objfile witness roundtrip" `Quick test_objfile_witness_roundtrip;
+    Alcotest.test_case "objfile witness parser fuzz total" `Quick
+      test_objfile_witness_parser_fuzz_total;
     Alcotest.test_case "cost model sane" `Quick test_cost_sane;
     Alcotest.test_case "roundtrip every form" `Quick test_roundtrip_every_form;
     Alcotest.test_case "decode at every offset structured" `Quick

@@ -12,7 +12,7 @@ module Attestation = Deflection_attestation.Attestation
 module Chaos = Deflection_chaos.Chaos
 module Json = Deflection_telemetry.Json
 
-let mkkey s = Verifier.Cache.key ~policies:Policy.Set.p1_p6 ~ssa_q:20 ~serialized:(Bytes.of_string s)
+let mkkey s = Verifier.Cache.key ~mode:Verifier.Descent ~policies:Policy.Set.p1_p6 ~ssa_q:20 ~serialized:(Bytes.of_string s)
 
 let ok_verdict n =
   Ok
@@ -291,6 +291,44 @@ let test_restart_serves_warm () =
   Alcotest.(check (list (pair string int)))
     "same verdicts warm as cold" (Server.results s1) (Server.results s2)
 
+let test_cross_mode_state_not_warmed () =
+  (* entries sealed under one verification mode must not warm a server
+     running another: the persisted entries carry their mode label and
+     recovery skips foreign ones — cold re-verification, not a verdict
+     rendered under a different admission discipline *)
+  let dir = temp_dir "xmode" in
+  let cfg = small_cfg ~state_dir:(Some dir) () in
+  let s1 = Server.create cfg in
+  (match Server.serve_load s1 ~offered:30 ~rounds:3 ~kill_after:None with
+  | `Done -> ()
+  | `Killed -> Alcotest.fail "unexpected kill");
+  (* the sealed file records the descent mode on every entry *)
+  let platform = Attestation.Platform.create ~seed:cfg.Server.seed in
+  let entries, report =
+    Persist.load (Persist.create ~segment_entries:3 ~dir ~platform ())
+  in
+  Alcotest.(check bool) "state sealed" true (report.Persist.entries_loaded > 0);
+  List.iter
+    (fun e -> Alcotest.(check string) "entry carries mode" "descent" e.Persist.mode)
+    entries;
+  (* restart under the witnessed tier: nothing is warmed *)
+  let s2 = Server.create { cfg with Server.verification = Verifier.Witnessed } in
+  (match Server.serve_load s2 ~offered:30 ~rounds:3 ~kill_after:None with
+  | `Done -> ()
+  | `Killed -> Alcotest.fail "unexpected kill");
+  let geti d k = match Json.member k d with Some (Json.Int n) -> n | _ -> -1 in
+  Alcotest.(check bool) "witnessed replay went cold" true
+    (geti (Server.doc s2) "cold_misses" > 0);
+  (* verdicts are identical across tiers even though the cache was cold *)
+  Alcotest.(check (list (pair string int)))
+    "same results under both modes" (Server.results s1) (Server.results s2);
+  (* a same-mode restart of the witnessed server is warm again *)
+  let s3 = Server.create { cfg with Server.verification = Verifier.Witnessed } in
+  (match Server.serve_load s3 ~offered:30 ~rounds:3 ~kill_after:None with
+  | `Done -> ()
+  | `Killed -> Alcotest.fail "unexpected kill");
+  Alcotest.(check int) "witnessed replay fully warm" 0 (geti (Server.doc s3) "cold_misses")
+
 (* ------------------------------------------------------------------ *)
 (* per-tamper-class degradation of the sealed cache *)
 
@@ -454,6 +492,7 @@ let suite =
     Alcotest.test_case "k=1 vs k=4 with tenants" `Quick test_fanout_equivalence_with_tenants;
     Alcotest.test_case "fuel quota tenant exits 11" `Quick test_fuel_quota_tenant;
     Alcotest.test_case "restart serves warm" `Quick test_restart_serves_warm;
+    Alcotest.test_case "cross-mode state not warmed" `Quick test_cross_mode_state_not_warmed;
     Alcotest.test_case "tamper: segment bit flip" `Quick test_tamper_bit_flip;
     Alcotest.test_case "tamper: splice/reorder" `Quick test_tamper_splice_reorder;
     Alcotest.test_case "tamper: truncated tail" `Quick test_tamper_truncated_tail;

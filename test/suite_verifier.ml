@@ -79,6 +79,7 @@ let handmade ?(policies = Policy.Set.p1_p6) ?(instrument = true) ?(branch_target
     entry = Annot.start_symbol;
     claimed_policies = [];
     ssa_q = 20;
+    witness = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -98,6 +99,40 @@ let test_accepts_compiler_output_all_policies () =
       ("P1-P5", Policy.Set.p1_p5);
       ("P1-P6", Policy.Set.p1_p6);
     ]
+
+(* Regression (worklist dedup): a diamond CFG — two branch arms joining
+   at a shared continuation — enqueues the join block from both arms. The
+   enqueue-time visited/enqueued check must scan it exactly once, so the
+   report counts are exact, not inflated by re-scans. The numbers are
+   pinned against the current code generator; a legitimate codegen change
+   may move them, but a dedup regression doubles the join-suffix counts. *)
+let diamond_src = {|
+int g[4];
+int main() {
+  int x = 0;
+  if (g[0] > 0) { x = 1; } else { x = 2; }
+  g[1] = x;
+  return x;
+}
+|}
+
+let test_diamond_cfg_exact_counts () =
+  let obj = compile diamond_src in
+  let r = expect_accept obj in
+  Alcotest.(check int) "instructions checked exactly once" 101 r.Verifier.instructions_checked;
+  Alcotest.(check int) "store annotations" 1 r.Verifier.store_annotations;
+  Alcotest.(check int) "rsp annotations" 1 r.Verifier.rsp_annotations;
+  Alcotest.(check int) "cfi annotations" 0 r.Verifier.cfi_annotations;
+  Alcotest.(check int) "prologues" 1 r.Verifier.prologues;
+  Alcotest.(check int) "epilogues" 1 r.Verifier.epilogues;
+  Alcotest.(check int) "ssa checks" 2 r.Verifier.ssa_checks;
+  (* scanning the join twice would also duplicate discovered leaders *)
+  match Verifier.verify_classified ~policies:Policy.Set.p1_p6 ~ssa_q:20 obj with
+  | Error _ -> Alcotest.fail "diamond rejected"
+  | Ok (_, c) ->
+    let leaders = Verifier.classification_leaders c in
+    Alcotest.(check (list int)) "leaders sorted and duplicate-free"
+      (List.sort_uniq compare leaders) leaders
 
 let test_report_counts () =
   let obj = compile sample in
@@ -472,6 +507,7 @@ let suite =
     Alcotest.test_case "accepts compiler output (all policies)" `Quick
       test_accepts_compiler_output_all_policies;
     Alcotest.test_case "report counts" `Quick test_report_counts;
+    Alcotest.test_case "diamond CFG exact counts" `Quick test_diamond_cfg_exact_counts;
     Alcotest.test_case "rejects unannotated store" `Quick test_rejects_unannotated_store;
     Alcotest.test_case "rejects bare ret" `Quick test_rejects_bare_ret;
     Alcotest.test_case "rejects missing ssa" `Quick test_rejects_missing_ssa;
